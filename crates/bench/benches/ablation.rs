@@ -1,0 +1,107 @@
+//! Ablation benchmarks for the design decisions DESIGN.md calls out:
+//!
+//! * cache policy — bounded FIFO-except-in-use (default) vs eager
+//!   release-on-zero (Figure 4) vs effectively-unbounded;
+//! * pre-compression filters — plain lz4hc vs shuffle+lz4hc on
+//!   float-structured data (the tokamak traces);
+//! * ring replication — remote fetches vs fully local reads.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fanstore::cache::CacheConfig;
+use fanstore::cluster::{ClusterConfig, FanStore};
+use fanstore::prep::{prepare, PrepConfig};
+use fanstore_compress::registry::parse_name;
+use fanstore_compress::{compress_to_vec, decompress_to_vec};
+use fanstore_datagen::{DatasetKind, DatasetSpec};
+
+fn cache_policy_ablation(c: &mut Criterion) {
+    let files: Vec<(String, Vec<u8>)> =
+        (0..24).map(|i| (format!("c/f{i:02}.bin"), vec![i as u8; 32 * 1024])).collect();
+    let paths: Vec<String> = files.iter().map(|(p, _)| p.clone()).collect();
+    let packed = prepare(files, &PrepConfig::default());
+
+    let mut group = c.benchmark_group("cache_policy");
+    group.sample_size(10);
+    for (label, capacity, release_on_zero) in [
+        ("bounded_fifo", 8 * 32 * 1024, false),
+        ("eager_release", usize::MAX / 2, true),
+        ("unbounded", usize::MAX / 2, false),
+    ] {
+        let partitions = packed.partitions.clone();
+        let paths = paths.clone();
+        group.bench_function(label, |b| {
+            b.iter_custom(|iters| {
+                FanStore::run(
+                    ClusterConfig {
+                        nodes: 1,
+                        cache: CacheConfig { capacity, release_on_zero },
+                        ..Default::default()
+                    },
+                    partitions.clone(),
+                    |fs| {
+                        let t0 = std::time::Instant::now();
+                        for _ in 0..iters {
+                            for p in &paths {
+                                std::hint::black_box(fs.read_whole(p).unwrap());
+                            }
+                        }
+                        t0.elapsed()
+                    },
+                )[0]
+            });
+        });
+    }
+    group.finish();
+}
+
+fn filter_ablation(c: &mut Criterion) {
+    let spec = DatasetSpec::scaled(DatasetKind::TokamakNpz, 64, 0xAB);
+    let data: Vec<u8> = (0..64).flat_map(|i| spec.generate(i)).collect();
+
+    let mut group = c.benchmark_group("filter_on_floats");
+    group.sample_size(10);
+    for name in ["lz4hc-9", "shuffle-lz-8", "delta-lz-8", "zstd-6", "shuffle-zstd-8"] {
+        let codec = fanstore_compress::registry::create(parse_name(name).unwrap()).unwrap();
+        let compressed = compress_to_vec(codec.as_ref(), &data);
+        group.bench_function(format!("decompress/{name} (ratio {:.2})",
+            data.len() as f64 / compressed.len() as f64), |b| {
+            b.iter(|| decompress_to_vec(codec.as_ref(), &compressed, data.len()).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn replication_ablation(c: &mut Criterion) {
+    let files: Vec<(String, Vec<u8>)> =
+        (0..16).map(|i| (format!("r/f{i:02}.bin"), vec![7u8; 64 * 1024])).collect();
+    let paths: Vec<String> = files.iter().map(|(p, _)| p.clone()).collect();
+    let packed = prepare(files, &PrepConfig { partitions: 2, ..Default::default() });
+
+    let mut group = c.benchmark_group("replication");
+    group.sample_size(10);
+    for (label, replication) in [("remote_half", 1usize), ("fully_local", 2)] {
+        let partitions = packed.partitions.clone();
+        let paths = paths.clone();
+        group.bench_function(label, |b| {
+            b.iter_custom(|iters| {
+                FanStore::run(
+                    ClusterConfig { nodes: 2, replication, ..Default::default() },
+                    partitions.clone(),
+                    |fs| {
+                        let t0 = std::time::Instant::now();
+                        for _ in 0..iters {
+                            for p in &paths {
+                                std::hint::black_box(fs.read_whole(p).unwrap());
+                            }
+                        }
+                        t0.elapsed()
+                    },
+                )[0]
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, cache_policy_ablation, filter_ablation, replication_ablation);
+criterion_main!(benches);

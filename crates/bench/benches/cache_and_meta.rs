@@ -1,0 +1,82 @@
+//! Criterion micro-benchmarks for the decompressed cache (§IV-C3) and
+//! the metadata table (§IV-C1): the two RAM structures every intercepted
+//! call touches.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fanstore::cache::{CacheConfig, FileCache};
+use fanstore::meta::{MetaEntry, MetaTable};
+use fanstore::stat::FileStat;
+use fanstore_compress::{CodecFamily, CodecId};
+
+fn cache_benches(c: &mut Criterion) {
+    let cache = FileCache::new(CacheConfig { capacity: 1 << 24, release_on_zero: false });
+    let data = Arc::new(vec![1u8; 4096]);
+    cache.insert("hot", Arc::clone(&data));
+    cache.close("hot");
+
+    c.bench_function("cache_hit_open_close", |b| {
+        b.iter(|| {
+            let d = cache.open("hot").unwrap();
+            std::hint::black_box(&d);
+            cache.close("hot");
+        });
+    });
+
+    c.bench_function("cache_insert_evict", |b| {
+        let small = FileCache::new(CacheConfig { capacity: 16 * 4096, release_on_zero: false });
+        let mut i = 0u64;
+        b.iter(|| {
+            let path = format!("f{}", i % 64);
+            i += 1;
+            match small.open(&path) {
+                Some(_) => small.close(&path),
+                None => {
+                    small.insert(&path, Arc::new(vec![0u8; 4096]));
+                    small.close(&path);
+                }
+            }
+        });
+    });
+}
+
+fn meta_benches(c: &mut Criterion) {
+    let mut table = MetaTable::new();
+    let entry = MetaEntry {
+        stat: FileStat::regular(1, 1000),
+        codec: CodecId::new(CodecFamily::Lz4Hc, 9),
+    };
+    for i in 0..10_000 {
+        table.insert(&format!("imagenet/d{:04}/img{i:06}.jpg", i % 128), entry);
+    }
+
+    c.bench_function("meta_stat_10k_files", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let path = format!("imagenet/d{:04}/img{:06}.jpg", i % 128, i % 10_000);
+            i += 1;
+            std::hint::black_box(table.stat(&path));
+        });
+    });
+
+    c.bench_function("meta_readdir", |b| {
+        b.iter(|| std::hint::black_box(table.readdir("imagenet/d0001")));
+    });
+
+    let encoded = table.encode();
+    c.bench_function("meta_merge_10k_entries", |b| {
+        b.iter(|| {
+            let mut t = MetaTable::new();
+            t.merge_encoded(&encoded).unwrap();
+            std::hint::black_box(t.file_count());
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = cache_benches, meta_benches
+}
+criterion_main!(benches);

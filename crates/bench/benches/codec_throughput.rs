@@ -1,0 +1,41 @@
+//! Criterion micro-benchmarks: compression and decompression throughput
+//! per codec family on an EM sample (the raw material behind Figure 7 and
+//! the §VII-D compressor evaluation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fanstore_compress::registry::parse_name;
+use fanstore_compress::{compress_to_vec, decompress_to_vec};
+use fanstore_datagen::{DatasetKind, DatasetSpec};
+
+fn codec_benches(c: &mut Criterion) {
+    let spec = DatasetSpec::scaled(DatasetKind::EmTif, 1, 0xC0DE);
+    let sample = spec.generate(0);
+    let codecs =
+        ["store", "rle", "lzf-2", "lz4fast-1", "lz4hc-9", "lzsse8-2", "huffman", "zling-4", "brotli-9", "lzma-6", "xz-6"];
+
+    let mut group = c.benchmark_group("compress_em128k");
+    group.throughput(Throughput::Bytes(sample.len() as u64));
+    group.sample_size(10);
+    for name in codecs {
+        let codec = fanstore_compress::registry::create(parse_name(name).unwrap()).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(name), &sample, |b, s| {
+            b.iter(|| compress_to_vec(codec.as_ref(), s));
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("decompress_em128k");
+    group.throughput(Throughput::Bytes(sample.len() as u64));
+    group.sample_size(10);
+    for name in codecs {
+        let codec = fanstore_compress::registry::create(parse_name(name).unwrap()).unwrap();
+        let compressed = compress_to_vec(codec.as_ref(), &sample);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &compressed, |b, cdata| {
+            b.iter(|| decompress_to_vec(codec.as_ref(), cdata, sample.len()).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, codec_benches);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Criterion end-to-end benchmark: open + read + close through a real
+//! FanStore cluster — the Figure 2/3 path, local and remote.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use fanstore::cluster::{ClusterConfig, FanStore};
+use fanstore::prep::{prepare, PrepConfig};
+use fanstore_compress::{CodecFamily, CodecId};
+
+const FILE_SIZE: usize = 64 * 1024;
+const N_FILES: usize = 16;
+
+fn dataset() -> Vec<(String, Vec<u8>)> {
+    (0..N_FILES)
+        .map(|i| {
+            (
+                format!("train/f{i:03}.bin"),
+                format!("block {i} ").into_bytes().repeat(FILE_SIZE / 9),
+            )
+        })
+        .collect()
+}
+
+fn e2e_benches(c: &mut Criterion) {
+    // Measure a full read pass over the dataset through a 2-node cluster
+    // (half the files local, half remote over the simulated fabric).
+    let mut group = c.benchmark_group("cluster_read_pass");
+    group.throughput(Throughput::Bytes((N_FILES * FILE_SIZE) as u64));
+    group.sample_size(10);
+
+    for (label, release_on_zero) in [("cached", false), ("cold", true)] {
+        group.bench_function(label, |b| {
+            b.iter_custom(|iters| {
+                let packed = prepare(
+                    dataset(),
+                    &PrepConfig {
+                        partitions: 2,
+                        codec: CodecId::new(CodecFamily::Lzsse8, 2),
+                        store_if_incompressible: true,
+                    },
+                );
+                let elapsed = FanStore::run(
+                    ClusterConfig {
+                        nodes: 2,
+                        cache: fanstore::cache::CacheConfig {
+                            capacity: 1 << 28,
+                            release_on_zero,
+                        },
+                        ..Default::default()
+                    },
+                    packed.partitions,
+                    |fs| {
+                        let paths: Vec<String> =
+                            (0..N_FILES).map(|i| format!("train/f{i:03}.bin")).collect();
+                        // Warm pass so both variants start from the same
+                        // metadata state.
+                        for p in &paths {
+                            std::hint::black_box(fs.read_whole(p).unwrap());
+                        }
+                        let t0 = std::time::Instant::now();
+                        for _ in 0..iters {
+                            for p in &paths {
+                                std::hint::black_box(fs.read_whole(p).unwrap());
+                            }
+                        }
+                        t0.elapsed()
+                    },
+                );
+                elapsed[0]
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, e2e_benches);
+criterion_main!(benches);

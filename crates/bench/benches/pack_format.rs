@@ -1,0 +1,36 @@
+//! Criterion micro-benchmarks for the Table I pack format: partition
+//! build and parse throughput (the §IV-C1 loading path).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use fanstore::pack::{parse_partition, PartitionBuilder};
+use fanstore::stat::FileStat;
+use fanstore_compress::{CodecFamily, CodecId};
+
+fn build_sample_partition(files: usize, file_size: usize) -> Vec<u8> {
+    let mut b = PartitionBuilder::new();
+    let codec = CodecId::new(CodecFamily::Store, 0);
+    let payload = vec![0xABu8; file_size];
+    for i in 0..files {
+        let stat = FileStat::regular(i as u64, file_size as u64);
+        b.push(&format!("data/dir{:02}/file{i:05}.bin", i % 16), codec, &stat, &payload);
+    }
+    b.finish()
+}
+
+fn pack_benches(c: &mut Criterion) {
+    let partition = build_sample_partition(256, 4096);
+
+    let mut group = c.benchmark_group("pack");
+    group.throughput(Throughput::Bytes(partition.len() as u64));
+    group.sample_size(20);
+    group.bench_function("build_256x4k", |b| {
+        b.iter(|| build_sample_partition(256, 4096));
+    });
+    group.bench_function("parse_256x4k", |b| {
+        b.iter(|| parse_partition(&partition).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, pack_benches);
+criterion_main!(benches);

@@ -1,0 +1,15 @@
+//! Run every experiment and write EXPERIMENTS.md at the workspace root.
+//!
+//! Usage: `cargo run --release -p fanstore-bench --bin all_experiments [--quick] [output-path]`
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let path = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "EXPERIMENTS.md".to_string());
+    let report = fanstore_bench::experiments::all(quick);
+    std::fs::write(&path, &report).expect("write report");
+    eprintln!("wrote {path} ({} bytes)", report.len());
+}

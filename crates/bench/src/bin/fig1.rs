@@ -1,0 +1,4 @@
+//! Regenerate the paper's fig1 data. See DESIGN.md §3.
+fn main() {
+    print!("{}", fanstore_bench::experiments::fig1::run());
+}

@@ -1,0 +1,4 @@
+//! Regenerate Figure 6 (FanStore vs TFRecord read throughput).
+fn main() {
+    print!("{}", fanstore_bench::experiments::fig6::run(48));
+}

@@ -1,0 +1,4 @@
+//! Regenerate Figure 7 (compressor configuration sweep).
+fn main() {
+    print!("{}", fanstore_bench::experiments::fig7::run(3, 2, false));
+}

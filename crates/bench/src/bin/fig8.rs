@@ -1,0 +1,4 @@
+//! Regenerate Figure 8 (application performance under candidates).
+fn main() {
+    print!("{}", fanstore_bench::experiments::fig8::run(3));
+}

@@ -1,0 +1,4 @@
+//! Regenerate the paper's fig9 data. See DESIGN.md §3.
+fn main() {
+    print!("{}", fanstore_bench::experiments::fig9::run());
+}

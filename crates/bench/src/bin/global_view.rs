@@ -1,0 +1,4 @@
+//! Regenerate the §III global-view vs chunk-partition study.
+fn main() {
+    print!("{}", fanstore_bench::experiments::global_view::run());
+}

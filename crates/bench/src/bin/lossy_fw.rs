@@ -1,0 +1,4 @@
+//! Regenerate the §VIII future-work lossy-compression study.
+fn main() {
+    print!("{}", fanstore_bench::experiments::lossy_fw::run(8));
+}

@@ -1,0 +1,4 @@
+//! Regenerate Table III (POSIX solution read performance).
+fn main() {
+    print!("{}", fanstore_bench::experiments::table3::run(24));
+}

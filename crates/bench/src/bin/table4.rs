@@ -1,0 +1,4 @@
+//! Regenerate Table IV (per-dataset compression ratios).
+fn main() {
+    print!("{}", fanstore_bench::experiments::table4::run(3));
+}

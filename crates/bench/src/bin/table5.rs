@@ -1,0 +1,4 @@
+//! Regenerate the paper's table5 data. See DESIGN.md §3.
+fn main() {
+    print!("{}", fanstore_bench::experiments::table5::run());
+}

@@ -1,0 +1,4 @@
+//! Regenerate the paper's table6 data. See DESIGN.md §3.
+fn main() {
+    print!("{}", fanstore_bench::experiments::table6::run());
+}

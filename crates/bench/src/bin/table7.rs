@@ -1,0 +1,4 @@
+//! Regenerate Table VII (compressor selection for the three cases).
+fn main() {
+    print!("{}", fanstore_bench::experiments::table7::run(3));
+}

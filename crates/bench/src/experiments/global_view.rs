@@ -1,0 +1,70 @@
+//! §III companion study (measured): the global dataset view vs the
+//! chunk-partition workaround.
+//!
+//! The paper's related-work section argues that partitioning the dataset
+//! across nodes (each node seeing only its chunk) introduces a
+//! "time-divided variance" with unclear convergence impact, which is why
+//! FanStore pays for a global namespace. This experiment trains a real
+//! (toy-scale) logistic regression both ways at identical budgets on
+//! class-sorted data and reports the loss curves.
+
+use fanstore_train::convergence::compare_sampling;
+
+use crate::report::{fmt_f, md_table};
+
+/// Generate the global-view study report.
+pub fn run() -> String {
+    let mut rows = Vec::new();
+    let mut global_wins = 0usize;
+    let seeds = [1u64, 2, 3, 4, 5];
+    for &seed in &seeds {
+        let cmp = compare_sampling(4, 400, 30, seed);
+        let (g, p) = cmp.final_losses();
+        if g <= p {
+            global_wins += 1;
+        }
+        rows.push(vec![
+            seed.to_string(),
+            fmt_f(g),
+            fmt_f(p),
+            if g <= p { "global".into() } else { "partitioned".into() },
+        ]);
+    }
+
+    // One representative loss curve.
+    let cmp = compare_sampling(4, 400, 30, 1);
+    let curve: Vec<String> = cmp
+        .global_losses
+        .iter()
+        .zip(&cmp.partitioned_losses)
+        .enumerate()
+        .filter(|(i, _)| i % 5 == 4)
+        .map(|(i, (g, p))| format!("epoch {:>2}: global {} | partitioned {}", i + 1, fmt_f(*g), fmt_f(*p)))
+        .collect();
+
+    format!(
+        "## §III companion — global dataset view vs chunk partitions (measured)\n\n\
+         Data-parallel logistic regression on class-sorted synthetic data, 4 nodes,\n\
+         identical budgets and seeds; the only difference is whether nodes sample\n\
+         the whole dataset (FanStore's global view) or only their static chunk.\n\n{}\n\
+         Global view wins {}/{} seeds. Representative loss curve:\n\n- {}\n",
+        md_table(&["seed", "final loss (global)", "final loss (partitioned)", "winner"], &rows),
+        global_wins,
+        seeds.len(),
+        curve.join("\n- "),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn report_shows_majority_global_wins() {
+        let r = super::run();
+        assert!(r.contains("global view"));
+        // At least 4 of 5 seeds must favour the global view.
+        assert!(
+            r.contains("wins 4/5") || r.contains("wins 5/5"),
+            "global view should dominate: {r}"
+        );
+    }
+}

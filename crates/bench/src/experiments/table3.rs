@@ -1,0 +1,139 @@
+//! Table III: POSIX-compliant solution read performance (files/sec) at
+//! 128 KB / 512 KB / 2 MB / 8 MB.
+//!
+//! The FanStore row is **measured** end-to-end on this machine (real
+//! open/read/close through the client, eager cache release so every open
+//! pays the full path). SSD / FUSE / Lustre rows are **modelled** — the
+//! io-sim anchors hold the paper's own measurements, since none of that
+//! hardware exists here; reprinting them puts the measured FanStore row
+//! in the paper's context.
+
+use std::time::Instant;
+
+use fanstore::cluster::{ClusterConfig, FanStore};
+use fanstore::prep::{prepare, PrepConfig};
+use fanstore_compress::{CodecFamily, CodecId};
+use io_sim::storage::{presets, ReadModel};
+
+use crate::report::{fmt_f, md_table};
+
+const SIZES: [(usize, &str); 4] =
+    [(128 * 1024, "128 KB"), (512 * 1024, "512 KB"), (2 << 20, "2 MB"), (8 << 20, "8 MB")];
+
+/// Measure FanStore's real files/s for one file size.
+fn measure_fanstore(file_size: usize, n_files: usize) -> f64 {
+    let files: Vec<(String, Vec<u8>)> = (0..n_files)
+        .map(|i| {
+            // Store-codec path: Table III benchmarks raw (uncompressed)
+            // serving, so use incompressible content.
+            let mut x = (i as u64).wrapping_mul(0x9E3779B97F4A7C15) | 1;
+            let data: Vec<u8> = (0..file_size)
+                .map(|_| {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    (x >> 56) as u8
+                })
+                .collect();
+            (format!("bench/f{i:04}.bin"), data)
+        })
+        .collect();
+    let packed = prepare(
+        files,
+        &PrepConfig {
+            partitions: 1,
+            codec: CodecId::new(CodecFamily::Store, 0),
+            store_if_incompressible: true,
+        },
+    );
+    FanStore::run(
+        ClusterConfig {
+            nodes: 1,
+            cache: fanstore::cache::CacheConfig { capacity: 1 << 30, release_on_zero: true },
+            ..Default::default()
+        },
+        packed.partitions,
+        |fs| {
+            let paths: Vec<String> = (0..n_files).map(|i| format!("bench/f{i:04}.bin")).collect();
+            let mut buf = vec![0u8; 1 << 16];
+            let epochs = 3usize;
+            let t0 = Instant::now();
+            for _ in 0..epochs {
+                for p in &paths {
+                    let fd = fs.open(p).unwrap();
+                    loop {
+                        let got = fs.read(fd, &mut buf).unwrap();
+                        if got == 0 {
+                            break;
+                        }
+                        std::hint::black_box(&buf[..got]);
+                    }
+                    fs.close(fd).unwrap();
+                }
+            }
+            (epochs * n_files) as f64 / t0.elapsed().as_secs_f64()
+        },
+    )[0]
+}
+
+/// Generate the Table III report; `n_files` per size point.
+pub fn run(n_files: usize) -> String {
+    let fan_model = presets::fanstore_local();
+    let ssd = presets::ssd();
+    let fuse = presets::ssd_fuse();
+    let lustre = presets::lustre();
+
+    let mut rows = Vec::new();
+    // Measured FanStore row.
+    let mut measured = vec!["FanStore (measured here)".to_string()];
+    for (bytes, _) in SIZES {
+        // Cap memory: shrink the file count for the big sizes.
+        let n = if bytes >= 2 << 20 { n_files.min(8).max(2) } else { n_files };
+        measured.push(fmt_f(measure_fanstore(bytes, n)));
+    }
+    rows.push(measured);
+    for (name, model) in [
+        ("FanStore (paper, modelled)", &fan_model),
+        ("SSD-fuse (paper, modelled)", &fuse),
+        ("SSD (paper, modelled)", &ssd),
+        ("Lustre (paper, modelled)", &lustre),
+    ] {
+        let mut row = vec![name.to_string()];
+        for (bytes, _) in SIZES {
+            row.push(fmt_f(model.files_per_sec(bytes)));
+        }
+        rows.push(row);
+    }
+
+    // Shape checks the paper claims.
+    let ratios: Vec<String> = SIZES
+        .iter()
+        .map(|&(bytes, label)| {
+            format!(
+                "{label}: FanStore/SSD = {:.0}%, vs FUSE = {:.1}x, vs Lustre = {:.1}x",
+                fan_model.files_per_sec(bytes) / ssd.files_per_sec(bytes) * 100.0,
+                fan_model.files_per_sec(bytes) / fuse.files_per_sec(bytes),
+                fan_model.files_per_sec(bytes) / lustre.files_per_sec(bytes),
+            )
+        })
+        .collect();
+
+    format!(
+        "## Table III — POSIX solution read performance, files/s\n\n{}\n\
+         Paper's claims on its own rows: FanStore at 71-99% of raw SSD, 2.9-4.4x over\n\
+         FUSE, 4.0-64.7x over Lustre. From the modelled anchors:\n- {}\n",
+        md_table(&["solution", "128 KB", "512 KB", "2 MB", "8 MB"], &rows),
+        ratios.join("\n- "),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn table3_report_structure() {
+        let r = super::run(2);
+        assert!(r.contains("Table III"));
+        assert!(r.contains("FanStore (measured here)"));
+        assert!(r.contains("Lustre"));
+    }
+}

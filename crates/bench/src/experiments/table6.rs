@@ -1,0 +1,99 @@
+//! Table VI: FanStore read performance (Tpt_read, Bdw_read) by file size
+//! on the three clusters — the storage-side inputs to the selector.
+//!
+//! The cluster rows are **modelled** (the paper's own 4-node measurements
+//! are the anchors). A **measured** row for this machine's in-process
+//! FanStore is appended for context.
+
+use std::time::Instant;
+
+use fanstore::cluster::{ClusterConfig, FanStore};
+use fanstore::prep::{prepare, PrepConfig};
+use fanstore_compress::{CodecFamily, CodecId};
+use io_sim::cluster::Cluster;
+use io_sim::storage::ReadModel;
+
+use crate::report::{fmt_f, md_table};
+
+/// Measure this machine's FanStore files/s and MB/s at one file size.
+fn measure_local(file_size: usize, n_files: usize) -> (f64, f64) {
+    let files: Vec<(String, Vec<u8>)> =
+        (0..n_files).map(|i| (format!("t6/f{i}.bin"), vec![(i & 0xff) as u8; file_size])).collect();
+    let packed = prepare(
+        files,
+        &PrepConfig {
+            partitions: 1,
+            codec: CodecId::new(CodecFamily::Store, 0),
+            store_if_incompressible: true,
+        },
+    );
+    let fps = FanStore::run(
+        ClusterConfig {
+            nodes: 1,
+            cache: fanstore::cache::CacheConfig { capacity: 1 << 30, release_on_zero: true },
+            ..Default::default()
+        },
+        packed.partitions,
+        |fs| {
+            let t0 = Instant::now();
+            let mut total = 0usize;
+            for round in 0..3 {
+                for i in 0..n_files {
+                    let _ = round;
+                    let data = fs.read_whole(&format!("t6/f{i}.bin")).unwrap();
+                    std::hint::black_box(&data);
+                    total += 1;
+                }
+            }
+            total as f64 / t0.elapsed().as_secs_f64()
+        },
+    )[0];
+    (fps, fps * file_size as f64 / 1e6)
+}
+
+/// Generate the Table VI report.
+pub fn run() -> String {
+    let mut rows = Vec::new();
+    for cluster in [Cluster::gtx(), Cluster::v100(), Cluster::cpu()] {
+        for &(bytes, label) in cluster_sizes(&cluster) {
+            rows.push(vec![
+                format!("{} (modelled)", cluster.name),
+                label.to_string(),
+                fmt_f(cluster.fanstore_read.files_per_sec(bytes)),
+                fmt_f(cluster.fanstore_read.mb_per_sec(bytes)),
+            ]);
+        }
+    }
+    for (bytes, label) in [(512 * 1024usize, "512 KB"), (2 << 20, "2 MB")] {
+        let (fps, mbps) = measure_local(bytes, 8);
+        rows.push(vec![
+            "this machine (measured)".to_string(),
+            label.to_string(),
+            fmt_f(fps),
+            fmt_f(mbps),
+        ]);
+    }
+
+    format!(
+        "## Table VI — FanStore read performance by file size\n\n{}",
+        md_table(&["cluster", "file size", "Tpt_read (files/s)", "Bdw_read (MB/s)"], &rows),
+    )
+}
+
+fn cluster_sizes(cluster: &Cluster) -> &'static [(usize, &'static str)] {
+    match cluster.name {
+        "CPU" => &[(1024, "1 KB")],
+        _ => &[(512 * 1024, "512 KB"), (2 << 20, "2 MB")],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn table6_has_paper_anchor_values() {
+        let r = super::run();
+        assert!(r.contains("9469"));
+        assert!(r.contains("29103"));
+        assert!(r.contains("this machine (measured)"));
+    }
+}

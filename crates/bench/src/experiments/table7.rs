@@ -1,0 +1,146 @@
+//! Table VII: compressor selection for the three application/platform
+//! cases.
+//!
+//! Candidate properties (decompression cost, ratio) are **measured** on
+//! this machine against the matching synthetic dataset; the storage-side
+//! inputs are the **modelled** Table VI curves; the selection itself is
+//! the real Eq. 1–3 algorithm from `fanstore-select`.
+
+use fanstore_compress::registry::parse_name;
+use fanstore_select::{select, Candidate, IoProfile, Selection};
+use fanstore_train::apps::AppSpec;
+
+use crate::experiments::{measure_candidate, sample_files};
+use crate::report::{fmt_f, md_table};
+
+/// The storage-side profile for each case (Table VI rows).
+fn io_profile(case: &str) -> IoProfile {
+    match case {
+        // Compressed EM ~762 KB -> 512 KB class; raw 1.6 MB -> 2 MB class.
+        "SRGAN@GTX" => IoProfile {
+            tpt_read: 9_469.0,
+            bdw_read: 4_969.0,
+            tpt_read_raw: 3_158.0,
+            bdw_read_raw: 6_663.0,
+        },
+        "SRGAN@V100" => IoProfile {
+            tpt_read: 8_654.0,
+            bdw_read: 4_540.0,
+            tpt_read_raw: 5_026.0,
+            bdw_read_raw: 10_546.0,
+        },
+        // Tokamak: 1 KB files either way.
+        "FRNN@CPU" => IoProfile::uniform(29_103.0, 30.0),
+        other => panic!("unknown case {other}"),
+    }
+}
+
+/// Measure the paper's candidate set for one case.
+///
+/// Synthetic sample files are scaled down (e.g. 128 KB EM tiles vs the
+/// paper's 1.6 MB); per-file decompression cost scales ~linearly with
+/// file size, so measured costs are normalised to the paper's average
+/// file size to stay consistent with the Table V/VI constants.
+pub fn candidates_for(app: &AppSpec, samples_n: usize) -> Vec<Candidate> {
+    let names = ["lzf-2", "lzsse8-2", "lz4hc-9", "zling-4", "brotli-9", "lzma-6"];
+    let samples = sample_files(app.dataset, samples_n);
+    let avg_sample =
+        samples.iter().map(Vec::len).sum::<usize>() as f64 / samples.len().max(1) as f64;
+    let size_scale = (app.file_bytes as f64 / avg_sample.max(1.0)).max(1.0);
+    names
+        .iter()
+        .map(|n| {
+            let mut c = measure_candidate(parse_name(n).expect("codec name"), &samples, 2);
+            c.decomp_s_per_file *= size_scale;
+            c
+        })
+        .collect()
+}
+
+fn render_case(case: &str, app: &AppSpec, samples_n: usize) -> (String, Selection) {
+    let candidates = candidates_for(app, samples_n);
+    let sel = select(&app.profile(), &io_profile(case), &candidates);
+    let rows: Vec<Vec<String>> = sel
+        .evaluations
+        .iter()
+        .map(|e| {
+            vec![
+                e.candidate.name.clone(),
+                format!("{:.0} us", e.candidate.decomp_s_per_file * 1e6),
+                fmt_f(e.candidate.ratio),
+                crate::report::fmt_time(e.fetch_time),
+                crate::report::fmt_time(e.budget),
+                if e.feasible { "yes".into() } else { "no".into() },
+            ]
+        })
+        .collect();
+    let pick = sel
+        .max_ratio()
+        .map(|e| e.candidate.name.clone())
+        .unwrap_or_else(|| "(none feasible)".into());
+    let text = format!(
+        "### {case} ({})\n\n{}\nmax-ratio feasible pick: **{pick}**\n",
+        match app.io_mode {
+            fanstore_select::IoMode::Sync => "sync, Eq. 1",
+            fanstore_select::IoMode::Async => "async, Eq. 2",
+        },
+        md_table(
+            &["candidate", "decomp/file (measured)", "ratio (measured)", "fetch", "budget", "feasible"],
+            &rows
+        ),
+    );
+    (text, sel)
+}
+
+/// Generate the Table VII report with `samples_n` files per dataset.
+pub fn run(samples_n: usize) -> String {
+    let mut out = String::from(
+        "## Table VII — compressor selection for the three cases\n\n\
+         Candidates measured on this machine's codecs over the synthetic datasets\n\
+         (costs normalised to the paper's file sizes); read curves are the paper's\n\
+         Table VI anchors. Paper outcome per case: GTX sync -> fast LZs feasible,\n\
+         lzma/zling not; CPU async -> everything feasible; V100 sync -> only\n\
+         near-ratio-1 codecs strictly feasible.\n\n\
+         Note: our from-scratch LZ decoders run ~1.5-2x slower than the SIMD\n\
+         originals, so the *tight* GTX budget (852 us/file in the paper) can tip\n\
+         to 'no candidate' here while the orderings and relative gaps match. Fed\n\
+         the paper's own Table VII measurements, the algorithm reproduces the\n\
+         paper's picks exactly (see `fanstore-select`'s unit tests).\n\n",
+    );
+    for (case, app) in [
+        ("SRGAN@GTX", AppSpec::srgan_gtx()),
+        ("FRNN@CPU", AppSpec::frnn_cpu()),
+        ("SRGAN@V100", AppSpec::srgan_v100()),
+    ] {
+        let (text, _) = render_case(case, &app, samples_n);
+        out.push_str(&text);
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frnn_async_admits_fast_codecs() {
+        let app = AppSpec::frnn_cpu();
+        let (_, sel) = render_case("FRNN@CPU", &app, 4);
+        // The fast LZ family must be feasible under the async budget.
+        let feasible: Vec<&str> =
+            sel.feasible().map(|e| e.candidate.name.as_str()).collect();
+        assert!(
+            feasible.contains(&"lzf-2") || feasible.contains(&"lzsse8-2"),
+            "fast codecs feasible: {feasible:?}"
+        );
+    }
+
+    #[test]
+    fn gtx_sync_rejects_lzma() {
+        let app = AppSpec::srgan_gtx();
+        let (_, sel) = render_case("SRGAN@GTX", &app, 1);
+        let lzma = sel.evaluations.iter().find(|e| e.candidate.name == "lzma-6").unwrap();
+        assert!(!lzma.feasible, "lzma must fail the sync budget");
+    }
+}

@@ -1,0 +1,49 @@
+//! Inspect FanStore partition files: list entries, optionally verify
+//! that every payload decompresses.
+//!
+//! ```sh
+//! fanstore-inspect <partition.fst>... [--verify true]
+//! ```
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use fanstore_cli::{run_inspect, Args};
+
+fn main() -> ExitCode {
+    let args = match Args::parse(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("fanstore-inspect: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if args.positional().is_empty() {
+        eprintln!("usage: fanstore-inspect <partition.fst>... [--verify true|false]");
+        return ExitCode::FAILURE;
+    }
+    let verify = args.get("verify").map(|v| v != "false").unwrap_or(true);
+
+    let mut failed = false;
+    for file in args.positional() {
+        match run_inspect(Path::new(file), verify) {
+            Ok(lines) => {
+                for l in &lines {
+                    println!("{l}");
+                }
+                if lines.iter().any(|l| l.contains("CORRUPT")) {
+                    failed = true;
+                }
+            }
+            Err(e) => {
+                eprintln!("fanstore-inspect: {file}: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

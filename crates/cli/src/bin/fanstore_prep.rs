@@ -1,0 +1,47 @@
+//! The data-preparation tool (paper §V-B) as a command-line utility.
+//!
+//! ```sh
+//! fanstore-prep --input <dir> --output <dir> [--partitions N] [--codec lzsse8-2]
+//! ```
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use fanstore_cli::{run_prep, Args};
+
+fn main() -> ExitCode {
+    let args = match Args::parse(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => return usage(&e),
+    };
+    let Some(input) = args.get("input") else {
+        return usage("missing --input");
+    };
+    let Some(output) = args.get("output") else {
+        return usage("missing --output");
+    };
+    let partitions = match args.get_usize("partitions", 1) {
+        Ok(n) => n,
+        Err(e) => return usage(&e),
+    };
+    let codec = args.get("codec").unwrap_or("lzsse8-2");
+
+    match run_prep(Path::new(input), Path::new(output), partitions, codec) {
+        Ok(summary) => {
+            println!("{summary}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("fanstore-prep: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage(err: &str) -> ExitCode {
+    eprintln!("fanstore-prep: {err}");
+    eprintln!(
+        "usage: fanstore-prep --input <dir> --output <dir> [--partitions N] [--codec NAME]"
+    );
+    ExitCode::FAILURE
+}

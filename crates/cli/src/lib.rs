@@ -1,0 +1,282 @@
+//! # fanstore-cli
+//!
+//! Command-line front ends for the FanStore data-preparation workflow
+//! (paper §V-B):
+//!
+//! * `fanstore-prep` — walk a directory, compress and pack its files into
+//!   partition files (the standalone data-preparation tool).
+//! * `fanstore-inspect` — list the contents of a partition file and
+//!   verify that every entry decompresses cleanly.
+//!
+//! The argument parsing is deliberately dependency-free (`--flag value`
+//! pairs), mirroring the original tool's minimal interface: data path,
+//! partition count, compression algorithm.
+
+use std::path::{Path, PathBuf};
+
+use fanstore::pack::parse_partition;
+use fanstore::prep::{prepare, PrepConfig};
+use fanstore_compress::registry::{create, parse_name};
+
+/// Parsed `--key value` style arguments.
+#[derive(Debug, Default)]
+pub struct Args {
+    flags: Vec<(String, String)>,
+    positional: Vec<String>,
+}
+
+impl Args {
+    /// Parse from an iterator of raw arguments (without argv[0]).
+    pub fn parse<I: IntoIterator<Item = String>>(raw: I) -> Result<Self, String> {
+        let mut args = Args::default();
+        let mut iter = raw.into_iter();
+        while let Some(a) = iter.next() {
+            if let Some(key) = a.strip_prefix("--") {
+                let value =
+                    iter.next().ok_or_else(|| format!("missing value for --{key}"))?;
+                args.flags.push((key.to_string(), value));
+            } else {
+                args.positional.push(a);
+            }
+        }
+        Ok(args)
+    }
+
+    /// Value of `--key`, if present.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.flags.iter().rev().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+
+    /// Value of `--key` parsed as `usize`.
+    pub fn get_usize(&self, key: &str, default: usize) -> Result<usize, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{key}: not a number: {v}")),
+        }
+    }
+
+    /// Positional arguments.
+    pub fn positional(&self) -> &[String] {
+        &self.positional
+    }
+}
+
+/// Recursively collect `(relative path, contents)` for every file under
+/// `root`, sorted by path (the enumeration step of the prep tool).
+pub fn collect_files(root: &Path) -> Result<Vec<(String, Vec<u8>)>, String> {
+    let mut files = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let entries =
+            std::fs::read_dir(&dir).map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| format!("read_dir entry: {e}"))?;
+            let path = entry.path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.is_file() {
+                let rel = path
+                    .strip_prefix(root)
+                    .map_err(|e| format!("strip prefix: {e}"))?
+                    .to_string_lossy()
+                    .replace('\\', "/");
+                let data =
+                    std::fs::read(&path).map_err(|e| format!("read {}: {e}", path.display()))?;
+                files.push((rel, data));
+            }
+        }
+    }
+    files.sort_by(|a, b| a.0.cmp(&b.0));
+    Ok(files)
+}
+
+/// Run the prep workflow: pack `input_dir` into `partitions` partition
+/// files under `output_dir` with `codec_name`. Returns a human-readable
+/// summary.
+pub fn run_prep(
+    input_dir: &Path,
+    output_dir: &Path,
+    partitions: usize,
+    codec_name: &str,
+) -> Result<String, String> {
+    let codec_id =
+        parse_name(codec_name).ok_or_else(|| format!("unknown codec: {codec_name}"))?;
+    create(codec_id).map_err(|e| format!("codec {codec_name}: {e}"))?;
+
+    let files = collect_files(input_dir)?;
+    if files.is_empty() {
+        return Err(format!("no files under {}", input_dir.display()));
+    }
+    let n_files = files.len();
+    let packed = prepare(
+        files,
+        &PrepConfig { partitions, codec: codec_id, store_if_incompressible: true },
+    );
+
+    std::fs::create_dir_all(output_dir)
+        .map_err(|e| format!("create {}: {e}", output_dir.display()))?;
+    for (i, part) in packed.partitions.iter().enumerate() {
+        let path = output_dir.join(format!("part{i:04}.fst"));
+        std::fs::write(&path, part).map_err(|e| format!("write {}: {e}", path.display()))?;
+    }
+
+    Ok(format!(
+        "packed {} files ({} bytes) into {} partitions ({} bytes, ratio {:.2}) with {}",
+        n_files,
+        packed.input_bytes,
+        packed.partitions.len(),
+        packed.packed_bytes,
+        packed.ratio(),
+        codec_name,
+    ))
+}
+
+/// Inspect a partition file: list entries and verify decompression.
+/// Returns the report lines.
+pub fn run_inspect(partition_file: &Path, verify: bool) -> Result<Vec<String>, String> {
+    let bytes = std::fs::read(partition_file)
+        .map_err(|e| format!("read {}: {e}", partition_file.display()))?;
+    let entries = parse_partition(&bytes).map_err(|e| format!("parse: {e}"))?;
+    let mut lines = Vec::with_capacity(entries.len() + 1);
+    lines.push(format!(
+        "{}: {} entries, {} bytes",
+        partition_file.display(),
+        entries.len(),
+        bytes.len()
+    ));
+    for e in &entries {
+        let status = if verify {
+            let codec = create(e.codec).map_err(|err| format!("{}: {err}", e.path))?;
+            match fanstore_compress::decompress_to_vec(
+                codec.as_ref(),
+                &e.data,
+                e.stat.size as usize,
+            ) {
+                Ok(_) => "ok",
+                Err(_) => "CORRUPT",
+            }
+        } else {
+            "-"
+        };
+        lines.push(format!(
+            "  {}  codec={}  raw={}  packed={}  verify={}",
+            e.path,
+            e.codec,
+            e.stat.size,
+            e.data.len(),
+            status
+        ));
+    }
+    Ok(lines)
+}
+
+/// Temp-dir helper for the CLI tests.
+pub fn temp_dir(tag: &str) -> PathBuf {
+    let unique = format!(
+        "fanstore-cli-{tag}-{}-{:x}",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos())
+            .unwrap_or(0)
+    );
+    std::env::temp_dir().join(unique)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn make_tree(tag: &str) -> PathBuf {
+        let root = temp_dir(tag);
+        std::fs::create_dir_all(root.join("a/b")).unwrap();
+        std::fs::write(root.join("top.txt"), b"top level content".repeat(50)).unwrap();
+        std::fs::write(root.join("a/one.bin"), vec![1u8; 3000]).unwrap();
+        std::fs::write(root.join("a/b/two.bin"), vec![2u8; 4000]).unwrap();
+        root
+    }
+
+    #[test]
+    fn args_parse_flags_and_positionals() {
+        let a = Args::parse(
+            ["--partitions", "4", "input", "--codec", "lz4hc-9", "output"]
+                .map(String::from),
+        )
+        .unwrap();
+        assert_eq!(a.get("partitions"), Some("4"));
+        assert_eq!(a.get("codec"), Some("lz4hc-9"));
+        assert_eq!(a.positional(), &["input".to_string(), "output".to_string()]);
+        assert_eq!(a.get_usize("partitions", 1).unwrap(), 4);
+        assert_eq!(a.get_usize("missing", 7).unwrap(), 7);
+    }
+
+    #[test]
+    fn args_reject_missing_value() {
+        assert!(Args::parse(["--codec".to_string()]).is_err());
+        let a = Args::parse(["--n".to_string(), "x".to_string()]).unwrap();
+        assert!(a.get_usize("n", 0).is_err());
+    }
+
+    #[test]
+    fn collect_walks_recursively_and_sorts() {
+        let root = make_tree("collect");
+        let files = collect_files(&root).unwrap();
+        let paths: Vec<&str> = files.iter().map(|(p, _)| p.as_str()).collect();
+        assert_eq!(paths, vec!["a/b/two.bin", "a/one.bin", "top.txt"]);
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn prep_then_inspect_roundtrip() {
+        let input = make_tree("prep");
+        let output = temp_dir("prep-out");
+        let summary = run_prep(&input, &output, 2, "lzsse8-2").unwrap();
+        assert!(summary.contains("packed 3 files"), "{summary}");
+
+        let mut total_entries = 0;
+        for i in 0..2 {
+            let lines = run_inspect(&output.join(format!("part{i:04}.fst")), true).unwrap();
+            total_entries += lines.len() - 1;
+            assert!(lines.iter().skip(1).all(|l| l.contains("verify=ok")), "{lines:?}");
+        }
+        assert_eq!(total_entries, 3);
+
+        std::fs::remove_dir_all(&input).unwrap();
+        std::fs::remove_dir_all(&output).unwrap();
+    }
+
+    #[test]
+    fn prep_rejects_unknown_codec() {
+        let input = make_tree("badcodec");
+        let err = run_prep(&input, &temp_dir("unused"), 1, "nocodec-9").unwrap_err();
+        assert!(err.contains("unknown codec"));
+        std::fs::remove_dir_all(&input).unwrap();
+    }
+
+    #[test]
+    fn prep_rejects_empty_dir() {
+        let empty = temp_dir("empty");
+        std::fs::create_dir_all(&empty).unwrap();
+        assert!(run_prep(&empty, &temp_dir("unused2"), 1, "lz4hc-9").is_err());
+        std::fs::remove_dir_all(&empty).unwrap();
+    }
+
+    #[test]
+    fn inspect_detects_corruption() {
+        let input = make_tree("corrupt");
+        let output = temp_dir("corrupt-out");
+        run_prep(&input, &output, 1, "lz4hc-9").unwrap();
+        let part = output.join("part0000.fst");
+        let mut bytes = std::fs::read(&part).unwrap();
+        let n = bytes.len();
+        bytes[n - 3] ^= 0xFF; // damage the last entry's payload
+        std::fs::write(&part, &bytes).unwrap();
+        let lines = run_inspect(&part, true).unwrap();
+        assert!(
+            lines.iter().any(|l| l.contains("CORRUPT")),
+            "corruption must be reported: {lines:?}"
+        );
+        std::fs::remove_dir_all(&input).unwrap();
+        std::fs::remove_dir_all(&output).unwrap();
+    }
+}

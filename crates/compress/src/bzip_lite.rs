@@ -1,0 +1,477 @@
+//! `bzip2`-class codec: Burrows–Wheeler transform + move-to-front +
+//! zero-run-length coding + Huffman.
+//!
+//! The block-sorting family is the other classic high-ratio point in
+//! lzbench besides lzma: strong on text and structured data, with
+//! symmetric (and therefore slow) decode — the whole block must be
+//! inverse-transformed before a byte comes out. Level selects the block
+//! size (100 KiB at level 1 up to 800 KiB at 9, scaled-down bzip2
+//! semantics).
+//!
+//! Pipeline per block:
+//! 1. BWT via a prefix-doubling suffix array over the block plus a
+//!    virtual sentinel (O(n log n) construction, exact inverse).
+//! 2. Move-to-front: locality becomes small symbol values.
+//! 3. Zero-run coding: runs of MTF zeros (the dominant output) become a
+//!    base-2 run length over two dedicated symbols (bzip2's RUNA/RUNB).
+//! 4. Canonical Huffman over the 258-symbol alphabet.
+
+use crate::bitio::{BitReader, BitWriter};
+use crate::huffman::{build_lengths, read_lengths, write_lengths, HuffDecoder, HuffEncoder};
+use crate::varint::{read_uvarint, write_uvarint};
+use crate::{Codec, CodecError, CodecFamily, CodecId};
+
+/// RUNA/RUNB symbols follow the 255 literal MTF values (1..=255 map to
+/// symbols 2..=256 shifted by 2); see `mtf_to_symbols`.
+const SYM_RUNA: u16 = 0;
+const SYM_RUNB: u16 = 1;
+const ALPHABET: usize = 258; // RUNA, RUNB, mtf values 1..=255 (+2), EOB
+
+const SYM_EOB: u16 = 257;
+
+/// `bzip2`-class codec. Levels `1..=9` select the block size.
+#[derive(Debug, Clone, Copy)]
+pub struct BzipLite {
+    level: u8,
+}
+
+impl BzipLite {
+    /// Create with level `1..=9`.
+    pub fn new(level: u8) -> Self {
+        BzipLite { level: level.clamp(1, 9) }
+    }
+
+    fn block_size(&self) -> usize {
+        100 * 1024 * usize::from(self.level).min(8)
+    }
+}
+
+/// Suffix array of `s` plus a virtual sentinel (smaller than every byte),
+/// by prefix doubling. Returns `sa` of length `s.len() + 1`; `sa[0]` is
+/// always the sentinel position `s.len()`.
+fn suffix_array(s: &[u8]) -> Vec<u32> {
+    let n = s.len() + 1;
+    let mut sa: Vec<u32> = (0..n as u32).collect();
+    // rank[i]: rank of suffix i; sentinel gets 0, bytes get value+1.
+    let mut rank: Vec<i64> = (0..n).map(|i| if i < s.len() { i64::from(s[i]) + 1 } else { 0 }).collect();
+    let mut tmp: Vec<i64> = vec![0; n];
+    let mut k = 1usize;
+    loop {
+        let key = |i: u32| {
+            let i = i as usize;
+            let second = if i + k < n { rank[i + k] } else { -1 };
+            (rank[i], second)
+        };
+        sa.sort_unstable_by_key(|&i| key(i));
+        tmp[sa[0] as usize] = 0;
+        for w in 1..n {
+            let prev = sa[w - 1];
+            let cur = sa[w];
+            tmp[cur as usize] =
+                tmp[prev as usize] + i64::from(key(prev) != key(cur));
+        }
+        rank.copy_from_slice(&tmp);
+        if rank[sa[n - 1] as usize] as usize == n - 1 {
+            break;
+        }
+        k *= 2;
+    }
+    sa
+}
+
+/// Forward BWT: returns the transformed bytes (length n) and the primary
+/// index (the output row that corresponds to the sentinel's predecessor
+/// wrap-around, needed for inversion).
+fn bwt_forward(s: &[u8]) -> (Vec<u8>, usize) {
+    let n = s.len();
+    let sa = suffix_array(s);
+    let mut out = Vec::with_capacity(n);
+    let mut primary = 0usize;
+    for (row, &pos) in sa.iter().enumerate() {
+        let pos = pos as usize;
+        if pos == 0 {
+            // The sentinel-suffix row emits no byte; rows after it shift.
+            primary = row;
+            continue;
+        }
+        out.push(s[pos - 1]);
+    }
+    (out, primary)
+}
+
+/// Inverse BWT with the sentinel convention of [`bwt_forward`].
+fn bwt_inverse(bwt: &[u8], primary: usize) -> Result<Vec<u8>, CodecError> {
+    let n = bwt.len();
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+    if primary > n {
+        return Err(CodecError::Corrupt("bwt primary index out of range"));
+    }
+    // Positions in the virtual column of n+1 rows; row `primary` is the
+    // sentinel row (no byte). LF-mapping over counts.
+    let mut counts = [0usize; 256];
+    for &b in bwt {
+        counts[b as usize] += 1;
+    }
+    let mut starts = [0usize; 256];
+    let mut acc = 1usize; // sentinel occupies first-column slot 0
+    for b in 0..256 {
+        starts[b] = acc;
+        acc += counts[b];
+    }
+    // next[row] = row of the previous character in the original string.
+    // Build rank-of-occurrence per BWT position, skipping the sentinel row.
+    let mut occ = [0usize; 256];
+    let mut lf = vec![0usize; n];
+    let mut idx = 0usize;
+    for row in 0..=n {
+        if row == primary {
+            continue;
+        }
+        let b = bwt[idx] as usize;
+        lf[idx] = starts[b] + occ[b];
+        occ[b] += 1;
+        idx += 1;
+    }
+    // Reconstruct backwards. Row 0 is the sentinel suffix "$T"; its L
+    // character is the last byte of the text, and following the LF chain
+    // yields the text right-to-left, landing on the primary row exactly
+    // after n steps.
+    let mut out = vec![0u8; n];
+    let mut row = 0usize;
+    for i in (0..n).rev() {
+        if row == primary {
+            return Err(CodecError::Corrupt("bwt chain hit sentinel early"));
+        }
+        // Convert first-column row to BWT index (the sentinel row emits
+        // no byte, so rows after it shift down by one).
+        let bwt_index = if row > primary { row - 1 } else { row };
+        let b = bwt[bwt_index];
+        out[i] = b;
+        row = lf[bwt_index];
+    }
+    Ok(out)
+}
+
+/// Move-to-front transform.
+fn mtf_forward(data: &[u8]) -> Vec<u8> {
+    let mut table: Vec<u8> = (0..=255).collect();
+    data.iter()
+        .map(|&b| {
+            let pos = table.iter().position(|&t| t == b).expect("byte in table") as u8;
+            let v = table.remove(pos as usize);
+            table.insert(0, v);
+            pos
+        })
+        .collect()
+}
+
+/// Inverse move-to-front.
+fn mtf_inverse(codes: &[u8]) -> Vec<u8> {
+    let mut table: Vec<u8> = (0..=255).collect();
+    codes
+        .iter()
+        .map(|&c| {
+            let v = table.remove(c as usize);
+            table.insert(0, v);
+            v
+        })
+        .collect()
+}
+
+/// MTF codes -> symbol stream with RUNA/RUNB zero-run coding.
+fn mtf_to_symbols(codes: &[u8]) -> Vec<u16> {
+    let mut out = Vec::with_capacity(codes.len() / 2 + 8);
+    let mut run = 0u64;
+    let flush = |run: &mut u64, out: &mut Vec<u16>| {
+        // bzip2 bijective base-2: run+1 in binary, bits after the leading
+        // one map to RUNA(0)/RUNB(1)... simplified: encode run as RUNA/RUNB
+        // digits of (run) in bijective base 2.
+        let mut r = *run;
+        while r > 0 {
+            if r & 1 == 1 {
+                out.push(SYM_RUNA);
+                r = (r - 1) >> 1;
+            } else {
+                out.push(SYM_RUNB);
+                r = (r - 2) >> 1;
+            }
+        }
+        *run = 0;
+    };
+    for &c in codes {
+        if c == 0 {
+            run += 1;
+        } else {
+            flush(&mut run, &mut out);
+            out.push(u16::from(c) + 1); // 1..=255 -> 2..=256
+        }
+    }
+    flush(&mut run, &mut out);
+    out.push(SYM_EOB);
+    out
+}
+
+/// Symbol stream -> MTF codes (inverse of [`mtf_to_symbols`]).
+fn symbols_to_mtf(symbols: &[u16], max_len: usize) -> Result<Vec<u8>, CodecError> {
+    let mut out = Vec::with_capacity(max_len);
+    let mut run = 0u64;
+    let mut place = 1u64;
+    let flush = |run: &mut u64, place: &mut u64, out: &mut Vec<u8>| -> Result<(), CodecError> {
+        if *run > 0 {
+            if out.len() + *run as usize > out.capacity().max(max_len) {
+                return Err(CodecError::Corrupt("bzip zero-run overruns block"));
+            }
+            out.extend(std::iter::repeat(0u8).take(*run as usize));
+        }
+        *run = 0;
+        *place = 1;
+        Ok(())
+    };
+    for &sym in symbols {
+        match sym {
+            SYM_RUNA => {
+                run += place;
+                place <<= 1;
+            }
+            SYM_RUNB => {
+                run += 2 * place;
+                place <<= 1;
+            }
+            SYM_EOB => {
+                flush(&mut run, &mut place, &mut out)?;
+                return Ok(out);
+            }
+            v if (2..=256).contains(&v) => {
+                flush(&mut run, &mut place, &mut out)?;
+                out.push((v - 1) as u8);
+            }
+            _ => return Err(CodecError::Corrupt("bzip bad symbol")),
+        }
+    }
+    Err(CodecError::Corrupt("bzip missing EOB"))
+}
+
+impl Codec for BzipLite {
+    fn id(&self) -> CodecId {
+        CodecId::new(CodecFamily::BzipLite, self.level)
+    }
+
+    fn compress(&self, input: &[u8], out: &mut Vec<u8>) {
+        write_uvarint(out, input.len() as u64);
+        for block in input.chunks(self.block_size()) {
+            let (bwt, primary) = bwt_forward(block);
+            let mtf = mtf_forward(&bwt);
+            let symbols = mtf_to_symbols(&mtf);
+
+            write_uvarint(out, block.len() as u64);
+            write_uvarint(out, primary as u64);
+            write_uvarint(out, symbols.len() as u64);
+            let mut freqs = vec![0u64; ALPHABET];
+            for &s in &symbols {
+                freqs[s as usize] += 1;
+            }
+            let lengths = build_lengths(&freqs, 15);
+            write_lengths(out, &lengths);
+            let enc = HuffEncoder::from_lengths(&lengths);
+            let mut w = BitWriter::with_capacity(symbols.len() / 2);
+            for &s in &symbols {
+                enc.encode(&mut w, s as usize);
+            }
+            let bits = w.finish();
+            write_uvarint(out, bits.len() as u64);
+            out.extend_from_slice(&bits);
+        }
+    }
+
+    fn decompress(
+        &self,
+        input: &[u8],
+        expected_len: usize,
+        out: &mut Vec<u8>,
+    ) -> Result<(), CodecError> {
+        let mut pos = 0usize;
+        let total = read_uvarint(input, &mut pos)? as usize;
+        if total != expected_len {
+            return Err(CodecError::LengthMismatch { expected: expected_len, actual: total });
+        }
+        let mut produced = 0usize;
+        while produced < total {
+            let block_len = read_uvarint(input, &mut pos)? as usize;
+            let primary = read_uvarint(input, &mut pos)? as usize;
+            let n_syms = read_uvarint(input, &mut pos)? as usize;
+            if block_len == 0 || produced + block_len > total {
+                return Err(CodecError::Corrupt("bzip bad block length"));
+            }
+            if n_syms > 4 * block_len + 16 {
+                return Err(CodecError::Corrupt("bzip implausible symbol count"));
+            }
+            let lengths = read_lengths(input, &mut pos, ALPHABET)?;
+            let dec = HuffDecoder::from_lengths(&lengths)?;
+            let bits_len = read_uvarint(input, &mut pos)? as usize;
+            if pos + bits_len > input.len() {
+                return Err(CodecError::Truncated);
+            }
+            let mut r = BitReader::new(&input[pos..pos + bits_len]);
+            pos += bits_len;
+            let mut symbols = Vec::with_capacity(n_syms);
+            for _ in 0..n_syms {
+                symbols.push(dec.decode(&mut r)?);
+            }
+            let mtf = symbols_to_mtf(&symbols, block_len)?;
+            if mtf.len() != block_len {
+                return Err(CodecError::Corrupt("bzip block length mismatch"));
+            }
+            let block = bwt_inverse(&mtf_inverse(&mtf), primary)?;
+            out.extend_from_slice(&block);
+            produced += block_len;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{compress_to_vec, decompress_to_vec};
+
+    #[test]
+    fn suffix_array_of_banana() {
+        // "banana" + sentinel: suffixes sorted: $, a$, ana$, anana$,
+        // banana$, na$, nana$ -> positions 6,5,3,1,0,4,2.
+        assert_eq!(suffix_array(b"banana"), vec![6, 5, 3, 1, 0, 4, 2]);
+    }
+
+    #[test]
+    fn bwt_roundtrip_classics() {
+        for s in [
+            &b"banana"[..],
+            b"mississippi",
+            b"",
+            b"a",
+            b"aaaaaaa",
+            b"abcabcabcabc",
+            b"the quick brown fox jumps over the lazy dog",
+        ] {
+            let (bwt, primary) = bwt_forward(s);
+            assert_eq!(bwt.len(), s.len());
+            assert_eq!(bwt_inverse(&bwt, primary).unwrap(), s, "{:?}", String::from_utf8_lossy(s));
+        }
+    }
+
+    #[test]
+    fn bwt_roundtrip_random() {
+        let mut x = 0xDEADBEEFu32;
+        let data: Vec<u8> = (0..3000)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 17;
+                x ^= x << 5;
+                (x >> 9) as u8
+            })
+            .collect();
+        let (bwt, primary) = bwt_forward(&data);
+        assert_eq!(bwt_inverse(&bwt, primary).unwrap(), data);
+    }
+
+    #[test]
+    fn mtf_roundtrip() {
+        let data: Vec<u8> = b"abracadabra".repeat(20);
+        assert_eq!(mtf_inverse(&mtf_forward(&data)), data);
+    }
+
+    #[test]
+    fn run_coding_roundtrip() {
+        for codes in [
+            vec![0u8; 100],
+            vec![1, 0, 0, 0, 2, 0, 3],
+            vec![5, 4, 3, 2, 1],
+            vec![],
+            vec![0],
+            vec![0, 0],
+            vec![255, 0, 255],
+        ] {
+            let mut symbols = mtf_to_symbols(&codes);
+            assert_eq!(symbols.pop(), Some(SYM_EOB));
+            symbols.push(SYM_EOB);
+            let back = symbols_to_mtf(&symbols, codes.len().max(1) + 200).unwrap();
+            assert_eq!(back, codes);
+        }
+    }
+
+    fn roundtrip(level: u8, data: &[u8]) -> usize {
+        let codec = BzipLite::new(level);
+        let c = compress_to_vec(&codec, data);
+        assert_eq!(
+            decompress_to_vec(&codec, &c, data.len()).unwrap(),
+            data,
+            "bzip-{level} {} bytes",
+            data.len()
+        );
+        c.len()
+    }
+
+    #[test]
+    fn codec_roundtrip_text() {
+        let data = b"block sorting compresses repeated phrases remarkably well indeed ".repeat(60);
+        for level in [1u8, 5, 9] {
+            roundtrip(level, &data);
+        }
+    }
+
+    #[test]
+    fn codec_roundtrip_tiny_and_empty() {
+        for n in 0..12usize {
+            roundtrip(3, &vec![b'q'; n]);
+        }
+    }
+
+    #[test]
+    fn codec_roundtrip_multi_block() {
+        // Exceeds the level-1 block size to force multiple blocks.
+        let mut data = Vec::new();
+        for i in 0..4000u32 {
+            data.extend_from_slice(format!("line {i}: block boundary crossing data; ").as_bytes());
+        }
+        assert!(data.len() > 100 * 1024);
+        roundtrip(1, &data);
+    }
+
+    #[test]
+    fn beats_lz4hc_on_text() {
+        let mut data = Vec::new();
+        for i in 0..1500u32 {
+            data.extend_from_slice(
+                format!("record {i}: english prose favours block sorting strongly; ").as_bytes(),
+            );
+        }
+        let bz = roundtrip(9, &data);
+        let lz = compress_to_vec(&crate::lz4::Lz4Hc::new(12), &data).len();
+        assert!(bz < lz, "bzip {bz} should beat lz4hc {lz} on text");
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let data = b"truncated bzip streams error out".repeat(30);
+        let c = compress_to_vec(&BzipLite::new(3), &data);
+        for cut in [1usize, c.len() / 2, c.len() - 1] {
+            let mut out = Vec::new();
+            assert!(BzipLite::new(3).decompress(&c[..cut], data.len(), &mut out).is_err());
+        }
+    }
+
+    #[test]
+    fn incompressible_roundtrip() {
+        let mut x = 0x6A09E667u32;
+        let data: Vec<u8> = (0..20_000)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 17;
+                x ^= x << 5;
+                (x >> 3) as u8
+            })
+            .collect();
+        roundtrip(5, &data);
+    }
+}

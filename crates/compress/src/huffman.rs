@@ -1,0 +1,432 @@
+//! Canonical, length-limited Huffman coding.
+//!
+//! Provides both a standalone order-0 [`Huffman`] codec (the entropy-only
+//! point in the compressor space) and the reusable [`HuffEncoder`] /
+//! [`HuffDecoder`] tables used by the `zling` and `brotli-lite` codecs.
+//!
+//! Codes are canonical and written LSB-first (bit-reversed within each code)
+//! so the decoder can use a flat peek table.
+
+use crate::bitio::{BitReader, BitWriter};
+use crate::{Codec, CodecError, CodecFamily, CodecId};
+
+/// Maximum code length supported by the flat decode table.
+pub const MAX_CODE_LEN: u8 = 15;
+
+/// Compute length-limited Huffman code lengths for `freqs`.
+///
+/// Symbols with zero frequency get length 0 (no code). If the optimal tree
+/// exceeds `max_len`, frequencies are repeatedly halved (rounding up) until
+/// it fits — the classic simple depth-limiting heuristic.
+pub fn build_lengths(freqs: &[u64], max_len: u8) -> Vec<u8> {
+    assert!(max_len <= MAX_CODE_LEN);
+    let mut scaled: Vec<u64> = freqs.to_vec();
+    loop {
+        let lengths = huffman_lengths(&scaled);
+        let deepest = lengths.iter().copied().max().unwrap_or(0);
+        if deepest <= max_len {
+            return lengths;
+        }
+        for f in scaled.iter_mut() {
+            if *f > 1 {
+                *f = (*f + 1) / 2;
+            }
+        }
+    }
+    // Termination: all frequencies eventually reach 1, giving a balanced
+    // tree of depth ceil(log2 n), and n <= 2^max_len for every alphabet we
+    // use (<= 321 symbols, max_len 15).
+}
+
+/// Unrestricted Huffman code lengths via pairwise merging.
+fn huffman_lengths(freqs: &[u64]) -> Vec<u8> {
+    #[derive(PartialEq, Eq)]
+    struct Node {
+        freq: u64,
+        // Tie-break on insertion order for determinism.
+        seq: u32,
+        kind: NodeKind,
+    }
+    #[derive(PartialEq, Eq)]
+    enum NodeKind {
+        Leaf(u16),
+        Internal(Box<Node>, Box<Node>),
+    }
+    impl Ord for Node {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            // Reverse for min-heap.
+            other.freq.cmp(&self.freq).then(other.seq.cmp(&self.seq))
+        }
+    }
+    impl PartialOrd for Node {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+
+    let mut lengths = vec![0u8; freqs.len()];
+    let mut heap: std::collections::BinaryHeap<Node> = freqs
+        .iter()
+        .enumerate()
+        .filter(|(_, &f)| f > 0)
+        .map(|(i, &f)| Node { freq: f, seq: i as u32, kind: NodeKind::Leaf(i as u16) })
+        .collect();
+
+    match heap.len() {
+        0 => return lengths,
+        1 => {
+            // A single used symbol still needs a 1-bit code.
+            if let NodeKind::Leaf(sym) = heap.pop().unwrap().kind {
+                lengths[sym as usize] = 1;
+            }
+            return lengths;
+        }
+        _ => {}
+    }
+
+    let mut seq = freqs.len() as u32;
+    while heap.len() > 1 {
+        let a = heap.pop().unwrap();
+        let b = heap.pop().unwrap();
+        seq += 1;
+        heap.push(Node {
+            freq: a.freq + b.freq,
+            seq,
+            kind: NodeKind::Internal(Box::new(a), Box::new(b)),
+        });
+    }
+
+    // Walk the tree assigning depths iteratively.
+    let root = heap.pop().unwrap();
+    let mut stack = vec![(root, 0u8)];
+    while let Some((node, depth)) = stack.pop() {
+        match node.kind {
+            NodeKind::Leaf(sym) => lengths[sym as usize] = depth.max(1),
+            NodeKind::Internal(a, b) => {
+                stack.push((*a, depth + 1));
+                stack.push((*b, depth + 1));
+            }
+        }
+    }
+    lengths
+}
+
+/// Reverse the low `len` bits of `code`.
+#[inline]
+fn reverse_bits(code: u16, len: u8) -> u16 {
+    code.reverse_bits() >> (16 - u16::from(len))
+}
+
+/// Assign canonical codes (MSB-first numbering) from lengths, returned
+/// bit-reversed for LSB-first emission.
+fn canonical_codes(lengths: &[u8]) -> Vec<u16> {
+    // u32 counters: alphabets can exceed u16::MAX zero-length symbols.
+    let mut count = [0u32; MAX_CODE_LEN as usize + 1];
+    for &l in lengths {
+        count[l as usize] += 1;
+    }
+    count[0] = 0;
+    let mut next = [0u16; MAX_CODE_LEN as usize + 2];
+    let mut code = 0u32;
+    for len in 1..=MAX_CODE_LEN as usize {
+        code = (code + count[len - 1]) << 1;
+        next[len] = code as u16;
+    }
+    lengths
+        .iter()
+        .map(|&l| {
+            if l == 0 {
+                0
+            } else {
+                let c = next[l as usize];
+                next[l as usize] += 1;
+                reverse_bits(c, l)
+            }
+        })
+        .collect()
+}
+
+/// Encoding table: per-symbol (LSB-first code, length).
+pub struct HuffEncoder {
+    codes: Vec<u16>,
+    lengths: Vec<u8>,
+}
+
+impl HuffEncoder {
+    /// Build from code lengths (as produced by [`build_lengths`]).
+    pub fn from_lengths(lengths: &[u8]) -> Self {
+        HuffEncoder { codes: canonical_codes(lengths), lengths: lengths.to_vec() }
+    }
+
+    /// Emit the code for `sym`.
+    #[inline]
+    pub fn encode(&self, w: &mut BitWriter, sym: usize) {
+        debug_assert!(self.lengths[sym] > 0, "encoding symbol {sym} with no code");
+        w.write(u64::from(self.codes[sym]), u32::from(self.lengths[sym]));
+    }
+
+    /// Code length for a symbol (0 = unused).
+    pub fn len(&self, sym: usize) -> u8 {
+        self.lengths[sym]
+    }
+}
+
+/// Flat-table decoder: peek `bits`, index, consume entry length.
+pub struct HuffDecoder {
+    /// entry = symbol << 4 | len
+    table: Vec<u32>,
+    bits: u32,
+}
+
+impl HuffDecoder {
+    /// Build from code lengths. Returns an error for over-subscribed or
+    /// invalid length sets (corrupt headers).
+    pub fn from_lengths(lengths: &[u8]) -> Result<Self, CodecError> {
+        let max_used = lengths.iter().copied().max().unwrap_or(0);
+        if max_used == 0 {
+            // Empty alphabet: valid only if no symbols are ever decoded.
+            return Ok(HuffDecoder { table: vec![u32::MAX], bits: 0 });
+        }
+        if max_used > MAX_CODE_LEN {
+            return Err(CodecError::Corrupt("huffman code length too long"));
+        }
+        // Kraft check.
+        let mut kraft: u64 = 0;
+        for &l in lengths {
+            if l > 0 {
+                kraft += 1u64 << (MAX_CODE_LEN - l);
+            }
+        }
+        let full = 1u64 << MAX_CODE_LEN;
+        if kraft > full {
+            return Err(CodecError::Corrupt("huffman lengths oversubscribed"));
+        }
+        let bits = u32::from(max_used);
+        let codes = canonical_codes(lengths);
+        let mut table = vec![u32::MAX; 1usize << bits];
+        for (sym, (&code, &len)) in codes.iter().zip(lengths.iter()).enumerate() {
+            if len == 0 {
+                continue;
+            }
+            // The code occupies the low `len` bits; replicate across all
+            // possible high bits.
+            let step = 1usize << len;
+            let mut idx = code as usize;
+            while idx < table.len() {
+                table[idx] = (sym as u32) << 4 | u32::from(len);
+                idx += step;
+            }
+        }
+        Ok(HuffDecoder { table, bits })
+    }
+
+    /// Decode one symbol.
+    #[inline]
+    pub fn decode(&self, r: &mut BitReader<'_>) -> Result<u16, CodecError> {
+        if self.bits == 0 {
+            return Err(CodecError::Corrupt("decode from empty huffman alphabet"));
+        }
+        let peeked = r.peek(self.bits) as usize;
+        let entry = self.table[peeked];
+        if entry == u32::MAX {
+            return Err(CodecError::Corrupt("invalid huffman code"));
+        }
+        r.consume(entry & 0xf)?;
+        Ok((entry >> 4) as u16)
+    }
+}
+
+/// Serialize code lengths packed two per byte (4 bits each).
+pub fn write_lengths(out: &mut Vec<u8>, lengths: &[u8]) {
+    let mut i = 0;
+    while i + 1 < lengths.len() {
+        out.push(lengths[i] | (lengths[i + 1] << 4));
+        i += 2;
+    }
+    if i < lengths.len() {
+        out.push(lengths[i]);
+    }
+}
+
+/// Deserialize `n` code lengths written by [`write_lengths`].
+pub fn read_lengths(input: &[u8], pos: &mut usize, n: usize) -> Result<Vec<u8>, CodecError> {
+    let nbytes = (n + 1) / 2;
+    if *pos + nbytes > input.len() {
+        return Err(CodecError::Truncated);
+    }
+    let mut lengths = Vec::with_capacity(n);
+    for i in 0..n {
+        let byte = input[*pos + i / 2];
+        lengths.push(if i % 2 == 0 { byte & 0xf } else { byte >> 4 });
+    }
+    *pos += nbytes;
+    Ok(lengths)
+}
+
+/// Order-0 Huffman codec over whole files.
+///
+/// Format: 128-byte packed length table for the 256-byte alphabet, then the
+/// LSB-first bitstream, one code per input byte.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Huffman;
+
+impl Codec for Huffman {
+    fn id(&self) -> CodecId {
+        CodecId::new(CodecFamily::Huffman, 0)
+    }
+
+    fn compress(&self, input: &[u8], out: &mut Vec<u8>) {
+        if input.is_empty() {
+            return;
+        }
+        let mut freqs = [0u64; 256];
+        for &b in input {
+            freqs[b as usize] += 1;
+        }
+        let lengths = build_lengths(&freqs, MAX_CODE_LEN);
+        write_lengths(out, &lengths);
+        let enc = HuffEncoder::from_lengths(&lengths);
+        let mut w = BitWriter::with_capacity(input.len() / 2);
+        for &b in input {
+            enc.encode(&mut w, b as usize);
+        }
+        out.extend_from_slice(&w.finish());
+    }
+
+    fn decompress(
+        &self,
+        input: &[u8],
+        expected_len: usize,
+        out: &mut Vec<u8>,
+    ) -> Result<(), CodecError> {
+        if expected_len == 0 {
+            return if input.is_empty() {
+                Ok(())
+            } else {
+                Err(CodecError::Corrupt("huffman trailing data"))
+            };
+        }
+        let mut pos = 0usize;
+        let lengths = read_lengths(input, &mut pos, 256)?;
+        let dec = HuffDecoder::from_lengths(&lengths)?;
+        let mut r = BitReader::new(&input[pos..]);
+        out.reserve(expected_len);
+        for _ in 0..expected_len {
+            out.push(dec.decode(&mut r)? as u8);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{compress_to_vec, decompress_to_vec};
+
+    #[test]
+    fn lengths_satisfy_kraft() {
+        let freqs: Vec<u64> = (0..64).map(|i| (i * i + 1) as u64).collect();
+        let lengths = build_lengths(&freqs, 15);
+        let kraft: f64 = lengths.iter().filter(|&&l| l > 0).map(|&l| 2f64.powi(-(l as i32))).sum();
+        assert!(kraft <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn depth_limit_enforced() {
+        // Exponential frequencies force deep optimal trees.
+        let freqs: Vec<u64> = (0..40).map(|i| 1u64 << i.min(50)).collect();
+        for limit in [8u8, 11, 15] {
+            let lengths = build_lengths(&freqs, limit);
+            assert!(lengths.iter().all(|&l| l <= limit));
+            let kraft: f64 =
+                lengths.iter().filter(|&&l| l > 0).map(|&l| 2f64.powi(-(l as i32))).sum();
+            assert!(kraft <= 1.0 + 1e-9, "limit {limit} kraft {kraft}");
+        }
+    }
+
+    #[test]
+    fn single_symbol_gets_one_bit() {
+        let mut freqs = vec![0u64; 256];
+        freqs[65] = 1000;
+        let lengths = build_lengths(&freqs, 15);
+        assert_eq!(lengths[65], 1);
+        assert!(lengths.iter().enumerate().all(|(i, &l)| i == 65 || l == 0));
+    }
+
+    #[test]
+    fn encoder_decoder_roundtrip_symbols() {
+        let freqs: Vec<u64> = vec![100, 50, 25, 12, 6, 3, 1, 1];
+        let lengths = build_lengths(&freqs, 15);
+        let enc = HuffEncoder::from_lengths(&lengths);
+        let dec = HuffDecoder::from_lengths(&lengths).unwrap();
+        let mut w = BitWriter::new();
+        let syms = [0usize, 1, 7, 3, 0, 0, 5, 2, 6, 4];
+        for &s in &syms {
+            enc.encode(&mut w, s);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for &s in &syms {
+            assert_eq!(dec.decode(&mut r).unwrap(), s as u16);
+        }
+    }
+
+    #[test]
+    fn lengths_serialization_roundtrip() {
+        for n in [1usize, 2, 255, 256, 321] {
+            let lengths: Vec<u8> = (0..n).map(|i| (i % 15) as u8).collect();
+            let mut buf = Vec::new();
+            write_lengths(&mut buf, &lengths);
+            let mut pos = 0;
+            assert_eq!(read_lengths(&buf, &mut pos, n).unwrap(), lengths);
+        }
+    }
+
+    #[test]
+    fn oversubscribed_lengths_rejected() {
+        // Three codes of length 1 is impossible.
+        let lengths = [1u8, 1, 1];
+        assert!(HuffDecoder::from_lengths(&lengths).is_err());
+    }
+
+    fn roundtrip(data: &[u8]) -> usize {
+        let c = compress_to_vec(&Huffman, data);
+        assert_eq!(decompress_to_vec(&Huffman, &c, data.len()).unwrap(), data);
+        c.len()
+    }
+
+    #[test]
+    fn codec_roundtrip_text() {
+        roundtrip(b"entropy coding compresses skewed byte distributions well");
+    }
+
+    #[test]
+    fn codec_roundtrip_empty_and_single() {
+        roundtrip(b"");
+        roundtrip(b"z");
+        roundtrip(&vec![b'z'; 1000]);
+    }
+
+    #[test]
+    fn codec_roundtrip_all_bytes() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(3000).collect();
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn skewed_data_compresses() {
+        let mut data = vec![0u8; 9000];
+        data.extend_from_slice(&[1u8; 900]);
+        data.extend_from_slice(&[2u8; 90]);
+        let c = roundtrip(&data);
+        assert!(c < data.len() / 4, "skewed data got {c} of {}", data.len());
+    }
+
+    #[test]
+    fn truncated_bitstream_rejected() {
+        let data = b"a bitstream cut short must fail".repeat(10);
+        let c = compress_to_vec(&Huffman, &data);
+        let mut out = Vec::new();
+        assert!(Huffman.decompress(&c[..130], data.len(), &mut out).is_err());
+    }
+}

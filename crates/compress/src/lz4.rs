@@ -1,0 +1,298 @@
+//! LZ4-style block codec.
+//!
+//! Implements the LZ4 block format: each sequence is a token byte whose
+//! high nibble is the literal length (15 = extended with 255-run bytes),
+//! the literals, a 2-byte little-endian offset, and the low nibble match
+//! length minus 4 (15 = extended). The final sequence has literals only.
+//!
+//! Two compressors share this one decoder:
+//!
+//! * [`Lz4Fast`] — greedy single-probe search; the `level` is the LZ4
+//!   acceleration factor (higher = faster, worse ratio).
+//! * [`Lz4Hc`] — hash-chain lazy search; the `level` (1..=12) maps to
+//!   chain depth, like the real LZ4-HC compression levels.
+
+use crate::matchfinder::{greedy_parse, lazy_parse, MatchConfig};
+use crate::tokens::{overlap_copy, Seq};
+use crate::{Codec, CodecError, CodecFamily, CodecId};
+
+const MIN_MATCH: usize = 4;
+const MAX_DIST: usize = 65535;
+
+/// Encode a parse into the LZ4 block format.
+fn emit_block(input: &[u8], seqs: &[Seq], out: &mut Vec<u8>) {
+    let write_len_ext = |out: &mut Vec<u8>, mut v: usize| {
+        while v >= 255 {
+            out.push(255);
+            v -= 255;
+        }
+        out.push(v as u8);
+    };
+
+    for (idx, seq) in seqs.iter().enumerate() {
+        let is_last = idx + 1 == seqs.len();
+        debug_assert!(is_last || seq.match_len >= MIN_MATCH);
+        let lit_nibble = seq.lit_len.min(15);
+        let match_code = if seq.match_len == 0 { 0 } else { seq.match_len - MIN_MATCH };
+        let match_nibble = match_code.min(15);
+        out.push(((lit_nibble as u8) << 4) | match_nibble as u8);
+        if lit_nibble == 15 {
+            write_len_ext(out, seq.lit_len - 15);
+        }
+        out.extend_from_slice(&input[seq.lit_start..seq.lit_start + seq.lit_len]);
+        if seq.match_len > 0 {
+            debug_assert!(seq.dist >= 1 && seq.dist <= MAX_DIST);
+            out.extend_from_slice(&(seq.dist as u16).to_le_bytes());
+            if match_nibble == 15 {
+                write_len_ext(out, match_code - 15);
+            }
+        }
+    }
+}
+
+/// Decode an LZ4 block, appending to `out` until `expected_len` bytes have
+/// been produced.
+fn decode_block(input: &[u8], expected_len: usize, out: &mut Vec<u8>) -> Result<(), CodecError> {
+    let base = out.len();
+    let target = base + expected_len;
+    let mut i = 0usize;
+
+    let read_len_ext = |input: &[u8], i: &mut usize| -> Result<usize, CodecError> {
+        let mut total = 0usize;
+        loop {
+            let &b = input.get(*i).ok_or(CodecError::Truncated)?;
+            *i += 1;
+            total += b as usize;
+            if b != 255 {
+                return Ok(total);
+            }
+        }
+    };
+
+    while i < input.len() {
+        let token = input[i];
+        i += 1;
+        let mut lit_len = (token >> 4) as usize;
+        if lit_len == 15 {
+            lit_len += read_len_ext(input, &mut i)?;
+        }
+        if i + lit_len > input.len() {
+            return Err(CodecError::Truncated);
+        }
+        out.extend_from_slice(&input[i..i + lit_len]);
+        i += lit_len;
+        if out.len() > target {
+            return Err(CodecError::Corrupt("lz4 literals exceed expected length"));
+        }
+        if out.len() == target && i == input.len() {
+            return Ok(()); // final literals-only sequence
+        }
+        // Match part.
+        if i + 2 > input.len() {
+            return Err(CodecError::Truncated);
+        }
+        let dist = u16::from_le_bytes([input[i], input[i + 1]]) as usize;
+        i += 2;
+        if dist == 0 || dist > out.len() - base {
+            return Err(CodecError::Corrupt("lz4 offset out of range"));
+        }
+        let mut match_len = (token & 0x0f) as usize;
+        if match_len == 15 {
+            match_len += read_len_ext(input, &mut i)?;
+        }
+        match_len += MIN_MATCH;
+        if out.len() + match_len > target {
+            return Err(CodecError::Corrupt("lz4 match exceeds expected length"));
+        }
+        overlap_copy(out, dist, match_len);
+    }
+    if out.len() != target {
+        return Err(CodecError::LengthMismatch { expected: expected_len, actual: out.len() - base });
+    }
+    Ok(())
+}
+
+/// Greedy LZ4 compressor (`lz4fast` analogue). Level = acceleration 1..=32.
+#[derive(Debug, Clone, Copy)]
+pub struct Lz4Fast {
+    accel: u8,
+}
+
+impl Lz4Fast {
+    /// Create with acceleration factor `1..=32` (1 = best ratio).
+    pub fn new(accel: u8) -> Self {
+        Lz4Fast { accel: accel.clamp(1, 32) }
+    }
+
+    fn config(&self) -> MatchConfig {
+        MatchConfig {
+            window_log: 16,
+            min_match: MIN_MATCH,
+            max_match: usize::MAX,
+            max_chain: 1,
+            nice_len: 64,
+            accel: u32::from(self.accel),
+        }
+    }
+}
+
+impl Codec for Lz4Fast {
+    fn id(&self) -> CodecId {
+        CodecId::new(CodecFamily::Lz4Fast, self.accel)
+    }
+
+    fn compress(&self, input: &[u8], out: &mut Vec<u8>) {
+        let seqs = greedy_parse(input, &self.config());
+        emit_block(input, &seqs, out);
+    }
+
+    fn decompress(
+        &self,
+        input: &[u8],
+        expected_len: usize,
+        out: &mut Vec<u8>,
+    ) -> Result<(), CodecError> {
+        decode_block(input, expected_len, out)
+    }
+}
+
+/// Hash-chain lazy LZ4 compressor (`lz4hc` analogue). Level 1..=12.
+#[derive(Debug, Clone, Copy)]
+pub struct Lz4Hc {
+    level: u8,
+}
+
+impl Lz4Hc {
+    /// Create with compression level `1..=12` (12 = best ratio).
+    pub fn new(level: u8) -> Self {
+        Lz4Hc { level: level.clamp(1, 12) }
+    }
+
+    fn config(&self) -> MatchConfig {
+        MatchConfig {
+            window_log: 16,
+            min_match: MIN_MATCH,
+            max_match: usize::MAX,
+            // Chain depth doubles per level, as in LZ4-HC.
+            max_chain: 1u32 << u32::from(self.level).min(10),
+            nice_len: 32 + 16 * usize::from(self.level),
+            accel: 1,
+        }
+    }
+}
+
+impl Codec for Lz4Hc {
+    fn id(&self) -> CodecId {
+        CodecId::new(CodecFamily::Lz4Hc, self.level)
+    }
+
+    fn compress(&self, input: &[u8], out: &mut Vec<u8>) {
+        let seqs = lazy_parse(input, &self.config());
+        emit_block(input, &seqs, out);
+    }
+
+    fn decompress(
+        &self,
+        input: &[u8],
+        expected_len: usize,
+        out: &mut Vec<u8>,
+    ) -> Result<(), CodecError> {
+        decode_block(input, expected_len, out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{compress_to_vec, decompress_to_vec};
+
+    fn roundtrip(codec: &dyn Codec, data: &[u8]) -> usize {
+        let c = compress_to_vec(codec, data);
+        assert_eq!(
+            decompress_to_vec(codec, &c, data.len()).unwrap(),
+            data,
+            "{} on {} bytes",
+            codec.name(),
+            data.len()
+        );
+        c.len()
+    }
+
+    #[test]
+    fn roundtrip_text() {
+        let data = b"it was the best of times, it was the worst of times".repeat(50);
+        roundtrip(&Lz4Fast::new(1), &data);
+        roundtrip(&Lz4Hc::new(9), &data);
+    }
+
+    #[test]
+    fn roundtrip_empty_and_tiny() {
+        for n in 0..20usize {
+            let data: Vec<u8> = (0..n as u8).collect();
+            roundtrip(&Lz4Fast::new(1), &data);
+            roundtrip(&Lz4Hc::new(6), &data);
+        }
+    }
+
+    #[test]
+    fn roundtrip_long_literal_run() {
+        // > 15 literals forces extended literal length encoding.
+        let mut x = 1u32;
+        let data: Vec<u8> = (0..1000)
+            .map(|_| {
+                x = x.wrapping_mul(1664525).wrapping_add(1013904223);
+                (x >> 24) as u8
+            })
+            .collect();
+        roundtrip(&Lz4Fast::new(1), &data);
+    }
+
+    #[test]
+    fn roundtrip_long_match_run() {
+        // Long zero run forces extended match length encoding.
+        roundtrip(&Lz4Fast::new(1), &vec![0u8; 100_000]);
+        roundtrip(&Lz4Hc::new(12), &vec![0u8; 100_000]);
+    }
+
+    #[test]
+    fn hc_compresses_at_least_as_well_as_fast() {
+        let data =
+            b"compression ratio comparison between greedy and lazy hash chain parsing strategies"
+                .repeat(64);
+        let fast = roundtrip(&Lz4Fast::new(1), &data);
+        let hc = roundtrip(&Lz4Hc::new(12), &data);
+        assert!(hc <= fast, "hc {hc} should be <= fast {fast}");
+    }
+
+    #[test]
+    fn higher_accel_still_roundtrips() {
+        let data = b"acceleration trades ratio for speed ".repeat(200);
+        for accel in [1, 4, 8, 16, 32] {
+            roundtrip(&Lz4Fast::new(accel), &data);
+        }
+    }
+
+    #[test]
+    fn corrupt_offset_zero_rejected() {
+        // token: 0 literals + match, offset 0x0000 (invalid).
+        let bad = [0x00u8, 0x00, 0x00];
+        let mut out = Vec::new();
+        assert!(decode_block(&bad, 10, &mut out).is_err());
+    }
+
+    #[test]
+    fn truncated_stream_rejected() {
+        let data = b"truncate this compressed stream somewhere in the middle".repeat(10);
+        let c = compress_to_vec(&Lz4Fast::new(1), &data);
+        let mut out = Vec::new();
+        assert!(decode_block(&c[..c.len() / 2], data.len(), &mut out).is_err());
+    }
+
+    #[test]
+    fn wrong_expected_len_rejected() {
+        let data = b"expected length checks".repeat(8);
+        let c = compress_to_vec(&Lz4Hc::new(4), &data);
+        assert!(decompress_to_vec(&Lz4Hc::new(4), &c, data.len() + 1).is_err());
+        assert!(decompress_to_vec(&Lz4Hc::new(4), &c, data.len().saturating_sub(1)).is_err());
+    }
+}

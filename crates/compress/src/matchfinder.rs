@@ -1,0 +1,371 @@
+//! Match finders: the compression-side search engines shared by all
+//! LZ-family codecs.
+//!
+//! Two parsers are provided, occupying the two classic speed/ratio points:
+//!
+//! * [`greedy_parse`] — single-probe hash table with skip acceleration,
+//!   the `lz4`/`lz4fast` strategy: take the first acceptable match, speed
+//!   scales with the `accel` parameter.
+//! * [`lazy_parse`] — hash chains with bounded depth plus one-position
+//!   lazy evaluation, the `lz4hc`/deflate strategy: search harder, prefer
+//!   a longer match found one byte later.
+
+use crate::tokens::Seq;
+
+/// Parameters for the match search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MatchConfig {
+    /// Window size as a power of two; matches must have `dist < 1 << window_log`
+    /// (strict, so a 16-bit-offset format can use `window_log = 16`).
+    pub window_log: u32,
+    /// Minimum match length worth emitting.
+    pub min_match: usize,
+    /// Maximum match length to emit (backends with length caps set this).
+    pub max_match: usize,
+    /// Chain probes per position (lazy parser only).
+    pub max_chain: u32,
+    /// Stop searching once a match of at least this length is found.
+    pub nice_len: usize,
+    /// Greedy parser skip acceleration: higher = faster, worse ratio.
+    pub accel: u32,
+}
+
+impl MatchConfig {
+    /// Sensible defaults: 64 KiB window, min match 4, unbounded-ish lengths.
+    pub fn new(window_log: u32) -> Self {
+        MatchConfig {
+            window_log,
+            min_match: 4,
+            max_match: usize::MAX,
+            max_chain: 16,
+            nice_len: 128,
+            accel: 1,
+        }
+    }
+
+    fn window(&self) -> usize {
+        1usize << self.window_log
+    }
+}
+
+#[inline]
+fn hash4(bytes: &[u8], table_log: u32) -> usize {
+    // Fibonacci hash of the first 4 bytes.
+    let v = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
+    ((v.wrapping_mul(2654435761)) >> (32 - table_log)) as usize
+}
+
+#[inline]
+fn match_len(input: &[u8], a: usize, b: usize, limit: usize) -> usize {
+    // Compare 8 bytes at a time.
+    let max = limit.min(input.len() - b);
+    let mut n = 0;
+    while n + 8 <= max {
+        let x = u64::from_le_bytes(input[a + n..a + n + 8].try_into().unwrap());
+        let y = u64::from_le_bytes(input[b + n..b + n + 8].try_into().unwrap());
+        let xor = x ^ y;
+        if xor != 0 {
+            return n + (xor.trailing_zeros() / 8) as usize;
+        }
+        n += 8;
+    }
+    while n < max && input[a + n] == input[b + n] {
+        n += 1;
+    }
+    n
+}
+
+/// Greedy single-probe parse (`lz4fast` strategy).
+///
+/// `accel >= 1`: after repeated misses the scan step grows, trading ratio
+/// for speed exactly like LZ4's acceleration parameter.
+pub fn greedy_parse(input: &[u8], cfg: &MatchConfig) -> Vec<Seq> {
+    let n = input.len();
+    let mut seqs = Vec::new();
+    if n < cfg.min_match + 4 {
+        if n > 0 {
+            seqs.push(Seq { lit_start: 0, lit_len: n, match_len: 0, dist: 0 });
+        }
+        return seqs;
+    }
+
+    let table_log = cfg.window_log.clamp(10, 16);
+    let mut table = vec![u32::MAX; 1 << table_log];
+    let window = cfg.window();
+
+    let mut anchor = 0usize; // first un-emitted literal
+    let mut pos = 0usize;
+    let mut misses = 0u32;
+    // Leave room for the final 4-byte hash read and a minimal tail.
+    let scan_end = n - cfg.min_match.max(4);
+
+    while pos <= scan_end {
+        let h = hash4(&input[pos..], table_log);
+        let cand = table[h] as usize;
+        table[h] = pos as u32;
+
+        let found = if cand != u32::MAX as usize && pos - cand < window {
+            let len = match_len(input, cand, pos, cfg.max_match);
+            if len >= cfg.min_match {
+                Some((len, pos - cand))
+            } else {
+                None
+            }
+        } else {
+            None
+        };
+
+        match found {
+            Some((len, dist)) => {
+                seqs.push(Seq {
+                    lit_start: anchor,
+                    lit_len: pos - anchor,
+                    match_len: len,
+                    dist,
+                });
+                pos += len;
+                anchor = pos;
+                misses = 0;
+            }
+            None => {
+                misses += 1;
+                // LZ4-style acceleration: step = 1 + misses/accel_divisor.
+                pos += 1 + (misses >> (6 / cfg.accel.clamp(1, 6))) as usize;
+            }
+        }
+    }
+
+    if anchor < n {
+        seqs.push(Seq { lit_start: anchor, lit_len: n - anchor, match_len: 0, dist: 0 });
+    }
+    seqs
+}
+
+/// Hash-chain lazy parse (`lz4hc`/deflate strategy).
+///
+/// Maintains per-position chains bounded by `cfg.max_chain`, and defers a
+/// match by one byte when the next position yields a strictly longer one.
+pub fn lazy_parse(input: &[u8], cfg: &MatchConfig) -> Vec<Seq> {
+    let n = input.len();
+    let mut seqs = Vec::new();
+    if n < cfg.min_match + 4 {
+        if n > 0 {
+            seqs.push(Seq { lit_start: 0, lit_len: n, match_len: 0, dist: 0 });
+        }
+        return seqs;
+    }
+
+    let table_log = (cfg.window_log + 1).clamp(12, 17);
+    let mut head = vec![u32::MAX; 1 << table_log];
+    // prev chain indexed by position modulo window. Clamp the window to the
+    // input size so big-window configs don't allocate 4 MiB chains for
+    // small files (distances can never exceed the input length anyway).
+    let window = cfg.window().min(n.next_power_of_two());
+    let mask = window - 1;
+    let mut prev = vec![u32::MAX; window];
+
+    let scan_end = n - cfg.min_match.max(4);
+
+    let insert = |head: &mut [u32], prev: &mut [u32], input: &[u8], pos: usize| {
+        let h = hash4(&input[pos..], table_log);
+        prev[pos & mask] = head[h];
+        head[h] = pos as u32;
+    };
+
+    let best_match = |head: &[u32], prev: &[u32], input: &[u8], pos: usize| -> Option<(usize, usize)> {
+        let h = hash4(&input[pos..], table_log);
+        let mut cand = head[h];
+        let mut best_len = cfg.min_match - 1;
+        let mut best_dist = 0usize;
+        let mut depth = cfg.max_chain;
+        while cand != u32::MAX && depth > 0 {
+            let c = cand as usize;
+            if pos - c >= window {
+                break;
+            }
+            // Quick reject: check the byte just past the current best.
+            if best_len == 0
+                || (c + best_len < input.len()
+                    && pos + best_len < input.len()
+                    && input[c + best_len] == input[pos + best_len])
+            {
+                let len = match_len(input, c, pos, cfg.max_match);
+                if len > best_len {
+                    best_len = len;
+                    best_dist = pos - c;
+                    if len >= cfg.nice_len {
+                        break;
+                    }
+                }
+            }
+            cand = prev[c & mask];
+            depth -= 1;
+        }
+        if best_len >= cfg.min_match {
+            Some((best_len, best_dist))
+        } else {
+            None
+        }
+    };
+
+    let mut anchor = 0usize;
+    let mut pos = 0usize;
+    while pos <= scan_end {
+        let found = best_match(&head, &prev, input, pos);
+        insert(&mut head, &mut prev, input, pos);
+        let Some((mut len, mut dist)) = found else {
+            pos += 1;
+            continue;
+        };
+
+        // Lazy evaluation: would starting one byte later give a longer match?
+        while pos + 1 <= scan_end && len < cfg.nice_len {
+            if let Some((len2, dist2)) = best_match(&head, &prev, input, pos + 1) {
+                if len2 > len + 1 {
+                    // Defer: current byte becomes a literal.
+                    insert(&mut head, &mut prev, input, pos + 1);
+                    pos += 1;
+                    len = len2;
+                    dist = dist2;
+                    continue;
+                }
+            }
+            break;
+        }
+
+        seqs.push(Seq { lit_start: anchor, lit_len: pos - anchor, match_len: len, dist });
+        // Insert positions covered by the match (sparsely for speed on
+        // long matches).
+        let match_end = pos + len;
+        let insert_end = match_end.min(scan_end + 1);
+        let step = if len > 512 { 8 } else { 1 };
+        let mut p = pos + 1;
+        while p < insert_end {
+            insert(&mut head, &mut prev, input, p);
+            p += step;
+        }
+        pos = match_end;
+        anchor = pos;
+    }
+
+    if anchor < n {
+        seqs.push(Seq { lit_start: anchor, lit_len: n - anchor, match_len: 0, dist: 0 });
+    }
+    seqs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokens::parse_reconstructs;
+
+    fn cfg() -> MatchConfig {
+        MatchConfig::new(16)
+    }
+
+    #[test]
+    fn greedy_reconstructs_repetitive() {
+        let input: Vec<u8> = b"the quick brown fox ".repeat(100);
+        let seqs = greedy_parse(&input, &cfg());
+        assert!(parse_reconstructs(&input, &seqs));
+        let matched: usize = seqs.iter().map(|s| s.match_len).sum();
+        assert!(matched > input.len() / 2, "should find many matches");
+    }
+
+    #[test]
+    fn lazy_reconstructs_repetitive() {
+        let input: Vec<u8> = b"abcdefgh".repeat(500);
+        let seqs = lazy_parse(&input, &cfg());
+        assert!(parse_reconstructs(&input, &seqs));
+    }
+
+    #[test]
+    fn lazy_no_worse_than_greedy_on_text() {
+        let input: Vec<u8> =
+            b"she sells sea shells by the sea shore, the shells she sells are sea shells"
+                .repeat(40);
+        let g: usize = greedy_parse(&input, &cfg()).iter().map(|s| s.lit_len).sum();
+        let l: usize = lazy_parse(&input, &cfg()).iter().map(|s| s.lit_len).sum();
+        // Lazy parsing is a heuristic; allow a tiny slack but it must not
+        // be systematically worse.
+        assert!(l <= g + 8, "lazy literals {l} should be <= greedy literals {g} (+8 slack)");
+    }
+
+    #[test]
+    fn tiny_inputs_are_all_literals() {
+        for n in 0..12usize {
+            let input: Vec<u8> = (0..n as u8).collect();
+            let g = greedy_parse(&input, &cfg());
+            let l = lazy_parse(&input, &cfg());
+            assert!(parse_reconstructs(&input, &g), "greedy n={n}");
+            assert!(parse_reconstructs(&input, &l), "lazy n={n}");
+        }
+    }
+
+    #[test]
+    fn incompressible_input_reconstructs() {
+        // Pseudo-random bytes: almost no matches, must still round-trip.
+        let mut x = 0x12345678u32;
+        let input: Vec<u8> = (0..10_000)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 17;
+                x ^= x << 5;
+                (x & 0xff) as u8
+            })
+            .collect();
+        for seqs in [greedy_parse(&input, &cfg()), lazy_parse(&input, &cfg())] {
+            assert!(parse_reconstructs(&input, &seqs));
+        }
+    }
+
+    #[test]
+    fn all_zero_input_compresses_to_one_long_match() {
+        let input = vec![0u8; 100_000];
+        let seqs = lazy_parse(&input, &cfg());
+        assert!(parse_reconstructs(&input, &seqs));
+        let lit: usize = seqs.iter().map(|s| s.lit_len).sum();
+        assert!(lit < 64, "zeros should be nearly all match: {lit} literals");
+    }
+
+    #[test]
+    fn window_limit_respected() {
+        let mut cfg = MatchConfig::new(10); // 1 KiB window
+        cfg.max_chain = 64;
+        // Repeat a block at distance 2 KiB: outside the window, must not match.
+        let block: Vec<u8> = (0..=255u8).cycle().take(2048).collect();
+        let mut input = block.clone();
+        input.extend_from_slice(&block);
+        for seqs in [greedy_parse(&input, &cfg), lazy_parse(&input, &cfg)] {
+            assert!(parse_reconstructs(&input, &seqs));
+            for s in &seqs {
+                assert!(s.dist < 1 << 10, "dist {} exceeds window", s.dist);
+            }
+        }
+    }
+
+    #[test]
+    fn max_match_cap_respected() {
+        let mut c = cfg();
+        c.max_match = 100;
+        let input = vec![7u8; 10_000];
+        let seqs = lazy_parse(&input, &c);
+        assert!(parse_reconstructs(&input, &seqs));
+        for s in &seqs {
+            assert!(s.match_len <= 100);
+        }
+    }
+
+    #[test]
+    fn min_match_respected() {
+        let mut c = cfg();
+        c.min_match = 8;
+        let input: Vec<u8> = b"abcdXabcdYabcdZ".repeat(30);
+        for seqs in [greedy_parse(&input, &c), lazy_parse(&input, &c)] {
+            assert!(parse_reconstructs(&input, &seqs));
+            for s in &seqs {
+                assert!(s.match_len == 0 || s.match_len >= 8);
+            }
+        }
+    }
+}

@@ -1,0 +1,305 @@
+//! Binary adaptive range coder, LZMA-style.
+//!
+//! Probabilities are 11-bit (`0..2048`), adapted with shift 5 — the exact
+//! LZMA parameters. The encoder uses the classic cache/carry construction;
+//! the decoder mirrors it with a 32-bit code register.
+
+use crate::CodecError;
+
+/// Number of probability quantisation bits.
+pub const PROB_BITS: u32 = 11;
+/// Initial (centred) probability.
+pub const PROB_INIT: u16 = (1 << PROB_BITS) / 2;
+const ADAPT_SHIFT: u32 = 5;
+const TOP: u32 = 1 << 24;
+
+/// One adaptive binary probability.
+#[derive(Debug, Clone, Copy)]
+pub struct Prob(pub u16);
+
+impl Default for Prob {
+    fn default() -> Self {
+        Prob(PROB_INIT)
+    }
+}
+
+impl Prob {
+    #[inline]
+    fn update(&mut self, bit: u32) {
+        if bit == 0 {
+            self.0 += (((1u32 << PROB_BITS) - u32::from(self.0)) >> ADAPT_SHIFT) as u16;
+        } else {
+            self.0 -= (u32::from(self.0) >> ADAPT_SHIFT) as u16;
+        }
+    }
+}
+
+/// Range encoder writing to an internal buffer.
+pub struct RangeEncoder {
+    low: u64,
+    range: u32,
+    cache: u8,
+    cache_size: u64,
+    out: Vec<u8>,
+}
+
+impl RangeEncoder {
+    /// Fresh encoder.
+    pub fn new() -> Self {
+        RangeEncoder { low: 0, range: u32::MAX, cache: 0, cache_size: 1, out: Vec::new() }
+    }
+
+    #[inline]
+    fn shift_low(&mut self) {
+        if self.low < 0xFF00_0000 || self.low > 0xFFFF_FFFF {
+            let carry = (self.low >> 32) as u8;
+            let mut first = true;
+            while self.cache_size != 0 {
+                let byte = if first { self.cache.wrapping_add(carry) } else { 0xFFu8.wrapping_add(carry) };
+                self.out.push(byte);
+                first = false;
+                self.cache_size -= 1;
+            }
+            self.cache = ((self.low >> 24) & 0xff) as u8;
+        }
+        self.cache_size += 1;
+        self.low = (self.low << 8) & 0xFFFF_FFFF;
+    }
+
+    /// Encode `bit` with adaptive probability `prob`.
+    #[inline]
+    pub fn encode_bit(&mut self, prob: &mut Prob, bit: u32) {
+        let bound = (self.range >> PROB_BITS) * u32::from(prob.0);
+        if bit == 0 {
+            self.range = bound;
+        } else {
+            self.low += u64::from(bound);
+            self.range -= bound;
+        }
+        prob.update(bit);
+        while self.range < TOP {
+            self.range <<= 8;
+            self.shift_low();
+        }
+    }
+
+    /// Encode `count` raw bits of `value` (MSB first) at probability 1/2,
+    /// without adaptation.
+    pub fn encode_direct(&mut self, value: u32, count: u32) {
+        for i in (0..count).rev() {
+            let bit = (value >> i) & 1;
+            self.range >>= 1;
+            if bit == 1 {
+                self.low += u64::from(self.range);
+            }
+            while self.range < TOP {
+                self.range <<= 8;
+                self.shift_low();
+            }
+        }
+    }
+
+    /// Encode `nbits` of `value` through a probability tree (MSB first).
+    pub fn encode_bittree(&mut self, probs: &mut [Prob], nbits: u32, value: u32) {
+        debug_assert!(probs.len() >= 1 << nbits);
+        let mut m = 1usize;
+        for i in (0..nbits).rev() {
+            let bit = (value >> i) & 1;
+            self.encode_bit(&mut probs[m], bit);
+            m = (m << 1) | bit as usize;
+        }
+    }
+
+    /// Flush and return the byte stream.
+    pub fn finish(mut self) -> Vec<u8> {
+        for _ in 0..5 {
+            self.shift_low();
+        }
+        self.out
+    }
+}
+
+impl Default for RangeEncoder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Range decoder over a byte slice.
+pub struct RangeDecoder<'a> {
+    input: &'a [u8],
+    pos: usize,
+    range: u32,
+    code: u32,
+}
+
+impl<'a> RangeDecoder<'a> {
+    /// Initialise from a stream produced by [`RangeEncoder`].
+    pub fn new(input: &'a [u8]) -> Result<Self, CodecError> {
+        if input.is_empty() {
+            return Err(CodecError::Truncated);
+        }
+        let mut d = RangeDecoder { input, pos: 1, range: u32::MAX, code: 0 };
+        for _ in 0..4 {
+            d.code = (d.code << 8) | u32::from(d.next_byte());
+        }
+        Ok(d)
+    }
+
+    #[inline]
+    fn next_byte(&mut self) -> u8 {
+        // Past-the-end bytes read as zero: the encoder's flush guarantees
+        // enough real bytes for any valid stream; reading zeros afterwards
+        // can only happen on corrupt input, which the caller detects by
+        // length/validity checks.
+        let b = self.input.get(self.pos).copied().unwrap_or(0);
+        self.pos += 1;
+        b
+    }
+
+    /// Decode one bit with adaptive probability `prob`.
+    #[inline]
+    pub fn decode_bit(&mut self, prob: &mut Prob) -> u32 {
+        let bound = (self.range >> PROB_BITS) * u32::from(prob.0);
+        let bit = if self.code < bound {
+            self.range = bound;
+            0
+        } else {
+            self.code -= bound;
+            self.range -= bound;
+            1
+        };
+        prob.update(bit);
+        while self.range < TOP {
+            self.range <<= 8;
+            self.code = (self.code << 8) | u32::from(self.next_byte());
+        }
+        bit
+    }
+
+    /// Decode `count` raw bits (MSB first).
+    pub fn decode_direct(&mut self, count: u32) -> u32 {
+        let mut value = 0u32;
+        for _ in 0..count {
+            self.range >>= 1;
+            let bit = if self.code >= self.range {
+                self.code -= self.range;
+                1
+            } else {
+                0
+            };
+            value = (value << 1) | bit;
+            while self.range < TOP {
+                self.range <<= 8;
+                self.code = (self.code << 8) | u32::from(self.next_byte());
+            }
+        }
+        value
+    }
+
+    /// Decode `nbits` through a probability tree (mirror of
+    /// [`RangeEncoder::encode_bittree`]).
+    pub fn decode_bittree(&mut self, probs: &mut [Prob], nbits: u32) -> u32 {
+        let mut m = 1usize;
+        for _ in 0..nbits {
+            m = (m << 1) | self.decode_bit(&mut probs[m]) as usize;
+        }
+        (m as u32) - (1 << nbits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_bits_roundtrip() {
+        let bits: Vec<u32> = (0..2000).map(|i| ((i * 7) ^ (i >> 3)) as u32 & 1).collect();
+        let mut enc = RangeEncoder::new();
+        let mut p = Prob::default();
+        for &b in &bits {
+            enc.encode_bit(&mut p, b);
+        }
+        let bytes = enc.finish();
+        let mut dec = RangeDecoder::new(&bytes).unwrap();
+        let mut p = Prob::default();
+        for &b in &bits {
+            assert_eq!(dec.decode_bit(&mut p), b);
+        }
+    }
+
+    #[test]
+    fn skewed_bits_compress() {
+        // 99% zeros should code far below 1 bit/symbol.
+        let bits: Vec<u32> = (0..20_000).map(|i| u32::from(i % 100 == 0)).collect();
+        let mut enc = RangeEncoder::new();
+        let mut p = Prob::default();
+        for &b in &bits {
+            enc.encode_bit(&mut p, b);
+        }
+        let bytes = enc.finish();
+        assert!(bytes.len() < 20_000 / 8 / 4, "got {} bytes", bytes.len());
+        let mut dec = RangeDecoder::new(&bytes).unwrap();
+        let mut p = Prob::default();
+        for &b in &bits {
+            assert_eq!(dec.decode_bit(&mut p), b);
+        }
+    }
+
+    #[test]
+    fn direct_bits_roundtrip() {
+        let values = [(0u32, 1u32), (1, 1), (0xff, 8), (0x12345, 20), (u32::MAX, 32), (0, 32)];
+        let mut enc = RangeEncoder::new();
+        for &(v, n) in &values {
+            enc.encode_direct(v, n);
+        }
+        let bytes = enc.finish();
+        let mut dec = RangeDecoder::new(&bytes).unwrap();
+        for &(v, n) in &values {
+            assert_eq!(dec.decode_direct(n), v);
+        }
+    }
+
+    #[test]
+    fn bittree_roundtrip() {
+        let mut enc = RangeEncoder::new();
+        let mut probs = vec![Prob::default(); 256];
+        let values: Vec<u32> = (0..500).map(|i| (i * 13) as u32 & 0x7f).collect();
+        for &v in &values {
+            enc.encode_bittree(&mut probs, 7, v);
+        }
+        let bytes = enc.finish();
+        let mut dec = RangeDecoder::new(&bytes).unwrap();
+        let mut probs = vec![Prob::default(); 256];
+        for &v in &values {
+            assert_eq!(dec.decode_bittree(&mut probs, 7), v);
+        }
+    }
+
+    #[test]
+    fn mixed_stream_roundtrip() {
+        // Interleave adaptive bits, trees and direct bits like lzma does.
+        let mut enc = RangeEncoder::new();
+        let mut flag = Prob::default();
+        let mut tree = vec![Prob::default(); 64];
+        for i in 0..300u32 {
+            enc.encode_bit(&mut flag, i & 1);
+            enc.encode_bittree(&mut tree, 5, i % 32);
+            enc.encode_direct(i % 17, 5);
+        }
+        let bytes = enc.finish();
+        let mut dec = RangeDecoder::new(&bytes).unwrap();
+        let mut flag = Prob::default();
+        let mut tree = vec![Prob::default(); 64];
+        for i in 0..300u32 {
+            assert_eq!(dec.decode_bit(&mut flag), i & 1);
+            assert_eq!(dec.decode_bittree(&mut tree, 5), i % 32);
+            assert_eq!(dec.decode_direct(5), i % 17);
+        }
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        assert!(RangeDecoder::new(&[]).is_err());
+    }
+}

@@ -1,0 +1,168 @@
+//! Codec registry: map stable [`CodecId`]s to codec instances.
+//!
+//! The FanStore pack format stores a 2-byte codec id per file (Table I);
+//! any node that loads a partition must be able to instantiate the decoder
+//! from that id alone.
+
+use crate::brotli_lite::BrotliLite;
+use crate::bzip_lite::BzipLite;
+use crate::filters::{Filter, Filtered};
+use crate::huffman::Huffman;
+use crate::lz4::{Lz4Fast, Lz4Hc};
+use crate::lzf::Lzf;
+use crate::lzma_lite::{LzmaLite, Xz};
+use crate::lzsse::Lzsse8;
+use crate::rle::Rle;
+use crate::store::Store;
+use crate::zling::Zling;
+use crate::zstd_lite::ZstdLite;
+use crate::{Codec, CodecError, CodecFamily, CodecId};
+
+/// Instantiate the codec for `id`, if the family and level are valid.
+pub fn create(id: CodecId) -> Result<Box<dyn Codec>, CodecError> {
+    let family = id.family().ok_or(CodecError::UnknownCodec(id))?;
+    let level = id.level();
+    let codec: Box<dyn Codec> = match family {
+        CodecFamily::Store => Box::new(Store),
+        CodecFamily::Rle => Box::new(Rle),
+        CodecFamily::Lzf => Box::new(Lzf::new(level)),
+        CodecFamily::Lz4Fast => Box::new(Lz4Fast::new(level)),
+        CodecFamily::Lz4Hc => Box::new(Lz4Hc::new(level)),
+        CodecFamily::Lzsse8 => Box::new(Lzsse8::new(level)),
+        CodecFamily::Huffman => Box::new(Huffman),
+        CodecFamily::Zling => Box::new(Zling::new(level)),
+        CodecFamily::BrotliLite => Box::new(BrotliLite::new(level)),
+        CodecFamily::LzmaLite => Box::new(LzmaLite::new(level)),
+        CodecFamily::Xz => Box::new(Xz::new(level)),
+        CodecFamily::ZstdLite => Box::new(ZstdLite::new(level)),
+        CodecFamily::ShuffleLz => {
+            if !matches!(level, 2 | 4 | 8) {
+                return Err(CodecError::UnknownCodec(id));
+            }
+            Box::new(Filtered::new(id, Filter::Shuffle(level as usize), Box::new(Lz4Hc::new(9))))
+        }
+        CodecFamily::DeltaLz => {
+            if !matches!(level, 1 | 2 | 4 | 8) {
+                return Err(CodecError::UnknownCodec(id));
+            }
+            Box::new(Filtered::new(id, Filter::Delta(level as usize), Box::new(Lz4Hc::new(9))))
+        }
+        CodecFamily::ShuffleZstd => {
+            if !matches!(level, 2 | 4 | 8) {
+                return Err(CodecError::UnknownCodec(id));
+            }
+            Box::new(Filtered::new(id, Filter::Shuffle(level as usize), Box::new(ZstdLite::new(6))))
+        }
+        CodecFamily::BzipLite => Box::new(BzipLite::new(level)),
+    };
+    // Reject ids whose level would be silently clamped: a pack written with
+    // such an id is malformed.
+    if codec.id() != id {
+        return Err(CodecError::UnknownCodec(id));
+    }
+    Ok(codec)
+}
+
+/// Parse a codec name like `"lz4hc-9"` or `"store"` into its id.
+pub fn parse_name(name: &str) -> Option<CodecId> {
+    let (fam_name, level) = match name.rsplit_once('-') {
+        Some((f, l)) => (f, l.parse::<u8>().ok()?),
+        None => (name, 0),
+    };
+    let family = CodecFamily::ALL.into_iter().find(|f| f.name() == fam_name)?;
+    Some(CodecId::new(family, level))
+}
+
+/// The default codec the paper selects per architecture (§VII-D): `lzsse8`
+/// on Intel x86_64, `lz4hc` on IBM POWER9.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Arch {
+    /// Intel Xeon (SKX in the paper).
+    X86_64,
+    /// IBM POWER9.
+    Power9,
+}
+
+/// Default compressor for an architecture, per the paper's §VII-D finding.
+pub fn default_for_arch(arch: Arch) -> CodecId {
+    match arch {
+        Arch::X86_64 => CodecId::new(CodecFamily::Lzsse8, 2),
+        Arch::Power9 => CodecId::new(CodecFamily::Lz4Hc, 9),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{compress_to_vec, decompress_to_vec};
+
+    #[test]
+    fn create_all_families() {
+        let ids = [
+            CodecId::new(CodecFamily::Store, 0),
+            CodecId::new(CodecFamily::Rle, 0),
+            CodecId::new(CodecFamily::Lzf, 2),
+            CodecId::new(CodecFamily::Lz4Fast, 8),
+            CodecId::new(CodecFamily::Lz4Hc, 12),
+            CodecId::new(CodecFamily::Lzsse8, 3),
+            CodecId::new(CodecFamily::Huffman, 0),
+            CodecId::new(CodecFamily::Zling, 4),
+            CodecId::new(CodecFamily::BrotliLite, 11),
+            CodecId::new(CodecFamily::LzmaLite, 9),
+            CodecId::new(CodecFamily::Xz, 6),
+            CodecId::new(CodecFamily::ZstdLite, 5),
+            CodecId::new(CodecFamily::ShuffleLz, 4),
+            CodecId::new(CodecFamily::DeltaLz, 8),
+            CodecId::new(CodecFamily::ShuffleZstd, 2),
+            CodecId::new(CodecFamily::BzipLite, 5),
+        ];
+        let data = b"registry instantiation roundtrip across all codec families".repeat(10);
+        for id in ids {
+            let codec = create(id).unwrap();
+            assert_eq!(codec.id(), id);
+            let c = compress_to_vec(codec.as_ref(), &data);
+            assert_eq!(decompress_to_vec(codec.as_ref(), &c, data.len()).unwrap(), data);
+        }
+    }
+
+    #[test]
+    fn unknown_family_rejected() {
+        assert!(create(CodecId(0x7f01)).is_err());
+    }
+
+    #[test]
+    fn clamped_level_rejected() {
+        // lz4hc caps at 12; id with level 200 must not silently clamp.
+        assert!(create(CodecId::new(CodecFamily::Lz4Hc, 200)).is_err());
+        assert!(create(CodecId::new(CodecFamily::Store, 3)).is_err());
+        assert!(create(CodecId::new(CodecFamily::ShuffleLz, 3)).is_err());
+        assert!(create(CodecId::new(CodecFamily::DeltaLz, 16)).is_err());
+    }
+
+    #[test]
+    fn parse_names() {
+        assert_eq!(parse_name("lz4hc-9"), Some(CodecId::new(CodecFamily::Lz4Hc, 9)));
+        assert_eq!(parse_name("store"), Some(CodecId::new(CodecFamily::Store, 0)));
+        assert_eq!(parse_name("xz-6"), Some(CodecId::new(CodecFamily::Xz, 6)));
+        assert_eq!(parse_name("nonsense-3"), None);
+    }
+
+    #[test]
+    fn parse_name_roundtrips_display() {
+        for fam in CodecFamily::ALL {
+            let id = match fam {
+                CodecFamily::Store | CodecFamily::Rle | CodecFamily::Huffman => {
+                    CodecId::new(fam, 0)
+                }
+                _ => CodecId::new(fam, 2),
+            };
+            assert_eq!(parse_name(&id.to_string()), Some(id));
+        }
+    }
+
+    #[test]
+    fn arch_defaults_match_paper() {
+        assert_eq!(default_for_arch(Arch::X86_64).family(), Some(CodecFamily::Lzsse8));
+        assert_eq!(default_for_arch(Arch::Power9).family(), Some(CodecFamily::Lz4Hc));
+    }
+}

@@ -1,0 +1,153 @@
+//! PackBits-style run-length encoding.
+//!
+//! The TIFF baseline codec (the EM dataset in the paper is TIFF): control
+//! byte `0..=127` means `n+1` literal bytes follow; `129..=255` means the
+//! next byte repeats `257-n` times; `128` is a no-op.
+
+use crate::{Codec, CodecError, CodecFamily, CodecId};
+
+/// PackBits run-length codec.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Rle;
+
+impl Codec for Rle {
+    fn id(&self) -> CodecId {
+        CodecId::new(CodecFamily::Rle, 0)
+    }
+
+    fn compress(&self, input: &[u8], out: &mut Vec<u8>) {
+        let n = input.len();
+        let mut i = 0;
+        while i < n {
+            // Measure the run starting at i.
+            let mut run = 1usize;
+            while i + run < n && input[i + run] == input[i] && run < 128 {
+                run += 1;
+            }
+            if run >= 3 {
+                out.push((257 - run) as u8);
+                out.push(input[i]);
+                i += run;
+            } else {
+                // Collect literals until a run of >= 3 begins (or 128 cap).
+                let start = i;
+                i += run;
+                while i < n && i - start < 128 {
+                    let mut next_run = 1usize;
+                    while i + next_run < n && input[i + next_run] == input[i] && next_run < 3 {
+                        next_run += 1;
+                    }
+                    if next_run >= 3 {
+                        break;
+                    }
+                    i += next_run;
+                }
+                let lit_len = (i - start).min(128);
+                let lit_end = start + lit_len;
+                out.push((lit_len - 1) as u8);
+                out.extend_from_slice(&input[start..lit_end]);
+                i = lit_end;
+            }
+        }
+    }
+
+    fn decompress(
+        &self,
+        input: &[u8],
+        expected_len: usize,
+        out: &mut Vec<u8>,
+    ) -> Result<(), CodecError> {
+        let start_len = out.len();
+        let mut i = 0;
+        while i < input.len() {
+            let ctrl = input[i];
+            i += 1;
+            match ctrl {
+                0..=127 => {
+                    let lit = ctrl as usize + 1;
+                    if i + lit > input.len() {
+                        return Err(CodecError::Truncated);
+                    }
+                    out.extend_from_slice(&input[i..i + lit]);
+                    i += lit;
+                }
+                128 => {}
+                129..=255 => {
+                    let count = 257 - ctrl as usize;
+                    let &b = input.get(i).ok_or(CodecError::Truncated)?;
+                    i += 1;
+                    out.resize(out.len() + count, b);
+                }
+            }
+            if out.len() - start_len > expected_len {
+                return Err(CodecError::Corrupt("rle output exceeds expected length"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{compress_to_vec, decompress_to_vec};
+
+    fn roundtrip(data: &[u8]) {
+        let c = compress_to_vec(&Rle, data);
+        assert_eq!(decompress_to_vec(&Rle, &c, data.len()).unwrap(), data);
+    }
+
+    #[test]
+    fn roundtrip_runs() {
+        roundtrip(b"aaaaaaaaaabbbbbbcccccc");
+    }
+
+    #[test]
+    fn roundtrip_no_runs() {
+        roundtrip(b"abcdefghijklmnop");
+    }
+
+    #[test]
+    fn roundtrip_mixed() {
+        roundtrip(b"ab\0\0\0\0\0\0\0\0cd\xff\xff\xffxyz");
+    }
+
+    #[test]
+    fn roundtrip_empty() {
+        roundtrip(b"");
+    }
+
+    #[test]
+    fn roundtrip_long_run() {
+        roundtrip(&vec![9u8; 10_000]);
+    }
+
+    #[test]
+    fn long_run_compresses_well() {
+        let c = compress_to_vec(&Rle, &vec![0u8; 4096]);
+        assert!(c.len() < 4096 / 32, "run of 4096 zeros: got {} bytes", c.len());
+    }
+
+    #[test]
+    fn literal_block_boundary_128() {
+        // Exactly 128 distinct bytes, then 129, then 127.
+        for n in [127usize, 128, 129, 255, 256, 257] {
+            let data: Vec<u8> = (0..n).map(|i| (i % 251) as u8).collect();
+            roundtrip(&data);
+        }
+    }
+
+    #[test]
+    fn truncated_run_errors() {
+        // Control byte says "repeat next byte" but there is no next byte.
+        let mut out = Vec::new();
+        assert_eq!(Rle.decompress(&[200u8], 10, &mut out), Err(CodecError::Truncated));
+    }
+
+    #[test]
+    fn oversized_output_detected() {
+        let c = compress_to_vec(&Rle, &vec![1u8; 100]);
+        let mut out = Vec::new();
+        assert!(Rle.decompress(&c, 10, &mut out).is_err());
+    }
+}

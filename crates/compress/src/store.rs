@@ -1,0 +1,57 @@
+//! The `store` codec: a straight copy, the paper's `memcpy` baseline.
+
+use crate::{Codec, CodecError, CodecFamily, CodecId};
+
+/// No-op codec; compression ratio is exactly 1.0.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Store;
+
+impl Codec for Store {
+    fn id(&self) -> CodecId {
+        CodecId::new(CodecFamily::Store, 0)
+    }
+
+    fn compress(&self, input: &[u8], out: &mut Vec<u8>) {
+        out.extend_from_slice(input);
+    }
+
+    fn decompress(
+        &self,
+        input: &[u8],
+        expected_len: usize,
+        out: &mut Vec<u8>,
+    ) -> Result<(), CodecError> {
+        if input.len() != expected_len {
+            return Err(CodecError::LengthMismatch { expected: expected_len, actual: input.len() });
+        }
+        out.extend_from_slice(input);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{compress_to_vec, decompress_to_vec};
+
+    #[test]
+    fn roundtrip() {
+        let data = b"store me verbatim".to_vec();
+        let c = compress_to_vec(&Store, &data);
+        assert_eq!(c, data);
+        assert_eq!(decompress_to_vec(&Store, &c, data.len()).unwrap(), data);
+    }
+
+    #[test]
+    fn wrong_length_rejected() {
+        let mut out = Vec::new();
+        assert!(Store.decompress(b"abc", 5, &mut out).is_err());
+    }
+
+    #[test]
+    fn empty_roundtrip() {
+        let c = compress_to_vec(&Store, b"");
+        assert!(c.is_empty());
+        assert_eq!(decompress_to_vec(&Store, &c, 0).unwrap(), b"");
+    }
+}

@@ -1,0 +1,76 @@
+//! LEB128 variable-length integers, used by several codec headers.
+
+use crate::CodecError;
+
+/// Append `value` as unsigned LEB128.
+pub fn write_uvarint(out: &mut Vec<u8>, mut value: u64) {
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Read an unsigned LEB128 from `input` starting at `*pos`, advancing `*pos`.
+pub fn read_uvarint(input: &[u8], pos: &mut usize) -> Result<u64, CodecError> {
+    let mut value = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let &byte = input.get(*pos).ok_or(CodecError::Truncated)?;
+        *pos += 1;
+        if shift == 63 && byte > 1 {
+            return Err(CodecError::Corrupt("uvarint overflow"));
+        }
+        value |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(value);
+        }
+        shift += 7;
+        if shift > 63 {
+            return Err(CodecError::Corrupt("uvarint too long"));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_edge_values() {
+        for v in [0u64, 1, 127, 128, 129, 16383, 16384, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            write_uvarint(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(read_uvarint(&buf, &mut pos).unwrap(), v);
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn single_byte_for_small_values() {
+        let mut buf = Vec::new();
+        write_uvarint(&mut buf, 100);
+        assert_eq!(buf.len(), 1);
+    }
+
+    #[test]
+    fn truncated_input_errors() {
+        let mut buf = Vec::new();
+        write_uvarint(&mut buf, 1 << 20);
+        buf.pop();
+        let mut pos = 0;
+        assert_eq!(read_uvarint(&buf, &mut pos), Err(CodecError::Truncated));
+    }
+
+    #[test]
+    fn overlong_input_errors() {
+        let buf = [0x80u8; 11];
+        let mut pos = 0;
+        assert!(read_uvarint(&buf, &mut pos).is_err());
+    }
+}

@@ -1,0 +1,86 @@
+//! Property tests for the extension codecs: FSE streams, the zstd-class
+//! and bzip-class codecs, filters, and the lossy coders' error contracts.
+
+use fanstore_compress::bzip_lite::BzipLite;
+use fanstore_compress::filters::{delta, shuffle, undelta, unshuffle};
+use fanstore_compress::lossy::{LossyCodec, SzLite, ZfpLite};
+use fanstore_compress::zstd_lite::ZstdLite;
+use fanstore_compress::{compress_to_vec, decompress_to_vec, Codec};
+use proptest::prelude::*;
+
+fn data_strategy() -> impl Strategy<Value = Vec<u8>> {
+    prop_oneof![
+        proptest::collection::vec(any::<u8>(), 0..3000),
+        (proptest::collection::vec(any::<u8>(), 1..48), 1usize..150)
+            .prop_map(|(block, reps)| block.iter().copied().cycle().take(block.len() * reps).collect()),
+        proptest::collection::vec(prop_oneof![Just(0u8), Just(1), Just(b'x')], 0..3000),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn zstd_roundtrips(data in data_strategy()) {
+        let codec = ZstdLite::new(4);
+        let c = compress_to_vec(&codec, &data);
+        prop_assert_eq!(decompress_to_vec(&codec, &c, data.len()).unwrap(), data);
+    }
+
+    #[test]
+    fn bzip_roundtrips(data in data_strategy()) {
+        let codec = BzipLite::new(2);
+        let c = compress_to_vec(&codec, &data);
+        prop_assert_eq!(decompress_to_vec(&codec, &c, data.len()).unwrap(), data);
+    }
+
+    #[test]
+    fn zstd_and_bzip_survive_garbage(garbage in proptest::collection::vec(any::<u8>(), 0..1024),
+                                     n in 0usize..4096) {
+        let _ = decompress_to_vec(&ZstdLite::new(4), &garbage, n);
+        let _ = decompress_to_vec(&BzipLite::new(2), &garbage, n);
+    }
+
+    #[test]
+    fn filters_are_exact_inverses(data in proptest::collection::vec(any::<u8>(), 0..2000),
+                                  shuffle_width in 2usize..16,
+                                  delta_width in 1usize..9) {
+        prop_assert_eq!(unshuffle(&shuffle(&data, shuffle_width), shuffle_width), data.clone());
+        prop_assert_eq!(undelta(&delta(&data, delta_width), delta_width), data);
+    }
+
+    #[test]
+    fn sz_error_bound_holds_for_arbitrary_floats(
+        raw in proptest::collection::vec(-1e6f32..1e6, 1..800),
+        eb_exp in -4i32..0,
+    ) {
+        let eb = 10f32.powi(eb_exp);
+        let sz = SzLite::new(eb);
+        let c = sz.compress(&raw);
+        let restored = sz.decompress(&c, raw.len()).unwrap();
+        for (a, b) in raw.iter().zip(&restored) {
+            prop_assert!((a - b).abs() <= eb * 1.0001,
+                "eb {eb}: {a} vs {b} (err {})", (a - b).abs());
+        }
+    }
+
+    #[test]
+    fn zfp_error_bound_holds(raw in proptest::collection::vec(-1e4f32..1e4, 1..400),
+                             bits in 6u32..20) {
+        let zfp = ZfpLite::new(bits);
+        let c = zfp.compress(&raw);
+        let restored = zfp.decompress(&c, raw.len()).unwrap();
+        let bound = zfp.max_error(&raw);
+        for (a, b) in raw.iter().zip(&restored) {
+            prop_assert!((a - b).abs() <= bound * 1.001 + 1e-6,
+                "bits {bits}: {a} vs {b}, bound {bound}");
+        }
+    }
+
+    #[test]
+    fn lossy_never_panics_on_garbage(garbage in proptest::collection::vec(any::<u8>(), 0..512),
+                                     n in 0usize..512) {
+        let _ = SzLite::new(1e-3).decompress(&garbage, n);
+        let _ = ZfpLite::new(12).decompress(&garbage, n);
+    }
+}

@@ -1,0 +1,103 @@
+//! Property-based tests: every codec in the registry must round-trip
+//! arbitrary byte strings, and decompression must never panic on arbitrary
+//! (malformed) input.
+
+use fanstore_compress::registry::create;
+use fanstore_compress::{compress_to_vec, decompress_to_vec, CodecFamily, CodecId};
+use proptest::prelude::*;
+
+/// A representative configuration per family (fast levels, so the property
+/// tests stay quick).
+fn representative_ids() -> Vec<CodecId> {
+    vec![
+        CodecId::new(CodecFamily::Store, 0),
+        CodecId::new(CodecFamily::Rle, 0),
+        CodecId::new(CodecFamily::Lzf, 2),
+        CodecId::new(CodecFamily::Lz4Fast, 1),
+        CodecId::new(CodecFamily::Lz4Hc, 6),
+        CodecId::new(CodecFamily::Lzsse8, 2),
+        CodecId::new(CodecFamily::Huffman, 0),
+        CodecId::new(CodecFamily::Zling, 2),
+        CodecId::new(CodecFamily::BrotliLite, 5),
+        CodecId::new(CodecFamily::LzmaLite, 3),
+        CodecId::new(CodecFamily::Xz, 3),
+    ]
+}
+
+/// Byte strings with tunable redundancy: raw random, repeated blocks, and
+/// low-entropy alphabets, which together cover the interesting parse paths.
+fn data_strategy() -> impl Strategy<Value = Vec<u8>> {
+    prop_oneof![
+        // Arbitrary bytes up to 4 KiB.
+        proptest::collection::vec(any::<u8>(), 0..4096),
+        // Repetitive: a small seed block tiled.
+        (proptest::collection::vec(any::<u8>(), 1..64), 1usize..200).prop_map(
+            |(block, reps)| block.iter().copied().cycle().take(block.len() * reps).collect()
+        ),
+        // Low-entropy alphabet.
+        proptest::collection::vec(prop_oneof![Just(b'a'), Just(b'b'), Just(b' ')], 0..4096),
+        // Runs of a single byte with occasional interruptions.
+        (any::<u8>(), 1usize..2000, proptest::collection::vec(any::<u8>(), 0..16)).prop_map(
+            |(fill, n, tail)| {
+                let mut v = vec![fill; n];
+                v.extend(tail);
+                v
+            }
+        ),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn all_codecs_roundtrip(data in data_strategy()) {
+        for id in representative_ids() {
+            let codec = create(id).unwrap();
+            let compressed = compress_to_vec(codec.as_ref(), &data);
+            let restored = decompress_to_vec(codec.as_ref(), &compressed, data.len())
+                .unwrap_or_else(|e| panic!("{id} failed on {} bytes: {e}", data.len()));
+            prop_assert_eq!(&restored, &data, "{} mismatch", id);
+        }
+    }
+
+    #[test]
+    fn decompress_never_panics_on_garbage(
+        garbage in proptest::collection::vec(any::<u8>(), 0..2048),
+        expected_len in 0usize..8192,
+    ) {
+        for id in representative_ids() {
+            let codec = create(id).unwrap();
+            // Any result is acceptable; panicking or hanging is not.
+            let _ = decompress_to_vec(codec.as_ref(), &garbage, expected_len);
+        }
+    }
+
+    #[test]
+    fn truncation_never_panics(data in proptest::collection::vec(any::<u8>(), 1..2048)) {
+        for id in representative_ids() {
+            let codec = create(id).unwrap();
+            let compressed = compress_to_vec(codec.as_ref(), &data);
+            if compressed.len() > 1 {
+                let cut = compressed.len() / 2;
+                let _ = decompress_to_vec(codec.as_ref(), &compressed[..cut], data.len());
+            }
+        }
+    }
+
+    #[test]
+    fn compressed_size_has_bounded_expansion(data in proptest::collection::vec(any::<u8>(), 0..4096)) {
+        // Worst-case expansion must stay within a small factor plus a
+        // constant header; the pack format relies on this when sizing
+        // partition buffers.
+        for id in representative_ids() {
+            let codec = create(id).unwrap();
+            let compressed = compress_to_vec(codec.as_ref(), &data);
+            prop_assert!(
+                compressed.len() <= data.len() + data.len() / 4 + 1024,
+                "{} expanded {} -> {}",
+                id, data.len(), compressed.len()
+            );
+        }
+    }
+}

@@ -1,0 +1,378 @@
+//! The POSIX-style client interface (paper §IV-A, Listing 1).
+//!
+//! The original FanStore intercepts ten glibc calls (`open`, `close`,
+//! `read`, `lseek`, `write`, `opendir`, `readdir`, `closedir`, `stat`)
+//! with LD_PRELOAD and trampolines. This reproduction exposes the same
+//! surface as methods on [`FsClient`], with per-client file-descriptor
+//! tables and the paper's multi-read/single-write consistency model:
+//! input files may be opened concurrently by any number of readers;
+//! output files are written once by one process and are immutable after
+//! `close()`.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use mpi_sim::RemoteSender;
+use parking_lot::Mutex;
+
+use crate::daemon::{decode_get_reply, tags};
+use crate::meta::encode_single;
+use crate::node::{decompress_object, NodeState};
+use crate::stat::FileStat;
+use crate::trace::{Op, TraceRecorder};
+use crate::FsError;
+
+/// Seek origin for [`FsClient::lseek`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Whence {
+    /// From the start of the file (`SEEK_SET`).
+    Set,
+    /// From the current position (`SEEK_CUR`).
+    Cur,
+    /// From the end of the file (`SEEK_END`).
+    End,
+}
+
+enum OpenFile {
+    Read { path: String, data: Arc<Vec<u8>>, pos: usize },
+    Write { path: String, buf: Vec<u8> },
+}
+
+/// An open directory stream (`DIR*`).
+pub struct DirStream {
+    entries: Vec<String>,
+    pos: usize,
+}
+
+impl DirStream {
+    /// `readdir()`: next entry name, or `None` at end of stream.
+    pub fn next_entry(&mut self) -> Option<&str> {
+        let e = self.entries.get(self.pos)?;
+        self.pos += 1;
+        Some(e)
+    }
+
+    /// Remaining + consumed entry count.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the directory has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// A POSIX-style handle onto the FanStore namespace for one process (one
+/// training I/O thread can clone its own).
+pub struct FsClient {
+    state: Arc<NodeState>,
+    service: RemoteSender,
+    fds: Mutex<HashMap<i32, OpenFile>>,
+    next_fd: AtomicU64,
+    trace: Option<Arc<TraceRecorder>>,
+}
+
+impl FsClient {
+    /// Build a client over a node's state and a send handle on the
+    /// service channel.
+    pub fn new(state: Arc<NodeState>, service: RemoteSender) -> Self {
+        FsClient {
+            state,
+            service,
+            fds: Mutex::new(HashMap::new()),
+            next_fd: AtomicU64::new(3),
+            trace: None,
+        }
+    }
+
+    /// Attach an I/O trace recorder; subsequent calls are recorded.
+    pub fn with_trace(mut self, trace: Arc<TraceRecorder>) -> Self {
+        self.trace = Some(trace);
+        self
+    }
+
+    /// The attached trace recorder, if any.
+    pub fn trace(&self) -> Option<&Arc<TraceRecorder>> {
+        self.trace.as_ref()
+    }
+
+    #[inline]
+    fn record(&self, op: Op, path: &str, bytes: u64) {
+        if let Some(t) = &self.trace {
+            t.record(op, path, bytes);
+        }
+    }
+
+    /// The node rank this client runs on.
+    pub fn rank(&self) -> usize {
+        self.state.rank
+    }
+
+    /// Number of nodes in the store.
+    pub fn nodes(&self) -> usize {
+        self.state.size
+    }
+
+    /// Shared node state (for inspecting counters in tests/benches).
+    pub fn state(&self) -> &Arc<NodeState> {
+        &self.state
+    }
+
+    fn alloc_fd(&self) -> i32 {
+        self.next_fd.fetch_add(1, Ordering::Relaxed) as i32
+    }
+
+    /// `open(path, O_RDONLY)`: locate the file (cache → local backend →
+    /// remote daemon, Figure 2), decompress if needed, and return a file
+    /// descriptor positioned at offset 0.
+    pub fn open(&self, path: &str) -> Result<i32, FsError> {
+        self.record(Op::Open, path, 0);
+        let data = self.fetch(path)?;
+        let fd = self.alloc_fd();
+        self.fds.lock().insert(fd, OpenFile::Read { path: path.to_string(), data, pos: 0 });
+        Ok(fd)
+    }
+
+    /// Fetch decompressed contents, populating the cache (shared by
+    /// `open` and `read_whole`).
+    fn fetch(&self, path: &str) -> Result<Arc<Vec<u8>>, FsError> {
+        if let Some(local) = self.state.open_local(path)? {
+            return Ok(local);
+        }
+        // Remote: find the owner from the replicated metadata.
+        let owner = self
+            .state
+            .owner_of(path)
+            .ok_or_else(|| FsError::NotFound(path.to_string()))?;
+        if owner == self.state.rank || owner >= self.state.size {
+            return Err(FsError::NotFound(path.to_string()));
+        }
+        let reply = self
+            .service
+            .rpc(owner, tags::GET, path.as_bytes().to_vec())
+            .map_err(|e| FsError::Comm(e.to_string()))?;
+        let (codec, stat, compressed) = decode_get_reply(&reply)?;
+        self.state.stats.remote_opens.fetch_add(1, Ordering::Relaxed);
+        self.state.stats.remote_bytes.fetch_add(compressed.len() as u64, Ordering::Relaxed);
+        let plain = decompress_object(codec, &compressed, stat.size as usize, path)?;
+        Ok(self.state.cache.insert(path, Arc::new(plain)))
+    }
+
+    /// `open(path, O_WRONLY|O_CREAT)`: start a write-once output file.
+    pub fn create(&self, path: &str) -> Result<i32, FsError> {
+        if self.state.meta.read().get(path).is_some()
+            || self.state.writes.read().contains_key(path)
+        {
+            return Err(FsError::AlreadyExists(path.to_string()));
+        }
+        let fd = self.alloc_fd();
+        self.fds
+            .lock()
+            .insert(fd, OpenFile::Write { path: path.to_string(), buf: Vec::new() });
+        Ok(fd)
+    }
+
+    /// `read(fd, buf)`: copy up to `buf.len()` bytes from the current
+    /// position; returns bytes read (0 at EOF).
+    pub fn read(&self, fd: i32, buf: &mut [u8]) -> Result<usize, FsError> {
+        let mut fds = self.fds.lock();
+        match fds.get_mut(&fd) {
+            Some(OpenFile::Read { data, pos, path }) => {
+                // The offset may sit past EOF (lseek allows it); clamp the
+                // slice start so such reads return 0 instead of panicking.
+                let start = (*pos).min(data.len());
+                let n = buf.len().min(data.len() - start);
+                buf[..n].copy_from_slice(&data[start..start + n]);
+                *pos += n;
+                if let Some(t) = &self.trace {
+                    t.record(Op::Read, path, n as u64);
+                }
+                Ok(n)
+            }
+            Some(OpenFile::Write { path, .. }) => Err(FsError::ReadOnly(path.clone())),
+            None => Err(FsError::BadFd(fd)),
+        }
+    }
+
+    /// `write(fd, buf)`: append to an output file's write cache.
+    pub fn write(&self, fd: i32, buf: &[u8]) -> Result<usize, FsError> {
+        let mut fds = self.fds.lock();
+        match fds.get_mut(&fd) {
+            Some(OpenFile::Write { buf: wbuf, path }) => {
+                if let Some(t) = &self.trace {
+                    t.record(Op::Write, path, buf.len() as u64);
+                }
+                wbuf.extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            Some(OpenFile::Read { path, .. }) => Err(FsError::ReadOnly(path.clone())),
+            None => Err(FsError::BadFd(fd)),
+        }
+    }
+
+    /// `lseek(fd, offset, whence)`: reposition a read descriptor; returns
+    /// the new offset.
+    pub fn lseek(&self, fd: i32, offset: i64, whence: Whence) -> Result<u64, FsError> {
+        self.record(Op::Seek, "", 0);
+        let mut fds = self.fds.lock();
+        match fds.get_mut(&fd) {
+            Some(OpenFile::Read { data, pos, .. }) => {
+                let base = match whence {
+                    Whence::Set => 0i64,
+                    Whence::Cur => *pos as i64,
+                    Whence::End => data.len() as i64,
+                };
+                let target = base + offset;
+                if target < 0 {
+                    return Err(FsError::BadFd(fd));
+                }
+                *pos = target as usize; // seeking past EOF is legal
+                Ok(*pos as u64)
+            }
+            Some(OpenFile::Write { path, .. }) => Err(FsError::ReadOnly(path.clone())),
+            None => Err(FsError::BadFd(fd)),
+        }
+    }
+
+    /// `close(fd)`: for reads, releases the cache reference; for writes,
+    /// finalises the file (immutable from now on) and forwards its
+    /// metadata to the owner rank (§V-D).
+    pub fn close(&self, fd: i32) -> Result<(), FsError> {
+        self.record(Op::Close, "", 0);
+        let entry = self.fds.lock().remove(&fd).ok_or(FsError::BadFd(fd))?;
+        match entry {
+            OpenFile::Read { path, .. } => {
+                self.state.cache.close(&path);
+                Ok(())
+            }
+            OpenFile::Write { path, buf } => {
+                let entry = self.state.finalize_write(&path, buf)?;
+                let owner = meta_owner(&path, self.state.size);
+                if owner != self.state.rank {
+                    let payload = encode_single(&path, &entry);
+                    self.service
+                        .rpc(owner, tags::PUT_META, payload)
+                        .map_err(|e| FsError::Comm(e.to_string()))?;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// `stat(path)`: answered from the replicated local metadata; for
+    /// output files written elsewhere, falls back to the metadata owner
+    /// rank.
+    pub fn stat(&self, path: &str) -> Result<FileStat, FsError> {
+        self.record(Op::Stat, path, 0);
+        if let Some(s) = self.state.meta.read().stat(path) {
+            return Ok(s);
+        }
+        let owner = meta_owner(path, self.state.size);
+        if owner != self.state.rank {
+            let reply = self
+                .service
+                .rpc(owner, tags::GET_META, path.as_bytes().to_vec())
+                .map_err(|e| FsError::Comm(e.to_string()))?;
+            if reply.first() == Some(&crate::daemon::status::OK) {
+                self.state.merge_meta(&reply[1..])?;
+                if let Some(s) = self.state.meta.read().stat(path) {
+                    return Ok(s);
+                }
+            }
+        }
+        Err(FsError::NotFound(path.to_string()))
+    }
+
+    /// `opendir(path)`: snapshot of the directory entries.
+    pub fn opendir(&self, path: &str) -> Result<DirStream, FsError> {
+        self.record(Op::Readdir, path, 0);
+        self.state
+            .meta
+            .read()
+            .readdir(path)
+            .map(|entries| DirStream { entries, pos: 0 })
+            .ok_or_else(|| FsError::NotFound(path.to_string()))
+    }
+
+    /// `closedir(stream)`: release a directory stream (drop suffices; the
+    /// method exists to mirror Listing 1's interface).
+    pub fn closedir(&self, _stream: DirStream) {}
+
+    /// Convenience: read an entire file (open + read-to-end + close).
+    pub fn read_whole(&self, path: &str) -> Result<Vec<u8>, FsError> {
+        self.record(Op::Open, path, 0);
+        let data = self.fetch(path)?;
+        let out = data.to_vec();
+        self.record(Op::Read, path, out.len() as u64);
+        self.state.cache.close(path);
+        self.record(Op::Close, path, 0);
+        Ok(out)
+    }
+
+    /// Convenience: write an entire output file (create + write + close).
+    pub fn write_whole(&self, path: &str, data: &[u8]) -> Result<(), FsError> {
+        let fd = self.create(path)?;
+        self.write(fd, data)?;
+        self.close(fd)
+    }
+
+    /// Recursively enumerate the dataset the way a training program does
+    /// at startup (§II-B1): `readdir` every directory, `stat` every file.
+    /// Returns the file paths found under `root`.
+    pub fn enumerate(&self, root: &str) -> Result<Vec<String>, FsError> {
+        let mut files = Vec::new();
+        let mut stack = vec![root.trim_end_matches('/').to_string()];
+        while let Some(dir) = stack.pop() {
+            let mut stream = self.opendir(&dir)?;
+            while let Some(name) = stream.next_entry() {
+                let full =
+                    if dir.is_empty() { name.to_string() } else { format!("{dir}/{name}") };
+                let st = self.stat(&full)?;
+                if st.is_dir() {
+                    stack.push(full);
+                } else {
+                    files.push(full);
+                }
+            }
+        }
+        files.sort();
+        Ok(files)
+    }
+}
+
+/// The rank responsible for a path's *metadata* (write-forwarding target,
+/// §V-D): stable hash of the path modulo node count.
+pub fn meta_owner(path: &str, size: usize) -> usize {
+    // FNV-1a.
+    let mut h = 0xcbf29ce484222325u64;
+    for &b in path.as_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    (h % size.max(1) as u64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn meta_owner_is_stable_and_in_range() {
+        for size in [1usize, 2, 7, 512] {
+            for path in ["a", "out/ckpt_01.h5", "deep/nested/path/file.bin"] {
+                let o = meta_owner(path, size);
+                assert!(o < size);
+                assert_eq!(o, meta_owner(path, size));
+            }
+        }
+    }
+
+    #[test]
+    fn meta_owner_spreads_paths() {
+        let owners: std::collections::HashSet<usize> =
+            (0..100).map(|i| meta_owner(&format!("f{i}"), 16)).collect();
+        assert!(owners.len() > 8, "hash should spread over ranks: {owners:?}");
+    }
+}

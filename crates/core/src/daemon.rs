@@ -1,0 +1,223 @@
+//! The FanStore daemon: one service loop per node (paper §V-A, §V-D).
+//!
+//! The daemon owns the node's receiving endpoint on the service channel
+//! and answers three request kinds:
+//!
+//! * **GET** — remote file retrieval: returns the *compressed* bytes plus
+//!   codec and stat; decompression happens on the requesting node (so the
+//!   interconnect carries compressed data, §IV-C2).
+//! * **PUT_META** — write-metadata insertion: a peer closed an output file
+//!   and forwards its metadata to this rank (§V-D).
+//! * **SHUTDOWN** — terminate the loop.
+
+use std::sync::Arc;
+
+use mpi_sim::{Channel, Message};
+
+use crate::meta::encode_single;
+use crate::node::{LocalObject, NodeState};
+use crate::stat::{FileStat, STAT_SIZE};
+use crate::FsError;
+
+/// Service-channel tags.
+pub mod tags {
+    /// Terminate the daemon loop.
+    pub const SHUTDOWN: u64 = 0;
+    /// Fetch a file's compressed bytes.
+    pub const GET: u64 = 1;
+    /// Insert forwarded write metadata.
+    pub const PUT_META: u64 = 2;
+    /// Fetch a file's metadata (stat fallback for paths not yet in the
+    /// local view).
+    pub const GET_META: u64 = 3;
+}
+
+/// Reply status bytes.
+pub mod status {
+    /// Request served.
+    pub const OK: u8 = 0;
+    /// Path unknown on this node.
+    pub const NOT_FOUND: u8 = 1;
+    /// Request malformed.
+    pub const BAD_REQUEST: u8 = 2;
+}
+
+/// Encode a GET reply: `[status][codec u16][stat 144B][compressed bytes]`.
+fn encode_get_reply(obj: &LocalObject) -> Vec<u8> {
+    let mut out = Vec::with_capacity(1 + 2 + STAT_SIZE + obj.data.len());
+    out.push(status::OK);
+    out.extend_from_slice(&obj.codec.0.to_le_bytes());
+    obj.stat.encode(&mut out);
+    out.extend_from_slice(&obj.data);
+    out
+}
+
+/// Decode a GET reply into `(codec, stat, compressed)`.
+pub fn decode_get_reply(
+    buf: &[u8],
+) -> Result<(fanstore_compress::CodecId, FileStat, Vec<u8>), FsError> {
+    match buf.first() {
+        Some(&s) if s == status::OK => {}
+        Some(&s) if s == status::NOT_FOUND => {
+            return Err(FsError::NotFound("remote: not found".into()))
+        }
+        _ => return Err(FsError::Comm("malformed GET reply".into())),
+    }
+    if buf.len() < 3 + STAT_SIZE {
+        return Err(FsError::Comm("short GET reply".into()));
+    }
+    let codec =
+        fanstore_compress::CodecId(u16::from_le_bytes(buf[1..3].try_into().expect("2 bytes")));
+    let stat = FileStat::decode(&buf[3..3 + STAT_SIZE])?;
+    Ok((codec, stat, buf[3 + STAT_SIZE..].to_vec()))
+}
+
+/// Run the daemon loop until a SHUTDOWN message arrives or every peer
+/// endpoint is gone. Returns the number of requests served.
+pub fn serve(state: Arc<NodeState>, mut service: Channel) -> u64 {
+    let mut served = 0u64;
+    loop {
+        let msg = match service.recv() {
+            Ok(m) => m,
+            Err(_) => break, // all peers disconnected
+        };
+        served += 1;
+        match msg.tag {
+            tags::SHUTDOWN => {
+                msg.reply(vec![status::OK]);
+                break;
+            }
+            tags::GET => handle_get(&state, &msg),
+            tags::GET_META => handle_get_meta(&state, &msg),
+            tags::PUT_META => {
+                let ok = state.merge_meta(&msg.payload).is_ok();
+                msg.reply(vec![if ok { status::OK } else { status::BAD_REQUEST }]);
+            }
+            _ => {
+                msg.reply(vec![status::BAD_REQUEST]);
+            }
+        }
+    }
+    served
+}
+
+fn handle_get(state: &NodeState, msg: &Message) {
+    let reply = match std::str::from_utf8(&msg.payload) {
+        Ok(path) => match state.get_compressed(path) {
+            Some(obj) => encode_get_reply(&obj),
+            None => vec![status::NOT_FOUND],
+        },
+        Err(_) => vec![status::BAD_REQUEST],
+    };
+    msg.reply(reply);
+}
+
+fn handle_get_meta(state: &NodeState, msg: &Message) {
+    let reply = match std::str::from_utf8(&msg.payload) {
+        Ok(path) => match state.meta.read().get(path) {
+            Some(entry) => {
+                let mut out = vec![status::OK];
+                out.extend_from_slice(&encode_single(path, entry));
+                out
+            }
+            None => vec![status::NOT_FOUND],
+        },
+        Err(_) => vec![status::BAD_REQUEST],
+    };
+    msg.reply(reply);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::CacheConfig;
+    use crate::node::decompress_object;
+    use crate::prep::{prepare, PrepConfig};
+
+    #[test]
+    fn get_reply_roundtrip() {
+        let packed = prepare(
+            vec![("f.bin".to_string(), b"hello hello hello hello".repeat(10))],
+            &PrepConfig::default(),
+        );
+        let state = NodeState::new(0, 1, CacheConfig::default());
+        state.load_partition(&packed.partitions[0]).unwrap();
+        let obj = state.get_compressed("f.bin").unwrap();
+        let buf = encode_get_reply(&obj);
+        let (codec, stat, data) = decode_get_reply(&buf).unwrap();
+        assert_eq!(codec, obj.codec);
+        assert_eq!(stat.size, obj.stat.size);
+        let plain = decompress_object(codec, &data, stat.size as usize, "f.bin").unwrap();
+        assert_eq!(plain, b"hello hello hello hello".repeat(10));
+    }
+
+    #[test]
+    fn not_found_reply_decodes_to_error() {
+        assert!(matches!(
+            decode_get_reply(&[status::NOT_FOUND]),
+            Err(FsError::NotFound(_))
+        ));
+        assert!(decode_get_reply(&[]).is_err());
+        assert!(decode_get_reply(&[status::OK, 1]).is_err());
+    }
+
+    #[test]
+    fn daemon_serves_get_and_shutdown_over_channels() {
+        let packed = prepare(
+            vec![("d/file.bin".to_string(), b"payload payload payload".repeat(8))],
+            &PrepConfig::default(),
+        );
+        let parts = packed.partitions;
+        let results = mpi_sim::launch(2, 1, |mut ctx| {
+            let service = ctx.take_channel(0);
+            if ctx.rank == 0 {
+                let state = Arc::new(NodeState::new(0, 2, CacheConfig::default()));
+                state.load_partition(&parts[0]).unwrap();
+                serve(state, service)
+            } else {
+                let reply = service.rpc(0, tags::GET, b"d/file.bin".to_vec()).unwrap();
+                let (codec, stat, data) = decode_get_reply(&reply).unwrap();
+                let plain =
+                    decompress_object(codec, &data, stat.size as usize, "d/file.bin").unwrap();
+                assert_eq!(plain, b"payload payload payload".repeat(8));
+                // Unknown path.
+                let nf = service.rpc(0, tags::GET, b"missing".to_vec()).unwrap();
+                assert_eq!(nf[0], status::NOT_FOUND);
+                // Shut the daemon down.
+                let ok = service.rpc(0, tags::SHUTDOWN, Vec::new()).unwrap();
+                assert_eq!(ok[0], status::OK);
+                3
+            }
+        });
+        assert_eq!(results[0], 3, "daemon served 3 requests");
+    }
+
+    #[test]
+    fn put_meta_insertion() {
+        let results = mpi_sim::launch(2, 1, |mut ctx| {
+            let service = ctx.take_channel(0);
+            if ctx.rank == 0 {
+                let state = Arc::new(NodeState::new(0, 2, CacheConfig::default()));
+                let st = Arc::clone(&state);
+                let served = serve(st, service);
+                let size = state.meta.read().stat("out/model_epoch3.h5").map(|s| s.size);
+                (served, size)
+            } else {
+                let entry = crate::meta::MetaEntry {
+                    stat: {
+                        let mut s = FileStat::regular(0, 4242);
+                        s.owner_rank = 1;
+                        s
+                    },
+                    codec: fanstore_compress::CodecId(0),
+                };
+                let buf = encode_single("out/model_epoch3.h5", &entry);
+                let ok = service.rpc(0, tags::PUT_META, buf).unwrap();
+                assert_eq!(ok[0], status::OK);
+                service.rpc(0, tags::SHUTDOWN, Vec::new()).unwrap();
+                (0, None)
+            }
+        });
+        assert_eq!(results[0], (2, Some(4242)));
+    }
+}

@@ -1,0 +1,216 @@
+//! The compressed data representation (paper §IV-B, Table I).
+//!
+//! A partition is a flat byte stream:
+//!
+//! ```text
+//! | num_files: u32 |
+//! | path: 256 B | compressor: u16 | stat: 144 B | size: u64 | data: size B |  (x num_files)
+//! ```
+//!
+//! Paths are NUL-padded to exactly 256 bytes; `compressor` is a
+//! [`CodecId`]; `size` is the *compressed* byte count; `stat.size` holds
+//! the original file size the decoder needs.
+
+use fanstore_compress::CodecId;
+
+use crate::stat::{FileStat, STAT_SIZE};
+use crate::FsError;
+
+/// Fixed width of the path field.
+pub const PATH_SIZE: usize = 256;
+/// Per-entry fixed overhead: path + compressor + stat + size.
+pub const ENTRY_OVERHEAD: usize = PATH_SIZE + 2 + STAT_SIZE + 8;
+
+/// One packed file entry (borrowing the data from the partition buffer
+/// when parsing).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PackEntry {
+    /// File path relative to the FanStore mount point.
+    pub path: String,
+    /// Codec the data was compressed with.
+    pub codec: CodecId,
+    /// File attributes; `stat.size` is the uncompressed length.
+    pub stat: FileStat,
+    /// Compressed payload.
+    pub data: Vec<u8>,
+}
+
+/// Incrementally build a partition in the Table I layout.
+pub struct PartitionBuilder {
+    buf: Vec<u8>,
+    count: u32,
+}
+
+impl PartitionBuilder {
+    /// Start an empty partition.
+    pub fn new() -> Self {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        PartitionBuilder { buf, count: 0 }
+    }
+
+    /// Append one compressed file.
+    ///
+    /// # Panics
+    /// If `path` exceeds 255 bytes (the fixed field must keep a NUL).
+    pub fn push(&mut self, path: &str, codec: CodecId, stat: &FileStat, data: &[u8]) {
+        assert!(path.len() < PATH_SIZE, "path too long for pack format: {path}");
+        let mut path_field = [0u8; PATH_SIZE];
+        path_field[..path.len()].copy_from_slice(path.as_bytes());
+        self.buf.extend_from_slice(&path_field);
+        self.buf.extend_from_slice(&codec.0.to_le_bytes());
+        stat.encode(&mut self.buf);
+        self.buf.extend_from_slice(&(data.len() as u64).to_le_bytes());
+        self.buf.extend_from_slice(data);
+        self.count += 1;
+    }
+
+    /// Number of files added so far.
+    pub fn len(&self) -> u32 {
+        self.count
+    }
+
+    /// True if no files were added.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Current partition size in bytes.
+    pub fn byte_len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Finish: patch the header count and return the partition bytes.
+    pub fn finish(mut self) -> Vec<u8> {
+        self.buf[..4].copy_from_slice(&self.count.to_le_bytes());
+        self.buf
+    }
+}
+
+impl Default for PartitionBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Parse a partition produced by [`PartitionBuilder`]. The whole stream is
+/// scanned once, as the loading step of §IV-C1 does.
+pub fn parse_partition(buf: &[u8]) -> Result<Vec<PackEntry>, FsError> {
+    if buf.len() < 4 {
+        return Err(FsError::Corrupt("partition header truncated".into()));
+    }
+    let count = u32::from_le_bytes(buf[..4].try_into().expect("4 bytes")) as usize;
+    // The count is untrusted wire data: cap the pre-allocation by what the
+    // buffer could possibly hold (each entry needs ENTRY_OVERHEAD bytes).
+    let max_plausible = buf.len() / ENTRY_OVERHEAD + 1;
+    let mut entries = Vec::with_capacity(count.min(max_plausible));
+    let mut pos = 4usize;
+    for i in 0..count {
+        if pos + ENTRY_OVERHEAD > buf.len() {
+            return Err(FsError::Corrupt(format!("entry {i} header truncated")));
+        }
+        let path_field = &buf[pos..pos + PATH_SIZE];
+        let path_end = path_field.iter().position(|&b| b == 0).unwrap_or(PATH_SIZE);
+        let path = std::str::from_utf8(&path_field[..path_end])
+            .map_err(|_| FsError::Corrupt(format!("entry {i} path not utf-8")))?
+            .to_string();
+        pos += PATH_SIZE;
+        let codec = CodecId(u16::from_le_bytes(buf[pos..pos + 2].try_into().expect("2 bytes")));
+        pos += 2;
+        let stat = FileStat::decode(&buf[pos..pos + STAT_SIZE])?;
+        pos += STAT_SIZE;
+        let size =
+            u64::from_le_bytes(buf[pos..pos + 8].try_into().expect("8 bytes")) as usize;
+        pos += 8;
+        if pos + size > buf.len() {
+            return Err(FsError::Corrupt(format!("entry {i} data truncated")));
+        }
+        let data = buf[pos..pos + size].to_vec();
+        pos += size;
+        entries.push(PackEntry { path, codec, stat, data });
+    }
+    Ok(entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fanstore_compress::CodecFamily;
+
+    fn codec() -> CodecId {
+        CodecId::new(CodecFamily::Lz4Hc, 9)
+    }
+
+    #[test]
+    fn empty_partition_roundtrip() {
+        let p = PartitionBuilder::new().finish();
+        assert_eq!(p.len(), 4);
+        assert!(parse_partition(&p).unwrap().is_empty());
+    }
+
+    #[test]
+    fn multi_entry_roundtrip() {
+        let mut b = PartitionBuilder::new();
+        let s1 = FileStat::regular(1, 100);
+        let s2 = FileStat::regular(2, 5);
+        b.push("dir/a.bin", codec(), &s1, &[9u8; 37]);
+        b.push("dir/sub/b.bin", codec(), &s2, &[]);
+        assert_eq!(b.len(), 2);
+        let bytes = b.finish();
+        let entries = parse_partition(&bytes).unwrap();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].path, "dir/a.bin");
+        assert_eq!(entries[0].data, vec![9u8; 37]);
+        assert_eq!(entries[0].stat, s1);
+        assert_eq!(entries[1].path, "dir/sub/b.bin");
+        assert!(entries[1].data.is_empty());
+    }
+
+    #[test]
+    fn layout_matches_table1_widths() {
+        let mut b = PartitionBuilder::new();
+        b.push("x", codec(), &FileStat::regular(1, 3), b"abc");
+        let bytes = b.finish();
+        // 4 (count) + 256 (path) + 2 (compressor) + 144 (stat) + 8 (size) + 3 (data)
+        assert_eq!(bytes.len(), 4 + 256 + 2 + 144 + 8 + 3);
+        // Path field is NUL-padded.
+        assert_eq!(bytes[4], b'x');
+        assert!(bytes[5..4 + 256].iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "path too long")]
+    fn overlong_path_panics() {
+        let mut b = PartitionBuilder::new();
+        let long = "p".repeat(256);
+        b.push(&long, codec(), &FileStat::regular(1, 0), &[]);
+    }
+
+    #[test]
+    fn truncated_partition_rejected() {
+        let mut b = PartitionBuilder::new();
+        b.push("f", codec(), &FileStat::regular(1, 10), &[0u8; 10]);
+        let bytes = b.finish();
+        for cut in [2usize, 100, bytes.len() - 1] {
+            assert!(parse_partition(&bytes[..cut]).is_err(), "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn count_mismatch_rejected() {
+        let mut b = PartitionBuilder::new();
+        b.push("f", codec(), &FileStat::regular(1, 4), &[1, 2, 3, 4]);
+        let mut bytes = b.finish();
+        bytes[..4].copy_from_slice(&5u32.to_le_bytes()); // claim 5 entries
+        assert!(parse_partition(&bytes).is_err());
+    }
+
+    #[test]
+    fn max_length_path_ok() {
+        let mut b = PartitionBuilder::new();
+        let path = "p".repeat(255);
+        b.push(&path, codec(), &FileStat::regular(1, 0), &[]);
+        let entries = parse_partition(&b.finish()).unwrap();
+        assert_eq!(entries[0].path, path);
+    }
+}

@@ -1,0 +1,146 @@
+//! Capacity-aware partition placement (paper §IV-C1, §V-D).
+//!
+//! "The program uses knowledge of the partition size and available local
+//! storage space to make dynamic decisions on how many partitions to load
+//! on each node": each rank first checks its *assigned* partitions fit its
+//! burst buffer, then decides how many *extra* ring rounds of replicas it
+//! can additionally hold — more local data means less interconnect
+//! traffic.
+
+use crate::FsError;
+
+/// A placement decision for a cluster.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlacementPlan {
+    /// Per-rank assigned partition indices (`i % nodes == rank`).
+    pub assigned: Vec<Vec<usize>>,
+    /// Ring replication rounds each node can afford on top of its own
+    /// partitions (0 = no replicas). Uniform across ranks, because ring
+    /// round `r` moves *every* rank's partitions simultaneously.
+    pub extra_rounds: usize,
+    /// Per-rank bytes after loading assigned + extras.
+    pub bytes_per_rank: Vec<u64>,
+}
+
+/// Bytes of the partitions assigned to `rank`.
+fn assigned_bytes(sizes: &[u64], nodes: usize, rank: usize) -> u64 {
+    sizes.iter().enumerate().filter(|(i, _)| i % nodes == rank).map(|(_, &s)| s).sum()
+}
+
+/// Compute a placement: verify every rank's assignment fits `capacity`
+/// (when given), then grant as many whole ring-replication rounds as every
+/// rank can hold, capped at `max_rounds` (`nodes - 1` covers full
+/// replication).
+pub fn plan(
+    sizes: &[u64],
+    nodes: usize,
+    capacity: Option<u64>,
+    max_rounds: usize,
+) -> Result<PlacementPlan, FsError> {
+    let nodes = nodes.max(1);
+    let assigned: Vec<Vec<usize>> = (0..nodes)
+        .map(|rank| (0..sizes.len()).filter(|i| i % nodes == rank).collect())
+        .collect();
+    let own: Vec<u64> = (0..nodes).map(|r| assigned_bytes(sizes, nodes, r)).collect();
+
+    if let Some(cap) = capacity {
+        for (rank, &bytes) in own.iter().enumerate() {
+            if bytes > cap {
+                return Err(FsError::Comm(format!(
+                    "rank {rank}: assigned partitions ({bytes} B) exceed node capacity \
+                     ({cap} B); use more nodes or a higher-ratio compressor"
+                )));
+            }
+        }
+    }
+
+    // Ring round r adds, on rank k, the partitions of rank (k - r) mod n.
+    // Grant rounds while *every* rank still fits.
+    let hard_cap = max_rounds.min(nodes - 1);
+    let mut extra_rounds = 0usize;
+    let mut held = own.clone();
+    'rounds: for r in 1..=hard_cap {
+        let mut next = held.clone();
+        for (k, next_k) in next.iter_mut().enumerate() {
+            let source_rank = (k + nodes - r) % nodes;
+            *next_k += own[source_rank];
+            if let Some(cap) = capacity {
+                if *next_k > cap {
+                    break 'rounds;
+                }
+            }
+        }
+        held = next;
+        extra_rounds = r;
+    }
+
+    Ok(PlacementPlan { assigned, extra_rounds, bytes_per_rank: held })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assignment_is_round_robin() {
+        let p = plan(&[10, 10, 10, 10, 10], 2, None, 0).unwrap();
+        assert_eq!(p.assigned[0], vec![0, 2, 4]);
+        assert_eq!(p.assigned[1], vec![1, 3]);
+        assert_eq!(p.bytes_per_rank, vec![30, 20]);
+    }
+
+    #[test]
+    fn no_capacity_grants_requested_rounds() {
+        let p = plan(&[5, 5, 5, 5], 4, None, 3).unwrap();
+        assert_eq!(p.extra_rounds, 3, "unbounded capacity: full replication");
+        assert_eq!(p.bytes_per_rank, vec![20; 4]);
+    }
+
+    #[test]
+    fn capacity_limits_extra_rounds() {
+        // 4 nodes x 10 B partitions, 25 B capacity: own 10 + one extra
+        // round 10 = 20 fits; two rounds = 30 does not.
+        let p = plan(&[10, 10, 10, 10], 4, Some(25), 3).unwrap();
+        assert_eq!(p.extra_rounds, 1);
+        assert_eq!(p.bytes_per_rank, vec![20; 4]);
+    }
+
+    #[test]
+    fn oversized_assignment_rejected() {
+        let err = plan(&[100], 1, Some(50), 0).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("exceed node capacity"), "{msg}");
+    }
+
+    #[test]
+    fn exact_fit_accepted() {
+        let p = plan(&[50, 50], 2, Some(50), 1).unwrap();
+        assert_eq!(p.extra_rounds, 0, "no headroom for replicas");
+    }
+
+    #[test]
+    fn uneven_partitions_bound_by_largest_rank() {
+        // Rank 0 holds 100, rank 1 holds 10; capacity 115 allows one round
+        // on rank 1 (10+100=110) but rank 0 (100+10=110) also fits -> 1.
+        let p = plan(&[100, 10], 2, Some(115), 1).unwrap();
+        assert_eq!(p.extra_rounds, 1);
+        // Capacity 105: rank 1 would need 110 -> no rounds.
+        let p = plan(&[100, 10], 2, Some(105), 1).unwrap();
+        assert_eq!(p.extra_rounds, 0);
+    }
+
+    #[test]
+    fn single_node_has_no_rounds() {
+        let p = plan(&[10, 10], 1, None, 5).unwrap();
+        assert_eq!(p.extra_rounds, 0);
+        assert_eq!(p.bytes_per_rank, vec![20]);
+    }
+
+    #[test]
+    fn more_nodes_than_partitions() {
+        let p = plan(&[10, 10], 4, Some(100), 3).unwrap();
+        assert_eq!(p.assigned[2], Vec::<usize>::new());
+        // Rounds still propagate data to empty ranks.
+        assert!(p.extra_rounds > 0);
+    }
+}

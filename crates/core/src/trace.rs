@@ -1,0 +1,307 @@
+//! I/O tracing: record the call stream a training program issues against
+//! the POSIX surface (§II-B's access-pattern characterisation, as a
+//! built-in observability feature).
+//!
+//! A [`TraceRecorder`] collects per-operation events cheaply (atomics +
+//! a mutex-guarded ring); [`TraceSummary`] aggregates them into the
+//! paper's workload metrics: metadata-call counts (the §II-B1 "metadata
+//! storm"), read counts/bytes, and the read/metadata mix. Traces can be
+//! serialised to a compact text form and replayed against any client.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+/// The operation kinds of the ten-call surface.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Op {
+    /// `open()` for read.
+    Open,
+    /// `close()`.
+    Close,
+    /// `read()`.
+    Read,
+    /// `lseek()`.
+    Seek,
+    /// `write()`.
+    Write,
+    /// `stat()`.
+    Stat,
+    /// `opendir()` / `readdir()` / `closedir()` combined.
+    Readdir,
+}
+
+impl Op {
+    /// Short mnemonic for the text form.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            Op::Open => "open",
+            Op::Close => "close",
+            Op::Read => "read",
+            Op::Seek => "seek",
+            Op::Write => "write",
+            Op::Stat => "stat",
+            Op::Readdir => "readdir",
+        }
+    }
+
+    /// Whether this is a metadata operation (hits the MDS on a shared FS).
+    pub fn is_metadata(self) -> bool {
+        matches!(self, Op::Stat | Op::Readdir | Op::Open)
+    }
+}
+
+/// One recorded event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Operation kind.
+    pub op: Op,
+    /// Path the operation touched (empty for fd-only ops).
+    pub path: String,
+    /// Bytes moved (reads/writes).
+    pub bytes: u64,
+}
+
+/// Cheap concurrent trace recorder with a bounded event ring.
+pub struct TraceRecorder {
+    counts: [AtomicU64; 7],
+    bytes_read: AtomicU64,
+    bytes_written: AtomicU64,
+    ring: Mutex<Vec<Event>>,
+    ring_cap: usize,
+}
+
+impl TraceRecorder {
+    /// Create with an event ring of `ring_cap` entries (0 = counters only).
+    pub fn new(ring_cap: usize) -> Self {
+        TraceRecorder {
+            counts: Default::default(),
+            bytes_read: AtomicU64::new(0),
+            bytes_written: AtomicU64::new(0),
+            ring: Mutex::new(Vec::with_capacity(ring_cap.min(4096))),
+            ring_cap,
+        }
+    }
+
+    fn slot(op: Op) -> usize {
+        match op {
+            Op::Open => 0,
+            Op::Close => 1,
+            Op::Read => 2,
+            Op::Seek => 3,
+            Op::Write => 4,
+            Op::Stat => 5,
+            Op::Readdir => 6,
+        }
+    }
+
+    /// Record one operation.
+    pub fn record(&self, op: Op, path: &str, bytes: u64) {
+        self.counts[Self::slot(op)].fetch_add(1, Ordering::Relaxed);
+        match op {
+            Op::Read => {
+                self.bytes_read.fetch_add(bytes, Ordering::Relaxed);
+            }
+            Op::Write => {
+                self.bytes_written.fetch_add(bytes, Ordering::Relaxed);
+            }
+            _ => {}
+        }
+        if self.ring_cap > 0 {
+            let mut ring = self.ring.lock();
+            if ring.len() < self.ring_cap {
+                ring.push(Event { op, path: path.to_string(), bytes });
+            }
+        }
+    }
+
+    /// Count of one operation kind.
+    pub fn count(&self, op: Op) -> u64 {
+        self.counts[Self::slot(op)].load(Ordering::Relaxed)
+    }
+
+    /// Aggregate summary.
+    pub fn summary(&self) -> TraceSummary {
+        TraceSummary {
+            opens: self.count(Op::Open),
+            closes: self.count(Op::Close),
+            reads: self.count(Op::Read),
+            seeks: self.count(Op::Seek),
+            writes: self.count(Op::Write),
+            stats: self.count(Op::Stat),
+            readdirs: self.count(Op::Readdir),
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+            bytes_written: self.bytes_written.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The recorded event prefix (up to the ring capacity), serialised one
+    /// event per line: `op path bytes`.
+    pub fn serialize(&self) -> String {
+        let ring = self.ring.lock();
+        let mut out = String::new();
+        for e in ring.iter() {
+            out.push_str(&format!("{} {} {}\n", e.op.mnemonic(), e.path, e.bytes));
+        }
+        out
+    }
+
+    /// Parse the text form back into events.
+    pub fn parse(text: &str) -> Result<Vec<Event>, String> {
+        let mut events = Vec::new();
+        for (lineno, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let op = match parts.next() {
+                Some("open") => Op::Open,
+                Some("close") => Op::Close,
+                Some("read") => Op::Read,
+                Some("seek") => Op::Seek,
+                Some("write") => Op::Write,
+                Some("stat") => Op::Stat,
+                Some("readdir") => Op::Readdir,
+                other => return Err(format!("line {}: bad op {:?}", lineno + 1, other)),
+            };
+            let path = parts.next().unwrap_or("").to_string();
+            let bytes = parts
+                .next()
+                .unwrap_or("0")
+                .parse()
+                .map_err(|e| format!("line {}: bad bytes: {e}", lineno + 1))?;
+            events.push(Event { op, path, bytes });
+        }
+        Ok(events)
+    }
+}
+
+/// Aggregated workload metrics (the §II-B characterisation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// `open()` calls.
+    pub opens: u64,
+    /// `close()` calls.
+    pub closes: u64,
+    /// `read()` calls.
+    pub reads: u64,
+    /// `lseek()` calls.
+    pub seeks: u64,
+    /// `write()` calls.
+    pub writes: u64,
+    /// `stat()` calls.
+    pub stats: u64,
+    /// directory operations.
+    pub readdirs: u64,
+    /// Bytes delivered by reads.
+    pub bytes_read: u64,
+    /// Bytes accepted by writes.
+    pub bytes_written: u64,
+}
+
+impl TraceSummary {
+    /// Total metadata operations (what a shared file system's MDS would
+    /// absorb).
+    pub fn metadata_ops(&self) -> u64 {
+        self.opens + self.stats + self.readdirs
+    }
+
+    /// Metadata-to-data call ratio: the paper's core observation is that
+    /// DL startup is metadata-dominated while steady state is
+    /// read-dominated.
+    pub fn metadata_fraction(&self) -> f64 {
+        let total = self.metadata_ops() + self.reads + self.writes;
+        if total == 0 {
+            return 0.0;
+        }
+        self.metadata_ops() as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let t = TraceRecorder::new(0);
+        t.record(Op::Open, "a", 0);
+        t.record(Op::Read, "a", 100);
+        t.record(Op::Read, "a", 50);
+        t.record(Op::Close, "a", 0);
+        t.record(Op::Stat, "b", 0);
+        let s = t.summary();
+        assert_eq!(s.opens, 1);
+        assert_eq!(s.reads, 2);
+        assert_eq!(s.bytes_read, 150);
+        assert_eq!(s.metadata_ops(), 2);
+    }
+
+    #[test]
+    fn ring_bounded() {
+        let t = TraceRecorder::new(3);
+        for i in 0..10 {
+            t.record(Op::Read, &format!("f{i}"), 1);
+        }
+        assert_eq!(t.serialize().lines().count(), 3);
+        assert_eq!(t.summary().reads, 10, "counters keep counting past the ring");
+    }
+
+    #[test]
+    fn serialize_parse_roundtrip() {
+        let t = TraceRecorder::new(16);
+        t.record(Op::Open, "d/f.bin", 0);
+        t.record(Op::Read, "d/f.bin", 4096);
+        t.record(Op::Seek, "d/f.bin", 0);
+        t.record(Op::Write, "out.log", 17);
+        t.record(Op::Readdir, "d", 0);
+        let text = t.serialize();
+        let events = TraceRecorder::parse(&text).unwrap();
+        assert_eq!(events.len(), 5);
+        assert_eq!(events[1], Event { op: Op::Read, path: "d/f.bin".into(), bytes: 4096 });
+        assert_eq!(events[4].op, Op::Readdir);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(TraceRecorder::parse("frobnicate x 0").is_err());
+        assert!(TraceRecorder::parse("read x notanumber").is_err());
+        assert!(TraceRecorder::parse("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn metadata_fraction_profile() {
+        // Enumeration-style trace: metadata-dominated.
+        let t = TraceRecorder::new(0);
+        for i in 0..100 {
+            t.record(Op::Stat, &format!("f{i}"), 0);
+        }
+        t.record(Op::Readdir, "", 0);
+        assert!(t.summary().metadata_fraction() > 0.99);
+
+        // Steady-state trace: read-dominated.
+        let t2 = TraceRecorder::new(0);
+        for i in 0..100 {
+            t2.record(Op::Read, &format!("f{i}"), 1 << 20);
+        }
+        t2.record(Op::Open, "f0", 0);
+        assert!(t2.summary().metadata_fraction() < 0.02);
+    }
+
+    #[test]
+    fn concurrent_recording() {
+        let t = std::sync::Arc::new(TraceRecorder::new(0));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let t = std::sync::Arc::clone(&t);
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        t.record(Op::Read, "f", 8);
+                    }
+                });
+            }
+        });
+        assert_eq!(t.summary().reads, 4000);
+        assert_eq!(t.summary().bytes_read, 32_000);
+    }
+}

@@ -1,0 +1,89 @@
+//! Astronomy survey FITS generator.
+//!
+//! Survey frames are a nearly-flat sky background with Gaussian read
+//! noise and sparse point sources, stored under an ASCII card header.
+//! Paper ratios (Table IV): lzsse8 ≈ 2.6, lz4hc ≈ 2.2, lzma/xz ≈ 3.4.
+//!
+//! Construction: 2880-byte FITS header (80-char cards), then BITPIX=16
+//! pixels laid out planar — a smooth sky plane plus a 5-bit noise plane —
+//! with a sprinkle of saturated stars.
+
+use rand::Rng;
+
+use crate::noise::SmoothField;
+
+/// Generate one synthetic FITS frame of roughly `size` bytes.
+pub fn generate<R: Rng>(rng: &mut R, size: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(size + 2880);
+    let pixels = size.saturating_sub(2880) / 2;
+    let width = (pixels as f64).sqrt() as usize + 1;
+    let height = pixels / width.max(1) + 1;
+
+    // FITS header: 80-byte ASCII cards padded to a 2880-byte block.
+    let cards = [
+        "SIMPLE  =                    T / conforms to FITS standard".to_string(),
+        "BITPIX  =                   16 / 16-bit signed integers".to_string(),
+        "NAXIS   =                    2 / two data axes".to_string(),
+        format!("NAXIS1  = {width:>20} / pixels per row"),
+        format!("NAXIS2  = {height:>20} / rows"),
+        "BZERO   =                32768 / offset for unsigned".to_string(),
+        "TELESCOP= 'SYNTHETIC SURVEY'   / fanstore-datagen".to_string(),
+        "END".to_string(),
+    ];
+    for card in &cards {
+        let mut c = card.clone().into_bytes();
+        c.resize(80, b' ');
+        out.extend_from_slice(&c);
+    }
+    out.resize(2880, b' ');
+
+    // Sky plane: smooth background gradient, 6-bit quantised.
+    let field = SmoothField::new(rng, width, height, 32, 255.0);
+    let mut emitted = 0usize;
+    'rows: for y in 0..height {
+        for x in 0..width {
+            if emitted >= pixels {
+                break 'rows;
+            }
+            out.push((field.at(x, y) as u32).min(255) as u8 & 0xFC);
+            emitted += 1;
+        }
+    }
+
+    // Noise plane: 5-bit read noise, plus rare saturated "stars".
+    for _ in 0..pixels {
+        if rng.gen_ratio(1, 4096) {
+            out.push(0xFF); // star core
+        } else {
+            let n: u8 = rng.gen_range(0..32);
+            out.push(n << 1);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn header_is_fits_cards() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let data = generate(&mut rng, 65536);
+        assert!(data.starts_with(b"SIMPLE  ="));
+        // Header block is exactly 2880 ASCII bytes.
+        assert!(data[..2880].iter().all(|&b| b.is_ascii()));
+    }
+
+    #[test]
+    fn stars_are_rare_but_present() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let data = generate(&mut rng, 1_048_576);
+        let saturated = data[2880..].iter().filter(|&&b| b == 0xFF).count();
+        let frac = saturated as f64 / (data.len() - 2880) as f64;
+        assert!(frac > 0.0, "no stars generated");
+        assert!(frac < 0.01, "too many stars: {frac}");
+    }
+}

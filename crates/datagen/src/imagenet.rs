@@ -1,0 +1,85 @@
+//! ImageNet JPEG generator.
+//!
+//! JPEGs are already entropy-coded: the paper measures compression ratio
+//! 1.0 on ImageNet for every lossless compressor (Table IV). We emulate
+//! that with a JFIF-style header followed by uniformly random bytes (the
+//! Huffman-coded scan of a real JPEG is statistically indistinguishable
+//! from random for a second-stage lossless compressor).
+
+use rand::Rng;
+
+/// Generate one synthetic JPEG of roughly `size` bytes.
+pub fn generate<R: Rng>(rng: &mut R, size: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(size);
+    // SOI + APP0 JFIF header.
+    out.extend_from_slice(&[0xFF, 0xD8, 0xFF, 0xE0, 0x00, 0x10]);
+    out.extend_from_slice(b"JFIF\0");
+    out.extend_from_slice(&[0x01, 0x02, 0x00, 0x00, 0x48, 0x00, 0x48, 0x00, 0x00]);
+    // A quantisation table marker and some plausible table bytes.
+    out.extend_from_slice(&[0xFF, 0xDB, 0x00, 0x43, 0x00]);
+    for i in 0..64u8 {
+        out.push(16 + i / 4);
+    }
+    // Start-of-scan, then the entropy-coded payload: random bytes with
+    // JPEG's 0xFF byte-stuffing convention.
+    out.extend_from_slice(&[0xFF, 0xDA, 0x00, 0x08, 0x01, 0x01, 0x00, 0x00, 0x3F, 0x00]);
+    while out.len() + 2 < size {
+        let b: u8 = rng.gen();
+        out.push(b);
+        if b == 0xFF {
+            out.push(0x00); // stuffing
+        }
+    }
+    out.extend_from_slice(&[0xFF, 0xD9]); // EOI
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn jpeg_markers_present() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let data = generate(&mut rng, 4096);
+        assert_eq!(&data[..2], [0xFF, 0xD8]);
+        assert_eq!(&data[data.len() - 2..], [0xFF, 0xD9]);
+    }
+
+    #[test]
+    fn payload_has_high_entropy() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let data = generate(&mut rng, 65536);
+        // Shannon entropy of the body should be near 8 bits/byte.
+        let mut counts = [0u64; 256];
+        for &b in &data[100..] {
+            counts[b as usize] += 1;
+        }
+        let n = (data.len() - 100) as f64;
+        let entropy: f64 = counts
+            .iter()
+            .filter(|&&c| c > 0)
+            .map(|&c| {
+                let p = c as f64 / n;
+                -p * p.log2()
+            })
+            .sum();
+        assert!(entropy > 7.9, "entropy {entropy}");
+    }
+
+    #[test]
+    fn ff_bytes_are_stuffed() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let data = generate(&mut rng, 32768);
+        // Every 0xFF in the scan (after SOS, before EOI) is followed by a
+        // 0x00 or is part of the EOI.
+        let sos = data.windows(2).position(|w| w == [0xFF, 0xDA]).unwrap() + 10;
+        for i in sos..data.len() - 2 {
+            if data[i] == 0xFF {
+                assert_eq!(data[i + 1], 0x00, "unstuffed 0xFF at {i}");
+            }
+        }
+    }
+}

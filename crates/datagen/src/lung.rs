@@ -1,0 +1,88 @@
+//! Lung CT NIfTI generator.
+//!
+//! CT volumes are mostly air: a large exactly-zero (or constant HU)
+//! background with smooth tissue in the middle. That is why the paper
+//! measures the best ratios of all six datasets on them — lzsse8 ≈ 5.7,
+//! lz4hc ≈ 6.5, lzma/xz ≈ 10.8 (Table IV).
+
+use rand::Rng;
+
+use crate::noise::SmoothField;
+
+/// Fraction of voxels that are background (air).
+const BACKGROUND_FRACTION: f64 = 0.78;
+
+/// Generate one synthetic CT slice stack of roughly `size` bytes.
+pub fn generate<R: Rng>(rng: &mut R, size: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(size + 352);
+    // NIfTI-1 header is exactly 348 bytes; start with sizeof_hdr and the
+    // magic at offset 344.
+    let mut header = vec![0u8; 352];
+    header[..4].copy_from_slice(&348i32.to_le_bytes());
+    header[344..348].copy_from_slice(b"n+1\0");
+    out.extend_from_slice(&header);
+
+    let voxels = size.saturating_sub(out.len()) / 2;
+    let width = (voxels as f64).sqrt() as usize + 1;
+    let height = voxels / width.max(1) + 1;
+    let field = SmoothField::new(rng, width, height, 16, 250.0);
+
+    // A centred elliptical "body" occupies (1 - BACKGROUND_FRACTION) of
+    // the slice; everything else is exactly zero.
+    let a = width as f64 / 2.0;
+    let b = height as f64 / 2.0;
+    let body_scale = (1.0 - BACKGROUND_FRACTION).sqrt();
+    let mut emitted = 0usize;
+    'rows: for y in 0..height {
+        for x in 0..width {
+            if emitted >= voxels {
+                break 'rows;
+            }
+            let dx = (x as f64 - a) / (a * body_scale);
+            let dy = (y as f64 - b) / (b * body_scale);
+            let sample: u16 = if dx * dx + dy * dy <= 1.0 {
+                // Tissue: smooth base + 3-bit quantised noise.
+                let base = field.at(x, y) as u16;
+                let n: u16 = rng.gen_range(0..8);
+                (base << 3 | n).min(4095)
+            } else {
+                0
+            };
+            out.extend_from_slice(&sample.to_le_bytes());
+            emitted += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn header_is_nifti() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let data = generate(&mut rng, 65536);
+        assert_eq!(&data[344..348], b"n+1\0");
+        assert_eq!(i32::from_le_bytes(data[..4].try_into().unwrap()), 348);
+    }
+
+    #[test]
+    fn mostly_zero_background() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let data = generate(&mut rng, 262144);
+        let zeros = data[352..].iter().filter(|&&b| b == 0).count();
+        let frac = zeros as f64 / (data.len() - 352) as f64;
+        assert!(frac > 0.6, "zero fraction {frac}");
+    }
+
+    #[test]
+    fn tissue_present() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let data = generate(&mut rng, 262144);
+        let nonzero = data[352..].iter().filter(|&&b| b != 0).count();
+        assert!(nonzero > 1000);
+    }
+}

@@ -1,0 +1,88 @@
+//! Shared random-field helpers for the image-like generators.
+
+use rand::Rng;
+
+/// A smooth 2-D field built from a coarse random lattice with bilinear
+/// interpolation — the cheap stand-in for the low-frequency content of
+/// microscopy/astronomy images (what makes their high bytes predictable).
+pub struct SmoothField {
+    lattice: Vec<f32>,
+    lw: usize,
+    lh: usize,
+    cell: usize,
+}
+
+impl SmoothField {
+    /// Build a field covering `width x height` pixels with lattice spacing
+    /// `cell` and amplitude in `[0, amplitude]`.
+    pub fn new<R: Rng>(rng: &mut R, width: usize, height: usize, cell: usize, amplitude: f32) -> Self {
+        let lw = width / cell + 2;
+        let lh = height / cell + 2;
+        let lattice = (0..lw * lh).map(|_| rng.gen::<f32>() * amplitude).collect();
+        SmoothField { lattice, lw, lh, cell }
+    }
+
+    /// Sample the field at pixel `(x, y)`.
+    pub fn at(&self, x: usize, y: usize) -> f32 {
+        let cx = x / self.cell;
+        let cy = y / self.cell;
+        let fx = (x % self.cell) as f32 / self.cell as f32;
+        let fy = (y % self.cell) as f32 / self.cell as f32;
+        let idx = |gx: usize, gy: usize| self.lattice[(gy.min(self.lh - 1)) * self.lw + gx.min(self.lw - 1)];
+        let v00 = idx(cx, cy);
+        let v10 = idx(cx + 1, cy);
+        let v01 = idx(cx, cy + 1);
+        let v11 = idx(cx + 1, cy + 1);
+        let top = v00 + (v10 - v00) * fx;
+        let bot = v01 + (v11 - v01) * fx;
+        top + (bot - top) * fy
+    }
+}
+
+/// Approximate Gaussian sample via the sum of three uniforms (Irwin–Hall),
+/// scaled to the requested standard deviation. Fast and good enough for
+/// sensor-noise emulation.
+#[inline]
+pub fn gaussian<R: Rng>(rng: &mut R, sigma: f32) -> f32 {
+    let s: f32 = rng.gen::<f32>() + rng.gen::<f32>() + rng.gen::<f32>();
+    (s - 1.5) * 2.0 * sigma
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn smooth_field_is_continuous() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let f = SmoothField::new(&mut rng, 64, 64, 16, 1000.0);
+        // Adjacent samples differ by much less than the amplitude.
+        for y in 0..63 {
+            for x in 0..63 {
+                let d = (f.at(x, y) - f.at(x + 1, y)).abs();
+                assert!(d < 150.0, "jump {d} at ({x},{y})");
+            }
+        }
+    }
+
+    #[test]
+    fn gaussian_is_roughly_centred() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let n = 10_000;
+        let mean: f32 = (0..n).map(|_| gaussian(&mut rng, 5.0)).sum::<f32>() / n as f32;
+        assert!(mean.abs() < 0.5, "mean {mean}");
+    }
+
+    #[test]
+    fn gaussian_spread_scales_with_sigma() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let spread = |rng: &mut ChaCha8Rng, sigma: f32| -> f32 {
+            (0..5000).map(|_| gaussian(rng, sigma).abs()).sum::<f32>() / 5000.0
+        };
+        let narrow = spread(&mut rng, 1.0);
+        let wide = spread(&mut rng, 10.0);
+        assert!(wide > narrow * 5.0);
+    }
+}

@@ -1,0 +1,160 @@
+//! Dataset statistics: the measurements the paper's Table II reports per
+//! dataset (counts, sizes) plus byte-level entropy, which bounds what any
+//! order-0 compressor can achieve and anchors the Figure 7 discussion.
+
+use crate::DatasetSpec;
+
+/// Shannon entropy of a byte stream, in bits per byte.
+pub fn shannon_entropy(data: &[u8]) -> f64 {
+    if data.is_empty() {
+        return 0.0;
+    }
+    let mut counts = [0u64; 256];
+    for &b in data {
+        counts[b as usize] += 1;
+    }
+    let n = data.len() as f64;
+    counts
+        .iter()
+        .filter(|&&c| c > 0)
+        .map(|&c| {
+            let p = c as f64 / n;
+            -p * p.log2()
+        })
+        .sum()
+}
+
+/// Order-1 (conditional) entropy in bits per byte: how predictable each
+/// byte is given its predecessor — a tighter bound for context-modelling
+/// compressors (lzma, brotli).
+pub fn order1_entropy(data: &[u8]) -> f64 {
+    if data.len() < 2 {
+        return shannon_entropy(data);
+    }
+    // Context bucketing on the high 4 bits of the previous byte keeps the
+    // table small while capturing most of the structure.
+    let mut counts = vec![[0u64; 256]; 16];
+    let mut ctx_totals = [0u64; 16];
+    let mut prev = data[0];
+    for &b in &data[1..] {
+        let ctx = (prev >> 4) as usize;
+        counts[ctx][b as usize] += 1;
+        ctx_totals[ctx] += 1;
+        prev = b;
+    }
+    let n = (data.len() - 1) as f64;
+    let mut h = 0.0;
+    for (ctx, table) in counts.iter().enumerate() {
+        let total = ctx_totals[ctx] as f64;
+        if total == 0.0 {
+            continue;
+        }
+        let ctx_h: f64 = table
+            .iter()
+            .filter(|&&c| c > 0)
+            .map(|&c| {
+                let p = c as f64 / total;
+                -p * p.log2()
+            })
+            .sum();
+        h += total / n * ctx_h;
+    }
+    h
+}
+
+/// Summary statistics for a generated dataset sample.
+#[derive(Debug, Clone)]
+pub struct DatasetSummary {
+    /// Files sampled.
+    pub files: usize,
+    /// Total sampled bytes.
+    pub total_bytes: usize,
+    /// Mean file size.
+    pub avg_size: f64,
+    /// Order-0 entropy, bits/byte.
+    pub entropy_bits: f64,
+    /// Order-1 entropy, bits/byte.
+    pub order1_bits: f64,
+}
+
+impl DatasetSummary {
+    /// The order-0 entropy bound on compression ratio (8 / H).
+    pub fn entropy_ratio_bound(&self) -> f64 {
+        if self.entropy_bits <= 0.0 {
+            f64::INFINITY
+        } else {
+            8.0 / self.entropy_bits
+        }
+    }
+}
+
+/// Sample `n` files of `spec` and summarise them.
+pub fn summarize(spec: &DatasetSpec, n: usize) -> DatasetSummary {
+    let mut total = 0usize;
+    let mut concat = Vec::new();
+    let n = n.max(1);
+    for i in 0..n {
+        let f = spec.generate(i);
+        total += f.len();
+        concat.extend_from_slice(&f);
+    }
+    DatasetSummary {
+        files: n,
+        total_bytes: total,
+        avg_size: total as f64 / n as f64,
+        entropy_bits: shannon_entropy(&concat),
+        order1_bits: order1_entropy(&concat),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DatasetKind;
+
+    #[test]
+    fn entropy_extremes() {
+        assert_eq!(shannon_entropy(&[]), 0.0);
+        assert_eq!(shannon_entropy(&[7u8; 1000]), 0.0);
+        let uniform: Vec<u8> = (0..=255u8).cycle().take(25600).collect();
+        assert!((shannon_entropy(&uniform) - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn order1_no_higher_than_order0() {
+        // Conditioning can only reduce entropy (within estimation noise).
+        for kind in DatasetKind::ALL {
+            let spec = DatasetSpec::scaled(kind, 2, 9);
+            let s = summarize(&spec, 2);
+            assert!(
+                s.order1_bits <= s.entropy_bits + 0.05,
+                "{kind:?}: H1 {} vs H0 {}",
+                s.order1_bits,
+                s.entropy_bits
+            );
+        }
+    }
+
+    #[test]
+    fn imagenet_near_incompressible_by_entropy() {
+        let spec = DatasetSpec::scaled(DatasetKind::ImageNetJpg, 2, 1);
+        let s = summarize(&spec, 2);
+        assert!(s.entropy_bits > 7.8, "jpeg payload entropy {}", s.entropy_bits);
+        assert!(s.entropy_ratio_bound() < 1.05);
+    }
+
+    #[test]
+    fn lung_entropy_far_below_8() {
+        let spec = DatasetSpec::scaled(DatasetKind::LungNii, 2, 1);
+        let s = summarize(&spec, 2);
+        assert!(s.entropy_bits < 4.0, "sparse CT entropy {}", s.entropy_bits);
+    }
+
+    #[test]
+    fn summary_sizes_consistent() {
+        let spec = DatasetSpec::scaled(DatasetKind::LanguageTxt, 3, 2);
+        let s = summarize(&spec, 3);
+        assert_eq!(s.files, 3);
+        assert!((s.avg_size - s.total_bytes as f64 / 3.0).abs() < 1e-9);
+    }
+}

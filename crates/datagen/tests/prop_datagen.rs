@@ -1,0 +1,69 @@
+//! Property tests over the dataset generators: determinism, size control
+//! and structural invariants for arbitrary spec parameters.
+
+use fanstore_datagen::{DatasetKind, DatasetSpec};
+use proptest::prelude::*;
+
+fn kind_strategy() -> impl Strategy<Value = DatasetKind> {
+    prop_oneof![
+        Just(DatasetKind::EmTif),
+        Just(DatasetKind::TokamakNpz),
+        Just(DatasetKind::LungNii),
+        Just(DatasetKind::AstroFits),
+        Just(DatasetKind::ImageNetJpg),
+        Just(DatasetKind::LanguageTxt),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn generation_deterministic_for_any_seed(kind in kind_strategy(), seed in any::<u64>(), idx in 0usize..50) {
+        let spec = DatasetSpec::scaled(kind, 64, seed);
+        prop_assert_eq!(spec.generate(idx), spec.generate(idx));
+    }
+
+    #[test]
+    fn custom_file_sizes_are_respected(
+        kind in kind_strategy(),
+        size in 2048usize..65536,
+        seed in any::<u64>(),
+    ) {
+        let mut spec = DatasetSpec::scaled(kind, 1, seed);
+        spec.file_size = size;
+        let data = spec.generate(0);
+        // Within a factor of 2 of the request (generators round to
+        // format-natural units: pixels, samples, records).
+        prop_assert!(data.len() >= size / 2 && data.len() <= size * 2,
+            "{kind:?}: asked {size}, got {}", data.len());
+    }
+
+    #[test]
+    fn paths_unique_and_well_formed(kind in kind_strategy(), n in 1usize..200, seed in any::<u64>()) {
+        let spec = DatasetSpec::scaled(kind, n, seed);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..n {
+            let p = spec.path_of(i);
+            prop_assert!(p.ends_with(kind.extension()), "{p}");
+            prop_assert!(!p.starts_with('/') && !p.contains("//"), "{p}");
+            prop_assert!(p.len() < 256, "pack format limit");
+            prop_assert!(seen.insert(p), "duplicate path at {i}");
+        }
+    }
+
+    #[test]
+    fn directory_count_respects_table2_layout(kind in kind_strategy(), n in 1usize..300) {
+        let spec = DatasetSpec::scaled(kind, n, 0);
+        let dirs: std::collections::HashSet<String> = (0..n)
+            .map(|i| spec.path_of(i).split('/').nth(1).unwrap().to_string())
+            .collect();
+        prop_assert!(dirs.len() <= kind.paper_dir_count().min(n));
+    }
+
+    #[test]
+    fn different_files_have_different_content(kind in kind_strategy(), seed in any::<u64>()) {
+        let spec = DatasetSpec::scaled(kind, 2, seed);
+        prop_assert_ne!(spec.generate(0), spec.generate(1));
+    }
+}

@@ -1,0 +1,98 @@
+//! Calibration tests: the synthetic datasets must land near the paper's
+//! Table IV compression ratios, because every downstream experiment
+//! (Figure 7, Table VII, Figure 8) depends on that compressibility.
+//!
+//! Bands are deliberately generous — we need the *ordering and rough
+//! magnitude* to hold, not the third significant digit.
+
+use fanstore_compress::registry::parse_name;
+use fanstore_compress::{compress_to_vec, registry::create};
+use fanstore_datagen::{DatasetKind, DatasetSpec};
+
+fn ratio(kind: DatasetKind, codec_name: &str) -> f64 {
+    let codec = create(parse_name(codec_name).unwrap()).unwrap();
+    let spec = DatasetSpec::scaled(kind, 4, 0xFA57);
+    let mut input = 0usize;
+    let mut output = 0usize;
+    for i in 0..spec.num_files {
+        let data = spec.generate(i);
+        input += data.len();
+        output += compress_to_vec(codec.as_ref(), &data).len();
+    }
+    input as f64 / output as f64
+}
+
+#[track_caller]
+fn assert_band(kind: DatasetKind, codec: &str, lo: f64, hi: f64) {
+    let r = ratio(kind, codec);
+    assert!(
+        (lo..=hi).contains(&r),
+        "{:?} with {codec}: ratio {r:.2} outside [{lo}, {hi}] (paper band)",
+        kind
+    );
+}
+
+// Table IV, EM row: lzsse8 2.3, lz4hc 2.0, lzma 4.0.
+#[test]
+fn em_ratios_match_paper_band() {
+    assert_band(DatasetKind::EmTif, "lzsse8-2", 1.4, 3.3);
+    assert_band(DatasetKind::EmTif, "lz4hc-9", 1.5, 3.0);
+    assert_band(DatasetKind::EmTif, "lzma-6", 2.8, 5.5);
+}
+
+// Table IV, Tokamak row: lzsse8 2.6, lz4hc 3.0, lzma 3.6.
+#[test]
+fn tokamak_ratios_match_paper_band() {
+    assert_band(DatasetKind::TokamakNpz, "lz4hc-9", 1.8, 4.5);
+    assert_band(DatasetKind::TokamakNpz, "lzma-6", 2.4, 5.5);
+}
+
+// Table IV, Lung row: lzsse8 5.7, lz4hc 6.5, lzma 10.8.
+#[test]
+fn lung_ratios_match_paper_band() {
+    assert_band(DatasetKind::LungNii, "lz4hc-9", 4.0, 10.0);
+    assert_band(DatasetKind::LungNii, "lzma-6", 7.0, 17.0);
+}
+
+// Table IV, Astro row: lzsse8 2.6, lz4hc 2.2, lzma 3.4.
+#[test]
+fn astro_ratios_match_paper_band() {
+    assert_band(DatasetKind::AstroFits, "lz4hc-9", 1.6, 3.2);
+    assert_band(DatasetKind::AstroFits, "lzma-6", 2.4, 4.8);
+}
+
+// Table IV, ImageNet row: ratio 1.0 for everything.
+#[test]
+fn imagenet_is_incompressible() {
+    for codec in ["lzsse8-2", "lz4hc-9", "lzma-6", "xz-6", "zling-4", "brotli-9"] {
+        let r = ratio(DatasetKind::ImageNetJpg, codec);
+        assert!(
+            (0.93..=1.10).contains(&r),
+            "imagenet with {codec}: ratio {r:.3} should be ~1.0"
+        );
+    }
+}
+
+// Table IV, Language row: lzsse8 2.8, lz4hc 2.6, lzma 4.0.
+#[test]
+fn language_ratios_match_paper_band() {
+    assert_band(DatasetKind::LanguageTxt, "lz4hc-9", 1.9, 3.8);
+    assert_band(DatasetKind::LanguageTxt, "lzma-6", 2.8, 5.5);
+}
+
+// The cross-dataset ordering the paper relies on: lung compresses best,
+// imagenet worst, and lzma beats lz4hc everywhere (except imagenet where
+// both are ~1).
+#[test]
+fn cross_dataset_ordering_holds() {
+    let lung = ratio(DatasetKind::LungNii, "lz4hc-9");
+    let em = ratio(DatasetKind::EmTif, "lz4hc-9");
+    let imagenet = ratio(DatasetKind::ImageNetJpg, "lz4hc-9");
+    assert!(lung > em && em > imagenet, "lung {lung:.2} > em {em:.2} > imagenet {imagenet:.2}");
+
+    for kind in [DatasetKind::EmTif, DatasetKind::LungNii, DatasetKind::AstroFits] {
+        let lz = ratio(kind, "lz4hc-9");
+        let lzma = ratio(kind, "lzma-6");
+        assert!(lzma > lz, "{kind:?}: lzma {lzma:.2} should beat lz4hc {lz:.2}");
+    }
+}

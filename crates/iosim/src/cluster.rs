@@ -1,0 +1,138 @@
+//! Cluster presets matching the paper's three test platforms (§VII-A).
+
+use crate::interconnect::Interconnect;
+use crate::mds::MetadataModel;
+use crate::storage::{presets, AnchoredStorage};
+
+/// Processor architecture, which selects the default compressor
+/// (paper §VII-D: lzsse8 on Intel, lz4hc on POWER9).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Arch {
+    /// Intel Xeon (SKX).
+    X86_64,
+    /// IBM POWER9.
+    Power9,
+}
+
+/// A test platform: node counts, accelerators, burst buffer and fabric.
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    /// Platform name as used in the paper ("GTX", "V100", "CPU").
+    pub name: &'static str,
+    /// Maximum node count used in the evaluation.
+    pub max_nodes: usize,
+    /// Accelerators (GPUs) per node; 0 for the CPU cluster.
+    pub gpus_per_node: usize,
+    /// Node-local burst-buffer capacity in bytes.
+    pub burst_buffer_bytes: u64,
+    /// CPU architecture.
+    pub arch: Arch,
+    /// Fabric model.
+    pub fabric: Interconnect,
+    /// Measured FanStore read model on this platform (Table VI anchors).
+    pub fanstore_read: AnchoredStorage,
+    /// Shared-file-system metadata model for this site.
+    pub shared_fs_mds: MetadataModel,
+}
+
+impl Cluster {
+    /// **GTX**: 16 nodes x 4 Nvidia GTX 1080 Ti, ~60 GB local SSD,
+    /// FDR InfiniBand.
+    pub fn gtx() -> Self {
+        Cluster {
+            name: "GTX",
+            max_nodes: 16,
+            gpus_per_node: 4,
+            burst_buffer_bytes: 60 * 1_000_000_000,
+            arch: Arch::X86_64,
+            fabric: Interconnect::fdr_infiniband(),
+            fanstore_read: presets::fanstore_gtx(),
+            shared_fs_mds: MetadataModel::lustre(),
+        }
+    }
+
+    /// **V100**: 4 nodes x 4 V100 + POWER9, ~256 GB RAM disk,
+    /// FDR InfiniBand.
+    pub fn v100() -> Self {
+        Cluster {
+            name: "V100",
+            max_nodes: 4,
+            gpus_per_node: 4,
+            burst_buffer_bytes: 256 * 1_000_000_000,
+            arch: Arch::Power9,
+            fabric: Interconnect::fdr_infiniband(),
+            fanstore_read: presets::fanstore_v100(),
+            shared_fs_mds: MetadataModel::lustre(),
+        }
+    }
+
+    /// **CPU**: 512 nodes x 2 Intel Xeon Platinum 8160, ~144 GB SSD,
+    /// 100 Gb/s Omni-Path fat tree.
+    pub fn cpu() -> Self {
+        Cluster {
+            name: "CPU",
+            max_nodes: 512,
+            gpus_per_node: 0,
+            burst_buffer_bytes: 144 * 1_000_000_000,
+            arch: Arch::X86_64,
+            fabric: Interconnect::omni_path(),
+            fanstore_read: presets::fanstore_cpu(),
+            shared_fs_mds: MetadataModel::lustre(),
+        }
+    }
+
+    /// Total accelerator (or CPU-socket) count at `nodes` nodes — the
+    /// x-axis of the paper's scaling plots.
+    pub fn processors(&self, nodes: usize) -> usize {
+        if self.gpus_per_node > 0 {
+            nodes * self.gpus_per_node
+        } else {
+            nodes
+        }
+    }
+
+    /// Aggregate burst-buffer capacity at `nodes` nodes.
+    pub fn aggregate_buffer(&self, nodes: usize) -> u64 {
+        self.burst_buffer_bytes * nodes as u64
+    }
+
+    /// Minimum nodes needed to host `dataset_bytes` of (possibly
+    /// compressed) data on local burst buffers — the `N >= |T| / M`
+    /// constraint from the paper's Figure 1 discussion.
+    pub fn min_nodes_for(&self, dataset_bytes: u64) -> usize {
+        (dataset_bytes.div_ceil(self.burst_buffer_bytes)).max(1) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_paper_platforms() {
+        let gtx = Cluster::gtx();
+        assert_eq!(gtx.max_nodes, 16);
+        assert_eq!(gtx.processors(16), 64); // "64 1080 Ti GPUs"
+        let v100 = Cluster::v100();
+        assert_eq!(v100.arch, Arch::Power9);
+        assert_eq!(v100.processors(4), 16); // "16 V100 GPUs"
+        let cpu = Cluster::cpu();
+        assert_eq!(cpu.max_nodes, 512);
+        assert_eq!(cpu.processors(512), 512);
+    }
+
+    #[test]
+    fn min_nodes_matches_intro_example() {
+        // Paper §I: ~140 GB ImageNet on 60 GB nodes needs 3 nodes.
+        let gtx = Cluster::gtx();
+        assert_eq!(gtx.min_nodes_for(140 * 1_000_000_000), 3);
+        // Compressed 2.1x (the SRGAN example): 500 GB -> 240 GB fits 4.
+        assert_eq!(gtx.min_nodes_for(500 * 1_000_000_000 / 2), 5);
+    }
+
+    #[test]
+    fn aggregate_buffer_scales() {
+        let cpu = Cluster::cpu();
+        assert_eq!(cpu.aggregate_buffer(512), 512 * 144 * 1_000_000_000);
+    }
+}

@@ -1,0 +1,117 @@
+//! Interconnect transfer-time models.
+//!
+//! The paper's clusters use Mellanox FDR InfiniBand (56 Gb/s, sub-µs
+//! latency) and Intel Omni-Path (100 Gb/s, fat tree). FanStore moves
+//! compressed files over these fabrics for remote retrieval and uses
+//! ring transfers for partition replication; the training frameworks run
+//! ring allreduce over the same links.
+
+use crate::Seconds;
+
+/// A full-bisection fabric modelled per-link.
+#[derive(Debug, Clone, Copy)]
+pub struct Interconnect {
+    /// One-way small-message latency, seconds.
+    pub latency: Seconds,
+    /// Per-link bandwidth, bytes/s.
+    pub bandwidth: f64,
+}
+
+impl Interconnect {
+    /// Mellanox FDR InfiniBand: 56 Gb/s, ~0.7 µs (GTX and V100 clusters).
+    pub fn fdr_infiniband() -> Self {
+        Interconnect { latency: 0.7e-6, bandwidth: 56e9 / 8.0 }
+    }
+
+    /// Intel Omni-Path: 100 Gb/s, ~0.9 µs (CPU cluster).
+    pub fn omni_path() -> Self {
+        Interconnect { latency: 0.9e-6, bandwidth: 100e9 / 8.0 }
+    }
+
+    /// Point-to-point transfer time for `bytes`.
+    pub fn pt2pt(&self, bytes: usize) -> Seconds {
+        self.latency + bytes as f64 / self.bandwidth
+    }
+
+    /// Ring transfer of one partition to the neighbour (paper §V-D): each
+    /// link carries one partition concurrently, so the wall time is a
+    /// single point-to-point transfer regardless of node count.
+    pub fn ring_shift(&self, partition_bytes: usize) -> Seconds {
+        self.pt2pt(partition_bytes)
+    }
+
+    /// Bandwidth-optimal ring allreduce on `n` ranks over `bytes` of
+    /// gradients: `2 (n-1)/n` traversals of the buffer per link, `2(n-1)`
+    /// latency hops.
+    pub fn ring_allreduce(&self, bytes: usize, n: usize) -> Seconds {
+        if n <= 1 {
+            return 0.0;
+        }
+        let n_f = n as f64;
+        2.0 * (n_f - 1.0) * self.latency
+            + 2.0 * (n_f - 1.0) / n_f * bytes as f64 / self.bandwidth
+    }
+
+    /// Variable-size allgather of `bytes` per rank on `n` ranks (ring
+    /// algorithm): every rank receives `(n-1) * bytes`.
+    pub fn allgather(&self, bytes_per_rank: usize, n: usize) -> Seconds {
+        if n <= 1 {
+            return 0.0;
+        }
+        let n_f = n as f64;
+        (n_f - 1.0) * (self.latency + bytes_per_rank as f64 / self.bandwidth)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pt2pt_latency_dominates_small_messages() {
+        let ib = Interconnect::fdr_infiniband();
+        let t = ib.pt2pt(64);
+        assert!((t - ib.latency).abs() / ib.latency < 0.05);
+    }
+
+    #[test]
+    fn pt2pt_bandwidth_dominates_large_messages() {
+        let ib = Interconnect::fdr_infiniband();
+        // 700 MB at 7 GB/s ~ 100 ms.
+        let t = ib.pt2pt(700_000_000);
+        assert!((t - 0.1).abs() < 0.01, "{t}");
+    }
+
+    #[test]
+    fn allreduce_cost_saturates_with_scale() {
+        // The per-rank allreduce cost approaches 2*bytes/bw as n grows —
+        // near-constant, which is what makes weak scaling possible.
+        let ib = Interconnect::omni_path();
+        let m = 100 * crate::MIB;
+        let t4 = ib.ring_allreduce(m, 4);
+        let t512 = ib.ring_allreduce(m, 512);
+        assert!(t512 < t4 * 1.5, "t4={t4} t512={t512}");
+        assert!(t512 > t4, "more ranks still costs a bit more");
+    }
+
+    #[test]
+    fn allreduce_trivial_on_one_rank() {
+        assert_eq!(Interconnect::fdr_infiniband().ring_allreduce(1000, 1), 0.0);
+    }
+
+    #[test]
+    fn ring_shift_independent_of_node_count() {
+        let ib = Interconnect::fdr_infiniband();
+        // The ring topology gives contention-free neighbour copies; cost
+        // is one transfer whatever the ring size (paper §V-D).
+        assert_eq!(ib.ring_shift(1 << 30), ib.pt2pt(1 << 30));
+    }
+
+    #[test]
+    fn allgather_grows_linearly_with_ranks() {
+        let ib = Interconnect::omni_path();
+        let t8 = ib.allgather(1 << 20, 8);
+        let t16 = ib.allgather(1 << 20, 16);
+        assert!((t16 / t8 - 15.0 / 7.0).abs() < 0.05);
+    }
+}

@@ -1,0 +1,50 @@
+//! # io-sim
+//!
+//! Hardware performance models for the FanStore reproduction.
+//!
+//! The paper's evaluation ran on three clusters (GTX, V100, CPU — §VII-A)
+//! with SSD/RAM-disk burst buffers, a Lustre shared file system, and
+//! InfiniBand/Omni-Path fabrics. None of that hardware is available here,
+//! so scale experiments use *models calibrated to the paper's own
+//! published measurements* (Tables III, V and VI): storage read-cost
+//! models, a Lustre metadata-server queueing model, interconnect transfer
+//! models, and whole-cluster presets. Everything runs in virtual time —
+//! a 512-node experiment completes in microseconds of wall clock and is
+//! fully deterministic.
+//!
+//! Modules:
+//! * [`storage`] — per-file read-time models (analytic and anchored to
+//!   measured points) with the Table III / Table VI presets.
+//! * [`mds`] — the shared-file-system metadata server model behind the
+//!   paper's "Lustre never started training at 512 nodes" anecdote.
+//! * [`interconnect`] — point-to-point and collective transfer times.
+//! * [`cluster`] — GTX / V100 / CPU cluster presets.
+
+pub mod cluster;
+pub mod interconnect;
+pub mod mds;
+pub mod storage;
+
+/// Virtual time in seconds. All models are deterministic functions into
+/// this unit; simulations combine them with plain arithmetic (and `max` at
+/// synchronisation points).
+pub type Seconds = f64;
+
+/// Convenience: microseconds to [`Seconds`].
+pub const fn us(v: f64) -> Seconds {
+    v * 1e-6
+}
+
+/// Convenience: mebibytes to bytes.
+pub const MIB: usize = 1024 * 1024;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_helpers() {
+        assert!((us(1.0) - 1e-6).abs() < 1e-18);
+        assert_eq!(MIB, 1 << 20);
+    }
+}

@@ -1,0 +1,257 @@
+//! Per-file read-cost models, calibrated to the paper's Table III and
+//! Table VI measurements.
+//!
+//! Two model shapes:
+//! * [`AnalyticStorage`] — `time = latency + bytes / bandwidth`, the usual
+//!   first-order device model.
+//! * [`AnchoredStorage`] — log-log interpolation through measured
+//!   `(file size, files/sec)` anchor points; used where the paper gives a
+//!   whole row of measurements (Table III, Table VI) so the reproduction
+//!   hits those numbers exactly at the anchors.
+
+use crate::Seconds;
+
+/// A read-cost model: how long one process takes to read a file of a
+/// given size from this backend.
+pub trait ReadModel: Send + Sync {
+    /// Seconds to read one `bytes`-sized file.
+    fn read_time(&self, bytes: usize) -> Seconds;
+
+    /// Files per second at this file size (the paper's `Tpt_read`).
+    fn files_per_sec(&self, bytes: usize) -> f64 {
+        1.0 / self.read_time(bytes).max(1e-12)
+    }
+
+    /// MB per second at this file size (the paper's `Bdw_read`, decimal MB
+    /// as in the paper).
+    fn mb_per_sec(&self, bytes: usize) -> f64 {
+        bytes as f64 / 1e6 / self.read_time(bytes).max(1e-12)
+    }
+}
+
+/// First-order analytic model: fixed per-file latency plus streaming
+/// bandwidth.
+#[derive(Debug, Clone, Copy)]
+pub struct AnalyticStorage {
+    /// Per-file fixed cost (open + syscall/interception + metadata), s.
+    pub per_file_latency: Seconds,
+    /// Streaming bandwidth, bytes/s.
+    pub bandwidth: f64,
+}
+
+impl AnalyticStorage {
+    /// Build from latency in microseconds and bandwidth in GB/s.
+    pub fn new(latency_us: f64, bandwidth_gbps: f64) -> Self {
+        AnalyticStorage { per_file_latency: latency_us * 1e-6, bandwidth: bandwidth_gbps * 1e9 }
+    }
+}
+
+impl ReadModel for AnalyticStorage {
+    fn read_time(&self, bytes: usize) -> Seconds {
+        self.per_file_latency + bytes as f64 / self.bandwidth
+    }
+}
+
+/// Model anchored to measured `(bytes, files/sec)` points, interpolated
+/// log-log and extrapolated with the nearest segment's slope.
+#[derive(Debug, Clone)]
+pub struct AnchoredStorage {
+    /// Measured anchors, sorted by size: `(bytes, files_per_sec)`.
+    anchors: Vec<(usize, f64)>,
+}
+
+impl AnchoredStorage {
+    /// Build from measured anchors; must be non-empty. Points are sorted
+    /// by file size.
+    pub fn new(mut anchors: Vec<(usize, f64)>) -> Self {
+        assert!(!anchors.is_empty(), "need at least one anchor");
+        anchors.sort_by_key(|&(size, _)| size);
+        AnchoredStorage { anchors }
+    }
+
+    /// The anchor points (sorted by size).
+    pub fn anchors(&self) -> &[(usize, f64)] {
+        &self.anchors
+    }
+}
+
+impl ReadModel for AnchoredStorage {
+    fn read_time(&self, bytes: usize) -> Seconds {
+        let x = (bytes.max(1)) as f64;
+        let pts = &self.anchors;
+        if pts.len() == 1 {
+            // Single anchor: scale time linearly with size around it.
+            let (s, f) = pts[0];
+            let t = 1.0 / f;
+            return t * (x / s as f64).max(0.05);
+        }
+        let lx = x.ln();
+        // Find the surrounding segment (clamping to the outermost ones).
+        let seg = pts
+            .windows(2)
+            .position(|w| x <= w[1].0 as f64)
+            .unwrap_or(pts.len() - 2);
+        let (s0, f0) = pts[seg];
+        let (s1, f1) = pts[seg + 1];
+        // Interpolate read *time* in log-log space.
+        let (t0, t1) = (1.0 / f0, 1.0 / f1);
+        let (lx0, lx1) = ((s0 as f64).ln(), (s1 as f64).ln());
+        let w = (lx - lx0) / (lx1 - lx0);
+        (t0.ln() + (t1.ln() - t0.ln()) * w).exp()
+    }
+}
+
+/// Presets calibrated to the paper's published measurements.
+pub mod presets {
+    use super::*;
+    use crate::MIB;
+
+    const KIB: usize = 1024;
+
+    /// FanStore on node-local storage with function interception —
+    /// Table III row 1 (files/sec at 128 KB / 512 KB / 2 MB / 8 MB).
+    pub fn fanstore_local() -> AnchoredStorage {
+        AnchoredStorage::new(vec![
+            (128 * KIB, 28_248.0),
+            (512 * KIB, 9_689.0),
+            (2 * MIB, 2_513.0),
+            (8 * MIB, 560.0),
+        ])
+    }
+
+    /// Raw SSD — Table III row 3.
+    pub fn ssd() -> AnchoredStorage {
+        AnchoredStorage::new(vec![
+            (128 * KIB, 39_480.0),
+            (512 * KIB, 9_752.0),
+            (2 * MIB, 2_786.0),
+            (8 * MIB, 678.0),
+        ])
+    }
+
+    /// FUSE file system over the same SSD — Table III row 2. The 2.9–4.4x
+    /// slowdown vs FanStore is the kernel round-trip cost FanStore's
+    /// user-space interception avoids.
+    pub fn ssd_fuse() -> AnchoredStorage {
+        AnchoredStorage::new(vec![
+            (128 * KIB, 6_687.0),
+            (512 * KIB, 2_416.0),
+            (2 * MIB, 738.0),
+            (8 * MIB, 197.0),
+        ])
+    }
+
+    /// Shared Lustre deployment — Table III row 4 (contended production
+    /// file system; the 512 KB point is a measured outlier the paper
+    /// reports as-is).
+    pub fn lustre() -> AnchoredStorage {
+        AnchoredStorage::new(vec![
+            (128 * KIB, 1_515.0),
+            (512 * KIB, 149.0),
+            (2 * MIB, 385.0),
+            (8 * MIB, 139.0),
+        ])
+    }
+
+    /// FanStore on the GTX cluster, 4 nodes — Table VI.
+    pub fn fanstore_gtx() -> AnchoredStorage {
+        AnchoredStorage::new(vec![(512 * KIB, 9_469.0), (2 * MIB, 3_158.0)])
+    }
+
+    /// FanStore on the V100 cluster, 4 nodes — Table VI.
+    pub fn fanstore_v100() -> AnchoredStorage {
+        AnchoredStorage::new(vec![(512 * KIB, 8_654.0), (2 * MIB, 5_026.0)])
+    }
+
+    /// FanStore on the CPU cluster, 4 nodes — Table VI (tiny-file regime).
+    pub fn fanstore_cpu() -> AnchoredStorage {
+        AnchoredStorage::new(vec![(KIB, 29_103.0)])
+    }
+
+    /// Analytic RAM-disk model (V100 nodes' 256 GB tmpfs).
+    pub fn ramdisk() -> AnalyticStorage {
+        AnalyticStorage::new(3.0, 10.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MIB;
+
+    #[test]
+    fn analytic_model_is_monotone() {
+        let m = AnalyticStorage::new(10.0, 5.0);
+        let mut prev = 0.0;
+        for bytes in [1usize, 1024, 128 * 1024, MIB, 16 * MIB] {
+            let t = m.read_time(bytes);
+            assert!(t > prev);
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn analytic_throughput_at_large_sizes_approaches_bandwidth() {
+        let m = AnalyticStorage::new(10.0, 5.0);
+        // 64 MiB file: latency is negligible, bandwidth dominates.
+        let mbps = m.mb_per_sec(64 * MIB);
+        assert!((mbps - 5000.0).abs() / 5000.0 < 0.05, "{mbps}");
+    }
+
+    #[test]
+    fn anchored_model_hits_anchor_points() {
+        let m = presets::fanstore_local();
+        assert!((m.files_per_sec(128 * 1024) - 28_248.0).abs() < 1.0);
+        assert!((m.files_per_sec(2 * MIB) - 2_513.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn anchored_model_interpolates_between_anchors() {
+        let m = presets::ssd();
+        let f = m.files_per_sec(MIB); // between 512 KB and 2 MB anchors
+        assert!(f < 9_752.0 && f > 2_786.0, "{f}");
+    }
+
+    #[test]
+    fn anchored_model_extrapolates_monotonically() {
+        let m = presets::ssd();
+        // Beyond the last anchor, bigger files must be slower.
+        assert!(m.read_time(32 * MIB) > m.read_time(8 * MIB));
+        // Below the first anchor, smaller files must be at least as fast.
+        assert!(m.read_time(16 * 1024) <= m.read_time(128 * 1024));
+    }
+
+    #[test]
+    fn single_anchor_scales_linearly() {
+        let m = presets::fanstore_cpu();
+        let t1 = m.read_time(1024);
+        let t4 = m.read_time(4096);
+        assert!((t4 / t1 - 4.0).abs() < 0.1, "{}", t4 / t1);
+    }
+
+    #[test]
+    fn table3_ordering_holds_at_all_sizes() {
+        // SSD >= FanStore > FUSE > Lustre in files/sec at every Table III
+        // size — the ordering the paper's §VII-C argument rests on.
+        let fan = presets::fanstore_local();
+        let ssd = presets::ssd();
+        let fuse = presets::ssd_fuse();
+        let lustre = presets::lustre();
+        for bytes in [128 * 1024, 512 * 1024, 2 * MIB, 8 * MIB] {
+            assert!(ssd.files_per_sec(bytes) >= fan.files_per_sec(bytes));
+            assert!(fan.files_per_sec(bytes) > fuse.files_per_sec(bytes));
+            assert!(fuse.files_per_sec(bytes) > lustre.files_per_sec(bytes));
+        }
+    }
+
+    #[test]
+    fn fanstore_within_71_to_99_pct_of_ssd() {
+        // §VII-C: "FanStore achieves 71–99% of raw SSD performance".
+        let fan = presets::fanstore_local();
+        let ssd = presets::ssd();
+        for bytes in [128 * 1024, 512 * 1024, 2 * MIB, 8 * MIB] {
+            let frac = fan.files_per_sec(bytes) / ssd.files_per_sec(bytes);
+            assert!((0.70..=1.0).contains(&frac), "{bytes}: {frac}");
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! Cross-model calibration tests: the io-sim models must be mutually
+//! consistent and reproduce the paper's headline arithmetic when
+//! combined, not just match their own anchor points.
+
+use io_sim::cluster::Cluster;
+use io_sim::interconnect::Interconnect;
+use io_sim::mds::MetadataModel;
+use io_sim::storage::{presets, AnalyticStorage, ReadModel};
+
+#[test]
+fn table6_anchors_tpt_and_bdw_are_consistent() {
+    // files/s x file size must equal MB/s at every anchor (the paper's
+    // own Table VI satisfies this to rounding).
+    for (model, sizes) in [
+        (presets::fanstore_gtx(), vec![512 * 1024usize, 2 << 20]),
+        (presets::fanstore_v100(), vec![512 * 1024, 2 << 20]),
+        (presets::fanstore_cpu(), vec![1024]),
+    ] {
+        for bytes in sizes {
+            let tpt = model.files_per_sec(bytes);
+            let bdw = model.mb_per_sec(bytes);
+            let derived = tpt * bytes as f64 / 1e6;
+            assert!(
+                (derived - bdw).abs() / bdw < 1e-9,
+                "{bytes}: {tpt} files/s x size != {bdw} MB/s"
+            );
+        }
+    }
+}
+
+#[test]
+fn srgan_gtx_worked_example_reproduces() {
+    // §VII-E1: T_read(C=256, S=410MB raw) with the 2 MB row = max(256/3158,
+    // 410/6663) — paper prints 81 063 us.
+    let raw = fanstore_select::t_read(256.0, 410.0, 3158.0, 6663.0);
+    assert!((raw - 0.081063).abs() < 2e-4, "raw read {raw}");
+}
+
+#[test]
+fn interconnect_beats_local_ssd_for_compressed_transfer() {
+    // The design premise of remote fetch: pulling a compressed 762 KB file
+    // over FDR InfiniBand costs ~100 us — far below the time to read the
+    // raw 1.6 MB file even from local SSD, so remote-compressed beats
+    // local-raw whenever compression ratio ~> 1.5.
+    let ib = Interconnect::fdr_infiniband();
+    let wire = ib.pt2pt(762 * 1024);
+    let ssd = presets::ssd();
+    let local_raw = ssd.read_time(1_600_000);
+    assert!(wire < local_raw, "wire {wire} vs local raw {local_raw}");
+}
+
+#[test]
+fn analytic_and_anchored_models_agree_where_calibrated() {
+    // An analytic model fitted to the SSD anchors should stay within 2x
+    // of the anchored model across the measured range (sanity that the
+    // anchors describe a physically plausible device).
+    let anchored = presets::ssd();
+    let analytic = AnalyticStorage::new(22.0, 5.8);
+    for bytes in [128 * 1024usize, 512 * 1024, 2 << 20, 8 << 20] {
+        let a = anchored.read_time(bytes);
+        let b = analytic.read_time(bytes);
+        let ratio = a.max(b) / a.min(b);
+        assert!(ratio < 2.0, "{bytes}: anchored {a} vs analytic {b}");
+    }
+}
+
+#[test]
+fn cluster_presets_compose_with_mds_for_the_512_node_anecdote() {
+    let cpu = Cluster::cpu();
+    assert_eq!(cpu.max_nodes, 512);
+    let t = cpu.shared_fs_mds.enumeration_time(512 * 2, 1_300_000, 2_002);
+    assert!(t > 3600.0, "composed anecdote: {t} s");
+    // And FanStore's local metadata keeps the same workload in seconds.
+    let t_fan = MetadataModel::fanstore(512).enumeration_time(512 * 2, 1_300_000, 2_002);
+    assert!(t_fan < 10.0);
+    assert!(t / t_fan > 1000.0, "three orders of magnitude apart");
+}
+
+#[test]
+fn gtx_capacity_math_matches_srgan_setup() {
+    // §VII-E1: 4 GTX nodes hold 240 GB; the 500 GB EM dataset requires
+    // ratio >= 500/240 ~ 2.1 to fit.
+    let gtx = Cluster::gtx();
+    let aggregate = gtx.aggregate_buffer(4) as f64;
+    assert!((aggregate - 240e9).abs() < 1e9);
+    let required = 500e9 / aggregate;
+    assert!((required - 2.083).abs() < 0.01);
+    // And without compression the dataset needs 9 nodes.
+    assert_eq!(gtx.min_nodes_for(500_000_000_000), 9);
+}
+
+#[test]
+fn allreduce_stays_sub_iteration_at_512_nodes() {
+    // Weak scaling only works if the allreduce stays far below T_iter at
+    // max scale — check the composed model for ResNet-50 on Omni-Path.
+    let opa = Interconnect::omni_path();
+    let gradients = 25_600_000 * 4; // ResNet-50 f32 gradients
+    let t = opa.ring_allreduce(gradients, 512);
+    assert!(t < 0.1, "allreduce at 512 nodes: {t} s");
+}

@@ -1,0 +1,749 @@
+//! # mpi-sim
+//!
+//! An in-process, thread-per-rank MPI-like runtime.
+//!
+//! FanStore is launched with `mpiexec` — one process per node — and uses
+//! MPI for four things (paper §V-D): metadata allgather, ring transfer of
+//! extra partitions, remote file retrieval (send/recv), and write-metadata
+//! forwarding. This crate reproduces that communication model on one
+//! machine: [`launch`] spawns one OS thread per simulated rank, and each
+//! rank gets a set of [`Channel`]s (independent tag/ordering domains, like
+//! MPI communicators) carrying length-delimited byte payloads.
+//!
+//! Point-to-point: [`Channel::send`] / [`Channel::recv_match`] with
+//! source/tag matching and out-of-order buffering, plus an [`Channel::rpc`]
+//! convenience for request/reply against a daemon loop.
+//! Collectives: [`Channel::barrier`], [`Channel::allgather`],
+//! [`Channel::bcast`], [`Channel::allreduce_f64`], implemented over
+//! point-to-point with per-channel generation counters, so they follow the
+//! MPI rule: every rank calls the same collectives in the same order on a
+//! given channel.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crossbeam_channel::{unbounded, Receiver, Sender};
+
+/// Message tag. User tags must stay below [`COLLECTIVE_TAG_BASE`].
+pub type Tag = u64;
+
+/// Tags at or above this value are reserved for collective operations.
+pub const COLLECTIVE_TAG_BASE: Tag = 1 << 60;
+
+/// A point-to-point message.
+pub struct Message {
+    /// Sending rank.
+    pub src: usize,
+    /// Message tag.
+    pub tag: Tag,
+    /// Payload bytes.
+    pub payload: Vec<u8>,
+    /// Reply conduit set by [`Channel::rpc`]; a daemon answers with
+    /// [`Message::reply`].
+    reply: Option<Sender<Vec<u8>>>,
+}
+
+impl Message {
+    /// Answer an rpc message. Returns `false` if the message was not an
+    /// rpc or the requester has gone away.
+    pub fn reply(&self, payload: Vec<u8>) -> bool {
+        match &self.reply {
+            Some(tx) => tx.send(payload).is_ok(),
+            None => false,
+        }
+    }
+
+    /// Whether this message expects a reply.
+    pub fn wants_reply(&self) -> bool {
+        self.reply.is_some()
+    }
+}
+
+/// Errors from communication calls.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommError {
+    /// The destination rank's channel endpoint has been dropped.
+    Disconnected,
+    /// Rank index out of range.
+    InvalidRank(usize),
+}
+
+impl std::fmt::Display for CommError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CommError::Disconnected => write!(f, "peer channel disconnected"),
+            CommError::InvalidRank(r) => write!(f, "invalid rank {r}"),
+        }
+    }
+}
+
+impl std::error::Error for CommError {}
+
+/// Traffic counters for one channel endpoint, shared with observers.
+#[derive(Debug, Default)]
+pub struct TrafficStats {
+    /// Bytes sent from this endpoint.
+    pub bytes_sent: AtomicU64,
+    /// Bytes received at this endpoint.
+    pub bytes_received: AtomicU64,
+    /// Messages sent.
+    pub msgs_sent: AtomicU64,
+}
+
+/// One rank's endpoint on one communicator channel.
+pub struct Channel {
+    rank: usize,
+    size: usize,
+    senders: Vec<Sender<Message>>,
+    receiver: Receiver<Message>,
+    /// Messages received but not yet matched by `recv_match`.
+    pending: VecDeque<Message>,
+    /// Collective generation counter (advances identically on all ranks).
+    generation: u64,
+    stats: Arc<TrafficStats>,
+}
+
+impl Channel {
+    /// This endpoint's rank.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the communicator.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Left neighbour on the virtual ring (used for partition replication).
+    pub fn ring_left(&self) -> usize {
+        (self.rank + self.size - 1) % self.size
+    }
+
+    /// Right neighbour on the virtual ring.
+    pub fn ring_right(&self) -> usize {
+        (self.rank + 1) % self.size
+    }
+
+    /// Shared traffic counters for this endpoint.
+    pub fn stats(&self) -> Arc<TrafficStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// Send `payload` to `dest` with `tag`.
+    pub fn send(&self, dest: usize, tag: Tag, payload: Vec<u8>) -> Result<(), CommError> {
+        let tx = self.senders.get(dest).ok_or(CommError::InvalidRank(dest))?;
+        self.stats.bytes_sent.fetch_add(payload.len() as u64, Ordering::Relaxed);
+        self.stats.msgs_sent.fetch_add(1, Ordering::Relaxed);
+        tx.send(Message { src: self.rank, tag, payload, reply: None })
+            .map_err(|_| CommError::Disconnected)
+    }
+
+    /// Blocking receive of the next message in arrival order (pending
+    /// buffer first).
+    pub fn recv(&mut self) -> Result<Message, CommError> {
+        if let Some(m) = self.pending.pop_front() {
+            return Ok(m);
+        }
+        let m = self.receiver.recv().map_err(|_| CommError::Disconnected)?;
+        self.stats.bytes_received.fetch_add(m.payload.len() as u64, Ordering::Relaxed);
+        Ok(m)
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&mut self) -> Option<Message> {
+        if let Some(m) = self.pending.pop_front() {
+            return Some(m);
+        }
+        match self.receiver.try_recv() {
+            Ok(m) => {
+                self.stats.bytes_received.fetch_add(m.payload.len() as u64, Ordering::Relaxed);
+                Some(m)
+            }
+            Err(_) => None,
+        }
+    }
+
+    /// Blocking receive of the first message matching `src` and/or `tag`
+    /// (like `MPI_Recv` with `MPI_ANY_SOURCE`/`MPI_ANY_TAG` wildcards).
+    /// Non-matching messages are buffered for later receives.
+    pub fn recv_match(
+        &mut self,
+        src: Option<usize>,
+        tag: Option<Tag>,
+    ) -> Result<Message, CommError> {
+        let matches =
+            |m: &Message| src.map_or(true, |s| m.src == s) && tag.map_or(true, |t| m.tag == t);
+        if let Some(idx) = self.pending.iter().position(matches) {
+            return Ok(self.pending.remove(idx).expect("index valid"));
+        }
+        loop {
+            let m = self.receiver.recv().map_err(|_| CommError::Disconnected)?;
+            self.stats.bytes_received.fetch_add(m.payload.len() as u64, Ordering::Relaxed);
+            if matches(&m) {
+                return Ok(m);
+            }
+            self.pending.push_back(m);
+        }
+    }
+
+    /// Request/reply against a daemon loop on `dest`: sends `payload` and
+    /// blocks for the answer.
+    pub fn rpc(&self, dest: usize, tag: Tag, payload: Vec<u8>) -> Result<Vec<u8>, CommError> {
+        let tx = self.senders.get(dest).ok_or(CommError::InvalidRank(dest))?;
+        let (rtx, rrx) = unbounded();
+        self.stats.bytes_sent.fetch_add(payload.len() as u64, Ordering::Relaxed);
+        self.stats.msgs_sent.fetch_add(1, Ordering::Relaxed);
+        tx.send(Message { src: self.rank, tag, payload, reply: Some(rtx) })
+            .map_err(|_| CommError::Disconnected)?;
+        let answer = rrx.recv().map_err(|_| CommError::Disconnected)?;
+        self.stats.bytes_received.fetch_add(answer.len() as u64, Ordering::Relaxed);
+        Ok(answer)
+    }
+
+    /// A cloneable send-only handle on this channel: lets other threads of
+    /// the same rank (e.g. training I/O threads) send and rpc to remote
+    /// daemons while the daemon thread owns the receiving endpoint.
+    pub fn remote(&self) -> RemoteSender {
+        RemoteSender {
+            rank: self.rank,
+            senders: self.senders.clone(),
+            stats: Arc::clone(&self.stats),
+        }
+    }
+
+    // --- Collectives -----------------------------------------------------
+    //
+    // All ranks must call the same collectives in the same order on a given
+    // channel; the per-channel generation counter keeps rounds separate.
+
+    fn next_collective_tag(&mut self) -> Tag {
+        self.generation += 1;
+        COLLECTIVE_TAG_BASE + self.generation
+    }
+
+    /// Gather every rank's `local` buffer onto every rank (`MPI_Allgather`
+    /// with variable lengths). Returns `size` buffers, indexed by rank.
+    pub fn allgather(&mut self, local: Vec<u8>) -> Result<Vec<Vec<u8>>, CommError> {
+        let tag = self.next_collective_tag();
+        for dest in 0..self.size {
+            if dest != self.rank {
+                self.send(dest, tag, local.clone())?;
+            }
+        }
+        let mut results: Vec<Option<Vec<u8>>> = (0..self.size).map(|_| None).collect();
+        results[self.rank] = Some(local);
+        for _ in 0..self.size - 1 {
+            let m = self.recv_match(None, Some(tag))?;
+            results[m.src] = Some(m.payload);
+        }
+        Ok(results.into_iter().map(|r| r.expect("all ranks reported")).collect())
+    }
+
+    /// Synchronise all ranks.
+    pub fn barrier(&mut self) -> Result<(), CommError> {
+        self.allgather(Vec::new()).map(|_| ())
+    }
+
+    /// Broadcast `data` from `root` to all ranks; every rank returns the
+    /// broadcast buffer.
+    pub fn bcast(&mut self, root: usize, data: Option<Vec<u8>>) -> Result<Vec<u8>, CommError> {
+        let tag = self.next_collective_tag();
+        if self.rank == root {
+            let data = data.expect("root must supply data");
+            for dest in 0..self.size {
+                if dest != root {
+                    self.send(dest, tag, data.clone())?;
+                }
+            }
+            Ok(data)
+        } else {
+            Ok(self.recv_match(Some(root), Some(tag))?.payload)
+        }
+    }
+
+    /// Bandwidth-optimal ring allreduce (the Horovod/baidu-allreduce
+    /// algorithm the paper's training stack uses): a reduce-scatter pass
+    /// followed by an allgather pass, each `size - 1` steps, moving
+    /// `2 (n-1)/n` of the buffer per rank instead of `n-1` copies.
+    pub fn ring_allreduce_f64(&mut self, local: &[f64]) -> Result<Vec<f64>, CommError> {
+        let n = self.size;
+        if n == 1 {
+            return Ok(local.to_vec());
+        }
+        let len = local.len();
+        // Chunk boundaries: chunk c covers [bounds[c], bounds[c+1]).
+        let bounds: Vec<usize> = (0..=n).map(|c| c * len / n).collect();
+        let mut buf = local.to_vec();
+        let right = self.ring_right();
+        let left = self.ring_left();
+
+        let encode = |slice: &[f64]| -> Vec<u8> {
+            slice.iter().flat_map(|v| v.to_le_bytes()).collect()
+        };
+        let decode = |bytes: &[u8]| -> Result<Vec<f64>, CommError> {
+            if bytes.len() % 8 != 0 {
+                return Err(CommError::Disconnected);
+            }
+            Ok(bytes
+                .chunks_exact(8)
+                .map(|c| f64::from_le_bytes(c.try_into().expect("8 bytes")))
+                .collect())
+        };
+
+        // Phase 1: reduce-scatter. At step s, send chunk (rank - s) and
+        // accumulate into chunk (rank - s - 1).
+        let base_tag = self.next_collective_tag();
+        for step in 0..n - 1 {
+            let send_chunk = (self.rank + n - step) % n;
+            let recv_chunk = (self.rank + n - step - 1) % n;
+            let tag = base_tag + step as Tag;
+            self.send(right, tag, encode(&buf[bounds[send_chunk]..bounds[send_chunk + 1]]))?;
+            let msg = self.recv_match(Some(left), Some(tag))?;
+            let incoming = decode(&msg.payload)?;
+            let dst = &mut buf[bounds[recv_chunk]..bounds[recv_chunk + 1]];
+            if incoming.len() != dst.len() {
+                return Err(CommError::Disconnected);
+            }
+            for (d, v) in dst.iter_mut().zip(incoming) {
+                *d += v;
+            }
+        }
+        // Phase 2: allgather of the reduced chunks. After phase 1, rank r
+        // holds the fully-reduced chunk (r + 1) % n.
+        for step in 0..n - 1 {
+            let send_chunk = (self.rank + 1 + n - step) % n;
+            let recv_chunk = (self.rank + n - step) % n;
+            let tag = base_tag + (n - 1 + step) as Tag;
+            self.send(right, tag, encode(&buf[bounds[send_chunk]..bounds[send_chunk + 1]]))?;
+            let msg = self.recv_match(Some(left), Some(tag))?;
+            let incoming = decode(&msg.payload)?;
+            let dst = &mut buf[bounds[recv_chunk]..bounds[recv_chunk + 1]];
+            if incoming.len() != dst.len() {
+                return Err(CommError::Disconnected);
+            }
+            dst.copy_from_slice(&incoming);
+        }
+        // Reserve the tag space both phases consumed (the first call to
+        // next_collective_tag only advanced by one).
+        self.generation += (2 * (n - 1)) as u64;
+        Ok(buf)
+    }
+
+    /// Element-wise sum allreduce over `f64` vectors (the data-parallel
+    /// gradient exchange).
+    pub fn allreduce_f64(&mut self, local: &[f64]) -> Result<Vec<f64>, CommError> {
+        let bytes: Vec<u8> = local.iter().flat_map(|v| v.to_le_bytes()).collect();
+        let all = self.allgather(bytes)?;
+        let mut sum = vec![0.0f64; local.len()];
+        for buf in &all {
+            if buf.len() != local.len() * 8 {
+                return Err(CommError::Disconnected);
+            }
+            for (i, chunk) in buf.chunks_exact(8).enumerate() {
+                sum[i] += f64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+            }
+        }
+        Ok(sum)
+    }
+}
+
+/// Send-only endpoint on a channel, cloneable across threads of one rank.
+#[derive(Clone)]
+pub struct RemoteSender {
+    rank: usize,
+    senders: Vec<Sender<Message>>,
+    stats: Arc<TrafficStats>,
+}
+
+impl RemoteSender {
+    /// Source rank of messages sent through this handle.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks reachable.
+    pub fn size(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Send `payload` to `dest` with `tag` (no reply expected).
+    pub fn send(&self, dest: usize, tag: Tag, payload: Vec<u8>) -> Result<(), CommError> {
+        let tx = self.senders.get(dest).ok_or(CommError::InvalidRank(dest))?;
+        self.stats.bytes_sent.fetch_add(payload.len() as u64, Ordering::Relaxed);
+        self.stats.msgs_sent.fetch_add(1, Ordering::Relaxed);
+        tx.send(Message { src: self.rank, tag, payload, reply: None })
+            .map_err(|_| CommError::Disconnected)
+    }
+
+    /// Request/reply against the daemon loop that owns `dest`'s receiving
+    /// endpoint on this channel.
+    pub fn rpc(&self, dest: usize, tag: Tag, payload: Vec<u8>) -> Result<Vec<u8>, CommError> {
+        let tx = self.senders.get(dest).ok_or(CommError::InvalidRank(dest))?;
+        let (rtx, rrx) = unbounded();
+        self.stats.bytes_sent.fetch_add(payload.len() as u64, Ordering::Relaxed);
+        self.stats.msgs_sent.fetch_add(1, Ordering::Relaxed);
+        tx.send(Message { src: self.rank, tag, payload, reply: Some(rtx) })
+            .map_err(|_| CommError::Disconnected)?;
+        let answer = rrx.recv().map_err(|_| CommError::Disconnected)?;
+        self.stats.bytes_received.fetch_add(answer.len() as u64, Ordering::Relaxed);
+        Ok(answer)
+    }
+}
+
+/// Per-rank context handed to the closure in [`launch`]: the rank id and
+/// its channel endpoints.
+pub struct NodeCtx {
+    /// This node's rank.
+    pub rank: usize,
+    /// Total ranks.
+    pub size: usize,
+    channels: Vec<Option<Channel>>,
+}
+
+impl NodeCtx {
+    /// Take ownership of channel `idx`. Each channel can be taken once —
+    /// typically channel 0 for collectives/control and channel 1 for the
+    /// daemon service loop.
+    pub fn take_channel(&mut self, idx: usize) -> Channel {
+        self.channels
+            .get_mut(idx)
+            .unwrap_or_else(|| panic!("channel index {idx} out of range"))
+            .take()
+            .unwrap_or_else(|| panic!("channel {idx} already taken"))
+    }
+
+    /// Number of channels created at launch.
+    pub fn channel_count(&self) -> usize {
+        self.channels.len()
+    }
+}
+
+/// Spawn `size` ranks, each running `f` on its own OS thread with
+/// `nchannels` independent channels, and join them. Results are returned
+/// in rank order. A panic in any rank propagates.
+pub fn launch<T, F>(size: usize, nchannels: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(NodeCtx) -> T + Send + Sync,
+{
+    assert!(size > 0, "need at least one rank");
+    assert!(nchannels > 0, "need at least one channel");
+
+    // Build the full mesh: per channel, per rank, one receiver and senders
+    // to every rank.
+    let mut all_senders: Vec<Vec<Sender<Message>>> = Vec::with_capacity(nchannels);
+    let mut all_receivers: Vec<Vec<Receiver<Message>>> = Vec::with_capacity(nchannels);
+    for _ in 0..nchannels {
+        let mut senders = Vec::with_capacity(size);
+        let mut receivers = Vec::with_capacity(size);
+        for _ in 0..size {
+            let (tx, rx) = unbounded();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        all_senders.push(senders);
+        all_receivers.push(receivers);
+    }
+
+    let mut contexts: Vec<NodeCtx> = Vec::with_capacity(size);
+    for rank in 0..size {
+        let mut channels = Vec::with_capacity(nchannels);
+        for ch in 0..nchannels {
+            channels.push(Some(Channel {
+                rank,
+                size,
+                senders: all_senders[ch].clone(),
+                receiver: all_receivers[ch][rank].clone(),
+                pending: VecDeque::new(),
+                generation: 0,
+                stats: Arc::new(TrafficStats::default()),
+            }));
+        }
+        contexts.push(NodeCtx { rank, size, channels });
+    }
+    // Drop the original mesh handles so channels close when ranks finish.
+    drop(all_senders);
+    drop(all_receivers);
+
+    std::thread::scope(|scope| {
+        let f = &f;
+        let handles: Vec<_> =
+            contexts.into_iter().map(|ctx| scope.spawn(move || f(ctx))).collect();
+        handles.into_iter().map(|h| h.join().expect("rank thread panicked")).collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_recv_roundtrip() {
+        let results = launch(2, 1, |mut ctx| {
+            let mut ch = ctx.take_channel(0);
+            if ctx.rank == 0 {
+                ch.send(1, 7, b"hello".to_vec()).unwrap();
+                ch.recv_match(Some(1), Some(8)).unwrap().payload
+            } else {
+                let m = ch.recv_match(Some(0), Some(7)).unwrap();
+                assert_eq!(m.payload, b"hello");
+                ch.send(0, 8, b"world".to_vec()).unwrap();
+                b"done".to_vec()
+            }
+        });
+        assert_eq!(results[0], b"world");
+        assert_eq!(results[1], b"done");
+    }
+
+    #[test]
+    fn tag_matching_buffers_out_of_order() {
+        let results = launch(2, 1, |mut ctx| {
+            let mut ch = ctx.take_channel(0);
+            if ctx.rank == 0 {
+                ch.send(1, 1, b"first-tag".to_vec()).unwrap();
+                ch.send(1, 2, b"second-tag".to_vec()).unwrap();
+                0
+            } else {
+                // Receive tag 2 first even though tag 1 arrives first.
+                let m2 = ch.recv_match(None, Some(2)).unwrap();
+                let m1 = ch.recv_match(None, Some(1)).unwrap();
+                assert_eq!(m2.payload, b"second-tag");
+                assert_eq!(m1.payload, b"first-tag");
+                1
+            }
+        });
+        assert_eq!(results, vec![0, 1]);
+    }
+
+    #[test]
+    fn allgather_collects_all_ranks() {
+        let results = launch(5, 1, |mut ctx| {
+            let mut ch = ctx.take_channel(0);
+            let local = vec![ctx.rank as u8; ctx.rank + 1];
+            ch.allgather(local).unwrap()
+        });
+        for gathered in &results {
+            assert_eq!(gathered.len(), 5);
+            for (rank, buf) in gathered.iter().enumerate() {
+                assert_eq!(buf, &vec![rank as u8; rank + 1]);
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_collectives_do_not_cross_talk() {
+        let results = launch(4, 1, |mut ctx| {
+            let mut ch = ctx.take_channel(0);
+            let mut sums = Vec::new();
+            for round in 0..10u64 {
+                let g = ch.allgather(vec![(ctx.rank as u64 + round) as u8]).unwrap();
+                sums.push(g.iter().map(|b| b[0] as u64).sum::<u64>());
+            }
+            sums
+        });
+        for sums in results {
+            for (round, s) in sums.iter().enumerate() {
+                assert_eq!(*s, 6 + 4 * round as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn barrier_synchronises() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let counter = AtomicUsize::new(0);
+        launch(8, 1, |mut ctx| {
+            let mut ch = ctx.take_channel(0);
+            counter.fetch_add(1, Ordering::SeqCst);
+            ch.barrier().unwrap();
+            // After the barrier, every rank must have incremented.
+            assert_eq!(counter.load(Ordering::SeqCst), 8);
+        });
+    }
+
+    #[test]
+    fn bcast_from_nonzero_root() {
+        let results = launch(4, 1, |mut ctx| {
+            let mut ch = ctx.take_channel(0);
+            let data = if ctx.rank == 2 { Some(b"payload".to_vec()) } else { None };
+            ch.bcast(2, data).unwrap()
+        });
+        for r in results {
+            assert_eq!(r, b"payload");
+        }
+    }
+
+    #[test]
+    fn allreduce_sums_elementwise() {
+        let results = launch(3, 1, |mut ctx| {
+            let mut ch = ctx.take_channel(0);
+            let local = vec![ctx.rank as f64, 1.0, -(ctx.rank as f64)];
+            ch.allreduce_f64(&local).unwrap()
+        });
+        for r in results {
+            assert_eq!(r, vec![3.0, 3.0, -3.0]);
+        }
+    }
+
+    #[test]
+    fn rpc_against_daemon_loop() {
+        let results = launch(3, 2, |mut ctx| {
+            let service = ctx.take_channel(1);
+            if ctx.rank == 0 {
+                let mut service = service;
+                let mut served = 0usize;
+                while served < 2 {
+                    let m = service.recv().unwrap();
+                    assert!(m.wants_reply());
+                    let mut answer = m.payload.clone();
+                    answer.reverse();
+                    assert!(m.reply(answer));
+                    served += 1;
+                }
+                Vec::new()
+            } else {
+                service.rpc(0, 1, vec![ctx.rank as u8, 10, 20]).unwrap()
+            }
+        });
+        assert_eq!(results[1], vec![20, 10, 1]);
+        assert_eq!(results[2], vec![20, 10, 2]);
+    }
+
+    #[test]
+    fn ring_neighbours() {
+        launch(4, 1, |mut ctx| {
+            let ch = ctx.take_channel(0);
+            assert_eq!(ch.ring_right(), (ctx.rank + 1) % 4);
+            assert_eq!(ch.ring_left(), (ctx.rank + 3) % 4);
+        });
+    }
+
+    #[test]
+    fn traffic_stats_count_bytes() {
+        let results = launch(2, 1, |mut ctx| {
+            let mut ch = ctx.take_channel(0);
+            if ctx.rank == 0 {
+                ch.send(1, 0, vec![0u8; 1000]).unwrap();
+                ch.stats().bytes_sent.load(Ordering::Relaxed)
+            } else {
+                let m = ch.recv().unwrap();
+                assert_eq!(m.payload.len(), 1000);
+                ch.stats().bytes_received.load(Ordering::Relaxed)
+            }
+        });
+        assert_eq!(results, vec![1000, 1000]);
+    }
+
+    #[test]
+    fn single_rank_collectives_are_trivial() {
+        let results = launch(1, 1, |mut ctx| {
+            let mut ch = ctx.take_channel(0);
+            ch.barrier().unwrap();
+            let g = ch.allgather(vec![42]).unwrap();
+            let r = ch.allreduce_f64(&[2.5]).unwrap();
+            (g, r)
+        });
+        assert_eq!(results[0].0, vec![vec![42]]);
+        assert_eq!(results[0].1, vec![2.5]);
+    }
+
+    #[test]
+    fn invalid_rank_rejected() {
+        launch(2, 1, |mut ctx| {
+            let ch = ctx.take_channel(0);
+            assert_eq!(ch.send(5, 0, Vec::new()), Err(CommError::InvalidRank(5)));
+            // Keep both ranks alive until the assertion runs everywhere.
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "rank thread panicked")]
+    fn channel_double_take_panics() {
+        launch(1, 1, |mut ctx| {
+            let _a = ctx.take_channel(0);
+            let _b = ctx.take_channel(0);
+        });
+    }
+
+    #[test]
+    fn ring_allreduce_matches_naive() {
+        for size in [1usize, 2, 3, 5, 8] {
+            let results = launch(size, 1, move |mut ctx| {
+                let mut ch = ctx.take_channel(0);
+                let local: Vec<f64> =
+                    (0..23).map(|i| (ctx.rank * 100 + i) as f64 * 0.5).collect();
+                let ring = ch.ring_allreduce_f64(&local).unwrap();
+                let naive = ch.allreduce_f64(&local).unwrap();
+                (ring, naive)
+            });
+            for (ring, naive) in results {
+                for (a, b) in ring.iter().zip(&naive) {
+                    assert!((a - b).abs() < 1e-9, "size {size}: {a} vs {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ring_allreduce_short_buffers() {
+        // Buffers shorter than the rank count leave some chunks empty.
+        let results = launch(6, 1, |mut ctx| {
+            let mut ch = ctx.take_channel(0);
+            ch.ring_allreduce_f64(&[ctx.rank as f64, 1.0]).unwrap()
+        });
+        for r in results {
+            assert_eq!(r, vec![15.0, 6.0]);
+        }
+    }
+
+    #[test]
+    fn ring_allreduce_then_other_collectives() {
+        // Tag accounting: collectives after a ring allreduce must not
+        // cross-talk with its many internal rounds.
+        let results = launch(4, 1, |mut ctx| {
+            let mut ch = ctx.take_channel(0);
+            let r = ch.ring_allreduce_f64(&[1.0; 8]).unwrap();
+            let g = ch.allgather(vec![ctx.rank as u8]).unwrap();
+            (r[0], g.len())
+        });
+        for (sum, n) in results {
+            assert_eq!(sum, 4.0);
+            assert_eq!(n, 4);
+        }
+    }
+
+    #[test]
+    fn remote_sender_rpc_from_sibling_thread() {
+        let results = launch(2, 1, |mut ctx| {
+            let ch = ctx.take_channel(0);
+            if ctx.rank == 0 {
+                let mut service = ch;
+                let m = service.recv().unwrap();
+                assert_eq!(m.src, 1);
+                m.reply(vec![m.payload[0] * 2]);
+                0u8
+            } else {
+                let remote = ch.remote();
+                // rpc from a spawned sibling thread, as a training I/O
+                // thread would.
+                std::thread::scope(|s| {
+                    s.spawn(move || remote.rpc(0, 5, vec![21]).unwrap()[0]).join().unwrap()
+                })
+            }
+        });
+        assert_eq!(results[1], 42);
+    }
+
+    #[test]
+    fn many_ranks_scale() {
+        // 64 ranks exchanging metadata-sized buffers, like the paper's
+        // metadata allgather at scale.
+        let results = launch(64, 1, |mut ctx| {
+            let mut ch = ctx.take_channel(0);
+            let g = ch.allgather(vec![ctx.rank as u8]).unwrap();
+            g.len()
+        });
+        assert!(results.iter().all(|&n| n == 64));
+    }
+}

@@ -1,0 +1,127 @@
+//! Property tests on the selection algorithm's invariants.
+
+use fanstore_select::{select, t_read, AppProfile, Candidate, IoMode, IoProfile};
+use proptest::prelude::*;
+
+fn app_strategy() -> impl Strategy<Value = AppProfile> {
+    (
+        prop_oneof![Just(IoMode::Sync), Just(IoMode::Async)],
+        0.05f64..20.0,   // t_iter
+        1.0f64..2048.0,  // c_batch
+        0.01f64..2048.0, // s_batch_raw_mb
+        1.0f64..8.0,     // parallelism
+    )
+        .prop_map(|(io_mode, t_iter, c_batch, s_batch_raw_mb, par)| AppProfile {
+            name: "prop".into(),
+            io_mode,
+            t_iter,
+            c_batch,
+            s_batch_raw_mb,
+            decompress_parallelism: par,
+        })
+}
+
+fn io_strategy() -> impl Strategy<Value = IoProfile> {
+    (10.0f64..100_000.0, 1.0f64..20_000.0)
+        .prop_map(|(tpt, bdw)| IoProfile::uniform(tpt, bdw))
+}
+
+fn candidate_strategy() -> impl Strategy<Value = Candidate> {
+    (1e-7f64..0.1, 1.0f64..16.0).prop_map(|(cost, ratio)| Candidate {
+        name: format!("c{cost:.1e}-{ratio:.1}"),
+        decomp_s_per_file: cost,
+        ratio,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn t_read_monotone_in_both_inputs(
+        c in 1.0f64..10_000.0,
+        s in 0.01f64..10_000.0,
+        tpt in 1.0f64..100_000.0,
+        bdw in 1.0f64..100_000.0,
+    ) {
+        let base = t_read(c, s, tpt, bdw);
+        prop_assert!(t_read(c * 2.0, s, tpt, bdw) >= base);
+        prop_assert!(t_read(c, s * 2.0, tpt, bdw) >= base);
+        prop_assert!(t_read(c, s, tpt * 2.0, bdw) <= base);
+        prop_assert!(t_read(c, s, tpt, bdw * 2.0) <= base);
+    }
+
+    #[test]
+    fn max_ratio_pick_is_feasible_and_maximal(
+        app in app_strategy(),
+        io in io_strategy(),
+        candidates in proptest::collection::vec(candidate_strategy(), 0..12),
+    ) {
+        let sel = select(&app, &io, &candidates);
+        prop_assert_eq!(sel.evaluations.len(), candidates.len());
+        if let Some(best) = sel.max_ratio() {
+            prop_assert!(best.feasible);
+            for e in sel.feasible() {
+                prop_assert!(e.candidate.ratio <= best.candidate.ratio);
+            }
+        } else {
+            prop_assert_eq!(sel.feasible().count(), 0);
+        }
+    }
+
+    #[test]
+    fn cheaper_decompression_never_hurts_feasibility(
+        app in app_strategy(),
+        io in io_strategy(),
+        cand in candidate_strategy(),
+    ) {
+        // Same ratio, lower cost: fetch time must not increase, and a
+        // feasible candidate must stay feasible.
+        let cheaper = Candidate {
+            name: "cheaper".into(),
+            decomp_s_per_file: cand.decomp_s_per_file / 2.0,
+            ratio: cand.ratio,
+        };
+        let sel = select(&app, &io, &[cand, cheaper]);
+        prop_assert!(sel.evaluations[1].fetch_time <= sel.evaluations[0].fetch_time);
+        if sel.evaluations[0].feasible {
+            prop_assert!(sel.evaluations[1].feasible);
+        }
+    }
+
+    #[test]
+    fn async_budget_is_t_iter_sync_is_raw_read(
+        app in app_strategy(),
+        io in io_strategy(),
+        cand in candidate_strategy(),
+    ) {
+        let sel = select(&app, &io, &[cand]);
+        let e = &sel.evaluations[0];
+        match app.io_mode {
+            IoMode::Async => prop_assert!((e.budget - app.t_iter).abs() < 1e-12),
+            IoMode::Sync => {
+                let raw = t_read(app.c_batch, app.s_batch_raw_mb, io.tpt_read_raw, io.bdw_read_raw);
+                prop_assert!((e.budget - raw).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn min_cost_with_ratio_respects_both_constraints(
+        app in app_strategy(),
+        io in io_strategy(),
+        candidates in proptest::collection::vec(candidate_strategy(), 0..12),
+        min_ratio in 1.0f64..8.0,
+    ) {
+        let sel = select(&app, &io, &candidates);
+        if let Some(pick) = sel.min_cost_with_ratio(min_ratio) {
+            prop_assert!(pick.feasible);
+            prop_assert!(pick.candidate.ratio >= min_ratio);
+            for e in sel.feasible() {
+                if e.candidate.ratio >= min_ratio {
+                    prop_assert!(pick.candidate.decomp_s_per_file <= e.candidate.decomp_s_per_file);
+                }
+            }
+        }
+    }
+}

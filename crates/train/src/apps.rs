@@ -1,0 +1,168 @@
+//! Application presets (paper §VII-B, Table V).
+
+use fanstore_datagen::DatasetKind;
+use fanstore_select::{AppProfile, IoMode};
+use io_sim::cluster::Cluster;
+
+/// One of the paper's three evaluation applications.
+#[derive(Debug, Clone)]
+pub struct AppSpec {
+    /// Application name.
+    pub name: &'static str,
+    /// Training dataset family.
+    pub dataset: DatasetKind,
+    /// I/O mode the reference implementation uses.
+    pub io_mode: IoMode,
+    /// Per-iteration compute time on the reference cluster, seconds
+    /// (Table V, profiled with data in RAM disk).
+    pub t_iter: f64,
+    /// Files per iteration across the 4-node reference allocation
+    /// (`C_batch`).
+    pub c_batch: f64,
+    /// Uncompressed MB per iteration (`S'_batch`).
+    pub s_batch_raw_mb: f64,
+    /// Uncompressed size of one training file, bytes.
+    pub file_bytes: usize,
+    /// Gradient bytes exchanged per iteration (model size x 4 bytes).
+    pub model_bytes: usize,
+    /// I/O threads per node available to decompress.
+    pub io_threads: f64,
+    /// Total dataset size in bytes (Table II).
+    pub dataset_bytes: u64,
+}
+
+impl AppSpec {
+    /// SRGAN on 3-D electron microscopy (synchronous I/O). Table V GTX
+    /// row: `T_iter` 9 689 ms, `C_batch` 256, `S'_batch` 410 MB.
+    pub fn srgan_gtx() -> Self {
+        AppSpec {
+            name: "SRGAN",
+            dataset: DatasetKind::EmTif,
+            io_mode: IoMode::Sync,
+            t_iter: 9.689,
+            c_batch: 256.0,
+            s_batch_raw_mb: 410.0,
+            file_bytes: 1_600_000,
+            model_bytes: 6_200_000 * 4, // ~6.2 M parameters (SRGAN G+D)
+            io_threads: 4.0,
+            dataset_bytes: 500_000_000_000,
+        }
+    }
+
+    /// SRGAN on the V100 cluster: same workload, ~4x faster compute
+    /// (Table V row 2: `T_iter` 2 416 ms).
+    pub fn srgan_v100() -> Self {
+        AppSpec { t_iter: 2.416, ..Self::srgan_gtx() }
+    }
+
+    /// FRNN (tokamak disruption prediction, LSTM) on the CPU cluster —
+    /// asynchronous I/O. Table V row 3: `T_iter` 655 ms, `C_batch` 512,
+    /// `S'_batch` 615 KB.
+    pub fn frnn_cpu() -> Self {
+        AppSpec {
+            name: "FRNN",
+            dataset: DatasetKind::TokamakNpz,
+            io_mode: IoMode::Async,
+            t_iter: 0.655,
+            c_batch: 512.0,
+            s_batch_raw_mb: 0.615,
+            file_bytes: 1_200,
+            model_bytes: 2_000_000 * 4,
+            io_threads: 4.0,
+            dataset_bytes: 1_700_000_000_000,
+        }
+    }
+
+    /// ResNet-50 on ImageNet (asynchronous I/O in the reference stack).
+    /// Used for the scaling study (Figure 9b/9c); per-iteration time from
+    /// the single-node GTX baseline (batch 32/GPU at ~195 images/s/GPU).
+    pub fn resnet50_gtx() -> Self {
+        AppSpec {
+            name: "ResNet-50",
+            dataset: DatasetKind::ImageNetJpg,
+            io_mode: IoMode::Async,
+            // ~195 images/s per 1080 Ti at batch 32: the 4-node reference
+            // profile turns over 512 images every ~164 ms.
+            t_iter: 0.164,
+            c_batch: 512.0, // 32 x 4 GPUs x 4 nodes
+            s_batch_raw_mb: 51.2,
+            file_bytes: 100_000,
+            model_bytes: 25_600_000 * 4, // 25.6 M parameters
+            io_threads: 4.0,
+            dataset_bytes: 140_000_000_000,
+        }
+    }
+
+    /// ResNet-50 sized for the CPU cluster (2 sockets per node, smaller
+    /// per-node batch).
+    pub fn resnet50_cpu() -> Self {
+        AppSpec { t_iter: 1.8, c_batch: 64.0, s_batch_raw_mb: 6.4, ..Self::resnet50_gtx() }
+    }
+
+    /// The selector-facing profile (paper Table V columns).
+    pub fn profile(&self) -> AppProfile {
+        AppProfile {
+            name: self.name.to_string(),
+            io_mode: self.io_mode,
+            t_iter: self.t_iter,
+            c_batch: self.c_batch,
+            s_batch_raw_mb: self.s_batch_raw_mb,
+            decompress_parallelism: self.io_threads,
+        }
+    }
+
+    /// The reference cluster this preset was profiled on.
+    pub fn reference_cluster(&self) -> Cluster {
+        match (self.name, self.t_iter) {
+            ("SRGAN", t) if t < 5.0 => Cluster::v100(),
+            ("SRGAN", _) => Cluster::gtx(),
+            ("FRNN", _) => Cluster::cpu(),
+            _ => Cluster::gtx(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table5_values_encoded() {
+        let s = AppSpec::srgan_gtx();
+        assert_eq!(s.io_mode, IoMode::Sync);
+        assert!((s.t_iter - 9.689).abs() < 1e-9);
+        assert_eq!(s.c_batch, 256.0);
+        assert_eq!(s.s_batch_raw_mb, 410.0);
+
+        let v = AppSpec::srgan_v100();
+        assert!((v.t_iter - 2.416).abs() < 1e-9);
+
+        let f = AppSpec::frnn_cpu();
+        assert_eq!(f.io_mode, IoMode::Async);
+        assert_eq!(f.c_batch, 512.0);
+    }
+
+    #[test]
+    fn reference_clusters_resolve() {
+        assert_eq!(AppSpec::srgan_gtx().reference_cluster().name, "GTX");
+        assert_eq!(AppSpec::srgan_v100().reference_cluster().name, "V100");
+        assert_eq!(AppSpec::frnn_cpu().reference_cluster().name, "CPU");
+    }
+
+    #[test]
+    fn profile_round_trips_fields() {
+        let s = AppSpec::frnn_cpu();
+        let p = s.profile();
+        assert_eq!(p.c_batch, s.c_batch);
+        assert_eq!(p.t_iter, s.t_iter);
+        assert_eq!(p.decompress_parallelism, s.io_threads);
+    }
+
+    #[test]
+    fn srgan_average_file_size_consistent() {
+        // 410 MB / 256 files = 1.6 MB, matching the EM dataset (Table II).
+        let s = AppSpec::srgan_gtx();
+        let avg = s.s_batch_raw_mb * 1e6 / s.c_batch;
+        assert!((avg - s.file_bytes as f64).abs() / (s.file_bytes as f64) < 0.01);
+    }
+}

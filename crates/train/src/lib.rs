@@ -1,0 +1,30 @@
+//! # fanstore-train
+//!
+//! A distributed deep-learning *training-loop* simulator, faithful to the
+//! I/O behaviour the FanStore paper measures — not to the math inside the
+//! model. Every evaluation result in the paper is a function of:
+//!
+//! * the per-iteration compute time (`T_iter`, measured by the authors on
+//!   RAM-disk-resident data — Table V),
+//! * the data-fetch pipeline (sync vs async, Figure 5),
+//! * read performance of the storage solution (Tables III/VI),
+//! * decompression cost and ratio of the chosen compressor (Table VII),
+//! * and the allreduce cost of data-parallel SGD at scale (Figure 9).
+//!
+//! This crate composes those pieces:
+//! [`apps`] holds the three application presets (SRGAN, FRNN, ResNet-50);
+//! [`pipeline`] computes per-iteration times under either I/O mode;
+//! [`scaling`] runs weak-scaling sweeps and the Figure 1 utilisation
+//! model; [`tfrecord`] implements a TFRecord-style record-file reader as
+//! the baseline for Figure 6; [`epoch`] drives a *real* FanStore cluster
+//! through training-style random-batch epochs (used by the integration
+//! tests and the quickstart example).
+
+pub mod apps;
+pub mod convergence;
+pub mod epoch;
+pub mod pipeline;
+pub mod prefetch;
+pub mod resume;
+pub mod scaling;
+pub mod tfrecord;

@@ -1,0 +1,204 @@
+//! Per-iteration time composition (paper Figure 5 and §VI-A).
+//!
+//! * Synchronous I/O: `T = T_compute + T_fetch` — I/O and compute
+//!   serialise each iteration.
+//! * Asynchronous I/O (prefetch): `T = max(T_compute, T_fetch)` — the
+//!   batch for iteration *i+1* is fetched under iteration *i*'s compute.
+//!
+//! `T_fetch` itself is `T_read(compressed) + T_decompress`, with the
+//! Eq. 3 read model and the decompression parallelism of the I/O threads.
+
+use fanstore_select::{t_read, IoMode};
+use io_sim::Seconds;
+
+use crate::apps::AppSpec;
+
+/// A storage solution as the pipeline sees it: read performance at the
+/// (possibly compressed) batch, plus compressor properties.
+#[derive(Debug, Clone, Copy)]
+pub struct FetchModel {
+    /// Files/s at the effective file size.
+    pub tpt_read: f64,
+    /// MB/s at the effective file size.
+    pub bdw_read: f64,
+    /// Compression ratio (1.0 = uncompressed).
+    pub ratio: f64,
+    /// Decompression cost per file, seconds (0.0 = uncompressed).
+    pub decomp_s_per_file: f64,
+}
+
+impl FetchModel {
+    /// An uncompressed baseline with the given read performance.
+    pub fn raw(tpt_read: f64, bdw_read: f64) -> Self {
+        FetchModel { tpt_read, bdw_read, ratio: 1.0, decomp_s_per_file: 0.0 }
+    }
+}
+
+/// Break-down of one training iteration's time.
+#[derive(Debug, Clone, Copy)]
+pub struct IterationTime {
+    /// Compute (+ allreduce) time, seconds.
+    pub compute: Seconds,
+    /// Batch read time, seconds.
+    pub read: Seconds,
+    /// Batch decompression time (after parallelism), seconds.
+    pub decompress: Seconds,
+    /// Total per-iteration wall time, seconds.
+    pub total: Seconds,
+}
+
+/// Compose one iteration for `app` fetching through `fetch`.
+pub fn iteration_time(app: &AppSpec, fetch: &FetchModel) -> IterationTime {
+    iteration_time_with_compute(app, fetch, app.t_iter)
+}
+
+/// Same, with an explicit compute time (used by the scaling sweeps where
+/// allreduce grows with node count).
+pub fn iteration_time_with_compute(
+    app: &AppSpec,
+    fetch: &FetchModel,
+    compute: Seconds,
+) -> IterationTime {
+    let s_batch = app.s_batch_raw_mb / fetch.ratio.max(1e-9);
+    let read = t_read(app.c_batch, s_batch, fetch.tpt_read, fetch.bdw_read);
+    let decompress = app.c_batch * fetch.decomp_s_per_file / app.io_threads.max(1.0);
+    let fetch_time = read + decompress;
+    let total = match app.io_mode {
+        IoMode::Sync => compute + fetch_time,
+        IoMode::Async => compute.max(fetch_time),
+    };
+    IterationTime { compute, read, decompress, total }
+}
+
+/// Throughput in items (files) per second for an iteration time.
+pub fn items_per_sec(app: &AppSpec, iter: &IterationTime) -> f64 {
+    app.c_batch / iter.total.max(1e-12)
+}
+
+/// Relative performance of a candidate fetch model against the
+/// uncompressed baseline on the same storage (the y-axis of Figure 8).
+pub fn relative_performance(app: &AppSpec, baseline: &FetchModel, candidate: &FetchModel) -> f64 {
+    let b = iteration_time(app, baseline);
+    let c = iteration_time(app, candidate);
+    b.total / c.total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps::AppSpec;
+
+    fn gtx_fetch(ratio: f64, decomp_us_per_file: f64) -> FetchModel {
+        // Table VI GTX rows: compressed EM files ~762 KB -> 512 KB class;
+        // raw 1.6 MB -> 2 MB class.
+        if ratio > 1.0 {
+            FetchModel {
+                tpt_read: 9469.0,
+                bdw_read: 4969.0,
+                ratio,
+                decomp_s_per_file: decomp_us_per_file * 1e-6,
+            }
+        } else {
+            FetchModel { tpt_read: 3158.0, bdw_read: 6663.0, ratio: 1.0, decomp_s_per_file: 0.0 }
+        }
+    }
+
+    #[test]
+    fn sync_adds_async_overlaps() {
+        let mut app = AppSpec::srgan_gtx();
+        let fetch = gtx_fetch(2.1, 800.0);
+        let sync = iteration_time(&app, &fetch);
+        assert!(sync.total > app.t_iter);
+        app.io_mode = fanstore_select::IoMode::Async;
+        let asy = iteration_time(&app, &fetch);
+        assert!((asy.total - app.t_iter).abs() < 1e-9, "fetch hides under compute");
+    }
+
+    #[test]
+    fn srgan_gtx_fast_lz_preserves_baseline_within_pct() {
+        // §VII-E1 / Fig 8a: lzsse8 and lz4hc achieve identical performance
+        // to the uncompressed baseline (within ~1%).
+        let app = AppSpec::srgan_gtx();
+        let baseline = gtx_fetch(1.0, 0.0);
+        // lzsse8: 619 ms per 256-file batch -> 2.42 ms/file; ratio 2.5.
+        let lzsse8 = gtx_fetch(2.5, 619.0 * 1000.0 / 256.0);
+        let rel = relative_performance(&app, &baseline, &lzsse8);
+        assert!(rel > 0.97, "lzsse8 relative {rel} (paper: identical to baseline)");
+    }
+
+    #[test]
+    fn srgan_gtx_lzma_slows_down_1_1_to_2_3x() {
+        // Fig 8a: slow compressors cost 1.1-2.3x.
+        let app = AppSpec::srgan_gtx();
+        let baseline = gtx_fetch(1.0, 0.0);
+        let lzma = gtx_fetch(4.2, 41_261.0 * 1000.0 / 256.0);
+        let rel = relative_performance(&app, &baseline, &lzma);
+        assert!(
+            (1.0 / 2.6..=1.0 / 1.05).contains(&rel),
+            "lzma relative {rel} (paper: 1.1-2.3x slowdown)"
+        );
+    }
+
+    #[test]
+    fn frnn_async_all_compressors_free() {
+        // Fig 8b: with async I/O and tiny files, even brotli's cost hides
+        // completely — identical performance to baseline.
+        let app = AppSpec::frnn_cpu();
+        let base = FetchModel::raw(29_103.0, 30.0);
+        for (ratio, us_per_file) in [(8.7, 0.41), (6.5, 0.43), (13.0, 5230.0)] {
+            let cand = FetchModel {
+                tpt_read: 29_103.0,
+                bdw_read: 30.0,
+                ratio,
+                decomp_s_per_file: us_per_file * 1e-6,
+            };
+            let rel = relative_performance(&app, &base, &cand);
+            // The fast codecs hide exactly; brotli is the paper's marginal
+            // case (its own numbers put it 2% over the iteration time).
+            assert!(rel > 0.94, "ratio {ratio}: rel {rel}");
+        }
+    }
+
+    #[test]
+    fn srgan_v100_lz4hc_loses_under_5_pct() {
+        // §VII-E3: lz4hc achieves 95.3% of baseline on V100.
+        let app = AppSpec::srgan_v100();
+        let baseline = FetchModel { tpt_read: 5026.0, bdw_read: 10546.0, ratio: 1.0, decomp_s_per_file: 0.0 };
+        let lz4hc = FetchModel {
+            tpt_read: 8654.0,
+            bdw_read: 4540.0,
+            ratio: 2.1,
+            decomp_s_per_file: 942.0 * 1e-3 / 256.0,
+        };
+        let rel = relative_performance(&app, &baseline, &lz4hc);
+        assert!((0.90..=1.0).contains(&rel), "lz4hc on V100: {rel} (paper 95.3%)");
+    }
+
+    #[test]
+    fn srgan_v100_brotli_collapses() {
+        // §VII-E3: brotli reaches only ~25% of baseline on V100.
+        let app = AppSpec::srgan_v100();
+        let baseline =
+            FetchModel { tpt_read: 5026.0, bdw_read: 10546.0, ratio: 1.0, decomp_s_per_file: 0.0 };
+        let brotli = FetchModel {
+            tpt_read: 8654.0,
+            bdw_read: 4540.0,
+            ratio: 3.1,
+            decomp_s_per_file: 5.650 / 256.0,
+        };
+        let rel = relative_performance(&app, &baseline, &brotli);
+        // The paper measures 24.6%; our analytic model (no CPU contention
+        // between decompression and training threads) bounds the loss from
+        // below — it must still be a collapse, far from the <5% loss of
+        // lz4hc.
+        assert!(rel < 0.8, "brotli on V100: {rel} (paper 24.6%)");
+    }
+
+    #[test]
+    fn items_per_sec_inverse_of_total() {
+        let app = AppSpec::frnn_cpu();
+        let it = iteration_time(&app, &FetchModel::raw(29_103.0, 30.0));
+        let ips = items_per_sec(&app, &it);
+        assert!((ips - app.c_batch / it.total).abs() < 1e-9);
+    }
+}

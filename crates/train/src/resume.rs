@@ -1,0 +1,162 @@
+//! Fault tolerance via checkpoint/resume (paper §V-E).
+//!
+//! FanStore does not replicate data against node failure; the paper's
+//! position is that DL training already checkpoints per epoch (files
+//! named with the epoch number, §II-B3), so a failed run resumes from the
+//! last checkpoint. This module implements that workflow over the real
+//! store: discover the newest checkpoint through the POSIX surface,
+//! resume the epoch loop after it, and export checkpoints for the next
+//! allocation.
+
+use fanstore::client::FsClient;
+use fanstore::FsError;
+
+use crate::epoch::{run_epoch_range, EpochConfig, EpochReport};
+
+/// Parse the epoch number out of a `model_epoch_NNNN.h5`-style name.
+fn epoch_of(name: &str) -> Option<usize> {
+    let stem = name.strip_suffix(".h5")?;
+    let idx = stem.rfind("epoch_")?;
+    stem[idx + "epoch_".len()..].parse().ok()
+}
+
+/// The newest checkpoint epoch visible to this rank under
+/// `checkpoints/rank{r}/`, or `None` when starting fresh.
+pub fn latest_checkpoint_epoch(fs: &FsClient) -> Option<usize> {
+    let dir = format!("checkpoints/rank{}", fs.rank());
+    let mut stream = fs.opendir(&dir).ok()?;
+    let mut newest = None;
+    while let Some(name) = stream.next_entry() {
+        if let Some(e) = epoch_of(name) {
+            newest = Some(newest.map_or(e, |n: usize| n.max(e)));
+        }
+    }
+    newest
+}
+
+/// Run the epoch loop, resuming after the newest checkpoint if one
+/// exists. Returns the report plus the epoch resumed from.
+pub fn run_epochs_resuming(
+    fs: &FsClient,
+    cfg: &EpochConfig,
+) -> Result<(EpochReport, usize), FsError> {
+    let start = latest_checkpoint_epoch(fs).map_or(0, |e| e);
+    let report = run_epoch_range(fs, cfg, start, cfg.epochs)?;
+    Ok((report, start))
+}
+
+/// Export this rank's checkpoints (path, contents) so the launcher can
+/// persist them to the real shared file system between allocations.
+pub fn export_checkpoints(fs: &FsClient) -> Result<Vec<(String, Vec<u8>)>, FsError> {
+    let dir = format!("checkpoints/rank{}", fs.rank());
+    let mut out = Vec::new();
+    let Ok(mut stream) = fs.opendir(&dir) else {
+        return Ok(out); // no checkpoints yet
+    };
+    let mut names = Vec::new();
+    while let Some(name) = stream.next_entry() {
+        names.push(name.to_string());
+    }
+    for name in names {
+        let path = format!("{dir}/{name}");
+        out.push((path.clone(), fs.read_whole(&path)?));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fanstore::cluster::{ClusterConfig, FanStore};
+    use fanstore::prep::{prepare, PrepConfig};
+
+    fn dataset(n: usize) -> Vec<(String, Vec<u8>)> {
+        (0..n)
+            .map(|i| (format!("d/f{i:02}.bin"), vec![i as u8; 500]))
+            .collect()
+    }
+
+    #[test]
+    fn epoch_name_parsing() {
+        assert_eq!(epoch_of("model_epoch_0007.h5"), Some(7));
+        assert_eq!(epoch_of("model_epoch_0123.h5"), Some(123));
+        assert_eq!(epoch_of("model.h5"), None);
+        assert_eq!(epoch_of("notes.txt"), None);
+    }
+
+    #[test]
+    fn resume_skips_completed_epochs() {
+        let packed = prepare(dataset(8), &PrepConfig::default());
+        let cfg = EpochConfig {
+            root: "d".into(),
+            batch_per_node: 4,
+            epochs: 5,
+            checkpoint_every: 1,
+            checkpoint_bytes: 128,
+            seed: 3,
+        };
+        FanStore::run(ClusterConfig::default(), packed.partitions, |fs| {
+            // Simulated first allocation: run epochs 0..2 then "fail".
+            let partial = run_epoch_range(fs, &cfg, 0, 2).unwrap();
+            assert_eq!(partial.checkpoints, 2);
+            assert_eq!(latest_checkpoint_epoch(fs), Some(2));
+
+            // Second allocation (same store session): resume to 5 epochs.
+            let (rest, resumed_from) = run_epochs_resuming(fs, &cfg).unwrap();
+            assert_eq!(resumed_from, 2);
+            // 3 remaining epochs x (8 files / batch 4) iterations.
+            assert_eq!(rest.iterations, 3 * 2);
+            assert_eq!(rest.checkpoints, 3);
+            assert_eq!(latest_checkpoint_epoch(fs), Some(5));
+        });
+    }
+
+    #[test]
+    fn fresh_run_starts_from_zero() {
+        let packed = prepare(dataset(4), &PrepConfig::default());
+        let cfg = EpochConfig {
+            root: "d".into(),
+            batch_per_node: 2,
+            epochs: 2,
+            checkpoint_every: 2,
+            checkpoint_bytes: 64,
+            seed: 1,
+        };
+        FanStore::run(ClusterConfig::default(), packed.partitions, |fs| {
+            assert_eq!(latest_checkpoint_epoch(fs), None);
+            let (report, from) = run_epochs_resuming(fs, &cfg).unwrap();
+            assert_eq!(from, 0);
+            assert_eq!(report.iterations, 2 * 2);
+        });
+    }
+
+    #[test]
+    fn export_returns_all_checkpoints() {
+        let packed = prepare(dataset(4), &PrepConfig::default());
+        let cfg = EpochConfig {
+            root: "d".into(),
+            batch_per_node: 2,
+            epochs: 3,
+            checkpoint_every: 1,
+            checkpoint_bytes: 256,
+            seed: 2,
+        };
+        FanStore::run(ClusterConfig::default(), packed.partitions, |fs| {
+            run_epoch_range(fs, &cfg, 0, 3).unwrap();
+            let exported = export_checkpoints(fs).unwrap();
+            assert_eq!(exported.len(), 3);
+            for (path, data) in &exported {
+                assert!(path.contains("model_epoch_"));
+                assert_eq!(data.len(), 256);
+            }
+        });
+    }
+
+    #[test]
+    fn export_empty_when_no_checkpoints() {
+        let packed = prepare(dataset(2), &PrepConfig::default());
+        FanStore::run(ClusterConfig::default(), packed.partitions, |fs| {
+            assert!(export_checkpoints(fs).unwrap().is_empty());
+        });
+    }
+}

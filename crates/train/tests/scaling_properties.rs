@@ -1,0 +1,124 @@
+//! Property and invariant tests on the scaling machinery.
+
+use fanstore_train::apps::AppSpec;
+use fanstore_train::pipeline::{iteration_time, relative_performance, FetchModel};
+use fanstore_train::scaling::{weak_scaling, ScaleStorage, UtilizationModel};
+use io_sim::cluster::Cluster;
+use io_sim::mds::MetadataModel;
+use io_sim::storage::presets;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn utilization_never_exceeds_one(
+        b_max in 1.0f64..4096.0,
+        b_min in 1.0f64..512.0,
+        nodes in 1usize..600,
+        ratio in 1.0f64..16.0,
+    ) {
+        let m = UtilizationModel {
+            b_max,
+            b_min_per_proc: b_min,
+            node_buffer: 60_000_000_000,
+            dataset_bytes: 140_000_000_000,
+            procs_per_node: 4,
+        };
+        let u = m.utilization(nodes, ratio);
+        prop_assert!((0.0..=1.0).contains(&u));
+    }
+
+    #[test]
+    fn higher_ratio_never_raises_min_nodes(
+        dataset_gb in 1u64..2000,
+        buffer_gb in 10u64..500,
+        r1 in 1.0f64..8.0,
+        r2 in 1.0f64..8.0,
+    ) {
+        let m = UtilizationModel {
+            b_max: 256.0,
+            b_min_per_proc: 32.0,
+            node_buffer: buffer_gb * 1_000_000_000,
+            dataset_bytes: dataset_gb * 1_000_000_000,
+            procs_per_node: 4,
+        };
+        let (lo, hi) = if r1 < r2 { (r1, r2) } else { (r2, r1) };
+        prop_assert!(m.min_nodes(hi) <= m.min_nodes(lo),
+            "ratio {hi} needs {} nodes vs ratio {lo} {}", m.min_nodes(hi), m.min_nodes(lo));
+    }
+
+    #[test]
+    fn better_fetch_never_slows_iteration(
+        tpt in 100.0f64..50_000.0,
+        bdw in 10.0f64..20_000.0,
+        ratio in 1.0f64..8.0,
+        cost_us in 0.0f64..10_000.0,
+    ) {
+        let app = AppSpec::srgan_gtx();
+        let fetch = FetchModel { tpt_read: tpt, bdw_read: bdw, ratio, decomp_s_per_file: cost_us * 1e-6 };
+        let faster = FetchModel { tpt_read: tpt * 2.0, bdw_read: bdw * 2.0, ..fetch };
+        prop_assert!(iteration_time(&app, &faster).total <= iteration_time(&app, &fetch).total);
+        let cheaper = FetchModel { decomp_s_per_file: fetch.decomp_s_per_file / 2.0, ..fetch };
+        prop_assert!(iteration_time(&app, &cheaper).total <= iteration_time(&app, &fetch).total);
+    }
+
+    #[test]
+    fn relative_performance_bounded_for_async(
+        cost_us in 0.0f64..100_000.0,
+        ratio in 1.0f64..8.0,
+    ) {
+        // Under async I/O, compression can only help or hide — relative
+        // performance vs baseline is <= 1 + epsilon and > 0.
+        let app = AppSpec::frnn_cpu();
+        let base = FetchModel::raw(29_103.0, 30.0);
+        let cand = FetchModel {
+            tpt_read: 29_103.0,
+            bdw_read: 30.0,
+            ratio,
+            decomp_s_per_file: cost_us * 1e-6,
+        };
+        let rel = relative_performance(&app, &base, &cand);
+        prop_assert!(rel > 0.0 && rel <= 1.0 + 1e-9, "{rel}");
+    }
+}
+
+#[test]
+fn weak_scaling_efficiency_bounded() {
+    let app = AppSpec::srgan_gtx();
+    let cluster = Cluster::gtx();
+    let read = presets::fanstore_gtx();
+    let storage =
+        ScaleStorage::FanStore { read: &read, ratio: 2.5, decomp_s_per_file: 619e-6 * 4.0 };
+    let points = weak_scaling(&app, &cluster, &storage, &[1, 2, 4, 8, 16], 600_000, 6);
+    for p in &points {
+        assert!(p.efficiency <= 1.0 + 1e-9, "efficiency {} > 1", p.efficiency);
+        assert!(p.efficiency > 0.0);
+        assert!(p.items_per_sec > 0.0);
+    }
+    // Aggregate throughput must be non-decreasing in node count.
+    for w in points.windows(2) {
+        assert!(w[1].items_per_sec >= w[0].items_per_sec * 0.99);
+    }
+}
+
+#[test]
+fn shared_fs_efficiency_monotone_nonincreasing() {
+    let app = AppSpec::resnet50_gtx();
+    let cluster = Cluster::gtx();
+    let shared = ScaleStorage::SharedFs {
+        aggregate_bandwidth: 20e9,
+        per_file_time: 1.0 / 1515.0,
+        aggregate_file_ops: 6_000.0,
+        mds: MetadataModel::lustre(),
+    };
+    let points = weak_scaling(&app, &cluster, &shared, &[1, 2, 4, 8, 16], 1_300_000, 2_002);
+    for w in points.windows(2) {
+        assert!(
+            w[1].efficiency <= w[0].efficiency + 1e-9,
+            "shared FS efficiency must not improve with scale: {} -> {}",
+            w[0].efficiency,
+            w[1].efficiency
+        );
+    }
+}

@@ -1,0 +1,72 @@
+//! Fault tolerance (paper §V-E): train, "crash", resume from the newest
+//! checkpoint, and export checkpoints for the next allocation.
+//!
+//! ```sh
+//! cargo run --release --example checkpoint_resume
+//! ```
+
+use fanstore_repro::datagen::{DatasetKind, DatasetSpec};
+use fanstore_repro::store::cluster::{ClusterConfig, FanStore};
+use fanstore_repro::store::prep::{prepare, PrepConfig};
+use fanstore_repro::train::epoch::{run_epoch_range, EpochConfig};
+use fanstore_repro::train::resume::{export_checkpoints, latest_checkpoint_epoch, run_epochs_resuming};
+
+fn main() {
+    let spec = DatasetSpec::scaled(DatasetKind::LungNii, 12, 0xC3);
+    let packed = prepare(
+        spec.generate_all(),
+        &PrepConfig { partitions: 2, ..Default::default() },
+    );
+    println!(
+        "lung CT dataset packed at ratio {:.2} ({} -> {} bytes)",
+        packed.ratio(),
+        packed.input_bytes,
+        packed.packed_bytes
+    );
+
+    let cfg = EpochConfig {
+        root: "lung".into(),
+        batch_per_node: 3,
+        epochs: 6,
+        checkpoint_every: 2,
+        checkpoint_bytes: 32 * 1024,
+        seed: 77,
+    };
+
+    let exported = FanStore::run(
+        ClusterConfig { nodes: 2, ..Default::default() },
+        packed.partitions,
+        |fs| {
+            // First allocation: run 3 of 6 epochs, then simulate a failure.
+            run_epoch_range(fs, &cfg, 0, 3).expect("first allocation");
+            println!(
+                "rank {}: 'crash' after epoch 3; newest checkpoint = epoch {:?}",
+                fs.rank(),
+                latest_checkpoint_epoch(fs)
+            );
+
+            // Second allocation (the paper resumes from the shared FS; here
+            // the store session persists): pick up where the checkpoints say.
+            let (report, resumed_from) = run_epochs_resuming(fs, &cfg).expect("resume");
+            println!(
+                "rank {}: resumed from epoch {resumed_from}, ran {} more iterations, \
+                 wrote {} more checkpoints",
+                fs.rank(),
+                report.iterations,
+                report.checkpoints
+            );
+
+            // Export for the next allocation's shared-FS staging.
+            export_checkpoints(fs).expect("export")
+        },
+    );
+
+    for (rank, ckpts) in exported.iter().enumerate() {
+        println!(
+            "rank {rank}: exported {} checkpoints ({} bytes total)",
+            ckpts.len(),
+            ckpts.iter().map(|(_, d)| d.len()).sum::<usize>()
+        );
+    }
+    println!("checkpoint_resume OK");
+}

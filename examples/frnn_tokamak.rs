@@ -1,0 +1,81 @@
+//! The paper's FRNN scenario: hundreds of tiny tokamak-diagnostic files,
+//! asynchronous I/O, and the concatenation benefit — packing tiny files
+//! into partitions reclaims the file-system block padding, so the
+//! *storage* ratio beats the per-file compression ratio (§VII-E2).
+//!
+//! ```sh
+//! cargo run --release --example frnn_tokamak
+//! ```
+
+use fanstore_repro::compress::registry::parse_name;
+use fanstore_repro::datagen::{DatasetKind, DatasetSpec};
+use fanstore_repro::store::cluster::{ClusterConfig, FanStore};
+use fanstore_repro::store::prep::{prepare, PrepConfig};
+use fanstore_repro::train::apps::AppSpec;
+use fanstore_repro::train::epoch::{run_epochs, EpochConfig};
+
+/// File-system block size tiny files get rounded up to.
+const FS_BLOCK: usize = 4096;
+
+fn main() {
+    let app = AppSpec::frnn_cpu();
+    println!(
+        "{}: async I/O, {} files/iteration, T_iter {} ms",
+        app.name,
+        app.c_batch,
+        app.t_iter * 1e3
+    );
+
+    // 1. Generate 512 tiny (~1.2 KB) reactor-status files.
+    let spec = DatasetSpec::scaled(DatasetKind::TokamakNpz, 512, 0xF_12A);
+    let files = spec.generate_all();
+    let raw_bytes: usize = files.iter().map(|(_, d)| d.len()).sum();
+    let block_padded: usize = files.iter().map(|(_, d)| d.len().div_ceil(FS_BLOCK) * FS_BLOCK).sum();
+
+    // 2. Pack with lz4hc. The paper's observation: each small file wastes
+    //    most of a 4 KB block on a normal file system; concatenation into
+    //    partitions recovers that on top of the compression itself.
+    let packed = prepare(
+        files,
+        &PrepConfig {
+            partitions: 4,
+            codec: parse_name("lz4hc-9").unwrap(),
+            store_if_incompressible: true,
+        },
+    );
+    println!(
+        "raw bytes: {raw_bytes}  |  on a 4 KB-block FS: {block_padded}  |  packed: {}",
+        packed.packed_bytes
+    );
+    println!(
+        "per-file compression ratio ~{:.2}; effective storage ratio vs block-padded: {:.2} \
+         (paper: 6.5 for the dataset vs 2.6 for individual files)",
+        packed.ratio(),
+        block_padded as f64 / packed.packed_bytes as f64
+    );
+
+    // 3. Train 3 epochs on 4 nodes; with async I/O the tiny reads hide
+    //    entirely under compute.
+    let cfg = EpochConfig {
+        root: "tokamak".into(),
+        batch_per_node: app.c_batch as usize / 4,
+        epochs: 3,
+        checkpoint_every: 0,
+        checkpoint_bytes: 0,
+        seed: 11,
+    };
+    let reports = FanStore::run(
+        ClusterConfig { nodes: 4, ..Default::default() },
+        packed.partitions,
+        |fs| run_epochs(fs, &cfg).expect("epochs"),
+    );
+    for (rank, r) in reports.iter().enumerate() {
+        println!(
+            "rank {rank}: {} files seen, {} iterations, {:.2} MB delivered",
+            r.files_seen,
+            r.iterations,
+            r.bytes_read as f64 / 1e6
+        );
+    }
+    println!("frnn_tokamak OK");
+}

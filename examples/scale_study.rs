@@ -1,0 +1,58 @@
+//! Weak-scaling study (the Figure 9 sweeps): FanStore vs a shared file
+//! system from 1 to 512 nodes, using the io-sim models calibrated to the
+//! paper's measurements.
+//!
+//! ```sh
+//! cargo run --release --example scale_study
+//! ```
+
+use fanstore_repro::iosim::cluster::Cluster;
+use fanstore_repro::iosim::mds::MetadataModel;
+use fanstore_repro::iosim::storage::presets;
+use fanstore_repro::train::apps::AppSpec;
+use fanstore_repro::train::scaling::{weak_scaling, ScaleStorage};
+
+fn main() {
+    let app = AppSpec::resnet50_cpu();
+    let cluster = Cluster::cpu();
+    let nodes = [1usize, 4, 16, 64, 128, 256, 512];
+
+    let read = presets::fanstore_cpu();
+    let fan = ScaleStorage::FanStore { read: &read, ratio: 1.0, decomp_s_per_file: 0.0 };
+    let shared = ScaleStorage::SharedFs {
+        aggregate_bandwidth: 50e9,
+        per_file_time: 1.0 / 1515.0,
+        aggregate_file_ops: 6_000.0,
+        mds: MetadataModel::lustre(),
+    };
+
+    println!("ResNet-50 on the CPU cluster (weak scaling, modelled):");
+    println!("{:>6} {:>10} {:>14} {:>8} {:>14} | {:>14} {:>8} {:>14}", "nodes", "sockets",
+        "FanStore img/s", "eff", "startup", "Lustre img/s", "eff", "startup");
+    let fan_pts = weak_scaling(&app, &cluster, &fan, &nodes, 1_300_000, 2_002);
+    let sh_pts = weak_scaling(&app, &cluster, &shared, &nodes, 1_300_000, 2_002);
+    for (f, s) in fan_pts.iter().zip(&sh_pts) {
+        println!(
+            "{:>6} {:>10} {:>14.0} {:>7.1}% {:>13.1}s | {:>14.0} {:>7.1}% {:>13.0}s",
+            f.nodes,
+            f.processors,
+            f.items_per_sec,
+            f.efficiency * 100.0,
+            f.startup,
+            s.items_per_sec,
+            s.efficiency * 100.0,
+            s.startup,
+        );
+    }
+    let last = sh_pts.last().unwrap();
+    println!(
+        "\nAt 512 nodes the shared file system needs {:.0} minutes of metadata \
+         enumeration before the first iteration — the paper's run never started \
+         within an hour.",
+        last.startup / 60.0
+    );
+    println!(
+        "FanStore weak-scaling efficiency at 512 nodes: {:.1}% (paper: 92.2%).",
+        fan_pts.last().unwrap().efficiency * 100.0
+    );
+}

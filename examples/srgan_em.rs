@@ -1,0 +1,118 @@
+//! The paper's SRGAN scenario end-to-end: synthetic EM (TIFF) data,
+//! compressor selection under the synchronous-I/O constraint (Eq. 1),
+//! packing with the selected codec, and real training-style epochs on a
+//! FanStore cluster.
+//!
+//! ```sh
+//! cargo run --release --example srgan_em
+//! ```
+
+use fanstore_repro::compress::registry::parse_name;
+use fanstore_repro::datagen::{DatasetKind, DatasetSpec};
+use fanstore_repro::select::{select, Candidate, IoProfile};
+use fanstore_repro::store::cluster::{ClusterConfig, FanStore};
+use fanstore_repro::store::prep::{prepare, PrepConfig};
+use fanstore_repro::train::apps::AppSpec;
+use fanstore_repro::train::epoch::{run_epochs, EpochConfig};
+
+fn measure(name: &str, samples: &[Vec<u8>]) -> Candidate {
+    let codec = fanstore_repro::compress::registry::create(parse_name(name).unwrap()).unwrap();
+    let compressed: Vec<Vec<u8>> = samples
+        .iter()
+        .map(|s| fanstore_repro::compress::compress_to_vec(codec.as_ref(), s))
+        .collect();
+    let t0 = std::time::Instant::now();
+    for (c, s) in compressed.iter().zip(samples) {
+        let out =
+            fanstore_repro::compress::decompress_to_vec(codec.as_ref(), c, s.len()).unwrap();
+        std::hint::black_box(&out);
+    }
+    let input: usize = samples.iter().map(Vec::len).sum();
+    let output: usize = compressed.iter().map(Vec::len).sum();
+    Candidate {
+        name: name.to_string(),
+        decomp_s_per_file: t0.elapsed().as_secs_f64() / samples.len() as f64,
+        ratio: input as f64 / output as f64,
+    }
+}
+
+fn main() {
+    let app = AppSpec::srgan_gtx();
+
+    // 1. Sample the dataset and evaluate candidate compressors, as the
+    //    data-preparation workflow prescribes (§VI-B).
+    let spec = DatasetSpec::scaled(DatasetKind::EmTif, 16, 0x5EA);
+    let samples: Vec<Vec<u8>> = (0..4).map(|i| spec.generate(i)).collect();
+    let candidates: Vec<Candidate> = ["lzsse8-2", "lz4hc-9", "brotli-9", "lzma-6"]
+        .iter()
+        .map(|n| measure(n, &samples))
+        .collect();
+
+    // 2. Selection under the sync-I/O constraint, with the GTX read curve.
+    let io = IoProfile {
+        tpt_read: 9_469.0,
+        bdw_read: 4_969.0,
+        tpt_read_raw: 3_158.0,
+        bdw_read_raw: 6_663.0,
+    };
+    let selection = select(&app.profile(), &io, &candidates);
+    println!("compressor selection for {} (sync I/O):", app.name);
+    for e in &selection.evaluations {
+        println!(
+            "  {:<10} ratio {:>5.2}  decomp {:>8.0} us/file  fetch {:>7.1} ms vs budget {:>7.1} ms  -> {}",
+            e.candidate.name,
+            e.candidate.ratio,
+            e.candidate.decomp_s_per_file * 1e6,
+            e.fetch_time * 1e3,
+            e.budget * 1e3,
+            if e.feasible { "FEASIBLE" } else { "rejected" }
+        );
+    }
+    let choice = selection
+        .max_ratio()
+        .map(|e| e.candidate.name.clone())
+        .unwrap_or_else(|| "lzsse8-2".to_string());
+    println!("selected: {choice}\n");
+
+    // 3. Pack the dataset with the selected codec and train for 2 epochs
+    //    on a 4-node cluster.
+    let files = spec.generate_all();
+    let packed = prepare(
+        files,
+        &PrepConfig {
+            partitions: 4,
+            codec: parse_name(&choice).unwrap(),
+            store_if_incompressible: true,
+        },
+    );
+    println!(
+        "packed EM dataset: {} -> {} bytes (storage ratio {:.2})",
+        packed.input_bytes,
+        packed.packed_bytes,
+        packed.ratio()
+    );
+
+    let cfg = EpochConfig {
+        root: "em".into(),
+        batch_per_node: 4,
+        epochs: 2,
+        checkpoint_every: 1,
+        checkpoint_bytes: 64 * 1024,
+        seed: 42,
+    };
+    let reports = FanStore::run(
+        ClusterConfig { nodes: 4, ..Default::default() },
+        packed.partitions,
+        |fs| run_epochs(fs, &cfg).expect("epochs"),
+    );
+    for (rank, r) in reports.iter().enumerate() {
+        println!(
+            "rank {rank}: {} files, {} iterations, {:.1} MB read, {} checkpoints",
+            r.files_seen,
+            r.iterations,
+            r.bytes_read as f64 / 1e6,
+            r.checkpoints
+        );
+    }
+    println!("srgan_em OK");
+}

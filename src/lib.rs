@@ -1,0 +1,22 @@
+//! # fanstore-repro
+//!
+//! Umbrella crate for the FanStore reproduction workspace. It re-exports
+//! every member crate so the examples and integration tests in this
+//! repository can use one coherent namespace:
+//!
+//! * [`compress`] — the lossless codec suite (the paper's lzbench sweep).
+//! * [`datagen`] — synthetic datasets matching the paper's six datasets.
+//! * [`mpi`] — thread-per-rank MPI-like communicator.
+//! * [`iosim`] — storage/interconnect performance models and cluster presets.
+//! * [`store`] — FanStore itself: pack format, prep tool, daemon, cache,
+//!   POSIX-style client.
+//! * [`select`] — the compressor selection algorithm (paper §VI, Eq. 1–3).
+//! * [`train`] — the distributed DL-training I/O simulator.
+
+pub use fanstore as store;
+pub use fanstore_compress as compress;
+pub use fanstore_datagen as datagen;
+pub use fanstore_select as select;
+pub use fanstore_train as train;
+pub use io_sim as iosim;
+pub use mpi_sim as mpi;

@@ -1,0 +1,113 @@
+//! Concurrency integration tests: many I/O threads per node sharing one
+//! client (the Keras 4-threads-per-process pattern of §II-B1), hammering
+//! local and remote opens while the cache churns.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use fanstore_repro::compress::crc32::crc32;
+use fanstore_repro::store::cache::CacheConfig;
+use fanstore_repro::store::cluster::{ClusterConfig, FanStore};
+use fanstore_repro::store::prep::{prepare, PrepConfig};
+
+fn dataset(n: usize) -> Vec<(String, Vec<u8>)> {
+    (0..n)
+        .map(|i| {
+            (format!("cc/f{i:03}.bin"), format!("content-{i}-").repeat(200 + i).into_bytes())
+        })
+        .collect()
+}
+
+#[test]
+fn many_threads_share_one_client() {
+    let files = dataset(12);
+    let expected: Vec<(String, u32)> =
+        files.iter().map(|(p, d)| (p.clone(), crc32(d))).collect();
+    let packed = prepare(files, &PrepConfig { partitions: 2, ..Default::default() });
+
+    let errors = FanStore::run(
+        ClusterConfig {
+            nodes: 2,
+            // Small cache with eager release: maximum churn.
+            cache: CacheConfig { capacity: 64 * 1024, release_on_zero: true },
+            ..Default::default()
+        },
+        packed.partitions,
+        |fs| {
+            let errors = AtomicU64::new(0);
+            std::thread::scope(|s| {
+                for t in 0..4 {
+                    let errors = &errors;
+                    let expected = &expected;
+                    s.spawn(move || {
+                        for round in 0..8 {
+                            for (i, (path, crc)) in expected.iter().enumerate() {
+                                // Stagger threads across files.
+                                if (i + t + round) % 2 == 0 {
+                                    match fs.read_whole(path) {
+                                        Ok(data) if crc32(&data) == *crc => {}
+                                        _ => {
+                                            errors.fetch_add(1, Ordering::Relaxed);
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    });
+                }
+            });
+            errors.load(Ordering::Relaxed)
+        },
+    );
+    assert_eq!(errors, vec![0, 0], "no corrupted or failed reads under concurrency");
+}
+
+#[test]
+fn concurrent_fd_tables_are_independent() {
+    let files = dataset(4);
+    let packed = prepare(files.clone(), &PrepConfig::default());
+    FanStore::run(ClusterConfig::default(), packed.partitions, |fs| {
+        std::thread::scope(|s| {
+            for t in 0..4usize {
+                let files = &files;
+                s.spawn(move || {
+                    let (path, expect) = &files[t];
+                    let fd = fs.open(path).unwrap();
+                    // Interleave small reads with other threads running.
+                    let mut got = Vec::new();
+                    let mut buf = [0u8; 97];
+                    loop {
+                        let n = fs.read(fd, &mut buf).unwrap();
+                        if n == 0 {
+                            break;
+                        }
+                        got.extend_from_slice(&buf[..n]);
+                        std::thread::yield_now();
+                    }
+                    fs.close(fd).unwrap();
+                    assert_eq!(&got, expect, "thread {t}");
+                });
+            }
+        });
+    });
+}
+
+#[test]
+fn concurrent_writers_to_distinct_files() {
+    let packed = prepare(dataset(2), &PrepConfig { partitions: 2, ..Default::default() });
+    let counts = FanStore::run(
+        ClusterConfig { nodes: 2, ..Default::default() },
+        packed.partitions,
+        |fs| {
+            std::thread::scope(|s| {
+                for t in 0..4usize {
+                    s.spawn(move || {
+                        let path = format!("logs/rank{}/thread{t}.log", fs.rank());
+                        fs.write_whole(&path, format!("thread {t} done").as_bytes()).unwrap();
+                    });
+                }
+            });
+            fs.state().stats.files_written.load(Ordering::Relaxed)
+        },
+    );
+    assert_eq!(counts, vec![4, 4]);
+}

@@ -1,0 +1,144 @@
+//! End-to-end integration: synthetic dataset -> data preparation ->
+//! multi-node FanStore cluster -> training-style epochs, verifying bytes
+//! and the paper's structural claims along the way.
+
+use std::sync::atomic::Ordering;
+
+use fanstore_repro::compress::registry::parse_name;
+use fanstore_repro::datagen::{DatasetKind, DatasetSpec};
+use fanstore_repro::store::cluster::{ClusterConfig, FanStore};
+use fanstore_repro::store::prep::{prepare, prepare_broadcast, PrepConfig};
+use fanstore_repro::train::epoch::{run_epochs, EpochConfig};
+
+fn packed_dataset(kind: DatasetKind, n: usize, partitions: usize) -> (Vec<(String, Vec<u8>)>, Vec<Vec<u8>>) {
+    let spec = DatasetSpec::scaled(kind, n, 0x17E57);
+    let files = spec.generate_all();
+    let packed = prepare(
+        files.clone(),
+        &PrepConfig {
+            partitions,
+            codec: parse_name("lzsse8-2").unwrap(),
+            store_if_incompressible: true,
+        },
+    );
+    (files, packed.partitions)
+}
+
+#[test]
+fn every_byte_survives_the_full_path() {
+    // Tokamak files are small enough to verify every byte cheaply.
+    let (files, partitions) = packed_dataset(DatasetKind::TokamakNpz, 32, 3);
+    let results = FanStore::run(
+        ClusterConfig { nodes: 3, ..Default::default() },
+        partitions,
+        |fs| {
+            let mut mismatches = 0usize;
+            for (path, expect) in &files {
+                let got = fs.read_whole(path).unwrap();
+                if &got != expect {
+                    mismatches += 1;
+                }
+            }
+            mismatches
+        },
+    );
+    assert_eq!(results, vec![0, 0, 0]);
+}
+
+#[test]
+fn epochs_across_nodes_with_checkpoints() {
+    let (files, partitions) = packed_dataset(DatasetKind::LanguageTxt, 12, 2);
+    let total: u64 = files.iter().map(|(_, d)| d.len() as u64).sum();
+    let cfg = EpochConfig {
+        root: "language".into(),
+        batch_per_node: 4,
+        epochs: 2,
+        checkpoint_every: 2,
+        checkpoint_bytes: 1024,
+        seed: 99,
+    };
+    let reports = FanStore::run(
+        ClusterConfig { nodes: 2, ..Default::default() },
+        partitions,
+        |fs| run_epochs(fs, &cfg).unwrap(),
+    );
+    for r in &reports {
+        assert_eq!(r.files_seen, 12);
+        assert_eq!(r.iterations, 2 * 12usize.div_ceil(4));
+        assert_eq!(r.bytes_read, total * 2);
+        assert_eq!(r.checkpoints, 1);
+    }
+}
+
+#[test]
+fn incompressible_dataset_round_trips_via_store_fallback() {
+    let (files, partitions) = packed_dataset(DatasetKind::ImageNetJpg, 8, 2);
+    let results = FanStore::run(
+        ClusterConfig { nodes: 2, ..Default::default() },
+        partitions,
+        |fs| files.iter().all(|(p, d)| &fs.read_whole(p).unwrap() == d),
+    );
+    assert_eq!(results, vec![true, true]);
+}
+
+#[test]
+fn broadcast_validation_set_is_local_on_every_node() {
+    let (_, partitions) = packed_dataset(DatasetKind::EmTif, 4, 4);
+    let val_spec = DatasetSpec::scaled(DatasetKind::EmTif, 2, 0x7A1);
+    let val_files: Vec<(String, Vec<u8>)> = (0..2)
+        .map(|i| (format!("val/v{i}.tif"), val_spec.generate(i)))
+        .collect();
+    let broadcast = prepare_broadcast(val_files.clone(), &PrepConfig::default());
+
+    let remote_opens = FanStore::run(
+        ClusterConfig { nodes: 4, broadcast: Some(broadcast), ..Default::default() },
+        partitions,
+        |fs| {
+            for (p, d) in &val_files {
+                assert_eq!(&fs.read_whole(p).unwrap(), d);
+            }
+            fs.state().stats.remote_opens.load(Ordering::Relaxed)
+        },
+    );
+    assert_eq!(remote_opens, vec![0, 0, 0, 0], "validation reads never cross the fabric");
+}
+
+#[test]
+fn replication_trades_memory_for_locality() {
+    let (files, partitions) = packed_dataset(DatasetKind::TokamakNpz, 24, 4);
+    // replication = 2: each node holds its own partition plus its left
+    // neighbour's.
+    let remote = FanStore::run(
+        ClusterConfig { nodes: 4, replication: 2, ..Default::default() },
+        partitions,
+        |fs| {
+            for (p, _) in &files {
+                fs.read_whole(p).unwrap();
+            }
+            fs.state().stats.remote_opens.load(Ordering::Relaxed)
+        },
+    );
+    // Half the dataset is now local on every node: remote opens must be
+    // exactly files * (1 - 2/4).
+    for r in remote {
+        assert_eq!(r, 12, "2 of 4 partitions local -> half the opens remote");
+    }
+}
+
+#[test]
+fn metadata_enumeration_is_complete_and_identical_on_all_nodes() {
+    let (files, partitions) = packed_dataset(DatasetKind::ImageNetJpg, 30, 5);
+    let listings = FanStore::run(
+        ClusterConfig { nodes: 5, ..Default::default() },
+        partitions,
+        |fs| fs.enumerate("imagenet").unwrap(),
+    );
+    let expect: Vec<String> = {
+        let mut v: Vec<String> = files.iter().map(|(p, _)| p.clone()).collect();
+        v.sort();
+        v
+    };
+    for listing in listings {
+        assert_eq!(listing, expect);
+    }
+}

@@ -1,0 +1,120 @@
+//! Integration: measured codec properties feed the selection algorithm
+//! and the training pipeline, reproducing the paper's §VII-E decisions
+//! end to end (real codecs + real synthetic data + the Eq. 1-3 selector).
+
+use fanstore_repro::compress::registry::parse_name;
+use fanstore_repro::compress::{compress_to_vec, decompress_to_vec};
+use fanstore_repro::datagen::{DatasetKind, DatasetSpec};
+use fanstore_repro::select::{select, Candidate, IoProfile};
+use fanstore_repro::train::apps::AppSpec;
+use fanstore_repro::train::pipeline::{relative_performance, FetchModel};
+
+fn measure(name: &str, kind: DatasetKind, n: usize) -> Candidate {
+    let codec = fanstore_repro::compress::registry::create(parse_name(name).unwrap()).unwrap();
+    let spec = DatasetSpec::scaled(kind, n, 0x5E1E);
+    let samples: Vec<Vec<u8>> = (0..n).map(|i| spec.generate(i)).collect();
+    let compressed: Vec<Vec<u8>> =
+        samples.iter().map(|s| compress_to_vec(codec.as_ref(), s)).collect();
+    let t0 = std::time::Instant::now();
+    for (c, s) in compressed.iter().zip(&samples) {
+        std::hint::black_box(decompress_to_vec(codec.as_ref(), c, s.len()).unwrap());
+    }
+    let input: usize = samples.iter().map(Vec::len).sum();
+    let output: usize = compressed.iter().map(Vec::len).sum();
+    Candidate {
+        name: name.into(),
+        decomp_s_per_file: t0.elapsed().as_secs_f64() / n as f64,
+        ratio: input as f64 / output as f64,
+    }
+}
+
+#[test]
+fn measured_candidates_have_paper_ordering() {
+    // On EM data: lzma must beat lz4hc on ratio and lose badly on
+    // decompression speed — the tradeoff the whole paper turns on.
+    let lz = measure("lz4hc-9", DatasetKind::EmTif, 2);
+    let lzma = measure("lzma-6", DatasetKind::EmTif, 2);
+    assert!(lzma.ratio > lz.ratio, "lzma {} vs lz4hc {}", lzma.ratio, lz.ratio);
+    assert!(
+        lzma.decomp_s_per_file > 3.0 * lz.decomp_s_per_file,
+        "lzma decode {}s vs lz4hc {}s",
+        lzma.decomp_s_per_file,
+        lz.decomp_s_per_file
+    );
+}
+
+#[test]
+fn frnn_async_selection_accepts_fast_codecs_end_to_end() {
+    let app = AppSpec::frnn_cpu();
+    let candidates = vec![
+        measure("lzf-2", DatasetKind::TokamakNpz, 16),
+        measure("lzsse8-2", DatasetKind::TokamakNpz, 16),
+        measure("lz4hc-9", DatasetKind::TokamakNpz, 16),
+    ];
+    let io = IoProfile::uniform(29_103.0, 30.0);
+    let sel = select(&app.profile(), &io, &candidates);
+    // 1.2 KB files decompress in microseconds; the 655 ms async budget
+    // swallows all of them.
+    assert!(
+        sel.evaluations.iter().all(|e| e.feasible),
+        "all fast codecs feasible under async: {:?}",
+        sel.evaluations.iter().map(|e| (&e.candidate.name, e.feasible)).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn selection_verdicts_are_consistent_with_pipeline_model() {
+    // Whatever the selector declares feasible must, in the pipeline
+    // composition, lose less than ~0.1% against baseline; whatever it
+    // rejects by a wide margin must lose noticeably.
+    let app = AppSpec::srgan_gtx();
+    let io = IoProfile {
+        tpt_read: 9_469.0,
+        bdw_read: 4_969.0,
+        tpt_read_raw: 3_158.0,
+        bdw_read_raw: 6_663.0,
+    };
+    let candidates =
+        vec![measure("lzsse8-2", DatasetKind::EmTif, 2), measure("lzma-6", DatasetKind::EmTif, 2)];
+    let sel = select(&app.profile(), &io, &candidates);
+    let baseline =
+        FetchModel { tpt_read: 3_158.0, bdw_read: 6_663.0, ratio: 1.0, decomp_s_per_file: 0.0 };
+    for e in &sel.evaluations {
+        let fetch = FetchModel {
+            tpt_read: 9_469.0,
+            bdw_read: 4_969.0,
+            ratio: e.candidate.ratio,
+            decomp_s_per_file: e.candidate.decomp_s_per_file,
+        };
+        let rel = relative_performance(&app, &baseline, &fetch);
+        if e.feasible {
+            assert!(rel > 0.995, "{} feasible but rel {}", e.candidate.name, rel);
+        }
+        if e.fetch_time > 2.0 * e.budget {
+            assert!(rel < 0.99, "{} badly infeasible but rel {}", e.candidate.name, rel);
+        }
+    }
+}
+
+#[test]
+fn storage_capacity_scales_with_selected_ratio() {
+    // The headline claim: the same hardware hosts ratio-x more data. Pack
+    // a dataset and check the capacity math end to end.
+    let spec = DatasetSpec::scaled(DatasetKind::LungNii, 6, 0xCAFE);
+    let files = spec.generate_all();
+    let packed = fanstore_repro::store::prep::prepare(
+        files,
+        &fanstore_repro::store::prep::PrepConfig {
+            partitions: 2,
+            codec: parse_name("lzma-6").unwrap(),
+            store_if_incompressible: true,
+        },
+    );
+    let ratio = packed.ratio();
+    assert!(ratio > 4.0, "lung data should pack > 4x, got {ratio:.2}");
+    // A 60 GB node-buffer hosts `ratio` times more of this dataset.
+    let node_buffer = 60e9;
+    let hosted_raw = node_buffer;
+    let hosted_packed = node_buffer * ratio;
+    assert!(hosted_packed / hosted_raw >= 4.0);
+}
