@@ -2,6 +2,7 @@
 //! FanStore cluster — the Figure 2/3 path, local and remote.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use fanstore::client::FailoverConfig;
 use fanstore::cluster::{ClusterConfig, FanStore};
 use fanstore::prep::{prepare, PrepConfig};
 use fanstore_compress::{CodecFamily, CodecId};
@@ -27,7 +28,12 @@ fn e2e_benches(c: &mut Criterion) {
     group.throughput(Throughput::Bytes((N_FILES * FILE_SIZE) as u64));
     group.sample_size(10);
 
-    for (label, release_on_zero) in [("cached", false), ("cold", true)] {
+    // "recovery-armed" runs the cold path with the full failover stack
+    // configured (rpc deadlines, replica failover, read-through) but no
+    // FaultPlan: comparing it against "cold" shows the injection and
+    // recovery hooks cost nothing when nothing fails.
+    let variants = [("cached", false, false), ("cold", true, false), ("recovery-armed", true, true)];
+    for (label, release_on_zero, recovery) in variants {
         group.bench_function(label, |b| {
             b.iter_custom(|iters| {
                 let packed = prepare(
@@ -45,6 +51,8 @@ fn e2e_benches(c: &mut Criterion) {
                             capacity: 1 << 28,
                             release_on_zero,
                         },
+                        failover: recovery.then(FailoverConfig::default),
+                        read_through: recovery,
                         ..Default::default()
                     },
                     packed.partitions,

@@ -88,7 +88,7 @@ pub fn run(n_files: usize) -> String {
     let mut measured = vec!["FanStore (measured here)".to_string()];
     for (bytes, _) in SIZES {
         // Cap memory: shrink the file count for the big sizes.
-        let n = if bytes >= 2 << 20 { n_files.min(8).max(2) } else { n_files };
+        let n = if bytes >= 2 << 20 { n_files.clamp(2, 8) } else { n_files };
         measured.push(fmt_f(measure_fanstore(bytes, n)));
     }
     rows.push(measured);

@@ -223,7 +223,7 @@ fn symbols_to_mtf(symbols: &[u16], max_len: usize) -> Result<Vec<u8>, CodecError
             if out.len() + *run as usize > out.capacity().max(max_len) {
                 return Err(CodecError::Corrupt("bzip zero-run overruns block"));
             }
-            out.extend(std::iter::repeat(0u8).take(*run as usize));
+            out.extend(std::iter::repeat_n(0u8, *run as usize));
         }
         *run = 0;
         *place = 1;

@@ -397,7 +397,7 @@ mod tests {
         // Mixed distribution with known entropy.
         let mut symbols = Vec::new();
         for (sym, count) in [(0u16, 5000), (1, 2500), (2, 1250), (3, 1250)] {
-            symbols.extend(std::iter::repeat(sym).take(count));
+            symbols.extend(std::iter::repeat_n(sym, count));
         }
         // Shuffle deterministically so runs do not help (FSE is order-0
         // anyway, but keep the test honest).

@@ -29,7 +29,7 @@ pub fn build_lengths(freqs: &[u64], max_len: u8) -> Vec<u8> {
         }
         for f in scaled.iter_mut() {
             if *f > 1 {
-                *f = (*f + 1) / 2;
+                *f = f.div_ceil(2);
             }
         }
     }
@@ -250,7 +250,7 @@ pub fn write_lengths(out: &mut Vec<u8>, lengths: &[u8]) {
 
 /// Deserialize `n` code lengths written by [`write_lengths`].
 pub fn read_lengths(input: &[u8], pos: &mut usize, n: usize) -> Result<Vec<u8>, CodecError> {
-    let nbytes = (n + 1) / 2;
+    let nbytes = n.div_ceil(2);
     if *pos + nbytes > input.len() {
         return Err(CodecError::Truncated);
     }

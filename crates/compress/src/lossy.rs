@@ -265,7 +265,7 @@ impl LossyCodec for ZfpLite {
             let block_n = remaining.min(ZFP_BLOCK);
             let exp = r.read(9)? as i32 - 255;
             if exp == -255 {
-                out.extend(std::iter::repeat(0.0f32).take(block_n));
+                out.extend(std::iter::repeat_n(0.0f32, block_n));
                 remaining -= block_n;
                 continue;
             }

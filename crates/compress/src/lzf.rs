@@ -184,7 +184,7 @@ mod tests {
         // round-trip via literals.
         let block: Vec<u8> = (0..200u8).collect();
         let mut data = block.repeat(1);
-        data.extend(std::iter::repeat(0xAB).take(9000));
+        data.extend(std::iter::repeat_n(0xAB, 9000));
         data.extend_from_slice(&block);
         roundtrip_at(3, &data);
     }

@@ -219,7 +219,7 @@ pub fn lazy_parse(input: &[u8], cfg: &MatchConfig) -> Vec<Seq> {
         };
 
         // Lazy evaluation: would starting one byte later give a longer match?
-        while pos + 1 <= scan_end && len < cfg.nice_len {
+        while pos < scan_end && len < cfg.nice_len {
             if let Some((len2, dist2)) = best_match(&head, &prev, input, pos + 1) {
                 if len2 > len + 1 {
                     // Defer: current byte becomes a literal.

@@ -146,7 +146,7 @@ mod tests {
 
     #[test]
     fn oversized_output_detected() {
-        let c = compress_to_vec(&Rle, &vec![1u8; 100]);
+        let c = compress_to_vec(&Rle, &[1u8; 100]);
         let mut out = Vec::new();
         assert!(Rle.decompress(&c, 10, &mut out).is_err());
     }

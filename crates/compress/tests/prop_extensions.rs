@@ -5,7 +5,7 @@ use fanstore_compress::bzip_lite::BzipLite;
 use fanstore_compress::filters::{delta, shuffle, undelta, unshuffle};
 use fanstore_compress::lossy::{LossyCodec, SzLite, ZfpLite};
 use fanstore_compress::zstd_lite::ZstdLite;
-use fanstore_compress::{compress_to_vec, decompress_to_vec, Codec};
+use fanstore_compress::{compress_to_vec, decompress_to_vec};
 use proptest::prelude::*;
 
 fn data_strategy() -> impl Strategy<Value = Vec<u8>> {

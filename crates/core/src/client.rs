@@ -12,16 +12,86 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
-use mpi_sim::RemoteSender;
+use mpi_sim::{CommError, RemoteSender};
 use parking_lot::Mutex;
 
+use crate::backend::Backend;
 use crate::daemon::{decode_get_reply, tags};
 use crate::meta::encode_single;
 use crate::node::{decompress_object, NodeState};
+use crate::placement::replicas_of;
 use crate::stat::FileStat;
 use crate::trace::{Op, TraceRecorder};
 use crate::FsError;
+
+/// Client-side recovery policy for remote operations.
+///
+/// When attached ([`FsClient::with_failover`]), every remote rpc runs
+/// under a deadline and failed GETs retry against the ring replicas of
+/// the owner ([`replicas_of`]) with bounded exponential backoff and
+/// deterministic seeded jitter. Timeouts, CRC failures and replica
+/// retries are counted in [`crate::node::NodeStats`]; a read that needed
+/// any recovery marks the node degraded rather than failing training.
+#[derive(Debug, Clone)]
+pub struct FailoverConfig {
+    /// Per-attempt rpc deadline.
+    pub rpc_timeout: Duration,
+    /// Ring-replication rounds the cluster performed (replica count − 1);
+    /// fixes the failover order via [`replicas_of`].
+    pub replica_rounds: usize,
+    /// Attempts per replica before moving to the next one (≥ 1).
+    pub attempts_per_replica: u32,
+    /// Backoff before the second attempt; doubles every attempt after.
+    pub backoff_base: Duration,
+    /// Upper bound on any single backoff sleep.
+    pub backoff_max: Duration,
+    /// Seed for the deterministic backoff jitter.
+    pub seed: u64,
+}
+
+impl Default for FailoverConfig {
+    fn default() -> Self {
+        FailoverConfig {
+            rpc_timeout: Duration::from_millis(250),
+            replica_rounds: 0,
+            attempts_per_replica: 2,
+            backoff_base: Duration::from_millis(1),
+            backoff_max: Duration::from_millis(20),
+            seed: 0,
+        }
+    }
+}
+
+/// FNV-1a of a path (stable input to the jitter hash).
+fn fnv64(path: &str) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for &b in path.as_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// SplitMix64 finaliser for the jitter stream.
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Backoff before retry number `attempt` (1-based): exponential from
+/// `backoff_base`, capped at `backoff_max`, plus up to 25% deterministic
+/// jitter derived from `(seed, path, attempt)`.
+fn backoff_delay(cfg: &FailoverConfig, path: &str, attempt: u32) -> Duration {
+    let shift = (attempt.saturating_sub(1)).min(20);
+    let exp = cfg.backoff_base.saturating_mul(1u32 << shift);
+    let capped = exp.min(cfg.backoff_max);
+    let h = mix64(cfg.seed ^ fnv64(path) ^ u64::from(attempt));
+    capped + capped.mul_f64((h % 1024) as f64 / 4096.0)
+}
 
 /// Seek origin for [`FsClient::lseek`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -72,6 +142,8 @@ pub struct FsClient {
     fds: Mutex<HashMap<i32, OpenFile>>,
     next_fd: AtomicU64,
     trace: Option<Arc<TraceRecorder>>,
+    failover: Option<FailoverConfig>,
+    read_through: Option<Arc<dyn Backend>>,
 }
 
 impl FsClient {
@@ -84,12 +156,28 @@ impl FsClient {
             fds: Mutex::new(HashMap::new()),
             next_fd: AtomicU64::new(3),
             trace: None,
+            failover: None,
+            read_through: None,
         }
     }
 
     /// Attach an I/O trace recorder; subsequent calls are recorded.
     pub fn with_trace(mut self, trace: Arc<TraceRecorder>) -> Self {
         self.trace = Some(trace);
+        self
+    }
+
+    /// Attach a failover policy: remote rpcs run under its deadline and
+    /// failed GETs retry over the owner's ring replicas.
+    pub fn with_failover(mut self, cfg: FailoverConfig) -> Self {
+        self.failover = Some(cfg);
+        self
+    }
+
+    /// Attach a read-through backend (models falling back to the shared
+    /// file system): the last resort after every replica failed.
+    pub fn with_read_through(mut self, backend: Arc<dyn Backend>) -> Self {
+        self.read_through = Some(backend);
         self
     }
 
@@ -141,23 +229,112 @@ impl FsClient {
         if let Some(local) = self.state.open_local(path)? {
             return Ok(local);
         }
-        // Remote: find the owner from the replicated metadata.
+        // Remote: find the owner from the replicated metadata. No
+        // metadata entry means the path genuinely does not exist.
         let owner = self
             .state
             .owner_of(path)
             .ok_or_else(|| FsError::NotFound(path.to_string()))?;
-        if owner == self.state.rank || owner >= self.state.size {
-            return Err(FsError::NotFound(path.to_string()));
+        let remote_err = if owner == self.state.rank || owner >= self.state.size {
+            // Metadata says the bytes should be here (or nowhere valid)
+            // but the local backend came up empty.
+            FsError::NotFound(path.to_string())
+        } else {
+            match self.fetch_remote(path, owner) {
+                Ok(plain) => return Ok(self.state.cache.insert(path, Arc::new(plain))),
+                Err(e) => e,
+            }
+        };
+        // Last resort: read through to the backing store — the paper's
+        // shared file system, which always holds every partition.
+        if let Some(backend) = &self.read_through {
+            if let Some(obj) = backend.get(path) {
+                let plain =
+                    decompress_object(obj.codec, &obj.data, obj.stat.size as usize, path)?;
+                self.state.stats.read_through_reads.fetch_add(1, Ordering::Relaxed);
+                self.state.stats.degraded_reads.fetch_add(1, Ordering::Relaxed);
+                self.record(Op::Degraded, path, 0);
+                return Ok(self.state.cache.insert(path, Arc::new(plain)));
+            }
         }
-        let reply = self
-            .service
-            .rpc(owner, tags::GET, path.as_bytes().to_vec())
-            .map_err(|e| FsError::Comm(e.to_string()))?;
+        Err(remote_err)
+    }
+
+    /// One GET attempt against `replica`: rpc (optionally under the
+    /// failover deadline), CRC-verified decode, decompress.
+    fn try_get(
+        &self,
+        path: &str,
+        replica: usize,
+        timeout: Option<Duration>,
+    ) -> Result<Vec<u8>, FsError> {
+        let request = path.as_bytes().to_vec();
+        let reply = match timeout {
+            Some(t) => self.service.rpc_timeout(replica, tags::GET, request, t),
+            None => self.service.rpc(replica, tags::GET, request),
+        }
+        .map_err(|e| match e {
+            // A dead peer surfaces as a dropped conduit (blackholed
+            // request) or an elapsed deadline; both mean "unreachable".
+            CommError::Timeout | CommError::Disconnected => {
+                FsError::Timeout(format!("GET {path} from rank {replica}"))
+            }
+            other => FsError::Comm(other.to_string()),
+        })?;
         let (codec, stat, compressed) = decode_get_reply(&reply)?;
         self.state.stats.remote_opens.fetch_add(1, Ordering::Relaxed);
         self.state.stats.remote_bytes.fetch_add(compressed.len() as u64, Ordering::Relaxed);
-        let plain = decompress_object(codec, &compressed, stat.size as usize, path)?;
-        Ok(self.state.cache.insert(path, Arc::new(plain)))
+        decompress_object(codec, &compressed, stat.size as usize, path)
+    }
+
+    /// Remote fetch with replica failover. Without a [`FailoverConfig`]
+    /// this is a single rpc to the owner (the pre-recovery behaviour);
+    /// with one, failed attempts walk the owner's ring replicas under
+    /// backoff, counting every recovery action in the node stats.
+    fn fetch_remote(&self, path: &str, owner: usize) -> Result<Vec<u8>, FsError> {
+        let Some(cfg) = &self.failover else {
+            return self.try_get(path, owner, None);
+        };
+        let replicas: Vec<usize> = replicas_of(owner, self.state.size, cfg.replica_rounds)
+            .into_iter()
+            .filter(|&r| r != self.state.rank)
+            .collect();
+        let mut attempt = 0u32;
+        let mut last = FsError::Degraded(format!("{path}: no reachable replica"));
+        for &replica in &replicas {
+            for _ in 0..cfg.attempts_per_replica.max(1) {
+                if attempt > 0 {
+                    std::thread::sleep(backoff_delay(cfg, path, attempt));
+                }
+                attempt += 1;
+                match self.try_get(path, replica, Some(cfg.rpc_timeout)) {
+                    Ok(plain) => {
+                        if attempt > 1 {
+                            // The read needed recovery: a retry or a
+                            // replica other than the primary served it.
+                            self.state.stats.degraded_reads.fetch_add(1, Ordering::Relaxed);
+                            self.record(Op::Degraded, path, 0);
+                        }
+                        return Ok(plain);
+                    }
+                    Err(e) => {
+                        match &e {
+                            FsError::Timeout(_) => {
+                                self.state.stats.rpc_timeouts.fetch_add(1, Ordering::Relaxed);
+                            }
+                            FsError::Corrupt(_) => {
+                                self.state.stats.crc_failures.fetch_add(1, Ordering::Relaxed);
+                            }
+                            // NotFound/Comm from a replica is anomalous
+                            // (metadata says the file exists): retryable.
+                            _ => {}
+                        }
+                        last = e;
+                    }
+                }
+            }
+        }
+        Err(last)
     }
 
     /// `open(path, O_WRONLY|O_CREAT)`: start a write-once output file.
@@ -252,9 +429,30 @@ impl FsClient {
                 let owner = meta_owner(&path, self.state.size);
                 if owner != self.state.rank {
                     let payload = encode_single(&path, &entry);
-                    self.service
-                        .rpc(owner, tags::PUT_META, payload)
-                        .map_err(|e| FsError::Comm(e.to_string()))?;
+                    let sent = match &self.failover {
+                        Some(cfg) => self.service.rpc_timeout(
+                            owner,
+                            tags::PUT_META,
+                            payload,
+                            cfg.rpc_timeout,
+                        ),
+                        None => self.service.rpc(owner, tags::PUT_META, payload),
+                    };
+                    if let Err(e) = sent {
+                        if self.failover.is_none() {
+                            return Err(FsError::Comm(e.to_string()));
+                        }
+                        // Degraded mode: the metadata owner is
+                        // unreachable. The file stays readable from this
+                        // node; count the lost forward instead of killing
+                        // the training run.
+                        self.state.stats.rpc_timeouts.fetch_add(1, Ordering::Relaxed);
+                        self.state
+                            .stats
+                            .meta_forward_failures
+                            .fetch_add(1, Ordering::Relaxed);
+                        self.record(Op::Degraded, &path, 0);
+                    }
                 }
                 Ok(())
             }
@@ -271,14 +469,31 @@ impl FsClient {
         }
         let owner = meta_owner(path, self.state.size);
         if owner != self.state.rank {
-            let reply = self
-                .service
-                .rpc(owner, tags::GET_META, path.as_bytes().to_vec())
-                .map_err(|e| FsError::Comm(e.to_string()))?;
-            if reply.first() == Some(&crate::daemon::status::OK) {
-                self.state.merge_meta(&reply[1..])?;
-                if let Some(s) = self.state.meta.read().stat(path) {
-                    return Ok(s);
+            let reply = match &self.failover {
+                Some(cfg) => self.service.rpc_timeout(
+                    owner,
+                    tags::GET_META,
+                    path.as_bytes().to_vec(),
+                    cfg.rpc_timeout,
+                ),
+                None => self.service.rpc(owner, tags::GET_META, path.as_bytes().to_vec()),
+            };
+            match reply {
+                Ok(reply) => {
+                    if reply.first() == Some(&crate::daemon::status::OK) {
+                        self.state.merge_meta(&reply[1..])?;
+                        if let Some(s) = self.state.meta.read().stat(path) {
+                            return Ok(s);
+                        }
+                    }
+                }
+                Err(e) => {
+                    if self.failover.is_none() {
+                        return Err(FsError::Comm(e.to_string()));
+                    }
+                    // Degraded metadata view: the owner is unreachable,
+                    // so the path is simply not visible from here.
+                    self.state.stats.rpc_timeouts.fetch_add(1, Ordering::Relaxed);
                 }
             }
         }
@@ -374,5 +589,29 @@ mod tests {
         let owners: std::collections::HashSet<usize> =
             (0..100).map(|i| meta_owner(&format!("f{i}"), 16)).collect();
         assert!(owners.len() > 8, "hash should spread over ranks: {owners:?}");
+    }
+
+    #[test]
+    fn backoff_is_bounded_exponential_and_deterministic() {
+        let cfg = FailoverConfig {
+            backoff_base: Duration::from_millis(2),
+            backoff_max: Duration::from_millis(16),
+            seed: 9,
+            ..Default::default()
+        };
+        // Deterministic: same (seed, path, attempt) -> same delay.
+        assert_eq!(backoff_delay(&cfg, "a/b", 1), backoff_delay(&cfg, "a/b", 1));
+        // Bounded: never beyond the cap plus the 25% jitter allowance.
+        for attempt in 1..40 {
+            let d = backoff_delay(&cfg, "a/b", attempt);
+            assert!(d <= cfg.backoff_max.mul_f64(1.25), "attempt {attempt}: {d:?}");
+        }
+        // Exponential until the cap: attempt 5 wants 2ms << 4 = 32ms,
+        // clamped to the 16ms cap.
+        assert!(backoff_delay(&cfg, "a/b", 5) >= cfg.backoff_max);
+        assert!(backoff_delay(&cfg, "a/b", 1) < Duration::from_millis(3));
+        // Seeded jitter: a different seed shifts the delay.
+        let other = FailoverConfig { seed: 10, ..cfg.clone() };
+        assert_ne!(backoff_delay(&cfg, "a/b", 1), backoff_delay(&other, "a/b", 1));
     }
 }

@@ -9,13 +9,14 @@
 
 use std::sync::Arc;
 
-use mpi_sim::{launch, Tag};
+use mpi_sim::{launch, launch_with_faults, FaultPlan, NodeCtx, Tag};
 
-use crate::backend::BackendKind;
+use crate::backend::{Backend, BackendKind, RamBackend};
 use crate::cache::CacheConfig;
-use crate::client::FsClient;
-use crate::daemon::{serve, tags};
-use crate::node::NodeState;
+use crate::client::{FailoverConfig, FsClient};
+use crate::daemon::{serve_traced, tags};
+use crate::node::{LocalObject, NodeState};
+use crate::trace::TraceRecorder;
 
 /// Ring-transfer tag namespace on the control channel.
 const RING_TAG_BASE: Tag = 1000;
@@ -47,6 +48,21 @@ pub struct ClusterConfig {
     /// client records every POSIX-surface call; inspect via
     /// `fs.trace()` inside the closure.
     pub trace_ring: usize,
+    /// Seeded fault schedule injected into the simulated fabric. Plans
+    /// without an explicit channel scope are restricted to the service
+    /// channel — injecting into the control channel would break the
+    /// startup collectives and the teardown barrier rather than model a
+    /// dying daemon.
+    pub fault_plan: Option<FaultPlan>,
+    /// Client-side recovery policy (rpc deadlines, replica failover,
+    /// backoff). `replica_rounds` is overwritten with the replication the
+    /// placement actually granted.
+    pub failover: Option<FailoverConfig>,
+    /// Keep a read-through copy of every partition (models the shared
+    /// file system staying available): the client's last resort after
+    /// every replica failed, letting training survive a dead rank even
+    /// for unreplicated partitions.
+    pub read_through: bool,
 }
 
 impl Default for ClusterConfig {
@@ -59,6 +75,9 @@ impl Default for ClusterConfig {
             backend: BackendKind::Ram,
             node_capacity: None,
             trace_ring: 0,
+            fault_plan: None,
+            failover: None,
+            read_through: false,
         }
     }
 }
@@ -110,6 +129,34 @@ impl FanStore {
         let placement = crate::placement::plan(&sizes, nodes, cfg.node_capacity, requested_rounds)
             .expect("partition placement");
         let replication = placement.extra_rounds + 1;
+        // Read-through copy: the "shared file system" every partition was
+        // packed from, kept reachable as the failover path of last resort.
+        let read_through: Option<Arc<dyn Backend>> = if cfg.read_through {
+            let ram = RamBackend::new();
+            for p in partitions.iter().chain(cfg.broadcast.as_ref()) {
+                for e in crate::pack::parse_partition(p).expect("read-through partition parses")
+                {
+                    ram.put(
+                        &e.path,
+                        LocalObject { codec: e.codec, stat: e.stat, data: Arc::new(e.data) },
+                    )
+                    .expect("read-through insert");
+                }
+            }
+            Some(Arc::new(ram))
+        } else {
+            None
+        };
+        let failover = cfg.failover.clone().map(|mut fo| {
+            fo.replica_rounds = placement.extra_rounds;
+            fo
+        });
+        let fault_plan = cfg.fault_plan.clone().map(|mut plan| {
+            if plan.channels.is_none() {
+                plan.channels = Some(vec![1]); // service channel only
+            }
+            plan
+        });
         let partitions = Arc::new(partitions);
         let broadcast = Arc::new(cfg.broadcast.clone());
         let cache_cfg = cfg.cache;
@@ -117,7 +164,7 @@ impl FanStore {
         let trace_ring = cfg.trace_ring;
         let f = &f;
 
-        launch(nodes, 2, move |mut ctx| {
+        let node_body = move |mut ctx: NodeCtx| {
             let mut control = ctx.take_channel(0);
             let service = ctx.take_channel(1);
             let service_remote = service.remote();
@@ -168,15 +215,24 @@ impl FanStore {
             }
 
             // 4. Daemon + client. The daemon owns the service endpoint; the
-            // client keeps a send-only handle.
+            // client keeps a send-only handle. Both share the trace
+            // recorder so undeliverable replies surface next to client
+            // failovers.
             let daemon_state = Arc::clone(&state);
+            let trace = (trace_ring > 0).then(|| Arc::new(TraceRecorder::new(trace_ring)));
+            let daemon_trace = trace.clone();
             let result = std::thread::scope(|scope| {
-                let daemon = scope.spawn(move || serve(daemon_state, service));
+                let daemon =
+                    scope.spawn(move || serve_traced(daemon_state, service, daemon_trace));
                 let mut client = FsClient::new(Arc::clone(&state), service_remote.clone());
-                if trace_ring > 0 {
-                    client = client.with_trace(Arc::new(
-                        crate::trace::TraceRecorder::new(trace_ring),
-                    ));
+                if let Some(t) = &trace {
+                    client = client.with_trace(Arc::clone(t));
+                }
+                if let Some(fo) = &failover {
+                    client = client.with_failover(fo.clone());
+                }
+                if let Some(rt) = &read_through {
+                    client = client.with_read_through(Arc::clone(rt));
                 }
 
                 // Catch panics from the user closure so the daemon still
@@ -198,7 +254,12 @@ impl FanStore {
                 }
             });
             result
-        })
+        };
+
+        match fault_plan {
+            Some(plan) => launch_with_faults(nodes, 2, plan, node_body).0,
+            None => launch(nodes, 2, node_body),
+        }
     }
 }
 
@@ -277,6 +338,24 @@ mod tests {
             },
         );
         assert_eq!(results, vec![0; 4], "full replication: all reads local");
+    }
+
+    #[test]
+    fn more_partitions_than_nodes_reads_remotely() {
+        // Prep records partition indices in `owner_rank`; with more
+        // partitions than nodes those indices exceed the rank range and
+        // must reduce modulo the cluster size (partition p loads on rank
+        // p % nodes), or every file in a high partition is unreachable.
+        let files = dataset(12);
+        let packed = prepare(files.clone(), &PrepConfig { partitions: 6, ..Default::default() });
+        let results = FanStore::run(
+            ClusterConfig { nodes: 2, ..Default::default() },
+            packed.partitions,
+            |fs| {
+                files.iter().filter(|(p, d)| &fs.read_whole(p).unwrap() == d).count()
+            },
+        );
+        assert_eq!(results, vec![12; 2]);
     }
 
     #[test]

@@ -10,13 +10,16 @@
 //!   and forwards its metadata to this rank (§V-D).
 //! * **SHUTDOWN** — terminate the loop.
 
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
+use fanstore_compress::crc32::crc32;
 use mpi_sim::{Channel, Message};
 
 use crate::meta::encode_single;
 use crate::node::{LocalObject, NodeState};
 use crate::stat::{FileStat, STAT_SIZE};
+use crate::trace::{Op, TraceRecorder};
 use crate::FsError;
 
 /// Service-channel tags.
@@ -42,17 +45,28 @@ pub mod status {
     pub const BAD_REQUEST: u8 = 2;
 }
 
-/// Encode a GET reply: `[status][codec u16][stat 144B][compressed bytes]`.
+/// Byte offset of the body (codec + stat + compressed) in a GET reply:
+/// after the status byte and the CRC32 field.
+const GET_BODY: usize = 1 + 4;
+
+/// Encode a GET reply: `[status][crc32 u32][codec u16][stat 144B]
+/// [compressed bytes]`. The CRC covers everything after the CRC field, so
+/// a requester can reject in-flight corruption before decompressing.
 fn encode_get_reply(obj: &LocalObject) -> Vec<u8> {
-    let mut out = Vec::with_capacity(1 + 2 + STAT_SIZE + obj.data.len());
+    let mut out = Vec::with_capacity(GET_BODY + 2 + STAT_SIZE + obj.data.len());
     out.push(status::OK);
+    out.extend_from_slice(&[0u8; 4]); // CRC placeholder
     out.extend_from_slice(&obj.codec.0.to_le_bytes());
     obj.stat.encode(&mut out);
     out.extend_from_slice(&obj.data);
+    let crc = crc32(&out[GET_BODY..]);
+    out[1..GET_BODY].copy_from_slice(&crc.to_le_bytes());
     out
 }
 
-/// Decode a GET reply into `(codec, stat, compressed)`.
+/// Decode a GET reply into `(codec, stat, compressed)`, verifying the
+/// CRC32. A mismatch decodes to [`FsError::Corrupt`], which the client's
+/// failover path treats as retryable on the next replica.
 pub fn decode_get_reply(
     buf: &[u8],
 ) -> Result<(fanstore_compress::CodecId, FileStat, Vec<u8>), FsError> {
@@ -63,18 +77,37 @@ pub fn decode_get_reply(
         }
         _ => return Err(FsError::Comm("malformed GET reply".into())),
     }
-    if buf.len() < 3 + STAT_SIZE {
+    if buf.len() < GET_BODY + 2 + STAT_SIZE {
         return Err(FsError::Comm("short GET reply".into()));
     }
-    let codec =
-        fanstore_compress::CodecId(u16::from_le_bytes(buf[1..3].try_into().expect("2 bytes")));
-    let stat = FileStat::decode(&buf[3..3 + STAT_SIZE])?;
-    Ok((codec, stat, buf[3 + STAT_SIZE..].to_vec()))
+    let expect = u32::from_le_bytes(buf[1..GET_BODY].try_into().expect("4 bytes"));
+    let actual = crc32(&buf[GET_BODY..]);
+    if expect != actual {
+        return Err(FsError::Corrupt(format!(
+            "GET reply CRC mismatch: stored {expect:08x}, computed {actual:08x}"
+        )));
+    }
+    let codec = fanstore_compress::CodecId(u16::from_le_bytes(
+        buf[GET_BODY..GET_BODY + 2].try_into().expect("2 bytes"),
+    ));
+    let stat = FileStat::decode(&buf[GET_BODY + 2..GET_BODY + 2 + STAT_SIZE])?;
+    Ok((codec, stat, buf[GET_BODY + 2 + STAT_SIZE..].to_vec()))
 }
 
 /// Run the daemon loop until a SHUTDOWN message arrives or every peer
 /// endpoint is gone. Returns the number of requests served.
-pub fn serve(state: Arc<NodeState>, mut service: Channel) -> u64 {
+pub fn serve(state: Arc<NodeState>, service: Channel) -> u64 {
+    serve_traced(state, service, None)
+}
+
+/// [`serve`] with an optional trace recorder: undeliverable replies (the
+/// requester gave up — timed out or died) are counted in
+/// `stats.reply_failures` and recorded as [`Op::Degraded`] events.
+pub fn serve_traced(
+    state: Arc<NodeState>,
+    mut service: Channel,
+    trace: Option<Arc<TraceRecorder>>,
+) -> u64 {
     let mut served = 0u64;
     loop {
         let msg = match service.recv() {
@@ -82,37 +115,47 @@ pub fn serve(state: Arc<NodeState>, mut service: Channel) -> u64 {
             Err(_) => break, // all peers disconnected
         };
         served += 1;
-        match msg.tag {
-            tags::SHUTDOWN => {
-                msg.reply(vec![status::OK]);
-                break;
-            }
+        let shutdown = msg.tag == tags::SHUTDOWN;
+        let delivered = match msg.tag {
+            tags::SHUTDOWN => msg.reply(vec![status::OK]),
             tags::GET => handle_get(&state, &msg),
             tags::GET_META => handle_get_meta(&state, &msg),
             tags::PUT_META => {
                 let ok = state.merge_meta(&msg.payload).is_ok();
-                msg.reply(vec![if ok { status::OK } else { status::BAD_REQUEST }]);
+                msg.reply(vec![if ok { status::OK } else { status::BAD_REQUEST }])
             }
-            _ => {
-                msg.reply(vec![status::BAD_REQUEST]);
+            _ => msg.reply(vec![status::BAD_REQUEST]),
+        };
+        if !delivered {
+            state.stats.reply_failures.fetch_add(1, Ordering::Relaxed);
+            if let Some(t) = &trace {
+                t.record(Op::Degraded, "daemon:reply-drop", 0);
             }
+        }
+        if shutdown {
+            break;
         }
     }
     served
 }
 
-fn handle_get(state: &NodeState, msg: &Message) {
+fn handle_get(state: &NodeState, msg: &Message) -> bool {
     let reply = match std::str::from_utf8(&msg.payload) {
         Ok(path) => match state.get_compressed(path) {
-            Some(obj) => encode_get_reply(&obj),
+            Some(mut obj) => {
+                // Failover provenance: stamp which rank actually served
+                // the bytes (differs from `owner_rank` on a replica).
+                obj.stat.served_by = state.rank as u32;
+                encode_get_reply(&obj)
+            }
             None => vec![status::NOT_FOUND],
         },
         Err(_) => vec![status::BAD_REQUEST],
     };
-    msg.reply(reply);
+    msg.reply(reply)
 }
 
-fn handle_get_meta(state: &NodeState, msg: &Message) {
+fn handle_get_meta(state: &NodeState, msg: &Message) -> bool {
     let reply = match std::str::from_utf8(&msg.payload) {
         Ok(path) => match state.meta.read().get(path) {
             Some(entry) => {
@@ -124,7 +167,7 @@ fn handle_get_meta(state: &NodeState, msg: &Message) {
         },
         Err(_) => vec![status::BAD_REQUEST],
     };
-    msg.reply(reply);
+    msg.reply(reply)
 }
 
 #[cfg(test)]
@@ -177,6 +220,7 @@ mod tests {
             } else {
                 let reply = service.rpc(0, tags::GET, b"d/file.bin".to_vec()).unwrap();
                 let (codec, stat, data) = decode_get_reply(&reply).unwrap();
+                assert_eq!(stat.served_by, 0, "daemon stamps the serving rank");
                 let plain =
                     decompress_object(codec, &data, stat.size as usize, "d/file.bin").unwrap();
                 assert_eq!(plain, b"payload payload payload".repeat(8));
@@ -190,6 +234,85 @@ mod tests {
             }
         });
         assert_eq!(results[0], 3, "daemon served 3 requests");
+    }
+
+    #[test]
+    fn corrupted_reply_rejected_by_crc() {
+        let packed = prepare(
+            vec![("f.bin".to_string(), b"abcdefgh".repeat(64))],
+            &PrepConfig::default(),
+        );
+        let state = NodeState::new(0, 1, CacheConfig::default());
+        state.load_partition(&packed.partitions[0]).unwrap();
+        let obj = state.get_compressed("f.bin").unwrap();
+        let good = encode_get_reply(&obj);
+        // Flip one payload byte: decode must reject via CRC, not panic or
+        // hand back corrupt bytes.
+        let mut bad = good.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0x40;
+        assert!(matches!(decode_get_reply(&bad), Err(FsError::Corrupt(_))));
+        // Flip a stat byte too — also covered by the CRC.
+        let mut bad_stat = good.clone();
+        bad_stat[GET_BODY + 10] ^= 0x01;
+        assert!(matches!(decode_get_reply(&bad_stat), Err(FsError::Corrupt(_))));
+        assert!(decode_get_reply(&good).is_ok());
+    }
+
+    #[test]
+    fn bad_request_paths_reply_bad_request() {
+        let results = mpi_sim::launch(2, 1, |mut ctx| {
+            let service = ctx.take_channel(0);
+            if ctx.rank == 0 {
+                let state = Arc::new(NodeState::new(0, 2, CacheConfig::default()));
+                serve(state, service)
+            } else {
+                // GET with a non-UTF-8 path.
+                let r = service.rpc(0, tags::GET, vec![0xFF, 0xFE, 0x00]).unwrap();
+                assert_eq!(r, vec![status::BAD_REQUEST]);
+                // GET_META with a non-UTF-8 path.
+                let r = service.rpc(0, tags::GET_META, vec![0x80]).unwrap();
+                assert_eq!(r, vec![status::BAD_REQUEST]);
+                // GET_META for an unknown path.
+                let r = service.rpc(0, tags::GET_META, b"nope".to_vec()).unwrap();
+                assert_eq!(r, vec![status::NOT_FOUND]);
+                // PUT_META with garbage metadata.
+                let r = service.rpc(0, tags::PUT_META, vec![9; 3]).unwrap();
+                assert_eq!(r, vec![status::BAD_REQUEST]);
+                // Unknown tag.
+                let r = service.rpc(0, 777, Vec::new()).unwrap();
+                assert_eq!(r, vec![status::BAD_REQUEST]);
+                service.rpc(0, tags::SHUTDOWN, Vec::new()).unwrap();
+                6
+            }
+        });
+        assert_eq!(results[0], 6, "daemon stayed up through every bad request");
+    }
+
+    #[test]
+    fn undeliverable_reply_counted() {
+        let results = mpi_sim::launch(2, 1, |mut ctx| {
+            let service = ctx.take_channel(0);
+            if ctx.rank == 0 {
+                let state = Arc::new(NodeState::new(0, 2, CacheConfig::default()));
+                let trace = Arc::new(crate::trace::TraceRecorder::new(8));
+                let st = Arc::clone(&state);
+                let served = serve_traced(st, service, Some(Arc::clone(&trace)));
+                (
+                    served,
+                    state.stats.reply_failures.load(Ordering::Relaxed),
+                    trace.count(Op::Degraded),
+                )
+            } else {
+                // A bare send carries no reply conduit: the daemon's
+                // answer is undeliverable and must be counted, not lost
+                // silently.
+                service.send(0, tags::GET, b"whatever".to_vec()).unwrap();
+                service.rpc(0, tags::SHUTDOWN, Vec::new()).unwrap();
+                (0, 0, 0)
+            }
+        });
+        assert_eq!(results[0], (2, 1, 1));
     }
 
     #[test]

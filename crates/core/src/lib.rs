@@ -91,6 +91,11 @@ pub enum FsError {
     Corrupt(String),
     /// Communication with a remote daemon failed.
     Comm(String),
+    /// A remote daemon did not answer within the configured deadline.
+    Timeout(String),
+    /// Every replica (and the read-through fallback, if configured)
+    /// failed; the read could not be served even in degraded mode.
+    Degraded(String),
 }
 
 impl std::fmt::Display for FsError {
@@ -102,6 +107,8 @@ impl std::fmt::Display for FsError {
             FsError::AlreadyExists(p) => write!(f, "file already finalised: {p}"),
             FsError::Corrupt(p) => write!(f, "corrupt data: {p}"),
             FsError::Comm(m) => write!(f, "communication failure: {m}"),
+            FsError::Timeout(m) => write!(f, "rpc deadline elapsed: {m}"),
+            FsError::Degraded(m) => write!(f, "all replicas failed: {m}"),
         }
     }
 }

@@ -44,6 +44,31 @@ pub struct NodeStats {
     pub served_requests: AtomicU64,
     /// Output files finalised on this node.
     pub files_written: AtomicU64,
+    /// Reads that needed any recovery beyond the first attempt at the
+    /// primary owner: a replica retry, a backoff-and-retry, or the
+    /// read-through fallback.
+    pub degraded_reads: AtomicU64,
+    /// GET replies rejected because their CRC32 did not verify.
+    pub crc_failures: AtomicU64,
+    /// RPCs that hit the configured deadline (or found the peer dead).
+    pub rpc_timeouts: AtomicU64,
+    /// Reads ultimately served by the read-through backend (the "shared
+    /// file system" escape hatch) after every replica failed.
+    pub read_through_reads: AtomicU64,
+    /// Daemon replies that could not be delivered (requester gone).
+    pub reply_failures: AtomicU64,
+    /// Write-metadata forwards abandoned because the metadata owner was
+    /// unreachable (the write stays readable from this node).
+    pub meta_forward_failures: AtomicU64,
+}
+
+impl NodeStats {
+    /// Total degraded-mode events: the single number chaos tests assert
+    /// on (deterministic for a seeded fault plan).
+    pub fn degraded_total(&self) -> u64 {
+        self.degraded_reads.load(Ordering::Relaxed)
+            + self.meta_forward_failures.load(Ordering::Relaxed)
+    }
 }
 
 /// Shared per-node state.
@@ -151,8 +176,15 @@ impl NodeState {
     }
 
     /// The rank holding a path's compressed bytes, from metadata.
+    ///
+    /// Data preparation records the *partition index* in `owner_rank`
+    /// (the cluster size is unknown at prep time); at load, partition
+    /// `p` lands on rank `p % nodes`, so the same reduction recovers the
+    /// serving rank here. Output files record an actual rank, which the
+    /// modulo leaves unchanged.
     pub fn owner_of(&self, path: &str) -> Option<usize> {
-        self.meta.read().get(path).map(|e| e.stat.owner_rank as usize)
+        let meta = self.meta.read();
+        meta.get(path).map(|e| e.stat.owner_rank as usize % self.size.max(1))
     }
 
     /// Fetch the compressed object for a daemon GET (serving a remote

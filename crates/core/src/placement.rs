@@ -22,6 +22,18 @@ pub struct PlacementPlan {
     pub bytes_per_rank: Vec<u64>,
 }
 
+/// The ranks holding a copy of `owner`'s partitions after `extra_rounds`
+/// ring-replication rounds, primary first.
+///
+/// Ring round `r` places rank `k`'s partitions also on rank
+/// `(k + r) mod n` (the inverse of the "rank `k` holds partitions of rank
+/// `(k - r) mod n`" load rule in [`plan`]), so the failover order for a
+/// file owned by `o` is `o, o+1, ..., o+extra_rounds` around the ring.
+pub fn replicas_of(owner: usize, nodes: usize, extra_rounds: usize) -> Vec<usize> {
+    let nodes = nodes.max(1);
+    (0..=extra_rounds.min(nodes - 1)).map(|r| (owner + r) % nodes).collect()
+}
+
 /// Bytes of the partitions assigned to `rank`.
 fn assigned_bytes(sizes: &[u64], nodes: usize, rank: usize) -> u64 {
     sizes.iter().enumerate().filter(|(i, _)| i % nodes == rank).map(|(_, &s)| s).sum()
@@ -134,6 +146,30 @@ mod tests {
         let p = plan(&[10, 10], 1, None, 5).unwrap();
         assert_eq!(p.extra_rounds, 0);
         assert_eq!(p.bytes_per_rank, vec![20]);
+    }
+
+    #[test]
+    fn replicas_follow_the_ring() {
+        assert_eq!(replicas_of(0, 4, 0), vec![0]);
+        assert_eq!(replicas_of(0, 4, 1), vec![0, 1]);
+        assert_eq!(replicas_of(3, 4, 2), vec![3, 0, 1]);
+        // Capped at full replication.
+        assert_eq!(replicas_of(1, 3, 9), vec![1, 2, 0]);
+        assert_eq!(replicas_of(0, 1, 5), vec![0]);
+    }
+
+    #[test]
+    fn replicas_match_plan_load_rule() {
+        // plan(): in round r, rank k loads the partitions of rank
+        // (k + n - r) % n. replicas_of must be the exact inverse.
+        let n = 5;
+        for owner in 0..n {
+            for rounds in 0..n {
+                for (r, &holder) in replicas_of(owner, n, rounds).iter().enumerate() {
+                    assert_eq!((holder + n - r) % n, owner);
+                }
+            }
+        }
     }
 
     #[test]

@@ -43,6 +43,11 @@ pub struct FileStat {
     /// FanStore extension (a glibc reserved slot): the rank whose
     /// partition holds this file's compressed bytes.
     pub owner_rank: u32,
+    /// FanStore extension (the second reserved slot): the rank that
+    /// actually served this stat's GET reply. Stamped by the daemon;
+    /// differs from `owner_rank` when a replica answered during failover.
+    /// `u32::MAX` = not served over the wire.
+    pub served_by: u32,
 }
 
 /// `S_IFREG` bit for [`FileStat::mode`].
@@ -67,6 +72,7 @@ impl FileStat {
             mtime: 0,
             ctime: 0,
             owner_rank: u32::MAX,
+            served_by: u32::MAX,
         }
     }
 
@@ -99,9 +105,10 @@ impl FileStat {
             out.extend_from_slice(&0i64.to_le_bytes()); // tv_nsec
         }
         // glibc reserves three trailing longs; FanStore uses the first for
-        // the owner rank (the "extra fields" of §IV-C1).
+        // the owner rank (the "extra fields" of §IV-C1) and the second for
+        // the serving rank (failover provenance).
         out.extend_from_slice(&u64::from(self.owner_rank).to_le_bytes());
-        out.extend_from_slice(&0u64.to_le_bytes());
+        out.extend_from_slice(&u64::from(self.served_by).to_le_bytes());
         out.extend_from_slice(&0u64.to_le_bytes());
         debug_assert_eq!(out.len() - start, STAT_SIZE);
     }
@@ -128,6 +135,7 @@ impl FileStat {
             mtime: u64_at(88),
             ctime: u64_at(104),
             owner_rank: u64_at(120) as u32,
+            served_by: u64_at(128) as u32,
         })
     }
 }
@@ -147,6 +155,7 @@ mod tests {
     fn roundtrip_regular() {
         let mut s = FileStat::regular(42, 1 << 33);
         s.owner_rank = 511;
+        s.served_by = 3;
         s.mtime = 1_700_000_000;
         let mut buf = Vec::new();
         s.encode(&mut buf);

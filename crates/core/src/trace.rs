@@ -29,6 +29,11 @@ pub enum Op {
     Stat,
     /// `opendir()` / `readdir()` / `closedir()` combined.
     Readdir,
+    /// A degraded-mode event: a read needed failover (replica retry or
+    /// read-through fallback) or a daemon reply could not be delivered.
+    /// Not part of the ten-call surface; surfaces fault recovery in
+    /// traces.
+    Degraded,
 }
 
 impl Op {
@@ -42,6 +47,7 @@ impl Op {
             Op::Write => "write",
             Op::Stat => "stat",
             Op::Readdir => "readdir",
+            Op::Degraded => "degraded",
         }
     }
 
@@ -64,7 +70,7 @@ pub struct Event {
 
 /// Cheap concurrent trace recorder with a bounded event ring.
 pub struct TraceRecorder {
-    counts: [AtomicU64; 7],
+    counts: [AtomicU64; 8],
     bytes_read: AtomicU64,
     bytes_written: AtomicU64,
     ring: Mutex<Vec<Event>>,
@@ -92,6 +98,7 @@ impl TraceRecorder {
             Op::Write => 4,
             Op::Stat => 5,
             Op::Readdir => 6,
+            Op::Degraded => 7,
         }
     }
 
@@ -130,6 +137,7 @@ impl TraceRecorder {
             writes: self.count(Op::Write),
             stats: self.count(Op::Stat),
             readdirs: self.count(Op::Readdir),
+            degraded: self.count(Op::Degraded),
             bytes_read: self.bytes_read.load(Ordering::Relaxed),
             bytes_written: self.bytes_written.load(Ordering::Relaxed),
         }
@@ -162,6 +170,7 @@ impl TraceRecorder {
                 Some("write") => Op::Write,
                 Some("stat") => Op::Stat,
                 Some("readdir") => Op::Readdir,
+                Some("degraded") => Op::Degraded,
                 other => return Err(format!("line {}: bad op {:?}", lineno + 1, other)),
             };
             let path = parts.next().unwrap_or("").to_string();
@@ -193,6 +202,9 @@ pub struct TraceSummary {
     pub stats: u64,
     /// directory operations.
     pub readdirs: u64,
+    /// Degraded-mode events (failover retries, read-through fallbacks,
+    /// undeliverable daemon replies).
+    pub degraded: u64,
     /// Bytes delivered by reads.
     pub bytes_read: u64,
     /// Bytes accepted by writes.
@@ -260,6 +272,19 @@ mod tests {
         assert_eq!(events.len(), 5);
         assert_eq!(events[1], Event { op: Op::Read, path: "d/f.bin".into(), bytes: 4096 });
         assert_eq!(events[4].op, Op::Readdir);
+    }
+
+    #[test]
+    fn degraded_events_counted_and_roundtrip() {
+        let t = TraceRecorder::new(4);
+        t.record(Op::Read, "f", 10);
+        t.record(Op::Degraded, "f", 0);
+        t.record(Op::Degraded, "g", 0);
+        let s = t.summary();
+        assert_eq!(s.degraded, 2);
+        assert_eq!(s.reads, 1);
+        let events = TraceRecorder::parse(&t.serialize()).unwrap();
+        assert_eq!(events[1], Event { op: Op::Degraded, path: "f".into(), bytes: 0 });
     }
 
     #[test]

@@ -39,15 +39,15 @@ pub fn generate<R: Rng>(rng: &mut R, size: usize) -> Vec<u8> {
     let mut row: Vec<u8> = (0..width).map(|x| (field.at(x, 0) as u32).min(255) as u8 & 0xF0).collect();
     let mut emitted = 0usize;
     'rows: for _y in 0..height + 1 {
-        for x in 0..width {
+        for px in row.iter_mut() {
             if emitted >= pixels {
                 break 'rows;
             }
             if rng.gen_ratio(1, 24) {
                 // Sparse structural change, quantised to keep runs intact.
-                row[x] = row[x].wrapping_add(16) & 0xF0;
+                *px = px.wrapping_add(16) & 0xF0;
             }
-            out.push(row[x]);
+            out.push(*px);
             emitted += 1;
         }
     }

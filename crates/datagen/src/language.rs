@@ -117,7 +117,7 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(1);
         let data = generate(&mut rng, 65536);
         let text = String::from_utf8(data).unwrap();
-        let the_count = text.split_whitespace().filter(|w| w.trim_end_matches('.') == &"the"[..]).count();
+        let the_count = text.split_whitespace().filter(|w| w.trim_end_matches('.') == "the").count();
         let total = text.split_whitespace().count();
         assert!(
             the_count as f64 / total as f64 > 0.03,

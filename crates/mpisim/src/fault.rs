@@ -1,0 +1,423 @@
+//! Seeded, deterministic fault injection for the simulated fabric.
+//!
+//! A [`FaultPlan`] describes the failures a run should experience:
+//! per-rank kills (a rank's NIC goes dark after a per-link message
+//! budget), per-link message drops and delays, and in-flight payload
+//! corruption. [`launch_with_faults`](crate::launch_with_faults) compiles
+//! the plan into a [`FaultInjector`] shared by every channel endpoint.
+//!
+//! ## Determinism
+//!
+//! Every decision is a pure function of `(seed, channel, src, dst,
+//! per-link sequence number, event kind)`. Per-link sequence numbers
+//! advance only with that link's own traffic, so as long as each rank
+//! issues its sends in a deterministic order (true for seeded training
+//! loops), two runs with the same seed inject exactly the same faults —
+//! regardless of thread interleaving across ranks. This is what makes
+//! chaos tests assert exact degraded-read counts.
+//!
+//! ## Kill semantics
+//!
+//! A kill is expressed per link, not per wall-clock instant: after link
+//! `(a, victim)` has carried `after_link_msgs` messages in either
+//! direction pairing, further messages on links touching the victim are
+//! silently blackholed (the send "succeeds" but nothing arrives — a dead
+//! NIC, not a closed socket). Loopback (`src == dst`) is never injected,
+//! so a victim's local daemon shutdown still works: the failure model is
+//! "the FanStore daemon on this node became unreachable", while the
+//! MPI-level control plane (typically a different channel, excluded via
+//! [`FaultPlan::on_channels`]) keeps the job teardown alive.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Kill specification: links touching `rank` go dark once their per-link
+/// message count reaches `after_link_msgs`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RankKill {
+    /// The victim rank.
+    pub rank: usize,
+    /// Messages each individual link to/from the victim may still carry
+    /// before the blackhole engages (0 = dead from the start).
+    pub after_link_msgs: u64,
+}
+
+/// A deterministic fault schedule for one launch.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    /// Seed for every probabilistic decision.
+    pub seed: u64,
+    /// Channel indices the plan applies to (`None` = every channel).
+    /// Scoping faults to the service channel models a dying daemon while
+    /// leaving the collective control plane intact.
+    pub channels: Option<Vec<usize>>,
+    /// Rank kills (per-link blackhole cutoffs).
+    pub kills: Vec<RankKill>,
+    /// Probability a message is dropped in flight (lost, not an error).
+    pub drop_prob: f64,
+    /// Probability a payload byte is flipped in flight.
+    pub corrupt_prob: f64,
+    /// Probability a message is delayed by [`FaultPlan::delay`].
+    pub delay_prob: f64,
+    /// Injected latency for delayed messages.
+    pub delay: Duration,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing (until configured) with `seed`.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            channels: None,
+            kills: Vec::new(),
+            drop_prob: 0.0,
+            corrupt_prob: 0.0,
+            delay_prob: 0.0,
+            delay: Duration::ZERO,
+        }
+    }
+
+    /// Restrict injection to the given channel indices.
+    pub fn on_channels(mut self, channels: &[usize]) -> Self {
+        self.channels = Some(channels.to_vec());
+        self
+    }
+
+    /// Kill `rank` after each of its links carried `after_link_msgs`
+    /// messages.
+    pub fn kill(mut self, rank: usize, after_link_msgs: u64) -> Self {
+        self.kills.push(RankKill { rank, after_link_msgs });
+        self
+    }
+
+    /// Drop messages with probability `p`.
+    pub fn drop_prob(mut self, p: f64) -> Self {
+        self.drop_prob = p;
+        self
+    }
+
+    /// Corrupt payloads with probability `p`.
+    pub fn corrupt_prob(mut self, p: f64) -> Self {
+        self.corrupt_prob = p;
+        self
+    }
+
+    /// Delay messages by `delay` with probability `p`.
+    pub fn delay_prob(mut self, p: f64, delay: Duration) -> Self {
+        self.delay_prob = p;
+        self.delay = delay;
+        self
+    }
+
+    /// The kill cutoff configured for `rank`, if any.
+    pub fn kill_for(&self, rank: usize) -> Option<u64> {
+        self.kills.iter().find(|k| k.rank == rank).map(|k| k.after_link_msgs)
+    }
+}
+
+/// Counters describing what an injector actually did.
+#[derive(Debug, Default)]
+pub struct FaultStats {
+    /// Messages silently lost to `drop_prob`.
+    pub dropped: AtomicU64,
+    /// Payloads corrupted in flight.
+    pub corrupted: AtomicU64,
+    /// Messages delayed.
+    pub delayed: AtomicU64,
+    /// Messages blackholed by a rank kill.
+    pub blackholed: AtomicU64,
+}
+
+/// What the injector decided for one send.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct SendVerdict {
+    /// Whether the message reaches the destination queue at all.
+    pub deliver: bool,
+    /// Latency to simulate before the message is considered "on the
+    /// wire" (the caller sleeps; rpc deadlines keep counting).
+    pub delay: Option<Duration>,
+}
+
+const DELIVER: SendVerdict = SendVerdict { deliver: true, delay: None };
+
+/// Event-kind salts so drop/corrupt/delay decisions draw from
+/// independent deterministic streams.
+mod salt {
+    pub const DROP: u64 = 0x9e37_79b9_7f4a_7c15;
+    pub const CORRUPT: u64 = 0xc2b2_ae3d_27d4_eb4f;
+    pub const DELAY: u64 = 0x1656_67b1_9e37_79f9;
+    pub const REPLY: u64 = 0x2545_f491_4f6c_dd1d;
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Map a hash to the unit interval.
+fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Runtime fault state shared by every channel endpoint of one launch.
+pub struct FaultInjector {
+    plan: FaultPlan,
+    size: usize,
+    nchannels: usize,
+    /// Per-(channel, src, dst) message counters for explicit sends.
+    link_seq: Vec<AtomicU64>,
+    /// Per-(channel, server, client) counters for rpc replies. Kept
+    /// separate from `link_seq` so each counter has a single writer: an
+    /// rpc reply `A -> B` is decided on B's thread (the requester), while
+    /// an explicit send `A -> B` is decided on A's — sharing one counter
+    /// would make sequence numbers (and thus fault decisions) depend on
+    /// thread interleaving.
+    reply_seq: Vec<AtomicU64>,
+    /// Per-rank "has been blackholed at least once" flags (observational).
+    dead: Vec<AtomicBool>,
+    /// What actually happened.
+    pub stats: FaultStats,
+}
+
+impl FaultInjector {
+    /// Compile a plan for a `size`-rank, `nchannels`-channel launch.
+    pub fn new(plan: FaultPlan, size: usize, nchannels: usize) -> Self {
+        let dead = (0..size).map(|_| AtomicBool::new(false)).collect();
+        let link_seq: Vec<AtomicU64> =
+            (0..nchannels * size * size).map(|_| AtomicU64::new(0)).collect();
+        let reply_seq =
+            (0..nchannels * size * size).map(|_| AtomicU64::new(0)).collect();
+        FaultInjector {
+            plan,
+            size,
+            nchannels,
+            link_seq,
+            reply_seq,
+            dead,
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// The plan this injector executes.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Whether `rank` has been blackholed at least once (its kill cutoff
+    /// was crossed on some link).
+    pub fn is_dead(&self, rank: usize) -> bool {
+        self.dead.get(rank).map(|d| d.load(Ordering::Relaxed)).unwrap_or(false)
+    }
+
+    fn link_index(&self, channel: usize, src: usize, dst: usize) -> usize {
+        (channel * self.size + src) * self.size + dst
+    }
+
+    fn channel_active(&self, channel: usize) -> bool {
+        debug_assert!(channel < self.nchannels);
+        match &self.plan.channels {
+            Some(chs) => chs.contains(&channel),
+            None => true,
+        }
+    }
+
+    fn hash(&self, channel: usize, src: usize, dst: usize, seq: u64, kind: u64) -> u64 {
+        let link = self.link_index(channel, src, dst) as u64;
+        splitmix64(self.plan.seed ^ splitmix64(link ^ seq.wrapping_mul(0x9e37)) ^ kind)
+    }
+
+    /// Kill check for one message on link `(src, dst)` at sequence `seq`.
+    fn blackholed(&self, src: usize, dst: usize, seq: u64) -> bool {
+        for k in &self.plan.kills {
+            if (k.rank == src || k.rank == dst) && seq >= k.after_link_msgs {
+                self.dead[k.rank].store(true, Ordering::Relaxed);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Decide the fate of one send. May mutate `payload` (corruption).
+    pub(crate) fn on_send(
+        &self,
+        channel: usize,
+        src: usize,
+        dst: usize,
+        payload: &mut [u8],
+    ) -> SendVerdict {
+        if src == dst || !self.channel_active(channel) {
+            return DELIVER;
+        }
+        let seq = self.link_seq[self.link_index(channel, src, dst)]
+            .fetch_add(1, Ordering::Relaxed);
+        if self.blackholed(src, dst, seq) {
+            self.stats.blackholed.fetch_add(1, Ordering::Relaxed);
+            return SendVerdict { deliver: false, delay: None };
+        }
+        if self.plan.drop_prob > 0.0
+            && unit(self.hash(channel, src, dst, seq, salt::DROP)) < self.plan.drop_prob
+        {
+            self.stats.dropped.fetch_add(1, Ordering::Relaxed);
+            return SendVerdict { deliver: false, delay: None };
+        }
+        if self.plan.corrupt_prob > 0.0 && !payload.is_empty() {
+            let h = self.hash(channel, src, dst, seq, salt::CORRUPT);
+            if unit(h) < self.plan.corrupt_prob {
+                let idx = (h >> 17) as usize % payload.len();
+                payload[idx] ^= ((h >> 9) as u8) | 1;
+                self.stats.corrupted.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let delay = if self.plan.delay_prob > 0.0
+            && unit(self.hash(channel, src, dst, seq, salt::DELAY)) < self.plan.delay_prob
+        {
+            self.stats.delayed.fetch_add(1, Ordering::Relaxed);
+            Some(self.plan.delay)
+        } else {
+            None
+        };
+        SendVerdict { deliver: true, delay }
+    }
+
+    /// Decide the fate of an rpc reply travelling `server -> client`.
+    /// Replies draw from their own `(channel, server, client)` counter
+    /// space (`reply_seq`), advanced only by the requesting rank's thread
+    /// — so reply decisions stay deterministic even when explicit sends
+    /// flow in the same direction concurrently. Returns `false` when the
+    /// reply is lost (the requester's deadline fires).
+    pub(crate) fn on_reply(
+        &self,
+        channel: usize,
+        server: usize,
+        client: usize,
+        payload: &mut [u8],
+    ) -> bool {
+        if server == client || !self.channel_active(channel) {
+            return true;
+        }
+        let seq = self.reply_seq[self.link_index(channel, server, client)]
+            .fetch_add(1, Ordering::Relaxed);
+        if self.blackholed(server, client, seq) {
+            self.stats.blackholed.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        if self.plan.drop_prob > 0.0
+            && unit(self.hash(channel, server, client, seq, salt::DROP ^ salt::REPLY))
+                < self.plan.drop_prob
+        {
+            self.stats.dropped.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        if self.plan.corrupt_prob > 0.0 && !payload.is_empty() {
+            let h = self.hash(channel, server, client, seq, salt::CORRUPT ^ salt::REPLY);
+            if unit(h) < self.plan.corrupt_prob {
+                let idx = (h >> 17) as usize % payload.len();
+                payload[idx] ^= ((h >> 9) as u8) | 1;
+                self.stats.corrupted.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_decisions(inj: &FaultInjector, n: u64) -> Vec<(bool, bool)> {
+        (0..n)
+            .map(|_| {
+                let mut payload = vec![0u8; 64];
+                let v = inj.on_send(0, 0, 1, &mut payload);
+                (v.deliver, payload.iter().any(|&b| b != 0))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn decisions_are_deterministic_per_seed() {
+        let plan = FaultPlan::new(42).drop_prob(0.2).corrupt_prob(0.2);
+        let a = run_decisions(&FaultInjector::new(plan.clone(), 2, 1), 500);
+        let b = run_decisions(&FaultInjector::new(plan, 2, 1), 500);
+        assert_eq!(a, b);
+        let other = run_decisions(
+            &FaultInjector::new(FaultPlan::new(43).drop_prob(0.2).corrupt_prob(0.2), 2, 1),
+            500,
+        );
+        assert_ne!(a, other, "different seeds give different schedules");
+    }
+
+    #[test]
+    fn probabilities_are_roughly_honoured() {
+        let inj = FaultInjector::new(FaultPlan::new(7).drop_prob(0.3), 2, 1);
+        let outcomes = run_decisions(&inj, 10_000);
+        let dropped = outcomes.iter().filter(|(d, _)| !d).count();
+        assert!((2400..3600).contains(&dropped), "dropped {dropped}/10000 at p=0.3");
+    }
+
+    #[test]
+    fn kill_cutoff_blackholes_after_budget() {
+        let inj = FaultInjector::new(FaultPlan::new(1).kill(1, 3), 4, 1);
+        let outcomes = run_decisions(&inj, 10);
+        assert!(outcomes[..3].iter().all(|(d, _)| *d), "first 3 delivered");
+        assert!(outcomes[3..].iter().all(|(d, _)| !d), "rest blackholed");
+        assert!(inj.is_dead(1));
+        assert!(!inj.is_dead(0));
+        // Links not touching the victim are untouched.
+        let mut p = Vec::new();
+        for _ in 0..10 {
+            assert!(inj.on_send(0, 0, 2, &mut p).deliver);
+        }
+    }
+
+    #[test]
+    fn loopback_and_unscoped_channels_are_exempt() {
+        let plan = FaultPlan::new(5).drop_prob(1.0).on_channels(&[1]);
+        let inj = FaultInjector::new(plan, 2, 2);
+        let mut p = vec![1u8; 8];
+        assert!(inj.on_send(1, 0, 0, &mut p).deliver, "loopback exempt");
+        assert!(inj.on_send(0, 0, 1, &mut p).deliver, "channel 0 not scoped");
+        assert!(!inj.on_send(1, 0, 1, &mut p).deliver, "channel 1 scoped");
+    }
+
+    #[test]
+    fn corruption_flips_at_least_one_byte() {
+        let inj = FaultInjector::new(FaultPlan::new(9).corrupt_prob(1.0), 2, 1);
+        let mut p = vec![0u8; 32];
+        assert!(inj.on_send(0, 0, 1, &mut p).deliver);
+        assert!(p.iter().any(|&b| b != 0));
+        assert_eq!(inj.stats.corrupted.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn reply_stream_is_independent_of_request_stream() {
+        let plan = FaultPlan::new(3).drop_prob(0.5);
+        let a = FaultInjector::new(plan.clone(), 2, 1);
+        let b = FaultInjector::new(plan, 2, 1);
+        let mut p = Vec::new();
+        let sends: Vec<bool> = (0..64).map(|_| a.on_send(0, 0, 1, &mut p).deliver).collect();
+        let replies: Vec<bool> = (0..64).map(|_| b.on_reply(0, 0, 1, &mut p)).collect();
+        assert_ne!(sends, replies, "distinct salts for send vs reply streams");
+    }
+
+    #[test]
+    fn reply_schedule_unaffected_by_request_traffic_on_same_link() {
+        // Replies A -> B are decided on B's thread while explicit sends
+        // A -> B are decided on A's; each must advance its own counter or
+        // the schedule becomes interleaving-dependent.
+        let plan = FaultPlan::new(13).drop_prob(0.5);
+        let quiet = FaultInjector::new(plan.clone(), 2, 1);
+        let busy = FaultInjector::new(plan, 2, 1);
+        let mut p = Vec::new();
+        let a: Vec<bool> = (0..64).map(|_| quiet.on_reply(0, 0, 1, &mut p)).collect();
+        let b: Vec<bool> = (0..64)
+            .map(|_| {
+                busy.on_send(0, 0, 1, &mut p); // interleaved request traffic
+                busy.on_reply(0, 0, 1, &mut p)
+            })
+            .collect();
+        assert_eq!(a, b, "replies draw from their own counter space");
+    }
+}

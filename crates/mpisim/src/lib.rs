@@ -18,12 +18,24 @@
 //! point-to-point with per-channel generation counters, so they follow the
 //! MPI rule: every rank calls the same collectives in the same order on a
 //! given channel.
+//!
+//! Fault injection: [`launch_with_faults`] compiles a seeded
+//! [`fault::FaultPlan`] into a [`fault::FaultInjector`] shared by every
+//! endpoint, so chaos tests can kill ranks, drop, delay, or corrupt
+//! messages deterministically. [`Channel::rpc_timeout`] /
+//! [`RemoteSender::rpc_timeout`] bound how long a requester waits on a
+//! daemon that will never answer.
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
-use crossbeam_channel::{unbounded, Receiver, Sender};
+use crossbeam_channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+
+pub mod fault;
+
+pub use fault::{FaultInjector, FaultPlan, RankKill};
 
 /// Message tag. User tags must stay below [`COLLECTIVE_TAG_BASE`].
 pub type Tag = u64;
@@ -67,6 +79,9 @@ pub enum CommError {
     Disconnected,
     /// Rank index out of range.
     InvalidRank(usize),
+    /// An rpc deadline elapsed before the reply arrived (dead or
+    /// unreachable daemon, or a reply lost in flight).
+    Timeout,
 }
 
 impl std::fmt::Display for CommError {
@@ -74,6 +89,7 @@ impl std::fmt::Display for CommError {
         match self {
             CommError::Disconnected => write!(f, "peer channel disconnected"),
             CommError::InvalidRank(r) => write!(f, "invalid rank {r}"),
+            CommError::Timeout => write!(f, "rpc deadline elapsed"),
         }
     }
 }
@@ -95,6 +111,8 @@ pub struct TrafficStats {
 pub struct Channel {
     rank: usize,
     size: usize,
+    /// Index of this channel within the launch (used by fault scoping).
+    channel_index: usize,
     senders: Vec<Sender<Message>>,
     receiver: Receiver<Message>,
     /// Messages received but not yet matched by `recv_match`.
@@ -102,6 +120,9 @@ pub struct Channel {
     /// Collective generation counter (advances identically on all ranks).
     generation: u64,
     stats: Arc<TrafficStats>,
+    /// Fault injector shared across the launch; `None` in fault-free runs
+    /// so the hooks cost a single branch.
+    injector: Option<Arc<FaultInjector>>,
 }
 
 impl Channel {
@@ -131,10 +152,21 @@ impl Channel {
     }
 
     /// Send `payload` to `dest` with `tag`.
-    pub fn send(&self, dest: usize, tag: Tag, payload: Vec<u8>) -> Result<(), CommError> {
+    pub fn send(&self, dest: usize, tag: Tag, mut payload: Vec<u8>) -> Result<(), CommError> {
         let tx = self.senders.get(dest).ok_or(CommError::InvalidRank(dest))?;
         self.stats.bytes_sent.fetch_add(payload.len() as u64, Ordering::Relaxed);
         self.stats.msgs_sent.fetch_add(1, Ordering::Relaxed);
+        if !apply_send_faults(
+            &self.injector,
+            self.channel_index,
+            self.rank,
+            dest,
+            &mut payload,
+        ) {
+            // Blackholed or dropped in flight: a dead NIC, not an error —
+            // the send "succeeds" and nothing arrives.
+            return Ok(());
+        }
         tx.send(Message { src: self.rank, tag, payload, reply: None })
             .map_err(|_| CommError::Disconnected)
     }
@@ -173,7 +205,7 @@ impl Channel {
         tag: Option<Tag>,
     ) -> Result<Message, CommError> {
         let matches =
-            |m: &Message| src.map_or(true, |s| m.src == s) && tag.map_or(true, |t| m.tag == t);
+            |m: &Message| src.is_none_or(|s| m.src == s) && tag.is_none_or(|t| m.tag == t);
         if let Some(idx) = self.pending.iter().position(matches) {
             return Ok(self.pending.remove(idx).expect("index valid"));
         }
@@ -188,17 +220,44 @@ impl Channel {
     }
 
     /// Request/reply against a daemon loop on `dest`: sends `payload` and
-    /// blocks for the answer.
+    /// blocks for the answer. Returns [`CommError::Disconnected`] if the
+    /// daemon drops the request without answering; blocks forever if the
+    /// daemon never consumes it — use [`Channel::rpc_timeout`] when the
+    /// peer may be dead.
     pub fn rpc(&self, dest: usize, tag: Tag, payload: Vec<u8>) -> Result<Vec<u8>, CommError> {
-        let tx = self.senders.get(dest).ok_or(CommError::InvalidRank(dest))?;
-        let (rtx, rrx) = unbounded();
-        self.stats.bytes_sent.fetch_add(payload.len() as u64, Ordering::Relaxed);
-        self.stats.msgs_sent.fetch_add(1, Ordering::Relaxed);
-        tx.send(Message { src: self.rank, tag, payload, reply: Some(rtx) })
-            .map_err(|_| CommError::Disconnected)?;
-        let answer = rrx.recv().map_err(|_| CommError::Disconnected)?;
-        self.stats.bytes_received.fetch_add(answer.len() as u64, Ordering::Relaxed);
-        Ok(answer)
+        rpc_inner(
+            &self.senders,
+            &self.stats,
+            &self.injector,
+            self.channel_index,
+            self.rank,
+            dest,
+            tag,
+            payload,
+            None,
+        )
+    }
+
+    /// [`Channel::rpc`] with a deadline: fails with [`CommError::Timeout`]
+    /// if no reply arrives within `timeout`, never blocking past it.
+    pub fn rpc_timeout(
+        &self,
+        dest: usize,
+        tag: Tag,
+        payload: Vec<u8>,
+        timeout: Duration,
+    ) -> Result<Vec<u8>, CommError> {
+        rpc_inner(
+            &self.senders,
+            &self.stats,
+            &self.injector,
+            self.channel_index,
+            self.rank,
+            dest,
+            tag,
+            payload,
+            Some(timeout),
+        )
     }
 
     /// A cloneable send-only handle on this channel: lets other threads of
@@ -207,8 +266,10 @@ impl Channel {
     pub fn remote(&self) -> RemoteSender {
         RemoteSender {
             rank: self.rank,
+            channel_index: self.channel_index,
             senders: self.senders.clone(),
             stats: Arc::clone(&self.stats),
+            injector: self.injector.clone(),
         }
     }
 
@@ -282,7 +343,7 @@ impl Channel {
             slice.iter().flat_map(|v| v.to_le_bytes()).collect()
         };
         let decode = |bytes: &[u8]| -> Result<Vec<f64>, CommError> {
-            if bytes.len() % 8 != 0 {
+            if !bytes.len().is_multiple_of(8) {
                 return Err(CommError::Disconnected);
             }
             Ok(bytes
@@ -348,12 +409,83 @@ impl Channel {
     }
 }
 
+/// Apply send-side faults. Returns `false` when the message must vanish.
+fn apply_send_faults(
+    injector: &Option<Arc<FaultInjector>>,
+    channel: usize,
+    src: usize,
+    dst: usize,
+    payload: &mut [u8],
+) -> bool {
+    match injector {
+        None => true,
+        Some(inj) => {
+            let verdict = inj.on_send(channel, src, dst, payload);
+            if let Some(delay) = verdict.delay {
+                std::thread::sleep(delay);
+            }
+            verdict.deliver
+        }
+    }
+}
+
+/// Shared request/reply implementation behind [`Channel::rpc`],
+/// [`Channel::rpc_timeout`] and the [`RemoteSender`] equivalents.
+#[allow(clippy::too_many_arguments)]
+fn rpc_inner(
+    senders: &[Sender<Message>],
+    stats: &TrafficStats,
+    injector: &Option<Arc<FaultInjector>>,
+    channel: usize,
+    rank: usize,
+    dest: usize,
+    tag: Tag,
+    mut payload: Vec<u8>,
+    timeout: Option<Duration>,
+) -> Result<Vec<u8>, CommError> {
+    let tx = senders.get(dest).ok_or(CommError::InvalidRank(dest))?;
+    let (rtx, rrx) = unbounded();
+    stats.bytes_sent.fetch_add(payload.len() as u64, Ordering::Relaxed);
+    stats.msgs_sent.fetch_add(1, Ordering::Relaxed);
+    let deadline = timeout.map(|t| Instant::now() + t);
+    if apply_send_faults(injector, channel, rank, dest, &mut payload) {
+        tx.send(Message { src: rank, tag, payload, reply: Some(rtx) })
+            .map_err(|_| CommError::Disconnected)?;
+    } else {
+        // A faulted request never reaches the daemon. Drop the reply
+        // conduit NOW so the recv below observes a disconnect — the
+        // fast-forwarded equivalent of waiting out the deadline on a
+        // dead peer. (Keeping it alive in this frame would make the
+        // recv block for the full deadline, or forever without one.)
+        drop(rtx);
+    }
+    let mut answer = match deadline {
+        None => rrx.recv().map_err(|_| CommError::Disconnected)?,
+        Some(deadline) => rrx.recv_deadline(deadline).map_err(|e| match e {
+            RecvTimeoutError::Timeout => CommError::Timeout,
+            RecvTimeoutError::Disconnected => CommError::Disconnected,
+        })?,
+    };
+    if let Some(inj) = injector {
+        // Reply-side faults are decided at the requester, on the
+        // (server -> client) link stream. A lost reply surfaces as the
+        // deadline firing.
+        if !inj.on_reply(channel, dest, rank, &mut answer) {
+            return Err(CommError::Timeout);
+        }
+    }
+    stats.bytes_received.fetch_add(answer.len() as u64, Ordering::Relaxed);
+    Ok(answer)
+}
+
 /// Send-only endpoint on a channel, cloneable across threads of one rank.
 #[derive(Clone)]
 pub struct RemoteSender {
     rank: usize,
+    channel_index: usize,
     senders: Vec<Sender<Message>>,
     stats: Arc<TrafficStats>,
+    injector: Option<Arc<FaultInjector>>,
 }
 
 impl RemoteSender {
@@ -368,26 +500,61 @@ impl RemoteSender {
     }
 
     /// Send `payload` to `dest` with `tag` (no reply expected).
-    pub fn send(&self, dest: usize, tag: Tag, payload: Vec<u8>) -> Result<(), CommError> {
+    pub fn send(&self, dest: usize, tag: Tag, mut payload: Vec<u8>) -> Result<(), CommError> {
         let tx = self.senders.get(dest).ok_or(CommError::InvalidRank(dest))?;
         self.stats.bytes_sent.fetch_add(payload.len() as u64, Ordering::Relaxed);
         self.stats.msgs_sent.fetch_add(1, Ordering::Relaxed);
+        if !apply_send_faults(
+            &self.injector,
+            self.channel_index,
+            self.rank,
+            dest,
+            &mut payload,
+        ) {
+            return Ok(());
+        }
         tx.send(Message { src: self.rank, tag, payload, reply: None })
             .map_err(|_| CommError::Disconnected)
     }
 
     /// Request/reply against the daemon loop that owns `dest`'s receiving
-    /// endpoint on this channel.
+    /// endpoint on this channel. Blocks forever if the daemon never
+    /// consumes the request — use [`RemoteSender::rpc_timeout`] when the
+    /// peer may be dead.
     pub fn rpc(&self, dest: usize, tag: Tag, payload: Vec<u8>) -> Result<Vec<u8>, CommError> {
-        let tx = self.senders.get(dest).ok_or(CommError::InvalidRank(dest))?;
-        let (rtx, rrx) = unbounded();
-        self.stats.bytes_sent.fetch_add(payload.len() as u64, Ordering::Relaxed);
-        self.stats.msgs_sent.fetch_add(1, Ordering::Relaxed);
-        tx.send(Message { src: self.rank, tag, payload, reply: Some(rtx) })
-            .map_err(|_| CommError::Disconnected)?;
-        let answer = rrx.recv().map_err(|_| CommError::Disconnected)?;
-        self.stats.bytes_received.fetch_add(answer.len() as u64, Ordering::Relaxed);
-        Ok(answer)
+        rpc_inner(
+            &self.senders,
+            &self.stats,
+            &self.injector,
+            self.channel_index,
+            self.rank,
+            dest,
+            tag,
+            payload,
+            None,
+        )
+    }
+
+    /// [`RemoteSender::rpc`] with a deadline: fails with
+    /// [`CommError::Timeout`] if no reply arrives within `timeout`.
+    pub fn rpc_timeout(
+        &self,
+        dest: usize,
+        tag: Tag,
+        payload: Vec<u8>,
+        timeout: Duration,
+    ) -> Result<Vec<u8>, CommError> {
+        rpc_inner(
+            &self.senders,
+            &self.stats,
+            &self.injector,
+            self.channel_index,
+            self.rank,
+            dest,
+            tag,
+            payload,
+            Some(timeout),
+        )
     }
 }
 
@@ -399,6 +566,7 @@ pub struct NodeCtx {
     /// Total ranks.
     pub size: usize,
     channels: Vec<Option<Channel>>,
+    injector: Option<Arc<FaultInjector>>,
 }
 
 impl NodeCtx {
@@ -417,12 +585,50 @@ impl NodeCtx {
     pub fn channel_count(&self) -> usize {
         self.channels.len()
     }
+
+    /// The launch-wide fault injector, if this run was started with
+    /// [`launch_with_faults`].
+    pub fn fault_injector(&self) -> Option<&Arc<FaultInjector>> {
+        self.injector.as_ref()
+    }
 }
 
 /// Spawn `size` ranks, each running `f` on its own OS thread with
 /// `nchannels` independent channels, and join them. Results are returned
 /// in rank order. A panic in any rank propagates.
 pub fn launch<T, F>(size: usize, nchannels: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(NodeCtx) -> T + Send + Sync,
+{
+    launch_impl(size, nchannels, None, f)
+}
+
+/// [`launch`] under a seeded fault schedule: the `plan` is compiled into
+/// one [`FaultInjector`] shared by every endpoint. Returns the rank
+/// results plus the injector, whose [`fault::FaultStats`] record what was
+/// actually injected.
+pub fn launch_with_faults<T, F>(
+    size: usize,
+    nchannels: usize,
+    plan: FaultPlan,
+    f: F,
+) -> (Vec<T>, Arc<FaultInjector>)
+where
+    T: Send,
+    F: Fn(NodeCtx) -> T + Send + Sync,
+{
+    let injector = Arc::new(FaultInjector::new(plan, size, nchannels));
+    let results = launch_impl(size, nchannels, Some(Arc::clone(&injector)), f);
+    (results, injector)
+}
+
+fn launch_impl<T, F>(
+    size: usize,
+    nchannels: usize,
+    injector: Option<Arc<FaultInjector>>,
+    f: F,
+) -> Vec<T>
 where
     T: Send,
     F: Fn(NodeCtx) -> T + Send + Sync,
@@ -447,20 +653,24 @@ where
     }
 
     let mut contexts: Vec<NodeCtx> = Vec::with_capacity(size);
+    // `rank` is both an index into the mesh and the channel's identity.
+    #[allow(clippy::needless_range_loop)]
     for rank in 0..size {
         let mut channels = Vec::with_capacity(nchannels);
         for ch in 0..nchannels {
             channels.push(Some(Channel {
                 rank,
                 size,
+                channel_index: ch,
                 senders: all_senders[ch].clone(),
                 receiver: all_receivers[ch][rank].clone(),
                 pending: VecDeque::new(),
                 generation: 0,
                 stats: Arc::new(TrafficStats::default()),
+                injector: injector.clone(),
             }));
         }
-        contexts.push(NodeCtx { rank, size, channels });
+        contexts.push(NodeCtx { rank, size, channels, injector: injector.clone() });
     }
     // Drop the original mesh handles so channels close when ranks finish.
     drop(all_senders);
@@ -514,6 +724,55 @@ mod tests {
             }
         });
         assert_eq!(results, vec![0, 1]);
+    }
+
+    #[test]
+    fn recv_match_buffers_interleaved_tags_from_many_sources() {
+        // Two senders interleave two tag streams each toward rank 2; the
+        // receiver drains them in an order orthogonal to arrival. Per
+        // (src, tag) stream FIFO order must survive the buffering.
+        let results = launch(3, 1, |mut ctx| {
+            let mut ch = ctx.take_channel(0);
+            match ctx.rank {
+                0 => {
+                    for i in 0..4u8 {
+                        ch.send(2, 10 + Tag::from(i % 2), vec![i]).unwrap();
+                    }
+                    0
+                }
+                1 => {
+                    for i in 0..4u8 {
+                        ch.send(2, 20 + Tag::from(i % 2), vec![0x10 + i]).unwrap();
+                    }
+                    0
+                }
+                _ => {
+                    let order: [(usize, Tag); 8] = [
+                        (1, 21),
+                        (1, 21),
+                        (0, 11),
+                        (0, 11),
+                        (1, 20),
+                        (0, 10),
+                        (0, 10),
+                        (1, 20),
+                    ];
+                    let mut streams: std::collections::HashMap<(usize, Tag), Vec<u8>> =
+                        std::collections::HashMap::new();
+                    for (src, tag) in order {
+                        let m = ch.recv_match(Some(src), Some(tag)).unwrap();
+                        assert_eq!((m.src, m.tag), (src, tag));
+                        streams.entry((src, tag)).or_default().push(m.payload[0]);
+                    }
+                    assert_eq!(streams[&(0, 10)], vec![0, 2]);
+                    assert_eq!(streams[&(0, 11)], vec![1, 3]);
+                    assert_eq!(streams[&(1, 20)], vec![0x10, 0x12]);
+                    assert_eq!(streams[&(1, 21)], vec![0x11, 0x13]);
+                    1
+                }
+            }
+        });
+        assert_eq!(results, vec![0, 0, 1]);
     }
 
     #[test]
@@ -745,5 +1004,131 @@ mod tests {
             g.len()
         });
         assert!(results.iter().all(|&n| n == 64));
+    }
+
+    #[test]
+    fn rpc_dropped_reply_returns_disconnected() {
+        // Regression: a daemon that consumes an rpc request but drops it
+        // without answering must surface as Disconnected, not hang.
+        let results = launch(2, 1, |mut ctx| {
+            if ctx.rank == 0 {
+                let mut service = ctx.take_channel(0);
+                let m = service.recv().unwrap();
+                assert!(m.wants_reply());
+                drop(m); // never replies
+                Ok(Vec::new())
+            } else {
+                ctx.take_channel(0).rpc(0, 1, vec![9])
+            }
+        });
+        assert_eq!(results[1], Err(CommError::Disconnected));
+    }
+
+    #[test]
+    fn rpc_timeout_never_blocks_past_deadline() {
+        // Rank 0 never services its channel: without a deadline this rpc
+        // would block forever (the queued request keeps the reply conduit
+        // alive). The deadline must fire, promptly.
+        let results = launch(2, 1, |mut ctx| {
+            let ch = ctx.take_channel(0);
+            if ctx.rank == 0 {
+                // Wait for the peer's verdict instead of servicing.
+                let mut ch = ch;
+                ch.recv_match(Some(1), Some(99)).unwrap();
+                Ok(Vec::new())
+            } else {
+                let started = std::time::Instant::now();
+                let r = ch.rpc_timeout(0, 1, vec![1], Duration::from_millis(50));
+                assert!(
+                    started.elapsed() < Duration::from_secs(5),
+                    "deadline must bound the wait"
+                );
+                ch.send(0, 99, Vec::new()).unwrap();
+                r
+            }
+        });
+        assert_eq!(results[1], Err(CommError::Timeout));
+    }
+
+    #[test]
+    fn remote_sender_rpc_timeout_on_dead_peer() {
+        let results = launch(2, 2, |mut ctx| {
+            let control = ctx.take_channel(0);
+            let service = ctx.take_channel(1);
+            if ctx.rank == 0 {
+                // Daemon never runs; unblock the peer's exit afterwards.
+                let mut control = control;
+                control.recv_match(Some(1), Some(7)).unwrap();
+                drop(service);
+                Ok(Vec::new())
+            } else {
+                let remote = service.remote();
+                let r = remote.rpc_timeout(0, 1, vec![5], Duration::from_millis(20));
+                control.send(0, 7, Vec::new()).unwrap();
+                r
+            }
+        });
+        assert_eq!(results[1], Err(CommError::Timeout));
+    }
+
+    #[test]
+    fn killed_rank_blackholes_service_but_control_survives() {
+        let plan = FaultPlan::new(11).on_channels(&[1]).kill(0, 0);
+        let (results, injector) = launch_with_faults(2, 2, plan, |mut ctx| {
+            let mut control = ctx.take_channel(0);
+            let service = ctx.take_channel(1);
+            let out = if ctx.rank == 1 {
+                let started = std::time::Instant::now();
+                let r = service.rpc_timeout(0, 1, vec![1], Duration::from_secs(30));
+                // Blackholed requests fail fast (dropped conduit), not by
+                // waiting out the deadline.
+                assert!(started.elapsed() < Duration::from_secs(5));
+                r
+            } else {
+                drop(service); // rank 0's daemon is dead
+                Ok(Vec::new())
+            };
+            // The control channel is outside the fault scope.
+            control.barrier().unwrap();
+            out
+        });
+        assert_eq!(results[1], Err(CommError::Disconnected));
+        assert!(injector.is_dead(0));
+        assert!(injector.stats.blackholed.load(Ordering::Relaxed) >= 1);
+    }
+
+    #[test]
+    fn same_seed_same_fault_schedule_across_launches() {
+        let run = || {
+            // Faults scoped to the lossy channel 1; channel 0 carries the
+            // (reliable) "all sent" marker.
+            let plan = FaultPlan::new(77).on_channels(&[1]).drop_prob(0.4);
+            let (results, injector) = launch_with_faults(2, 2, plan, |mut ctx| {
+                let mut control = ctx.take_channel(0);
+                let mut lossy = ctx.take_channel(1);
+                if ctx.rank == 0 {
+                    for i in 0..200u64 {
+                        lossy.send(1, i, vec![0u8; 16]).unwrap();
+                    }
+                    control.send(1, 0, Vec::new()).unwrap();
+                    0
+                } else {
+                    // All surviving messages were enqueued before the
+                    // marker was sent, so they are all drainable now.
+                    control.recv_match(Some(0), Some(0)).unwrap();
+                    let mut seen = 0usize;
+                    while lossy.try_recv().is_some() {
+                        seen += 1;
+                    }
+                    seen
+                }
+            });
+            (results[1], injector.stats.dropped.load(Ordering::Relaxed))
+        };
+        let (seen_a, dropped_a) = run();
+        let (seen_b, dropped_b) = run();
+        assert_eq!(seen_a, seen_b, "deterministic delivery schedule");
+        assert_eq!(dropped_a, dropped_b, "deterministic drop count");
+        assert!(dropped_a > 0, "p=0.4 over 201 sends must drop something");
     }
 }

@@ -38,6 +38,10 @@ pub struct EpochReport {
     pub bytes_read: u64,
     /// Checkpoints written.
     pub checkpoints: usize,
+    /// Degraded-mode events during this run (replica failovers,
+    /// read-through fallbacks, lost metadata forwards): non-zero means
+    /// training survived faults rather than running clean.
+    pub degraded: u64,
 }
 
 /// Run `cfg.epochs` epochs of batch reads on this node's view of the
@@ -59,6 +63,7 @@ pub fn run_epoch_range(
     // Startup: enumerate the dataset (the §II-B1 metadata step).
     let files = fs.enumerate(&cfg.root)?;
     let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ (fs.rank() as u64) << 32);
+    let degraded_before = fs.state().stats.degraded_total();
 
     let mut iterations = 0usize;
     let mut bytes_read = 0u64;
@@ -91,7 +96,13 @@ pub fn run_epoch_range(
         }
     }
 
-    Ok(EpochReport { files_seen: files.len(), iterations, bytes_read, checkpoints })
+    Ok(EpochReport {
+        files_seen: files.len(),
+        iterations,
+        bytes_read,
+        checkpoints,
+        degraded: fs.state().stats.degraded_total() - degraded_before,
+    })
 }
 
 #[cfg(test)]
@@ -135,6 +146,7 @@ mod tests {
             assert_eq!(r.iterations, 6);
             assert_eq!(r.bytes_read, total_bytes * 2, "every file read once per epoch");
             assert_eq!(r.checkpoints, 2);
+            assert_eq!(r.degraded, 0, "clean run: no recovery events");
         }
     }
 

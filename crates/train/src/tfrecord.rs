@@ -34,7 +34,7 @@ impl std::error::Error for RecordError {}
 /// TFRecord's masked CRC: `((crc >> 15) | (crc << 17)) + 0xa282ead8`.
 fn masked_crc(data: &[u8]) -> u32 {
     let crc = crc32(data);
-    ((crc >> 15) | (crc << 17)).wrapping_add(0xa282_ead8)
+    crc.rotate_right(15).wrapping_add(0xa282_ead8)
 }
 
 /// Append one record to a TFRecord-style stream.
@@ -133,7 +133,7 @@ mod tests {
 
     #[test]
     fn verify_all_counts() {
-        let records = vec![b"one".to_vec(), b"two".to_vec(), b"three".to_vec()];
+        let records = [b"one".to_vec(), b"two".to_vec(), b"three".to_vec()];
         let file = build_record_file(records.iter().map(|r| r.as_slice()));
         assert_eq!(RecordReader::new(&file).verify_all().unwrap(), 3);
     }

@@ -1,0 +1,274 @@
+//! Offline stand-in for `criterion` (see `shims/README.md`).
+//!
+//! A minimal timing harness: every bench registered through the familiar
+//! `criterion_group!`/`criterion_main!`/`bench_function` surface runs for
+//! a handful of timed iterations and prints mean per-iteration time (plus
+//! throughput when configured). No statistics, no HTML reports, no
+//! baselines. When the binary is invoked by `cargo test` (a `--test`
+//! flag is passed), each bench runs a single iteration as a smoke check.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation used to report rates alongside times.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Abstract elements processed per iteration.
+    Elements(u64),
+}
+
+/// Identifier for a parameterised benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+/// Things accepted as a benchmark name: strings or [`BenchmarkId`]s.
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+/// Timing context handed to bench closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine` over the configured number of iterations.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Hand full control of timing to the closure: it receives the
+    /// iteration count and returns the elapsed time it measured.
+    pub fn iter_custom<F: FnMut(u64) -> Duration>(&mut self, mut routine: F) {
+        self.elapsed = routine(self.iters);
+    }
+}
+
+/// Top-level harness (mirrors `criterion::Criterion`).
+pub struct Criterion {
+    sample_size: usize,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `--test` is how cargo invokes harness=false bench targets
+        // during `cargo test`.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { sample_size: 10, test_mode }
+    }
+}
+
+impl Criterion {
+    /// Iterations per measurement (consuming form, used in
+    /// `criterion_group!` `config = ...` clauses).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Open a named group of related benches.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: None,
+        }
+    }
+
+    /// Run a standalone bench.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = id.into_benchmark_id();
+        let iters = effective_iters(self.sample_size, self.test_mode);
+        run_one(&name, None, iters, f);
+        self
+    }
+}
+
+fn effective_iters(sample_size: usize, test_mode: bool) -> u64 {
+    if test_mode {
+        1
+    } else {
+        sample_size as u64
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    name: &str,
+    throughput: Option<Throughput>,
+    iters: u64,
+    mut f: F,
+) {
+    let mut bencher = Bencher { iters, elapsed: Duration::ZERO };
+    f(&mut bencher);
+    let per_iter = if iters > 0 { bencher.elapsed / iters as u32 } else { Duration::ZERO };
+    match throughput {
+        Some(Throughput::Bytes(bytes)) if per_iter > Duration::ZERO => {
+            let rate = bytes as f64 / per_iter.as_secs_f64() / (1 << 20) as f64;
+            println!("bench {name}: {per_iter:?}/iter ({rate:.1} MiB/s)");
+        }
+        Some(Throughput::Elements(n)) if per_iter > Duration::ZERO => {
+            let rate = n as f64 / per_iter.as_secs_f64();
+            println!("bench {name}: {per_iter:?}/iter ({rate:.0} elem/s)");
+        }
+        _ => println!("bench {name}: {per_iter:?}/iter"),
+    }
+}
+
+/// A named group of benches sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    fn iters(&self) -> u64 {
+        effective_iters(
+            self.sample_size.unwrap_or(self.criterion.sample_size),
+            self.criterion.test_mode,
+        )
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_one(&name, self.throughput, self.iters(), f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let name = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_one(&name, self.throughput, self.iters(), |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Bundle bench functions into a group runner (both upstream forms).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut calls = 0u64;
+        c.bench_function("counting", |b| {
+            b.iter(|| calls += 1);
+        });
+        assert!(calls >= 1);
+    }
+
+    #[test]
+    fn group_runs_with_throughput_and_custom_timing() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Bytes(1024));
+        group.sample_size(2);
+        let mut seen_iters = 0;
+        group.bench_function("custom", |b| {
+            b.iter_custom(|iters| {
+                seen_iters = iters;
+                Duration::from_micros(5 * iters)
+            });
+        });
+        group.bench_with_input(BenchmarkId::from_parameter("p1"), &7usize, |b, &x| {
+            b.iter(|| x * 2);
+        });
+        group.finish();
+        assert!(seen_iters >= 1);
+    }
+}

@@ -1,0 +1,529 @@
+//! Offline stand-in for the subset of `proptest` this workspace uses (see
+//! `shims/README.md`).
+//!
+//! Differences from upstream: no shrinking (a failing case reports the
+//! sampled values but not a minimal counterexample), no persistence
+//! (`.proptest-regressions` files are ignored), and deterministic seeding
+//! (case `i` of every test always draws the same values, so failures
+//! reproduce across runs).
+//!
+//! Supported surface: `proptest!` with `#![proptest_config(...)]`,
+//! `prop_assert!`/`prop_assert_eq!`/`prop_assert_ne!`, `prop_oneof!`,
+//! [`strategy::Just`], [`arbitrary::any`], integer/float range strategies,
+//! tuple strategies (arity 2–8), [`collection::vec`] with exact or ranged
+//! sizes, `&str` regex-subset strategies like `"[a-z0-9_]{1,12}"`, and
+//! `Strategy::prop_map`/`boxed`.
+
+pub mod test_runner {
+    use rand::prelude::*;
+    use rand::rngs::SmallRng;
+
+    /// Per-test configuration (mirrors `proptest::test_runner::ProptestConfig`).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases each property runs.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// The RNG handed to strategies. Seeded per case index so runs are
+    /// reproducible without persistence files.
+    #[derive(Debug, Clone)]
+    pub struct TestRng(SmallRng);
+
+    impl TestRng {
+        pub fn for_case(case: u64) -> Self {
+            TestRng(SmallRng::seed_from_u64(
+                0x70f7_7e57_u64 ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+            ))
+        }
+    }
+
+    impl rand::RngCore for TestRng {
+        fn next_u32(&mut self) -> u32 {
+            self.0.next_u32()
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+    use std::rc::Rc;
+
+    /// A generator of random values (mirrors `proptest::strategy::Strategy`,
+    /// minus shrinking).
+    pub trait Strategy {
+        /// The type of value produced.
+        type Value;
+
+        /// Draw one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform produced values with `f`.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Erase the concrete strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Rc::new(self))
+        }
+    }
+
+    /// A strategy producing one fixed value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, F, U> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+        fn sample(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// Type-erased strategy (mirrors `proptest::strategy::BoxedStrategy`).
+    pub struct BoxedStrategy<T>(Rc<dyn Strategy<Value = T>>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Rc::clone(&self.0))
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            self.0.sample(rng)
+        }
+    }
+
+    /// Uniform choice among alternative strategies (backs `prop_oneof!`).
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            use rand::Rng;
+            let idx = rng.gen_range(0..self.options.len());
+            self.options[idx].sample(rng)
+        }
+    }
+
+    impl<T> Strategy for Range<T>
+    where
+        Range<T>: rand::SampleRange<T> + Clone,
+    {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            use rand::Rng;
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl<T> Strategy for RangeInclusive<T>
+    where
+        RangeInclusive<T>: rand::SampleRange<T> + Clone,
+    {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            use rand::Rng;
+            rng.gen_range(self.clone())
+        }
+    }
+
+    /// `"[a-z0-9_]{1,12}"`-style regex-subset string strategies.
+    impl Strategy for &'static str {
+        type Value = String;
+        fn sample(&self, rng: &mut TestRng) -> String {
+            crate::string::sample_pattern(self, rng)
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.sample(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+    impl_tuple_strategy!(A, B, C, D, E, F, G);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+}
+
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical strategy (mirrors `proptest::arbitrary::Arbitrary`).
+    pub trait Arbitrary: Sized {
+        fn arbitrary_value(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_via_standard {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary_value(rng: &mut TestRng) -> Self {
+                    rand::Rng::gen(rng)
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_via_standard!(
+        u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool, f32, f64
+    );
+
+    /// Strategy returned by [`any`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct AnyStrategy<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary_value(rng)
+        }
+    }
+
+    /// The canonical strategy for `T` (mirrors `proptest::prelude::any`).
+    pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+        AnyStrategy(PhantomData)
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Length bounds for collection strategies; built from an exact
+    /// `usize` or a `usize` range.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        /// Inclusive upper bound.
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { min: r.start, max: r.end - 1 }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange { min: *r.start(), max: *r.end() }
+        }
+    }
+
+    /// Strategy for `Vec`s whose elements come from `element` and whose
+    /// length is drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    /// See [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            use rand::Rng;
+            let len = rng.gen_range(self.size.min..=self.size.max);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod string {
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    enum Atom {
+        /// Candidate characters (expanded from a literal or a `[...]` class).
+        Class(Vec<char>),
+    }
+
+    struct Piece {
+        atom: Atom,
+        min: usize,
+        max: usize,
+    }
+
+    fn parse(pattern: &str) -> Vec<Piece> {
+        let mut chars = pattern.chars().peekable();
+        let mut pieces = Vec::new();
+        while let Some(c) = chars.next() {
+            let atom = match c {
+                '[' => {
+                    let mut set = Vec::new();
+                    while let Some(&k) = chars.peek() {
+                        if k == ']' {
+                            chars.next();
+                            break;
+                        }
+                        let lo = chars.next().expect("unterminated char class");
+                        if chars.peek() == Some(&'-')
+                            && chars.clone().nth(1).map(|x| x != ']').unwrap_or(false)
+                        {
+                            chars.next(); // consume '-'
+                            let hi = chars.next().expect("unterminated range");
+                            for v in lo as u32..=hi as u32 {
+                                if let Some(ch) = char::from_u32(v) {
+                                    set.push(ch);
+                                }
+                            }
+                        } else {
+                            set.push(lo);
+                        }
+                    }
+                    assert!(!set.is_empty(), "empty character class in {pattern:?}");
+                    Atom::Class(set)
+                }
+                '\\' => Atom::Class(vec![chars.next().expect("dangling escape")]),
+                other => Atom::Class(vec![other]),
+            };
+            let (min, max) = if chars.peek() == Some(&'{') {
+                chars.next();
+                let mut spec = String::new();
+                for k in chars.by_ref() {
+                    if k == '}' {
+                        break;
+                    }
+                    spec.push(k);
+                }
+                match spec.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse().expect("bad repeat lower bound"),
+                        hi.trim().parse().expect("bad repeat upper bound"),
+                    ),
+                    None => {
+                        let n = spec.trim().parse().expect("bad repeat count");
+                        (n, n)
+                    }
+                }
+            } else {
+                (1, 1)
+            };
+            pieces.push(Piece { atom, min, max });
+        }
+        pieces
+    }
+
+    /// Sample a string matching a regex-subset `pattern`: literal
+    /// characters, `[...]` classes with ranges, and `{n}` / `{m,n}`
+    /// repetition.
+    pub fn sample_pattern(pattern: &str, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for piece in parse(pattern) {
+            let count = rng.gen_range(piece.min..=piece.max);
+            let Atom::Class(set) = &piece.atom;
+            for _ in 0..count {
+                out.push(set[rng.gen_range(0..set.len())]);
+            }
+        }
+        out
+    }
+}
+
+/// Run each property as a `#[test]` over `cases` deterministic samples.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { config = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (config = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __proptest_config: $crate::test_runner::ProptestConfig = $cfg;
+            for __proptest_case in 0..__proptest_config.cases as u64 {
+                let mut __proptest_rng =
+                    $crate::test_runner::TestRng::for_case(__proptest_case);
+                $(let $arg = $crate::strategy::Strategy::sample(
+                    &($strat), &mut __proptest_rng);)+
+                $body
+            }
+        }
+    )*};
+}
+
+/// Assert inside a property; reports via panic (no shrinking here).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Equality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Inequality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Commonly imported names (mirrors `proptest::prelude`).
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn string_pattern_shapes() {
+        let mut rng = crate::test_runner::TestRng::for_case(1);
+        for _ in 0..200 {
+            let s = crate::string::sample_pattern("[a-z0-9_]{1,12}", &mut rng);
+            assert!((1..=12).contains(&s.len()));
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_sizes() {
+        let mut rng = crate::test_runner::TestRng::for_case(2);
+        let exact = crate::collection::vec(any::<u8>(), 9);
+        assert_eq!(exact.sample(&mut rng).len(), 9);
+        let ranged = crate::collection::vec(0u32..5, 1..4);
+        for _ in 0..100 {
+            let v = ranged.sample(&mut rng);
+            assert!((1..=3).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 5));
+        }
+    }
+
+    #[test]
+    fn oneof_and_map_compose() {
+        let mut rng = crate::test_runner::TestRng::for_case(3);
+        let s = prop_oneof![Just(1u8), Just(2), Just(3)].prop_map(|v| v * 10);
+        for _ in 0..50 {
+            assert!([10, 20, 30].contains(&s.sample(&mut rng)));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_end_to_end(
+            v in crate::collection::vec(any::<u8>(), 0..32),
+            x in 1usize..10,
+            f in -1.0f64..1.0,
+        ) {
+            prop_assert!(v.len() < 32);
+            prop_assert!((1..10).contains(&x));
+            prop_assert!((-1.0..1.0).contains(&f));
+            prop_assert_eq!(x, x);
+            prop_assert_ne!(x as i64, -1);
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! Offline stand-in for `rand_chacha`: a real ChaCha8 keystream generator
+//! behind the `ChaCha8Rng` name (see `shims/README.md`). Deterministic per
+//! seed; not guaranteed bit-compatible with upstream `rand_chacha`
+//! (nothing in this repository depends on upstream streams).
+
+use rand::{RngCore, SeedableRng};
+
+/// Number of ChaCha double-rounds for the "8" variant.
+const DOUBLE_ROUNDS: usize = 4;
+
+#[inline]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+/// The ChaCha8 pseudo-random generator (8-round ChaCha keystream).
+#[derive(Debug, Clone)]
+pub struct ChaCha8Rng {
+    /// Key + nonce schedule (the constant/key/counter/nonce block).
+    initial: [u32; 16],
+    /// Current keystream block.
+    block: [u32; 16],
+    /// Next word index within `block` (16 = exhausted).
+    index: usize,
+}
+
+impl ChaCha8Rng {
+    fn refill(&mut self) {
+        let mut working = self.initial;
+        for _ in 0..DOUBLE_ROUNDS {
+            // Column rounds.
+            quarter_round(&mut working, 0, 4, 8, 12);
+            quarter_round(&mut working, 1, 5, 9, 13);
+            quarter_round(&mut working, 2, 6, 10, 14);
+            quarter_round(&mut working, 3, 7, 11, 15);
+            // Diagonal rounds.
+            quarter_round(&mut working, 0, 5, 10, 15);
+            quarter_round(&mut working, 1, 6, 11, 12);
+            quarter_round(&mut working, 2, 7, 8, 13);
+            quarter_round(&mut working, 3, 4, 9, 14);
+        }
+        for (out, init) in working.iter_mut().zip(self.initial.iter()) {
+            *out = out.wrapping_add(*init);
+        }
+        self.block = working;
+        self.index = 0;
+        // 64-bit block counter in words 12/13.
+        let (lo, carry) = self.initial[12].overflowing_add(1);
+        self.initial[12] = lo;
+        if carry {
+            self.initial[13] = self.initial[13].wrapping_add(1);
+        }
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut initial = [0u32; 16];
+        // "expand 32-byte k" constants.
+        initial[0] = 0x6170_7865;
+        initial[1] = 0x3320_646e;
+        initial[2] = 0x7962_2d32;
+        initial[3] = 0x6b20_6574;
+        for i in 0..8 {
+            initial[4 + i] =
+                u32::from_le_bytes(seed[4 * i..4 * i + 4].try_into().expect("4 bytes"));
+        }
+        // Counter (12, 13) and nonce (14, 15) start at zero.
+        ChaCha8Rng { initial, block: [0; 16], index: 16 }
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        if self.index >= 16 {
+            self.refill();
+        }
+        let v = self.block[self.index];
+        self.index += 1;
+        v
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = u64::from(self.next_u32());
+        let hi = u64::from(self.next_u32());
+        (hi << 32) | lo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        let mut a = ChaCha8Rng::seed_from_u64(0xFA57);
+        let mut b = ChaCha8Rng::seed_from_u64(0xFA57);
+        let va: Vec<u32> = (0..100).map(|_| a.next_u32()).collect();
+        let vb: Vec<u32> = (0..100).map(|_| b.next_u32()).collect();
+        assert_eq!(va, vb);
+        let mut c = ChaCha8Rng::seed_from_u64(0xFA58);
+        let vc: Vec<u32> = (0..100).map(|_| c.next_u32()).collect();
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn keystream_advances_across_blocks() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let first: Vec<u32> = (0..16).map(|_| rng.next_u32()).collect();
+        let second: Vec<u32> = (0..16).map(|_| rng.next_u32()).collect();
+        assert_ne!(first, second, "counter must advance the keystream");
+    }
+
+    #[test]
+    fn usable_through_rng_trait() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let v: u8 = rng.gen_range(0..16);
+        assert!(v < 16);
+        let f: f64 = rng.gen();
+        assert!((0.0..1.0).contains(&f));
+    }
+
+    #[test]
+    fn rough_uniformity() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let mut buckets = [0usize; 8];
+        for _ in 0..8000 {
+            buckets[(rng.next_u32() >> 29) as usize] += 1;
+        }
+        for &b in &buckets {
+            assert!((800..1200).contains(&b), "bucket {b} far from uniform");
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! Offline stand-in for `rayon` (see `shims/README.md`).
+//!
+//! `into_par_iter()` here returns the ordinary sequential iterator, so
+//! all downstream adapters (`enumerate`, `map`, `collect`, …) are the
+//! std ones. Results are identical to the data-parallel versions — the
+//! workspace only uses order-preserving adapters — just not parallel.
+
+/// Conversion into a "parallel" (here: sequential) iterator.
+pub trait IntoParallelIterator {
+    type Item;
+    type Iter: Iterator<Item = Self::Item>;
+
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<I: IntoIterator> IntoParallelIterator for I {
+    type Item = I::Item;
+    type Iter = I::IntoIter;
+
+    fn into_par_iter(self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+/// Commonly imported names (mirrors `rayon::prelude`).
+pub mod prelude {
+    pub use crate::IntoParallelIterator;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn order_preserving_map_collect() {
+        let v: Vec<usize> = (0..100)
+            .collect::<Vec<_>>()
+            .into_par_iter()
+            .enumerate()
+            .map(|(i, x)| i + x)
+            .collect();
+        assert_eq!(v, (0..100).map(|x| 2 * x).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,15 @@
+//! Offline stand-in for `serde` (see `shims/README.md`).
+//!
+//! Declares the `Serialize`/`Deserialize` trait names and, behind the
+//! `derive` feature, re-exports the no-op derive macros. The workspace
+//! only derives the traits to keep types serde-ready; no code path
+//! serializes through serde, so the traits carry no methods.
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,18 @@
+//! Offline stand-in for `serde_derive` (see `shims/README.md`).
+//!
+//! The workspace only *derives* `Serialize`/`Deserialize` to keep its data
+//! types serde-ready; nothing actually serializes through serde at build
+//! time. These derives therefore expand to nothing, which keeps every
+//! `#[derive(Serialize, Deserialize)]` compiling without syn/quote.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

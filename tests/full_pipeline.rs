@@ -10,7 +10,9 @@ use fanstore_repro::store::cluster::{ClusterConfig, FanStore};
 use fanstore_repro::store::prep::{prepare, prepare_broadcast, PrepConfig};
 use fanstore_repro::train::epoch::{run_epochs, EpochConfig};
 
-fn packed_dataset(kind: DatasetKind, n: usize, partitions: usize) -> (Vec<(String, Vec<u8>)>, Vec<Vec<u8>>) {
+type Files = Vec<(String, Vec<u8>)>;
+
+fn packed_dataset(kind: DatasetKind, n: usize, partitions: usize) -> (Files, Vec<Vec<u8>>) {
     let spec = DatasetSpec::scaled(kind, n, 0x17E57);
     let files = spec.generate_all();
     let packed = prepare(
