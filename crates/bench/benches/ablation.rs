@@ -63,10 +63,12 @@ fn filter_ablation(c: &mut Criterion) {
     for name in ["lz4hc-9", "shuffle-lz-8", "delta-lz-8", "zstd-6", "shuffle-zstd-8"] {
         let codec = fanstore_compress::registry::create(parse_name(name).unwrap()).unwrap();
         let compressed = compress_to_vec(codec.as_ref(), &data);
-        group.bench_function(format!("decompress/{name} (ratio {:.2})",
-            data.len() as f64 / compressed.len() as f64), |b| {
-            b.iter(|| decompress_to_vec(codec.as_ref(), &compressed, data.len()).unwrap());
-        });
+        group.bench_function(
+            format!("decompress/{name} (ratio {:.2})", data.len() as f64 / compressed.len() as f64),
+            |b| {
+                b.iter(|| decompress_to_vec(codec.as_ref(), &compressed, data.len()).unwrap());
+            },
+        );
     }
     group.finish();
 }

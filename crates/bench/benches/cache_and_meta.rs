@@ -43,10 +43,8 @@ fn cache_benches(c: &mut Criterion) {
 
 fn meta_benches(c: &mut Criterion) {
     let mut table = MetaTable::new();
-    let entry = MetaEntry {
-        stat: FileStat::regular(1, 1000),
-        codec: CodecId::new(CodecFamily::Lz4Hc, 9),
-    };
+    let entry =
+        MetaEntry { stat: FileStat::regular(1, 1000), codec: CodecId::new(CodecFamily::Lz4Hc, 9) };
     for i in 0..10_000 {
         table.insert(&format!("imagenet/d{:04}/img{i:06}.jpg", i % 128), entry);
     }

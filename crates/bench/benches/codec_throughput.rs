@@ -10,8 +10,19 @@ use fanstore_datagen::{DatasetKind, DatasetSpec};
 fn codec_benches(c: &mut Criterion) {
     let spec = DatasetSpec::scaled(DatasetKind::EmTif, 1, 0xC0DE);
     let sample = spec.generate(0);
-    let codecs =
-        ["store", "rle", "lzf-2", "lz4fast-1", "lz4hc-9", "lzsse8-2", "huffman", "zling-4", "brotli-9", "lzma-6", "xz-6"];
+    let codecs = [
+        "store",
+        "rle",
+        "lzf-2",
+        "lz4fast-1",
+        "lz4hc-9",
+        "lzsse8-2",
+        "huffman",
+        "zling-4",
+        "brotli-9",
+        "lzma-6",
+        "xz-6",
+    ];
 
     let mut group = c.benchmark_group("compress_em128k");
     group.throughput(Throughput::Bytes(sample.len() as u64));

@@ -13,10 +13,7 @@ const N_FILES: usize = 16;
 fn dataset() -> Vec<(String, Vec<u8>)> {
     (0..N_FILES)
         .map(|i| {
-            (
-                format!("train/f{i:03}.bin"),
-                format!("block {i} ").into_bytes().repeat(FILE_SIZE / 9),
-            )
+            (format!("train/f{i:03}.bin"), format!("block {i} ").into_bytes().repeat(FILE_SIZE / 9))
         })
         .collect()
 }
@@ -32,7 +29,8 @@ fn e2e_benches(c: &mut Criterion) {
     // configured (rpc deadlines, replica failover, read-through) but no
     // FaultPlan: comparing it against "cold" shows the injection and
     // recovery hooks cost nothing when nothing fails.
-    let variants = [("cached", false, false), ("cold", true, false), ("recovery-armed", true, true)];
+    let variants =
+        [("cached", false, false), ("cold", true, false), ("recovery-armed", true, true)];
     for (label, release_on_zero, recovery) in variants {
         group.bench_function(label, |b| {
             b.iter_custom(|iters| {
@@ -47,10 +45,7 @@ fn e2e_benches(c: &mut Criterion) {
                 let elapsed = FanStore::run(
                     ClusterConfig {
                         nodes: 2,
-                        cache: fanstore::cache::CacheConfig {
-                            capacity: 1 << 28,
-                            release_on_zero,
-                        },
+                        cache: fanstore::cache::CacheConfig { capacity: 1 << 28, release_on_zero },
                         failover: recovery.then(FailoverConfig::default),
                         read_through: recovery,
                         ..Default::default()

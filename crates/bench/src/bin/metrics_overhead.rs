@@ -1,0 +1,5 @@
+//! Measure metrics-registry overhead (enabled vs disabled) on the epoch
+//! workload.
+fn main() {
+    print!("{}", fanstore_bench::experiments::metrics_overhead::run(3));
+}

@@ -75,7 +75,8 @@ fn measure(kind: DatasetKind, n: usize) -> (f64, f64, f64) {
     let tf_raw = records as f64 / raw_elapsed;
     // The end-to-end TensorFlow input pipeline additionally dispatches
     // several graph ops per record (modelled constant; see tfrecord.rs).
-    let tf_modeled = records as f64 / (raw_elapsed + records as f64 * FRAMEWORK_OVERHEAD_PER_RECORD);
+    let tf_modeled =
+        records as f64 / (raw_elapsed + records as f64 * FRAMEWORK_OVERHEAD_PER_RECORD);
     (fan_files_per_s, tf_raw, tf_modeled)
 }
 
@@ -101,7 +102,13 @@ pub fn run(n: usize) -> String {
          reader alone. Paper: FanStore reads 5-10x faster than TFRecord.\n\n{}",
         FRAMEWORK_OVERHEAD_PER_RECORD * 1e6,
         md_table(
-            &["dataset", "fanstore files/s", "tfrecord (scan)", "tfrecord (pipeline)", "speedup vs scan"],
+            &[
+                "dataset",
+                "fanstore files/s",
+                "tfrecord (scan)",
+                "tfrecord (pipeline)",
+                "speedup vs scan"
+            ],
             &rows
         ),
     )

@@ -26,15 +26,26 @@ fn cases() -> Vec<Case> {
         Case {
             name: "SRGAN on GTX (sync)",
             app: AppSpec::srgan_gtx(),
-            baseline: FetchModel { tpt_read: 3_158.0, bdw_read: 6_663.0, ratio: 1.0, decomp_s_per_file: 0.0 },
+            baseline: FetchModel {
+                tpt_read: 3_158.0,
+                bdw_read: 6_663.0,
+                ratio: 1.0,
+                decomp_s_per_file: 0.0,
+            },
             tpt_read: 9_469.0,
             bdw_read: 4_969.0,
-            paper_note: "paper: lzsse8/lz4hc identical to baseline; brotli/zling/lzma 1.1-2.3x slower",
+            paper_note:
+                "paper: lzsse8/lz4hc identical to baseline; brotli/zling/lzma 1.1-2.3x slower",
         },
         Case {
             name: "FRNN on CPU (async)",
             app: AppSpec::frnn_cpu(),
-            baseline: FetchModel { tpt_read: 29_103.0, bdw_read: 30.0, ratio: 1.0, decomp_s_per_file: 0.0 },
+            baseline: FetchModel {
+                tpt_read: 29_103.0,
+                bdw_read: 30.0,
+                ratio: 1.0,
+                decomp_s_per_file: 0.0,
+            },
             tpt_read: 29_103.0,
             bdw_read: 30.0,
             paper_note: "paper: all candidates identical to baseline",
@@ -42,7 +53,12 @@ fn cases() -> Vec<Case> {
         Case {
             name: "SRGAN on V100 (sync)",
             app: AppSpec::srgan_v100(),
-            baseline: FetchModel { tpt_read: 5_026.0, bdw_read: 10_546.0, ratio: 1.0, decomp_s_per_file: 0.0 },
+            baseline: FetchModel {
+                tpt_read: 5_026.0,
+                bdw_read: 10_546.0,
+                ratio: 1.0,
+                decomp_s_per_file: 0.0,
+            },
             tpt_read: 8_654.0,
             bdw_read: 4_540.0,
             paper_note: "paper: lz4hc 95.3%, lzma 72.8%, brotli 24.6% of baseline",
@@ -73,7 +89,11 @@ pub fn run(samples_n: usize) -> String {
                 vec![
                     c.name.clone(),
                     format!("{:.3}", rel),
-                    format!("{}{}", "#".repeat(bar_len), if rel >= 0.999 { " (baseline)" } else { "" }),
+                    format!(
+                        "{}{}",
+                        "#".repeat(bar_len),
+                        if rel >= 0.999 { " (baseline)" } else { "" }
+                    ),
                 ]
             })
             .collect();

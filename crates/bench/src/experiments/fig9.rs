@@ -29,9 +29,8 @@ fn render(points: &[ScalePoint], label: &str) -> Vec<Vec<String>> {
 
 /// Generate the Figure 9 report.
 pub fn run() -> String {
-    let mut out = String::from(
-        "## Figure 9 — weak scaling (modelled from the paper's measured inputs)\n\n",
-    );
+    let mut out =
+        String::from("## Figure 9 — weak scaling (modelled from the paper's measured inputs)\n\n");
 
     // (a) SRGAN on GTX with FanStore + lzsse8.
     {

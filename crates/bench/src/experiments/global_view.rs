@@ -39,7 +39,9 @@ pub fn run() -> String {
         .zip(&cmp.partitioned_losses)
         .enumerate()
         .filter(|(i, _)| i % 5 == 4)
-        .map(|(i, (g, p))| format!("epoch {:>2}: global {} | partitioned {}", i + 1, fmt_f(*g), fmt_f(*p)))
+        .map(|(i, (g, p))| {
+            format!("epoch {:>2}: global {} | partitioned {}", i + 1, fmt_f(*g), fmt_f(*p))
+        })
         .collect();
 
     format!(

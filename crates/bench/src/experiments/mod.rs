@@ -8,6 +8,7 @@ pub mod fig8;
 pub mod fig9;
 pub mod global_view;
 pub mod lossy_fw;
+pub mod metrics_overhead;
 pub mod table3;
 pub mod table4;
 pub mod table5;
@@ -80,6 +81,7 @@ pub fn all(quick: bool) -> String {
         fig9::run(),
         global_view::run(),
         lossy_fw::run(if quick { 2 } else { 8 }),
+        metrics_overhead::run(if quick { 1 } else { 3 }),
     ] {
         out.push_str(&section);
         out.push('\n');

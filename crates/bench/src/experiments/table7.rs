@@ -85,7 +85,14 @@ fn render_case(case: &str, app: &AppSpec, samples_n: usize) -> (String, Selectio
             fanstore_select::IoMode::Async => "async, Eq. 2",
         },
         md_table(
-            &["candidate", "decomp/file (measured)", "ratio (measured)", "fetch", "budget", "feasible"],
+            &[
+                "candidate",
+                "decomp/file (measured)",
+                "ratio (measured)",
+                "fetch",
+                "budget",
+                "feasible"
+            ],
             &rows
         ),
     );
@@ -128,8 +135,7 @@ mod tests {
         let app = AppSpec::frnn_cpu();
         let (_, sel) = render_case("FRNN@CPU", &app, 4);
         // The fast LZ family must be feasible under the async budget.
-        let feasible: Vec<&str> =
-            sel.feasible().map(|e| e.candidate.name.as_str()).collect();
+        let feasible: Vec<&str> = sel.feasible().map(|e| e.candidate.name.as_str()).collect();
         assert!(
             feasible.contains(&"lzf-2") || feasible.contains(&"lzsse8-2"),
             "fast codecs feasible: {feasible:?}"

@@ -1,0 +1,65 @@
+//! Observability front end: run a small in-process FanStore cluster and
+//! show what the metrics/trace subsystem sees.
+//!
+//! ```sh
+//! fanstore metrics [--nodes 4] [--files 24] [--json true]
+//! fanstore trace dump [--nodes 4] [--files 24]
+//! ```
+//!
+//! `metrics` merges every rank's registry into one cluster-wide view and
+//! prints counters, gauges and latency histograms (p50/p90/p99/max), or
+//! the JSON snapshot with `--json true`. `trace dump` prints each rank's
+//! I/O event ring followed by the span timelines, grouped per request so
+//! a remote GET reads client -> fabric -> daemon even though the stages
+//! were recorded on different ranks.
+
+use std::process::ExitCode;
+
+use fanstore_cli::{run_metrics_demo, run_trace_dump, Args};
+
+const USAGE: &str = "usage: fanstore <metrics | trace dump> [--nodes N] [--files N] [--json true]";
+
+fn main() -> ExitCode {
+    let args = match Args::parse(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("fanstore: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let nodes = match args.get_usize("nodes", 4) {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("fanstore: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let files = match args.get_usize("files", 24) {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("fanstore: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let out = match args.positional() {
+        [cmd] if cmd == "metrics" => {
+            let json = args.get("json").map(|v| v != "false").unwrap_or(false);
+            run_metrics_demo(nodes, files, json)
+        }
+        [cmd, sub] if cmd == "trace" && sub == "dump" => run_trace_dump(nodes, files),
+        _ => {
+            eprintln!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match out {
+        Ok(text) => {
+            println!("{text}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("fanstore: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -40,8 +40,6 @@ fn main() -> ExitCode {
 
 fn usage(err: &str) -> ExitCode {
     eprintln!("fanstore-prep: {err}");
-    eprintln!(
-        "usage: fanstore-prep --input <dir> --output <dir> [--partitions N] [--codec NAME]"
-    );
+    eprintln!("usage: fanstore-prep --input <dir> --output <dir> [--partitions N] [--codec NAME]");
     ExitCode::FAILURE
 }

@@ -7,16 +7,25 @@
 //!   partition files (the standalone data-preparation tool).
 //! * `fanstore-inspect` — list the contents of a partition file and
 //!   verify that every entry decompresses cleanly.
+//! * `fanstore` — observability front end: `fanstore metrics` runs a
+//!   demo workload on an in-process cluster and prints the merged
+//!   cluster-wide metrics (or `--json true` for the snapshot);
+//!   `fanstore trace dump` prints the I/O event rings and per-request
+//!   span timelines.
 //!
 //! The argument parsing is deliberately dependency-free (`--flag value`
 //! pairs), mirroring the original tool's minimal interface: data path,
 //! partition count, compression algorithm.
 
+use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
+use fanstore::cluster::{ClusterConfig, FanStore};
 use fanstore::pack::parse_partition;
 use fanstore::prep::{prepare, PrepConfig};
 use fanstore_compress::registry::{create, parse_name};
+use fanstore_datagen::{DatasetKind, DatasetSpec};
 
 /// Parsed `--key value` style arguments.
 #[derive(Debug, Default)]
@@ -32,8 +41,7 @@ impl Args {
         let mut iter = raw.into_iter();
         while let Some(a) = iter.next() {
             if let Some(key) = a.strip_prefix("--") {
-                let value =
-                    iter.next().ok_or_else(|| format!("missing value for --{key}"))?;
+                let value = iter.next().ok_or_else(|| format!("missing value for --{key}"))?;
                 args.flags.push((key.to_string(), value));
             } else {
                 args.positional.push(a);
@@ -99,8 +107,7 @@ pub fn run_prep(
     partitions: usize,
     codec_name: &str,
 ) -> Result<String, String> {
-    let codec_id =
-        parse_name(codec_name).ok_or_else(|| format!("unknown codec: {codec_name}"))?;
+    let codec_id = parse_name(codec_name).ok_or_else(|| format!("unknown codec: {codec_name}"))?;
     create(codec_id).map_err(|e| format!("codec {codec_name}: {e}"))?;
 
     let files = collect_files(input_dir)?;
@@ -108,10 +115,8 @@ pub fn run_prep(
         return Err(format!("no files under {}", input_dir.display()));
     }
     let n_files = files.len();
-    let packed = prepare(
-        files,
-        &PrepConfig { partitions, codec: codec_id, store_if_incompressible: true },
-    );
+    let packed =
+        prepare(files, &PrepConfig { partitions, codec: codec_id, store_if_incompressible: true });
 
     std::fs::create_dir_all(output_dir)
         .map_err(|e| format!("create {}: {e}", output_dir.display()))?;
@@ -170,6 +175,152 @@ pub fn run_inspect(partition_file: &Path, verify: bool) -> Result<Vec<String>, S
     Ok(lines)
 }
 
+/// Build a small in-memory dataset for the observability demo workload.
+fn demo_dataset(files_n: usize) -> Vec<(String, Vec<u8>)> {
+    let spec = DatasetSpec::scaled(DatasetKind::LanguageTxt, files_n, 0x0B5E);
+    (0..files_n).map(|i| (format!("train/f{i:03}.txt", i = i), spec.generate(i))).collect()
+}
+
+/// Run the demo workload on an in-process cluster: every node reads the
+/// whole namespace twice (cold fetch + warm cache hit, so latency
+/// histograms have real spread) and writes one checkpoint. Returns each
+/// rank's metrics registry and trace dump.
+fn run_demo_cluster(
+    nodes: usize,
+    files_n: usize,
+) -> Result<Vec<(Arc<fanstore::metrics::MetricsRegistry>, String)>, String> {
+    if nodes == 0 || files_n == 0 {
+        return Err("need at least one node and one file".into());
+    }
+    let packed =
+        prepare(demo_dataset(files_n), &PrepConfig { partitions: nodes, ..Default::default() });
+    let cfg = ClusterConfig { nodes, trace_ring: 4096, ..Default::default() };
+    let out = FanStore::run(cfg, packed.partitions, |fs| {
+        let work = || -> Result<(), fanstore::FsError> {
+            let files = fs.enumerate("train")?;
+            for _pass in 0..2 {
+                for path in &files {
+                    fs.read_whole(path)?;
+                }
+            }
+            fs.write_whole(&format!("checkpoints/rank{}/model.h5", fs.rank()), &[0xCE; 512])?;
+            Ok(())
+        };
+        let status = work().map_err(|e| e.to_string());
+        let dump = fs.trace().map(|t| t.dump()).unwrap_or_default();
+        (status, Arc::clone(&fs.state().metrics), dump)
+    });
+    let mut per_rank = Vec::with_capacity(out.len());
+    for (status, registry, dump) in out {
+        status.map_err(|e| format!("demo workload failed: {e}"))?;
+        per_rank.push((registry, dump));
+    }
+    Ok(per_rank)
+}
+
+/// Render a metrics snapshot as aligned text tables: counters, gauges,
+/// then histograms with p50/p90/p99/max columns.
+pub fn render_snapshot(snap: &fanstore::metrics::Snapshot) -> String {
+    let width = snap
+        .counters
+        .keys()
+        .chain(snap.gauges.keys())
+        .chain(snap.histograms.keys())
+        .map(String::len)
+        .max()
+        .unwrap_or(8)
+        .max("histogram".len());
+    let mut out = String::new();
+    if !snap.counters.is_empty() {
+        out.push_str(&format!("{:width$}  value\n", "counter"));
+        for (name, v) in &snap.counters {
+            out.push_str(&format!("{name:width$}  {v}\n"));
+        }
+        out.push('\n');
+    }
+    if !snap.gauges.is_empty() {
+        out.push_str(&format!("{:width$}  value\n", "gauge"));
+        for (name, v) in &snap.gauges {
+            out.push_str(&format!("{name:width$}  {v}\n"));
+        }
+        out.push('\n');
+    }
+    if !snap.histograms.is_empty() {
+        out.push_str(&format!(
+            "{:width$}  {:>8}  {:>8}  {:>8}  {:>8}  {:>8}\n",
+            "histogram", "count", "p50", "p90", "p99", "max"
+        ));
+        for (name, h) in &snap.histograms {
+            out.push_str(&format!(
+                "{name:width$}  {:>8}  {:>8}  {:>8}  {:>8}  {:>8}\n",
+                h.count, h.p50, h.p90, h.p99, h.max
+            ));
+        }
+    }
+    out
+}
+
+/// `fanstore metrics`: run the demo workload, merge every rank's registry
+/// into one cluster-wide view, and render it as a table (or JSON with
+/// `--json`).
+pub fn run_metrics_demo(nodes: usize, files_n: usize, json: bool) -> Result<String, String> {
+    let per_rank = run_demo_cluster(nodes, files_n)?;
+    let merged = fanstore::metrics::MetricsRegistry::new();
+    for (registry, _) in &per_rank {
+        merged.merge(registry);
+    }
+    if json {
+        return Ok(merged.to_json());
+    }
+    let mut out = format!(
+        "cluster-wide metrics ({} nodes, {} files, demo workload)\n\n",
+        per_rank.len(),
+        files_n
+    );
+    out.push_str(&render_snapshot(&merged.snapshot()));
+    Ok(out)
+}
+
+/// `fanstore trace dump`: run the demo workload and print every rank's
+/// trace ring, then the span timelines grouped per request (client ->
+/// fabric -> daemon), ordered by start time.
+pub fn run_trace_dump(nodes: usize, files_n: usize) -> Result<String, String> {
+    let per_rank = run_demo_cluster(nodes, files_n)?;
+    let mut out = String::new();
+    let mut all_spans = Vec::new();
+    for (rank, (_, dump)) in per_rank.iter().enumerate() {
+        let (events, spans) = fanstore::trace::TraceRecorder::parse_dump(dump)
+            .map_err(|e| format!("rank {rank} trace: {e}"))?;
+        out.push_str(&format!("# rank {rank}: {} events, {} spans\n", events.len(), spans.len()));
+        for e in &events {
+            out.push_str(&format!("{} {} {}\n", e.op.mnemonic(), e.path, e.bytes));
+        }
+        all_spans.extend(spans);
+    }
+    // Group spans by request id so one GET reads as a timeline even though
+    // its stages were recorded on different ranks.
+    let mut by_request: BTreeMap<u64, Vec<&fanstore::trace::SpanEvent>> = BTreeMap::new();
+    for s in &all_spans {
+        by_request.entry(s.request).or_default().push(s);
+    }
+    out.push_str(&format!("\n# span timelines ({} requests)\n", by_request.len()));
+    for (request, mut spans) in by_request {
+        spans.sort_by_key(|s| (s.start_us, s.dur_us));
+        let base = spans.first().map(|s| s.start_us).unwrap_or(0);
+        out.push_str(&format!("request {request:#x}\n"));
+        for s in spans {
+            out.push_str(&format!(
+                "  +{:>6} us  {:>7} us  rank {}  {}\n",
+                s.start_us - base,
+                s.dur_us,
+                s.rank,
+                s.stage
+            ));
+        }
+    }
+    Ok(out)
+}
+
 /// Temp-dir helper for the CLI tests.
 pub fn temp_dir(tag: &str) -> PathBuf {
     let unique = format!(
@@ -199,8 +350,7 @@ mod tests {
     #[test]
     fn args_parse_flags_and_positionals() {
         let a = Args::parse(
-            ["--partitions", "4", "input", "--codec", "lz4hc-9", "output"]
-                .map(String::from),
+            ["--partitions", "4", "input", "--codec", "lz4hc-9", "output"].map(String::from),
         )
         .unwrap();
         assert_eq!(a.get("partitions"), Some("4"));
@@ -259,6 +409,36 @@ mod tests {
         std::fs::create_dir_all(&empty).unwrap();
         assert!(run_prep(&empty, &temp_dir("unused2"), 1, "lz4hc-9").is_err());
         std::fs::remove_dir_all(&empty).unwrap();
+    }
+
+    #[test]
+    fn metrics_demo_renders_histograms() {
+        let out = run_metrics_demo(2, 6, false).unwrap();
+        assert!(out.contains("client.get.latency_us"), "{out}");
+        assert!(out.contains("client.files.written"), "{out}");
+        assert!(out.contains("p99"), "{out}");
+    }
+
+    #[test]
+    fn metrics_demo_json_parses() {
+        let out = run_metrics_demo(2, 6, true).unwrap();
+        let v = fanstore::metrics::json::parse(&out).expect("valid JSON");
+        assert!(v.get("counters").is_some(), "{out}");
+        assert!(v.get("histograms").is_some(), "{out}");
+    }
+
+    #[test]
+    fn trace_dump_groups_spans_by_request() {
+        let out = run_trace_dump(2, 6).unwrap();
+        assert!(out.contains("# span timelines"), "{out}");
+        assert!(out.contains("client.get"), "{out}");
+        assert!(out.contains("request 0x"), "{out}");
+    }
+
+    #[test]
+    fn demo_rejects_empty_cluster() {
+        assert!(run_metrics_demo(0, 4, false).is_err());
+        assert!(run_trace_dump(2, 0).is_err());
     }
 
     #[test]

@@ -44,8 +44,8 @@ impl BrotliLite {
     fn contexts(&self) -> (usize, u32) {
         match self.quality {
             0..=4 => (1, 6),
-            5..=8 => (2, 7),  // ctx = prev >> 7 (binary text/binary split)
-            _ => (4, 6),      // ctx = prev >> 6
+            5..=8 => (2, 7), // ctx = prev >> 7 (binary text/binary split)
+            _ => (4, 6),     // ctx = prev >> 6
         }
     }
 }

@@ -53,7 +53,8 @@ fn suffix_array(s: &[u8]) -> Vec<u32> {
     let n = s.len() + 1;
     let mut sa: Vec<u32> = (0..n as u32).collect();
     // rank[i]: rank of suffix i; sentinel gets 0, bytes get value+1.
-    let mut rank: Vec<i64> = (0..n).map(|i| if i < s.len() { i64::from(s[i]) + 1 } else { 0 }).collect();
+    let mut rank: Vec<i64> =
+        (0..n).map(|i| if i < s.len() { i64::from(s[i]) + 1 } else { 0 }).collect();
     let mut tmp: Vec<i64> = vec![0; n];
     let mut k = 1usize;
     loop {
@@ -67,8 +68,7 @@ fn suffix_array(s: &[u8]) -> Vec<u32> {
         for w in 1..n {
             let prev = sa[w - 1];
             let cur = sa[w];
-            tmp[cur as usize] =
-                tmp[prev as usize] + i64::from(key(prev) != key(cur));
+            tmp[cur as usize] = tmp[prev as usize] + i64::from(key(prev) != key(cur));
         }
         rank.copy_from_slice(&tmp);
         if rank[sa[n - 1] as usize] as usize == n - 1 {

@@ -126,7 +126,11 @@ pub fn evaluate_config(id: CodecId, samples: &[Vec<u8>], reps: u32) -> EvalRecor
         name: id.to_string(),
         input_bytes,
         compressed_bytes,
-        ratio: if compressed_bytes == 0 { 1.0 } else { input_bytes as f64 / compressed_bytes as f64 },
+        ratio: if compressed_bytes == 0 {
+            1.0
+        } else {
+            input_bytes as f64 / compressed_bytes as f64
+        },
         comp_mbps: mb / comp_best.max(1e-12),
         decomp_mbps: mb / decomp_best.max(1e-12),
         decomp_us_per_file: decomp_best * 1e6 / samples.len().max(1) as f64,
@@ -163,8 +167,7 @@ mod tests {
 
     fn text_samples() -> Vec<Vec<u8>> {
         vec![
-            b"a small sample of compressible english text for the evaluation harness "
-                .repeat(30),
+            b"a small sample of compressible english text for the evaluation harness ".repeat(30),
             b"another sample, slightly different content to vary the histogram ".repeat(30),
         ]
     }

@@ -26,13 +26,7 @@ pub fn normalize_counts(counts: &[u32], table_log: u32) -> Vec<u32> {
     assert!(total > 0, "cannot normalise an empty histogram");
     let mut norm: Vec<u32> = counts
         .iter()
-        .map(|&c| {
-            if c == 0 {
-                0
-            } else {
-                (((u64::from(c) * target) / total) as u32).max(1)
-            }
-        })
+        .map(|&c| if c == 0 { 0 } else { (((u64::from(c) * target) / total) as u32).max(1) })
         .collect();
     // Fix rounding drift by adjusting the largest bucket(s).
     let mut sum: i64 = norm.iter().map(|&c| i64::from(c)).sum();
@@ -150,24 +144,14 @@ impl FseTable {
             // Reference FSE construction: maxBitsOut = tableLog -
             // highbit(c-1) (tableLog for c == 1), minStatePlus = c <<
             // maxBitsOut, and nbBits = (state + deltaNbBits) >> 16.
-            let max_bits = if c == 1 {
-                table_log
-            } else {
-                table_log - (32 - (c - 1).leading_zeros() - 1)
-            };
+            let max_bits =
+                if c == 1 { table_log } else { table_log - (32 - (c - 1).leading_zeros() - 1) };
             let min_state_plus = c << max_bits;
             delta_nb[s] = (max_bits << 16) - min_state_plus;
             delta_find[s] = cumul[s] as i32 - c as i32;
         }
 
-        Ok(FseTable {
-            table_log,
-            norm: norm.to_vec(),
-            decode,
-            next_state,
-            delta_find,
-            delta_nb,
-        })
+        Ok(FseTable { table_log, norm: norm.to_vec(), decode, next_state, delta_find, delta_nb })
     }
 
     /// Build directly from raw counts.
@@ -408,7 +392,8 @@ mod tests {
             symbols.swap(i, j);
         }
         let bytes = roundtrip(&symbols, 4, 9);
-        let entropy_bits = 5000.0 * (2.0f64).log2() + 2500.0 * 4.0f64.log2() + 2500.0 * 8.0f64.log2();
+        let entropy_bits =
+            5000.0 * (2.0f64).log2() + 2500.0 * 4.0f64.log2() + 2500.0 * 8.0f64.log2();
         let actual_bits = bytes as f64 * 8.0;
         assert!(
             actual_bits < entropy_bits * 1.05 + 64.0,

@@ -42,10 +42,10 @@ pub mod evaluate;
 pub mod filters;
 pub mod fse;
 pub mod huffman;
+pub mod lossy;
 pub mod lz4;
 pub mod lzf;
 pub mod lzma_lite;
-pub mod lossy;
 pub mod lzsse;
 pub mod matchfinder;
 pub mod rangecoder;
@@ -232,8 +232,12 @@ pub trait Codec: Send + Sync {
     ///
     /// `expected_len` is the original file size recorded by the pack format;
     /// codecs use it to size buffers and to validate the stream.
-    fn decompress(&self, input: &[u8], expected_len: usize, out: &mut Vec<u8>)
-        -> Result<(), CodecError>;
+    fn decompress(
+        &self,
+        input: &[u8],
+        expected_len: usize,
+        out: &mut Vec<u8>,
+    ) -> Result<(), CodecError>;
 }
 
 /// Convenience: compress into a fresh buffer.

@@ -107,7 +107,10 @@ fn decode_block(input: &[u8], expected_len: usize, out: &mut Vec<u8>) -> Result<
         overlap_copy(out, dist, match_len);
     }
     if out.len() != target {
-        return Err(CodecError::LengthMismatch { expected: expected_len, actual: out.len() - base });
+        return Err(CodecError::LengthMismatch {
+            expected: expected_len,
+            actual: out.len() - base,
+        });
     }
     Ok(())
 }

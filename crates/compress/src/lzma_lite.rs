@@ -30,14 +30,14 @@ const LIT_CTX: usize = 8;
 const ALIGN_BITS: u32 = 4;
 
 struct Model {
-    is_match: Vec<Prob>,        // ctx: prev-byte class
-    literal: Vec<Prob>,         // LIT_CTX trees of 256 probs
+    is_match: Vec<Prob>, // ctx: prev-byte class
+    literal: Vec<Prob>,  // LIT_CTX trees of 256 probs
     len_choice: [Prob; 2],
     len_low: Vec<Prob>,
     len_mid: Vec<Prob>,
     len_high: Vec<Prob>,
-    dist_slot: Vec<Prob>,       // 6-bit tree (64 slots), selected by len class
-    dist_align: Vec<Prob>,      // 4-bit tree for the low bits of long dists
+    dist_slot: Vec<Prob>,  // 6-bit tree (64 slots), selected by len class
+    dist_align: Vec<Prob>, // 4-bit tree for the low bits of long dists
 }
 
 impl Model {

@@ -117,12 +117,7 @@ pub fn greedy_parse(input: &[u8], cfg: &MatchConfig) -> Vec<Seq> {
 
         match found {
             Some((len, dist)) => {
-                seqs.push(Seq {
-                    lit_start: anchor,
-                    lit_len: pos - anchor,
-                    match_len: len,
-                    dist,
-                });
+                seqs.push(Seq { lit_start: anchor, lit_len: pos - anchor, match_len: len, dist });
                 pos += len;
                 anchor = pos;
                 misses = 0;
@@ -172,41 +167,42 @@ pub fn lazy_parse(input: &[u8], cfg: &MatchConfig) -> Vec<Seq> {
         head[h] = pos as u32;
     };
 
-    let best_match = |head: &[u32], prev: &[u32], input: &[u8], pos: usize| -> Option<(usize, usize)> {
-        let h = hash4(&input[pos..], table_log);
-        let mut cand = head[h];
-        let mut best_len = cfg.min_match - 1;
-        let mut best_dist = 0usize;
-        let mut depth = cfg.max_chain;
-        while cand != u32::MAX && depth > 0 {
-            let c = cand as usize;
-            if pos - c >= window {
-                break;
-            }
-            // Quick reject: check the byte just past the current best.
-            if best_len == 0
-                || (c + best_len < input.len()
-                    && pos + best_len < input.len()
-                    && input[c + best_len] == input[pos + best_len])
-            {
-                let len = match_len(input, c, pos, cfg.max_match);
-                if len > best_len {
-                    best_len = len;
-                    best_dist = pos - c;
-                    if len >= cfg.nice_len {
-                        break;
+    let best_match =
+        |head: &[u32], prev: &[u32], input: &[u8], pos: usize| -> Option<(usize, usize)> {
+            let h = hash4(&input[pos..], table_log);
+            let mut cand = head[h];
+            let mut best_len = cfg.min_match - 1;
+            let mut best_dist = 0usize;
+            let mut depth = cfg.max_chain;
+            while cand != u32::MAX && depth > 0 {
+                let c = cand as usize;
+                if pos - c >= window {
+                    break;
+                }
+                // Quick reject: check the byte just past the current best.
+                if best_len == 0
+                    || (c + best_len < input.len()
+                        && pos + best_len < input.len()
+                        && input[c + best_len] == input[pos + best_len])
+                {
+                    let len = match_len(input, c, pos, cfg.max_match);
+                    if len > best_len {
+                        best_len = len;
+                        best_dist = pos - c;
+                        if len >= cfg.nice_len {
+                            break;
+                        }
                     }
                 }
+                cand = prev[c & mask];
+                depth -= 1;
             }
-            cand = prev[c & mask];
-            depth -= 1;
-        }
-        if best_len >= cfg.min_match {
-            Some((best_len, best_dist))
-        } else {
-            None
-        }
-    };
+            if best_len >= cfg.min_match {
+                Some((best_len, best_dist))
+            } else {
+                None
+            }
+        };
 
     let mut anchor = 0usize;
     let mut pos = 0usize;

@@ -55,7 +55,8 @@ impl RangeEncoder {
             let carry = (self.low >> 32) as u8;
             let mut first = true;
             while self.cache_size != 0 {
-                let byte = if first { self.cache.wrapping_add(carry) } else { 0xFFu8.wrapping_add(carry) };
+                let byte =
+                    if first { self.cache.wrapping_add(carry) } else { 0xFFu8.wrapping_add(carry) };
                 self.out.push(byte);
                 first = false;
                 self.cache_size -= 1;

@@ -170,7 +170,10 @@ pub(crate) fn decode_lz_huffman(
         }
     }
     if out.len() != target {
-        return Err(CodecError::LengthMismatch { expected: expected_len, actual: out.len() - base });
+        return Err(CodecError::LengthMismatch {
+            expected: expected_len,
+            actual: out.len() - base,
+        });
     }
     Ok(())
 }
@@ -277,9 +280,9 @@ mod tests {
         let c = compress_to_vec(&Zling::new(2), &data);
         for cut in [10, 170, c.len() - 1] {
             let mut out = Vec::new();
-            assert!(
-                Zling::new(2).decompress(&c[..cut.min(c.len() - 1)], data.len(), &mut out).is_err()
-            );
+            assert!(Zling::new(2)
+                .decompress(&c[..cut.min(c.len() - 1)], data.len(), &mut out)
+                .is_err());
         }
     }
 

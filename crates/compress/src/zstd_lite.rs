@@ -117,11 +117,7 @@ fn write_block(out: &mut Vec<u8>, symbols: &[u16], alphabet: usize, table_log: u
 }
 
 /// Read one symbol block written by [`write_block`].
-fn read_block(
-    input: &[u8],
-    pos: &mut usize,
-    alphabet: usize,
-) -> Result<Vec<u16>, CodecError> {
+fn read_block(input: &[u8], pos: &mut usize, alphabet: usize) -> Result<Vec<u16>, CodecError> {
     let n = read_uvarint(input, pos)? as usize;
     let &mode = input.get(*pos).ok_or(CodecError::Truncated)?;
     *pos += 1;

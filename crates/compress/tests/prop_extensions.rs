@@ -11,8 +11,9 @@ use proptest::prelude::*;
 fn data_strategy() -> impl Strategy<Value = Vec<u8>> {
     prop_oneof![
         proptest::collection::vec(any::<u8>(), 0..3000),
-        (proptest::collection::vec(any::<u8>(), 1..48), 1usize..150)
-            .prop_map(|(block, reps)| block.iter().copied().cycle().take(block.len() * reps).collect()),
+        (proptest::collection::vec(any::<u8>(), 1..48), 1usize..150).prop_map(|(block, reps)| {
+            block.iter().copied().cycle().take(block.len() * reps).collect()
+        }),
         proptest::collection::vec(prop_oneof![Just(0u8), Just(1), Just(b'x')], 0..3000),
     ]
 }

@@ -31,9 +31,9 @@ fn data_strategy() -> impl Strategy<Value = Vec<u8>> {
         // Arbitrary bytes up to 4 KiB.
         proptest::collection::vec(any::<u8>(), 0..4096),
         // Repetitive: a small seed block tiled.
-        (proptest::collection::vec(any::<u8>(), 1..64), 1usize..200).prop_map(
-            |(block, reps)| block.iter().copied().cycle().take(block.len() * reps).collect()
-        ),
+        (proptest::collection::vec(any::<u8>(), 1..64), 1usize..200).prop_map(|(block, reps)| {
+            block.iter().copied().cycle().take(block.len() * reps).collect()
+        }),
         // Low-entropy alphabet.
         proptest::collection::vec(prop_oneof![Just(b'a'), Just(b'b'), Just(b' ')], 0..4096),
         // Runs of a single byte with occasional interruptions.

@@ -182,9 +182,7 @@ impl BackendKind {
         Ok(match self {
             BackendKind::Ram => Box::new(RamBackend::new()),
             BackendKind::DiskTemp => Box::new(DiskBackend::new_temp(&format!("rank{rank}"))?),
-            BackendKind::Disk(dir) => {
-                Box::new(DiskBackend::new(dir.join(format!("rank{rank}")))?)
-            }
+            BackendKind::Disk(dir) => Box::new(DiskBackend::new(dir.join(format!("rank{rank}")))?),
         })
     }
 }

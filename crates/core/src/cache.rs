@@ -70,11 +70,7 @@ impl FileCache {
     pub fn new(cfg: CacheConfig) -> Self {
         FileCache {
             cfg,
-            inner: Mutex::new(Inner {
-                entries: HashMap::new(),
-                fifo: VecDeque::new(),
-                bytes: 0,
-            }),
+            inner: Mutex::new(Inner { entries: HashMap::new(), fifo: VecDeque::new(), bytes: 0 }),
             stats: CacheStats::default(),
         }
     }
@@ -125,8 +121,7 @@ impl FileCache {
         while inner.bytes + incoming > self.cfg.capacity && scan > 0 {
             scan -= 1;
             let Some(victim) = inner.fifo.pop_front() else { break };
-            let in_use =
-                inner.entries.get(&victim).map(|e| e.open_count > 0).unwrap_or(false);
+            let in_use = inner.entries.get(&victim).map(|e| e.open_count > 0).unwrap_or(false);
             if in_use {
                 inner.fifo.push_back(victim);
             } else if let Some(e) = inner.entries.remove(&victim) {

@@ -20,10 +20,11 @@ use parking_lot::Mutex;
 use crate::backend::Backend;
 use crate::daemon::{decode_get_reply, tags};
 use crate::meta::encode_single;
+use crate::metrics::{now_us, Counter, Gauge, Histogram};
 use crate::node::{decompress_object, NodeState};
 use crate::placement::replicas_of;
 use crate::stat::FileStat;
-use crate::trace::{Op, TraceRecorder};
+use crate::trace::{Op, SpanEvent, TraceRecorder};
 use crate::FsError;
 
 /// Client-side recovery policy for remote operations.
@@ -134,6 +135,33 @@ impl DirStream {
     }
 }
 
+/// Client-side instrument handles, resolved once at construction so the
+/// hot path records through `Arc`s instead of registry lookups.
+struct ClientMetrics {
+    get_latency: Arc<Histogram>,
+    stat_latency: Arc<Histogram>,
+    rpc_latency: Arc<Histogram>,
+    rpc_retries: Arc<Counter>,
+    fabric_bytes_sent: Arc<Gauge>,
+    fabric_bytes_received: Arc<Gauge>,
+    fabric_msgs_sent: Arc<Gauge>,
+}
+
+impl ClientMetrics {
+    fn resolve(state: &NodeState) -> Self {
+        let m = &state.metrics;
+        ClientMetrics {
+            get_latency: m.histogram("client.get.latency_us"),
+            stat_latency: m.histogram("client.stat.latency_us"),
+            rpc_latency: m.histogram("fabric.rpc.latency_us"),
+            rpc_retries: m.counter("fabric.rpc.retries"),
+            fabric_bytes_sent: m.gauge("fabric.bytes_sent"),
+            fabric_bytes_received: m.gauge("fabric.bytes_received"),
+            fabric_msgs_sent: m.gauge("fabric.msgs_sent"),
+        }
+    }
+}
+
 /// A POSIX-style handle onto the FanStore namespace for one process (one
 /// training I/O thread can clone its own).
 pub struct FsClient {
@@ -144,12 +172,18 @@ pub struct FsClient {
     trace: Option<Arc<TraceRecorder>>,
     failover: Option<FailoverConfig>,
     read_through: Option<Arc<dyn Backend>>,
+    metrics: ClientMetrics,
+    /// Whether per-op timing is worth taking (metrics enabled; spans
+    /// additionally need an attached trace).
+    timed: bool,
 }
 
 impl FsClient {
     /// Build a client over a node's state and a send handle on the
     /// service channel.
     pub fn new(state: Arc<NodeState>, service: RemoteSender) -> Self {
+        let metrics = ClientMetrics::resolve(&state);
+        let timed = state.metrics.is_enabled();
         FsClient {
             state,
             service,
@@ -158,12 +192,16 @@ impl FsClient {
             trace: None,
             failover: None,
             read_through: None,
+            metrics,
+            timed,
         }
     }
 
-    /// Attach an I/O trace recorder; subsequent calls are recorded.
+    /// Attach an I/O trace recorder; subsequent calls are recorded and
+    /// remote operations produce span events.
     pub fn with_trace(mut self, trace: Arc<TraceRecorder>) -> Self {
         self.trace = Some(trace);
+        self.timed = true; // spans need timestamps even with metrics off
         self
     }
 
@@ -191,6 +229,32 @@ impl FsClient {
         if let Some(t) = &self.trace {
             t.record(op, path, bytes);
         }
+    }
+
+    /// Record one request span into the trace (no-op without a trace).
+    #[inline]
+    fn span(&self, request: u64, stage: &str, start_us: u64) {
+        if let Some(t) = &self.trace {
+            t.record_span(SpanEvent {
+                request,
+                rank: self.state.rank as u32,
+                stage: stage.to_string(),
+                start_us,
+                dur_us: now_us().saturating_sub(start_us),
+            });
+        }
+    }
+
+    /// Refresh the fabric traffic gauges from the channel's counters so a
+    /// snapshot taken mid-run reflects current totals.
+    fn sync_fabric_gauges(&self) {
+        if !self.state.metrics.is_enabled() {
+            return;
+        }
+        let stats = self.service.stats();
+        self.metrics.fabric_bytes_sent.set(stats.bytes_sent.load(Ordering::Relaxed));
+        self.metrics.fabric_bytes_received.set(stats.bytes_received.load(Ordering::Relaxed));
+        self.metrics.fabric_msgs_sent.set(stats.msgs_sent.load(Ordering::Relaxed));
     }
 
     /// The node rank this client runs on.
@@ -224,35 +288,52 @@ impl FsClient {
     }
 
     /// Fetch decompressed contents, populating the cache (shared by
-    /// `open` and `read_whole`).
+    /// `open` and `read_whole`). When timing is on, the whole operation
+    /// is one request: it gets a fresh [`NodeState::next_request_id`],
+    /// its latency lands in `client.get.latency_us`, and a `client.get`
+    /// span (plus per-stage children) is recorded.
     fn fetch(&self, path: &str) -> Result<Arc<Vec<u8>>, FsError> {
+        if !self.timed {
+            return self.fetch_inner(path, 0);
+        }
+        let request = self.state.next_request_id();
+        let start = now_us();
+        let out = self.fetch_inner(path, request);
+        self.metrics.get_latency.record(now_us().saturating_sub(start));
+        self.span(request, "client.get", start);
+        out
+    }
+
+    fn fetch_inner(&self, path: &str, request: u64) -> Result<Arc<Vec<u8>>, FsError> {
         if let Some(local) = self.state.open_local(path)? {
             return Ok(local);
         }
         // Remote: find the owner from the replicated metadata. No
         // metadata entry means the path genuinely does not exist.
-        let owner = self
-            .state
-            .owner_of(path)
-            .ok_or_else(|| FsError::NotFound(path.to_string()))?;
+        let owner = self.state.owner_of(path).ok_or_else(|| FsError::NotFound(path.to_string()))?;
         let remote_err = if owner == self.state.rank || owner >= self.state.size {
             // Metadata says the bytes should be here (or nowhere valid)
             // but the local backend came up empty.
             FsError::NotFound(path.to_string())
         } else {
-            match self.fetch_remote(path, owner) {
-                Ok(plain) => return Ok(self.state.cache.insert(path, Arc::new(plain))),
-                Err(e) => e,
+            match self.fetch_remote(path, owner, request) {
+                Ok(plain) => {
+                    self.sync_fabric_gauges();
+                    return Ok(self.state.cache.insert(path, Arc::new(plain)));
+                }
+                Err(e) => {
+                    self.sync_fabric_gauges();
+                    e
+                }
             }
         };
         // Last resort: read through to the backing store — the paper's
         // shared file system, which always holds every partition.
         if let Some(backend) = &self.read_through {
             if let Some(obj) = backend.get(path) {
-                let plain =
-                    decompress_object(obj.codec, &obj.data, obj.stat.size as usize, path)?;
-                self.state.stats.read_through_reads.fetch_add(1, Ordering::Relaxed);
-                self.state.stats.degraded_reads.fetch_add(1, Ordering::Relaxed);
+                let plain = decompress_object(obj.codec, &obj.data, obj.stat.size as usize, path)?;
+                self.state.stats.read_through_reads.inc();
+                self.state.stats.degraded_reads.inc();
                 self.record(Op::Degraded, path, 0);
                 return Ok(self.state.cache.insert(path, Arc::new(plain)));
             }
@@ -261,39 +342,53 @@ impl FsClient {
     }
 
     /// One GET attempt against `replica`: rpc (optionally under the
-    /// failover deadline), CRC-verified decode, decompress.
+    /// failover deadline), CRC-verified decode, decompress. The rpc leg
+    /// lands in `fabric.rpc.latency_us` / a `fabric.rpc` span; the
+    /// decompress leg in the codec histograms / a `client.decompress`
+    /// span.
     fn try_get(
         &self,
         path: &str,
         replica: usize,
         timeout: Option<Duration>,
+        request: u64,
     ) -> Result<Vec<u8>, FsError> {
-        let request = path.as_bytes().to_vec();
-        let reply = match timeout {
-            Some(t) => self.service.rpc_timeout(replica, tags::GET, request, t),
-            None => self.service.rpc(replica, tags::GET, request),
+        let payload = path.as_bytes().to_vec();
+        let rpc_start = if self.timed { now_us() } else { 0 };
+        let reply = self
+            .service
+            .rpc_with_id(replica, tags::GET, payload, timeout, request)
+            .map_err(|e| match e {
+                // A dead peer surfaces as a dropped conduit (blackholed
+                // request) or an elapsed deadline; both mean "unreachable".
+                CommError::Timeout | CommError::Disconnected => {
+                    FsError::Timeout(format!("GET {path} from rank {replica}"))
+                }
+                other => FsError::Comm(other.to_string()),
+            });
+        if self.timed {
+            self.metrics.rpc_latency.record(now_us().saturating_sub(rpc_start));
+            self.span(request, "fabric.rpc", rpc_start);
         }
-        .map_err(|e| match e {
-            // A dead peer surfaces as a dropped conduit (blackholed
-            // request) or an elapsed deadline; both mean "unreachable".
-            CommError::Timeout | CommError::Disconnected => {
-                FsError::Timeout(format!("GET {path} from rank {replica}"))
-            }
-            other => FsError::Comm(other.to_string()),
-        })?;
+        let reply = reply?;
         let (codec, stat, compressed) = decode_get_reply(&reply)?;
-        self.state.stats.remote_opens.fetch_add(1, Ordering::Relaxed);
-        self.state.stats.remote_bytes.fetch_add(compressed.len() as u64, Ordering::Relaxed);
-        decompress_object(codec, &compressed, stat.size as usize, path)
+        self.state.stats.remote_opens.inc();
+        self.state.stats.remote_bytes.add(compressed.len() as u64);
+        let dec_start = if self.timed { now_us() } else { 0 };
+        let plain = self.state.decompress_timed(codec, &compressed, stat.size as usize, path)?;
+        if self.timed {
+            self.span(request, "client.decompress", dec_start);
+        }
+        Ok(plain)
     }
 
     /// Remote fetch with replica failover. Without a [`FailoverConfig`]
     /// this is a single rpc to the owner (the pre-recovery behaviour);
     /// with one, failed attempts walk the owner's ring replicas under
     /// backoff, counting every recovery action in the node stats.
-    fn fetch_remote(&self, path: &str, owner: usize) -> Result<Vec<u8>, FsError> {
+    fn fetch_remote(&self, path: &str, owner: usize, request: u64) -> Result<Vec<u8>, FsError> {
         let Some(cfg) = &self.failover else {
-            return self.try_get(path, owner, None);
+            return self.try_get(path, owner, None, request);
         };
         let replicas: Vec<usize> = replicas_of(owner, self.state.size, cfg.replica_rounds)
             .into_iter()
@@ -305,14 +400,15 @@ impl FsClient {
             for _ in 0..cfg.attempts_per_replica.max(1) {
                 if attempt > 0 {
                     std::thread::sleep(backoff_delay(cfg, path, attempt));
+                    self.metrics.rpc_retries.inc();
                 }
                 attempt += 1;
-                match self.try_get(path, replica, Some(cfg.rpc_timeout)) {
+                match self.try_get(path, replica, Some(cfg.rpc_timeout), request) {
                     Ok(plain) => {
                         if attempt > 1 {
                             // The read needed recovery: a retry or a
                             // replica other than the primary served it.
-                            self.state.stats.degraded_reads.fetch_add(1, Ordering::Relaxed);
+                            self.state.stats.degraded_reads.inc();
                             self.record(Op::Degraded, path, 0);
                         }
                         return Ok(plain);
@@ -320,10 +416,10 @@ impl FsClient {
                     Err(e) => {
                         match &e {
                             FsError::Timeout(_) => {
-                                self.state.stats.rpc_timeouts.fetch_add(1, Ordering::Relaxed);
+                                self.state.stats.rpc_timeouts.inc();
                             }
                             FsError::Corrupt(_) => {
-                                self.state.stats.crc_failures.fetch_add(1, Ordering::Relaxed);
+                                self.state.stats.crc_failures.inc();
                             }
                             // NotFound/Comm from a replica is anomalous
                             // (metadata says the file exists): retryable.
@@ -339,15 +435,12 @@ impl FsClient {
 
     /// `open(path, O_WRONLY|O_CREAT)`: start a write-once output file.
     pub fn create(&self, path: &str) -> Result<i32, FsError> {
-        if self.state.meta.read().get(path).is_some()
-            || self.state.writes.read().contains_key(path)
+        if self.state.meta.read().get(path).is_some() || self.state.writes.read().contains_key(path)
         {
             return Err(FsError::AlreadyExists(path.to_string()));
         }
         let fd = self.alloc_fd();
-        self.fds
-            .lock()
-            .insert(fd, OpenFile::Write { path: path.to_string(), buf: Vec::new() });
+        self.fds.lock().insert(fd, OpenFile::Write { path: path.to_string(), buf: Vec::new() });
         Ok(fd)
     }
 
@@ -446,11 +539,8 @@ impl FsClient {
                         // unreachable. The file stays readable from this
                         // node; count the lost forward instead of killing
                         // the training run.
-                        self.state.stats.rpc_timeouts.fetch_add(1, Ordering::Relaxed);
-                        self.state
-                            .stats
-                            .meta_forward_failures
-                            .fetch_add(1, Ordering::Relaxed);
+                        self.state.stats.rpc_timeouts.inc();
+                        self.state.stats.meta_forward_failures.inc();
                         self.record(Op::Degraded, &path, 0);
                     }
                 }
@@ -463,6 +553,16 @@ impl FsClient {
     /// output files written elsewhere, falls back to the metadata owner
     /// rank.
     pub fn stat(&self, path: &str) -> Result<FileStat, FsError> {
+        if !self.timed {
+            return self.stat_inner(path);
+        }
+        let start = now_us();
+        let out = self.stat_inner(path);
+        self.metrics.stat_latency.record(now_us().saturating_sub(start));
+        out
+    }
+
+    fn stat_inner(&self, path: &str) -> Result<FileStat, FsError> {
         self.record(Op::Stat, path, 0);
         if let Some(s) = self.state.meta.read().stat(path) {
             return Ok(s);
@@ -493,7 +593,7 @@ impl FsClient {
                     }
                     // Degraded metadata view: the owner is unreachable,
                     // so the path is simply not visible from here.
-                    self.state.stats.rpc_timeouts.fetch_add(1, Ordering::Relaxed);
+                    self.state.stats.rpc_timeouts.inc();
                 }
             }
         }
@@ -542,8 +642,7 @@ impl FsClient {
         while let Some(dir) = stack.pop() {
             let mut stream = self.opendir(&dir)?;
             while let Some(name) = stream.next_entry() {
-                let full =
-                    if dir.is_empty() { name.to_string() } else { format!("{dir}/{name}") };
+                let full = if dir.is_empty() { name.to_string() } else { format!("{dir}/{name}") };
                 let st = self.stat(&full)?;
                 if st.is_dir() {
                     stack.push(full);

@@ -15,6 +15,7 @@ use crate::backend::{Backend, BackendKind, RamBackend};
 use crate::cache::CacheConfig;
 use crate::client::{FailoverConfig, FsClient};
 use crate::daemon::{serve_traced, tags};
+use crate::metrics::MetricsRegistry;
 use crate::node::{LocalObject, NodeState};
 use crate::trace::TraceRecorder;
 
@@ -63,6 +64,10 @@ pub struct ClusterConfig {
     /// every replica failed, letting training survive a dead rank even
     /// for unreplicated partitions.
     pub read_through: bool,
+    /// Per-node metrics collection (counters, gauges, latency
+    /// histograms). On by default; turn off to benchmark the raw path —
+    /// disabled instruments are a single branch per record.
+    pub metrics: bool,
 }
 
 impl Default for ClusterConfig {
@@ -78,6 +83,7 @@ impl Default for ClusterConfig {
             fault_plan: None,
             failover: None,
             read_through: false,
+            metrics: true,
         }
     }
 }
@@ -134,8 +140,7 @@ impl FanStore {
         let read_through: Option<Arc<dyn Backend>> = if cfg.read_through {
             let ram = RamBackend::new();
             for p in partitions.iter().chain(cfg.broadcast.as_ref()) {
-                for e in crate::pack::parse_partition(p).expect("read-through partition parses")
-                {
+                for e in crate::pack::parse_partition(p).expect("read-through partition parses") {
                     ram.put(
                         &e.path,
                         LocalObject { codec: e.codec, stat: e.stat, data: Arc::new(e.data) },
@@ -162,6 +167,7 @@ impl FanStore {
         let cache_cfg = cfg.cache;
         let backend_kind = cfg.backend.clone();
         let trace_ring = cfg.trace_ring;
+        let metrics_on = cfg.metrics;
         let f = &f;
 
         let node_body = move |mut ctx: NodeCtx| {
@@ -169,8 +175,13 @@ impl FanStore {
             let service = ctx.take_channel(1);
             let service_remote = service.remote();
             let backend = backend_kind.create(ctx.rank).expect("backend init");
+            let registry = Arc::new(if metrics_on {
+                MetricsRegistry::new()
+            } else {
+                MetricsRegistry::disabled()
+            });
             let state =
-                Arc::new(NodeState::with_backend(ctx.rank, ctx.size, cache_cfg, backend));
+                Arc::new(NodeState::with_metrics(ctx.rank, ctx.size, cache_cfg, backend, registry));
 
             // 1. Load assigned partitions from the shared file system.
             let mut assigned: Vec<Vec<u8>> = Vec::new();
@@ -194,9 +205,8 @@ impl FanStore {
                 control
                     .send(control.ring_right(), tag, encode_partition_set(&traveling))
                     .expect("ring send");
-                let msg = control
-                    .recv_match(Some(control.ring_left()), Some(tag))
-                    .expect("ring recv");
+                let msg =
+                    control.recv_match(Some(control.ring_left()), Some(tag)).expect("ring recv");
                 let received = decode_partition_set(&msg.payload);
                 for p in &received {
                     state.load_partition(p).expect("replica partition parses");
@@ -222,8 +232,7 @@ impl FanStore {
             let trace = (trace_ring > 0).then(|| Arc::new(TraceRecorder::new(trace_ring)));
             let daemon_trace = trace.clone();
             let result = std::thread::scope(|scope| {
-                let daemon =
-                    scope.spawn(move || serve_traced(daemon_state, service, daemon_trace));
+                let daemon = scope.spawn(move || serve_traced(daemon_state, service, daemon_trace));
                 let mut client = FsClient::new(Arc::clone(&state), service_remote.clone());
                 if let Some(t) = &trace {
                     client = client.with_trace(Arc::clone(t));
@@ -239,9 +248,7 @@ impl FanStore {
                 // gets its shutdown and peer ranks still get their barrier
                 // partner — otherwise one panicking rank deadlocks the
                 // whole cluster instead of failing it.
-                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    f(&client)
-                }));
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&client)));
 
                 // 5. Quiesce: nobody may still be fetching from a peer
                 // daemon once shutdowns begin.
@@ -267,7 +274,6 @@ impl FanStore {
 mod tests {
     use super::*;
     use crate::prep::{prepare, PrepConfig};
-    use std::sync::atomic::Ordering;
 
     fn dataset(n: usize) -> Vec<(String, Vec<u8>)> {
         (0..n)
@@ -311,10 +317,7 @@ mod tests {
                 for (path, _) in &files {
                     fs.read_whole(path).unwrap();
                 }
-                (
-                    fs.state().stats.local_opens.load(Ordering::Relaxed),
-                    fs.state().stats.remote_opens.load(Ordering::Relaxed),
-                )
+                (fs.state().stats.local_opens.get(), fs.state().stats.remote_opens.get())
             },
         );
         for (local, remote) in results {
@@ -334,7 +337,7 @@ mod tests {
                 for (path, _) in &files {
                     fs.read_whole(path).unwrap();
                 }
-                fs.state().stats.remote_opens.load(Ordering::Relaxed)
+                fs.state().stats.remote_opens.get()
             },
         );
         assert_eq!(results, vec![0; 4], "full replication: all reads local");
@@ -351,9 +354,7 @@ mod tests {
         let results = FanStore::run(
             ClusterConfig { nodes: 2, ..Default::default() },
             packed.partitions,
-            |fs| {
-                files.iter().filter(|(p, d)| &fs.read_whole(p).unwrap() == d).count()
-            },
+            |fs| files.iter().filter(|(p, d)| &fs.read_whole(p).unwrap() == d).count(),
         );
         assert_eq!(results, vec![12; 2]);
     }
@@ -390,7 +391,7 @@ mod tests {
             |fs| {
                 let data = fs.read_whole("val/v0.bin").unwrap();
                 assert_eq!(data, vec![9u8; 2000]);
-                fs.state().stats.remote_opens.load(Ordering::Relaxed)
+                fs.state().stats.remote_opens.get()
             },
         );
         assert_eq!(results, vec![0, 0], "validation reads are all local");
@@ -451,10 +452,9 @@ mod tests {
     fn single_node_cluster_works() {
         let files = dataset(3);
         let packed = prepare(files.clone(), &PrepConfig::default());
-        let results =
-            FanStore::run(ClusterConfig::default(), packed.partitions, |fs| {
-                files.iter().all(|(p, d)| &fs.read_whole(p).unwrap() == d)
-            });
+        let results = FanStore::run(ClusterConfig::default(), packed.partitions, |fs| {
+            files.iter().all(|(p, d)| &fs.read_whole(p).unwrap() == d)
+        });
         assert_eq!(results, vec![true]);
     }
 }

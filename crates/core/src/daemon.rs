@@ -10,16 +10,16 @@
 //!   and forwards its metadata to this rank (§V-D).
 //! * **SHUTDOWN** — terminate the loop.
 
-use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 use fanstore_compress::crc32::crc32;
 use mpi_sim::{Channel, Message};
 
 use crate::meta::encode_single;
+use crate::metrics::now_us;
 use crate::node::{LocalObject, NodeState};
 use crate::stat::{FileStat, STAT_SIZE};
-use crate::trace::{Op, TraceRecorder};
+use crate::trace::{Op, SpanEvent, TraceRecorder};
 use crate::FsError;
 
 /// Service-channel tags.
@@ -108,6 +108,10 @@ pub fn serve_traced(
     mut service: Channel,
     trace: Option<Arc<TraceRecorder>>,
 ) -> u64 {
+    // Resolve instrument handles once; the loop records through Arcs.
+    let serve_latency = state.metrics.histogram("daemon.serve.latency_us");
+    let get_bytes = state.metrics.counter("daemon.get.bytes");
+    let timed = state.metrics.is_enabled() || trace.is_some();
     let mut served = 0u64;
     loop {
         let msg = match service.recv() {
@@ -115,10 +119,11 @@ pub fn serve_traced(
             Err(_) => break, // all peers disconnected
         };
         served += 1;
+        let start = if timed { now_us() } else { 0 };
         let shutdown = msg.tag == tags::SHUTDOWN;
         let delivered = match msg.tag {
             tags::SHUTDOWN => msg.reply(vec![status::OK]),
-            tags::GET => handle_get(&state, &msg),
+            tags::GET => handle_get(&state, &msg, &get_bytes),
             tags::GET_META => handle_get_meta(&state, &msg),
             tags::PUT_META => {
                 let ok = state.merge_meta(&msg.payload).is_ok();
@@ -126,8 +131,22 @@ pub fn serve_traced(
             }
             _ => msg.reply(vec![status::BAD_REQUEST]),
         };
+        if timed && !shutdown {
+            serve_latency.record(now_us().saturating_sub(start));
+            // The requester minted the id; stamping it here lets a span
+            // tree reassemble the server leg of the request.
+            if let Some(t) = &trace {
+                t.record_span(SpanEvent {
+                    request: msg.request_id,
+                    rank: state.rank as u32,
+                    stage: "daemon.serve".to_string(),
+                    start_us: start,
+                    dur_us: now_us().saturating_sub(start),
+                });
+            }
+        }
         if !delivered {
-            state.stats.reply_failures.fetch_add(1, Ordering::Relaxed);
+            state.stats.reply_failures.inc();
             if let Some(t) = &trace {
                 t.record(Op::Degraded, "daemon:reply-drop", 0);
             }
@@ -139,13 +158,14 @@ pub fn serve_traced(
     served
 }
 
-fn handle_get(state: &NodeState, msg: &Message) -> bool {
+fn handle_get(state: &NodeState, msg: &Message, get_bytes: &crate::metrics::Counter) -> bool {
     let reply = match std::str::from_utf8(&msg.payload) {
         Ok(path) => match state.get_compressed(path) {
             Some(mut obj) => {
                 // Failover provenance: stamp which rank actually served
                 // the bytes (differs from `owner_rank` on a replica).
                 obj.stat.served_by = state.rank as u32;
+                get_bytes.add(obj.data.len() as u64);
                 encode_get_reply(&obj)
             }
             None => vec![status::NOT_FOUND],
@@ -196,10 +216,7 @@ mod tests {
 
     #[test]
     fn not_found_reply_decodes_to_error() {
-        assert!(matches!(
-            decode_get_reply(&[status::NOT_FOUND]),
-            Err(FsError::NotFound(_))
-        ));
+        assert!(matches!(decode_get_reply(&[status::NOT_FOUND]), Err(FsError::NotFound(_))));
         assert!(decode_get_reply(&[]).is_err());
         assert!(decode_get_reply(&[status::OK, 1]).is_err());
     }
@@ -238,10 +255,8 @@ mod tests {
 
     #[test]
     fn corrupted_reply_rejected_by_crc() {
-        let packed = prepare(
-            vec![("f.bin".to_string(), b"abcdefgh".repeat(64))],
-            &PrepConfig::default(),
-        );
+        let packed =
+            prepare(vec![("f.bin".to_string(), b"abcdefgh".repeat(64))], &PrepConfig::default());
         let state = NodeState::new(0, 1, CacheConfig::default());
         state.load_partition(&packed.partitions[0]).unwrap();
         let obj = state.get_compressed("f.bin").unwrap();
@@ -298,11 +313,7 @@ mod tests {
                 let trace = Arc::new(crate::trace::TraceRecorder::new(8));
                 let st = Arc::clone(&state);
                 let served = serve_traced(st, service, Some(Arc::clone(&trace)));
-                (
-                    served,
-                    state.stats.reply_failures.load(Ordering::Relaxed),
-                    trace.count(Op::Degraded),
-                )
+                (served, state.stats.reply_failures.get(), trace.count(Op::Degraded))
             } else {
                 // A bare send carries no reply conduit: the daemon's
                 // answer is undeliverable and must be counted, not lost

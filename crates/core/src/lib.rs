@@ -67,6 +67,7 @@ pub mod client;
 pub mod cluster;
 pub mod daemon;
 pub mod meta;
+pub mod metrics;
 pub mod node;
 pub mod pack;
 pub mod placement;

@@ -59,8 +59,7 @@ impl MetaTable {
                 Some((d, n)) => (d, n),
                 None => ("", child),
             };
-            let inserted =
-                self.dirs.entry(dir.to_string()).or_default().insert(name.to_string());
+            let inserted = self.dirs.entry(dir.to_string()).or_default().insert(name.to_string());
             if !inserted || dir.is_empty() {
                 break;
             }
@@ -121,8 +120,7 @@ impl MetaTable {
             if pos + 2 > buf.len() {
                 return Err(FsError::Corrupt(format!("meta entry {i} truncated")));
             }
-            let plen =
-                u16::from_le_bytes(buf[pos..pos + 2].try_into().expect("2 bytes")) as usize;
+            let plen = u16::from_le_bytes(buf[pos..pos + 2].try_into().expect("2 bytes")) as usize;
             pos += 2;
             if pos + plen + 2 + STAT_SIZE > buf.len() {
                 return Err(FsError::Corrupt(format!("meta entry {i} truncated")));
@@ -131,8 +129,7 @@ impl MetaTable {
                 .map_err(|_| FsError::Corrupt(format!("meta entry {i} path not utf-8")))?
                 .to_string();
             pos += plen;
-            let codec =
-                CodecId(u16::from_le_bytes(buf[pos..pos + 2].try_into().expect("2 bytes")));
+            let codec = CodecId(u16::from_le_bytes(buf[pos..pos + 2].try_into().expect("2 bytes")));
             pos += 2;
             let stat = FileStat::decode(&buf[pos..pos + STAT_SIZE])?;
             pos += STAT_SIZE;
@@ -160,10 +157,7 @@ mod tests {
     use fanstore_compress::CodecFamily;
 
     fn entry(size: u64) -> MetaEntry {
-        MetaEntry {
-            stat: FileStat::regular(1, size),
-            codec: CodecId::new(CodecFamily::Lz4Hc, 9),
-        }
+        MetaEntry { stat: FileStat::regular(1, size), codec: CodecId::new(CodecFamily::Lz4Hc, 9) }
     }
 
     #[test]

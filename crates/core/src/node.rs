@@ -15,6 +15,7 @@ use parking_lot::RwLock;
 use crate::backend::{Backend, RamBackend};
 use crate::cache::{CacheConfig, FileCache};
 use crate::meta::{MetaEntry, MetaTable};
+use crate::metrics::{now_us, Counter, MetricsRegistry};
 use crate::pack::parse_partition;
 use crate::stat::FileStat;
 use crate::FsError;
@@ -32,42 +33,72 @@ pub struct LocalObject {
 }
 
 /// Counters for the node's I/O activity.
-#[derive(Debug, Default)]
+///
+/// Every field is a handle into the node's [`MetricsRegistry`] — the
+/// registry is the single source of truth; `NodeStats` is the typed,
+/// cheap-to-reach view the hot paths and the chaos tests use. The
+/// registered metric names are listed next to each field.
+#[derive(Debug)]
 pub struct NodeStats {
-    /// Files opened and served from the local backend.
-    pub local_opens: AtomicU64,
-    /// Files fetched from a remote daemon.
-    pub remote_opens: AtomicU64,
-    /// Compressed bytes pulled over the interconnect.
-    pub remote_bytes: AtomicU64,
-    /// Remote requests served by this node's daemon.
-    pub served_requests: AtomicU64,
-    /// Output files finalised on this node.
-    pub files_written: AtomicU64,
+    /// Files opened and served from the local backend
+    /// (`client.local.opens`).
+    pub local_opens: Arc<Counter>,
+    /// Files fetched from a remote daemon (`client.remote.opens`).
+    pub remote_opens: Arc<Counter>,
+    /// Compressed bytes pulled over the interconnect
+    /// (`client.remote.bytes`).
+    pub remote_bytes: Arc<Counter>,
+    /// Remote requests served by this node's daemon
+    /// (`daemon.served.requests`).
+    pub served_requests: Arc<Counter>,
+    /// Output files finalised on this node (`client.files.written`).
+    pub files_written: Arc<Counter>,
     /// Reads that needed any recovery beyond the first attempt at the
     /// primary owner: a replica retry, a backoff-and-retry, or the
-    /// read-through fallback.
-    pub degraded_reads: AtomicU64,
-    /// GET replies rejected because their CRC32 did not verify.
-    pub crc_failures: AtomicU64,
-    /// RPCs that hit the configured deadline (or found the peer dead).
-    pub rpc_timeouts: AtomicU64,
+    /// read-through fallback (`client.degraded.reads`).
+    pub degraded_reads: Arc<Counter>,
+    /// GET replies rejected because their CRC32 did not verify
+    /// (`client.crc.failures`).
+    pub crc_failures: Arc<Counter>,
+    /// RPCs that hit the configured deadline (or found the peer dead)
+    /// (`fabric.rpc.timeouts`).
+    pub rpc_timeouts: Arc<Counter>,
     /// Reads ultimately served by the read-through backend (the "shared
-    /// file system" escape hatch) after every replica failed.
-    pub read_through_reads: AtomicU64,
-    /// Daemon replies that could not be delivered (requester gone).
-    pub reply_failures: AtomicU64,
+    /// file system" escape hatch) after every replica failed
+    /// (`client.read_through.reads`).
+    pub read_through_reads: Arc<Counter>,
+    /// Daemon replies that could not be delivered (requester gone)
+    /// (`daemon.reply.failures`).
+    pub reply_failures: Arc<Counter>,
     /// Write-metadata forwards abandoned because the metadata owner was
-    /// unreachable (the write stays readable from this node).
-    pub meta_forward_failures: AtomicU64,
+    /// unreachable (the write stays readable from this node)
+    /// (`client.meta_forward.failures`).
+    pub meta_forward_failures: Arc<Counter>,
 }
 
 impl NodeStats {
+    /// Build the stat set on `registry` — one counter per field, under
+    /// the stable names listed on the fields.
+    pub fn register(registry: &MetricsRegistry) -> Self {
+        NodeStats {
+            local_opens: registry.counter("client.local.opens"),
+            remote_opens: registry.counter("client.remote.opens"),
+            remote_bytes: registry.counter("client.remote.bytes"),
+            served_requests: registry.counter("daemon.served.requests"),
+            files_written: registry.counter("client.files.written"),
+            degraded_reads: registry.counter("client.degraded.reads"),
+            crc_failures: registry.counter("client.crc.failures"),
+            rpc_timeouts: registry.counter("fabric.rpc.timeouts"),
+            read_through_reads: registry.counter("client.read_through.reads"),
+            reply_failures: registry.counter("daemon.reply.failures"),
+            meta_forward_failures: registry.counter("client.meta_forward.failures"),
+        }
+    }
+
     /// Total degraded-mode events: the single number chaos tests assert
     /// on (deterministic for a seeded fault plan).
     pub fn degraded_total(&self) -> u64 {
-        self.degraded_reads.load(Ordering::Relaxed)
-            + self.meta_forward_failures.load(Ordering::Relaxed)
+        self.degraded_reads.get() + self.meta_forward_failures.get()
     }
 }
 
@@ -87,8 +118,13 @@ pub struct NodeState {
     /// Output files finalised on this node (write-once store), kept
     /// uncompressed.
     pub writes: RwLock<HashMap<String, Arc<Vec<u8>>>>,
-    /// Activity counters.
+    /// This node's metric instruments (histograms, counters, gauges).
+    pub metrics: Arc<MetricsRegistry>,
+    /// Activity counters (handles into `metrics`).
     pub stats: NodeStats,
+    /// Request-id sequence for this node's clients (see
+    /// [`NodeState::next_request_id`]).
+    next_request: AtomicU64,
 }
 
 impl NodeState {
@@ -104,6 +140,19 @@ impl NodeState {
         cache_cfg: CacheConfig,
         backend: Box<dyn Backend>,
     ) -> Self {
+        Self::with_metrics(rank, size, cache_cfg, backend, Arc::new(MetricsRegistry::new()))
+    }
+
+    /// Fresh state with an explicit backend and metrics registry (pass a
+    /// [`MetricsRegistry::disabled`] registry to run metrics-free).
+    pub fn with_metrics(
+        rank: usize,
+        size: usize,
+        cache_cfg: CacheConfig,
+        backend: Box<dyn Backend>,
+        metrics: Arc<MetricsRegistry>,
+    ) -> Self {
+        let stats = NodeStats::register(&metrics);
         NodeState {
             rank,
             size,
@@ -111,8 +160,18 @@ impl NodeState {
             local: backend,
             cache: FileCache::new(cache_cfg),
             writes: RwLock::new(HashMap::new()),
-            stats: NodeStats::default(),
+            metrics,
+            stats,
+            next_request: AtomicU64::new(0),
         }
+    }
+
+    /// Mint a cluster-unique request id for one client operation:
+    /// `(rank + 1) << 48 | sequence`. Never 0 — 0 in a message envelope
+    /// means "not part of a traced request".
+    pub fn next_request_id(&self) -> u64 {
+        let seq = self.next_request.fetch_add(1, Ordering::Relaxed);
+        ((self.rank as u64 + 1) << 48) | (seq & 0xFFFF_FFFF_FFFF)
     }
 
     /// Load one packed partition into the local backend and the local
@@ -149,7 +208,27 @@ impl NodeState {
 
     /// Decompress a local object into a fresh buffer.
     fn decompress(&self, obj: &LocalObject, path: &str) -> Result<Vec<u8>, FsError> {
-        decompress_object(obj.codec, &obj.data, obj.stat.size as usize, path)
+        self.decompress_timed(obj.codec, &obj.data, obj.stat.size as usize, path)
+    }
+
+    /// [`decompress_object`] plus per-codec metrics
+    /// (`codec.<name>.decode_us`, `codec.<name>.decode_bytes`).
+    pub fn decompress_timed(
+        &self,
+        codec: CodecId,
+        data: &[u8],
+        expected_len: usize,
+        path: &str,
+    ) -> Result<Vec<u8>, FsError> {
+        if !self.metrics.is_enabled() {
+            return decompress_object(codec, data, expected_len, path);
+        }
+        let start = now_us();
+        let out = decompress_object(codec, data, expected_len, path)?;
+        let name = codec.family().map_or("unknown", |f| f.name());
+        self.metrics.histogram(&format!("codec.{name}.decode_us")).record(now_us() - start);
+        self.metrics.counter(&format!("codec.{name}.decode_bytes")).add(out.len() as u64);
+        Ok(out)
     }
 
     /// Open for reading, local paths only (Fig 2 local branch): cache
@@ -157,13 +236,13 @@ impl NodeState {
     /// bytes are not on this node.
     pub fn open_local(&self, path: &str) -> Result<Option<Arc<Vec<u8>>>, FsError> {
         if let Some(hit) = self.cache.open(path) {
-            self.stats.local_opens.fetch_add(1, Ordering::Relaxed);
+            self.stats.local_opens.inc();
             return Ok(Some(hit));
         }
         // Output files written on this node are readable locally (e.g. a
         // checkpoint re-read after resume).
         if let Some(w) = self.writes.read().get(path) {
-            self.stats.local_opens.fetch_add(1, Ordering::Relaxed);
+            self.stats.local_opens.inc();
             return Ok(Some(self.cache.insert(path, Arc::clone(w))));
         }
         let obj = match self.local.get(path) {
@@ -171,7 +250,7 @@ impl NodeState {
             None => return Ok(None),
         };
         let plain = Arc::new(self.decompress(&obj, path)?);
-        self.stats.local_opens.fetch_add(1, Ordering::Relaxed);
+        self.stats.local_opens.inc();
         Ok(Some(self.cache.insert(path, plain)))
     }
 
@@ -191,12 +270,12 @@ impl NodeState {
     /// peer): returns the raw compressed bytes plus codec and stat.
     pub fn get_compressed(&self, path: &str) -> Option<LocalObject> {
         if let Some(o) = self.local.get(path) {
-            self.stats.served_requests.fetch_add(1, Ordering::Relaxed);
+            self.stats.served_requests.inc();
             return Some(o);
         }
         // Serve locally written output files raw (codec = store).
         self.writes.read().get(path).map(|w| {
-            self.stats.served_requests.fetch_add(1, Ordering::Relaxed);
+            self.stats.served_requests.inc();
             LocalObject {
                 codec: CodecId::new(fanstore_compress::CodecFamily::Store, 0),
                 stat: FileStat::regular(0, w.len() as u64),
@@ -216,11 +295,9 @@ impl NodeState {
         let mut stat = FileStat::regular(0, data.len() as u64);
         stat.owner_rank = self.rank as u32;
         writes.insert(path.to_string(), Arc::new(data));
-        self.stats.files_written.fetch_add(1, Ordering::Relaxed);
-        let entry = MetaEntry {
-            stat,
-            codec: CodecId::new(fanstore_compress::CodecFamily::Store, 0),
-        };
+        self.stats.files_written.inc();
+        let entry =
+            MetaEntry { stat, codec: CodecId::new(fanstore_compress::CodecFamily::Store, 0) };
         self.meta.write().insert(path, entry);
         Ok(entry)
     }
@@ -266,6 +343,9 @@ mod tests {
         let again = s.open_local("a/x.bin").unwrap().unwrap();
         assert!(Arc::ptr_eq(&data, &again));
         assert_eq!(s.cache.stats().hits.load(Ordering::Relaxed), 1);
+        assert_eq!(s.stats.local_opens.get(), 2);
+        // Stats and registry agree: same underlying counter.
+        assert_eq!(s.metrics.snapshot().counter("client.local.opens"), 2);
     }
 
     #[test]
@@ -306,10 +386,7 @@ mod tests {
     fn cannot_overwrite_input_file() {
         let s = state();
         s.load_partition(&packed_files()[0]).unwrap();
-        assert!(matches!(
-            s.finalize_write("a/x.bin", vec![0]),
-            Err(FsError::AlreadyExists(_))
-        ));
+        assert!(matches!(s.finalize_write("a/x.bin", vec![0]), Err(FsError::AlreadyExists(_))));
     }
 
     #[test]
@@ -336,5 +413,31 @@ mod tests {
             // panic.
             let _ = s.open_local("a/y.bin");
         }
+    }
+
+    #[test]
+    fn request_ids_unique_and_rank_scoped() {
+        let a = NodeState::new(0, 4, CacheConfig::default());
+        let b = NodeState::new(1, 4, CacheConfig::default());
+        let ida = a.next_request_id();
+        assert_ne!(ida, 0);
+        assert_ne!(ida, a.next_request_id());
+        assert_eq!(ida >> 48, 1);
+        assert_eq!(b.next_request_id() >> 48, 2);
+    }
+
+    #[test]
+    fn decompress_timed_records_codec_metrics() {
+        let s = state();
+        s.load_partition(&packed_files()[0]).unwrap();
+        s.open_local("a/x.bin").unwrap().unwrap();
+        let snap = s.metrics.snapshot();
+        let decoded: u64 = snap
+            .histograms
+            .iter()
+            .filter(|(k, _)| k.starts_with("codec.") && k.ends_with(".decode_us"))
+            .map(|(_, h)| h.count)
+            .sum();
+        assert_eq!(decoded, 1, "one decode recorded: {:?}", snap.histograms.keys());
     }
 }

@@ -119,8 +119,7 @@ pub fn parse_partition(buf: &[u8]) -> Result<Vec<PackEntry>, FsError> {
         pos += 2;
         let stat = FileStat::decode(&buf[pos..pos + STAT_SIZE])?;
         pos += STAT_SIZE;
-        let size =
-            u64::from_le_bytes(buf[pos..pos + 8].try_into().expect("8 bytes")) as usize;
+        let size = u64::from_le_bytes(buf[pos..pos + 8].try_into().expect("8 bytes")) as usize;
         pos += 8;
         if pos + size > buf.len() {
             return Err(FsError::Corrupt(format!("entry {i} data truncated")));

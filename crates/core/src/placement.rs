@@ -50,9 +50,8 @@ pub fn plan(
     max_rounds: usize,
 ) -> Result<PlacementPlan, FsError> {
     let nodes = nodes.max(1);
-    let assigned: Vec<Vec<usize>> = (0..nodes)
-        .map(|rank| (0..sizes.len()).filter(|i| i % nodes == rank).collect())
-        .collect();
+    let assigned: Vec<Vec<usize>> =
+        (0..nodes).map(|rank| (0..sizes.len()).filter(|i| i % nodes == rank).collect()).collect();
     let own: Vec<u64> = (0..nodes).map(|r| assigned_bytes(sizes, nodes, r)).collect();
 
     if let Some(cap) = capacity {

@@ -63,11 +63,7 @@ impl Packed {
 }
 
 /// Compress one file; fall back to `store` when compression does not pay.
-fn pack_one(
-    codec: &dyn Codec,
-    store_fallback: bool,
-    data: &[u8],
-) -> (CodecId, Vec<u8>) {
+fn pack_one(codec: &dyn Codec, store_fallback: bool, data: &[u8]) -> (CodecId, Vec<u8>) {
     let mut out = Vec::with_capacity(data.len() / 2 + 64);
     codec.compress(data, &mut out);
     if store_fallback && out.len() >= data.len() {
@@ -178,10 +174,8 @@ mod tests {
                 (x >> 33) as u8
             })
             .collect();
-        let packed = prepare(
-            vec![("noise.jpg".to_string(), noise.clone())],
-            &PrepConfig::default(),
-        );
+        let packed =
+            prepare(vec![("noise.jpg".to_string(), noise.clone())], &PrepConfig::default());
         let entries = parse_partition(&packed.partitions[0]).unwrap();
         assert_eq!(entries[0].codec.family(), Some(CodecFamily::Store));
         assert_eq!(entries[0].data, noise);

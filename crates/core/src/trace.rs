@@ -3,9 +3,13 @@
 //! built-in observability feature).
 //!
 //! A [`TraceRecorder`] collects per-operation events cheaply (atomics +
-//! a mutex-guarded ring); [`TraceSummary`] aggregates them into the
-//! paper's workload metrics: metadata-call counts (the §II-B1 "metadata
-//! storm"), read counts/bytes, and the read/metadata mix. Traces can be
+//! a mutex-guarded overwrite-oldest ring); [`TraceSummary`] aggregates
+//! them into the paper's workload metrics: metadata-call counts (the
+//! §II-B1 "metadata storm"), read counts/bytes, and the read/metadata
+//! mix. Alongside the event stream it keeps a ring of [`SpanEvent`]s —
+//! request-scoped timing records minted per client op and carried
+//! through the fabric into the daemon, so one GET can be reassembled
+//! into a client→fabric→daemon→client timeline. Traces can be
 //! serialised to a compact text form and replayed against any client.
 
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -68,23 +72,120 @@ pub struct Event {
     pub bytes: u64,
 }
 
-/// Cheap concurrent trace recorder with a bounded event ring.
+/// One timed stage of a request: which request it belongs to, which
+/// rank recorded it, the stage name (`client.get`, `fabric.rpc`,
+/// `daemon.serve`, `client.decompress`, …), and its interval on the
+/// process-wide microsecond clock ([`crate::metrics::now_us`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Request id the span belongs to (0 = outside any request).
+    pub request: u64,
+    /// Rank that recorded the span.
+    pub rank: u32,
+    /// Stage name, dot-separated like metric names.
+    pub stage: String,
+    /// Start, microseconds on the shared clock.
+    pub start_us: u64,
+    /// Duration, microseconds.
+    pub dur_us: u64,
+}
+
+/// A bounded overwrite-oldest ring. Unlike a plain `Vec` guard, a full
+/// ring keeps the *latest* `cap` entries — the tail of a long run
+/// survives, which is what post-mortem debugging wants.
+struct Ring<T> {
+    buf: Vec<T>,
+    /// Next write position once the buffer has wrapped.
+    next: usize,
+    cap: usize,
+}
+
+impl<T: Clone> Ring<T> {
+    fn new(cap: usize) -> Self {
+        Ring { buf: Vec::with_capacity(cap.min(4096)), next: 0, cap }
+    }
+
+    fn push(&mut self, item: T) {
+        if self.cap == 0 {
+            return;
+        }
+        if self.buf.len() < self.cap {
+            self.buf.push(item);
+        } else {
+            self.buf[self.next] = item;
+            self.next = (self.next + 1) % self.cap;
+        }
+    }
+
+    /// Entries oldest-first.
+    fn entries(&self) -> Vec<T> {
+        let mut out = Vec::with_capacity(self.buf.len());
+        out.extend_from_slice(&self.buf[self.next..]);
+        out.extend_from_slice(&self.buf[..self.next]);
+        out
+    }
+}
+
+/// Cheap concurrent trace recorder with bounded event and span rings.
 pub struct TraceRecorder {
     counts: [AtomicU64; 8],
     bytes_read: AtomicU64,
     bytes_written: AtomicU64,
-    ring: Mutex<Vec<Event>>,
+    ring: Mutex<Ring<Event>>,
+    spans: Mutex<Ring<SpanEvent>>,
     ring_cap: usize,
 }
 
+/// Escape a path for the whitespace-delimited text form: percent-encode
+/// `%` and ASCII whitespace; an empty path becomes a lone `%` so the
+/// field is never missing.
+fn escape_path(path: &str) -> String {
+    if path.is_empty() {
+        return "%".to_string();
+    }
+    let mut out = String::with_capacity(path.len());
+    for c in path.chars() {
+        match c {
+            '%' => out.push_str("%25"),
+            ' ' => out.push_str("%20"),
+            '\t' => out.push_str("%09"),
+            '\n' => out.push_str("%0A"),
+            '\r' => out.push_str("%0D"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Invert [`escape_path`].
+fn unescape_path(field: &str) -> Result<String, String> {
+    if field == "%" {
+        return Ok(String::new());
+    }
+    let mut out = String::with_capacity(field.len());
+    let mut chars = field.chars();
+    while let Some(c) = chars.next() {
+        if c != '%' {
+            out.push(c);
+            continue;
+        }
+        let hex: String = chars.by_ref().take(2).collect();
+        let code = u8::from_str_radix(&hex, 16).map_err(|_| format!("bad path escape %{hex}"))?;
+        out.push(code as char);
+    }
+    Ok(out)
+}
+
 impl TraceRecorder {
-    /// Create with an event ring of `ring_cap` entries (0 = counters only).
+    /// Create with event/span rings of `ring_cap` entries each
+    /// (0 = counters only).
     pub fn new(ring_cap: usize) -> Self {
         TraceRecorder {
             counts: Default::default(),
             bytes_read: AtomicU64::new(0),
             bytes_written: AtomicU64::new(0),
-            ring: Mutex::new(Vec::with_capacity(ring_cap.min(4096))),
+            ring: Mutex::new(Ring::new(ring_cap)),
+            spans: Mutex::new(Ring::new(ring_cap)),
             ring_cap,
         }
     }
@@ -115,11 +216,25 @@ impl TraceRecorder {
             _ => {}
         }
         if self.ring_cap > 0 {
-            let mut ring = self.ring.lock();
-            if ring.len() < self.ring_cap {
-                ring.push(Event { op, path: path.to_string(), bytes });
-            }
+            self.ring.lock().push(Event { op, path: path.to_string(), bytes });
         }
+    }
+
+    /// Record one request-scoped span.
+    pub fn record_span(&self, span: SpanEvent) {
+        if self.ring_cap > 0 {
+            self.spans.lock().push(span);
+        }
+    }
+
+    /// The recorded spans, oldest-first.
+    pub fn spans(&self) -> Vec<SpanEvent> {
+        self.spans.lock().entries()
+    }
+
+    /// The recorded events, oldest-first (latest `ring_cap` of the run).
+    pub fn events(&self) -> Vec<Event> {
+        self.ring.lock().entries()
     }
 
     /// Count of one operation kind.
@@ -143,45 +258,106 @@ impl TraceRecorder {
         }
     }
 
-    /// The recorded event prefix (up to the ring capacity), serialised one
-    /// event per line: `op path bytes`.
+    /// The retained events (latest `ring_cap`), serialised one event per
+    /// line: `op path bytes`, with the path percent-escaped so paths
+    /// containing whitespace round-trip.
     pub fn serialize(&self) -> String {
-        let ring = self.ring.lock();
         let mut out = String::new();
-        for e in ring.iter() {
-            out.push_str(&format!("{} {} {}\n", e.op.mnemonic(), e.path, e.bytes));
+        for e in self.events() {
+            out.push_str(&format!("{} {} {}\n", e.op.mnemonic(), escape_path(&e.path), e.bytes));
         }
         out
     }
 
-    /// Parse the text form back into events.
+    /// The retained spans, one per line:
+    /// `span <request:hex> <rank> <stage> <start_us> <dur_us>`.
+    pub fn serialize_spans(&self) -> String {
+        let mut out = String::new();
+        for s in self.spans() {
+            out.push_str(&format!(
+                "span {:x} {} {} {} {}\n",
+                s.request, s.rank, s.stage, s.start_us, s.dur_us
+            ));
+        }
+        out
+    }
+
+    /// Events followed by spans — the on-disk dump format read back by
+    /// [`TraceRecorder::parse_dump`].
+    pub fn dump(&self) -> String {
+        let mut out = self.serialize();
+        out.push_str(&self.serialize_spans());
+        out
+    }
+
+    /// Parse the event text form back into events. Lines starting with
+    /// `span` are rejected here — use [`TraceRecorder::parse_dump`] for
+    /// combined dumps.
     pub fn parse(text: &str) -> Result<Vec<Event>, String> {
         let mut events = Vec::new();
         for (lineno, line) in text.lines().enumerate() {
             if line.trim().is_empty() {
                 continue;
             }
-            let mut parts = line.split_whitespace();
-            let op = match parts.next() {
-                Some("open") => Op::Open,
-                Some("close") => Op::Close,
-                Some("read") => Op::Read,
-                Some("seek") => Op::Seek,
-                Some("write") => Op::Write,
-                Some("stat") => Op::Stat,
-                Some("readdir") => Op::Readdir,
-                Some("degraded") => Op::Degraded,
-                other => return Err(format!("line {}: bad op {:?}", lineno + 1, other)),
-            };
-            let path = parts.next().unwrap_or("").to_string();
-            let bytes = parts
-                .next()
-                .unwrap_or("0")
-                .parse()
-                .map_err(|e| format!("line {}: bad bytes: {e}", lineno + 1))?;
-            events.push(Event { op, path, bytes });
+            events.push(Self::parse_event_line(line, lineno)?);
         }
         Ok(events)
+    }
+
+    fn parse_event_line(line: &str, lineno: usize) -> Result<Event, String> {
+        let mut parts = line.split_whitespace();
+        let op = match parts.next() {
+            Some("open") => Op::Open,
+            Some("close") => Op::Close,
+            Some("read") => Op::Read,
+            Some("seek") => Op::Seek,
+            Some("write") => Op::Write,
+            Some("stat") => Op::Stat,
+            Some("readdir") => Op::Readdir,
+            Some("degraded") => Op::Degraded,
+            other => return Err(format!("line {}: bad op {:?}", lineno + 1, other)),
+        };
+        let path = unescape_path(parts.next().unwrap_or("%"))
+            .map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        let bytes = parts
+            .next()
+            .unwrap_or("0")
+            .parse()
+            .map_err(|e| format!("line {}: bad bytes: {e}", lineno + 1))?;
+        Ok(Event { op, path, bytes })
+    }
+
+    fn parse_span_line(line: &str, lineno: usize) -> Result<SpanEvent, String> {
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        if fields.len() != 6 || fields[0] != "span" {
+            return Err(format!("line {}: bad span line", lineno + 1));
+        }
+        let bad = |what: &str| format!("line {}: bad span {what}", lineno + 1);
+        Ok(SpanEvent {
+            request: u64::from_str_radix(fields[1], 16).map_err(|_| bad("request"))?,
+            rank: fields[2].parse().map_err(|_| bad("rank"))?,
+            stage: fields[3].to_string(),
+            start_us: fields[4].parse().map_err(|_| bad("start"))?,
+            dur_us: fields[5].parse().map_err(|_| bad("duration"))?,
+        })
+    }
+
+    /// Parse a combined dump ([`TraceRecorder::dump`]) back into events
+    /// and spans.
+    pub fn parse_dump(text: &str) -> Result<(Vec<Event>, Vec<SpanEvent>), String> {
+        let mut events = Vec::new();
+        let mut spans = Vec::new();
+        for (lineno, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            if line.trim_start().starts_with("span ") {
+                spans.push(Self::parse_span_line(line, lineno)?);
+            } else {
+                events.push(Self::parse_event_line(line, lineno)?);
+            }
+        }
+        Ok((events, spans))
     }
 }
 
@@ -260,6 +436,18 @@ mod tests {
     }
 
     #[test]
+    fn ring_keeps_the_tail() {
+        // A genuine ring overwrites the oldest entry: after 10 records
+        // into a 3-slot ring, the survivors are the LAST three, in order.
+        let t = TraceRecorder::new(3);
+        for i in 0..10 {
+            t.record(Op::Read, &format!("f{i}"), i);
+        }
+        let paths: Vec<String> = t.events().into_iter().map(|e| e.path).collect();
+        assert_eq!(paths, vec!["f7", "f8", "f9"]);
+    }
+
+    #[test]
     fn serialize_parse_roundtrip() {
         let t = TraceRecorder::new(16);
         t.record(Op::Open, "d/f.bin", 0);
@@ -272,6 +460,57 @@ mod tests {
         assert_eq!(events.len(), 5);
         assert_eq!(events[1], Event { op: Op::Read, path: "d/f.bin".into(), bytes: 4096 });
         assert_eq!(events[4].op, Op::Readdir);
+    }
+
+    #[test]
+    fn paths_with_whitespace_roundtrip() {
+        let t = TraceRecorder::new(8);
+        t.record(Op::Read, "dir with space/f.bin", 64);
+        t.record(Op::Open, "tab\tand %percent", 0);
+        t.record(Op::Readdir, "", 0);
+        let events = TraceRecorder::parse(&t.serialize()).unwrap();
+        assert_eq!(events[0].path, "dir with space/f.bin");
+        assert_eq!(events[0].bytes, 64);
+        assert_eq!(events[1].path, "tab\tand %percent");
+        assert_eq!(events[2].path, "");
+    }
+
+    #[test]
+    fn spans_roundtrip_and_ring() {
+        let t = TraceRecorder::new(2);
+        for i in 0..4u64 {
+            t.record_span(SpanEvent {
+                request: 0xabc0 + i,
+                rank: 1,
+                stage: "client.get".into(),
+                start_us: 10 * i,
+                dur_us: 5,
+            });
+        }
+        // Overwrite-oldest: the last two survive.
+        let kept = t.spans();
+        assert_eq!(kept.len(), 2);
+        assert_eq!(kept[0].request, 0xabc2);
+        let (events, spans) = TraceRecorder::parse_dump(&t.dump()).unwrap();
+        assert!(events.is_empty());
+        assert_eq!(spans, kept);
+    }
+
+    #[test]
+    fn dump_mixes_events_and_spans() {
+        let t = TraceRecorder::new(8);
+        t.record(Op::Read, "a b", 3);
+        t.record_span(SpanEvent {
+            request: 7,
+            rank: 0,
+            stage: "daemon.serve".into(),
+            start_us: 1,
+            dur_us: 2,
+        });
+        let (events, spans) = TraceRecorder::parse_dump(&t.dump()).unwrap();
+        assert_eq!(events, vec![Event { op: Op::Read, path: "a b".into(), bytes: 3 }]);
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].stage, "daemon.serve");
     }
 
     #[test]
@@ -292,6 +531,8 @@ mod tests {
         assert!(TraceRecorder::parse("frobnicate x 0").is_err());
         assert!(TraceRecorder::parse("read x notanumber").is_err());
         assert!(TraceRecorder::parse("").unwrap().is_empty());
+        assert!(TraceRecorder::parse_dump("span zz 0 s 1 2").is_err());
+        assert!(TraceRecorder::parse_dump("span 1 0 s 1").is_err());
     }
 
     #[test]

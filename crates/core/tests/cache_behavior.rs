@@ -80,11 +80,7 @@ fn tight_cache_bounds_memory_at_capacity() {
             fs.state().cache.resident_bytes()
         },
     );
-    assert!(
-        resident[0] <= capacity,
-        "resident {} exceeds capacity {capacity}",
-        resident[0]
-    );
+    assert!(resident[0] <= capacity, "resident {} exceeds capacity {capacity}", resident[0]);
     assert!(resident[0] > 0, "bounded policy keeps something");
 }
 

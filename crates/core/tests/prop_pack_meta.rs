@@ -9,8 +9,7 @@ use proptest::prelude::*;
 
 /// Strategy for plausible relative paths (non-empty, < 256 bytes, no NUL).
 fn path_strategy() -> impl Strategy<Value = String> {
-    proptest::collection::vec("[a-z0-9_]{1,12}", 1..5)
-        .prop_map(|segs| segs.join("/"))
+    proptest::collection::vec("[a-z0-9_]{1,12}", 1..5).prop_map(|segs| segs.join("/"))
 }
 
 fn entry_strategy() -> impl Strategy<Value = (String, Vec<u8>)> {

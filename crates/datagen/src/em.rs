@@ -36,7 +36,8 @@ pub fn generate<R: Rng>(rng: &mut R, size: usize) -> Vec<u8> {
     // distance = width (exactly how LZ compresses real micrographs). Each
     // row copies the previous one with sparse quantised adjustments.
     let field = SmoothField::new(rng, width, height.max(1), 32, 255.0);
-    let mut row: Vec<u8> = (0..width).map(|x| (field.at(x, 0) as u32).min(255) as u8 & 0xF0).collect();
+    let mut row: Vec<u8> =
+        (0..width).map(|x| (field.at(x, 0) as u32).min(255) as u8 & 0xF0).collect();
     let mut emitted = 0usize;
     'rows: for _y in 0..height + 1 {
         for px in row.iter_mut() {

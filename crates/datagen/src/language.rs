@@ -12,17 +12,109 @@ use rand::Rng;
 /// A compact vocabulary; Zipf sampling over it approximates the repeat
 /// structure of real prose.
 const WORDS: &[&str] = &[
-    "the", "of", "and", "to", "in", "a", "is", "that", "for", "it", "as", "was", "with", "be",
-    "by", "on", "not", "he", "this", "are", "or", "his", "from", "at", "which", "but", "have",
-    "an", "had", "they", "you", "were", "their", "one", "all", "we", "can", "her", "has",
-    "there", "been", "if", "more", "when", "will", "would", "who", "so", "no", "she",
-    "system", "data", "training", "model", "network", "compression", "storage", "performance",
-    "distributed", "learning", "file", "access", "memory", "node", "scale", "throughput",
-    "bandwidth", "latency", "experiment", "result", "method", "application", "process",
-    "computation", "communication", "iteration", "gradient", "parameter", "batch", "epoch",
-    "dataset", "image", "measurement", "analysis", "function", "structure", "algorithm",
-    "science", "research", "energy", "physics", "signal", "detector", "observation", "survey",
-    "galaxy", "plasma", "reactor", "tissue", "sample", "resolution", "frequency", "amplitude",
+    "the",
+    "of",
+    "and",
+    "to",
+    "in",
+    "a",
+    "is",
+    "that",
+    "for",
+    "it",
+    "as",
+    "was",
+    "with",
+    "be",
+    "by",
+    "on",
+    "not",
+    "he",
+    "this",
+    "are",
+    "or",
+    "his",
+    "from",
+    "at",
+    "which",
+    "but",
+    "have",
+    "an",
+    "had",
+    "they",
+    "you",
+    "were",
+    "their",
+    "one",
+    "all",
+    "we",
+    "can",
+    "her",
+    "has",
+    "there",
+    "been",
+    "if",
+    "more",
+    "when",
+    "will",
+    "would",
+    "who",
+    "so",
+    "no",
+    "she",
+    "system",
+    "data",
+    "training",
+    "model",
+    "network",
+    "compression",
+    "storage",
+    "performance",
+    "distributed",
+    "learning",
+    "file",
+    "access",
+    "memory",
+    "node",
+    "scale",
+    "throughput",
+    "bandwidth",
+    "latency",
+    "experiment",
+    "result",
+    "method",
+    "application",
+    "process",
+    "computation",
+    "communication",
+    "iteration",
+    "gradient",
+    "parameter",
+    "batch",
+    "epoch",
+    "dataset",
+    "image",
+    "measurement",
+    "analysis",
+    "function",
+    "structure",
+    "algorithm",
+    "science",
+    "research",
+    "energy",
+    "physics",
+    "signal",
+    "detector",
+    "observation",
+    "survey",
+    "galaxy",
+    "plasma",
+    "reactor",
+    "tissue",
+    "sample",
+    "resolution",
+    "frequency",
+    "amplitude",
 ];
 
 /// Stock phrases that recur verbatim, as they do in real corpora.
@@ -117,7 +209,8 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(1);
         let data = generate(&mut rng, 65536);
         let text = String::from_utf8(data).unwrap();
-        let the_count = text.split_whitespace().filter(|w| w.trim_end_matches('.') == "the").count();
+        let the_count =
+            text.split_whitespace().filter(|w| w.trim_end_matches('.') == "the").count();
         let total = text.split_whitespace().count();
         assert!(
             the_count as f64 / total as f64 > 0.03,

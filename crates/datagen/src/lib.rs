@@ -213,9 +213,8 @@ mod tests {
         assert!(p0.ends_with(".jpg"));
         assert_ne!(p0, p1);
         // 100 files over min(2002, 100) dirs: all distinct dirs.
-        let dirs: std::collections::HashSet<String> = (0..100)
-            .map(|i| spec.path_of(i).split('/').nth(1).unwrap().to_string())
-            .collect();
+        let dirs: std::collections::HashSet<String> =
+            (0..100).map(|i| spec.path_of(i).split('/').nth(1).unwrap().to_string()).collect();
         assert_eq!(dirs.len(), 100);
     }
 

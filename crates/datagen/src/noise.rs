@@ -15,7 +15,13 @@ pub struct SmoothField {
 impl SmoothField {
     /// Build a field covering `width x height` pixels with lattice spacing
     /// `cell` and amplitude in `[0, amplitude]`.
-    pub fn new<R: Rng>(rng: &mut R, width: usize, height: usize, cell: usize, amplitude: f32) -> Self {
+    pub fn new<R: Rng>(
+        rng: &mut R,
+        width: usize,
+        height: usize,
+        cell: usize,
+        amplitude: f32,
+    ) -> Self {
         let lw = width / cell + 2;
         let lh = height / cell + 2;
         let lattice = (0..lw * lh).map(|_| rng.gen::<f32>() * amplitude).collect();
@@ -28,7 +34,9 @@ impl SmoothField {
         let cy = y / self.cell;
         let fx = (x % self.cell) as f32 / self.cell as f32;
         let fy = (y % self.cell) as f32 / self.cell as f32;
-        let idx = |gx: usize, gy: usize| self.lattice[(gy.min(self.lh - 1)) * self.lw + gx.min(self.lw - 1)];
+        let idx = |gx: usize, gy: usize| {
+            self.lattice[(gy.min(self.lh - 1)) * self.lw + gx.min(self.lw - 1)]
+        };
         let v00 = idx(cx, cy);
         let v10 = idx(cx + 1, cy);
         let v01 = idx(cx, cy + 1);

@@ -66,10 +66,7 @@ fn astro_ratios_match_paper_band() {
 fn imagenet_is_incompressible() {
     for codec in ["lzsse8-2", "lz4hc-9", "lzma-6", "xz-6", "zling-4", "brotli-9"] {
         let r = ratio(DatasetKind::ImageNetJpg, codec);
-        assert!(
-            (0.93..=1.10).contains(&r),
-            "imagenet with {codec}: ratio {r:.3} should be ~1.0"
-        );
+        assert!((0.93..=1.10).contains(&r), "imagenet with {codec}: ratio {r:.3} should be ~1.0");
     }
 }
 

@@ -48,8 +48,7 @@ impl Interconnect {
             return 0.0;
         }
         let n_f = n as f64;
-        2.0 * (n_f - 1.0) * self.latency
-            + 2.0 * (n_f - 1.0) / n_f * bytes as f64 / self.bandwidth
+        2.0 * (n_f - 1.0) * self.latency + 2.0 * (n_f - 1.0) / n_f * bytes as f64 / self.bandwidth
     }
 
     /// Variable-size allgather of `bytes` per rank on `n` ranks (ring

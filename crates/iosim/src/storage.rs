@@ -87,10 +87,7 @@ impl ReadModel for AnchoredStorage {
         }
         let lx = x.ln();
         // Find the surrounding segment (clamping to the outermost ones).
-        let seg = pts
-            .windows(2)
-            .position(|w| x <= w[1].0 as f64)
-            .unwrap_or(pts.len() - 2);
+        let seg = pts.windows(2).position(|w| x <= w[1].0 as f64).unwrap_or(pts.len() - 2);
         let (s0, f0) = pts[seg];
         let (s1, f1) = pts[seg + 1];
         // Interpolate read *time* in log-log space.

@@ -187,8 +187,7 @@ impl FaultInjector {
         let dead = (0..size).map(|_| AtomicBool::new(false)).collect();
         let link_seq: Vec<AtomicU64> =
             (0..nchannels * size * size).map(|_| AtomicU64::new(0)).collect();
-        let reply_seq =
-            (0..nchannels * size * size).map(|_| AtomicU64::new(0)).collect();
+        let reply_seq = (0..nchannels * size * size).map(|_| AtomicU64::new(0)).collect();
         FaultInjector {
             plan,
             size,
@@ -250,8 +249,7 @@ impl FaultInjector {
         if src == dst || !self.channel_active(channel) {
             return DELIVER;
         }
-        let seq = self.link_seq[self.link_index(channel, src, dst)]
-            .fetch_add(1, Ordering::Relaxed);
+        let seq = self.link_seq[self.link_index(channel, src, dst)].fetch_add(1, Ordering::Relaxed);
         if self.blackholed(src, dst, seq) {
             self.stats.blackholed.fetch_add(1, Ordering::Relaxed);
             return SendVerdict { deliver: false, delay: None };

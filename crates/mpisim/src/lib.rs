@@ -49,6 +49,10 @@ pub struct Message {
     pub src: usize,
     /// Message tag.
     pub tag: Tag,
+    /// Request id carried for request-scoped tracing (0 = not part of a
+    /// traced request). Set by the `*_with_id` rpc variants; the serving
+    /// side stamps it onto the spans it records.
+    pub request_id: u64,
     /// Payload bytes.
     pub payload: Vec<u8>,
     /// Reply conduit set by [`Channel::rpc`]; a daemon answers with
@@ -156,18 +160,12 @@ impl Channel {
         let tx = self.senders.get(dest).ok_or(CommError::InvalidRank(dest))?;
         self.stats.bytes_sent.fetch_add(payload.len() as u64, Ordering::Relaxed);
         self.stats.msgs_sent.fetch_add(1, Ordering::Relaxed);
-        if !apply_send_faults(
-            &self.injector,
-            self.channel_index,
-            self.rank,
-            dest,
-            &mut payload,
-        ) {
+        if !apply_send_faults(&self.injector, self.channel_index, self.rank, dest, &mut payload) {
             // Blackholed or dropped in flight: a dead NIC, not an error —
             // the send "succeeds" and nothing arrives.
             return Ok(());
         }
-        tx.send(Message { src: self.rank, tag, payload, reply: None })
+        tx.send(Message { src: self.rank, tag, request_id: 0, payload, reply: None })
             .map_err(|_| CommError::Disconnected)
     }
 
@@ -225,17 +223,7 @@ impl Channel {
     /// daemon never consumes it — use [`Channel::rpc_timeout`] when the
     /// peer may be dead.
     pub fn rpc(&self, dest: usize, tag: Tag, payload: Vec<u8>) -> Result<Vec<u8>, CommError> {
-        rpc_inner(
-            &self.senders,
-            &self.stats,
-            &self.injector,
-            self.channel_index,
-            self.rank,
-            dest,
-            tag,
-            payload,
-            None,
-        )
+        self.rpc_with_id(dest, tag, payload, None, 0)
     }
 
     /// [`Channel::rpc`] with a deadline: fails with [`CommError::Timeout`]
@@ -247,6 +235,19 @@ impl Channel {
         payload: Vec<u8>,
         timeout: Duration,
     ) -> Result<Vec<u8>, CommError> {
+        self.rpc_with_id(dest, tag, payload, Some(timeout), 0)
+    }
+
+    /// Fully-general rpc: optional deadline plus a request id stamped
+    /// into the message envelope for request-scoped tracing.
+    pub fn rpc_with_id(
+        &self,
+        dest: usize,
+        tag: Tag,
+        payload: Vec<u8>,
+        timeout: Option<Duration>,
+        request_id: u64,
+    ) -> Result<Vec<u8>, CommError> {
         rpc_inner(
             &self.senders,
             &self.stats,
@@ -256,7 +257,8 @@ impl Channel {
             dest,
             tag,
             payload,
-            Some(timeout),
+            timeout,
+            request_id,
         )
     }
 
@@ -339,9 +341,8 @@ impl Channel {
         let right = self.ring_right();
         let left = self.ring_left();
 
-        let encode = |slice: &[f64]| -> Vec<u8> {
-            slice.iter().flat_map(|v| v.to_le_bytes()).collect()
-        };
+        let encode =
+            |slice: &[f64]| -> Vec<u8> { slice.iter().flat_map(|v| v.to_le_bytes()).collect() };
         let decode = |bytes: &[u8]| -> Result<Vec<f64>, CommError> {
             if !bytes.len().is_multiple_of(8) {
                 return Err(CommError::Disconnected);
@@ -442,6 +443,7 @@ fn rpc_inner(
     tag: Tag,
     mut payload: Vec<u8>,
     timeout: Option<Duration>,
+    request_id: u64,
 ) -> Result<Vec<u8>, CommError> {
     let tx = senders.get(dest).ok_or(CommError::InvalidRank(dest))?;
     let (rtx, rrx) = unbounded();
@@ -449,7 +451,7 @@ fn rpc_inner(
     stats.msgs_sent.fetch_add(1, Ordering::Relaxed);
     let deadline = timeout.map(|t| Instant::now() + t);
     if apply_send_faults(injector, channel, rank, dest, &mut payload) {
-        tx.send(Message { src: rank, tag, payload, reply: Some(rtx) })
+        tx.send(Message { src: rank, tag, request_id, payload, reply: Some(rtx) })
             .map_err(|_| CommError::Disconnected)?;
     } else {
         // A faulted request never reaches the daemon. Drop the reply
@@ -499,21 +501,20 @@ impl RemoteSender {
         self.senders.len()
     }
 
+    /// Shared traffic counters for the channel this handle sends on.
+    pub fn stats(&self) -> Arc<TrafficStats> {
+        Arc::clone(&self.stats)
+    }
+
     /// Send `payload` to `dest` with `tag` (no reply expected).
     pub fn send(&self, dest: usize, tag: Tag, mut payload: Vec<u8>) -> Result<(), CommError> {
         let tx = self.senders.get(dest).ok_or(CommError::InvalidRank(dest))?;
         self.stats.bytes_sent.fetch_add(payload.len() as u64, Ordering::Relaxed);
         self.stats.msgs_sent.fetch_add(1, Ordering::Relaxed);
-        if !apply_send_faults(
-            &self.injector,
-            self.channel_index,
-            self.rank,
-            dest,
-            &mut payload,
-        ) {
+        if !apply_send_faults(&self.injector, self.channel_index, self.rank, dest, &mut payload) {
             return Ok(());
         }
-        tx.send(Message { src: self.rank, tag, payload, reply: None })
+        tx.send(Message { src: self.rank, tag, request_id: 0, payload, reply: None })
             .map_err(|_| CommError::Disconnected)
     }
 
@@ -522,17 +523,7 @@ impl RemoteSender {
     /// consumes the request — use [`RemoteSender::rpc_timeout`] when the
     /// peer may be dead.
     pub fn rpc(&self, dest: usize, tag: Tag, payload: Vec<u8>) -> Result<Vec<u8>, CommError> {
-        rpc_inner(
-            &self.senders,
-            &self.stats,
-            &self.injector,
-            self.channel_index,
-            self.rank,
-            dest,
-            tag,
-            payload,
-            None,
-        )
+        self.rpc_with_id(dest, tag, payload, None, 0)
     }
 
     /// [`RemoteSender::rpc`] with a deadline: fails with
@@ -544,6 +535,19 @@ impl RemoteSender {
         payload: Vec<u8>,
         timeout: Duration,
     ) -> Result<Vec<u8>, CommError> {
+        self.rpc_with_id(dest, tag, payload, Some(timeout), 0)
+    }
+
+    /// Fully-general rpc: optional deadline plus a request id stamped
+    /// into the message envelope for request-scoped tracing.
+    pub fn rpc_with_id(
+        &self,
+        dest: usize,
+        tag: Tag,
+        payload: Vec<u8>,
+        timeout: Option<Duration>,
+        request_id: u64,
+    ) -> Result<Vec<u8>, CommError> {
         rpc_inner(
             &self.senders,
             &self.stats,
@@ -553,7 +557,8 @@ impl RemoteSender {
             dest,
             tag,
             payload,
-            Some(timeout),
+            timeout,
+            request_id,
         )
     }
 }
@@ -678,8 +683,7 @@ where
 
     std::thread::scope(|scope| {
         let f = &f;
-        let handles: Vec<_> =
-            contexts.into_iter().map(|ctx| scope.spawn(move || f(ctx))).collect();
+        let handles: Vec<_> = contexts.into_iter().map(|ctx| scope.spawn(move || f(ctx))).collect();
         handles.into_iter().map(|h| h.join().expect("rank thread panicked")).collect()
     })
 }
@@ -747,16 +751,8 @@ mod tests {
                     0
                 }
                 _ => {
-                    let order: [(usize, Tag); 8] = [
-                        (1, 21),
-                        (1, 21),
-                        (0, 11),
-                        (0, 11),
-                        (1, 20),
-                        (0, 10),
-                        (0, 10),
-                        (1, 20),
-                    ];
+                    let order: [(usize, Tag); 8] =
+                        [(1, 21), (1, 21), (0, 11), (0, 11), (1, 20), (0, 10), (0, 10), (1, 20)];
                     let mut streams: std::collections::HashMap<(usize, Tag), Vec<u8>> =
                         std::collections::HashMap::new();
                     for (src, tag) in order {
@@ -870,6 +866,27 @@ mod tests {
     }
 
     #[test]
+    fn rpc_request_id_rides_the_envelope() {
+        let results = launch(2, 1, |mut ctx| {
+            if ctx.rank == 0 {
+                let mut service = ctx.take_channel(0);
+                let m = service.recv().unwrap();
+                let id = m.request_id;
+                m.reply(Vec::new());
+                // Plain sends carry no request id.
+                let plain = service.recv().unwrap();
+                (id, plain.request_id)
+            } else {
+                let ch = ctx.take_channel(0);
+                ch.rpc_with_id(0, 1, vec![1], None, 0xBEEF).unwrap();
+                ch.send(0, 2, vec![2]).unwrap();
+                (0, 0)
+            }
+        });
+        assert_eq!(results[0], (0xBEEF, 0));
+    }
+
+    #[test]
     fn ring_neighbours() {
         launch(4, 1, |mut ctx| {
             let ch = ctx.take_channel(0);
@@ -930,8 +947,7 @@ mod tests {
         for size in [1usize, 2, 3, 5, 8] {
             let results = launch(size, 1, move |mut ctx| {
                 let mut ch = ctx.take_channel(0);
-                let local: Vec<f64> =
-                    (0..23).map(|i| (ctx.rank * 100 + i) as f64 * 0.5).collect();
+                let local: Vec<f64> = (0..23).map(|i| (ctx.rank * 100 + i) as f64 * 0.5).collect();
                 let ring = ch.ring_allreduce_f64(&local).unwrap();
                 let naive = ch.allreduce_f64(&local).unwrap();
                 (ring, naive)
@@ -1039,10 +1055,7 @@ mod tests {
             } else {
                 let started = std::time::Instant::now();
                 let r = ch.rpc_timeout(0, 1, vec![1], Duration::from_millis(50));
-                assert!(
-                    started.elapsed() < Duration::from_secs(5),
-                    "deadline must bound the wait"
-                );
+                assert!(started.elapsed() < Duration::from_secs(5), "deadline must bound the wait");
                 ch.send(0, 99, Vec::new()).unwrap();
                 r
             }

@@ -142,22 +142,13 @@ pub fn decompress_budget_per_file(app: &AppProfile, io: &IoProfile, expected_rat
     let raw = t_read(app.c_batch, app.s_batch_raw_mb, io.tpt_read_raw, io.bdw_read_raw);
     let budget = match app.io_mode {
         IoMode::Sync => {
-            let compressed = t_read(
-                app.c_batch,
-                app.s_batch_raw_mb / expected_ratio,
-                io.tpt_read,
-                io.bdw_read,
-            );
+            let compressed =
+                t_read(app.c_batch, app.s_batch_raw_mb / expected_ratio, io.tpt_read, io.bdw_read);
             raw - compressed
         }
         IoMode::Async => {
             app.t_iter
-                - t_read(
-                    app.c_batch,
-                    app.s_batch_raw_mb / expected_ratio,
-                    io.tpt_read,
-                    io.bdw_read,
-                )
+                - t_read(app.c_batch, app.s_batch_raw_mb / expected_ratio, io.tpt_read, io.bdw_read)
         }
     };
     budget / app.c_batch * app.decompress_parallelism
@@ -177,12 +168,7 @@ pub fn select(app: &AppProfile, io: &IoProfile, candidates: &[Candidate]) -> Sel
                 IoMode::Sync => raw_read,
                 IoMode::Async => app.t_iter,
             };
-            Evaluation {
-                candidate: c.clone(),
-                fetch_time,
-                budget,
-                feasible: fetch_time < budget,
-            }
+            Evaluation { candidate: c.clone(), fetch_time, budget, feasible: fetch_time < budget }
         })
         .collect();
     Selection { evaluations }
@@ -210,7 +196,7 @@ mod tests {
                 decompress_parallelism: 4.0,
             },
             IoProfile {
-                tpt_read: 9469.0,   // 512 KB row, GTX (compressed size)
+                tpt_read: 9469.0, // 512 KB row, GTX (compressed size)
                 bdw_read: 4969.0,
                 tpt_read_raw: 3158.0, // 2 MB row, GTX (raw size)
                 bdw_read_raw: 6663.0,
@@ -262,8 +248,7 @@ mod tests {
             cand("lzma-6", 41261.0, 4.2),
         ];
         let sel = select(&app, &io, &candidates);
-        let feasible: Vec<&str> =
-            sel.feasible().map(|e| e.candidate.name.as_str()).collect();
+        let feasible: Vec<&str> = sel.feasible().map(|e| e.candidate.name.as_str()).collect();
         assert!(feasible.contains(&"lzsse8-2"), "feasible: {feasible:?}");
         assert!(!feasible.contains(&"lzma-6"), "lzma far too slow for sync");
         assert!(!feasible.contains(&"zling-4"));
@@ -347,8 +332,7 @@ mod tests {
             cand("lzma-6", 43382.0, 4.2),
         ];
         let sel = select(&app, &io, &candidates);
-        let feasible: Vec<&str> =
-            sel.feasible().map(|e| e.candidate.name.as_str()).collect();
+        let feasible: Vec<&str> = sel.feasible().map(|e| e.candidate.name.as_str()).collect();
         assert!(!feasible.contains(&"brotli-9"));
         assert!(!feasible.contains(&"lzma-6"));
         // §VII-E3: the V100 budget (~125 us/file) admits no compressor
@@ -356,8 +340,7 @@ mod tests {
         // chosen pragmatically. The evaluation must rank the candidates by
         // how close they come: lz4fast closest, then lz4hc, then brotli,
         // then lzma far behind.
-        let overshoot: Vec<f64> =
-            sel.evaluations.iter().map(|e| e.fetch_time / e.budget).collect();
+        let overshoot: Vec<f64> = sel.evaluations.iter().map(|e| e.fetch_time / e.budget).collect();
         assert!(overshoot[0] < overshoot[1], "lz4fast closest: {overshoot:?}");
         assert!(overshoot[1] < overshoot[2]);
         assert!(overshoot[2] < overshoot[3]);

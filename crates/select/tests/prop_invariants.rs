@@ -22,8 +22,7 @@ fn app_strategy() -> impl Strategy<Value = AppProfile> {
 }
 
 fn io_strategy() -> impl Strategy<Value = IoProfile> {
-    (10.0f64..100_000.0, 1.0f64..20_000.0)
-        .prop_map(|(tpt, bdw)| IoProfile::uniform(tpt, bdw))
+    (10.0f64..100_000.0, 1.0f64..20_000.0).prop_map(|(tpt, bdw)| IoProfile::uniform(tpt, bdw))
 }
 
 fn candidate_strategy() -> impl Strategy<Value = Candidate> {

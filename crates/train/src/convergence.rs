@@ -128,8 +128,7 @@ pub fn train(
 
     for _epoch in 0..epochs {
         // Each node shuffles its own pool (per the regime) and walks it.
-        let mut orders: Vec<Vec<usize>> =
-            (0..nodes).map(|k| pool_for(k, sampling)).collect();
+        let mut orders: Vec<Vec<usize>> = (0..nodes).map(|k| pool_for(k, sampling)).collect();
         for order in orders.iter_mut() {
             order.shuffle(&mut rng);
         }
@@ -139,11 +138,7 @@ pub fn train(
             let mut g = [0.0f64; 3];
             let mut count = 0usize;
             for order in &orders {
-                for &idx in order
-                    .iter()
-                    .skip(step * batch_per_node)
-                    .take(batch_per_node)
-                {
+                for &idx in order.iter().skip(step * batch_per_node).take(batch_per_node) {
                     model.grad(&data[idx], &mut g);
                     count += 1;
                 }

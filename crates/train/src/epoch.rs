@@ -42,6 +42,10 @@ pub struct EpochReport {
     /// read-through fallbacks, lost metadata forwards): non-zero means
     /// training survived faults rather than running clean.
     pub degraded: u64,
+    /// Per-epoch-range metrics delta (counters and latency histograms
+    /// scoped to this run), or `None` when the cluster runs with
+    /// metrics disabled.
+    pub metrics: Option<fanstore::metrics::Snapshot>,
 }
 
 /// Run `cfg.epochs` epochs of batch reads on this node's view of the
@@ -60,10 +64,12 @@ pub fn run_epoch_range(
     start: usize,
     end: usize,
 ) -> Result<EpochReport, FsError> {
+    let metrics = &fs.state().metrics;
+    let metrics_before = metrics.is_enabled().then(|| metrics.snapshot());
+    let degraded_before = fs.state().stats.degraded_total();
     // Startup: enumerate the dataset (the §II-B1 metadata step).
     let files = fs.enumerate(&cfg.root)?;
     let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ (fs.rank() as u64) << 32);
-    let degraded_before = fs.state().stats.degraded_total();
 
     let mut iterations = 0usize;
     let mut bytes_read = 0u64;
@@ -102,6 +108,7 @@ pub fn run_epoch_range(
         bytes_read,
         checkpoints,
         degraded: fs.state().stats.degraded_total() - degraded_before,
+        metrics: metrics_before.map(|b| fs.state().metrics.snapshot().delta(&b)),
     })
 }
 
@@ -147,6 +154,10 @@ mod tests {
             assert_eq!(r.bytes_read, total_bytes * 2, "every file read once per epoch");
             assert_eq!(r.checkpoints, 2);
             assert_eq!(r.degraded, 0, "clean run: no recovery events");
+            let m = r.metrics.as_ref().expect("metrics are on by default");
+            let get = m.histograms.get("client.get.latency_us").expect("GET histogram");
+            assert_eq!(get.count, 20, "every file fetched once per epoch");
+            assert!(m.counter("client.files.written") >= 2, "checkpoints counted");
         }
     }
 

@@ -163,7 +163,8 @@ mod tests {
     fn srgan_v100_lz4hc_loses_under_5_pct() {
         // §VII-E3: lz4hc achieves 95.3% of baseline on V100.
         let app = AppSpec::srgan_v100();
-        let baseline = FetchModel { tpt_read: 5026.0, bdw_read: 10546.0, ratio: 1.0, decomp_s_per_file: 0.0 };
+        let baseline =
+            FetchModel { tpt_read: 5026.0, bdw_read: 10546.0, ratio: 1.0, decomp_s_per_file: 0.0 };
         let lz4hc = FetchModel {
             tpt_read: 8654.0,
             bdw_read: 4540.0,

@@ -79,9 +79,11 @@ where
             let ready_tx = ready_tx.clone();
             scope.spawn(move || {
                 while let Ok((index, path)) = work_rx.recv() {
-                    let result = fs
-                        .read_whole(&path)
-                        .map(|data| Fetched { index, path: path.clone(), data });
+                    let result = fs.read_whole(&path).map(|data| Fetched {
+                        index,
+                        path: path.clone(),
+                        data,
+                    });
                     if ready_tx.send(result).is_err() {
                         return;
                     }

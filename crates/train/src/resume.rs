@@ -71,9 +71,7 @@ mod tests {
     use fanstore::prep::{prepare, PrepConfig};
 
     fn dataset(n: usize) -> Vec<(String, Vec<u8>)> {
-        (0..n)
-            .map(|i| (format!("d/f{i:02}.bin"), vec![i as u8; 500]))
-            .collect()
+        (0..n).map(|i| (format!("d/f{i:02}.bin"), vec![i as u8; 500])).collect()
     }
 
     #[test]

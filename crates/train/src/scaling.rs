@@ -133,11 +133,8 @@ pub fn weak_scaling(
         let compute = app.t_iter + allreduce;
 
         // A per-node app view for the pipeline composition.
-        let node_app = AppSpec {
-            c_batch: per_node_files,
-            s_batch_raw_mb: per_node_mb,
-            ..app.clone()
-        };
+        let node_app =
+            AppSpec { c_batch: per_node_files, s_batch_raw_mb: per_node_mb, ..app.clone() };
 
         let (iter, startup) = match storage {
             ScaleStorage::FanStore { read, ratio, decomp_s_per_file } => {
@@ -249,11 +246,8 @@ mod tests {
         let app = AppSpec::srgan_gtx();
         let cluster = Cluster::gtx();
         let read = presets::fanstore_gtx();
-        let storage = ScaleStorage::FanStore {
-            read: &read,
-            ratio: 2.5,
-            decomp_s_per_file: 619e-3 / 256.0,
-        };
+        let storage =
+            ScaleStorage::FanStore { read: &read, ratio: 2.5, decomp_s_per_file: 619e-3 / 256.0 };
         weak_scaling(&app, &cluster, &storage, nodes, 600_000, 6)
     }
 
@@ -284,8 +278,7 @@ mod tests {
             ratio: 1.0, // ImageNet does not compress
             decomp_s_per_file: 0.0,
         };
-        let points =
-            weak_scaling(&app, &cluster, &storage, &[1, 64, 512], 1_300_000, 2_002);
+        let points = weak_scaling(&app, &cluster, &storage, &[1, 64, 512], 1_300_000, 2_002);
         let eff = final_efficiency(&points);
         assert!(eff > 0.9, "ResNet@512 efficiency {eff} (paper 92.2%)");
         // Startup stays in seconds.

@@ -120,8 +120,7 @@ mod tests {
 
     #[test]
     fn roundtrip_multiple_records() {
-        let records: Vec<Vec<u8>> =
-            (0..10).map(|i| vec![i as u8; (i * 37 + 5) % 200]).collect();
+        let records: Vec<Vec<u8>> = (0..10).map(|i| vec![i as u8; (i * 37 + 5) % 200]).collect();
         let file = build_record_file(records.iter().map(|r| r.as_slice()));
         let mut reader = RecordReader::new(&file);
         for expect in &records {
@@ -148,20 +147,14 @@ mod tests {
         let mut file = build_record_file([b"payload-bytes".as_slice()]);
         let n = file.len();
         file[n - 6] ^= 0x01; // inside payload
-        assert_eq!(
-            RecordReader::new(&file).verify_all(),
-            Err(RecordError::BadChecksum)
-        );
+        assert_eq!(RecordReader::new(&file).verify_all(), Err(RecordError::BadChecksum));
     }
 
     #[test]
     fn corrupt_length_detected() {
         let mut file = build_record_file([b"abc".as_slice()]);
         file[0] ^= 0x01;
-        assert_eq!(
-            RecordReader::new(&file).verify_all(),
-            Err(RecordError::BadChecksum)
-        );
+        assert_eq!(RecordReader::new(&file).verify_all(), Err(RecordError::BadChecksum));
     }
 
     #[test]

@@ -6,7 +6,6 @@
 //! cargo run --release --example chaos_recovery
 //! ```
 
-use std::sync::atomic::Ordering;
 use std::time::Duration;
 
 use fanstore_repro::mpi::FaultPlan;
@@ -58,12 +57,7 @@ fn main() {
     let reports = FanStore::run(cfg, packed.partitions.clone(), |fs| {
         let report = run_epochs(fs, &epoch_cfg).expect("training survives");
         let s = &fs.state().stats;
-        (
-            report,
-            s.rpc_timeouts.load(Ordering::Relaxed),
-            s.crc_failures.load(Ordering::Relaxed),
-            s.read_through_reads.load(Ordering::Relaxed),
-        )
+        (report, s.rpc_timeouts.get(), s.crc_failures.get(), s.read_through_reads.get())
     });
     for (rank, (r, timeouts, crc, read_through)) in reports.iter().enumerate() {
         println!(

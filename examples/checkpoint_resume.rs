@@ -9,14 +9,13 @@ use fanstore_repro::datagen::{DatasetKind, DatasetSpec};
 use fanstore_repro::store::cluster::{ClusterConfig, FanStore};
 use fanstore_repro::store::prep::{prepare, PrepConfig};
 use fanstore_repro::train::epoch::{run_epoch_range, EpochConfig};
-use fanstore_repro::train::resume::{export_checkpoints, latest_checkpoint_epoch, run_epochs_resuming};
+use fanstore_repro::train::resume::{
+    export_checkpoints, latest_checkpoint_epoch, run_epochs_resuming,
+};
 
 fn main() {
     let spec = DatasetSpec::scaled(DatasetKind::LungNii, 12, 0xC3);
-    let packed = prepare(
-        spec.generate_all(),
-        &PrepConfig { partitions: 2, ..Default::default() },
-    );
+    let packed = prepare(spec.generate_all(), &PrepConfig { partitions: 2, ..Default::default() });
     println!(
         "lung CT dataset packed at ratio {:.2} ({} -> {} bytes)",
         packed.ratio(),
@@ -33,10 +32,8 @@ fn main() {
         seed: 77,
     };
 
-    let exported = FanStore::run(
-        ClusterConfig { nodes: 2, ..Default::default() },
-        packed.partitions,
-        |fs| {
+    let exported =
+        FanStore::run(ClusterConfig { nodes: 2, ..Default::default() }, packed.partitions, |fs| {
             // First allocation: run 3 of 6 epochs, then simulate a failure.
             run_epoch_range(fs, &cfg, 0, 3).expect("first allocation");
             println!(
@@ -58,8 +55,7 @@ fn main() {
 
             // Export for the next allocation's shared-FS staging.
             export_checkpoints(fs).expect("export")
-        },
-    );
+        });
 
     for (rank, ckpts) in exported.iter().enumerate() {
         println!(

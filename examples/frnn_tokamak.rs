@@ -30,7 +30,8 @@ fn main() {
     let spec = DatasetSpec::scaled(DatasetKind::TokamakNpz, 512, 0xF_12A);
     let files = spec.generate_all();
     let raw_bytes: usize = files.iter().map(|(_, d)| d.len()).sum();
-    let block_padded: usize = files.iter().map(|(_, d)| d.len().div_ceil(FS_BLOCK) * FS_BLOCK).sum();
+    let block_padded: usize =
+        files.iter().map(|(_, d)| d.len().div_ceil(FS_BLOCK) * FS_BLOCK).sum();
 
     // 2. Pack with lz4hc. The paper's observation: each small file wastes
     //    most of a 4 KB block on a normal file system; concatenation into
@@ -64,11 +65,10 @@ fn main() {
         checkpoint_bytes: 0,
         seed: 11,
     };
-    let reports = FanStore::run(
-        ClusterConfig { nodes: 4, ..Default::default() },
-        packed.partitions,
-        |fs| run_epochs(fs, &cfg).expect("epochs"),
-    );
+    let reports =
+        FanStore::run(ClusterConfig { nodes: 4, ..Default::default() }, packed.partitions, |fs| {
+            run_epochs(fs, &cfg).expect("epochs")
+        });
     for (rank, r) in reports.iter().enumerate() {
         println!(
             "rank {rank}: {} files seen, {} iterations, {:.2} MB delivered",

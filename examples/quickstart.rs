@@ -43,10 +43,8 @@ fn main() {
     // 3. Run a 4-node cluster. Every node sees the same global namespace;
     //    files whose partition lives elsewhere are fetched compressed over
     //    the (simulated) interconnect and decompressed locally.
-    let reports = FanStore::run(
-        ClusterConfig { nodes: 4, ..Default::default() },
-        packed.partitions,
-        |fs| {
+    let reports =
+        FanStore::run(ClusterConfig { nodes: 4, ..Default::default() }, packed.partitions, |fs| {
             // Enumerate like a training framework at startup.
             let all = fs.enumerate("train").expect("enumerate");
             assert_eq!(all.len(), 24);
@@ -63,13 +61,8 @@ fn main() {
             fs.write_whole(&ckpt, &vec![0u8; 1024]).expect("checkpoint");
 
             let stats = fs.state();
-            (
-                n,
-                stats.stats.local_opens.load(std::sync::atomic::Ordering::Relaxed),
-                stats.stats.remote_opens.load(std::sync::atomic::Ordering::Relaxed),
-            )
-        },
-    );
+            (n, stats.stats.local_opens.get(), stats.stats.remote_opens.get())
+        });
 
     for (rank, (n, local, remote)) in reports.iter().enumerate() {
         println!("rank {rank}: read {n} bytes after seek; opens local={local} remote={remote}");

@@ -27,8 +27,10 @@ fn main() {
     };
 
     println!("ResNet-50 on the CPU cluster (weak scaling, modelled):");
-    println!("{:>6} {:>10} {:>14} {:>8} {:>14} | {:>14} {:>8} {:>14}", "nodes", "sockets",
-        "FanStore img/s", "eff", "startup", "Lustre img/s", "eff", "startup");
+    println!(
+        "{:>6} {:>10} {:>14} {:>8} {:>14} | {:>14} {:>8} {:>14}",
+        "nodes", "sockets", "FanStore img/s", "eff", "startup", "Lustre img/s", "eff", "startup"
+    );
     let fan_pts = weak_scaling(&app, &cluster, &fan, &nodes, 1_300_000, 2_002);
     let sh_pts = weak_scaling(&app, &cluster, &shared, &nodes, 1_300_000, 2_002);
     for (f, s) in fan_pts.iter().zip(&sh_pts) {

@@ -23,8 +23,7 @@ fn measure(name: &str, samples: &[Vec<u8>]) -> Candidate {
         .collect();
     let t0 = std::time::Instant::now();
     for (c, s) in compressed.iter().zip(samples) {
-        let out =
-            fanstore_repro::compress::decompress_to_vec(codec.as_ref(), c, s.len()).unwrap();
+        let out = fanstore_repro::compress::decompress_to_vec(codec.as_ref(), c, s.len()).unwrap();
         std::hint::black_box(&out);
     }
     let input: usize = samples.iter().map(Vec::len).sum();
@@ -100,11 +99,10 @@ fn main() {
         checkpoint_bytes: 64 * 1024,
         seed: 42,
     };
-    let reports = FanStore::run(
-        ClusterConfig { nodes: 4, ..Default::default() },
-        packed.partitions,
-        |fs| run_epochs(fs, &cfg).expect("epochs"),
-    );
+    let reports =
+        FanStore::run(ClusterConfig { nodes: 4, ..Default::default() }, packed.partitions, |fs| {
+            run_epochs(fs, &cfg).expect("epochs")
+        });
     for (rank, r) in reports.iter().enumerate() {
         println!(
             "rank {rank}: {} files, {} iterations, {:.1} MB read, {} checkpoints",

@@ -108,12 +108,7 @@ impl Criterion {
 
     /// Open a named group of related benches.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup {
-            criterion: self,
-            name: name.into(),
-            throughput: None,
-            sample_size: None,
-        }
+        BenchmarkGroup { criterion: self, name: name.into(), throughput: None, sample_size: None }
     }
 
     /// Run a standalone bench.

@@ -77,9 +77,7 @@ impl fmt::Display for RecvTimeoutError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             RecvTimeoutError::Timeout => f.write_str("timed out waiting on channel"),
-            RecvTimeoutError::Disconnected => {
-                f.write_str("channel is empty and disconnected")
-            }
+            RecvTimeoutError::Disconnected => f.write_str("channel is empty and disconnected"),
         }
     }
 }
@@ -139,11 +137,7 @@ impl<T> Sender<T> {
             }
             match self.shared.capacity {
                 Some(cap) if state.queue.len() >= cap => {
-                    state = self
-                        .shared
-                        .not_full
-                        .wait(state)
-                        .unwrap_or_else(|e| e.into_inner());
+                    state = self.shared.not_full.wait(state).unwrap_or_else(|e| e.into_inner());
                 }
                 _ => break,
             }
@@ -202,11 +196,7 @@ impl<T> Receiver<T> {
             if state.senders == 0 {
                 return Err(RecvError);
             }
-            state = self
-                .shared
-                .not_empty
-                .wait(state)
-                .unwrap_or_else(|e| e.into_inner());
+            state = self.shared.not_empty.wait(state).unwrap_or_else(|e| e.into_inner());
         }
     }
 
@@ -405,17 +395,11 @@ mod tests {
     #[test]
     fn recv_timeout_expires_and_delivers() {
         let (tx, rx) = unbounded();
-        assert_eq!(
-            rx.recv_timeout(Duration::from_millis(10)),
-            Err(RecvTimeoutError::Timeout)
-        );
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Err(RecvTimeoutError::Timeout));
         tx.send(3).unwrap();
         assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Ok(3));
         drop(tx);
-        assert_eq!(
-            rx.recv_timeout(Duration::from_millis(10)),
-            Err(RecvTimeoutError::Disconnected)
-        );
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Err(RecvTimeoutError::Disconnected));
     }
 
     #[test]

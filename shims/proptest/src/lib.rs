@@ -482,9 +482,7 @@ mod tests {
         for _ in 0..200 {
             let s = crate::string::sample_pattern("[a-z0-9_]{1,12}", &mut rng);
             assert!((1..=12).contains(&s.len()));
-            assert!(s
-                .chars()
-                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+            assert!(s.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
         }
     }
 

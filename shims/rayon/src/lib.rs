@@ -33,12 +33,8 @@ mod tests {
 
     #[test]
     fn order_preserving_map_collect() {
-        let v: Vec<usize> = (0..100)
-            .collect::<Vec<_>>()
-            .into_par_iter()
-            .enumerate()
-            .map(|(i, x)| i + x)
-            .collect();
+        let v: Vec<usize> =
+            (0..100).collect::<Vec<_>>().into_par_iter().enumerate().map(|(i, x)| i + x).collect();
         assert_eq!(v, (0..100).map(|x| 2 * x).collect::<Vec<_>>());
     }
 }

@@ -91,18 +91,15 @@ fn multi_node_resume_continues_numbering() {
         checkpoint_bytes: 64,
         seed: 5,
     };
-    let results = FanStore::run(
-        ClusterConfig { nodes: 2, ..Default::default() },
-        packed.partitions,
-        |fs| {
+    let results =
+        FanStore::run(ClusterConfig { nodes: 2, ..Default::default() }, packed.partitions, |fs| {
             // First allocation: 1 epoch, then "crash".
             run_epoch_range(fs, &cfg, 0, 1).unwrap();
             assert_eq!(latest_checkpoint_epoch(fs), Some(1));
             // Resume to completion.
             let (report, from) = run_epochs_resuming(fs, &cfg).unwrap();
             (from, report.checkpoints, latest_checkpoint_epoch(fs))
-        },
-    );
+        });
     for (from, checkpoints, latest) in results {
         assert_eq!(from, 1);
         assert_eq!(checkpoints, 3);

@@ -8,7 +8,6 @@
 //! function of the seed, the degraded-read counters must be *identical*
 //! across two runs of the same plan.
 
-use std::sync::atomic::Ordering;
 use std::time::Duration;
 
 use fanstore_repro::mpi::FaultPlan;
@@ -80,9 +79,9 @@ fn chaotic_run(seed: u64) -> Vec<RankOutcome> {
             bytes_read: report.bytes_read,
             iterations: report.iterations,
             degraded: report.degraded,
-            read_through: stats.read_through_reads.load(Ordering::Relaxed),
-            rpc_timeouts: stats.rpc_timeouts.load(Ordering::Relaxed),
-            crc_failures: stats.crc_failures.load(Ordering::Relaxed),
+            read_through: stats.read_through_reads.get(),
+            rpc_timeouts: stats.rpc_timeouts.get(),
+            crc_failures: stats.crc_failures.get(),
         }
     })
 }
@@ -112,10 +111,7 @@ fn training_survives_a_dead_rank_and_corruption() {
         "rank 0's outgoing links are dead; it must read through: {outcomes:?}"
     );
     let survivor_failovers: u64 = outcomes[1..].iter().map(|o| o.rpc_timeouts).sum();
-    assert!(
-        survivor_failovers > 0,
-        "survivors must have seen rank 0 time out: {outcomes:?}"
-    );
+    assert!(survivor_failovers > 0, "survivors must have seen rank 0 time out: {outcomes:?}");
     // Each read-through fallback marks exactly one degraded read, so the
     // degraded counter bounds it from above on every rank.
     for (rank, o) in outcomes.iter().enumerate() {

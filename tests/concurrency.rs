@@ -11,17 +11,14 @@ use fanstore_repro::store::prep::{prepare, PrepConfig};
 
 fn dataset(n: usize) -> Vec<(String, Vec<u8>)> {
     (0..n)
-        .map(|i| {
-            (format!("cc/f{i:03}.bin"), format!("content-{i}-").repeat(200 + i).into_bytes())
-        })
+        .map(|i| (format!("cc/f{i:03}.bin"), format!("content-{i}-").repeat(200 + i).into_bytes()))
         .collect()
 }
 
 #[test]
 fn many_threads_share_one_client() {
     let files = dataset(12);
-    let expected: Vec<(String, u32)> =
-        files.iter().map(|(p, d)| (p.clone(), crc32(d))).collect();
+    let expected: Vec<(String, u32)> = files.iter().map(|(p, d)| (p.clone(), crc32(d))).collect();
     let packed = prepare(files, &PrepConfig { partitions: 2, ..Default::default() });
 
     let errors = FanStore::run(
@@ -94,10 +91,8 @@ fn concurrent_fd_tables_are_independent() {
 #[test]
 fn concurrent_writers_to_distinct_files() {
     let packed = prepare(dataset(2), &PrepConfig { partitions: 2, ..Default::default() });
-    let counts = FanStore::run(
-        ClusterConfig { nodes: 2, ..Default::default() },
-        packed.partitions,
-        |fs| {
+    let counts =
+        FanStore::run(ClusterConfig { nodes: 2, ..Default::default() }, packed.partitions, |fs| {
             std::thread::scope(|s| {
                 for t in 0..4usize {
                     s.spawn(move || {
@@ -106,8 +101,7 @@ fn concurrent_writers_to_distinct_files() {
                     });
                 }
             });
-            fs.state().stats.files_written.load(Ordering::Relaxed)
-        },
-    );
+            fs.state().stats.files_written.get()
+        });
     assert_eq!(counts, vec![4, 4]);
 }

@@ -2,8 +2,6 @@
 //! multi-node FanStore cluster -> training-style epochs, verifying bytes
 //! and the paper's structural claims along the way.
 
-use std::sync::atomic::Ordering;
-
 use fanstore_repro::compress::registry::parse_name;
 use fanstore_repro::datagen::{DatasetKind, DatasetSpec};
 use fanstore_repro::store::cluster::{ClusterConfig, FanStore};
@@ -30,10 +28,8 @@ fn packed_dataset(kind: DatasetKind, n: usize, partitions: usize) -> (Files, Vec
 fn every_byte_survives_the_full_path() {
     // Tokamak files are small enough to verify every byte cheaply.
     let (files, partitions) = packed_dataset(DatasetKind::TokamakNpz, 32, 3);
-    let results = FanStore::run(
-        ClusterConfig { nodes: 3, ..Default::default() },
-        partitions,
-        |fs| {
+    let results =
+        FanStore::run(ClusterConfig { nodes: 3, ..Default::default() }, partitions, |fs| {
             let mut mismatches = 0usize;
             for (path, expect) in &files {
                 let got = fs.read_whole(path).unwrap();
@@ -42,8 +38,7 @@ fn every_byte_survives_the_full_path() {
                 }
             }
             mismatches
-        },
-    );
+        });
     assert_eq!(results, vec![0, 0, 0]);
 }
 
@@ -59,11 +54,10 @@ fn epochs_across_nodes_with_checkpoints() {
         checkpoint_bytes: 1024,
         seed: 99,
     };
-    let reports = FanStore::run(
-        ClusterConfig { nodes: 2, ..Default::default() },
-        partitions,
-        |fs| run_epochs(fs, &cfg).unwrap(),
-    );
+    let reports =
+        FanStore::run(ClusterConfig { nodes: 2, ..Default::default() }, partitions, |fs| {
+            run_epochs(fs, &cfg).unwrap()
+        });
     for r in &reports {
         assert_eq!(r.files_seen, 12);
         assert_eq!(r.iterations, 2 * 12usize.div_ceil(4));
@@ -75,11 +69,10 @@ fn epochs_across_nodes_with_checkpoints() {
 #[test]
 fn incompressible_dataset_round_trips_via_store_fallback() {
     let (files, partitions) = packed_dataset(DatasetKind::ImageNetJpg, 8, 2);
-    let results = FanStore::run(
-        ClusterConfig { nodes: 2, ..Default::default() },
-        partitions,
-        |fs| files.iter().all(|(p, d)| &fs.read_whole(p).unwrap() == d),
-    );
+    let results =
+        FanStore::run(ClusterConfig { nodes: 2, ..Default::default() }, partitions, |fs| {
+            files.iter().all(|(p, d)| &fs.read_whole(p).unwrap() == d)
+        });
     assert_eq!(results, vec![true, true]);
 }
 
@@ -87,9 +80,8 @@ fn incompressible_dataset_round_trips_via_store_fallback() {
 fn broadcast_validation_set_is_local_on_every_node() {
     let (_, partitions) = packed_dataset(DatasetKind::EmTif, 4, 4);
     let val_spec = DatasetSpec::scaled(DatasetKind::EmTif, 2, 0x7A1);
-    let val_files: Vec<(String, Vec<u8>)> = (0..2)
-        .map(|i| (format!("val/v{i}.tif"), val_spec.generate(i)))
-        .collect();
+    let val_files: Vec<(String, Vec<u8>)> =
+        (0..2).map(|i| (format!("val/v{i}.tif"), val_spec.generate(i))).collect();
     let broadcast = prepare_broadcast(val_files.clone(), &PrepConfig::default());
 
     let remote_opens = FanStore::run(
@@ -99,7 +91,7 @@ fn broadcast_validation_set_is_local_on_every_node() {
             for (p, d) in &val_files {
                 assert_eq!(&fs.read_whole(p).unwrap(), d);
             }
-            fs.state().stats.remote_opens.load(Ordering::Relaxed)
+            fs.state().stats.remote_opens.get()
         },
     );
     assert_eq!(remote_opens, vec![0, 0, 0, 0], "validation reads never cross the fabric");
@@ -117,7 +109,7 @@ fn replication_trades_memory_for_locality() {
             for (p, _) in &files {
                 fs.read_whole(p).unwrap();
             }
-            fs.state().stats.remote_opens.load(Ordering::Relaxed)
+            fs.state().stats.remote_opens.get()
         },
     );
     // Half the dataset is now local on every node: remote opens must be
@@ -130,11 +122,10 @@ fn replication_trades_memory_for_locality() {
 #[test]
 fn metadata_enumeration_is_complete_and_identical_on_all_nodes() {
     let (files, partitions) = packed_dataset(DatasetKind::ImageNetJpg, 30, 5);
-    let listings = FanStore::run(
-        ClusterConfig { nodes: 5, ..Default::default() },
-        partitions,
-        |fs| fs.enumerate("imagenet").unwrap(),
-    );
+    let listings =
+        FanStore::run(ClusterConfig { nodes: 5, ..Default::default() }, partitions, |fs| {
+            fs.enumerate("imagenet").unwrap()
+        });
     let expect: Vec<String> = {
         let mut v: Vec<String> = files.iter().map(|(p, _)| p.clone()).collect();
         v.sort();

@@ -7,9 +7,7 @@ use fanstore_repro::store::prep::{prepare, PrepConfig};
 use fanstore_repro::train::epoch::{run_epochs, EpochConfig};
 
 fn dataset(n: usize) -> Vec<(String, Vec<u8>)> {
-    (0..n)
-        .map(|i| (format!("tr/d{}/f{i:02}.bin", i % 3), vec![i as u8; 2048]))
-        .collect()
+    (0..n).map(|i| (format!("tr/d{}/f{i:02}.bin", i % 3), vec![i as u8; 2048])).collect()
 }
 
 #[test]
