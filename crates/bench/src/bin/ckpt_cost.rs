@@ -1,0 +1,5 @@
+//! Measure checkpoint write/restore cost and the delta-vs-full storage
+//! ratio on the durable checkpoint store.
+fn main() {
+    print!("{}", fanstore_bench::experiments::ckpt_cost::run(6, 256));
+}

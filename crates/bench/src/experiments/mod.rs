@@ -1,6 +1,7 @@
 //! Experiment generators, one per paper table/figure. See DESIGN.md §3
 //! for the experiment index.
 
+pub mod ckpt_cost;
 pub mod fig1;
 pub mod fig6;
 pub mod fig7;
@@ -82,6 +83,7 @@ pub fn all(quick: bool) -> String {
         global_view::run(),
         lossy_fw::run(if quick { 2 } else { 8 }),
         metrics_overhead::run(if quick { 1 } else { 3 }),
+        ckpt_cost::run(if quick { 2 } else { 6 }, if quick { 8 } else { 128 }),
     ] {
         out.push_str(&section);
         out.push('\n');

@@ -4,6 +4,7 @@
 //! ```sh
 //! fanstore metrics [--nodes 4] [--files 24] [--json true]
 //! fanstore trace dump [--nodes 4] [--files 24]
+//! fanstore ckpt <ls | verify | gc> [--nodes 4] [--generations 5] [--keep-last 2]
 //! ```
 //!
 //! `metrics` merges every rank's registry into one cluster-wide view and
@@ -15,9 +16,10 @@
 
 use std::process::ExitCode;
 
-use fanstore_cli::{run_metrics_demo, run_trace_dump, Args};
+use fanstore_cli::{run_ckpt_demo, run_metrics_demo, run_trace_dump, Args};
 
-const USAGE: &str = "usage: fanstore <metrics | trace dump> [--nodes N] [--files N] [--json true]";
+const USAGE: &str = "usage: fanstore <metrics | trace dump | ckpt ls | ckpt verify | ckpt gc> \
+                     [--nodes N] [--files N] [--json true] [--generations N] [--keep-last K]";
 
 fn main() -> ExitCode {
     let args = match Args::parse(std::env::args().skip(1)) {
@@ -47,6 +49,23 @@ fn main() -> ExitCode {
             run_metrics_demo(nodes, files, json)
         }
         [cmd, sub] if cmd == "trace" && sub == "dump" => run_trace_dump(nodes, files),
+        [cmd, sub] if cmd == "ckpt" => {
+            let generations = match args.get_usize("generations", 5) {
+                Ok(n) => n,
+                Err(e) => {
+                    eprintln!("fanstore: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let keep_last = match args.get_usize("keep-last", 2) {
+                Ok(n) => n,
+                Err(e) => {
+                    eprintln!("fanstore: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            run_ckpt_demo(sub, nodes, generations, keep_last)
+        }
         _ => {
             eprintln!("{USAGE}");
             return ExitCode::FAILURE;

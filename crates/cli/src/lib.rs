@@ -11,7 +11,8 @@
 //!   demo workload on an in-process cluster and prints the merged
 //!   cluster-wide metrics (or `--json true` for the snapshot);
 //!   `fanstore trace dump` prints the I/O event rings and per-request
-//!   span timelines.
+//!   span timelines; `fanstore ckpt {ls,verify,gc}` exercises the
+//!   durable checkpoint store and inspects the resulting lineage.
 //!
 //! The argument parsing is deliberately dependency-free (`--flag value`
 //! pairs), mirroring the original tool's minimal interface: data path,
@@ -21,6 +22,7 @@ use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
+use fanstore::ckpt::{CheckpointStore, CkptConfig};
 use fanstore::cluster::{ClusterConfig, FanStore};
 use fanstore::pack::parse_partition;
 use fanstore::prep::{prepare, PrepConfig};
@@ -321,6 +323,106 @@ pub fn run_trace_dump(nodes: usize, files_n: usize) -> Result<String, String> {
     Ok(out)
 }
 
+/// Synthetic model state for the checkpoint demo: mostly stable bytes
+/// with sparse per-generation drift, so delta generations visibly shrink.
+fn demo_ckpt_payload(rank: usize, generation: u64, bytes: usize) -> Vec<u8> {
+    (0..bytes)
+        .map(|i| {
+            let stable = ((i * 37) ^ (rank * 11)) as u8;
+            if i.is_multiple_of(53) {
+                stable.wrapping_add(generation as u8)
+            } else {
+                stable
+            }
+        })
+        .collect()
+}
+
+/// `fanstore ckpt <ls|verify|gc>`: write `generations` checkpoint
+/// generations of an evolving synthetic model through the durable store
+/// (delta-encoded, replicated when the cluster has >1 node), then run the
+/// requested inspection against the lineage on every rank.
+pub fn run_ckpt_demo(
+    sub: &str,
+    nodes: usize,
+    generations: usize,
+    keep_last: usize,
+) -> Result<String, String> {
+    if !matches!(sub, "ls" | "verify" | "gc") {
+        return Err(format!("unknown ckpt subcommand: {sub}"));
+    }
+    if nodes == 0 || generations == 0 {
+        return Err("need at least one node and one generation".into());
+    }
+    let packed = prepare(
+        demo_dataset(nodes.max(2)),
+        &PrepConfig { partitions: nodes, ..Default::default() },
+    );
+    let outputs = FanStore::run(
+        ClusterConfig { nodes, ..Default::default() },
+        packed.partitions,
+        |fs| -> Result<String, fanstore::FsError> {
+            let cfg = CkptConfig {
+                tag: "cli".to_string(),
+                chunk_size: 4096,
+                chunks_per_segment: 4,
+                replicas: usize::from(fs.nodes() > 1),
+                keep_last,
+                ..CkptConfig::default()
+            };
+            let store = CheckpointStore::new(fs, cfg);
+            for g in 1..=generations as u64 {
+                store.put(g, &demo_ckpt_payload(fs.rank(), g, 32 * 1024))?;
+            }
+            let mut out = String::new();
+            match sub {
+                "ls" => {
+                    for g in store.generations()? {
+                        let m = store.manifest(g)?;
+                        let base = m.base.map_or("full".to_string(), |b| format!("delta<-{b}"));
+                        out.push_str(&format!(
+                            "rank {} gen {g}: {base}  raw={}  stored={}  segments={}  ratio={:.2}\n",
+                            fs.rank(),
+                            m.raw_bytes,
+                            m.stored_bytes,
+                            m.segments.len(),
+                            m.raw_bytes as f64 / m.stored_bytes.max(1) as f64,
+                        ));
+                    }
+                }
+                "verify" => {
+                    for g in store.generations()? {
+                        let v = store.verify(g)?;
+                        out.push_str(&format!(
+                            "rank {} gen {g}: OK  raw={}  chunks={}  chain={:?}\n",
+                            fs.rank(),
+                            v.raw_bytes,
+                            v.chunks,
+                            v.chain,
+                        ));
+                    }
+                }
+                "gc" => {
+                    let r = store.gc()?;
+                    out.push_str(&format!(
+                        "rank {}: removed {:?}  kept {:?}\n",
+                        fs.rank(),
+                        r.removed,
+                        r.kept
+                    ));
+                }
+                _ => unreachable!("subcommand validated above"),
+            }
+            Ok(out)
+        },
+    );
+    let mut report = format!("ckpt {sub} ({nodes} nodes, {generations} generations)\n");
+    for out in outputs {
+        report.push_str(&out.map_err(|e| format!("ckpt workload failed: {e}"))?);
+    }
+    Ok(report)
+}
+
 /// Temp-dir helper for the CLI tests.
 pub fn temp_dir(tag: &str) -> PathBuf {
     let unique = format!(
@@ -439,6 +541,36 @@ mod tests {
     fn demo_rejects_empty_cluster() {
         assert!(run_metrics_demo(0, 4, false).is_err());
         assert!(run_trace_dump(2, 0).is_err());
+    }
+
+    #[test]
+    fn ckpt_ls_shows_delta_lineage() {
+        let out = run_ckpt_demo("ls", 2, 3, 0).unwrap();
+        assert!(out.contains("gen 1: full"), "{out}");
+        assert!(out.contains("gen 2: delta<-1"), "{out}");
+        assert!(out.contains("gen 3: delta<-2"), "{out}");
+        assert!(out.contains("rank 1"), "every rank reports its lineage: {out}");
+    }
+
+    #[test]
+    fn ckpt_verify_reports_every_generation_ok() {
+        let out = run_ckpt_demo("verify", 1, 3, 0).unwrap();
+        assert_eq!(out.matches(": OK").count(), 3, "{out}");
+        assert!(out.contains("chain=[2, 1]"), "{out}");
+    }
+
+    #[test]
+    fn ckpt_gc_removes_old_generations() {
+        let out = run_ckpt_demo("gc", 1, 5, 2).unwrap();
+        assert!(out.contains("kept"), "{out}");
+        assert!(!out.contains("removed []"), "five gens, keep 2: something must go: {out}");
+    }
+
+    #[test]
+    fn ckpt_rejects_bad_input() {
+        assert!(run_ckpt_demo("frobnicate", 1, 3, 0).is_err());
+        assert!(run_ckpt_demo("ls", 0, 3, 0).is_err());
+        assert!(run_ckpt_demo("ls", 1, 0, 0).is_err());
     }
 
     #[test]

@@ -92,6 +92,34 @@ pub fn undelta(input: &[u8], width: usize) -> Vec<u8> {
     out
 }
 
+/// Cross-buffer byte delta: `out[i] = cur[i] - base[i]` (wrapping), the
+/// building block of generation-delta checkpoint encoding (consecutive
+/// model checkpoints differ in few bytes, so the difference is mostly
+/// zeros and compresses far better than either snapshot). Where `cur`
+/// extends past `base`, the tail is kept verbatim; the output length
+/// always equals `cur.len()`.
+pub fn xdelta(base: &[u8], cur: &[u8]) -> Vec<u8> {
+    let common = base.len().min(cur.len());
+    let mut out = Vec::with_capacity(cur.len());
+    for i in 0..common {
+        out.push(cur[i].wrapping_sub(base[i]));
+    }
+    out.extend_from_slice(&cur[common..]);
+    out
+}
+
+/// Inverse of [`xdelta`]: reconstruct `cur` from the same `base` and the
+/// delta buffer. `delta.len()` fixes the output length.
+pub fn unxdelta(base: &[u8], delta: &[u8]) -> Vec<u8> {
+    let common = base.len().min(delta.len());
+    let mut out = Vec::with_capacity(delta.len());
+    for i in 0..common {
+        out.push(delta[i].wrapping_add(base[i]));
+    }
+    out.extend_from_slice(&delta[common..]);
+    out
+}
+
 /// Which filter a [`Filtered`] codec applies.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Filter {
@@ -239,6 +267,40 @@ mod tests {
             let c = compress_to_vec(&filtered, &data);
             assert_eq!(decompress_to_vec(&filtered, &c, data.len()).unwrap(), data);
         }
+    }
+
+    #[test]
+    fn xdelta_roundtrip_equal_lengths() {
+        let base: Vec<u8> = (0..777u32).map(|i| (i * 31) as u8).collect();
+        let mut cur = base.clone();
+        for i in (0..cur.len()).step_by(13) {
+            cur[i] = cur[i].wrapping_add(5);
+        }
+        let d = xdelta(&base, &cur);
+        assert_eq!(d.len(), cur.len());
+        assert_eq!(unxdelta(&base, &d), cur);
+        // Mostly zeros: only every 13th byte changed.
+        assert!(d.iter().filter(|&&b| b == 0).count() > d.len() * 9 / 10);
+    }
+
+    #[test]
+    fn xdelta_handles_length_mismatch() {
+        let base = vec![7u8; 100];
+        // Current generation grew past the base.
+        let grown: Vec<u8> = (0..150u32).map(|i| i as u8).collect();
+        assert_eq!(unxdelta(&base, &xdelta(&base, &grown)), grown);
+        // Current generation shrank below the base.
+        let shrunk: Vec<u8> = (0..60u32).map(|i| (i ^ 3) as u8).collect();
+        assert_eq!(unxdelta(&base, &xdelta(&base, &shrunk)), shrunk);
+        // Empty edge cases.
+        assert_eq!(unxdelta(&base, &xdelta(&base, &[])), Vec::<u8>::new());
+        assert_eq!(unxdelta(&[], &xdelta(&[], &base)), base);
+    }
+
+    #[test]
+    fn xdelta_identical_buffers_are_all_zero() {
+        let buf: Vec<u8> = (0..512u32).map(|i| (i * 17) as u8).collect();
+        assert!(xdelta(&buf, &buf).iter().all(|&b| b == 0));
     }
 
     #[test]

@@ -151,6 +151,22 @@ impl FileCache {
         }
     }
 
+    /// Drop `path` unconditionally (unlink support): readers holding the
+    /// `Arc` keep their buffer, but the cache forgets the entry — and its
+    /// queue slot — immediately. Returns whether the entry was resident.
+    pub fn purge(&self, path: &str) -> bool {
+        let mut inner = self.inner.lock();
+        match inner.entries.remove(path) {
+            Some(e) => {
+                inner.bytes -= e.data.len();
+                inner.fifo.retain(|p| p != path);
+                self.stats.evictions.fetch_add(1, Ordering::Relaxed);
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Bytes of decompressed data currently resident.
     pub fn resident_bytes(&self) -> usize {
         self.inner.lock().bytes
@@ -214,6 +230,41 @@ mod tests {
         c.insert("c", data(100, 0)); // pressure: must evict b, not in-use a
         assert!(c.open("a").is_some(), "in-use entry must survive");
         assert!(c.open("b").is_none(), "idle entry evicted instead");
+    }
+
+    #[test]
+    fn skipped_in_use_entry_evicted_after_close() {
+        let c = FileCache::new(CacheConfig { capacity: 250, release_on_zero: false });
+        c.insert("a", data(100, 0)); // stays open through the first squeeze
+        c.insert("b", data(100, 0));
+        c.close("b");
+        // First pressure event: the scan pops "a", sees it in use and
+        // requeues it, then evicts idle "b" instead.
+        c.insert("c", data(100, 0));
+        c.close("c");
+        assert!(c.open("a").is_some(), "in-use entry survives the squeeze");
+        c.close("a"); // from the probe open
+        assert!(c.open("b").is_none(), "idle entry evicted in its place");
+        // "a" kept its place in the queue (requeued, not forgotten): once
+        // closed, the next pressure event evicts it.
+        c.close("a"); // from the original insert — now idle
+        c.insert("d", data(100, 0));
+        c.close("d");
+        assert!(c.open("a").is_none(), "closed entry evicted on next pressure");
+        assert!(c.open("c").is_some(), "younger entry survives");
+        assert!(c.open("d").is_some());
+    }
+
+    #[test]
+    fn purge_drops_even_in_use_entries() {
+        let c = FileCache::new(CacheConfig::default());
+        c.insert("f", data(100, 0)); // open-count 1
+        assert!(c.purge("f"), "purge removes despite the open count");
+        assert!(c.open("f").is_none());
+        assert_eq!(c.resident_bytes(), 0);
+        assert!(!c.purge("f"), "second purge is a no-op");
+        c.close("f"); // stale close after purge must not underflow
+        assert_eq!(c.resident_bytes(), 0);
     }
 
     #[test]

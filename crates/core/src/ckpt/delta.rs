@@ -1,0 +1,95 @@
+//! Chunk-aligned cross-generation delta encoding.
+//!
+//! A delta frame stores `xdelta(base_chunk, chunk)` — the byte-wise
+//! wrapping difference against the *same chunk index* of the base
+//! generation (see [`fanstore_compress::filters::xdelta`]). Consecutive
+//! model checkpoints differ in few bytes, so the difference is mostly
+//! zeros and compresses far better than either snapshot. The delta buffer
+//! is exactly as long as the current chunk, so length bookkeeping never
+//! depends on the base; a base shorter (or longer) than the current
+//! generation simply contributes fewer (or surplus) bytes and the tail is
+//! carried verbatim.
+
+use fanstore_compress::filters::{unxdelta, xdelta};
+
+/// Chunk `index` of `buf` under `chunk_size` slicing (empty past EOF).
+pub fn chunk_of(buf: &[u8], chunk_size: usize, index: usize) -> &[u8] {
+    let start = index.saturating_mul(chunk_size);
+    if start >= buf.len() {
+        return &[];
+    }
+    &buf[start..(start + chunk_size).min(buf.len())]
+}
+
+/// Delta-encode `cur_chunk` (chunk `index` of the current generation)
+/// against the matching chunk of `base`.
+pub fn encode_chunk_delta(
+    base: &[u8],
+    cur_chunk: &[u8],
+    chunk_size: usize,
+    index: usize,
+) -> Vec<u8> {
+    xdelta(chunk_of(base, chunk_size, index), cur_chunk)
+}
+
+/// Reverse [`encode_chunk_delta`]: reconstruct chunk `index` from the
+/// base generation and the delta buffer.
+pub fn decode_chunk_delta(base: &[u8], delta: &[u8], chunk_size: usize, index: usize) -> Vec<u8> {
+    unxdelta(chunk_of(base, chunk_size, index), delta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_slicing_covers_and_bounds() {
+        let buf: Vec<u8> = (0..10u8).collect();
+        assert_eq!(chunk_of(&buf, 4, 0), &[0, 1, 2, 3]);
+        assert_eq!(chunk_of(&buf, 4, 2), &[8, 9], "short tail chunk");
+        assert_eq!(chunk_of(&buf, 4, 3), &[] as &[u8], "past EOF is empty");
+        assert_eq!(chunk_of(&[], 4, 0), &[] as &[u8]);
+    }
+
+    #[test]
+    fn delta_roundtrips_per_chunk() {
+        let base: Vec<u8> = (0..1000u32).map(|i| (i * 13) as u8).collect();
+        let mut cur = base.clone();
+        cur[100] ^= 0xFF;
+        cur[900] = 0;
+        let cs = 256;
+        for index in 0..4 {
+            let chunk = chunk_of(&cur, cs, index).to_vec();
+            let d = encode_chunk_delta(&base, &chunk, cs, index);
+            assert_eq!(d.len(), chunk.len());
+            assert_eq!(decode_chunk_delta(&base, &d, cs, index), chunk);
+        }
+    }
+
+    #[test]
+    fn grown_and_shrunk_generations_roundtrip() {
+        let base = vec![7u8; 500];
+        // Grown: chunks past the base's end delta against nothing.
+        let grown: Vec<u8> = (0..900u32).map(|i| i as u8).collect();
+        let cs = 256;
+        for index in 0..4 {
+            let chunk = chunk_of(&grown, cs, index).to_vec();
+            let d = encode_chunk_delta(&base, &chunk, cs, index);
+            assert_eq!(decode_chunk_delta(&base, &d, cs, index), chunk);
+        }
+        // Shrunk: the last chunk is shorter than the base's.
+        let shrunk = vec![9u8; 300];
+        for index in 0..2 {
+            let chunk = chunk_of(&shrunk, cs, index).to_vec();
+            let d = encode_chunk_delta(&base, &chunk, cs, index);
+            assert_eq!(decode_chunk_delta(&base, &d, cs, index), chunk);
+        }
+    }
+
+    #[test]
+    fn identical_chunks_give_zero_deltas() {
+        let buf: Vec<u8> = (0..512u32).map(|i| (i * 31) as u8).collect();
+        let d = encode_chunk_delta(&buf, chunk_of(&buf, 128, 1), 128, 1);
+        assert!(d.iter().all(|&b| b == 0), "identical chunk deltas are all zero");
+    }
+}

@@ -1,0 +1,39 @@
+//! `fanstore::ckpt` — a durable, compressed, replicated checkpoint store
+//! with delta encoding and crash recovery.
+//!
+//! The paper's fault-tolerance story (§V-E) is "DL training already
+//! checkpoints per epoch; resume from the last one". This subsystem makes
+//! that mechanism actually robust on top of the FanStore write path:
+//!
+//! * **Chunked, framed segments** ([`frame`]): each checkpoint payload is
+//!   split into fixed-size chunks; every chunk is compressed through the
+//!   [`fanstore_compress`] registry and written as a frame carrying its
+//!   own CRC32 + length header, so corruption and torn tails are detected
+//!   at chunk granularity.
+//! * **Delta encoding** ([`delta`]): consecutive model checkpoints differ
+//!   in few bytes (ZipNN and *Lossless Compression of Neural Network
+//!   Components* both measure this), so a chunk may be stored as the
+//!   byte-delta against the previous generation's chunk whenever that is
+//!   smaller than storing it outright. Full generations are forced every
+//!   `full_every` generations to bound recovery chains.
+//! * **Atomic publish** ([`manifest`]): a generation's manifest is
+//!   written *last*, after every segment it names. FanStore's write-once
+//!   model makes `close()` the publish point — the object is invisible
+//!   until finalised, the moral equivalent of write-temp-then-rename on a
+//!   POSIX file system — so a crash mid-checkpoint can never leave a
+//!   manifest naming missing segments.
+//! * **Replication** ([`store`]): segments and manifest are pushed to the
+//!   owner's ring replicas ([`crate::placement::replicas_of`]) over the
+//!   daemon PUT path, so a rank's newest checkpoint survives its death.
+//! * **Recovery** ([`store::CheckpointStore::recover`]): scan newest →
+//!   oldest, CRC-verify everything, and fall back past torn or partially
+//!   replicated generations to the newest *verifiable* one. "No
+//!   generations at all" (fresh start) is distinguished from "generations
+//!   exist but none loads" (an error, never a silent restart from zero).
+
+pub mod delta;
+pub mod frame;
+pub mod manifest;
+pub mod store;
+
+pub use store::{CheckpointStore, CkptConfig, GcReport, PutReport, Recovery, VerifyReport};

@@ -633,6 +633,64 @@ impl FsClient {
         self.close(fd)
     }
 
+    /// Translate an rpc error for `what` into the matching [`FsError`]:
+    /// a dropped conduit or elapsed deadline both mean "unreachable".
+    fn rpc_error(&self, what: &str, e: CommError) -> FsError {
+        match e {
+            CommError::Timeout | CommError::Disconnected => {
+                self.state.stats.rpc_timeouts.inc();
+                FsError::Timeout(what.to_string())
+            }
+            other => FsError::Comm(other.to_string()),
+        }
+    }
+
+    /// Push a whole object into `rank`'s write store (checkpoint
+    /// replication): the peer can then serve GETs for `path` and keeps a
+    /// durable copy across this rank's crash. Runs under the failover
+    /// deadline when one is attached.
+    pub fn put_remote(&self, rank: usize, path: &str, data: &[u8]) -> Result<(), FsError> {
+        let payload = crate::daemon::encode_put(path, self.state.rank as u32, data);
+        let reply = match &self.failover {
+            Some(cfg) => self.service.rpc_timeout(rank, tags::PUT, payload, cfg.rpc_timeout),
+            None => self.service.rpc(rank, tags::PUT, payload),
+        };
+        match reply.map_err(|e| self.rpc_error(&format!("PUT {path} to rank {rank}"), e))? {
+            r if r.first() == Some(&crate::daemon::status::OK) => Ok(()),
+            _ => Err(FsError::Comm(format!("PUT {path} rejected by rank {rank}"))),
+        }
+    }
+
+    /// `unlink(path)` for output files held on this node (checkpoint GC).
+    pub fn unlink(&self, path: &str) -> Result<(), FsError> {
+        if self.state.remove_write(path)? {
+            Ok(())
+        } else {
+            Err(FsError::NotFound(path.to_string()))
+        }
+    }
+
+    /// Ask `rank` to unlink an output file it holds (GC of replicated
+    /// checkpoint generations). A missing path reports success: the goal
+    /// state — "not there" — already holds.
+    pub fn unlink_remote(&self, rank: usize, path: &str) -> Result<(), FsError> {
+        let payload = path.as_bytes().to_vec();
+        let reply = match &self.failover {
+            Some(cfg) => self.service.rpc_timeout(rank, tags::UNLINK, payload, cfg.rpc_timeout),
+            None => self.service.rpc(rank, tags::UNLINK, payload),
+        };
+        match reply.map_err(|e| self.rpc_error(&format!("UNLINK {path} at rank {rank}"), e))? {
+            r if matches!(
+                r.first(),
+                Some(&crate::daemon::status::OK | &crate::daemon::status::NOT_FOUND)
+            ) =>
+            {
+                Ok(())
+            }
+            _ => Err(FsError::Comm(format!("UNLINK {path} rejected by rank {rank}"))),
+        }
+    }
+
     /// Recursively enumerate the dataset the way a training program does
     /// at startup (§II-B1): `readdir` every directory, `stat` every file.
     /// Returns the file paths found under `root`.

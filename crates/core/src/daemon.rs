@@ -33,6 +33,11 @@ pub mod tags {
     /// Fetch a file's metadata (stat fallback for paths not yet in the
     /// local view).
     pub const GET_META: u64 = 3;
+    /// Push a whole object onto this node's write store (checkpoint
+    /// replication).
+    pub const PUT: u64 = 4;
+    /// Remove an output file from this node (checkpoint GC).
+    pub const UNLINK: u64 = 5;
 }
 
 /// Reply status bytes.
@@ -48,6 +53,26 @@ pub mod status {
 /// Byte offset of the body (codec + stat + compressed) in a GET reply:
 /// after the status byte and the CRC32 field.
 const GET_BODY: usize = 1 + 4;
+
+/// Encode a PUT request: `[u16 path len][path][u32 owner rank][data]`.
+/// The owner rank is recorded in the receiver's metadata so replicated
+/// objects keep pointing at their primary.
+pub fn encode_put(path: &str, owner: u32, data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(2 + path.len() + 4 + data.len());
+    out.extend_from_slice(&(path.len() as u16).to_le_bytes());
+    out.extend_from_slice(path.as_bytes());
+    out.extend_from_slice(&owner.to_le_bytes());
+    out.extend_from_slice(data);
+    out
+}
+
+/// Decode a PUT request into `(path, owner, data)`.
+fn decode_put(buf: &[u8]) -> Option<(&str, u32, &[u8])> {
+    let plen = u16::from_le_bytes(buf.get(..2)?.try_into().ok()?) as usize;
+    let path = std::str::from_utf8(buf.get(2..2 + plen)?).ok()?;
+    let owner = u32::from_le_bytes(buf.get(2 + plen..2 + plen + 4)?.try_into().ok()?);
+    Some((path, owner, &buf[2 + plen + 4..]))
+}
 
 /// Encode a GET reply: `[status][crc32 u32][codec u16][stat 144B]
 /// [compressed bytes]`. The CRC covers everything after the CRC field, so
@@ -129,6 +154,8 @@ pub fn serve_traced(
                 let ok = state.merge_meta(&msg.payload).is_ok();
                 msg.reply(vec![if ok { status::OK } else { status::BAD_REQUEST }])
             }
+            tags::PUT => handle_put(&state, &msg),
+            tags::UNLINK => handle_unlink(&state, &msg),
             _ => msg.reply(vec![status::BAD_REQUEST]),
         };
         if timed && !shutdown {
@@ -169,6 +196,29 @@ fn handle_get(state: &NodeState, msg: &Message, get_bytes: &crate::metrics::Coun
                 encode_get_reply(&obj)
             }
             None => vec![status::NOT_FOUND],
+        },
+        Err(_) => vec![status::BAD_REQUEST],
+    };
+    msg.reply(reply)
+}
+
+fn handle_put(state: &NodeState, msg: &Message) -> bool {
+    let reply = match decode_put(&msg.payload) {
+        Some((path, owner, data)) => {
+            state.put_replica(path, owner, data.to_vec());
+            vec![status::OK]
+        }
+        None => vec![status::BAD_REQUEST],
+    };
+    msg.reply(reply)
+}
+
+fn handle_unlink(state: &NodeState, msg: &Message) -> bool {
+    let reply = match std::str::from_utf8(&msg.payload) {
+        Ok(path) => match state.remove_write(path) {
+            Ok(true) => vec![status::OK],
+            Ok(false) => vec![status::NOT_FOUND],
+            Err(_) => vec![status::BAD_REQUEST], // input files are immutable
         },
         Err(_) => vec![status::BAD_REQUEST],
     };
@@ -324,6 +374,42 @@ mod tests {
             }
         });
         assert_eq!(results[0], (2, 1, 1));
+    }
+
+    #[test]
+    fn put_then_unlink_roundtrip() {
+        let results = mpi_sim::launch(2, 1, |mut ctx| {
+            let service = ctx.take_channel(0);
+            if ctx.rank == 0 {
+                let state = Arc::new(NodeState::new(0, 2, CacheConfig::default()));
+                let st = Arc::clone(&state);
+                let served = serve(st, service);
+                let still_there = state.writes.read().contains_key("ckpt/seg0");
+                (served, still_there)
+            } else {
+                let buf = encode_put("ckpt/seg0", 1, &[0xAB; 128]);
+                let ok = service.rpc(0, tags::PUT, buf).unwrap();
+                assert_eq!(ok[0], status::OK);
+                // The replica now serves GETs for the pushed object.
+                let reply = service.rpc(0, tags::GET, b"ckpt/seg0".to_vec()).unwrap();
+                let (codec, stat, data) = decode_get_reply(&reply).unwrap();
+                assert_eq!(stat.owner_rank, 1, "owner stays the pusher");
+                let plain =
+                    decompress_object(codec, &data, stat.size as usize, "ckpt/seg0").unwrap();
+                assert_eq!(plain, vec![0xABu8; 128]);
+                // Unlink removes it; a second unlink reports NOT_FOUND.
+                let r = service.rpc(0, tags::UNLINK, b"ckpt/seg0".to_vec()).unwrap();
+                assert_eq!(r[0], status::OK);
+                let r = service.rpc(0, tags::UNLINK, b"ckpt/seg0".to_vec()).unwrap();
+                assert_eq!(r[0], status::NOT_FOUND);
+                // Truncated PUT payloads are rejected, not panicked on.
+                let r = service.rpc(0, tags::PUT, vec![0xFF, 0xFF, 0x01]).unwrap();
+                assert_eq!(r[0], status::BAD_REQUEST);
+                service.rpc(0, tags::SHUTDOWN, Vec::new()).unwrap();
+                (0, false)
+            }
+        });
+        assert_eq!(results[0], (6, false), "object gone after unlink");
     }
 
     #[test]

@@ -63,6 +63,7 @@
 
 pub mod backend;
 pub mod cache;
+pub mod ckpt;
 pub mod client;
 pub mod cluster;
 pub mod daemon;

@@ -67,6 +67,38 @@ impl MetaTable {
         }
     }
 
+    /// Remove a file, pruning now-empty parent directories from the
+    /// index (checkpoint GC unlinks whole generation directories this
+    /// way). Returns whether the file was present.
+    pub fn remove(&mut self, path: &str) -> bool {
+        if self.files.remove(path).is_none() {
+            return false;
+        }
+        let mut child = path.to_string();
+        loop {
+            let (dir, name) = match child.rsplit_once('/') {
+                Some((d, n)) => (d.to_string(), n.to_string()),
+                None => (String::new(), child.clone()),
+            };
+            let now_empty = match self.dirs.get_mut(&dir) {
+                Some(set) => {
+                    set.remove(&name);
+                    set.is_empty()
+                }
+                None => false,
+            };
+            if !now_empty {
+                break;
+            }
+            self.dirs.remove(&dir);
+            if dir.is_empty() {
+                break;
+            }
+            child = dir;
+        }
+        true
+    }
+
     /// Look up a file's metadata.
     pub fn get(&self, path: &str) -> Option<&MetaEntry> {
         self.files.get(path)
@@ -225,6 +257,26 @@ mod tests {
         let buf = encode_single("out/ckpt_001.h5", &entry(999));
         t.merge_encoded(&buf).unwrap();
         assert_eq!(t.stat("out/ckpt_001.h5").unwrap().size, 999);
+    }
+
+    #[test]
+    fn remove_prunes_empty_dirs() {
+        let mut t = MetaTable::new();
+        t.insert("ckpt/gen1/seg0", entry(1));
+        t.insert("ckpt/gen1/seg1", entry(1));
+        t.insert("ckpt/gen2/seg0", entry(1));
+        assert!(t.remove("ckpt/gen1/seg0"));
+        assert_eq!(t.readdir("ckpt/gen1").unwrap(), vec!["seg1"]);
+        assert!(t.remove("ckpt/gen1/seg1"));
+        // gen1 is empty: gone from the index and from its parent.
+        assert!(t.readdir("ckpt/gen1").is_none());
+        assert_eq!(t.readdir("ckpt").unwrap(), vec!["gen2"]);
+        assert!(t.remove("ckpt/gen2/seg0"));
+        // The whole chain collapsed, including the root.
+        assert!(t.readdir("ckpt").is_none());
+        assert!(t.readdir("").is_none());
+        assert!(!t.remove("ckpt/gen2/seg0"), "second remove is a no-op");
+        assert_eq!(t.file_count(), 0);
     }
 
     #[test]

@@ -273,12 +273,20 @@ impl NodeState {
             self.stats.served_requests.inc();
             return Some(o);
         }
-        // Serve locally written output files raw (codec = store).
+        // Serve locally written output files raw (codec = store). The
+        // recorded metadata entry keeps the true owner rank — a replica
+        // serving a pushed copy must not claim ownership.
         self.writes.read().get(path).map(|w| {
             self.stats.served_requests.inc();
+            let stat = self
+                .meta
+                .read()
+                .get(path)
+                .map(|e| e.stat)
+                .unwrap_or_else(|| FileStat::regular(0, w.len() as u64));
             LocalObject {
                 codec: CodecId::new(fanstore_compress::CodecFamily::Store, 0),
-                stat: FileStat::regular(0, w.len() as u64),
+                stat,
                 data: Arc::clone(w),
             }
         })
@@ -300,6 +308,35 @@ impl NodeState {
             MetaEntry { stat, codec: CodecId::new(fanstore_compress::CodecFamily::Store, 0) };
         self.meta.write().insert(path, entry);
         Ok(entry)
+    }
+
+    /// Store an object pushed by a peer (checkpoint replication PUT).
+    /// Unlike [`NodeState::finalize_write`] this is idempotent — a
+    /// replication retry simply overwrites the same bytes — and the
+    /// metadata keeps the *pusher's* rank as owner, so readers keep
+    /// addressing the primary first and only land here via failover.
+    pub fn put_replica(&self, path: &str, owner: u32, data: Vec<u8>) {
+        let mut stat = FileStat::regular(0, data.len() as u64);
+        stat.owner_rank = owner;
+        self.writes.write().insert(path.to_string(), Arc::new(data));
+        self.cache.purge(path);
+        self.meta.write().insert(
+            path,
+            MetaEntry { stat, codec: CodecId::new(fanstore_compress::CodecFamily::Store, 0) },
+        );
+    }
+
+    /// Unlink an output file (checkpoint GC): drops the write store copy,
+    /// the metadata entry and any cached decompression. Input files are
+    /// immutable and refuse removal. Returns whether anything was present.
+    pub fn remove_write(&self, path: &str) -> Result<bool, FsError> {
+        if self.local.contains(path) {
+            return Err(FsError::ReadOnly(path.to_string()));
+        }
+        let had_write = self.writes.write().remove(path).is_some();
+        let had_meta = self.meta.write().remove(path);
+        self.cache.purge(path);
+        Ok(had_write || had_meta)
     }
 }
 
@@ -387,6 +424,34 @@ mod tests {
         let s = state();
         s.load_partition(&packed_files()[0]).unwrap();
         assert!(matches!(s.finalize_write("a/x.bin", vec![0]), Err(FsError::AlreadyExists(_))));
+    }
+
+    #[test]
+    fn put_replica_is_idempotent_and_keeps_owner() {
+        let s = NodeState::new(2, 4, CacheConfig::default());
+        s.put_replica("ckpt/gen1/seg0", 0, vec![1u8; 64]);
+        s.put_replica("ckpt/gen1/seg0", 0, vec![2u8; 32]); // retry overwrites
+        let data = s.open_local("ckpt/gen1/seg0").unwrap().unwrap();
+        assert_eq!(&data[..], &[2u8; 32]);
+        // Owner stays the pusher, not the replica holding the copy.
+        assert_eq!(s.meta.read().get("ckpt/gen1/seg0").unwrap().stat.owner_rank, 0);
+    }
+
+    #[test]
+    fn remove_write_unlinks_and_refuses_inputs() {
+        let s = state();
+        s.load_partition(&packed_files()[0]).unwrap();
+        s.finalize_write("out/tmp.bin", vec![9u8; 10]).unwrap();
+        s.open_local("out/tmp.bin").unwrap().unwrap(); // populate the cache
+        assert!(s.remove_write("out/tmp.bin").unwrap());
+        assert!(s.open_local("out/tmp.bin").unwrap().is_none());
+        assert!(s.meta.read().get("out/tmp.bin").is_none());
+        assert!(!s.remove_write("out/tmp.bin").unwrap(), "second unlink is a no-op");
+        // The path is free again: write-once applies per lifetime, not
+        // forever (GC must be able to recycle generation slots).
+        s.finalize_write("out/tmp.bin", vec![1]).unwrap();
+        // Input files refuse unlink.
+        assert!(matches!(s.remove_write("a/x.bin"), Err(FsError::ReadOnly(_))));
     }
 
     #[test]

@@ -42,6 +42,22 @@ pub struct RankKill {
     pub after_link_msgs: u64,
 }
 
+/// Tag-scoped kill: the victim dies mid-*operation*. Once `rank` has sent
+/// `after_sends` messages carrying `tag` (across all destinations), the
+/// next such send — and every message touching the victim afterwards — is
+/// blackholed. This is how chaos tests kill a rank mid-checkpoint: count
+/// its replication PUTs and pull the plug between two of them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TagKill {
+    /// The victim rank.
+    pub rank: usize,
+    /// The tag whose sends are counted (e.g. a daemon request tag).
+    pub tag: u64,
+    /// Tagged sends the victim completes before dying (0 = the first one
+    /// is already lost).
+    pub after_sends: u64,
+}
+
 /// A deterministic fault schedule for one launch.
 #[derive(Debug, Clone)]
 pub struct FaultPlan {
@@ -53,6 +69,8 @@ pub struct FaultPlan {
     pub channels: Option<Vec<usize>>,
     /// Rank kills (per-link blackhole cutoffs).
     pub kills: Vec<RankKill>,
+    /// Tag-scoped kills (per-victim tagged-send cutoffs).
+    pub tag_kills: Vec<TagKill>,
     /// Probability a message is dropped in flight (lost, not an error).
     pub drop_prob: f64,
     /// Probability a payload byte is flipped in flight.
@@ -70,6 +88,7 @@ impl FaultPlan {
             seed,
             channels: None,
             kills: Vec::new(),
+            tag_kills: Vec::new(),
             drop_prob: 0.0,
             corrupt_prob: 0.0,
             delay_prob: 0.0,
@@ -87,6 +106,13 @@ impl FaultPlan {
     /// messages.
     pub fn kill(mut self, rank: usize, after_link_msgs: u64) -> Self {
         self.kills.push(RankKill { rank, after_link_msgs });
+        self
+    }
+
+    /// Kill `rank` once it has sent `after_sends` messages carrying `tag`
+    /// (its next tagged send is lost and all its links go dark).
+    pub fn kill_after_tag(mut self, rank: usize, tag: u64, after_sends: u64) -> Self {
+        self.tag_kills.push(TagKill { rank, tag, after_sends });
         self
     }
 
@@ -177,6 +203,16 @@ pub struct FaultInjector {
     reply_seq: Vec<AtomicU64>,
     /// Per-rank "has been blackholed at least once" flags (observational).
     dead: Vec<AtomicBool>,
+    /// Per-[`TagKill`] tagged-send counters. Advanced only by the victim
+    /// rank's own sends of the matching tag — a single writer, so the
+    /// cutoff point is deterministic regardless of peer traffic.
+    tag_seq: Vec<AtomicU64>,
+    /// Per-rank "tag cutoff crossed" flags. Once set, every message
+    /// touching the rank is blackholed — the victim's side of that is
+    /// deterministic (its own counter tripped the flag); traffic from
+    /// peers dies as soon as they observe the flag, like a NIC that just
+    /// stopped answering.
+    tag_dead: Vec<AtomicBool>,
     /// What actually happened.
     pub stats: FaultStats,
 }
@@ -188,6 +224,8 @@ impl FaultInjector {
         let link_seq: Vec<AtomicU64> =
             (0..nchannels * size * size).map(|_| AtomicU64::new(0)).collect();
         let reply_seq = (0..nchannels * size * size).map(|_| AtomicU64::new(0)).collect();
+        let tag_seq = plan.tag_kills.iter().map(|_| AtomicU64::new(0)).collect();
+        let tag_dead = (0..size).map(|_| AtomicBool::new(false)).collect();
         FaultInjector {
             plan,
             size,
@@ -195,6 +233,8 @@ impl FaultInjector {
             link_seq,
             reply_seq,
             dead,
+            tag_seq,
+            tag_dead,
             stats: FaultStats::default(),
         }
     }
@@ -229,6 +269,10 @@ impl FaultInjector {
 
     /// Kill check for one message on link `(src, dst)` at sequence `seq`.
     fn blackholed(&self, src: usize, dst: usize, seq: u64) -> bool {
+        if self.tag_dead[src].load(Ordering::Relaxed) || self.tag_dead[dst].load(Ordering::Relaxed)
+        {
+            return true;
+        }
         for k in &self.plan.kills {
             if (k.rank == src || k.rank == dst) && seq >= k.after_link_msgs {
                 self.dead[k.rank].store(true, Ordering::Relaxed);
@@ -238,16 +282,34 @@ impl FaultInjector {
         false
     }
 
+    /// Advance tag-kill counters for one tagged send from `src` and flip
+    /// the victim's flag when a cutoff is crossed.
+    fn note_tagged_send(&self, src: usize, tag: u64) {
+        for (i, k) in self.plan.tag_kills.iter().enumerate() {
+            if k.rank == src && k.tag == tag {
+                let seq = self.tag_seq[i].fetch_add(1, Ordering::Relaxed);
+                if seq >= k.after_sends {
+                    self.tag_dead[src].store(true, Ordering::Relaxed);
+                    self.dead[src].store(true, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
     /// Decide the fate of one send. May mutate `payload` (corruption).
     pub(crate) fn on_send(
         &self,
         channel: usize,
         src: usize,
         dst: usize,
+        tag: u64,
         payload: &mut [u8],
     ) -> SendVerdict {
         if src == dst || !self.channel_active(channel) {
             return DELIVER;
+        }
+        if !self.plan.tag_kills.is_empty() {
+            self.note_tagged_send(src, tag);
         }
         let seq = self.link_seq[self.link_index(channel, src, dst)].fetch_add(1, Ordering::Relaxed);
         if self.blackholed(src, dst, seq) {
@@ -328,7 +390,7 @@ mod tests {
         (0..n)
             .map(|_| {
                 let mut payload = vec![0u8; 64];
-                let v = inj.on_send(0, 0, 1, &mut payload);
+                let v = inj.on_send(0, 0, 1, 0, &mut payload);
                 (v.deliver, payload.iter().any(|&b| b != 0))
             })
             .collect()
@@ -366,8 +428,28 @@ mod tests {
         // Links not touching the victim are untouched.
         let mut p = Vec::new();
         for _ in 0..10 {
-            assert!(inj.on_send(0, 0, 2, &mut p).deliver);
+            assert!(inj.on_send(0, 0, 2, 0, &mut p).deliver);
         }
+    }
+
+    #[test]
+    fn tag_kill_cuts_victim_after_tagged_sends() {
+        let inj = FaultInjector::new(FaultPlan::new(3).kill_after_tag(0, 4, 2), 4, 2);
+        let mut p = vec![0u8; 16];
+        // Other tags from the victim pass before the cutoff.
+        assert!(inj.on_send(1, 0, 1, 1, &mut p).deliver);
+        // The first two sends carrying the watched tag deliver.
+        assert!(inj.on_send(1, 0, 1, 4, &mut p).deliver);
+        assert!(inj.on_send(1, 0, 2, 4, &mut p).deliver);
+        // The third tagged send crosses the cutoff: lost mid-send.
+        assert!(!inj.on_send(1, 0, 1, 4, &mut p).deliver);
+        assert!(inj.is_dead(0));
+        // Every later message touching the victim is blackholed...
+        assert!(!inj.on_send(1, 0, 1, 1, &mut p).deliver);
+        assert!(!inj.on_send(1, 2, 0, 7, &mut p).deliver);
+        // ...while the rest of the cluster keeps talking.
+        assert!(inj.on_send(1, 1, 2, 4, &mut p).deliver);
+        assert!(!inj.is_dead(1));
     }
 
     #[test]
@@ -375,16 +457,16 @@ mod tests {
         let plan = FaultPlan::new(5).drop_prob(1.0).on_channels(&[1]);
         let inj = FaultInjector::new(plan, 2, 2);
         let mut p = vec![1u8; 8];
-        assert!(inj.on_send(1, 0, 0, &mut p).deliver, "loopback exempt");
-        assert!(inj.on_send(0, 0, 1, &mut p).deliver, "channel 0 not scoped");
-        assert!(!inj.on_send(1, 0, 1, &mut p).deliver, "channel 1 scoped");
+        assert!(inj.on_send(1, 0, 0, 0, &mut p).deliver, "loopback exempt");
+        assert!(inj.on_send(0, 0, 1, 0, &mut p).deliver, "channel 0 not scoped");
+        assert!(!inj.on_send(1, 0, 1, 0, &mut p).deliver, "channel 1 scoped");
     }
 
     #[test]
     fn corruption_flips_at_least_one_byte() {
         let inj = FaultInjector::new(FaultPlan::new(9).corrupt_prob(1.0), 2, 1);
         let mut p = vec![0u8; 32];
-        assert!(inj.on_send(0, 0, 1, &mut p).deliver);
+        assert!(inj.on_send(0, 0, 1, 0, &mut p).deliver);
         assert!(p.iter().any(|&b| b != 0));
         assert_eq!(inj.stats.corrupted.load(Ordering::Relaxed), 1);
     }
@@ -395,7 +477,7 @@ mod tests {
         let a = FaultInjector::new(plan.clone(), 2, 1);
         let b = FaultInjector::new(plan, 2, 1);
         let mut p = Vec::new();
-        let sends: Vec<bool> = (0..64).map(|_| a.on_send(0, 0, 1, &mut p).deliver).collect();
+        let sends: Vec<bool> = (0..64).map(|_| a.on_send(0, 0, 1, 0, &mut p).deliver).collect();
         let replies: Vec<bool> = (0..64).map(|_| b.on_reply(0, 0, 1, &mut p)).collect();
         assert_ne!(sends, replies, "distinct salts for send vs reply streams");
     }
@@ -412,7 +494,7 @@ mod tests {
         let a: Vec<bool> = (0..64).map(|_| quiet.on_reply(0, 0, 1, &mut p)).collect();
         let b: Vec<bool> = (0..64)
             .map(|_| {
-                busy.on_send(0, 0, 1, &mut p); // interleaved request traffic
+                busy.on_send(0, 0, 1, 0, &mut p); // interleaved request traffic
                 busy.on_reply(0, 0, 1, &mut p)
             })
             .collect();

@@ -160,7 +160,14 @@ impl Channel {
         let tx = self.senders.get(dest).ok_or(CommError::InvalidRank(dest))?;
         self.stats.bytes_sent.fetch_add(payload.len() as u64, Ordering::Relaxed);
         self.stats.msgs_sent.fetch_add(1, Ordering::Relaxed);
-        if !apply_send_faults(&self.injector, self.channel_index, self.rank, dest, &mut payload) {
+        if !apply_send_faults(
+            &self.injector,
+            self.channel_index,
+            self.rank,
+            dest,
+            tag,
+            &mut payload,
+        ) {
             // Blackholed or dropped in flight: a dead NIC, not an error —
             // the send "succeeds" and nothing arrives.
             return Ok(());
@@ -416,12 +423,13 @@ fn apply_send_faults(
     channel: usize,
     src: usize,
     dst: usize,
+    tag: Tag,
     payload: &mut [u8],
 ) -> bool {
     match injector {
         None => true,
         Some(inj) => {
-            let verdict = inj.on_send(channel, src, dst, payload);
+            let verdict = inj.on_send(channel, src, dst, tag, payload);
             if let Some(delay) = verdict.delay {
                 std::thread::sleep(delay);
             }
@@ -450,7 +458,7 @@ fn rpc_inner(
     stats.bytes_sent.fetch_add(payload.len() as u64, Ordering::Relaxed);
     stats.msgs_sent.fetch_add(1, Ordering::Relaxed);
     let deadline = timeout.map(|t| Instant::now() + t);
-    if apply_send_faults(injector, channel, rank, dest, &mut payload) {
+    if apply_send_faults(injector, channel, rank, dest, tag, &mut payload) {
         tx.send(Message { src: rank, tag, request_id, payload, reply: Some(rtx) })
             .map_err(|_| CommError::Disconnected)?;
     } else {
@@ -511,7 +519,14 @@ impl RemoteSender {
         let tx = self.senders.get(dest).ok_or(CommError::InvalidRank(dest))?;
         self.stats.bytes_sent.fetch_add(payload.len() as u64, Ordering::Relaxed);
         self.stats.msgs_sent.fetch_add(1, Ordering::Relaxed);
-        if !apply_send_faults(&self.injector, self.channel_index, self.rank, dest, &mut payload) {
+        if !apply_send_faults(
+            &self.injector,
+            self.channel_index,
+            self.rank,
+            dest,
+            tag,
+            &mut payload,
+        ) {
             return Ok(());
         }
         tx.send(Message { src: self.rank, tag, request_id: 0, payload, reply: None })

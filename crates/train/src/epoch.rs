@@ -3,6 +3,7 @@
 //! likely per iteration (§IV-C3), `num_iter = num_epoch * data_size /
 //! batch_size` (§II-A), and periodic checkpoint writes (§II-B3).
 
+use fanstore::ckpt::{CheckpointStore, CkptConfig};
 use fanstore::client::FsClient;
 use fanstore::FsError;
 use rand::seq::SliceRandom;
@@ -55,6 +56,34 @@ pub fn run_epochs(fs: &FsClient, cfg: &EpochConfig) -> Result<EpochReport, FsErr
     run_epoch_range(fs, cfg, 0, cfg.epochs)
 }
 
+/// Checkpoint-store configuration the epoch loop uses: one lineage per
+/// rank under `ckpt/epoch/`, delta-encoded, replicated to one ring peer
+/// when the cluster has one.
+pub fn epoch_ckpt_config(fs: &FsClient) -> CkptConfig {
+    CkptConfig {
+        tag: "epoch".to_string(),
+        replicas: usize::from(fs.nodes() > 1),
+        ..CkptConfig::default()
+    }
+}
+
+/// Deterministic synthetic model state for generation `generation`:
+/// mostly stable bytes with sparse per-generation drift, the shape real
+/// weight checkpoints show between adjacent epochs — so consecutive
+/// generations delta-encode well and restores are byte-checkable.
+pub fn checkpoint_payload(rank: usize, generation: u64, bytes: usize) -> Vec<u8> {
+    (0..bytes)
+        .map(|i| {
+            let stable = ((i * 131) ^ (rank * 7)) as u8;
+            if i.is_multiple_of(61) {
+                stable.wrapping_add(generation as u8)
+            } else {
+                stable
+            }
+        })
+        .collect()
+}
+
 /// Run epochs `start..end` (exclusive) — the resumable form used by the
 /// fault-tolerance workflow (§V-E). Epoch indices determine checkpoint
 /// names, so a resumed run continues the numbering.
@@ -67,6 +96,8 @@ pub fn run_epoch_range(
     let metrics = &fs.state().metrics;
     let metrics_before = metrics.is_enabled().then(|| metrics.snapshot());
     let degraded_before = fs.state().stats.degraded_total();
+    let ckpt_store =
+        (cfg.checkpoint_every > 0).then(|| CheckpointStore::new(fs, epoch_ckpt_config(fs)));
     // Startup: enumerate the dataset (the §II-B1 metadata step).
     let files = fs.enumerate(&cfg.root)?;
     let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ (fs.rank() as u64) << 32);
@@ -95,10 +126,16 @@ pub fn run_epoch_range(
             }
             iterations += 1;
         }
-        if cfg.checkpoint_every > 0 && (epoch + 1) % cfg.checkpoint_every == 0 {
-            let name = format!("checkpoints/rank{}/model_epoch_{:04}.h5", fs.rank(), epoch + 1);
-            fs.write_whole(&name, &vec![0xCE; cfg.checkpoint_bytes])?;
-            checkpoints += 1;
+        if let Some(store) = &ckpt_store {
+            if (epoch + 1).is_multiple_of(cfg.checkpoint_every) {
+                // Generation g = "epochs 0..g completed" (checkpoints are
+                // numbered by epoch, §II-B3) — written through the durable
+                // store: chunked, compressed, delta-encoded, replicated.
+                let generation = (epoch + 1) as u64;
+                let payload = checkpoint_payload(fs.rank(), generation, cfg.checkpoint_bytes);
+                store.put(generation, &payload)?;
+                checkpoints += 1;
+            }
         }
     }
 

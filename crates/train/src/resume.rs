@@ -1,85 +1,78 @@
 //! Fault tolerance via checkpoint/resume (paper §V-E).
 //!
-//! FanStore does not replicate data against node failure; the paper's
-//! position is that DL training already checkpoints per epoch (files
-//! named with the epoch number, §II-B3), so a failed run resumes from the
-//! last checkpoint. This module implements that workflow over the real
-//! store: discover the newest checkpoint through the POSIX surface,
-//! resume the epoch loop after it, and export checkpoints for the next
-//! allocation.
+//! FanStore does not replicate input data against node failure; the
+//! paper's position is that DL training already checkpoints per epoch, so
+//! a failed run resumes from the last checkpoint. This module implements
+//! that workflow on the [`fanstore::ckpt`] store: recover the newest
+//! *verifiable* generation (falling back past torn ones), resume the
+//! epoch loop after it, and export the checkpoint objects for the next
+//! allocation's shared-FS staging.
+//!
+//! Two error disciplines matter here:
+//!
+//! * **Fresh vs failed.** [`latest_checkpoint_epoch`] returns `Ok(None)`
+//!   only when *no* checkpoint generations exist. A transport failure, or
+//!   generations that exist but none of which verifies, is an `Err` — a
+//!   silent restart from epoch 0 would discard recoverable work.
+//! * **Resume *after* epoch `e`.** Generation `g` means epochs `0..g`
+//!   completed, so the resumed range starts at epoch index `g` exactly:
+//!   no epoch repeats (the write-once store would reject the duplicate
+//!   generation) and none is skipped.
 
+use fanstore::ckpt::{CheckpointStore, Recovery};
 use fanstore::client::FsClient;
 use fanstore::FsError;
 
-use crate::epoch::{run_epoch_range, EpochConfig, EpochReport};
+use crate::epoch::{epoch_ckpt_config, run_epoch_range, EpochConfig, EpochReport};
 
-/// Parse the epoch number out of a `model_epoch_NNNN.h5`-style name.
-fn epoch_of(name: &str) -> Option<usize> {
-    let stem = name.strip_suffix(".h5")?;
-    let idx = stem.rfind("epoch_")?;
-    stem[idx + "epoch_".len()..].parse().ok()
-}
-
-/// The newest checkpoint epoch visible to this rank under
-/// `checkpoints/rank{r}/`, or `None` when starting fresh.
-pub fn latest_checkpoint_epoch(fs: &FsClient) -> Option<usize> {
-    let dir = format!("checkpoints/rank{}", fs.rank());
-    let mut stream = fs.opendir(&dir).ok()?;
-    let mut newest = None;
-    while let Some(name) = stream.next_entry() {
-        if let Some(e) = epoch_of(name) {
-            newest = Some(newest.map_or(e, |n: usize| n.max(e)));
-        }
+/// The newest *verifiable* checkpoint generation of this rank's lineage.
+///
+/// `Ok(None)` means a genuine fresh start (no generations published);
+/// `Err` means checkpoints exist but none could be loaded, or the store
+/// could not be consulted at all.
+pub fn latest_checkpoint_epoch(fs: &FsClient) -> Result<Option<usize>, FsError> {
+    match CheckpointStore::new(fs, epoch_ckpt_config(fs)).recover()? {
+        Recovery::Fresh => Ok(None),
+        Recovery::Loaded { generation, .. } => Ok(Some(generation as usize)),
     }
-    newest
 }
 
-/// Run the epoch loop, resuming after the newest checkpoint if one
-/// exists. Returns the report plus the epoch resumed from.
+/// Run the epoch loop, resuming after the newest verifiable checkpoint
+/// if one exists. Returns the report plus the epoch resumed from.
 pub fn run_epochs_resuming(
     fs: &FsClient,
     cfg: &EpochConfig,
 ) -> Result<(EpochReport, usize), FsError> {
-    let start = latest_checkpoint_epoch(fs).map_or(0, |e| e);
+    // Generation g = epochs 0..g done, so g is also the index of the
+    // first epoch still to run.
+    let start = latest_checkpoint_epoch(fs)?.unwrap_or(0);
     let report = run_epoch_range(fs, cfg, start, cfg.epochs)?;
     Ok((report, start))
 }
 
-/// Export this rank's checkpoints (path, contents) so the launcher can
-/// persist them to the real shared file system between allocations.
+/// Export this rank's checkpoint objects (manifests + segments, verbatim)
+/// so the launcher can persist them to the real shared file system
+/// between allocations; re-importing them reproduces the lineage,
+/// including its delta structure.
 pub fn export_checkpoints(fs: &FsClient) -> Result<Vec<(String, Vec<u8>)>, FsError> {
-    let dir = format!("checkpoints/rank{}", fs.rank());
-    let mut out = Vec::new();
-    let Ok(mut stream) = fs.opendir(&dir) else {
-        return Ok(out); // no checkpoints yet
+    let store = CheckpointStore::new(fs, epoch_ckpt_config(fs));
+    let paths = match fs.enumerate(store.dir()) {
+        Ok(paths) => paths,
+        Err(FsError::NotFound(_)) => return Ok(Vec::new()), // no checkpoints yet
+        Err(e) => return Err(e),
     };
-    let mut names = Vec::new();
-    while let Some(name) = stream.next_entry() {
-        names.push(name.to_string());
-    }
-    for name in names {
-        let path = format!("{dir}/{name}");
-        out.push((path.clone(), fs.read_whole(&path)?));
-    }
-    Ok(out)
+    paths.into_iter().map(|p| fs.read_whole(&p).map(|d| (p, d))).collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::epoch::checkpoint_payload;
     use fanstore::cluster::{ClusterConfig, FanStore};
     use fanstore::prep::{prepare, PrepConfig};
 
     fn dataset(n: usize) -> Vec<(String, Vec<u8>)> {
         (0..n).map(|i| (format!("d/f{i:02}.bin"), vec![i as u8; 500])).collect()
-    }
-
-    #[test]
-    fn epoch_name_parsing() {
-        assert_eq!(epoch_of("model_epoch_0007.h5"), Some(7));
-        assert_eq!(epoch_of("model_epoch_0123.h5"), Some(123));
-        assert_eq!(epoch_of("model.h5"), None);
-        assert_eq!(epoch_of("notes.txt"), None);
     }
 
     #[test]
@@ -97,7 +90,7 @@ mod tests {
             // Simulated first allocation: run epochs 0..2 then "fail".
             let partial = run_epoch_range(fs, &cfg, 0, 2).unwrap();
             assert_eq!(partial.checkpoints, 2);
-            assert_eq!(latest_checkpoint_epoch(fs), Some(2));
+            assert_eq!(latest_checkpoint_epoch(fs).unwrap(), Some(2));
 
             // Second allocation (same store session): resume to 5 epochs.
             let (rest, resumed_from) = run_epochs_resuming(fs, &cfg).unwrap();
@@ -105,7 +98,46 @@ mod tests {
             // 3 remaining epochs x (8 files / batch 4) iterations.
             assert_eq!(rest.iterations, 3 * 2);
             assert_eq!(rest.checkpoints, 3);
-            assert_eq!(latest_checkpoint_epoch(fs), Some(5));
+            assert_eq!(latest_checkpoint_epoch(fs).unwrap(), Some(5));
+        });
+    }
+
+    #[test]
+    fn resume_starts_after_the_checkpointed_epoch() {
+        // Regression pin for the start-epoch arithmetic: generation g
+        // means epochs 0..g completed, so the resumed range is exactly
+        // g..cfg.epochs. An off-by-one in either direction is caught: a
+        // repeated epoch would re-put an existing generation (which the
+        // write-once store rejects), a skipped one leaves a generation
+        // gap below.
+        let packed = prepare(dataset(6), &PrepConfig::default());
+        let cfg = EpochConfig {
+            root: "d".into(),
+            batch_per_node: 3,
+            epochs: 5,
+            checkpoint_every: 1,
+            checkpoint_bytes: 96,
+            seed: 11,
+        };
+        FanStore::run(ClusterConfig::default(), packed.partitions, |fs| {
+            run_epoch_range(fs, &cfg, 0, 3).unwrap();
+            let (rest, from) = run_epochs_resuming(fs, &cfg).unwrap();
+            assert_eq!(from, 3, "resume after epoch 3, not 2 or 4");
+            assert_eq!(rest.iterations, (5 - 3) * 2, "exactly the remaining epochs ran");
+            let store = CheckpointStore::new(fs, epoch_ckpt_config(fs));
+            assert_eq!(
+                store.generations().unwrap(),
+                vec![1, 2, 3, 4, 5],
+                "every epoch checkpointed exactly once, no gap, no repeat"
+            );
+            // The restored state is the epoch-5 model, byte-identical.
+            match store.recover().unwrap() {
+                Recovery::Loaded { generation, payload, .. } => {
+                    assert_eq!(generation, 5);
+                    assert_eq!(payload, checkpoint_payload(fs.rank(), 5, 96));
+                }
+                Recovery::Fresh => panic!("five generations exist"),
+            }
         });
     }
 
@@ -121,7 +153,7 @@ mod tests {
             seed: 1,
         };
         FanStore::run(ClusterConfig::default(), packed.partitions, |fs| {
-            assert_eq!(latest_checkpoint_epoch(fs), None);
+            assert_eq!(latest_checkpoint_epoch(fs).unwrap(), None);
             let (report, from) = run_epochs_resuming(fs, &cfg).unwrap();
             assert_eq!(from, 0);
             assert_eq!(report.iterations, 2 * 2);
@@ -129,7 +161,33 @@ mod tests {
     }
 
     #[test]
-    fn export_returns_all_checkpoints() {
+    fn unreadable_checkpoints_error_instead_of_fresh_start() {
+        // Satellite discipline: "generations exist but none loads" must
+        // surface as an error, never read as a fresh start.
+        let packed = prepare(dataset(4), &PrepConfig::default());
+        let cfg = EpochConfig {
+            root: "d".into(),
+            batch_per_node: 2,
+            epochs: 1,
+            checkpoint_every: 1,
+            checkpoint_bytes: 64,
+            seed: 9,
+        };
+        FanStore::run(ClusterConfig::default(), packed.partitions, |fs| {
+            run_epoch_range(fs, &cfg, 0, 1).unwrap();
+            let store = CheckpointStore::new(fs, epoch_ckpt_config(fs));
+            let mpath = store.manifest_path(1);
+            fs.unlink(&mpath).unwrap();
+            fs.write_whole(&mpath, b"garbage, not a manifest").unwrap();
+            assert!(
+                latest_checkpoint_epoch(fs).is_err(),
+                "corrupt-only lineage must error, not silently restart"
+            );
+        });
+    }
+
+    #[test]
+    fn export_returns_all_checkpoint_objects() {
         let packed = prepare(dataset(4), &PrepConfig::default());
         let cfg = EpochConfig {
             root: "d".into(),
@@ -142,10 +200,12 @@ mod tests {
         FanStore::run(ClusterConfig::default(), packed.partitions, |fs| {
             run_epoch_range(fs, &cfg, 0, 3).unwrap();
             let exported = export_checkpoints(fs).unwrap();
-            assert_eq!(exported.len(), 3);
+            let manifests = exported.iter().filter(|(p, _)| p.ends_with(".mfst")).count();
+            assert_eq!(manifests, 3, "one manifest per generation");
+            assert!(exported.len() >= 6, "each generation exports manifest + segments");
             for (path, data) in &exported {
-                assert!(path.contains("model_epoch_"));
-                assert_eq!(data.len(), 256);
+                assert!(path.starts_with("ckpt/epoch/rank0/"));
+                assert!(!data.is_empty());
             }
         });
     }

@@ -39,7 +39,7 @@ fn main() {
             println!(
                 "rank {}: 'crash' after epoch 3; newest checkpoint = epoch {:?}",
                 fs.rank(),
-                latest_checkpoint_epoch(fs)
+                latest_checkpoint_epoch(fs).expect("checkpoint store must be consultable")
             );
 
             // Second allocation (the paper resumes from the shared FS; here

@@ -95,10 +95,10 @@ fn multi_node_resume_continues_numbering() {
         FanStore::run(ClusterConfig { nodes: 2, ..Default::default() }, packed.partitions, |fs| {
             // First allocation: 1 epoch, then "crash".
             run_epoch_range(fs, &cfg, 0, 1).unwrap();
-            assert_eq!(latest_checkpoint_epoch(fs), Some(1));
+            assert_eq!(latest_checkpoint_epoch(fs).unwrap(), Some(1));
             // Resume to completion.
             let (report, from) = run_epochs_resuming(fs, &cfg).unwrap();
-            (from, report.checkpoints, latest_checkpoint_epoch(fs))
+            (from, report.checkpoints, latest_checkpoint_epoch(fs).unwrap())
         });
     for (from, checkpoints, latest) in results {
         assert_eq!(from, 1);

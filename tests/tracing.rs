@@ -39,9 +39,10 @@ fn trace_captures_training_workload_shape() {
     // Each file: one data read + one EOF read.
     assert!(s.reads >= 18);
     assert_eq!(s.bytes_read, 9 * 2048 * 2);
-    // One checkpoint write.
-    assert_eq!(s.writes, 1);
-    assert_eq!(s.bytes_written, 512);
+    // One checkpoint publish through the ckpt store: a segment object
+    // plus the generation manifest written last (the publish point).
+    assert_eq!(s.writes, 2);
+    assert!(s.bytes_written > 0, "segment + manifest carry the stored checkpoint");
 }
 
 #[test]
