@@ -34,7 +34,7 @@ fn cache_policy_ablation(c: &mut Criterion) {
                 FanStore::run(
                     ClusterConfig {
                         nodes: 1,
-                        cache: CacheConfig { capacity, release_on_zero },
+                        cache: CacheConfig { capacity, release_on_zero, ..Default::default() },
                         ..Default::default()
                     },
                     partitions.clone(),

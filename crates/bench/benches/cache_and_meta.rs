@@ -11,7 +11,11 @@ use fanstore::stat::FileStat;
 use fanstore_compress::{CodecFamily, CodecId};
 
 fn cache_benches(c: &mut Criterion) {
-    let cache = FileCache::new(CacheConfig { capacity: 1 << 24, release_on_zero: false });
+    let cache = FileCache::new(CacheConfig {
+        capacity: 1 << 24,
+        release_on_zero: false,
+        ..Default::default()
+    });
     let data = Arc::new(vec![1u8; 4096]);
     cache.insert("hot", Arc::clone(&data));
     cache.close("hot");
@@ -25,7 +29,8 @@ fn cache_benches(c: &mut Criterion) {
     });
 
     c.bench_function("cache_insert_evict", |b| {
-        let small = FileCache::new(CacheConfig { capacity: 16 * 4096, release_on_zero: false });
+        let small =
+            FileCache::new(CacheConfig { capacity: 16 * 4096, release_on_zero: false, shards: 1 });
         let mut i = 0u64;
         b.iter(|| {
             let path = format!("f{}", i % 64);

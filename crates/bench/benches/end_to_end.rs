@@ -45,7 +45,11 @@ fn e2e_benches(c: &mut Criterion) {
                 let elapsed = FanStore::run(
                     ClusterConfig {
                         nodes: 2,
-                        cache: fanstore::cache::CacheConfig { capacity: 1 << 28, release_on_zero },
+                        cache: fanstore::cache::CacheConfig {
+                            capacity: 1 << 28,
+                            release_on_zero,
+                            ..Default::default()
+                        },
                         failover: recovery.then(FailoverConfig::default),
                         read_through: recovery,
                         ..Default::default()

@@ -1,0 +1,4 @@
+//! Regenerate the batch_fetch section (GetMany coalescing throughput).
+fn main() {
+    print!("{}", fanstore_bench::experiments::batch_fetch::run(96, 3));
+}

@@ -39,7 +39,11 @@ fn measure(kind: DatasetKind, n: usize) -> (f64, f64, f64) {
     let fan_files_per_s = FanStore::run(
         ClusterConfig {
             nodes: 1,
-            cache: fanstore::cache::CacheConfig { capacity: 1 << 30, release_on_zero: true },
+            cache: fanstore::cache::CacheConfig {
+                capacity: 1 << 30,
+                release_on_zero: true,
+                ..Default::default()
+            },
             ..Default::default()
         },
         packed.partitions,

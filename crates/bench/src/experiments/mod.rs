@@ -1,6 +1,7 @@
 //! Experiment generators, one per paper table/figure. See DESIGN.md §3
 //! for the experiment index.
 
+pub mod batch_fetch;
 pub mod ckpt_cost;
 pub mod fig1;
 pub mod fig6;
@@ -84,6 +85,7 @@ pub fn all(quick: bool) -> String {
         lossy_fw::run(if quick { 2 } else { 8 }),
         metrics_overhead::run(if quick { 1 } else { 3 }),
         ckpt_cost::run(if quick { 2 } else { 6 }, if quick { 8 } else { 128 }),
+        batch_fetch::run(if quick { 16 } else { 96 }, if quick { 1 } else { 3 }),
     ] {
         out.push_str(&section);
         out.push('\n');

@@ -49,7 +49,11 @@ fn measure_fanstore(file_size: usize, n_files: usize) -> f64 {
     FanStore::run(
         ClusterConfig {
             nodes: 1,
-            cache: fanstore::cache::CacheConfig { capacity: 1 << 30, release_on_zero: true },
+            cache: fanstore::cache::CacheConfig {
+                capacity: 1 << 30,
+                release_on_zero: true,
+                ..Default::default()
+            },
             ..Default::default()
         },
         packed.partitions,

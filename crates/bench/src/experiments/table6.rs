@@ -30,7 +30,11 @@ fn measure_local(file_size: usize, n_files: usize) -> (f64, f64) {
     let fps = FanStore::run(
         ClusterConfig {
             nodes: 1,
-            cache: fanstore::cache::CacheConfig { capacity: 1 << 30, release_on_zero: true },
+            cache: fanstore::cache::CacheConfig {
+                capacity: 1 << 30,
+                release_on_zero: true,
+                ..Default::default()
+            },
             ..Default::default()
         },
         packed.partitions,

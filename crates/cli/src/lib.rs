@@ -184,9 +184,11 @@ fn demo_dataset(files_n: usize) -> Vec<(String, Vec<u8>)> {
 }
 
 /// Run the demo workload on an in-process cluster: every node reads the
-/// whole namespace twice (cold fetch + warm cache hit, so latency
-/// histograms have real spread) and writes one checkpoint. Returns each
-/// rank's metrics registry and trace dump.
+/// whole namespace twice — a cold batched pass (`read_many`, one GetMany
+/// per owner rank) then a warm single-read pass served from the cache,
+/// so latency histograms have real spread and the trace carries both
+/// span shapes — and writes one checkpoint. Returns each rank's metrics
+/// registry and trace dump.
 fn run_demo_cluster(
     nodes: usize,
     files_n: usize,
@@ -200,10 +202,17 @@ fn run_demo_cluster(
     let out = FanStore::run(cfg, packed.partitions, |fs| {
         let work = || -> Result<(), fanstore::FsError> {
             let files = fs.enumerate("train")?;
-            for _pass in 0..2 {
-                for path in &files {
-                    fs.read_whole(path)?;
+            // Cold pass: batched reads — each chunk is one request id
+            // whose client.get_many span joins the per-rank fabric.rpc
+            // children in the trace dump.
+            for chunk in files.chunks(8) {
+                for result in fs.read_many(chunk) {
+                    result?;
                 }
+            }
+            // Warm pass: single reads, served from the cache.
+            for path in &files {
+                fs.read_whole(path)?;
             }
             fs.write_whole(&format!("checkpoints/rank{}/model.h5", fs.rank()), &[0xCE; 512])?;
             Ok(())
@@ -534,6 +543,7 @@ mod tests {
         let out = run_trace_dump(2, 6).unwrap();
         assert!(out.contains("# span timelines"), "{out}");
         assert!(out.contains("client.get"), "{out}");
+        assert!(out.contains("client.get_many"), "batched pass must trace: {out}");
         assert!(out.contains("request 0x"), "{out}");
     }
 

@@ -13,6 +13,17 @@
 //!   pressure evicts them in FIFO order, skipping in-use entries;
 //! * eager release (`release_on_zero`): the Figure 4 behaviour — an entry
 //!   is dropped as soon as its open-count returns to zero.
+//!
+//! ## Sharding
+//!
+//! The table is split into `shards` independent shards, each with its own
+//! lock, FIFO queue, byte budget (an equal slice of `capacity`) and
+//! counters, so concurrent I/O workers on different files do not
+//! serialise on one mutex. A path always maps to the same shard (FNV-1a
+//! hash), so the per-path semantics — FIFO-except-in-use, eager release,
+//! purge — are exactly the single-lock behaviour within its shard.
+//! [`FileCache::stats`] merges the per-shard counters;
+//! [`FileCache::shard_snapshots`] exposes them individually.
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -20,23 +31,32 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
+/// Default shard count: enough to keep a typical I/O thread pool (4-8
+/// workers) from colliding, small enough that per-shard budgets stay
+/// useful.
+pub const DEFAULT_SHARDS: usize = 8;
+
 /// Cache configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct CacheConfig {
-    /// Capacity in bytes of decompressed data.
+    /// Capacity in bytes of decompressed data, split evenly across shards.
     pub capacity: usize,
     /// Figure-4 eager policy: release an entry the moment its open-count
     /// reaches zero.
     pub release_on_zero: bool,
+    /// Number of independent lock shards (clamped to at least 1). Use 1
+    /// to recover the exact single-lock FIFO order across all paths.
+    pub shards: usize,
 }
 
 impl Default for CacheConfig {
     fn default() -> Self {
-        CacheConfig { capacity: 256 * 1024 * 1024, release_on_zero: false }
+        CacheConfig { capacity: 256 * 1024 * 1024, release_on_zero: false, shards: DEFAULT_SHARDS }
     }
 }
 
-/// Cache hit/miss counters.
+/// Cache hit/miss counters (one set per shard; [`FileCache::stats`]
+/// returns the merged view).
 #[derive(Debug, Default)]
 pub struct CacheStats {
     /// `open` calls answered from cache.
@@ -45,6 +65,24 @@ pub struct CacheStats {
     pub misses: AtomicU64,
     /// Entries evicted by capacity pressure or eager release.
     pub evictions: AtomicU64,
+}
+
+/// A point-in-time view of one shard, for metrics export and the
+/// property-test suite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSnapshot {
+    /// `open` calls answered from this shard.
+    pub hits: u64,
+    /// `open` calls this shard missed.
+    pub misses: u64,
+    /// Entries this shard evicted.
+    pub evictions: u64,
+    /// Decompressed bytes resident in this shard.
+    pub resident_bytes: u64,
+    /// This shard's byte budget (its slice of `capacity`).
+    pub budget: u64,
+    /// Entries resident in this shard.
+    pub entries: u64,
 }
 
 struct Entry {
@@ -58,35 +96,82 @@ struct Inner {
     bytes: usize,
 }
 
-/// Thread-safe decompressed-file cache.
-pub struct FileCache {
-    cfg: CacheConfig,
+/// One lock shard: its own table, FIFO queue, byte budget and counters.
+struct Shard {
+    budget: usize,
     inner: Mutex<Inner>,
     stats: CacheStats,
 }
 
+/// Thread-safe decompressed-file cache, sharded by path hash.
+pub struct FileCache {
+    cfg: CacheConfig,
+    shards: Vec<Shard>,
+}
+
+/// FNV-1a of a path — the shard selector. Stable across runs so seeded
+/// tests see the same placement.
+fn shard_hash(path: &str) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for &b in path.as_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
 impl FileCache {
-    /// Create with the given configuration.
+    /// Create with the given configuration. `capacity` is split evenly
+    /// across the shards (the first `capacity % shards` shards take the
+    /// remainder byte each, so the budgets sum exactly to `capacity`).
     pub fn new(cfg: CacheConfig) -> Self {
-        FileCache {
-            cfg,
-            inner: Mutex::new(Inner { entries: HashMap::new(), fifo: VecDeque::new(), bytes: 0 }),
-            stats: CacheStats::default(),
-        }
+        let n = cfg.shards.max(1);
+        let base = cfg.capacity / n;
+        let extra = cfg.capacity % n;
+        let shards = (0..n)
+            .map(|i| Shard {
+                budget: base + usize::from(i < extra),
+                inner: Mutex::new(Inner {
+                    entries: HashMap::new(),
+                    fifo: VecDeque::new(),
+                    bytes: 0,
+                }),
+                stats: CacheStats::default(),
+            })
+            .collect();
+        FileCache { cfg, shards }
+    }
+
+    #[inline]
+    fn shard(&self, path: &str) -> &Shard {
+        &self.shards[(shard_hash(path) % self.shards.len() as u64) as usize]
+    }
+
+    /// The shard index `path` maps to (exposed for the property tests:
+    /// shards are independent, so a per-shard op subsequence replayed on a
+    /// one-shard cache must behave identically).
+    pub fn shard_of(&self, path: &str) -> usize {
+        (shard_hash(path) % self.shards.len() as u64) as usize
+    }
+
+    /// Number of lock shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
     }
 
     /// Look up `path` for an `open()`: on hit, increments the open-count
     /// and returns the decompressed data.
     pub fn open(&self, path: &str) -> Option<Arc<Vec<u8>>> {
-        let mut inner = self.inner.lock();
+        let shard = self.shard(path);
+        let mut inner = shard.inner.lock();
         match inner.entries.get_mut(path) {
             Some(e) => {
                 e.open_count += 1;
-                self.stats.hits.fetch_add(1, Ordering::Relaxed);
+                shard.stats.hits.fetch_add(1, Ordering::Relaxed);
                 Some(Arc::clone(&e.data))
             }
             None => {
-                self.stats.misses.fetch_add(1, Ordering::Relaxed);
+                shard.stats.misses.fetch_add(1, Ordering::Relaxed);
                 None
             }
         }
@@ -97,28 +182,29 @@ impl FileCache {
     /// wins (and its count is bumped) so all readers share one buffer.
     /// Returns the canonical buffer.
     pub fn insert(&self, path: &str, data: Arc<Vec<u8>>) -> Arc<Vec<u8>> {
-        let mut inner = self.inner.lock();
+        let shard = self.shard(path);
+        let mut inner = shard.inner.lock();
         if let Some(e) = inner.entries.get_mut(path) {
             e.open_count += 1;
             return Arc::clone(&e.data);
         }
         let size = data.len();
-        // FIFO eviction, skipping in-use entries.
-        self.make_room(&mut inner, size);
+        // FIFO eviction within the shard, skipping in-use entries.
+        Self::make_room(shard, &mut inner, size);
         inner.entries.insert(path.to_string(), Entry { data: Arc::clone(&data), open_count: 1 });
         inner.fifo.push_back(path.to_string());
         inner.bytes += size;
         data
     }
 
-    fn make_room(&self, inner: &mut Inner, incoming: usize) {
-        if inner.bytes + incoming <= self.cfg.capacity {
+    fn make_room(shard: &Shard, inner: &mut Inner, incoming: usize) {
+        if inner.bytes + incoming <= shard.budget {
             return;
         }
         // Scan FIFO order; in-use entries are requeued behind (the "except
         // in-use" rule). Bounded by the current queue length.
         let mut scan = inner.fifo.len();
-        while inner.bytes + incoming > self.cfg.capacity && scan > 0 {
+        while inner.bytes + incoming > shard.budget && scan > 0 {
             scan -= 1;
             let Some(victim) = inner.fifo.pop_front() else { break };
             let in_use = inner.entries.get(&victim).map(|e| e.open_count > 0).unwrap_or(false);
@@ -126,7 +212,7 @@ impl FileCache {
                 inner.fifo.push_back(victim);
             } else if let Some(e) = inner.entries.remove(&victim) {
                 inner.bytes -= e.data.len();
-                self.stats.evictions.fetch_add(1, Ordering::Relaxed);
+                shard.stats.evictions.fetch_add(1, Ordering::Relaxed);
             }
         }
     }
@@ -134,7 +220,8 @@ impl FileCache {
     /// Record a `close()`: decrements the open-count; under the eager
     /// policy a zero count releases the entry immediately.
     pub fn close(&self, path: &str) {
-        let mut inner = self.inner.lock();
+        let shard = self.shard(path);
+        let mut inner = shard.inner.lock();
         let release = match inner.entries.get_mut(path) {
             Some(e) => {
                 e.open_count = e.open_count.saturating_sub(1);
@@ -146,7 +233,7 @@ impl FileCache {
             if let Some(e) = inner.entries.remove(path) {
                 inner.bytes -= e.data.len();
                 inner.fifo.retain(|p| p != path);
-                self.stats.evictions.fetch_add(1, Ordering::Relaxed);
+                shard.stats.evictions.fetch_add(1, Ordering::Relaxed);
             }
         }
     }
@@ -155,26 +242,27 @@ impl FileCache {
     /// `Arc` keep their buffer, but the cache forgets the entry — and its
     /// queue slot — immediately. Returns whether the entry was resident.
     pub fn purge(&self, path: &str) -> bool {
-        let mut inner = self.inner.lock();
+        let shard = self.shard(path);
+        let mut inner = shard.inner.lock();
         match inner.entries.remove(path) {
             Some(e) => {
                 inner.bytes -= e.data.len();
                 inner.fifo.retain(|p| p != path);
-                self.stats.evictions.fetch_add(1, Ordering::Relaxed);
+                shard.stats.evictions.fetch_add(1, Ordering::Relaxed);
                 true
             }
             None => false,
         }
     }
 
-    /// Bytes of decompressed data currently resident.
+    /// Bytes of decompressed data currently resident, summed over shards.
     pub fn resident_bytes(&self) -> usize {
-        self.inner.lock().bytes
+        self.shards.iter().map(|s| s.inner.lock().bytes).sum()
     }
 
-    /// Number of resident entries.
+    /// Number of resident entries, summed over shards.
     pub fn len(&self) -> usize {
-        self.inner.lock().entries.len()
+        self.shards.iter().map(|s| s.inner.lock().entries.len()).sum()
     }
 
     /// True if no entries are resident.
@@ -182,9 +270,35 @@ impl FileCache {
         self.len() == 0
     }
 
-    /// Hit/miss/eviction counters.
-    pub fn stats(&self) -> &CacheStats {
-        &self.stats
+    /// Merged hit/miss/eviction counters (sum over all shards).
+    pub fn stats(&self) -> CacheStats {
+        let merged = CacheStats::default();
+        for s in &self.shards {
+            merged.hits.fetch_add(s.stats.hits.load(Ordering::Relaxed), Ordering::Relaxed);
+            merged.misses.fetch_add(s.stats.misses.load(Ordering::Relaxed), Ordering::Relaxed);
+            merged
+                .evictions
+                .fetch_add(s.stats.evictions.load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+        merged
+    }
+
+    /// Point-in-time view of every shard (counters, residency, budget).
+    pub fn shard_snapshots(&self) -> Vec<ShardSnapshot> {
+        self.shards
+            .iter()
+            .map(|s| {
+                let inner = s.inner.lock();
+                ShardSnapshot {
+                    hits: s.stats.hits.load(Ordering::Relaxed),
+                    misses: s.stats.misses.load(Ordering::Relaxed),
+                    evictions: s.stats.evictions.load(Ordering::Relaxed),
+                    resident_bytes: inner.bytes as u64,
+                    budget: s.budget as u64,
+                    entries: inner.entries.len() as u64,
+                }
+            })
+            .collect()
     }
 }
 
@@ -194,6 +308,11 @@ mod tests {
 
     fn data(n: usize, fill: u8) -> Arc<Vec<u8>> {
         Arc::new(vec![fill; n])
+    }
+
+    /// One shard: the exact pre-sharding FIFO semantics across all paths.
+    fn single(capacity: usize, release_on_zero: bool) -> FileCache {
+        FileCache::new(CacheConfig { capacity, release_on_zero, shards: 1 })
     }
 
     #[test]
@@ -209,7 +328,7 @@ mod tests {
 
     #[test]
     fn fifo_eviction_order() {
-        let c = FileCache::new(CacheConfig { capacity: 250, release_on_zero: false });
+        let c = single(250, false);
         c.insert("a", data(100, 0));
         c.close("a");
         c.insert("b", data(100, 0));
@@ -223,7 +342,7 @@ mod tests {
 
     #[test]
     fn in_use_entries_skip_eviction() {
-        let c = FileCache::new(CacheConfig { capacity: 250, release_on_zero: false });
+        let c = single(250, false);
         c.insert("a", data(100, 0)); // stays open (count 1)
         c.insert("b", data(100, 0));
         c.close("b");
@@ -234,7 +353,7 @@ mod tests {
 
     #[test]
     fn skipped_in_use_entry_evicted_after_close() {
-        let c = FileCache::new(CacheConfig { capacity: 250, release_on_zero: false });
+        let c = single(250, false);
         c.insert("a", data(100, 0)); // stays open through the first squeeze
         c.insert("b", data(100, 0));
         c.close("b");
@@ -269,7 +388,11 @@ mod tests {
 
     #[test]
     fn eager_release_on_zero() {
-        let c = FileCache::new(CacheConfig { capacity: 1 << 20, release_on_zero: true });
+        let c = FileCache::new(CacheConfig {
+            capacity: 1 << 20,
+            release_on_zero: true,
+            ..Default::default()
+        });
         c.insert("f", data(100, 0));
         assert_eq!(c.len(), 1);
         c.close("f");
@@ -279,7 +402,11 @@ mod tests {
 
     #[test]
     fn eager_release_waits_for_all_closers() {
-        let c = FileCache::new(CacheConfig { capacity: 1 << 20, release_on_zero: true });
+        let c = FileCache::new(CacheConfig {
+            capacity: 1 << 20,
+            release_on_zero: true,
+            ..Default::default()
+        });
         c.insert("f", data(100, 0)); // count 1
         c.open("f").unwrap(); // count 2
         c.close("f"); // count 1: stays
@@ -313,14 +440,64 @@ mod tests {
     fn oversized_entry_still_cached() {
         // A file bigger than capacity: nothing to evict, entry admitted
         // anyway (it is in use by the opener).
-        let c = FileCache::new(CacheConfig { capacity: 100, release_on_zero: false });
+        let c = single(100, false);
         c.insert("big", data(500, 0));
         assert!(c.open("big").is_some());
     }
 
     #[test]
-    fn parallel_open_close_is_consistent() {
-        let c = Arc::new(FileCache::new(CacheConfig { capacity: 1 << 16, release_on_zero: false }));
+    fn shard_budgets_sum_to_capacity() {
+        for (capacity, shards) in [(1000usize, 7usize), (4096, 8), (5, 8), (0, 3), (100, 1)] {
+            let c = FileCache::new(CacheConfig { capacity, release_on_zero: false, shards });
+            let snaps = c.shard_snapshots();
+            assert_eq!(snaps.len(), shards);
+            assert_eq!(snaps.iter().map(|s| s.budget).sum::<u64>(), capacity as u64);
+        }
+    }
+
+    #[test]
+    fn paths_map_to_stable_shards() {
+        let c = FileCache::new(CacheConfig { capacity: 1 << 20, ..Default::default() });
+        let shard = c.shard_of("some/path.bin");
+        for _ in 0..3 {
+            assert_eq!(c.shard_of("some/path.bin"), shard);
+        }
+        // A reasonable spread: many paths should not collapse onto one
+        // shard.
+        let used: std::collections::HashSet<usize> =
+            (0..64).map(|i| c.shard_of(&format!("p/f{i:03}.bin"))).collect();
+        assert!(used.len() > 1, "64 paths landed on one shard");
+    }
+
+    #[test]
+    fn merged_stats_sum_per_shard_counters() {
+        let c = FileCache::new(CacheConfig { capacity: 1 << 20, ..Default::default() });
+        for i in 0..40 {
+            let p = format!("f{i}");
+            assert!(c.open(&p).is_none());
+            c.insert(&p, data(16, 0));
+            c.close(&p);
+            c.open(&p).unwrap();
+            c.close(&p);
+        }
+        let merged = c.stats();
+        let snaps = c.shard_snapshots();
+        assert_eq!(merged.hits.load(Ordering::Relaxed), snaps.iter().map(|s| s.hits).sum::<u64>());
+        assert_eq!(
+            merged.misses.load(Ordering::Relaxed),
+            snaps.iter().map(|s| s.misses).sum::<u64>()
+        );
+        assert_eq!(merged.hits.load(Ordering::Relaxed), 40);
+        assert_eq!(merged.misses.load(Ordering::Relaxed), 40);
+    }
+
+    #[test]
+    fn sharded_parallel_open_close_is_consistent() {
+        let c = Arc::new(FileCache::new(CacheConfig {
+            capacity: 1 << 16,
+            release_on_zero: false,
+            shards: 4,
+        }));
         std::thread::scope(|s| {
             for t in 0..4 {
                 let c = Arc::clone(&c);
@@ -338,9 +515,10 @@ mod tests {
                 });
             }
         });
-        // All counts returned to zero: every entry is evictable.
-        let c2 = FileCache::new(CacheConfig { capacity: 0, release_on_zero: false });
-        let _ = c2; // (sanity that constructing a zero-capacity cache is fine)
         assert!(c.len() <= 8);
+        // All counts returned to zero and every touch was counted.
+        let stats = c.stats();
+        let total = stats.hits.load(Ordering::Relaxed) + stats.misses.load(Ordering::Relaxed);
+        assert!(total >= 4 * 200, "every open accounted: {total}");
     }
 }

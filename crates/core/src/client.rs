@@ -9,16 +9,19 @@
 //! output files are written once by one process and are immutable after
 //! `close()`.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+use fanstore_compress::CodecId;
 use mpi_sim::{CommError, RemoteSender};
 use parking_lot::Mutex;
 
 use crate::backend::Backend;
-use crate::daemon::{decode_get_reply, tags};
+use crate::daemon::{
+    decode_get_many_reply, decode_get_reply, encode_get_many_request, tags, MAX_BATCH,
+};
 use crate::meta::encode_single;
 use crate::metrics::{now_us, Counter, Gauge, Histogram};
 use crate::node::{decompress_object, NodeState};
@@ -145,6 +148,17 @@ struct ClientMetrics {
     fabric_bytes_sent: Arc<Gauge>,
     fabric_bytes_received: Arc<Gauge>,
     fabric_msgs_sent: Arc<Gauge>,
+    get_many_latency: Arc<Histogram>,
+    get_many_batches: Arc<Counter>,
+    get_many_entries: Arc<Counter>,
+    get_many_fallbacks: Arc<Counter>,
+    cache_hits: Arc<Gauge>,
+    cache_misses: Arc<Gauge>,
+    cache_evictions: Arc<Gauge>,
+    cache_resident: Arc<Gauge>,
+    cache_shard_count: Arc<Gauge>,
+    cache_shard_hot_bytes: Arc<Gauge>,
+    cache_shard_spread: Arc<Histogram>,
 }
 
 impl ClientMetrics {
@@ -158,8 +172,48 @@ impl ClientMetrics {
             fabric_bytes_sent: m.gauge("fabric.bytes_sent"),
             fabric_bytes_received: m.gauge("fabric.bytes_received"),
             fabric_msgs_sent: m.gauge("fabric.msgs_sent"),
+            get_many_latency: m.histogram("client.get_many.latency_us"),
+            get_many_batches: m.counter("client.get_many.batches"),
+            get_many_entries: m.counter("client.get_many.entries"),
+            get_many_fallbacks: m.counter("client.get_many.fallbacks"),
+            cache_hits: m.gauge("cache.hits"),
+            cache_misses: m.gauge("cache.misses"),
+            cache_evictions: m.gauge("cache.evictions"),
+            cache_resident: m.gauge("cache.resident_bytes"),
+            cache_shard_count: m.gauge("cache.shard.count"),
+            cache_shard_hot_bytes: m.gauge("cache.shard.hot_bytes"),
+            cache_shard_spread: m.histogram("cache.shard.resident_bytes"),
         }
     }
+}
+
+/// One entry produced by [`FsClient::fetch_many_raw`]: either already
+/// decompressed (a cache or write-store hit) or still compressed (local
+/// backend or remote daemon). Finishing — decompression plus cache
+/// insertion — is deferred to [`FsClient::finish_read`] /
+/// [`FsClient::finish_entry`], which may run on a *different* thread;
+/// that is how the prefetch pipeline fans decompression out over its I/O
+/// workers instead of serialising it per file.
+///
+/// A `Ready` entry holds one cache open-count on the caller's behalf:
+/// pass it to `finish_read` (which releases it) or balance it with
+/// [`FsClient::release`]; dropping it on the floor pins the entry in the
+/// cache until it is purged.
+pub enum RawEntry {
+    /// Decompressed and resident in the cache, open-count held.
+    Ready(Arc<Vec<u8>>),
+    /// Compressed payload awaiting decompression and cache insertion.
+    Packed {
+        /// Codec of `bytes`.
+        codec: CodecId,
+        /// Uncompressed length.
+        size: usize,
+        /// The compressed bytes.
+        bytes: Arc<Vec<u8>>,
+        /// Batch request id, stamped into the decompress span (0 when
+        /// the batch was untraced).
+        request: u64,
+    },
 }
 
 /// A POSIX-style handle onto the FanStore namespace for one process (one
@@ -431,6 +485,195 @@ impl FsClient {
             }
         }
         Err(last)
+    }
+
+    /// Batched fetch (the `GetMany` data path): resolve every path in
+    /// `paths`, coalescing remote entries into one GET_MANY RPC per
+    /// destination rank (chunked at [`MAX_BATCH`]). Cache and write-store
+    /// hits come back `Ready`; local-backend and remote entries come back
+    /// `Packed` so the caller can fan decompression out over worker
+    /// threads. Results align with `paths`.
+    ///
+    /// One request id covers the whole batch: the `client.get_many` span
+    /// is its root, each per-rank RPC records a `fabric.rpc` child, and
+    /// every deferred decompression later records a `client.decompress`
+    /// child — so a trace dump joins the batch back together.
+    ///
+    /// Per-entry failure isolation: a missing, corrupted or unreachable
+    /// entry does not fail the batch. Each unresolved entry falls back to
+    /// the single-GET path — replica failover, backoff and read-through
+    /// included — exactly as [`FsClient::read_whole`] would.
+    pub fn fetch_many_raw(&self, paths: &[String]) -> Vec<Result<RawEntry, FsError>> {
+        let n = paths.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let timed = self.timed;
+        let request = if timed { self.state.next_request_id() } else { 0 };
+        let start = if timed { now_us() } else { 0 };
+        let mut out: Vec<Option<Result<RawEntry, FsError>>> = Vec::with_capacity(n);
+        out.resize_with(n, || None);
+        // Local pass: cache / write-store hits resolve immediately; local
+        // compressed objects stay packed (workers decompress them); the
+        // rest group by owner rank. BTreeMap keeps the rank order
+        // deterministic for seeded runs.
+        let mut by_rank: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        for (i, path) in paths.iter().enumerate() {
+            self.record(Op::Open, path, 0);
+            if let Some(hit) = self.state.cache.open(path) {
+                self.state.stats.local_opens.inc();
+                out[i] = Some(Ok(RawEntry::Ready(hit)));
+                continue;
+            }
+            if let Some(w) = self.state.writes.read().get(path).cloned() {
+                self.state.stats.local_opens.inc();
+                out[i] = Some(Ok(RawEntry::Ready(self.state.cache.insert(path, w))));
+                continue;
+            }
+            if let Some(obj) = self.state.local_packed(path) {
+                self.state.stats.local_opens.inc();
+                out[i] = Some(Ok(RawEntry::Packed {
+                    codec: obj.codec,
+                    size: obj.stat.size as usize,
+                    bytes: obj.data,
+                    request,
+                }));
+                continue;
+            }
+            match self.state.owner_of(path) {
+                Some(owner) if owner != self.state.rank && owner < self.state.size => {
+                    by_rank.entry(owner).or_default().push(i);
+                }
+                // Missing metadata or a local owner with no local bytes:
+                // the fallback pass reports NotFound / tries read-through.
+                _ => {}
+            }
+        }
+        // Remote pass: one GET_MANY per destination rank. Entry errors
+        // (per-entry CRC failure, NOT_FOUND) and batch-level errors (rpc
+        // timeout, damaged outer frame) both leave slots unresolved for
+        // the fallback pass.
+        let timeout = self.failover.as_ref().map(|c| c.rpc_timeout);
+        for (&rank, idxs) in &by_rank {
+            for chunk in idxs.chunks(MAX_BATCH) {
+                let chunk_paths: Vec<&str> = chunk.iter().map(|&i| paths[i].as_str()).collect();
+                let payload = encode_get_many_request(&chunk_paths);
+                let rpc_start = if timed { now_us() } else { 0 };
+                let reply =
+                    self.service.rpc_with_id(rank, tags::GET_MANY, payload, timeout, request);
+                if timed {
+                    self.metrics.rpc_latency.record(now_us().saturating_sub(rpc_start));
+                    self.span(request, "fabric.rpc", rpc_start);
+                }
+                match reply {
+                    Ok(reply) => {
+                        if let Ok(entries) = decode_get_many_reply(&reply, chunk.len()) {
+                            for (&slot, entry) in chunk.iter().zip(entries) {
+                                match entry {
+                                    Ok((codec, stat, bytes)) => {
+                                        self.state.stats.remote_opens.inc();
+                                        self.state.stats.remote_bytes.add(bytes.len() as u64);
+                                        out[slot] = Some(Ok(RawEntry::Packed {
+                                            codec,
+                                            size: stat.size as usize,
+                                            bytes: Arc::new(bytes),
+                                            request,
+                                        }));
+                                    }
+                                    Err(FsError::Corrupt(_)) => {
+                                        self.state.stats.crc_failures.inc();
+                                    }
+                                    Err(_) => {}
+                                }
+                            }
+                        }
+                    }
+                    Err(CommError::Timeout | CommError::Disconnected) => {
+                        self.state.stats.rpc_timeouts.inc();
+                    }
+                    Err(_) => {}
+                }
+            }
+        }
+        // Fallback pass: per-entry replica failover through the
+        // single-GET machinery, under the same batch request id.
+        for (i, slot) in out.iter_mut().enumerate() {
+            if slot.is_none() {
+                self.metrics.get_many_fallbacks.inc();
+                *slot = Some(self.fetch_inner(&paths[i], request).map(RawEntry::Ready));
+            }
+        }
+        if timed {
+            self.metrics.get_many_latency.record(now_us().saturating_sub(start));
+            self.span(request, "client.get_many", start);
+        }
+        self.metrics.get_many_batches.inc();
+        self.metrics.get_many_entries.add(n as u64);
+        self.sync_fabric_gauges();
+        self.sync_cache_gauges();
+        out.into_iter().map(|r| r.expect("every entry resolved")).collect()
+    }
+
+    /// Finish one [`RawEntry`]: decompress a `Packed` entry (recording
+    /// the `client.decompress` span against its batch request) and insert
+    /// it into the cache. The returned buffer holds one cache open-count;
+    /// balance it with [`FsClient::release`].
+    pub fn finish_entry(&self, path: &str, entry: RawEntry) -> Result<Arc<Vec<u8>>, FsError> {
+        match entry {
+            RawEntry::Ready(data) => Ok(data),
+            RawEntry::Packed { codec, size, bytes, request } => {
+                let dec_start = if self.timed { now_us() } else { 0 };
+                let plain = self.state.decompress_timed(codec, &bytes, size, path)?;
+                if self.timed && request != 0 {
+                    self.span(request, "client.decompress", dec_start);
+                }
+                Ok(self.state.cache.insert(path, Arc::new(plain)))
+            }
+        }
+    }
+
+    /// Finish a [`RawEntry`] into owned bytes and release its cache
+    /// reference (the batched equivalent of [`FsClient::read_whole`]'s
+    /// read-to-end + close).
+    pub fn finish_read(&self, path: &str, entry: RawEntry) -> Result<Vec<u8>, FsError> {
+        let data = self.finish_entry(path, entry)?;
+        let out = data.to_vec();
+        self.record(Op::Read, path, out.len() as u64);
+        self.state.cache.close(path);
+        self.record(Op::Close, path, 0);
+        Ok(out)
+    }
+
+    /// Release the cache reference held by a finished entry (pairs with
+    /// [`FsClient::finish_entry`]).
+    pub fn release(&self, path: &str) {
+        self.state.cache.close(path);
+    }
+
+    /// Batched convenience read: [`FsClient::fetch_many_raw`] plus
+    /// in-place finishing. Results align with `paths`; a failed entry
+    /// carries its own error while the rest of the batch still delivers.
+    pub fn read_many(&self, paths: &[String]) -> Vec<Result<Vec<u8>, FsError>> {
+        let raw = self.fetch_many_raw(paths);
+        paths.iter().zip(raw).map(|(p, r)| r.and_then(|e| self.finish_read(p, e))).collect()
+    }
+
+    /// Refresh the cache gauges (`cache.*`, `cache.shard.*`) from the
+    /// sharded cache's merged and per-shard counters.
+    fn sync_cache_gauges(&self) {
+        if !self.state.metrics.is_enabled() {
+            return;
+        }
+        let merged = self.state.cache.stats();
+        self.metrics.cache_hits.set(merged.hits.load(Ordering::Relaxed));
+        self.metrics.cache_misses.set(merged.misses.load(Ordering::Relaxed));
+        self.metrics.cache_evictions.set(merged.evictions.load(Ordering::Relaxed));
+        let snaps = self.state.cache.shard_snapshots();
+        self.metrics.cache_resident.set(snaps.iter().map(|s| s.resident_bytes).sum());
+        self.metrics.cache_shard_count.set(snaps.len() as u64);
+        let hot = snaps.iter().map(|s| s.resident_bytes).max().unwrap_or(0);
+        self.metrics.cache_shard_hot_bytes.set(hot);
+        self.metrics.cache_shard_spread.record(hot);
     }
 
     /// `open(path, O_WRONLY|O_CREAT)`: start a write-once output file.

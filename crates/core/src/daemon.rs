@@ -6,6 +6,10 @@
 //! * **GET** — remote file retrieval: returns the *compressed* bytes plus
 //!   codec and stat; decompression happens on the requesting node (so the
 //!   interconnect carries compressed data, §IV-C2).
+//! * **GET_MANY** — batched retrieval: up to [`MAX_BATCH`] paths answered
+//!   in one reply, each entry framed with its own status byte and CRC32
+//!   so a missing or corrupted entry fails alone (see DESIGN.md, "Batched
+//!   read protocol").
 //! * **PUT_META** — write-metadata insertion: a peer closed an output file
 //!   and forwards its metadata to this rank (§V-D).
 //! * **SHUTDOWN** — terminate the loop.
@@ -38,7 +42,16 @@ pub mod tags {
     pub const PUT: u64 = 4;
     /// Remove an output file from this node (checkpoint GC).
     pub const UNLINK: u64 = 5;
+    /// Fetch several files' compressed bytes in one round trip (the
+    /// batched read path): per-entry status and CRC, so one bad entry
+    /// fails alone.
+    pub const GET_MANY: u64 = 6;
 }
+
+/// Most paths a single GET_MANY request may carry; the client chunks
+/// larger per-rank groups into several RPCs under the same batch request
+/// id.
+pub const MAX_BATCH: usize = 128;
 
 /// Reply status bytes.
 pub mod status {
@@ -119,6 +132,111 @@ pub fn decode_get_reply(
     Ok((codec, stat, buf[GET_BODY + 2 + STAT_SIZE..].to_vec()))
 }
 
+/// Encode a GET_MANY request: `[u32 count]` then, per path,
+/// `[u16 len][path bytes]`.
+pub fn encode_get_many_request(paths: &[&str]) -> Vec<u8> {
+    let total: usize = paths.iter().map(|p| 2 + p.len()).sum();
+    let mut out = Vec::with_capacity(4 + total);
+    out.extend_from_slice(&(paths.len() as u32).to_le_bytes());
+    for p in paths {
+        out.extend_from_slice(&(p.len() as u16).to_le_bytes());
+        out.extend_from_slice(p.as_bytes());
+    }
+    out
+}
+
+/// Decode a GET_MANY request into its path list. `None` on any framing
+/// problem (short buffer, non-UTF-8 path, oversized count).
+fn decode_get_many_request(buf: &[u8]) -> Option<Vec<&str>> {
+    let count = u32::from_le_bytes(buf.get(..4)?.try_into().ok()?) as usize;
+    if count > MAX_BATCH {
+        return None;
+    }
+    let mut paths = Vec::with_capacity(count);
+    let mut off = 4usize;
+    for _ in 0..count {
+        let plen = u16::from_le_bytes(buf.get(off..off + 2)?.try_into().ok()?) as usize;
+        off += 2;
+        paths.push(std::str::from_utf8(buf.get(off..off + plen)?).ok()?);
+        off += plen;
+    }
+    if off == buf.len() {
+        Some(paths)
+    } else {
+        None // trailing garbage: reject rather than silently ignore
+    }
+}
+
+/// One decoded GET_MANY entry: codec id, stat block and compressed
+/// payload, or that entry's own failure.
+pub type GetManyEntry = Result<(fanstore_compress::CodecId, FileStat, Vec<u8>), FsError>;
+
+/// Decode a GET_MANY reply. The outer frame is
+/// `[status][u32 count]` followed by `count` length-prefixed entries
+/// (`[u32 len][single-GET reply]`), in request order. Entries carry their
+/// *own* status byte and CRC32 — a byte flipped in flight fails only the
+/// entry it landed in, so the caller can fail over per entry instead of
+/// refetching the whole batch. Outer-frame damage (or a count mismatch)
+/// returns an error for the batch as a whole.
+pub fn decode_get_many_reply(buf: &[u8], expected: usize) -> Result<Vec<GetManyEntry>, FsError> {
+    match buf.first() {
+        Some(&s) if s == status::OK => {}
+        _ => return Err(FsError::Comm("malformed GET_MANY reply".into())),
+    }
+    let count = u32::from_le_bytes(
+        buf.get(1..5)
+            .ok_or_else(|| FsError::Comm("short GET_MANY reply".into()))?
+            .try_into()
+            .expect("4 bytes"),
+    ) as usize;
+    if count != expected {
+        return Err(FsError::Comm(format!(
+            "GET_MANY entry count mismatch: asked {expected}, got {count}"
+        )));
+    }
+    let mut out = Vec::with_capacity(count);
+    let mut off = 5usize;
+    for _ in 0..count {
+        let len = u32::from_le_bytes(
+            buf.get(off..off + 4)
+                .ok_or_else(|| FsError::Comm("truncated GET_MANY frame".into()))?
+                .try_into()
+                .expect("4 bytes"),
+        ) as usize;
+        off += 4;
+        let entry = buf
+            .get(off..off + len)
+            .ok_or_else(|| FsError::Comm("truncated GET_MANY entry".into()))?;
+        off += len;
+        out.push(decode_get_reply(entry));
+    }
+    Ok(out)
+}
+
+fn handle_get_many(state: &NodeState, msg: &Message, get_bytes: &crate::metrics::Counter) -> bool {
+    let reply = match decode_get_many_request(&msg.payload) {
+        Some(paths) => {
+            let mut out = vec![status::OK];
+            out.extend_from_slice(&(paths.len() as u32).to_le_bytes());
+            for path in paths {
+                let entry = match state.get_compressed(path) {
+                    Some(mut obj) => {
+                        obj.stat.served_by = state.rank as u32;
+                        get_bytes.add(obj.data.len() as u64);
+                        encode_get_reply(&obj)
+                    }
+                    None => vec![status::NOT_FOUND],
+                };
+                out.extend_from_slice(&(entry.len() as u32).to_le_bytes());
+                out.extend_from_slice(&entry);
+            }
+            out
+        }
+        None => vec![status::BAD_REQUEST],
+    };
+    msg.reply(reply)
+}
+
 /// Run the daemon loop until a SHUTDOWN message arrives or every peer
 /// endpoint is gone. Returns the number of requests served.
 pub fn serve(state: Arc<NodeState>, service: Channel) -> u64 {
@@ -149,6 +267,7 @@ pub fn serve_traced(
         let delivered = match msg.tag {
             tags::SHUTDOWN => msg.reply(vec![status::OK]),
             tags::GET => handle_get(&state, &msg, &get_bytes),
+            tags::GET_MANY => handle_get_many(&state, &msg, &get_bytes),
             tags::GET_META => handle_get_meta(&state, &msg),
             tags::PUT_META => {
                 let ok = state.merge_meta(&msg.payload).is_ok();
@@ -269,6 +388,99 @@ mod tests {
         assert!(matches!(decode_get_reply(&[status::NOT_FOUND]), Err(FsError::NotFound(_))));
         assert!(decode_get_reply(&[]).is_err());
         assert!(decode_get_reply(&[status::OK, 1]).is_err());
+    }
+
+    #[test]
+    fn get_many_roundtrip_with_per_entry_status() {
+        let packed = prepare(
+            vec![
+                ("g/a.bin".to_string(), b"aaaa".repeat(64)),
+                ("g/b.bin".to_string(), b"bbbb".repeat(64)),
+            ],
+            &PrepConfig::default(),
+        );
+        let parts = packed.partitions;
+        let results = mpi_sim::launch(2, 1, |mut ctx| {
+            let service = ctx.take_channel(0);
+            if ctx.rank == 0 {
+                let state = Arc::new(NodeState::new(0, 2, CacheConfig::default()));
+                state.load_partition(&parts[0]).unwrap();
+                serve(state, service)
+            } else {
+                let req = encode_get_many_request(&["g/a.bin", "missing", "g/b.bin"]);
+                let reply = service.rpc(0, tags::GET_MANY, req).unwrap();
+                let entries = decode_get_many_reply(&reply, 3).unwrap();
+                assert_eq!(entries.len(), 3);
+                let (codec, stat, data) = entries[0].as_ref().unwrap().clone();
+                assert_eq!(stat.served_by, 0);
+                let plain = decompress_object(codec, &data, stat.size as usize, "g/a.bin").unwrap();
+                assert_eq!(plain, b"aaaa".repeat(64));
+                assert!(
+                    matches!(entries[1], Err(FsError::NotFound(_))),
+                    "missing entry fails alone"
+                );
+                assert!(entries[2].is_ok(), "entry after the miss still served");
+                // A count mismatch is a batch-level framing error.
+                assert!(decode_get_many_reply(&reply, 2).is_err());
+                // A malformed request gets BAD_REQUEST, not a crash.
+                let r = service.rpc(0, tags::GET_MANY, vec![1, 0, 0]).unwrap();
+                assert_eq!(r, vec![status::BAD_REQUEST]);
+                service.rpc(0, tags::SHUTDOWN, Vec::new()).unwrap();
+                3
+            }
+        });
+        assert_eq!(results[0], 3);
+    }
+
+    #[test]
+    fn get_many_corruption_fails_only_the_hit_entry() {
+        // Build a 3-entry reply by hand, flip one byte inside the middle
+        // entry's payload: decode must keep entries 0 and 2 intact and
+        // report entry 1 as Corrupt — the per-entry-CRC guarantee the
+        // batched failover path relies on.
+        let packed = prepare(
+            vec![
+                ("m/a.bin".to_string(), b"entry-a ".repeat(40)),
+                ("m/b.bin".to_string(), b"entry-b ".repeat(40)),
+                ("m/c.bin".to_string(), b"entry-c ".repeat(40)),
+            ],
+            &PrepConfig::default(),
+        );
+        let state = NodeState::new(0, 1, CacheConfig::default());
+        state.load_partition(&packed.partitions[0]).unwrap();
+        let mut reply = vec![status::OK];
+        reply.extend_from_slice(&3u32.to_le_bytes());
+        let mut entry_starts = Vec::new();
+        for p in ["m/a.bin", "m/b.bin", "m/c.bin"] {
+            let entry = encode_get_reply(&state.get_compressed(p).unwrap());
+            reply.extend_from_slice(&(entry.len() as u32).to_le_bytes());
+            entry_starts.push(reply.len());
+            reply.extend_from_slice(&entry);
+        }
+        let mid = entry_starts[1] + GET_BODY + 20; // inside entry 1's body
+        reply[mid] ^= 0x10;
+        let entries = decode_get_many_reply(&reply, 3).unwrap();
+        assert!(entries[0].is_ok(), "entry before the flip survives");
+        assert!(matches!(entries[1], Err(FsError::Corrupt(_))), "hit entry rejected by its CRC");
+        assert!(entries[2].is_ok(), "entry after the flip survives");
+        let (codec, stat, data) = entries[2].as_ref().unwrap().clone();
+        let plain = decompress_object(codec, &data, stat.size as usize, "m/c.bin").unwrap();
+        assert_eq!(plain, b"entry-c ".repeat(40));
+    }
+
+    #[test]
+    fn get_many_request_roundtrip_and_limits() {
+        let paths = vec!["a", "some/deep/path.bin", ""];
+        let buf = encode_get_many_request(&paths);
+        assert_eq!(decode_get_many_request(&buf).unwrap(), paths);
+        // Trailing garbage rejected.
+        let mut noisy = buf.clone();
+        noisy.push(0);
+        assert!(decode_get_many_request(&noisy).is_none());
+        // Oversized counts rejected before allocation.
+        let mut huge = Vec::new();
+        huge.extend_from_slice(&(MAX_BATCH as u32 + 1).to_le_bytes());
+        assert!(decode_get_many_request(&huge).is_none());
     }
 
     #[test]

@@ -254,6 +254,13 @@ impl NodeState {
         Ok(Some(self.cache.insert(path, plain)))
     }
 
+    /// The compressed local object for `path` *without* decompressing or
+    /// touching the cache — the batched read path hands these to I/O
+    /// workers so decompression runs in parallel instead of inline.
+    pub fn local_packed(&self, path: &str) -> Option<LocalObject> {
+        self.local.get(path)
+    }
+
     /// The rank holding a path's compressed bytes, from metadata.
     ///
     /// Data preparation records the *partition index* in `owner_rank`

@@ -24,7 +24,7 @@ fn large_cache_turns_second_epoch_into_hits() {
     let packed = prepare(dataset(n, 8 * 1024), &PrepConfig::default());
     let stats = FanStore::run(
         ClusterConfig {
-            cache: CacheConfig { capacity: 1 << 24, release_on_zero: false },
+            cache: CacheConfig { capacity: 1 << 24, release_on_zero: false, ..Default::default() },
             ..Default::default()
         },
         packed.partitions,
@@ -47,7 +47,7 @@ fn eager_policy_never_accumulates_memory() {
     let packed = prepare(dataset(n, 16 * 1024), &PrepConfig::default());
     let resident = FanStore::run(
         ClusterConfig {
-            cache: CacheConfig { capacity: 1 << 30, release_on_zero: true },
+            cache: CacheConfig { capacity: 1 << 30, release_on_zero: true, ..Default::default() },
             ..Default::default()
         },
         packed.partitions,
@@ -69,7 +69,7 @@ fn tight_cache_bounds_memory_at_capacity() {
     let packed = prepare(dataset(n, file_bytes), &PrepConfig::default());
     let resident = FanStore::run(
         ClusterConfig {
-            cache: CacheConfig { capacity, release_on_zero: false },
+            cache: CacheConfig { capacity, release_on_zero: false, shards: 1 },
             ..Default::default()
         },
         packed.partitions,
@@ -94,7 +94,7 @@ fn uniform_access_makes_fifo_hit_rate_proportional_to_capacity() {
     let packed = prepare(dataset(n, file_bytes), &PrepConfig::default());
     let rates = FanStore::run(
         ClusterConfig {
-            cache: CacheConfig { capacity, release_on_zero: false },
+            cache: CacheConfig { capacity, release_on_zero: false, shards: 1 },
             ..Default::default()
         },
         packed.partitions,

@@ -3,30 +3,37 @@
 //!
 //! Keras/TensorFlow/PyTorch loaders run several I/O threads that read the
 //! next batch while the accelerator computes on the current one. This
-//! module reproduces that: a bounded work queue feeds `io_threads`
-//! workers, each opening/reading/closing files through the shared
-//! [`FsClient`]; completed files flow through a bounded ready queue whose
+//! module reproduces that with a *batched* fetch stage: a feeder thread
+//! groups each batch's paths by owner rank and issues one `GetMany` RPC
+//! per rank ([`fanstore::client::FsClient::fetch_many_raw`]), then hands
+//! the still-compressed entries to `io_threads` workers that decompress
+//! in parallel. Completed files flow through a bounded ready queue whose
 //! depth bounds the prefetch distance (how far I/O may run ahead).
 
 use crossbeam_channel::{bounded, Receiver};
-use fanstore::client::FsClient;
+use fanstore::client::{FsClient, RawEntry};
 use fanstore::FsError;
 
 /// Prefetch pipeline configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct PrefetchConfig {
     /// Concurrent I/O worker threads (Keras defaults to 4 per process,
-    /// §II-B1).
+    /// §II-B1). In the batched pipeline these run decompression.
     pub io_threads: usize,
     /// Batches the pipeline may run ahead of the consumer.
     pub queue_batches: usize,
     /// Files per batch.
     pub batch_size: usize,
+    /// Files coalesced per fetch round (one `GetMany` RPC per owner rank
+    /// per round). 0 means "use `batch_size`". 1 degenerates to the
+    /// single-GET path — the baseline the `batch_fetch` experiment
+    /// measures against.
+    pub rpc_batch: usize,
 }
 
 impl Default for PrefetchConfig {
     fn default() -> Self {
-        PrefetchConfig { io_threads: 4, queue_batches: 2, batch_size: 32 }
+        PrefetchConfig { io_threads: 4, queue_batches: 2, batch_size: 32, rpc_batch: 0 }
     }
 }
 
@@ -45,8 +52,8 @@ pub struct Fetched {
 /// delivered.
 ///
 /// I/O and consumption overlap: while `consume` runs on batch *i*, the
-/// workers are already filling batch *i+1* (bounded by
-/// `cfg.queue_batches`).
+/// feeder is already coalescing batch *i+1*'s RPCs and the workers are
+/// decompressing its entries (bounded by `cfg.queue_batches`).
 pub fn prefetched_epoch<F>(
     fs: &FsClient,
     paths: &[String],
@@ -60,28 +67,36 @@ where
         return Ok(0);
     }
     let batch = cfg.batch_size.max(1);
+    let rpc_batch = if cfg.rpc_batch == 0 { batch } else { cfg.rpc_batch };
     let capacity = (cfg.queue_batches.max(1) * batch).max(1);
-    let (work_tx, work_rx) = bounded::<(usize, String)>(capacity);
+    type RawItem = (usize, String, Result<RawEntry, FsError>);
+    let (work_tx, work_rx) = bounded::<RawItem>(capacity);
     let (ready_tx, ready_rx) = bounded::<Result<Fetched, FsError>>(capacity);
 
     std::thread::scope(|scope| {
-        // Feeder: enqueue the epoch order.
+        // Feeder: fetch one rpc_batch at a time — grouped by owner rank,
+        // one GetMany per rank — and queue the raw (mostly still
+        // compressed) entries for the workers.
         scope.spawn(move || {
-            for (i, p) in paths.iter().enumerate() {
-                if work_tx.send((i, p.clone())).is_err() {
-                    return;
+            for (round, chunk) in paths.chunks(rpc_batch).enumerate() {
+                let raw = fs.fetch_many_raw(chunk);
+                for (j, (path, entry)) in chunk.iter().zip(raw).enumerate() {
+                    let index = round * rpc_batch + j;
+                    if work_tx.send((index, path.clone(), entry)).is_err() {
+                        return;
+                    }
                 }
             }
         });
-        // I/O workers.
+        // I/O workers: decompression fans out here, one entry at a time.
         for _ in 0..cfg.io_threads.max(1) {
-            let work_rx: Receiver<(usize, String)> = work_rx.clone();
+            let work_rx: Receiver<RawItem> = work_rx.clone();
             let ready_tx = ready_tx.clone();
             scope.spawn(move || {
-                while let Ok((index, path)) = work_rx.recv() {
-                    let result = fs.read_whole(&path).map(|data| Fetched {
+                while let Ok((index, path, entry)) = work_rx.recv() {
+                    let result = entry.and_then(|e| fs.finish_read(&path, e)).map(|data| Fetched {
                         index,
-                        path: path.clone(),
+                        path,
                         data,
                     });
                     if ready_tx.send(result).is_err() {
@@ -135,7 +150,8 @@ mod tests {
             packed.partitions,
             |fs| {
                 let paths: Vec<String> = files.iter().map(|(p, _)| p.clone()).collect();
-                let cfg = PrefetchConfig { io_threads: 3, queue_batches: 2, batch_size: 4 };
+                let cfg =
+                    PrefetchConfig { io_threads: 3, queue_batches: 2, batch_size: 4, rpc_batch: 0 };
                 let mut batches = 0usize;
                 let mut seen = std::collections::HashSet::new();
                 let total = prefetched_epoch(fs, &paths, &cfg, |batch| {
@@ -161,7 +177,8 @@ mod tests {
         let packed = prepare(files.clone(), &PrepConfig::default());
         FanStore::run(ClusterConfig::default(), packed.partitions, |fs| {
             let paths: Vec<String> = files.iter().map(|(p, _)| p.clone()).collect();
-            let cfg = PrefetchConfig { io_threads: 2, queue_batches: 1, batch_size: 4 };
+            let cfg =
+                PrefetchConfig { io_threads: 2, queue_batches: 1, batch_size: 4, rpc_batch: 0 };
             let mut collected: Vec<(usize, Vec<u8>)> = Vec::new();
             prefetched_epoch(fs, &paths, &cfg, |batch| {
                 for f in batch {
@@ -174,6 +191,46 @@ mod tests {
                 assert_eq!(data, expect, "file {i}");
             }
         });
+    }
+
+    #[test]
+    fn rpc_batch_sizes_deliver_identical_content() {
+        // The batched fetch stage must be a pure optimisation: any
+        // coalescing width produces the same bytes in the same index
+        // slots.
+        let files = dataset(17);
+        let packed = prepare(files.clone(), &PrepConfig { partitions: 4, ..Default::default() });
+        let results = FanStore::run(
+            ClusterConfig { nodes: 4, ..Default::default() },
+            packed.partitions,
+            |fs| {
+                let paths: Vec<String> = files.iter().map(|(p, _)| p.clone()).collect();
+                let mut digests = Vec::new();
+                for rpc_batch in [1usize, 8, 128] {
+                    let cfg = PrefetchConfig {
+                        io_threads: 3,
+                        queue_batches: 2,
+                        batch_size: 5,
+                        rpc_batch,
+                    };
+                    let mut collected: Vec<(usize, Vec<u8>)> = Vec::new();
+                    prefetched_epoch(fs, &paths, &cfg, |batch| {
+                        for f in batch {
+                            collected.push((f.index, f.data.clone()));
+                        }
+                    })
+                    .unwrap();
+                    collected.sort_by_key(|(i, _)| *i);
+                    digests.push(collected);
+                }
+                assert_eq!(digests[0], digests[1]);
+                assert_eq!(digests[1], digests[2]);
+                digests[0].len()
+            },
+        );
+        for n in results {
+            assert_eq!(n, 17);
+        }
     }
 
     #[test]
@@ -204,7 +261,8 @@ mod tests {
         let packed = prepare(files.clone(), &PrepConfig::default());
         FanStore::run(ClusterConfig::default(), packed.partitions, |fs| {
             let paths: Vec<String> = files.iter().map(|(p, _)| p.clone()).collect();
-            let cfg = PrefetchConfig { io_threads: 2, queue_batches: 1, batch_size: 3 };
+            let cfg =
+                PrefetchConfig { io_threads: 2, queue_batches: 1, batch_size: 3, rpc_batch: 0 };
             let mut sizes = Vec::new();
             prefetched_epoch(fs, &paths, &cfg, |batch| sizes.push(batch.len())).unwrap();
             assert_eq!(sizes, vec![3, 3, 1]);

@@ -128,6 +128,101 @@ fn training_survives_a_dead_rank_and_corruption() {
     }
 }
 
+/// Per-rank outcome of a batched (GetMany) chaotic run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct BatchOutcome {
+    entries_ok: usize,
+    batches: u64,
+    fallbacks: u64,
+    crc_failures: u64,
+    rpc_timeouts: u64,
+}
+
+/// Two passes of chunked `read_many` under an in-flight corruption plan:
+/// pass 1 exercises GetMany RPCs (and their per-entry recovery), pass 2
+/// must be pure cache hits.
+fn batched_chaotic_run(seed: u64) -> Vec<BatchOutcome> {
+    const CHUNK: usize = 6;
+    let files = dataset();
+    let packed = prepare(files.clone(), &PrepConfig { partitions: 8, ..Default::default() });
+    let cfg = ClusterConfig {
+        nodes: NODES,
+        replication: 2,
+        read_through: true,
+        fault_plan: Some(FaultPlan::new(seed).corrupt_prob(0.2)),
+        failover: Some(FailoverConfig {
+            rpc_timeout: Duration::from_millis(500),
+            attempts_per_replica: 2,
+            backoff_base: Duration::from_micros(200),
+            backoff_max: Duration::from_millis(2),
+            seed,
+            ..Default::default()
+        }),
+        ..Default::default()
+    };
+    FanStore::run(cfg, packed.partitions, |fs| {
+        let paths: Vec<String> = files.iter().map(|(p, _)| p.clone()).collect();
+        let mut entries_ok = 0usize;
+        for pass in 0..2 {
+            for (c, chunk) in paths.chunks(CHUNK).enumerate() {
+                for (j, result) in fs.read_many(chunk).into_iter().enumerate() {
+                    let i = c * CHUNK + j;
+                    let data = result.unwrap_or_else(|e| {
+                        panic!("pass {pass} file {i}: per-entry failover must repair: {e:?}")
+                    });
+                    assert_eq!(data, files[i].1, "pass {pass} file {i}: bytes intact");
+                    entries_ok += 1;
+                }
+            }
+        }
+        let stats = &fs.state().stats;
+        let snap = fs.state().metrics.snapshot();
+        let counter = |key: &str| snap.counters.get(key).copied().unwrap_or(0);
+        BatchOutcome {
+            entries_ok,
+            batches: counter("client.get_many.batches"),
+            fallbacks: counter("client.get_many.fallbacks"),
+            crc_failures: stats.crc_failures.get(),
+            rpc_timeouts: stats.rpc_timeouts.get(),
+        }
+    })
+}
+
+#[test]
+fn get_many_corruption_fails_only_the_hit_entries() {
+    let outcomes = batched_chaotic_run(0xBA7C_4ED5);
+    let per_rank_entries = 2 * FILES; // two passes over the manifest
+    let per_rank_batches = 2 * (FILES as u64).div_ceil(6);
+    for (rank, o) in outcomes.iter().enumerate() {
+        assert_eq!(o.entries_ok, per_rank_entries, "rank {rank}: every entry delivered");
+        assert_eq!(o.batches, per_rank_batches, "rank {rank}: one batch per read_many call");
+    }
+    // The plan bit: some GetMany replies (or requests) were corrupted in
+    // flight and rejected by the per-entry CRC...
+    let crc_total: u64 = outcomes.iter().map(|o| o.crc_failures).sum();
+    assert!(crc_total > 0, "corruption plan must bite: {outcomes:?}");
+    // ...and only the hit entries fell back to the single-GET
+    // failover path — the rest of each batch rode through untouched.
+    let fallbacks: u64 = outcomes.iter().map(|o| o.fallbacks).sum();
+    let entries: u64 = outcomes.iter().map(|o| o.entries_ok as u64).sum();
+    assert!(fallbacks > 0, "corrupted entries must take the per-entry fallback: {outcomes:?}");
+    assert!(
+        fallbacks < entries / 2,
+        "a one-byte flip must not fail whole batches: {fallbacks}/{entries}: {outcomes:?}"
+    );
+}
+
+#[test]
+fn batched_chaos_same_seed_same_recoveries() {
+    // GetMany keeps the determinism contract of the single-GET path: the
+    // fault schedule is a pure function of (seed, link, sequence) and each
+    // rank's batch order is fixed, so recovery counters replay exactly.
+    let a = batched_chaotic_run(21);
+    let b = batched_chaotic_run(21);
+    assert_eq!(a, b, "same seed, same per-entry recoveries");
+    assert!(a.iter().map(|o| o.crc_failures).sum::<u64>() > 0, "schedule must bite: {a:?}");
+}
+
 #[test]
 fn same_seed_gives_identical_degraded_counters() {
     // Every fault decision is a pure function of (seed, link, per-link

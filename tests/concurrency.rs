@@ -25,7 +25,7 @@ fn many_threads_share_one_client() {
         ClusterConfig {
             nodes: 2,
             // Small cache with eager release: maximum churn.
-            cache: CacheConfig { capacity: 64 * 1024, release_on_zero: true },
+            cache: CacheConfig { capacity: 64 * 1024, release_on_zero: true, ..Default::default() },
             ..Default::default()
         },
         packed.partitions,

@@ -73,6 +73,73 @@ fn trace_serialization_is_replayable() {
 }
 
 #[test]
+fn get_many_mints_one_request_id_and_spans_join_across_ranks() {
+    // One `read_many` call = one batch request id. The `client.get_many`
+    // span is the root; every per-rank GetMany RPC records a `fabric.rpc`
+    // child under the same id on the calling rank, and the serving ranks
+    // stamp `daemon.serve` spans with it — so `fanstore trace dump` can
+    // join the whole batch back together across recorders.
+    let files = dataset(16);
+    let packed = prepare(files.clone(), &PrepConfig { partitions: 4, ..Default::default() });
+    let per_rank = FanStore::run(
+        ClusterConfig { nodes: 4, trace_ring: 8192, ..Default::default() },
+        packed.partitions,
+        |fs| {
+            let paths: Vec<String> = files.iter().map(|(p, _)| p.clone()).collect();
+            for r in fs.read_many(&paths) {
+                r.expect("batched read");
+            }
+            (fs.state().rank, fs.trace().expect("trace ring on").spans())
+        },
+    );
+    let all_spans: Vec<&fanstore_repro::store::trace::SpanEvent> =
+        per_rank.iter().flat_map(|(_, s)| s).collect();
+    for (rank, spans) in &per_rank {
+        let batch: Vec<_> = spans.iter().filter(|s| s.stage == "client.get_many").collect();
+        assert_eq!(batch.len(), 1, "rank {rank}: one read_many call, one batch span");
+        let root = batch[0];
+        assert_ne!(root.request, 0, "rank {rank}: batch span carries a real request id");
+        // Child RPCs on the same rank ride the batch's id and nest inside
+        // the root span's window.
+        let rpcs: Vec<_> =
+            spans.iter().filter(|s| s.stage == "fabric.rpc" && s.request == root.request).collect();
+        assert!(!rpcs.is_empty(), "rank {rank}: 12 remote files need at least one GetMany RPC");
+        for rpc in &rpcs {
+            assert!(
+                rpc.start_us >= root.start_us
+                    && rpc.start_us + rpc.dur_us <= root.start_us + root.dur_us,
+                "rank {rank}: fabric.rpc child outside its client.get_many root"
+            );
+        }
+        // The serve side of at least one of those RPCs landed on a
+        // *different* rank's recorder with the same id.
+        assert!(
+            all_spans.iter().any(|s| s.stage == "daemon.serve"
+                && s.request == root.request
+                && s.rank as usize != *rank),
+            "rank {rank}: no cross-rank daemon.serve joined to batch {:#x}",
+            root.request
+        );
+        // Deferred decompression also reports under the batch id.
+        assert!(
+            spans.iter().any(|s| s.stage == "client.decompress" && s.request == root.request),
+            "rank {rank}: batched entries decompress under the batch id"
+        );
+    }
+    // Request ids are distinct per batch (per rank), so joins never blur
+    // two batches together.
+    let mut ids: Vec<u64> = per_rank
+        .iter()
+        .flat_map(|(_, s)| s.iter())
+        .filter(|s| s.stage == "client.get_many")
+        .map(|s| s.request)
+        .collect();
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(ids.len(), per_rank.len(), "one unique batch id per rank");
+}
+
+#[test]
 fn tracing_disabled_by_default() {
     let packed = prepare(dataset(1), &PrepConfig::default());
     FanStore::run(ClusterConfig::default(), packed.partitions, |fs| {
