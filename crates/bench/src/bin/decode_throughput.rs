@@ -1,0 +1,7 @@
+//! Regenerate the decode_throughput section (word-wide vs byte-wise
+//! decode MB/s per registry codec).
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (n, reps) = if quick { (1, 1) } else { (4, 3) };
+    print!("{}", fanstore_bench::experiments::decode_throughput::run(n, reps));
+}

@@ -3,6 +3,7 @@
 
 pub mod batch_fetch;
 pub mod ckpt_cost;
+pub mod decode_throughput;
 pub mod fig1;
 pub mod fig6;
 pub mod fig7;
@@ -86,6 +87,7 @@ pub fn all(quick: bool) -> String {
         metrics_overhead::run(if quick { 1 } else { 3 }),
         ckpt_cost::run(if quick { 2 } else { 6 }, if quick { 8 } else { 128 }),
         batch_fetch::run(if quick { 16 } else { 96 }, if quick { 1 } else { 3 }),
+        decode_throughput::run(if quick { 1 } else { 4 }, if quick { 1 } else { 3 }),
     ] {
         out.push_str(&section);
         out.push('\n');

@@ -1,0 +1,238 @@
+//! Audited word-wide copy primitives for the LZ decode hot path.
+//!
+//! Every LZ-family decoder in this crate reduces to two operations: append
+//! a literal run from the compressed stream, and append a back-reference
+//! copy from earlier output. Done byte-at-a-time those are bounds-check
+//! bound; this module implements both as unaligned 8-byte block moves, the
+//! technique real LZ4/LZSSE decoders use ("wild copies").
+//!
+//! This is the **only** module in the crate that contains `unsafe`. The
+//! safety argument is local and small:
+//!
+//! * Reads never leave the source slice. Short literal copies use
+//!   *overlapping* head/tail word loads (first 8 and last 8 bytes of the
+//!   run), never a load that crosses the end of the input.
+//! * Writes may overrun the *logical* end of the output by up to 15 bytes,
+//!   but always land inside capacity reserved up front (`reserve(len + 16)`),
+//!   and `set_len` only ever exposes the exact logical length.
+//! * Overlap copies read only bytes at or below the write frontier, which
+//!   are initialized by construction (each wild stride keeps
+//!   `src + stride <= dst`, with the 16-byte stride used only for
+//!   `dist >= 16`; the `dist < 8` path doubles an already-initialized
+//!   pattern in place).
+//!
+//! Callers must validate `dist` against the decoded output before calling
+//! ([`overlap_copy`] re-checks with a hard `assert!` so a decoder bug can
+//! panic but never read or write out of bounds).
+
+/// Unaligned little-endian `u64` load from `buf[pos..pos + 8]`.
+///
+/// Safe: the slice index panics (rather than reading out of bounds) if the
+/// window does not fit. Shared by the match finder's XOR + `trailing_zeros`
+/// match extension and the decoders' copy loops.
+#[inline(always)]
+pub fn read_u64(buf: &[u8], pos: usize) -> u64 {
+    u64::from_le_bytes(buf[pos..pos + 8].try_into().unwrap())
+}
+
+/// Append `src` to `out` with word-wide copies.
+///
+/// Semantically identical to `out.extend_from_slice(src)`, but the short
+/// runs LZ decoders produce (a handful of literals between matches) skip
+/// the generic `memcpy` dispatch in favour of one or two overlapping
+/// 8-byte load/store pairs.
+#[inline]
+pub fn append_slice(out: &mut Vec<u8>, src: &[u8]) {
+    let n = src.len();
+    if n > 32 {
+        out.extend_from_slice(src);
+        return;
+    }
+    out.reserve(n + 8);
+    let old_len = out.len();
+    debug_assert!(out.capacity() >= old_len + n + 8);
+    // SAFETY: all loads below stay inside `src` (overlapping head/tail
+    // windows, each starting at an offset where a full word fits); all
+    // stores stay inside the `n + 8` bytes of spare capacity reserved
+    // above; `set_len` exposes exactly the `n` bytes just written.
+    unsafe {
+        let dst = out.as_mut_ptr().add(old_len);
+        let sp = src.as_ptr();
+        if n >= 8 {
+            std::ptr::copy_nonoverlapping(sp, dst, 8);
+            if n > 8 {
+                // Tail word overlaps the head/mid words; the double-write
+                // region is written with identical bytes. Mid words at 8
+                // and 16 close the gap up to n = 32 (LZF's max literal
+                // run), the largest n that reaches this branch.
+                std::ptr::copy_nonoverlapping(sp.add(n - 8), dst.add(n - 8), 8);
+                if n > 16 {
+                    std::ptr::copy_nonoverlapping(sp.add(8), dst.add(8), 8);
+                }
+                if n > 24 {
+                    std::ptr::copy_nonoverlapping(sp.add(16), dst.add(16), 8);
+                }
+            }
+        } else if n >= 4 {
+            std::ptr::copy_nonoverlapping(sp, dst, 4);
+            std::ptr::copy_nonoverlapping(sp.add(n - 4), dst.add(n - 4), 4);
+        } else {
+            for k in 0..n {
+                *dst.add(k) = *sp.add(k);
+            }
+        }
+        out.set_len(old_len + n);
+    }
+}
+
+/// Append `len` bytes copied from `dist` bytes behind the end of `out`,
+/// replicating the pattern when `dist < len` (LZ run-length-style matches).
+///
+/// # Panics
+/// If `dist == 0` or `dist > out.len()`. Decoders validate distances
+/// before calling; the assert turns a decoder bug into a panic instead of
+/// an out-of-bounds access.
+#[inline]
+pub fn overlap_copy(out: &mut Vec<u8>, dist: usize, len: usize) {
+    assert!(dist >= 1 && dist <= out.len(), "overlap_copy: invalid distance");
+    if len == 0 {
+        return;
+    }
+    out.reserve(len + 16);
+    let old_len = out.len();
+    debug_assert!(out.capacity() >= old_len + len + 16);
+    // SAFETY: `src` starts `dist` bytes inside the initialized prefix
+    // (checked by the assert above). All branches write only into the
+    // `len + 16` bytes of spare capacity reserved above, and read only
+    // initialized bytes:
+    // * `dist >= 16`: the 16-byte stride keeps `src + 16 <= dst`, so each
+    //   load sits entirely below the write frontier. The final store may
+    //   spill up to 15 bytes past `old_len + len`, inside reserved
+    //   capacity.
+    // * `8 <= dist < 16`: same with 8-byte strides (`src + 8 <= dst`),
+    //   spilling at most 7 bytes.
+    // * `dist < 8`: pattern doubling copies `[s, s + n)` to `[s + avail,
+    //   s + avail + n)` with `n <= avail`, so source and destination never
+    //   overlap and the source is always initialized.
+    // `set_len` exposes exactly `len` new bytes.
+    unsafe {
+        let base = out.as_mut_ptr();
+        if dist >= 16 {
+            let mut src = base.add(old_len - dist);
+            let mut dst = base.add(old_len);
+            let end = dst.add(len);
+            while dst < end {
+                std::ptr::copy_nonoverlapping(src, dst, 16);
+                src = src.add(16);
+                dst = dst.add(16);
+            }
+        } else if dist >= 8 {
+            let mut src = base.add(old_len - dist);
+            let mut dst = base.add(old_len);
+            let end = dst.add(len);
+            while dst < end {
+                std::ptr::copy_nonoverlapping(src, dst, 8);
+                src = src.add(8);
+                dst = dst.add(8);
+            }
+        } else {
+            // Double the trailing `dist`-byte pattern in place until it
+            // covers the match: O(log(len / dist)) block moves.
+            let s = base.add(old_len - dist);
+            let needed = dist + len;
+            let mut avail = dist;
+            while avail < needed {
+                let n = avail.min(needed - avail);
+                std::ptr::copy_nonoverlapping(s, s.add(avail), n);
+                avail += n;
+            }
+        }
+        out.set_len(old_len + len);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Byte-wise model the word-wide implementations must match exactly.
+    fn overlap_copy_model(out: &mut Vec<u8>, dist: usize, len: usize) {
+        let start = out.len() - dist;
+        for i in 0..len {
+            let b = out[start + i];
+            out.push(b);
+        }
+    }
+
+    #[test]
+    fn read_u64_matches_le() {
+        let buf = [1u8, 2, 3, 4, 5, 6, 7, 8, 9];
+        assert_eq!(read_u64(&buf, 0), u64::from_le_bytes([1, 2, 3, 4, 5, 6, 7, 8]));
+        assert_eq!(read_u64(&buf, 1), u64::from_le_bytes([2, 3, 4, 5, 6, 7, 8, 9]));
+    }
+
+    #[test]
+    fn append_slice_all_short_lengths() {
+        for n in 0..=40usize {
+            for prefix in [0usize, 1, 7, 13] {
+                let src: Vec<u8> =
+                    (0..n as u8).map(|b| b.wrapping_mul(37).wrapping_add(11)).collect();
+                let mut out: Vec<u8> = (0..prefix as u8).collect();
+                let mut expect = out.clone();
+                expect.extend_from_slice(&src);
+                append_slice(&mut out, &src);
+                assert_eq!(out, expect, "n={n} prefix={prefix}");
+            }
+        }
+    }
+
+    #[test]
+    fn overlap_copy_exhaustive_small() {
+        // Every (dist, len) pair over a varied seed buffer must match the
+        // byte-wise model, covering both the wild-stride and the
+        // pattern-doubling branches plus their boundaries.
+        let seed: Vec<u8> = (0..48u8).map(|b| b.wrapping_mul(101).wrapping_add(3)).collect();
+        for dist in 1..=seed.len() {
+            for len in 0..=130usize {
+                let mut fast = seed.clone();
+                let mut slow = seed.clone();
+                overlap_copy(&mut fast, dist, len);
+                overlap_copy_model(&mut slow, dist, len);
+                assert_eq!(fast, slow, "dist={dist} len={len}");
+            }
+        }
+    }
+
+    #[test]
+    fn overlap_copy_long_runs() {
+        for (dist, len) in [(1usize, 100_000usize), (3, 65_537), (8, 99_991), (9, 70_000)] {
+            let mut fast: Vec<u8> = (0..dist as u8).collect();
+            let mut slow = fast.clone();
+            overlap_copy(&mut fast, dist, len);
+            overlap_copy_model(&mut slow, dist, len);
+            assert_eq!(fast, slow, "dist={dist} len={len}");
+        }
+    }
+
+    #[test]
+    fn overlap_copy_does_not_disturb_prefix() {
+        let mut out = b"prefix-material-0123456789".to_vec();
+        let snapshot = out.clone();
+        overlap_copy(&mut out, 10, 25);
+        assert_eq!(&out[..snapshot.len()], &snapshot[..]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid distance")]
+    fn overlap_copy_rejects_zero_dist() {
+        let mut out = b"abc".to_vec();
+        overlap_copy(&mut out, 0, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid distance")]
+    fn overlap_copy_rejects_dist_past_start() {
+        let mut out = b"abc".to_vec();
+        overlap_copy(&mut out, 4, 2);
+    }
+}

@@ -37,6 +37,7 @@
 pub mod bitio;
 pub mod brotli_lite;
 pub mod bzip_lite;
+pub mod copy;
 pub mod crc32;
 pub mod evaluate;
 pub mod filters;
@@ -49,6 +50,7 @@ pub mod lzma_lite;
 pub mod lzsse;
 pub mod matchfinder;
 pub mod rangecoder;
+pub mod reference;
 pub mod registry;
 pub mod rle;
 pub mod store;
@@ -228,6 +230,17 @@ pub trait Codec: Send + Sync {
     /// escape path).
     fn compress(&self, input: &[u8], out: &mut Vec<u8>);
 
+    /// Upper bound on the compressed size of `input_len` input bytes.
+    ///
+    /// Used by [`compress_to_vec`] to reserve the output buffer once, so
+    /// incompressible inputs never reallocate mid-compress. The default
+    /// covers every in-tree format's literal escape path (the costliest is
+    /// Huffman-coded incompressible data at ≤ 9 bits/byte plus table
+    /// headers); codecs with heavier worst-case framing must override.
+    fn max_compressed_len(&self, input_len: usize) -> usize {
+        input_len + input_len / 8 + 1024
+    }
+
     /// Decompress `input`, appending exactly `expected_len` bytes to `out`.
     ///
     /// `expected_len` is the original file size recorded by the pack format;
@@ -240,9 +253,11 @@ pub trait Codec: Send + Sync {
     ) -> Result<(), CodecError>;
 }
 
-/// Convenience: compress into a fresh buffer.
+/// Convenience: compress into a fresh buffer sized to the codec's
+/// worst-case bound, so even incompressible inputs write without
+/// reallocating.
 pub fn compress_to_vec(codec: &dyn Codec, input: &[u8]) -> Vec<u8> {
-    let mut out = Vec::with_capacity(input.len() / 2 + 64);
+    let mut out = Vec::with_capacity(codec.max_compressed_len(input.len()));
     codec.compress(input, &mut out);
     out
 }
@@ -259,6 +274,29 @@ pub fn decompress_to_vec(
         return Err(CodecError::LengthMismatch { expected: expected_len, actual: out.len() });
     }
     Ok(out)
+}
+
+/// Decompress into a caller-provided buffer, recycling its capacity.
+///
+/// The buffer is cleared (not shrunk) first, then filled with exactly
+/// `expected_len` bytes. This is the allocation-free sibling of
+/// [`decompress_to_vec`]: steady-state read paths pull a scratch buffer
+/// from a pool, decode into it here, and return it afterwards.
+pub fn decompress_into(
+    codec: &dyn Codec,
+    input: &[u8],
+    expected_len: usize,
+    out: &mut Vec<u8>,
+) -> Result<(), CodecError> {
+    out.clear();
+    out.reserve(expected_len);
+    codec.decompress(input, expected_len, out)?;
+    if out.len() != expected_len {
+        let actual = out.len();
+        out.clear();
+        return Err(CodecError::LengthMismatch { expected: expected_len, actual });
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -293,5 +331,81 @@ mod tests {
         let e = CodecError::LengthMismatch { expected: 10, actual: 7 };
         assert!(e.to_string().contains("expected 10"));
         assert!(CodecError::Truncated.to_string().contains("truncated"));
+    }
+
+    /// Adversarial corpora for the worst-case-bound check: incompressible
+    /// noise, pathological run structure, and a plain ramp.
+    fn adversarial_inputs(n: usize) -> Vec<Vec<u8>> {
+        let mut x = 0x2545F491_4F6CDD1Du64;
+        let noise: Vec<u8> = (0..n)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                (x >> 56) as u8
+            })
+            .collect();
+        let alternating: Vec<u8> = (0..n).map(|i| if i % 2 == 0 { 0x00 } else { 0xFF }).collect();
+        let ramp: Vec<u8> = (0..n).map(|i| i as u8).collect();
+        vec![noise, alternating, ramp, vec![0u8; n], Vec::new()]
+    }
+
+    #[test]
+    fn compress_to_vec_never_reallocates() {
+        use crate::registry::create;
+        for fam in CodecFamily::ALL {
+            let level = match fam {
+                CodecFamily::Store | CodecFamily::Rle | CodecFamily::Huffman => 0,
+                CodecFamily::ShuffleLz | CodecFamily::ShuffleZstd => 2,
+                CodecFamily::DeltaLz => 4,
+                _ => 2,
+            };
+            let codec = create(CodecId::new(fam, level)).unwrap();
+            for input in adversarial_inputs(8192) {
+                let out = compress_to_vec(codec.as_ref(), &input);
+                assert!(
+                    out.len() <= codec.max_compressed_len(input.len()),
+                    "{}: {} bytes compressed to {} > bound {}",
+                    codec.name(),
+                    input.len(),
+                    out.len(),
+                    codec.max_compressed_len(input.len())
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn decompress_into_recycles_capacity() {
+        let codec = crate::lz4::Lz4Fast::new(1);
+        let data = b"decompress_into must reuse the scratch allocation ".repeat(30);
+        let c = compress_to_vec(&codec, &data);
+        let mut scratch = Vec::with_capacity(data.len() + 64);
+        let cap_ptr = scratch.as_ptr();
+        for _ in 0..4 {
+            decompress_into(&codec, &c, data.len(), &mut scratch).unwrap();
+            assert_eq!(scratch, data);
+        }
+        assert_eq!(scratch.as_ptr(), cap_ptr, "no reallocation across reuse");
+    }
+
+    #[test]
+    fn decompress_into_clears_stale_content() {
+        let codec = crate::lzf::Lzf::new(2);
+        let data = b"fresh bytes".repeat(10);
+        let c = compress_to_vec(&codec, &data);
+        let mut scratch = vec![0xAAu8; 4096];
+        decompress_into(&codec, &c, data.len(), &mut scratch).unwrap();
+        assert_eq!(scratch, data);
+    }
+
+    #[test]
+    fn decompress_into_propagates_errors() {
+        let codec = crate::lz4::Lz4Fast::new(1);
+        let data = b"error propagation".repeat(12);
+        let c = compress_to_vec(&codec, &data);
+        let mut scratch = Vec::new();
+        assert!(decompress_into(&codec, &c[..c.len() / 2], data.len(), &mut scratch).is_err());
+        assert!(decompress_into(&codec, &c, data.len() + 1, &mut scratch).is_err());
     }
 }

@@ -12,8 +12,9 @@
 //! * [`Lz4Hc`] — hash-chain lazy search; the `level` (1..=12) maps to
 //!   chain depth, like the real LZ4-HC compression levels.
 
+use crate::copy;
 use crate::matchfinder::{greedy_parse, lazy_parse, MatchConfig};
-use crate::tokens::{overlap_copy, Seq};
+use crate::tokens::Seq;
 use crate::{Codec, CodecError, CodecFamily, CodecId};
 
 const MIN_MATCH: usize = 4;
@@ -52,10 +53,16 @@ fn emit_block(input: &[u8], seqs: &[Seq], out: &mut Vec<u8>) {
 
 /// Decode an LZ4 block, appending to `out` until `expected_len` bytes have
 /// been produced.
+///
+/// Hot loop: literals and matches both go through the word-wide primitives
+/// in [`crate::copy`]. The byte-wise original is retained as
+/// [`crate::reference::lz4_block`] and the differential suite pins the two
+/// byte-for-byte.
 fn decode_block(input: &[u8], expected_len: usize, out: &mut Vec<u8>) -> Result<(), CodecError> {
     let base = out.len();
     let target = base + expected_len;
     let mut i = 0usize;
+    out.reserve(expected_len + 8);
 
     let read_len_ext = |input: &[u8], i: &mut usize| -> Result<usize, CodecError> {
         let mut total = 0usize;
@@ -79,7 +86,7 @@ fn decode_block(input: &[u8], expected_len: usize, out: &mut Vec<u8>) -> Result<
         if i + lit_len > input.len() {
             return Err(CodecError::Truncated);
         }
-        out.extend_from_slice(&input[i..i + lit_len]);
+        copy::append_slice(out, &input[i..i + lit_len]);
         i += lit_len;
         if out.len() > target {
             return Err(CodecError::Corrupt("lz4 literals exceed expected length"));
@@ -104,7 +111,7 @@ fn decode_block(input: &[u8], expected_len: usize, out: &mut Vec<u8>) -> Result<
         if out.len() + match_len > target {
             return Err(CodecError::Corrupt("lz4 match exceeds expected length"));
         }
-        overlap_copy(out, dist, match_len);
+        copy::overlap_copy(out, dist, match_len);
     }
     if out.len() != target {
         return Err(CodecError::LengthMismatch {

@@ -98,8 +98,11 @@ impl Codec for Lzf {
         expected_len: usize,
         out: &mut Vec<u8>,
     ) -> Result<(), CodecError> {
+        // Hot loop on the word-wide primitives in `crate::copy`; byte-wise
+        // original retained as `crate::reference::lzf`.
         let base = out.len();
         let mut i = 0usize;
+        out.reserve(expected_len + 8);
         while i < input.len() {
             let ctrl = input[i] as usize;
             i += 1;
@@ -108,7 +111,7 @@ impl Codec for Lzf {
                 if i + len > input.len() {
                     return Err(CodecError::Truncated);
                 }
-                out.extend_from_slice(&input[i..i + len]);
+                crate::copy::append_slice(out, &input[i..i + len]);
                 i += len;
             } else {
                 let mut len = (ctrl >> 5) + 2;
@@ -123,7 +126,7 @@ impl Codec for Lzf {
                 if off > produced {
                     return Err(CodecError::Corrupt("lzf offset before start"));
                 }
-                crate::tokens::overlap_copy(out, off, len);
+                crate::copy::overlap_copy(out, off, len);
             }
             if out.len() - base > expected_len {
                 return Err(CodecError::Corrupt("lzf output exceeds expected length"));

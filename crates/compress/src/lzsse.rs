@@ -13,8 +13,8 @@
 //! with 255-run extensions for both codes. The final sequence is literals
 //! only (no offset/len). Offsets are 16-bit, window 64 KiB.
 
+use crate::copy;
 use crate::matchfinder::{lazy_parse, MatchConfig};
-use crate::tokens::overlap_copy;
 use crate::{Codec, CodecError, CodecFamily, CodecId};
 
 const MIN_MATCH: usize = 8;
@@ -102,8 +102,8 @@ impl Codec for Lzsse8 {
             }
             // 8-byte-granular literal copy: the 255-run encoding keeps the
             // common case (short runs) to a single control byte, and the
-            // copy itself is word-sized block moves via extend_from_slice.
-            out.extend_from_slice(&input[i..i + lit_len]);
+            // copy itself is one or two unaligned word moves.
+            copy::append_slice(out, &input[i..i + lit_len]);
             i += lit_len;
             if out.len() > target {
                 return Err(CodecError::Corrupt("lzsse literals exceed expected length"));
@@ -123,28 +123,9 @@ impl Codec for Lzsse8 {
             if out.len() + len > target {
                 return Err(CodecError::Corrupt("lzsse match exceeds expected length"));
             }
-            if dist >= 8 {
-                // Hot path: copy in 8-byte chunks.
-                let mut src = out.len() - dist;
-                let mut remaining = len;
-                out.resize(out.len() + len, 0);
-                let mut dst = out.len() - len;
-                while remaining >= 8 {
-                    let chunk = u64::from_le_bytes(out[src..src + 8].try_into().unwrap());
-                    out[dst..dst + 8].copy_from_slice(&chunk.to_le_bytes());
-                    src += 8;
-                    dst += 8;
-                    remaining -= 8;
-                }
-                while remaining > 0 {
-                    out[dst] = out[src];
-                    src += 1;
-                    dst += 1;
-                    remaining -= 1;
-                }
-            } else {
-                overlap_copy(out, dist, len);
-            }
+            // With MIN_MATCH = 8 nearly every match takes the wild 8-byte
+            // stride inside the primitive; dist < 8 pattern-doubles.
+            copy::overlap_copy(out, dist, len);
         }
         if out.len() != target {
             return Err(CodecError::LengthMismatch {

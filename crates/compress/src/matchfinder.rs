@@ -57,12 +57,13 @@ fn hash4(bytes: &[u8], table_log: u32) -> usize {
 
 #[inline]
 fn match_len(input: &[u8], a: usize, b: usize, limit: usize) -> usize {
-    // Compare 8 bytes at a time.
+    // Compare 8 bytes at a time: one XOR + trailing_zeros per word, via
+    // the same unaligned word load the decode hot path uses.
     let max = limit.min(input.len() - b);
     let mut n = 0;
     while n + 8 <= max {
-        let x = u64::from_le_bytes(input[a + n..a + n + 8].try_into().unwrap());
-        let y = u64::from_le_bytes(input[b + n..b + n + 8].try_into().unwrap());
+        let x = crate::copy::read_u64(input, a + n);
+        let y = crate::copy::read_u64(input, b + n);
         let xor = x ^ y;
         if xor != 0 {
             return n + (xor.trailing_zeros() / 8) as usize;

@@ -1,0 +1,352 @@
+//! Retained byte-wise reference decoders.
+//!
+//! When the LZ-family decode loops were rewritten around the word-wide
+//! primitives in [`crate::copy`], the decoders here became the semantic
+//! baseline: the same parsing loops with every copy done strictly one
+//! byte at a time — the simplest obviously-correct formulation, free of
+//! wild copies, pattern doubling and slice tricks. The differential
+//! proptest suite (`tests/prop_decode.rs`) pins the optimized decoders
+//! against these byte for byte on random and adversarial streams, and the
+//! `decode_throughput` bench reports both sides' MB/s.
+//!
+//! Families with no word-wide rewrite of their own (rle, huffman, zling,
+//! brotli, lzma, xz, bzip, store) decode through the registry codec in
+//! [`decompress`]; for those the differential suite degenerates to a
+//! roundtrip check, which is intentional — their hot loops were not
+//! touched.
+
+use crate::filters::Filter;
+use crate::varint::read_uvarint;
+use crate::zstd_lite::{read_block, read_field};
+use crate::{bitio::BitReader, CodecError, CodecFamily, CodecId};
+
+/// Per-byte overlap copy (`out.push` in a loop): the model the optimized
+/// [`crate::copy::overlap_copy`] must reproduce for every `(dist, len)`.
+fn overlap_copy(out: &mut Vec<u8>, dist: usize, len: usize) {
+    let start = out.len() - dist;
+    for i in 0..len {
+        let b = out[start + i];
+        out.push(b);
+    }
+}
+
+/// Per-byte literal copy: the model for [`crate::copy::append_slice`].
+fn push_bytes(out: &mut Vec<u8>, src: &[u8]) {
+    for &b in src {
+        out.push(b);
+    }
+}
+
+/// Byte-wise LZ4 block decoder (shared by `lz4fast` and `lz4hc`).
+pub fn lz4_block(input: &[u8], expected_len: usize, out: &mut Vec<u8>) -> Result<(), CodecError> {
+    let base = out.len();
+    let target = base + expected_len;
+    let mut i = 0usize;
+
+    let read_len_ext = |input: &[u8], i: &mut usize| -> Result<usize, CodecError> {
+        let mut total = 0usize;
+        loop {
+            let &b = input.get(*i).ok_or(CodecError::Truncated)?;
+            *i += 1;
+            total += b as usize;
+            if b != 255 {
+                return Ok(total);
+            }
+        }
+    };
+
+    while i < input.len() {
+        let token = input[i];
+        i += 1;
+        let mut lit_len = (token >> 4) as usize;
+        if lit_len == 15 {
+            lit_len += read_len_ext(input, &mut i)?;
+        }
+        if i + lit_len > input.len() {
+            return Err(CodecError::Truncated);
+        }
+        push_bytes(out, &input[i..i + lit_len]);
+        i += lit_len;
+        if out.len() > target {
+            return Err(CodecError::Corrupt("lz4 literals exceed expected length"));
+        }
+        if out.len() == target && i == input.len() {
+            return Ok(()); // final literals-only sequence
+        }
+        if i + 2 > input.len() {
+            return Err(CodecError::Truncated);
+        }
+        let dist = u16::from_le_bytes([input[i], input[i + 1]]) as usize;
+        i += 2;
+        if dist == 0 || dist > out.len() - base {
+            return Err(CodecError::Corrupt("lz4 offset out of range"));
+        }
+        let mut match_len = (token & 0x0f) as usize;
+        if match_len == 15 {
+            match_len += read_len_ext(input, &mut i)?;
+        }
+        match_len += 4;
+        if out.len() + match_len > target {
+            return Err(CodecError::Corrupt("lz4 match exceeds expected length"));
+        }
+        overlap_copy(out, dist, match_len);
+    }
+    if out.len() != target {
+        return Err(CodecError::LengthMismatch {
+            expected: expected_len,
+            actual: out.len() - base,
+        });
+    }
+    Ok(())
+}
+
+/// Byte-wise LibLZF decoder.
+pub fn lzf(input: &[u8], expected_len: usize, out: &mut Vec<u8>) -> Result<(), CodecError> {
+    let base = out.len();
+    let mut i = 0usize;
+    while i < input.len() {
+        let ctrl = input[i] as usize;
+        i += 1;
+        if ctrl < 32 {
+            let len = ctrl + 1;
+            if i + len > input.len() {
+                return Err(CodecError::Truncated);
+            }
+            push_bytes(out, &input[i..i + len]);
+            i += len;
+        } else {
+            let mut len = (ctrl >> 5) + 2;
+            if len == 9 {
+                len += *input.get(i).ok_or(CodecError::Truncated)? as usize;
+                i += 1;
+            }
+            let lo = *input.get(i).ok_or(CodecError::Truncated)? as usize;
+            i += 1;
+            let off = ((ctrl & 0x1f) << 8 | lo) + 1;
+            let produced = out.len() - base;
+            if off > produced {
+                return Err(CodecError::Corrupt("lzf offset before start"));
+            }
+            overlap_copy(out, off, len);
+        }
+        if out.len() - base > expected_len {
+            return Err(CodecError::Corrupt("lzf output exceeds expected length"));
+        }
+    }
+    Ok(())
+}
+
+fn read_ext(input: &[u8], i: &mut usize) -> Result<usize, CodecError> {
+    let mut total = 0usize;
+    loop {
+        let &b = input.get(*i).ok_or(CodecError::Truncated)?;
+        *i += 1;
+        total += b as usize;
+        if b != 255 {
+            return Ok(total);
+        }
+    }
+}
+
+/// Byte-wise LZSSE8 decoder.
+pub fn lzsse8(input: &[u8], expected_len: usize, out: &mut Vec<u8>) -> Result<(), CodecError> {
+    let base = out.len();
+    let target = base + expected_len;
+    let mut i = 0usize;
+
+    while i < input.len() {
+        let lit_len = read_ext(input, &mut i)?;
+        if i + lit_len > input.len() {
+            return Err(CodecError::Truncated);
+        }
+        push_bytes(out, &input[i..i + lit_len]);
+        i += lit_len;
+        if out.len() > target {
+            return Err(CodecError::Corrupt("lzsse literals exceed expected length"));
+        }
+        if i == input.len() {
+            break;
+        }
+        if i + 2 > input.len() {
+            return Err(CodecError::Truncated);
+        }
+        let dist = u16::from_le_bytes([input[i], input[i + 1]]) as usize;
+        i += 2;
+        let len = read_ext(input, &mut i)? + 8;
+        if dist == 0 || dist > out.len() - base {
+            return Err(CodecError::Corrupt("lzsse offset out of range"));
+        }
+        if out.len() + len > target {
+            return Err(CodecError::Corrupt("lzsse match exceeds expected length"));
+        }
+        overlap_copy(out, dist, len);
+    }
+    if out.len() != target {
+        return Err(CodecError::LengthMismatch {
+            expected: expected_len,
+            actual: out.len() - base,
+        });
+    }
+    Ok(())
+}
+
+/// Byte-wise `zstd_lite` decoder: same block readers as the optimized
+/// path, but literals flow through the original `u16` symbol buffer and
+/// per-byte map, and matches through the per-byte overlap copy.
+pub fn zstd_lite(input: &[u8], expected_len: usize, out: &mut Vec<u8>) -> Result<(), CodecError> {
+    if expected_len == 0 {
+        return if input.is_empty() {
+            Ok(())
+        } else {
+            Err(CodecError::Corrupt("zstd trailing data"))
+        };
+    }
+    let base = out.len();
+    let target = base + expected_len;
+    let mut pos = 0usize;
+    let n_seqs = read_uvarint(input, &mut pos)? as usize;
+    let n_literals = read_uvarint(input, &mut pos)? as usize;
+    let lit_syms = read_block(input, &mut pos, 256)?;
+    if lit_syms.len() != n_literals {
+        return Err(CodecError::Corrupt("zstd literal count mismatch"));
+    }
+    let ll = read_block(input, &mut pos, crate::tokens::slots::SLOT_COUNT)?;
+    let ml = read_block(input, &mut pos, crate::tokens::slots::SLOT_COUNT)?;
+    let dd = read_block(input, &mut pos, crate::tokens::slots::SLOT_COUNT)?;
+    if ll.len() != n_seqs || ml.len() != n_seqs || dd.len() != n_seqs {
+        return Err(CodecError::Corrupt("zstd sequence count mismatch"));
+    }
+    let extras_len = read_uvarint(input, &mut pos)? as usize;
+    if pos + extras_len > input.len() {
+        return Err(CodecError::Truncated);
+    }
+    let mut extras = BitReader::new(&input[pos..pos + extras_len]);
+
+    out.reserve(expected_len);
+    let mut lit_pos = 0usize;
+    for i in 0..n_seqs {
+        let lit_len = read_field(&mut extras, ll[i])? as usize;
+        let match_len = read_field(&mut extras, ml[i])? as usize;
+        let dist = read_field(&mut extras, dd[i])? as usize;
+        if lit_pos + lit_len > lit_syms.len() {
+            return Err(CodecError::Corrupt("zstd literal overrun"));
+        }
+        if out.len() + lit_len + match_len > target {
+            return Err(CodecError::Corrupt("zstd output overrun"));
+        }
+        for &s in &lit_syms[lit_pos..lit_pos + lit_len] {
+            out.push(s as u8);
+        }
+        lit_pos += lit_len;
+        if match_len > 0 {
+            if dist == 0 || dist > out.len() - base {
+                return Err(CodecError::Corrupt("zstd distance out of range"));
+            }
+            overlap_copy(out, dist, match_len);
+        }
+    }
+    if out.len() != target {
+        return Err(CodecError::LengthMismatch {
+            expected: expected_len,
+            actual: out.len() - base,
+        });
+    }
+    Ok(())
+}
+
+/// Decompress `input` with the reference (pre-optimization) decoder for
+/// `id`, enforcing the exact-length contract of
+/// [`crate::decompress_to_vec`].
+pub fn decompress(id: CodecId, input: &[u8], expected_len: usize) -> Result<Vec<u8>, CodecError> {
+    let family = id.family().ok_or(CodecError::UnknownCodec(id))?;
+    let level = id.level() as usize;
+    let mut out = Vec::with_capacity(expected_len);
+    match family {
+        CodecFamily::Lzf => lzf(input, expected_len, &mut out)?,
+        CodecFamily::Lz4Fast | CodecFamily::Lz4Hc => lz4_block(input, expected_len, &mut out)?,
+        CodecFamily::Lzsse8 => lzsse8(input, expected_len, &mut out)?,
+        CodecFamily::ZstdLite => zstd_lite(input, expected_len, &mut out)?,
+        CodecFamily::ShuffleLz | CodecFamily::DeltaLz | CodecFamily::ShuffleZstd => {
+            let valid = match family {
+                CodecFamily::DeltaLz => matches!(level, 1 | 2 | 4 | 8),
+                _ => matches!(level, 2 | 4 | 8),
+            };
+            if !valid {
+                return Err(CodecError::UnknownCodec(id));
+            }
+            let mut filtered = Vec::with_capacity(expected_len);
+            if family == CodecFamily::ShuffleZstd {
+                zstd_lite(input, expected_len, &mut filtered)?;
+            } else {
+                lz4_block(input, expected_len, &mut filtered)?;
+            }
+            if filtered.len() != expected_len {
+                return Err(CodecError::LengthMismatch {
+                    expected: expected_len,
+                    actual: filtered.len(),
+                });
+            }
+            let filter = if family == CodecFamily::DeltaLz {
+                Filter::Delta(level)
+            } else {
+                Filter::Shuffle(level)
+            };
+            out = filter.invert(&filtered);
+        }
+        _ => {
+            let codec = crate::registry::create(id)?;
+            codec.decompress(input, expected_len, &mut out)?;
+        }
+    }
+    if out.len() != expected_len {
+        return Err(CodecError::LengthMismatch { expected: expected_len, actual: out.len() });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::create;
+    use crate::{compress_to_vec, CodecFamily, CodecId};
+
+    #[test]
+    fn reference_roundtrips_rewritten_families() {
+        let data = b"reference decoders must stay decode-compatible forever ".repeat(40);
+        for id in [
+            CodecId::new(CodecFamily::Lzf, 2),
+            CodecId::new(CodecFamily::Lz4Fast, 1),
+            CodecId::new(CodecFamily::Lz4Hc, 9),
+            CodecId::new(CodecFamily::Lzsse8, 2),
+            CodecId::new(CodecFamily::ZstdLite, 5),
+            CodecId::new(CodecFamily::ShuffleLz, 4),
+            CodecId::new(CodecFamily::DeltaLz, 8),
+            CodecId::new(CodecFamily::ShuffleZstd, 2),
+        ] {
+            let codec = create(id).unwrap();
+            let c = compress_to_vec(codec.as_ref(), &data);
+            assert_eq!(decompress(id, &c, data.len()).unwrap(), data, "{id}");
+        }
+    }
+
+    #[test]
+    fn reference_rejects_truncation() {
+        let data = b"truncated reference streams must error".repeat(20);
+        for id in [
+            CodecId::new(CodecFamily::Lzf, 2),
+            CodecId::new(CodecFamily::Lz4Fast, 1),
+            CodecId::new(CodecFamily::Lzsse8, 2),
+            CodecId::new(CodecFamily::ZstdLite, 5),
+        ] {
+            let codec = create(id).unwrap();
+            let c = compress_to_vec(codec.as_ref(), &data);
+            assert!(decompress(id, &c[..c.len() / 2], data.len()).is_err(), "{id}");
+        }
+    }
+
+    #[test]
+    fn reference_rejects_unknown_ids() {
+        assert!(decompress(CodecId(0x7f01), b"", 0).is_err());
+        assert!(decompress(CodecId::new(CodecFamily::ShuffleLz, 3), b"", 0).is_err());
+    }
+}

@@ -53,18 +53,14 @@ pub fn parse_reconstructs(input: &[u8], seqs: &[Seq]) -> bool {
 /// Copy `len` bytes from `dist` back in `out` to the end of `out`,
 /// correctly handling overlapping copies (`dist < len` replicates the
 /// pattern, which is how LZ run-length-style matches work).
+///
+/// Delegates to the word-wide primitive in [`crate::copy`]; every
+/// LZ-family decoder (lz4, lzf, lzsse, zstd, zling, lzma, brotli, bzip)
+/// gets the fast path through this one entry point. The byte-wise
+/// original lives on in [`crate::reference`].
 #[inline]
 pub fn overlap_copy(out: &mut Vec<u8>, dist: usize, len: usize) {
-    let start = out.len() - dist;
-    if dist >= len {
-        out.extend_from_within(start..start + len);
-    } else {
-        out.reserve(len);
-        for i in 0..len {
-            let b = out[start + i];
-            out.push(b);
-        }
-    }
+    crate::copy::overlap_copy(out, dist, len);
 }
 
 /// LZMA-style slot coding for unbounded values (match lengths, distances).

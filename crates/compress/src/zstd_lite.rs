@@ -19,9 +19,10 @@
 //! counts so the decoder can rebuild the table.
 
 use crate::bitio::{BitReader, BitWriter};
+use crate::copy;
 use crate::fse::{decode_all, encode_all, FseTable};
 use crate::matchfinder::{lazy_parse, MatchConfig};
-use crate::tokens::{overlap_copy, slots};
+use crate::tokens::slots;
 use crate::varint::{read_uvarint, write_uvarint};
 use crate::{Codec, CodecError, CodecFamily, CodecId};
 
@@ -116,8 +117,44 @@ fn write_block(out: &mut Vec<u8>, symbols: &[u16], alphabet: usize, table_log: u
     out.extend_from_slice(&bits);
 }
 
-/// Read one symbol block written by [`write_block`].
-fn read_block(input: &[u8], pos: &mut usize, alphabet: usize) -> Result<Vec<u16>, CodecError> {
+/// Decode the FSE payload of a block (everything after the mode byte).
+fn read_fse_symbols(
+    input: &[u8],
+    pos: &mut usize,
+    alphabet: usize,
+    n: usize,
+) -> Result<Vec<u16>, CodecError> {
+    let &log = input.get(*pos).ok_or(CodecError::Truncated)?;
+    *pos += 1;
+    let stored_alphabet = read_uvarint(input, pos)? as usize;
+    if stored_alphabet != alphabet || u32::from(log) > crate::fse::MAX_TABLE_LOG {
+        return Err(CodecError::Corrupt("zstd block header mismatch"));
+    }
+    let mut norm = Vec::with_capacity(alphabet);
+    for _ in 0..alphabet {
+        norm.push(read_uvarint(input, pos)? as u32);
+    }
+    let table = FseTable::from_normalized(&norm, u32::from(log))?;
+    let bits_len = read_uvarint(input, pos)? as usize;
+    if *pos + bits_len > input.len() {
+        return Err(CodecError::Truncated);
+    }
+    let mut r = BitReader::new(&input[*pos..*pos + bits_len]);
+    *pos += bits_len;
+    let symbols = decode_all(&table, n, &mut r)?;
+    if symbols.iter().any(|&s| (s as usize) >= alphabet) {
+        return Err(CodecError::Corrupt("zstd symbol out of alphabet"));
+    }
+    Ok(symbols)
+}
+
+/// Read one symbol block written by [`write_block`]. Shared with the
+/// byte-wise decoder retained in [`crate::reference`].
+pub(crate) fn read_block(
+    input: &[u8],
+    pos: &mut usize,
+    alphabet: usize,
+) -> Result<Vec<u16>, CodecError> {
     let n = read_uvarint(input, pos)? as usize;
     let &mode = input.get(*pos).ok_or(CodecError::Truncated)?;
     *pos += 1;
@@ -142,29 +179,30 @@ fn read_block(input: &[u8], pos: &mut usize, alphabet: usize) -> Result<Vec<u16>
                 Ok(out)
             }
         }
-        MODE_FSE => {
-            let &log = input.get(*pos).ok_or(CodecError::Truncated)?;
-            *pos += 1;
-            let stored_alphabet = read_uvarint(input, pos)? as usize;
-            if stored_alphabet != alphabet || u32::from(log) > crate::fse::MAX_TABLE_LOG {
-                return Err(CodecError::Corrupt("zstd block header mismatch"));
-            }
-            let mut norm = Vec::with_capacity(alphabet);
-            for _ in 0..alphabet {
-                norm.push(read_uvarint(input, pos)? as u32);
-            }
-            let table = FseTable::from_normalized(&norm, u32::from(log))?;
-            let bits_len = read_uvarint(input, pos)? as usize;
-            if *pos + bits_len > input.len() {
+        MODE_FSE => read_fse_symbols(input, pos, alphabet, n),
+        _ => Err(CodecError::Corrupt("zstd unknown block mode")),
+    }
+}
+
+/// Read a literal block (alphabet 256) directly into bytes: the raw mode
+/// is a plain slice copy and the FSE mode narrows once after decoding —
+/// the decode hot path never touches the per-byte `u16` map.
+fn read_literal_block(input: &[u8], pos: &mut usize) -> Result<Vec<u8>, CodecError> {
+    let n = read_uvarint(input, pos)? as usize;
+    let &mode = input.get(*pos).ok_or(CodecError::Truncated)?;
+    *pos += 1;
+    match mode {
+        MODE_RAW => {
+            if *pos + n > input.len() {
                 return Err(CodecError::Truncated);
             }
-            let mut r = BitReader::new(&input[*pos..*pos + bits_len]);
-            *pos += bits_len;
-            let symbols = decode_all(&table, n, &mut r)?;
-            if symbols.iter().any(|&s| (s as usize) >= alphabet) {
-                return Err(CodecError::Corrupt("zstd symbol out of alphabet"));
-            }
-            Ok(symbols)
+            let out = input[*pos..*pos + n].to_vec();
+            *pos += n;
+            Ok(out)
+        }
+        MODE_FSE => {
+            let symbols = read_fse_symbols(input, pos, 256, n)?;
+            Ok(symbols.into_iter().map(|s| s as u8).collect())
         }
         _ => Err(CodecError::Corrupt("zstd unknown block mode")),
     }
@@ -224,7 +262,7 @@ impl Codec for ZstdLite {
         let mut pos = 0usize;
         let n_seqs = read_uvarint(input, &mut pos)? as usize;
         let n_literals = read_uvarint(input, &mut pos)? as usize;
-        let lit_syms = read_block(input, &mut pos, 256)?;
+        let lit_syms = read_literal_block(input, &mut pos)?;
         if lit_syms.len() != n_literals {
             return Err(CodecError::Corrupt("zstd literal count mismatch"));
         }
@@ -240,7 +278,7 @@ impl Codec for ZstdLite {
         }
         let mut extras = BitReader::new(&input[pos..pos + extras_len]);
 
-        out.reserve(expected_len);
+        out.reserve(expected_len + 8);
         let mut lit_pos = 0usize;
         for i in 0..n_seqs {
             let lit_len = read_field(&mut extras, ll[i])? as usize;
@@ -252,13 +290,13 @@ impl Codec for ZstdLite {
             if out.len() + lit_len + match_len > target {
                 return Err(CodecError::Corrupt("zstd output overrun"));
             }
-            out.extend(lit_syms[lit_pos..lit_pos + lit_len].iter().map(|&s| s as u8));
+            copy::append_slice(out, &lit_syms[lit_pos..lit_pos + lit_len]);
             lit_pos += lit_len;
             if match_len > 0 {
                 if dist == 0 || dist > out.len() - base {
                     return Err(CodecError::Corrupt("zstd distance out of range"));
                 }
-                overlap_copy(out, dist, match_len);
+                copy::overlap_copy(out, dist, match_len);
             }
         }
         if out.len() != target {
@@ -282,7 +320,7 @@ fn push_field(slots_out: &mut Vec<u16>, extras: &mut BitWriter, value: u32) {
 }
 
 #[inline]
-fn read_field(extras: &mut BitReader<'_>, slot: u16) -> Result<u32, CodecError> {
+pub(crate) fn read_field(extras: &mut BitReader<'_>, slot: u16) -> Result<u32, CodecError> {
     let slot = u32::from(slot);
     let nb = slots::extra_bits(slot);
     let extra = if nb > 0 { extras.read(nb)? as u32 } else { 0 };

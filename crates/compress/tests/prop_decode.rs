@@ -1,0 +1,168 @@
+//! Differential decode properties: the word-wide optimized decoders must
+//! produce *byte-for-byte* the same output as the retained byte-wise
+//! decoders in `fanstore_compress::reference`, for every registry codec
+//! configuration, on random and adversarial streams — and corrupt streams
+//! (truncated or bit-flipped) must error identically-or-gracefully on
+//! both, never panic or read out of bounds.
+
+use fanstore_compress::registry::create;
+use fanstore_compress::{
+    compress_to_vec, decompress_into, decompress_to_vec, reference, CodecFamily, CodecId,
+};
+use proptest::prelude::*;
+
+/// Every codec configuration the registry exposes, one per family at each
+/// interesting level. This is the full differential surface: the rewritten
+/// hot loops (lzf, lz4fast, lz4hc, lzsse8, zstd, and the filtered wrappers
+/// over them) plus the delegated families where the property degenerates
+/// to a roundtrip check.
+fn all_registry_ids() -> Vec<CodecId> {
+    vec![
+        CodecId::new(CodecFamily::Store, 0),
+        CodecId::new(CodecFamily::Rle, 0),
+        CodecId::new(CodecFamily::Lzf, 1),
+        CodecId::new(CodecFamily::Lzf, 4),
+        CodecId::new(CodecFamily::Lz4Fast, 1),
+        CodecId::new(CodecFamily::Lz4Fast, 16),
+        CodecId::new(CodecFamily::Lz4Hc, 4),
+        CodecId::new(CodecFamily::Lz4Hc, 12),
+        CodecId::new(CodecFamily::Lzsse8, 1),
+        CodecId::new(CodecFamily::Lzsse8, 4),
+        CodecId::new(CodecFamily::Huffman, 0),
+        CodecId::new(CodecFamily::Zling, 2),
+        CodecId::new(CodecFamily::BrotliLite, 5),
+        CodecId::new(CodecFamily::LzmaLite, 3),
+        CodecId::new(CodecFamily::Xz, 3),
+        CodecId::new(CodecFamily::ZstdLite, 1),
+        CodecId::new(CodecFamily::ZstdLite, 6),
+        CodecId::new(CodecFamily::ShuffleLz, 2),
+        CodecId::new(CodecFamily::ShuffleLz, 8),
+        CodecId::new(CodecFamily::DeltaLz, 1),
+        CodecId::new(CodecFamily::DeltaLz, 4),
+        CodecId::new(CodecFamily::ShuffleZstd, 4),
+        CodecId::new(CodecFamily::BzipLite, 3),
+    ]
+}
+
+/// Streams engineered to stress the copy primitives: short literal tails,
+/// overlap distances 1..8, word-boundary lengths, and plain noise.
+fn data_strategy() -> impl Strategy<Value = Vec<u8>> {
+    prop_oneof![
+        // Arbitrary bytes around the 8/16/24-byte copy cutoffs.
+        proptest::collection::vec(any::<u8>(), 0..64),
+        // Arbitrary bytes up to 4 KiB.
+        proptest::collection::vec(any::<u8>(), 0..4096),
+        // Tiny period patterns: dist < 8 overlap copies of every period.
+        (1usize..9, any::<u8>(), 8usize..3000).prop_map(|(period, seed, total)| {
+            (0..total).map(|i| seed.wrapping_add((i % period) as u8)).collect()
+        }),
+        // Repeated blocks: long matches at word-unaligned distances.
+        (proptest::collection::vec(any::<u8>(), 1..40), 1usize..150).prop_map(|(block, reps)| {
+            block.iter().copied().cycle().take(block.len() * reps).collect()
+        }),
+        // Low-entropy text-like data (FSE literal blocks in zstd).
+        proptest::collection::vec(
+            prop_oneof![Just(b'e'), Just(b't'), Just(b'a'), Just(b' '), Just(b'\n')],
+            0..4096
+        ),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Optimized decode == reference decode, byte for byte, every codec.
+    #[test]
+    fn optimized_matches_reference(data in data_strategy()) {
+        for id in all_registry_ids() {
+            let codec = create(id).unwrap();
+            let compressed = compress_to_vec(codec.as_ref(), &data);
+            let fast = decompress_to_vec(codec.as_ref(), &compressed, data.len())
+                .unwrap_or_else(|e| panic!("{id} optimized failed on {} bytes: {e}", data.len()));
+            let slow = reference::decompress(id, &compressed, data.len())
+                .unwrap_or_else(|e| panic!("{id} reference failed on {} bytes: {e}", data.len()));
+            prop_assert_eq!(&fast, &slow, "{} optimized != reference", id);
+            prop_assert_eq!(&fast, &data, "{} decode != original", id);
+        }
+    }
+
+    /// The buffer-reuse path decodes identically into a dirty buffer.
+    #[test]
+    fn decompress_into_matches(data in data_strategy()) {
+        let mut scratch = vec![0x5Au8; 512];
+        for id in all_registry_ids() {
+            let codec = create(id).unwrap();
+            let compressed = compress_to_vec(codec.as_ref(), &data);
+            decompress_into(codec.as_ref(), &compressed, data.len(), &mut scratch)
+                .unwrap_or_else(|e| panic!("{id} decompress_into failed: {e}"));
+            prop_assert_eq!(&scratch, &data, "{} decompress_into mismatch", id);
+        }
+    }
+
+    /// Truncated streams: both decoders must reject or produce the exact
+    /// original prefix semantics — and never panic. If the optimized
+    /// decoder errors the reference must not succeed with different bytes.
+    #[test]
+    fn truncation_agrees_and_never_panics(
+        data in proptest::collection::vec(any::<u8>(), 1..2048),
+        cut_seed in any::<u32>(),
+    ) {
+        for id in all_registry_ids() {
+            let codec = create(id).unwrap();
+            let compressed = compress_to_vec(codec.as_ref(), &data);
+            if compressed.is_empty() {
+                continue;
+            }
+            let cut = (cut_seed as usize) % compressed.len();
+            let fast = decompress_to_vec(codec.as_ref(), &compressed[..cut], data.len());
+            let slow = reference::decompress(id, &compressed[..cut], data.len());
+            match (&fast, &slow) {
+                (Ok(f), Ok(s)) => prop_assert_eq!(f, s, "{} truncated decode diverged", id),
+                (Err(_), Err(_)) => {}
+                _ => prop_assert!(false, "{} truncated accept/reject diverged: fast={:?} slow={:?}",
+                                  id, fast.is_ok(), slow.is_ok()),
+            }
+        }
+    }
+
+    /// Bit-flipped streams: decode must end in Ok-with-identical-bytes or
+    /// an error on both sides — never a panic, hang, or divergence.
+    #[test]
+    fn bitflip_agrees_and_never_panics(
+        data in proptest::collection::vec(any::<u8>(), 1..1024),
+        flip_seed in any::<u64>(),
+    ) {
+        for id in all_registry_ids() {
+            let codec = create(id).unwrap();
+            let mut compressed = compress_to_vec(codec.as_ref(), &data);
+            if compressed.is_empty() {
+                continue;
+            }
+            let pos = (flip_seed as usize) % compressed.len();
+            let bit = ((flip_seed >> 32) % 8) as u8;
+            compressed[pos] ^= 1 << bit;
+            let fast = decompress_to_vec(codec.as_ref(), &compressed, data.len());
+            let slow = reference::decompress(id, &compressed, data.len());
+            match (&fast, &slow) {
+                (Ok(f), Ok(s)) => prop_assert_eq!(f, s, "{} bit-flipped decode diverged", id),
+                (Err(_), Err(_)) => {}
+                _ => prop_assert!(false, "{} bit-flip accept/reject diverged: fast={:?} slow={:?}",
+                                  id, fast.is_ok(), slow.is_ok()),
+            }
+        }
+    }
+
+    /// Pure garbage presented as a compressed stream never panics either
+    /// decoder.
+    #[test]
+    fn garbage_never_panics(
+        garbage in proptest::collection::vec(any::<u8>(), 0..1024),
+        expected_len in 0usize..4096,
+    ) {
+        for id in all_registry_ids() {
+            let codec = create(id).unwrap();
+            let _ = decompress_to_vec(codec.as_ref(), &garbage, expected_len);
+            let _ = reference::decompress(id, &garbage, expected_len);
+        }
+    }
+}

@@ -107,6 +107,9 @@ struct Shard {
 pub struct FileCache {
     cfg: CacheConfig,
     shards: Vec<Shard>,
+    /// When set, evicted buffers that nobody else references are handed
+    /// back to this pool instead of being freed (decode hot-path reuse).
+    recycle: Option<Arc<crate::bufpool::BufPool>>,
 }
 
 /// FNV-1a of a path — the shard selector. Stable across runs so seeded
@@ -139,7 +142,23 @@ impl FileCache {
                 stats: CacheStats::default(),
             })
             .collect();
-        FileCache { cfg, shards }
+        FileCache { cfg, shards, recycle: None }
+    }
+
+    /// [`FileCache::new`], with evicted buffers recycled into `pool`
+    /// whenever the cache holds the last reference at eviction time.
+    pub fn with_recycle(cfg: CacheConfig, pool: Arc<crate::bufpool::BufPool>) -> Self {
+        let mut cache = Self::new(cfg);
+        cache.recycle = Some(pool);
+        cache
+    }
+
+    /// Return an evicted entry's buffer to the pool if the cache held the
+    /// last reference; otherwise the readers' `Arc`s keep it alive.
+    fn recycle_evicted(&self, data: Arc<Vec<u8>>) {
+        if let Some(pool) = &self.recycle {
+            pool.put_arc(data);
+        }
     }
 
     #[inline]
@@ -190,14 +209,14 @@ impl FileCache {
         }
         let size = data.len();
         // FIFO eviction within the shard, skipping in-use entries.
-        Self::make_room(shard, &mut inner, size);
+        self.make_room(shard, &mut inner, size);
         inner.entries.insert(path.to_string(), Entry { data: Arc::clone(&data), open_count: 1 });
         inner.fifo.push_back(path.to_string());
         inner.bytes += size;
         data
     }
 
-    fn make_room(shard: &Shard, inner: &mut Inner, incoming: usize) {
+    fn make_room(&self, shard: &Shard, inner: &mut Inner, incoming: usize) {
         if inner.bytes + incoming <= shard.budget {
             return;
         }
@@ -213,6 +232,7 @@ impl FileCache {
             } else if let Some(e) = inner.entries.remove(&victim) {
                 inner.bytes -= e.data.len();
                 shard.stats.evictions.fetch_add(1, Ordering::Relaxed);
+                self.recycle_evicted(e.data);
             }
         }
     }
@@ -234,6 +254,7 @@ impl FileCache {
                 inner.bytes -= e.data.len();
                 inner.fifo.retain(|p| p != path);
                 shard.stats.evictions.fetch_add(1, Ordering::Relaxed);
+                self.recycle_evicted(e.data);
             }
         }
     }
@@ -249,6 +270,7 @@ impl FileCache {
                 inner.bytes -= e.data.len();
                 inner.fifo.retain(|p| p != path);
                 shard.stats.evictions.fetch_add(1, Ordering::Relaxed);
+                self.recycle_evicted(e.data);
                 true
             }
             None => false,

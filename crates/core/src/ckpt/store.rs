@@ -473,6 +473,9 @@ impl<'a> CheckpointStore<'a> {
                 } else {
                     out.extend_from_slice(&raw);
                 }
+                // The frame scratch came from the node's pool; hand it
+                // back so the next chunk decodes allocation-free.
+                self.fs.state().pool.put(raw);
                 chunk_index += 1;
             }
         }

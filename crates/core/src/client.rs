@@ -24,7 +24,7 @@ use crate::daemon::{
 };
 use crate::meta::encode_single;
 use crate::metrics::{now_us, Counter, Gauge, Histogram};
-use crate::node::{decompress_object, NodeState};
+use crate::node::NodeState;
 use crate::placement::replicas_of;
 use crate::stat::FileStat;
 use crate::trace::{Op, SpanEvent, TraceRecorder};
@@ -159,6 +159,10 @@ struct ClientMetrics {
     cache_shard_count: Arc<Gauge>,
     cache_shard_hot_bytes: Arc<Gauge>,
     cache_shard_spread: Arc<Histogram>,
+    bufpool_hits: Arc<Gauge>,
+    bufpool_misses: Arc<Gauge>,
+    bufpool_returns: Arc<Gauge>,
+    bufpool_idle_bytes: Arc<Gauge>,
 }
 
 impl ClientMetrics {
@@ -183,6 +187,10 @@ impl ClientMetrics {
             cache_shard_count: m.gauge("cache.shard.count"),
             cache_shard_hot_bytes: m.gauge("cache.shard.hot_bytes"),
             cache_shard_spread: m.histogram("cache.shard.resident_bytes"),
+            bufpool_hits: m.gauge("bufpool.take.hits"),
+            bufpool_misses: m.gauge("bufpool.take.misses"),
+            bufpool_returns: m.gauge("bufpool.put.returns"),
+            bufpool_idle_bytes: m.gauge("bufpool.idle.bytes"),
         }
     }
 }
@@ -385,7 +393,12 @@ impl FsClient {
         // shared file system, which always holds every partition.
         if let Some(backend) = &self.read_through {
             if let Some(obj) = backend.get(path) {
-                let plain = decompress_object(obj.codec, &obj.data, obj.stat.size as usize, path)?;
+                let plain = self.state.decompress_timed(
+                    obj.codec,
+                    &obj.data,
+                    obj.stat.size as usize,
+                    path,
+                )?;
                 self.state.stats.read_through_reads.inc();
                 self.state.stats.degraded_reads.inc();
                 self.record(Op::Degraded, path, 0);
@@ -637,11 +650,32 @@ impl FsClient {
     /// read-to-end + close).
     pub fn finish_read(&self, path: &str, entry: RawEntry) -> Result<Vec<u8>, FsError> {
         let data = self.finish_entry(path, entry)?;
-        let out = data.to_vec();
-        self.record(Op::Read, path, out.len() as u64);
+        self.record(Op::Read, path, data.len() as u64);
         self.state.cache.close(path);
         self.record(Op::Close, path, 0);
-        Ok(out)
+        // Under the eager-release cache policy the close above dropped the
+        // cache's reference, so ours is the last one and the buffer moves
+        // out with no copy. When the entry stays cached (or another reader
+        // holds it) the copy is unavoidable — but it is sourced from the
+        // scratch pool, so a steady-state loop that recycles its outputs
+        // still performs no allocation.
+        match Arc::try_unwrap(data) {
+            Ok(out) => Ok(out),
+            Err(shared) => {
+                let mut out = self.state.pool.take(shared.len());
+                out.extend_from_slice(&shared);
+                Ok(out)
+            }
+        }
+    }
+
+    /// Hand a buffer obtained from [`FsClient::finish_read`] /
+    /// [`FsClient::read_many`] back to the node's scratch pool once its
+    /// contents have been consumed. Optional — a dropped buffer is merely
+    /// an allocation on the next decode — but a loop that recycles runs
+    /// allocation-free at steady state (see the pool-stats test).
+    pub fn recycle(&self, buf: Vec<u8>) {
+        self.state.pool.put(buf);
     }
 
     /// Release the cache reference held by a finished entry (pairs with
@@ -674,6 +708,11 @@ impl FsClient {
         let hot = snaps.iter().map(|s| s.resident_bytes).max().unwrap_or(0);
         self.metrics.cache_shard_hot_bytes.set(hot);
         self.metrics.cache_shard_spread.record(hot);
+        let pool = self.state.pool.stats();
+        self.metrics.bufpool_hits.set(pool.hits);
+        self.metrics.bufpool_misses.set(pool.misses);
+        self.metrics.bufpool_returns.set(pool.returns);
+        self.metrics.bufpool_idle_bytes.set(pool.idle_bytes as u64);
     }
 
     /// `open(path, O_WRONLY|O_CREAT)`: start a write-once output file.
@@ -756,7 +795,11 @@ impl FsClient {
         self.record(Op::Close, "", 0);
         let entry = self.fds.lock().remove(&fd).ok_or(FsError::BadFd(fd))?;
         match entry {
-            OpenFile::Read { path, .. } => {
+            OpenFile::Read { path, data, .. } => {
+                // Drop the fd's reference *before* telling the cache: under
+                // the eager-release policy the cache then holds the last
+                // one and can recycle the buffer into the scratch pool.
+                drop(data);
                 self.state.cache.close(&path);
                 Ok(())
             }
@@ -862,11 +905,19 @@ impl FsClient {
     pub fn read_whole(&self, path: &str) -> Result<Vec<u8>, FsError> {
         self.record(Op::Open, path, 0);
         let data = self.fetch(path)?;
-        let out = data.to_vec();
-        self.record(Op::Read, path, out.len() as u64);
+        self.record(Op::Read, path, data.len() as u64);
         self.state.cache.close(path);
         self.record(Op::Close, path, 0);
-        Ok(out)
+        // Same move-or-pooled-copy dance as `finish_read`: eager-release
+        // caches hand the buffer over with no copy at all.
+        match Arc::try_unwrap(data) {
+            Ok(out) => Ok(out),
+            Err(shared) => {
+                let mut out = self.state.pool.take(shared.len());
+                out.extend_from_slice(&shared);
+                Ok(out)
+            }
+        }
     }
 
     /// Convenience: write an entire output file (create + write + close).

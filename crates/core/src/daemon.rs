@@ -92,14 +92,23 @@ fn decode_put(buf: &[u8]) -> Option<(&str, u32, &[u8])> {
 /// a requester can reject in-flight corruption before decompressing.
 fn encode_get_reply(obj: &LocalObject) -> Vec<u8> {
     let mut out = Vec::with_capacity(GET_BODY + 2 + STAT_SIZE + obj.data.len());
+    encode_get_reply_into(&mut out, obj);
+    out
+}
+
+/// Append a single-GET reply frame to `out` (the GET_MANY fast path:
+/// entries are assembled straight into the outgoing reply buffer instead
+/// of through a per-entry `Vec`). The CRC placeholder is patched once the
+/// body is in place.
+fn encode_get_reply_into(out: &mut Vec<u8>, obj: &LocalObject) {
+    let frame = out.len();
     out.push(status::OK);
     out.extend_from_slice(&[0u8; 4]); // CRC placeholder
     out.extend_from_slice(&obj.codec.0.to_le_bytes());
-    obj.stat.encode(&mut out);
+    obj.stat.encode(out);
     out.extend_from_slice(&obj.data);
-    let crc = crc32(&out[GET_BODY..]);
-    out[1..GET_BODY].copy_from_slice(&crc.to_le_bytes());
-    out
+    let crc = crc32(&out[frame + GET_BODY..]);
+    out[frame + 1..frame + GET_BODY].copy_from_slice(&crc.to_le_bytes());
 }
 
 /// Decode a GET reply into `(codec, stat, compressed)`, verifying the
@@ -219,16 +228,20 @@ fn handle_get_many(state: &NodeState, msg: &Message, get_bytes: &crate::metrics:
             let mut out = vec![status::OK];
             out.extend_from_slice(&(paths.len() as u32).to_le_bytes());
             for path in paths {
-                let entry = match state.get_compressed(path) {
+                // Length placeholder, then the entry assembled in place —
+                // one buffer for the whole batch reply, no per-entry Vec.
+                let len_pos = out.len();
+                out.extend_from_slice(&[0u8; 4]);
+                match state.get_compressed(path) {
                     Some(mut obj) => {
                         obj.stat.served_by = state.rank as u32;
                         get_bytes.add(obj.data.len() as u64);
-                        encode_get_reply(&obj)
+                        encode_get_reply_into(&mut out, &obj);
                     }
-                    None => vec![status::NOT_FOUND],
-                };
-                out.extend_from_slice(&(entry.len() as u32).to_le_bytes());
-                out.extend_from_slice(&entry);
+                    None => out.push(status::NOT_FOUND),
+                }
+                let n = (out.len() - len_pos - 4) as u32;
+                out[len_pos..len_pos + 4].copy_from_slice(&n.to_le_bytes());
             }
             out
         }

@@ -62,6 +62,7 @@
 //! ```
 
 pub mod backend;
+pub mod bufpool;
 pub mod cache;
 pub mod ckpt;
 pub mod client;

@@ -13,9 +13,10 @@ use fanstore_compress::CodecId;
 use parking_lot::RwLock;
 
 use crate::backend::{Backend, RamBackend};
+use crate::bufpool::BufPool;
 use crate::cache::{CacheConfig, FileCache};
 use crate::meta::{MetaEntry, MetaTable};
-use crate::metrics::{now_us, Counter, MetricsRegistry};
+use crate::metrics::{now_us, Counter, Gauge, MetricsRegistry};
 use crate::pack::parse_partition;
 use crate::stat::FileStat;
 use crate::FsError;
@@ -74,6 +75,13 @@ pub struct NodeStats {
     /// unreachable (the write stays readable from this node)
     /// (`client.meta_forward.failures`).
     pub meta_forward_failures: Arc<Counter>,
+    /// Plain bytes produced by decode on this node, across every codec
+    /// (`client.decompress.bytes`).
+    pub decompress_bytes: Arc<Counter>,
+    /// Throughput of the most recent decode, in MB/s
+    /// (`client.decompress.mb_per_s`). Bytes-per-microsecond equals
+    /// megabytes-per-second, so this is `len / elapsed_us`.
+    pub decompress_mb_per_s: Arc<Gauge>,
 }
 
 impl NodeStats {
@@ -92,6 +100,8 @@ impl NodeStats {
             read_through_reads: registry.counter("client.read_through.reads"),
             reply_failures: registry.counter("daemon.reply.failures"),
             meta_forward_failures: registry.counter("client.meta_forward.failures"),
+            decompress_bytes: registry.counter("client.decompress.bytes"),
+            decompress_mb_per_s: registry.gauge("client.decompress.mb_per_s"),
         }
     }
 
@@ -122,6 +132,9 @@ pub struct NodeState {
     pub metrics: Arc<MetricsRegistry>,
     /// Activity counters (handles into `metrics`).
     pub stats: NodeStats,
+    /// Scratch-buffer pool for the decode hot path: decode buffers come
+    /// from here and flow back on cache eviction or explicit recycle.
+    pub pool: Arc<BufPool>,
     /// Request-id sequence for this node's clients (see
     /// [`NodeState::next_request_id`]).
     next_request: AtomicU64,
@@ -153,15 +166,17 @@ impl NodeState {
         metrics: Arc<MetricsRegistry>,
     ) -> Self {
         let stats = NodeStats::register(&metrics);
+        let pool = Arc::new(BufPool::default());
         NodeState {
             rank,
             size,
             meta: RwLock::new(MetaTable::new()),
             local: backend,
-            cache: FileCache::new(cache_cfg),
+            cache: FileCache::with_recycle(cache_cfg, Arc::clone(&pool)),
             writes: RwLock::new(HashMap::new()),
             metrics,
             stats,
+            pool,
             next_request: AtomicU64::new(0),
         }
     }
@@ -211,8 +226,14 @@ impl NodeState {
         self.decompress_timed(obj.codec, &obj.data, obj.stat.size as usize, path)
     }
 
-    /// [`decompress_object`] plus per-codec metrics
-    /// (`codec.<name>.decode_us`, `codec.<name>.decode_bytes`).
+    /// Pool-backed [`decompress_object`] plus decode metrics: per-codec
+    /// (`codec.<name>.decode_us`, `codec.<name>.decode_bytes`) and
+    /// node-wide (`client.decompress.bytes`, `client.decompress.mb_per_s`).
+    ///
+    /// The output buffer comes from [`NodeState::pool`]; in a warm steady
+    /// state this call performs no allocation. The buffer flows back to
+    /// the pool via cache eviction ([`crate::cache::FileCache`] recycling)
+    /// or [`crate::client::FsClient::recycle`].
     pub fn decompress_timed(
         &self,
         codec: CodecId,
@@ -220,14 +241,22 @@ impl NodeState {
         expected_len: usize,
         path: &str,
     ) -> Result<Vec<u8>, FsError> {
-        if !self.metrics.is_enabled() {
-            return decompress_object(codec, data, expected_len, path);
+        let timed = self.metrics.is_enabled();
+        let start = if timed { now_us() } else { 0 };
+        let mut out = self.pool.take(expected_len);
+        if let Err(e) = decompress_object_into(codec, data, expected_len, path, &mut out) {
+            self.pool.put(out);
+            return Err(e);
         }
-        let start = now_us();
-        let out = decompress_object(codec, data, expected_len, path)?;
-        let name = codec.family().map_or("unknown", |f| f.name());
-        self.metrics.histogram(&format!("codec.{name}.decode_us")).record(now_us() - start);
-        self.metrics.counter(&format!("codec.{name}.decode_bytes")).add(out.len() as u64);
+        if timed {
+            let elapsed = now_us() - start;
+            let name = codec.family().map_or("unknown", |f| f.name());
+            self.metrics.histogram(&format!("codec.{name}.decode_us")).record(elapsed);
+            self.metrics.counter(&format!("codec.{name}.decode_bytes")).add(out.len() as u64);
+            self.stats.decompress_bytes.add(out.len() as u64);
+            // bytes/us == MB/s: both scale factors are 10^6.
+            self.stats.decompress_mb_per_s.set(out.len() as u64 / elapsed.max(1));
+        }
         Ok(out)
     }
 
@@ -357,6 +386,21 @@ pub fn decompress_object(
 ) -> Result<Vec<u8>, FsError> {
     let codec = create(codec).map_err(|e| FsError::Corrupt(format!("{path}: {e}")))?;
     fanstore_compress::decompress_to_vec(codec.as_ref(), data, expected_len)
+        .map_err(|e| FsError::Corrupt(format!("{path}: {e}")))
+}
+
+/// [`decompress_object`] into a caller-supplied (typically pooled)
+/// buffer. The buffer is cleared first; on success it holds exactly
+/// `expected_len` bytes.
+pub fn decompress_object_into(
+    codec: CodecId,
+    data: &[u8],
+    expected_len: usize,
+    path: &str,
+    out: &mut Vec<u8>,
+) -> Result<(), FsError> {
+    let codec = create(codec).map_err(|e| FsError::Corrupt(format!("{path}: {e}")))?;
+    fanstore_compress::decompress_into(codec.as_ref(), data, expected_len, out)
         .map_err(|e| FsError::Corrupt(format!("{path}: {e}")))
 }
 

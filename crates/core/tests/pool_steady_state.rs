@@ -1,0 +1,140 @@
+//! Steady-state allocation behaviour of the decode hot path, observed
+//! through the scratch-pool counters: after a warmup epoch, batched reads
+//! that recycle their buffers must take every decode buffer from the pool
+//! (`misses` flat, `hits` growing) — zero per-entry decode allocations.
+
+use fanstore::cache::CacheConfig;
+use fanstore::cluster::{ClusterConfig, FanStore};
+use fanstore::prep::{prepare, PrepConfig};
+
+fn dataset(n: usize, file_bytes: usize) -> Vec<(String, Vec<u8>)> {
+    (0..n)
+        .map(|i| {
+            let payload: Vec<u8> =
+                (0..file_bytes).map(|j| ((i * 31 + j * 7) % 251) as u8).collect();
+            (format!("ps/f{i:03}.bin"), payload)
+        })
+        .collect()
+}
+
+#[test]
+fn read_many_steady_state_needs_no_decode_allocations() {
+    let n = 16;
+    let paths: Vec<String> = (0..n).map(|i| format!("ps/f{i:03}.bin")).collect();
+    let packed = prepare(dataset(n, 8 * 1024), &PrepConfig { partitions: 2, ..Default::default() });
+    let results = FanStore::run(
+        ClusterConfig {
+            nodes: 2,
+            // Figure-4 eager policy: nothing stays cached, so every epoch
+            // decodes every file — the worst case for allocation churn.
+            cache: CacheConfig { capacity: 1 << 30, release_on_zero: true, ..Default::default() },
+            ..Default::default()
+        },
+        packed.partitions,
+        |fs| {
+            let epoch = |fs: &fanstore::client::FsClient| {
+                for r in fs.read_many(&paths) {
+                    // Hand each consumed buffer back to the pool — the
+                    // contract that makes the loop allocation-free.
+                    fs.recycle(r.unwrap());
+                }
+            };
+            epoch(fs); // warmup: populates the pool (all misses)
+            let warm = fs.state().pool.stats();
+            for _ in 0..3 {
+                epoch(fs);
+            }
+            let steady = fs.state().pool.stats();
+            (warm, steady)
+        },
+    );
+    for (warm, steady) in results {
+        assert!(warm.misses > 0, "warmup epoch must allocate");
+        assert_eq!(
+            steady.misses, warm.misses,
+            "steady-state read_many must take every decode buffer from the pool"
+        );
+        assert!(
+            steady.hits >= warm.hits + 3 * n as u64 / 2,
+            "decodes after warmup must be pool hits: warm {warm:?} steady {steady:?}"
+        );
+    }
+}
+
+#[test]
+fn posix_read_loop_recycles_through_eager_cache() {
+    // The open/read/close surface with the eager-release cache: on close
+    // the cache holds the last reference and recycles the decode buffer
+    // itself — no cooperation from the reader needed.
+    let n = 12;
+    let packed = prepare(dataset(n, 16 * 1024), &PrepConfig::default());
+    let results = FanStore::run(
+        ClusterConfig {
+            cache: CacheConfig { capacity: 1 << 30, release_on_zero: true, ..Default::default() },
+            ..Default::default()
+        },
+        packed.partitions,
+        |fs| {
+            let epoch = |fs: &fanstore::client::FsClient| {
+                for i in 0..n {
+                    let path = format!("ps/f{i:03}.bin");
+                    let fd = fs.open(&path).unwrap();
+                    let mut buf = vec![0u8; 64 * 1024];
+                    while fs.read(fd, &mut buf).unwrap() > 0 {}
+                    fs.close(fd).unwrap();
+                }
+            };
+            epoch(fs);
+            let warm = fs.state().pool.stats();
+            for _ in 0..3 {
+                epoch(fs);
+            }
+            let steady = fs.state().pool.stats();
+            (warm, steady)
+        },
+    );
+    for (warm, steady) in results {
+        assert_eq!(
+            steady.misses, warm.misses,
+            "fd-based epochs must reuse pooled buffers via cache eviction"
+        );
+        assert_eq!(
+            steady.returns - warm.returns,
+            steady.hits - warm.hits,
+            "every recycled buffer came back through the eviction hook"
+        );
+    }
+}
+
+#[test]
+fn retained_cache_plus_recycled_copies_stay_allocation_free() {
+    // With a retentive cache, epoch 2+ are cache hits (no decode at all);
+    // the per-read copies are pool-sourced and recycled, so misses stay
+    // flat here too.
+    let n = 10;
+    let paths: Vec<String> = (0..n).map(|i| format!("ps/f{i:03}.bin")).collect();
+    let packed = prepare(dataset(n, 4 * 1024), &PrepConfig::default());
+    let results = FanStore::run(
+        ClusterConfig {
+            cache: CacheConfig { capacity: 1 << 30, release_on_zero: false, ..Default::default() },
+            ..Default::default()
+        },
+        packed.partitions,
+        |fs| {
+            for r in fs.read_many(&paths) {
+                fs.recycle(r.unwrap());
+            }
+            let warm = fs.state().pool.stats();
+            for _ in 0..3 {
+                for r in fs.read_many(&paths) {
+                    fs.recycle(r.unwrap());
+                }
+            }
+            let steady = fs.state().pool.stats();
+            (warm, steady)
+        },
+    );
+    for (warm, steady) in results {
+        assert_eq!(steady.misses, warm.misses, "cache-hit epochs must not allocate copies");
+    }
+}

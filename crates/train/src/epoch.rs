@@ -29,7 +29,7 @@ pub struct EpochConfig {
 }
 
 /// Outcome of an epoch run on one node.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EpochReport {
     /// Files enumerated at startup.
     pub files_seen: usize,
@@ -43,6 +43,13 @@ pub struct EpochReport {
     /// read-through fallbacks, lost metadata forwards): non-zero means
     /// training survived faults rather than running clean.
     pub degraded: u64,
+    /// Plain bytes produced by decompression during this range
+    /// (`client.decompress.bytes` delta; 0 with metrics disabled).
+    pub decode_bytes: u64,
+    /// Aggregate decode throughput over this range in MB/s: decompressed
+    /// bytes divided by the summed per-codec decode time. 0.0 when
+    /// metrics are disabled or nothing was decoded.
+    pub decode_mb_per_s: f64,
     /// Per-epoch-range metrics delta (counters and latency histograms
     /// scoped to this run), or `None` when the cluster runs with
     /// metrics disabled.
@@ -139,13 +146,32 @@ pub fn run_epoch_range(
         }
     }
 
+    let metrics_delta = metrics_before.map(|b| fs.state().metrics.snapshot().delta(&b));
+    let (decode_bytes, decode_mb_per_s) = metrics_delta
+        .as_ref()
+        .map(|d| {
+            let bytes = d.counters.get("client.decompress.bytes").copied().unwrap_or(0);
+            // Summed decode wall time across every codec's histogram;
+            // bytes/us == MB/s (both scale factors are 10^6).
+            let us: u64 = d
+                .histograms
+                .iter()
+                .filter(|(name, _)| name.starts_with("codec.") && name.ends_with(".decode_us"))
+                .map(|(_, h)| h.sum)
+                .sum();
+            (bytes, if us == 0 { 0.0 } else { bytes as f64 / us as f64 })
+        })
+        .unwrap_or((0, 0.0));
+
     Ok(EpochReport {
         files_seen: files.len(),
         iterations,
         bytes_read,
         checkpoints,
         degraded: fs.state().stats.degraded_total() - degraded_before,
-        metrics: metrics_before.map(|b| fs.state().metrics.snapshot().delta(&b)),
+        decode_bytes,
+        decode_mb_per_s,
+        metrics: metrics_delta,
     })
 }
 

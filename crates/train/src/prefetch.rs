@@ -109,20 +109,27 @@ where
         drop(work_rx);
 
         // Consumer: assemble batches as files complete (order within a
-        // batch is arrival order, as in real input pipelines).
+        // batch is arrival order, as in real input pipelines). Consumed
+        // buffers are recycled into the node's scratch pool, so at steady
+        // state the decode workers reuse them instead of allocating.
         let mut total: u64 = 0;
         let mut current: Vec<Fetched> = Vec::with_capacity(batch);
+        let finish_batch = |current: &mut Vec<Fetched>, consume: &mut F| {
+            consume(current);
+            for f in current.drain(..) {
+                fs.recycle(f.data);
+            }
+        };
         for fetched in ready_rx {
             let f = fetched?;
             total += f.data.len() as u64;
             current.push(f);
             if current.len() == batch {
-                consume(&current);
-                current.clear();
+                finish_batch(&mut current, &mut consume);
             }
         }
         if !current.is_empty() {
-            consume(&current);
+            finish_batch(&mut current, &mut consume);
         }
         Ok(total)
     })
@@ -230,6 +237,49 @@ mod tests {
         );
         for n in results {
             assert_eq!(n, 17);
+        }
+    }
+
+    #[test]
+    fn pipeline_recycles_decode_buffers() {
+        // After a warmup epoch the pipeline's decode workers must draw
+        // every scratch buffer from the node pool: consumed batches are
+        // recycled by the consumer loop, so pool misses stay flat across
+        // steady-state epochs.
+        let files = dataset(24);
+        let packed = prepare(files.clone(), &PrepConfig { partitions: 2, ..Default::default() });
+        let results = FanStore::run(
+            ClusterConfig { nodes: 2, ..Default::default() },
+            packed.partitions,
+            |fs| {
+                let paths: Vec<String> = files.iter().map(|(p, _)| p.clone()).collect();
+                let cfg =
+                    PrefetchConfig { io_threads: 3, queue_batches: 2, batch_size: 6, rpc_batch: 0 };
+                prefetched_epoch(fs, &paths, &cfg, |_| {}).unwrap();
+                // Seed the pool up to the pipeline's peak in-flight demand
+                // (queue + workers + consumer batch < one buffer per file):
+                // hold a decoded copy of every file at once, then hand them
+                // all back. Epoch recycling alone parks only as many buffers
+                // as the scheduler happened to have in flight, which an
+                // unlucky steady-state schedule can exceed.
+                let held: Vec<Vec<u8>> = paths.iter().map(|p| fs.read_whole(p).unwrap()).collect();
+                for buf in held {
+                    fs.recycle(buf);
+                }
+                let warm = fs.state().pool.stats();
+                for _ in 0..3 {
+                    prefetched_epoch(fs, &paths, &cfg, |_| {}).unwrap();
+                }
+                let steady = fs.state().pool.stats();
+                (warm, steady)
+            },
+        );
+        for (warm, steady) in results {
+            assert_eq!(
+                steady.misses, warm.misses,
+                "steady-state prefetch epochs must not allocate decode buffers"
+            );
+            assert!(steady.hits > warm.hits, "post-warmup epochs must reuse pooled buffers");
         }
     }
 
