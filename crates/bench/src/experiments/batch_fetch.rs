@@ -53,7 +53,13 @@ fn measure(rpc_batch: usize, n: usize, epochs: usize) -> f64 {
         },
         packed.partitions,
         |fs| {
-            let cfg = PrefetchConfig { io_threads: 4, queue_batches: 2, batch_size: 32, rpc_batch };
+            let cfg = PrefetchConfig {
+                io_threads: 4,
+                queue_batches: 2,
+                batch_size: 32,
+                rpc_batch,
+                tenant: 0,
+            };
             let t0 = Instant::now();
             for _ in 0..epochs {
                 prefetched_epoch(fs, &paths, &cfg, |batch| {

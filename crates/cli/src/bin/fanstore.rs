@@ -5,6 +5,7 @@
 //! fanstore metrics [--nodes 4] [--files 24] [--json true]
 //! fanstore trace dump [--nodes 4] [--files 24]
 //! fanstore ckpt <ls | verify | gc> [--nodes 4] [--generations 5] [--keep-last 2]
+//! fanstore qos [--nodes 4] [--files 24]
 //! ```
 //!
 //! `metrics` merges every rank's registry into one cluster-wide view and
@@ -16,10 +17,10 @@
 
 use std::process::ExitCode;
 
-use fanstore_cli::{run_ckpt_demo, run_metrics_demo, run_trace_dump, Args};
+use fanstore_cli::{run_ckpt_demo, run_metrics_demo, run_qos_demo, run_trace_dump, Args};
 
-const USAGE: &str = "usage: fanstore <metrics | trace dump | ckpt ls | ckpt verify | ckpt gc> \
-                     [--nodes N] [--files N] [--json true] [--generations N] [--keep-last K]";
+const USAGE: &str = "usage: fanstore <metrics | trace dump | ckpt ls | ckpt verify | ckpt gc | \
+                     qos> [--nodes N] [--files N] [--json true] [--generations N] [--keep-last K]";
 
 fn main() -> ExitCode {
     let args = match Args::parse(std::env::args().skip(1)) {
@@ -49,6 +50,7 @@ fn main() -> ExitCode {
             run_metrics_demo(nodes, files, json)
         }
         [cmd, sub] if cmd == "trace" && sub == "dump" => run_trace_dump(nodes, files),
+        [cmd] if cmd == "qos" => run_qos_demo(nodes, files),
         [cmd, sub] if cmd == "ckpt" => {
             let generations = match args.get_usize("generations", 5) {
                 Ok(n) => n,

@@ -26,6 +26,7 @@ use fanstore::ckpt::{CheckpointStore, CkptConfig};
 use fanstore::cluster::{ClusterConfig, FanStore};
 use fanstore::pack::parse_partition;
 use fanstore::prep::{prepare, PrepConfig};
+use fanstore::qos::{QosPolicy, TenantQuota};
 use fanstore_compress::registry::{create, parse_name};
 use fanstore_datagen::{DatasetKind, DatasetSpec};
 
@@ -332,6 +333,99 @@ pub fn run_trace_dump(nodes: usize, files_n: usize) -> Result<String, String> {
     Ok(out)
 }
 
+/// `fanstore qos`: run a noisy-neighbor demo — tenant 1 (the "training
+/// job") reads the namespace steadily while tenant 2 (the "noisy
+/// neighbor") floods batched reads under a tight admission quota and an
+/// already-expired deadline — then print the per-tenant QoS counters
+/// (admitted / throttled / served / shed) merged across ranks.
+pub fn run_qos_demo(nodes: usize, files_n: usize) -> Result<String, String> {
+    if nodes == 0 || files_n == 0 {
+        return Err("need at least one node and one file".into());
+    }
+    let packed =
+        prepare(demo_dataset(files_n), &PrepConfig { partitions: nodes, ..Default::default() });
+    let mut policy = QosPolicy::new()
+        .with_quota(1, TenantQuota { weight: 4, ..TenantQuota::default() })
+        .with_quota(
+            2,
+            TenantQuota {
+                rate_per_s: 0.0,
+                burst: 2,
+                weight: 1,
+                op_deadline: Some(std::time::Duration::ZERO),
+            },
+        );
+    // No failover in the demo, so derive no deadlines for tenant 1.
+    policy.deadline_from_timeout = false;
+    policy.throttle_retries = 0;
+    let cfg =
+        ClusterConfig { nodes, read_through: true, qos: Some(policy), ..ClusterConfig::default() };
+    let out = FanStore::run(cfg, packed.partitions, |fs| {
+        let work = || -> Result<(u64, u64), fanstore::FsError> {
+            let a = fs.fork_tenant(1);
+            let b = fs.fork_tenant(2);
+            let files = fs.enumerate("train")?;
+            let mut b_ok = 0u64;
+            let mut b_throttled = 0u64;
+            // The neighbor floods first (cold caches, so its batches
+            // really hit the daemons — where the expired deadline sheds
+            // them); past its burst the bucket throttles the rest.
+            for chunk in files.chunks(2) {
+                for r in b.read_many(chunk) {
+                    match r {
+                        Ok(_) => b_ok += 1,
+                        Err(fanstore::FsError::Throttled(_)) => b_throttled += 1,
+                        Err(e) => return Err(e),
+                    }
+                }
+            }
+            for path in &files {
+                a.read_whole(path)?;
+            }
+            Ok((b_ok, b_throttled))
+        };
+        (work().map_err(|e| e.to_string()), Arc::clone(&fs.state().metrics))
+    });
+    let merged = fanstore::metrics::MetricsRegistry::new();
+    let mut b_ok = 0u64;
+    let mut b_throttled = 0u64;
+    for (status, registry) in &out {
+        let (ok, throttled) = status.clone().map_err(|e| format!("qos workload failed: {e}"))?;
+        b_ok += ok;
+        b_throttled += throttled;
+        merged.merge(registry);
+    }
+    let snap = merged.snapshot();
+    let mut report = format!(
+        "qos noisy-neighbor demo ({nodes} nodes, {files_n} files): \
+         tenant 2 delivered {b_ok} reads, {b_throttled} throttled\n\n"
+    );
+    let mut lines: Vec<(String, u64)> = snap
+        .counters
+        .iter()
+        .filter(|(k, _)| {
+            k.starts_with("qos.tenant.")
+                || matches!(
+                    k.as_str(),
+                    "client.throttled.ops"
+                        | "client.shed.replies"
+                        | "client.retry.exhausted"
+                        | "daemon.shed.requests"
+                )
+        })
+        .map(|(k, v)| (k.clone(), *v))
+        .collect();
+    for (k, v) in snap.gauges.iter().filter(|(k, _)| k.starts_with("qos.tenant.")) {
+        lines.push((k.clone(), *v));
+    }
+    lines.sort();
+    let width = lines.iter().map(|(k, _)| k.len()).max().unwrap_or(8);
+    for (k, v) in lines {
+        report.push_str(&format!("{k:width$}  {v}\n"));
+    }
+    Ok(report)
+}
+
 /// Synthetic model state for the checkpoint demo: mostly stable bytes
 /// with sparse per-generation drift, so delta generations visibly shrink.
 fn demo_ckpt_payload(rank: usize, generation: u64, bytes: usize) -> Vec<u8> {
@@ -551,6 +645,15 @@ mod tests {
     fn demo_rejects_empty_cluster() {
         assert!(run_metrics_demo(0, 4, false).is_err());
         assert!(run_trace_dump(2, 0).is_err());
+    }
+
+    #[test]
+    fn qos_demo_reports_tenant_counters() {
+        let out = run_qos_demo(2, 12).unwrap();
+        assert!(out.contains("qos.tenant.1.admitted"), "{out}");
+        assert!(out.contains("qos.tenant.2.throttled"), "{out}");
+        assert!(out.contains("daemon.shed.requests"), "{out}");
+        assert!(out.contains("qos.tenant.2.quota.burst"), "{out}");
     }
 
     #[test]

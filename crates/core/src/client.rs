@@ -15,7 +15,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use fanstore_compress::CodecId;
-use mpi_sim::{CommError, RemoteSender};
+use mpi_sim::{CommError, RemoteSender, RpcMeta};
 use parking_lot::Mutex;
 
 use crate::backend::Backend;
@@ -26,6 +26,7 @@ use crate::meta::encode_single;
 use crate::metrics::{now_us, Counter, Gauge, Histogram};
 use crate::node::NodeState;
 use crate::placement::replicas_of;
+use crate::qos::{QosPolicy, TenantId, TokenBucket};
 use crate::stat::FileStat;
 use crate::trace::{Op, SpanEvent, TraceRecorder};
 use crate::FsError;
@@ -53,6 +54,12 @@ pub struct FailoverConfig {
     pub backoff_max: Duration,
     /// Seed for the deterministic backoff jitter.
     pub seed: u64,
+    /// Per-operation retry budget: at most this many *retries* (attempts
+    /// after the first) across all replicas before the op fails with the
+    /// last error; exhaustions are counted in
+    /// `NodeStats::retry_exhausted`. 0 = unlimited (the pre-budget
+    /// behaviour: replicas × attempts_per_replica attempts).
+    pub retry_budget: u32,
 }
 
 impl Default for FailoverConfig {
@@ -64,6 +71,7 @@ impl Default for FailoverConfig {
             backoff_base: Duration::from_millis(1),
             backoff_max: Duration::from_millis(20),
             seed: 0,
+            retry_budget: 8,
         }
     }
 }
@@ -87,14 +95,20 @@ fn mix64(mut z: u64) -> u64 {
 }
 
 /// Backoff before retry number `attempt` (1-based): exponential from
-/// `backoff_base`, capped at `backoff_max`, plus up to 25% deterministic
-/// jitter derived from `(seed, path, attempt)`.
-fn backoff_delay(cfg: &FailoverConfig, path: &str, attempt: u32) -> Duration {
+/// `base`, capped at `max`, plus up to 25% deterministic jitter derived
+/// from `(seed, path, attempt)`. Shared by the replica-failover and the
+/// QoS-admission retry loops.
+fn seeded_backoff(base: Duration, max: Duration, seed: u64, path: &str, attempt: u32) -> Duration {
     let shift = (attempt.saturating_sub(1)).min(20);
-    let exp = cfg.backoff_base.saturating_mul(1u32 << shift);
-    let capped = exp.min(cfg.backoff_max);
-    let h = mix64(cfg.seed ^ fnv64(path) ^ u64::from(attempt));
+    let exp = base.saturating_mul(1u32 << shift);
+    let capped = exp.min(max);
+    let h = mix64(seed ^ fnv64(path) ^ u64::from(attempt));
     capped + capped.mul_f64((h % 1024) as f64 / 4096.0)
+}
+
+/// [`seeded_backoff`] parameterised by a [`FailoverConfig`].
+fn backoff_delay(cfg: &FailoverConfig, path: &str, attempt: u32) -> Duration {
+    seeded_backoff(cfg.backoff_base, cfg.backoff_max, cfg.seed, path, attempt)
 }
 
 /// Seek origin for [`FsClient::lseek`].
@@ -224,6 +238,21 @@ pub enum RawEntry {
     },
 }
 
+/// Client-side QoS state for one tenant: the shared policy, the tenant's
+/// admission bucket (absent when admission is disabled for it) and the
+/// per-tenant instrument handles.
+struct QosState {
+    policy: Arc<QosPolicy>,
+    tenant: TenantId,
+    /// Token bucket admitting this tenant's read operations. `None` when
+    /// the tenant has no quota or `burst == 0` — admission disabled, the
+    /// op is always admitted (but still counted).
+    bucket: Option<TokenBucket>,
+    admitted: Arc<Counter>,
+    throttled: Arc<Counter>,
+    latency: Arc<Histogram>,
+}
+
 /// A POSIX-style handle onto the FanStore namespace for one process (one
 /// training I/O thread can clone its own).
 pub struct FsClient {
@@ -234,6 +263,7 @@ pub struct FsClient {
     trace: Option<Arc<TraceRecorder>>,
     failover: Option<FailoverConfig>,
     read_through: Option<Arc<dyn Backend>>,
+    qos: Option<QosState>,
     metrics: ClientMetrics,
     /// Whether per-op timing is worth taking (metrics enabled; spans
     /// additionally need an attached trace).
@@ -254,6 +284,7 @@ impl FsClient {
             trace: None,
             failover: None,
             read_through: None,
+            qos: None,
             metrics,
             timed,
         }
@@ -281,9 +312,123 @@ impl FsClient {
         self
     }
 
+    /// Attach a QoS policy and identify this client as `tenant`: read
+    /// operations pass token-bucket admission (surfacing
+    /// [`FsError::Throttled`] after the policy's backoff retries), carry
+    /// the tenant id and an absolute deadline on every rpc envelope, and
+    /// record under `qos.tenant.<id>.*`. The tenant's quota is snapshot
+    /// into `qos.tenant.<id>.quota.*` gauges.
+    pub fn with_qos(mut self, policy: Arc<QosPolicy>, tenant: TenantId) -> Self {
+        let m = &self.state.metrics;
+        let bucket = policy
+            .quota(tenant)
+            .filter(|q| q.burst > 0)
+            .map(|q| TokenBucket::new(q.rate_per_s, q.burst));
+        if let Some(q) = policy.quota(tenant) {
+            m.gauge(&format!("qos.tenant.{tenant}.quota.burst")).set(u64::from(q.burst));
+            m.gauge(&format!("qos.tenant.{tenant}.quota.weight")).set(u64::from(q.weight.max(1)));
+            m.gauge(&format!("qos.tenant.{tenant}.quota.rate_per_s")).set(q.rate_per_s as u64);
+        }
+        self.qos = Some(QosState {
+            bucket,
+            admitted: m.counter(&format!("qos.tenant.{tenant}.admitted")),
+            throttled: m.counter(&format!("qos.tenant.{tenant}.throttled")),
+            latency: m.histogram(&format!("qos.tenant.{tenant}.latency_us")),
+            policy,
+            tenant,
+        });
+        self
+    }
+
+    /// A sibling client for `tenant` over the same node state, service
+    /// channel, trace, failover and read-through configuration — how a
+    /// process serving several training jobs gives each its own tenant
+    /// identity (and its own admission bucket).
+    pub fn fork_tenant(&self, tenant: TenantId) -> FsClient {
+        let mut c = FsClient::new(Arc::clone(&self.state), self.service.clone());
+        if let Some(t) = &self.trace {
+            c = c.with_trace(Arc::clone(t));
+        }
+        if let Some(f) = &self.failover {
+            c = c.with_failover(f.clone());
+        }
+        if let Some(b) = &self.read_through {
+            c = c.with_read_through(Arc::clone(b));
+        }
+        if let Some(q) = &self.qos {
+            c = c.with_qos(Arc::clone(&q.policy), tenant);
+        }
+        c
+    }
+
+    /// The tenant this client's operations are accounted to (0 without a
+    /// QoS policy).
+    pub fn tenant(&self) -> TenantId {
+        self.qos.as_ref().map_or(0, |q| q.tenant)
+    }
+
     /// The attached trace recorder, if any.
     pub fn trace(&self) -> Option<&Arc<TraceRecorder>> {
         self.trace.as_ref()
+    }
+
+    /// Token-bucket admission for one read operation. Without a QoS
+    /// policy (or for a tenant with no bucket) every op is admitted; with
+    /// one, a refused op retries under seeded backoff
+    /// (`policy.throttle_retries` times) and then surfaces as
+    /// [`FsError::Throttled`].
+    fn admit(&self, path: &str) -> Result<(), FsError> {
+        let Some(q) = &self.qos else { return Ok(()) };
+        let Some(bucket) = &q.bucket else {
+            q.admitted.inc();
+            return Ok(());
+        };
+        let retries = q.policy.throttle_retries;
+        for attempt in 0..=retries {
+            if bucket.try_admit(now_us()) {
+                q.admitted.inc();
+                return Ok(());
+            }
+            if attempt < retries {
+                std::thread::sleep(seeded_backoff(
+                    q.policy.backoff_base,
+                    q.policy.backoff_max,
+                    q.policy.seed,
+                    path,
+                    attempt + 1,
+                ));
+            }
+        }
+        q.throttled.inc();
+        self.state.stats.throttled_ops.inc();
+        Err(FsError::Throttled(format!("tenant {}: {path}", q.tenant)))
+    }
+
+    /// The absolute deadline (µs on the shared monotonic clock) to stamp
+    /// on this operation's rpcs: the tenant's `op_deadline` when set, else
+    /// the failover `rpc_timeout` when the policy derives deadlines from
+    /// it. 0 = no deadline (also without a QoS policy — the pre-QoS
+    /// envelope, so the daemon never sheds legacy traffic).
+    fn op_deadline_us(&self) -> u64 {
+        let Some(q) = &self.qos else { return 0 };
+        let d = match q.policy.quota(q.tenant).and_then(|t| t.op_deadline) {
+            Some(d) => d,
+            None => {
+                if !q.policy.deadline_from_timeout {
+                    return 0;
+                }
+                match &self.failover {
+                    Some(c) => c.rpc_timeout,
+                    None => return 0,
+                }
+            }
+        };
+        now_us().saturating_add(d.as_micros() as u64).max(1)
+    }
+
+    /// The rpc envelope meta for one request leg.
+    fn rpc_meta(&self, request: u64, deadline_us: u64) -> RpcMeta {
+        RpcMeta { request_id: request, tenant: self.tenant(), deadline_us }
     }
 
     #[inline]
@@ -355,18 +500,29 @@ impl FsClient {
     /// its latency lands in `client.get.latency_us`, and a `client.get`
     /// span (plus per-stage children) is recorded.
     fn fetch(&self, path: &str) -> Result<Arc<Vec<u8>>, FsError> {
+        self.admit(path)?;
+        let deadline = self.op_deadline_us();
         if !self.timed {
-            return self.fetch_inner(path, 0);
+            return self.fetch_inner(path, 0, deadline);
         }
         let request = self.state.next_request_id();
         let start = now_us();
-        let out = self.fetch_inner(path, request);
-        self.metrics.get_latency.record(now_us().saturating_sub(start));
+        let out = self.fetch_inner(path, request, deadline);
+        let elapsed = now_us().saturating_sub(start);
+        self.metrics.get_latency.record(elapsed);
+        if let Some(q) = &self.qos {
+            q.latency.record(elapsed);
+        }
         self.span(request, "client.get", start);
         out
     }
 
-    fn fetch_inner(&self, path: &str, request: u64) -> Result<Arc<Vec<u8>>, FsError> {
+    fn fetch_inner(
+        &self,
+        path: &str,
+        request: u64,
+        deadline_us: u64,
+    ) -> Result<Arc<Vec<u8>>, FsError> {
         if let Some(local) = self.state.open_local(path)? {
             return Ok(local);
         }
@@ -378,7 +534,7 @@ impl FsClient {
             // but the local backend came up empty.
             FsError::NotFound(path.to_string())
         } else {
-            match self.fetch_remote(path, owner, request) {
+            match self.fetch_remote(path, owner, request, deadline_us) {
                 Ok(plain) => {
                     self.sync_fabric_gauges();
                     return Ok(self.state.cache.insert(path, Arc::new(plain)));
@@ -419,26 +575,34 @@ impl FsClient {
         replica: usize,
         timeout: Option<Duration>,
         request: u64,
+        deadline_us: u64,
     ) -> Result<Vec<u8>, FsError> {
         let payload = path.as_bytes().to_vec();
         let rpc_start = if self.timed { now_us() } else { 0 };
-        let reply = self
-            .service
-            .rpc_with_id(replica, tags::GET, payload, timeout, request)
-            .map_err(|e| match e {
-                // A dead peer surfaces as a dropped conduit (blackholed
-                // request) or an elapsed deadline; both mean "unreachable".
-                CommError::Timeout | CommError::Disconnected => {
-                    FsError::Timeout(format!("GET {path} from rank {replica}"))
+        let meta = self.rpc_meta(request, deadline_us);
+        let reply =
+            self.service.rpc_with_meta(replica, tags::GET, payload, timeout, meta).map_err(|e| {
+                match e {
+                    // A dead peer surfaces as a dropped conduit (blackholed
+                    // request) or an elapsed deadline; both mean "unreachable".
+                    CommError::Timeout | CommError::Disconnected => {
+                        FsError::Timeout(format!("GET {path} from rank {replica}"))
+                    }
+                    other => FsError::Comm(other.to_string()),
                 }
-                other => FsError::Comm(other.to_string()),
             });
         if self.timed {
             self.metrics.rpc_latency.record(now_us().saturating_sub(rpc_start));
             self.span(request, "fabric.rpc", rpc_start);
         }
         let reply = reply?;
-        let (codec, stat, compressed) = decode_get_reply(&reply)?;
+        let decoded = decode_get_reply(&reply);
+        if let Err(FsError::Shed(_)) = &decoded {
+            // The daemon answered SHED: deadline unmeetable or queue
+            // full. Retryable — the caller walks replicas / read-through.
+            self.state.stats.shed_replies.inc();
+        }
+        let (codec, stat, compressed) = decoded?;
         self.state.stats.remote_opens.inc();
         self.state.stats.remote_bytes.add(compressed.len() as u64);
         let dec_start = if self.timed { now_us() } else { 0 };
@@ -452,10 +616,25 @@ impl FsClient {
     /// Remote fetch with replica failover. Without a [`FailoverConfig`]
     /// this is a single rpc to the owner (the pre-recovery behaviour);
     /// with one, failed attempts walk the owner's ring replicas under
-    /// backoff, counting every recovery action in the node stats.
-    fn fetch_remote(&self, path: &str, owner: usize, request: u64) -> Result<Vec<u8>, FsError> {
+    /// backoff, counting every recovery action in the node stats. Two
+    /// budgets bound the walk: `cfg.retry_budget` caps total retries per
+    /// op, and `deadline_us` (when nonzero) stops the walk — and clamps
+    /// each attempt's timeout — once the operation's deadline passes, so
+    /// a degraded batch cannot spend a fresh full timeout per entry.
+    fn fetch_remote(
+        &self,
+        path: &str,
+        owner: usize,
+        request: u64,
+        deadline_us: u64,
+    ) -> Result<Vec<u8>, FsError> {
+        if deadline_us != 0 && now_us() >= deadline_us {
+            // Expired before the first send: the daemon would shed it
+            // anyway; skip the round trip (read-through still applies).
+            return Err(FsError::Shed(format!("{path}: deadline exhausted before send")));
+        }
         let Some(cfg) = &self.failover else {
-            return self.try_get(path, owner, None, request);
+            return self.try_get(path, owner, None, request, deadline_us);
         };
         let replicas: Vec<usize> = replicas_of(owner, self.state.size, cfg.replica_rounds)
             .into_iter()
@@ -466,11 +645,25 @@ impl FsClient {
         for &replica in &replicas {
             for _ in 0..cfg.attempts_per_replica.max(1) {
                 if attempt > 0 {
+                    if cfg.retry_budget > 0 && attempt > cfg.retry_budget {
+                        self.state.stats.retry_exhausted.inc();
+                        return Err(last);
+                    }
                     std::thread::sleep(backoff_delay(cfg, path, attempt));
                     self.metrics.rpc_retries.inc();
                 }
                 attempt += 1;
-                match self.try_get(path, replica, Some(cfg.rpc_timeout), request) {
+                // Charge the attempt against the op deadline: never wait
+                // past it, and stop retrying once it has passed.
+                let mut timeout = cfg.rpc_timeout;
+                if deadline_us != 0 {
+                    let rem = deadline_us.saturating_sub(now_us());
+                    if rem == 0 {
+                        return Err(FsError::Shed(format!("{path}: deadline exhausted")));
+                    }
+                    timeout = timeout.min(Duration::from_micros(rem));
+                }
+                match self.try_get(path, replica, Some(timeout), request, deadline_us) {
                     Ok(plain) => {
                         if attempt > 1 {
                             // The read needed recovery: a retry or a
@@ -521,6 +714,15 @@ impl FsClient {
         if n == 0 {
             return Vec::new();
         }
+        // Admission: one token per batch. A refused batch fails whole —
+        // every entry carries the Throttled error.
+        if let Err(e) = self.admit(&paths[0]) {
+            return paths.iter().map(|_| Err(e.clone())).collect();
+        }
+        // One deadline covers the whole batch: the GET_MANY rpcs and every
+        // per-entry fallback fetch are charged against it, so a degraded
+        // batch is bounded by one budget instead of one per entry.
+        let deadline_us = self.op_deadline_us();
         let timed = self.timed;
         let request = if timed { self.state.next_request_id() } else { 0 };
         let start = if timed { now_us() } else { 0 };
@@ -572,33 +774,42 @@ impl FsClient {
                 let chunk_paths: Vec<&str> = chunk.iter().map(|&i| paths[i].as_str()).collect();
                 let payload = encode_get_many_request(&chunk_paths);
                 let rpc_start = if timed { now_us() } else { 0 };
+                let meta = self.rpc_meta(request, deadline_us);
                 let reply =
-                    self.service.rpc_with_id(rank, tags::GET_MANY, payload, timeout, request);
+                    self.service.rpc_with_meta(rank, tags::GET_MANY, payload, timeout, meta);
                 if timed {
                     self.metrics.rpc_latency.record(now_us().saturating_sub(rpc_start));
                     self.span(request, "fabric.rpc", rpc_start);
                 }
                 match reply {
                     Ok(reply) => {
-                        if let Ok(entries) = decode_get_many_reply(&reply, chunk.len()) {
-                            for (&slot, entry) in chunk.iter().zip(entries) {
-                                match entry {
-                                    Ok((codec, stat, bytes)) => {
-                                        self.state.stats.remote_opens.inc();
-                                        self.state.stats.remote_bytes.add(bytes.len() as u64);
-                                        out[slot] = Some(Ok(RawEntry::Packed {
-                                            codec,
-                                            size: stat.size as usize,
-                                            bytes: Arc::new(bytes),
-                                            request,
-                                        }));
+                        match decode_get_many_reply(&reply, chunk.len()) {
+                            Ok(entries) => {
+                                for (&slot, entry) in chunk.iter().zip(entries) {
+                                    match entry {
+                                        Ok((codec, stat, bytes)) => {
+                                            self.state.stats.remote_opens.inc();
+                                            self.state.stats.remote_bytes.add(bytes.len() as u64);
+                                            out[slot] = Some(Ok(RawEntry::Packed {
+                                                codec,
+                                                size: stat.size as usize,
+                                                bytes: Arc::new(bytes),
+                                                request,
+                                            }));
+                                        }
+                                        Err(FsError::Corrupt(_)) => {
+                                            self.state.stats.crc_failures.inc();
+                                        }
+                                        Err(_) => {}
                                     }
-                                    Err(FsError::Corrupt(_)) => {
-                                        self.state.stats.crc_failures.inc();
-                                    }
-                                    Err(_) => {}
                                 }
                             }
+                            Err(FsError::Shed(_)) => {
+                                // The daemon shed the whole batch rpc; all
+                                // its slots go to the fallback pass.
+                                self.state.stats.shed_replies.inc();
+                            }
+                            Err(_) => {}
                         }
                     }
                     Err(CommError::Timeout | CommError::Disconnected) => {
@@ -609,15 +820,22 @@ impl FsClient {
             }
         }
         // Fallback pass: per-entry replica failover through the
-        // single-GET machinery, under the same batch request id.
+        // single-GET machinery, under the same batch request id and —
+        // crucially — the same batch deadline (a fresh full timeout per
+        // degraded entry would let a MAX_BATCH batch take 128× budget).
         for (i, slot) in out.iter_mut().enumerate() {
             if slot.is_none() {
                 self.metrics.get_many_fallbacks.inc();
-                *slot = Some(self.fetch_inner(&paths[i], request).map(RawEntry::Ready));
+                *slot =
+                    Some(self.fetch_inner(&paths[i], request, deadline_us).map(RawEntry::Ready));
             }
         }
         if timed {
-            self.metrics.get_many_latency.record(now_us().saturating_sub(start));
+            let elapsed = now_us().saturating_sub(start);
+            self.metrics.get_many_latency.record(elapsed);
+            if let Some(q) = &self.qos {
+                q.latency.record(elapsed);
+            }
             self.span(request, "client.get_many", start);
         }
         self.metrics.get_many_batches.inc();

@@ -14,9 +14,10 @@ use mpi_sim::{launch, launch_with_faults, FaultPlan, NodeCtx, Tag};
 use crate::backend::{Backend, BackendKind, RamBackend};
 use crate::cache::CacheConfig;
 use crate::client::{FailoverConfig, FsClient};
-use crate::daemon::{serve_traced, tags};
+use crate::daemon::{serve_qos, tags};
 use crate::metrics::MetricsRegistry;
 use crate::node::{LocalObject, NodeState};
+use crate::qos::QosPolicy;
 use crate::trace::TraceRecorder;
 
 /// Ring-transfer tag namespace on the control channel.
@@ -68,6 +69,12 @@ pub struct ClusterConfig {
     /// histograms). On by default; turn off to benchmark the raw path —
     /// disabled instruments are a single branch per record.
     pub metrics: bool,
+    /// Multi-tenant QoS policy (admission control, weighted-fair daemon
+    /// scheduling, deadline shedding). `None` (default) keeps the pre-QoS
+    /// behaviour exactly: strict-FIFO daemons, no deadlines, no
+    /// throttling. The closure's client runs as tenant 0; fork siblings
+    /// with [`FsClient::fork_tenant`].
+    pub qos: Option<QosPolicy>,
 }
 
 impl Default for ClusterConfig {
@@ -84,6 +91,7 @@ impl Default for ClusterConfig {
             failover: None,
             read_through: false,
             metrics: true,
+            qos: None,
         }
     }
 }
@@ -168,6 +176,7 @@ impl FanStore {
         let backend_kind = cfg.backend.clone();
         let trace_ring = cfg.trace_ring;
         let metrics_on = cfg.metrics;
+        let qos = cfg.qos.clone().map(Arc::new);
         let f = &f;
 
         let node_body = move |mut ctx: NodeCtx| {
@@ -231,8 +240,10 @@ impl FanStore {
             let daemon_state = Arc::clone(&state);
             let trace = (trace_ring > 0).then(|| Arc::new(TraceRecorder::new(trace_ring)));
             let daemon_trace = trace.clone();
+            let daemon_qos = qos.clone();
             let result = std::thread::scope(|scope| {
-                let daemon = scope.spawn(move || serve_traced(daemon_state, service, daemon_trace));
+                let daemon =
+                    scope.spawn(move || serve_qos(daemon_state, service, daemon_trace, daemon_qos));
                 let mut client = FsClient::new(Arc::clone(&state), service_remote.clone());
                 if let Some(t) = &trace {
                     client = client.with_trace(Arc::clone(t));
@@ -242,6 +253,9 @@ impl FanStore {
                 }
                 if let Some(rt) = &read_through {
                     client = client.with_read_through(Arc::clone(rt));
+                }
+                if let Some(q) = &qos {
+                    client = client.with_qos(Arc::clone(q), 0);
                 }
 
                 // Catch panics from the user closure so the daemon still

@@ -14,6 +14,7 @@
 //!   and forwards its metadata to this rank (§V-D).
 //! * **SHUTDOWN** — terminate the loop.
 
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
 
 use fanstore_compress::crc32::crc32;
@@ -22,6 +23,7 @@ use mpi_sim::{Channel, Message};
 use crate::meta::encode_single;
 use crate::metrics::now_us;
 use crate::node::{LocalObject, NodeState};
+use crate::qos::QosPolicy;
 use crate::stat::{FileStat, STAT_SIZE};
 use crate::trace::{Op, SpanEvent, TraceRecorder};
 use crate::FsError;
@@ -61,6 +63,11 @@ pub mod status {
     pub const NOT_FOUND: u8 = 1;
     /// Request malformed.
     pub const BAD_REQUEST: u8 = 2;
+    /// Request shed by the daemon's QoS scheduler: its deadline had
+    /// expired (or could not cover the estimated service time), or the
+    /// tenant's queue was full. The client treats this as retryable and
+    /// falls over to the next replica / read-through.
+    pub const SHED: u8 = 3;
 }
 
 /// Byte offset of the body (codec + stat + compressed) in a GET reply:
@@ -122,6 +129,7 @@ pub fn decode_get_reply(
         Some(&s) if s == status::NOT_FOUND => {
             return Err(FsError::NotFound("remote: not found".into()))
         }
+        Some(&s) if s == status::SHED => return Err(FsError::Shed("remote: shed".into())),
         _ => return Err(FsError::Comm("malformed GET reply".into())),
     }
     if buf.len() < GET_BODY + 2 + STAT_SIZE {
@@ -190,6 +198,7 @@ pub type GetManyEntry = Result<(fanstore_compress::CodecId, FileStat, Vec<u8>), 
 pub fn decode_get_many_reply(buf: &[u8], expected: usize) -> Result<Vec<GetManyEntry>, FsError> {
     match buf.first() {
         Some(&s) if s == status::OK => {}
+        Some(&s) if s == status::SHED => return Err(FsError::Shed("remote: batch shed".into())),
         _ => return Err(FsError::Comm("malformed GET_MANY reply".into())),
     }
     let count = u32::from_le_bytes(
@@ -261,20 +270,182 @@ pub fn serve(state: Arc<NodeState>, service: Channel) -> u64 {
 /// `stats.reply_failures` and recorded as [`Op::Degraded`] events.
 pub fn serve_traced(
     state: Arc<NodeState>,
+    service: Channel,
+    trace: Option<Arc<TraceRecorder>>,
+) -> u64 {
+    serve_qos(state, service, trace, None)
+}
+
+/// One tenant's service lane in the daemon scheduler: its bounded queue,
+/// DRR bookkeeping, and per-tenant instrument handles (resolved once per
+/// tenant, recorded through `Arc`s on the hot path).
+struct Lane {
+    queue: VecDeque<Message>,
+    weight: u64,
+    deficit: u64,
+    served: Arc<crate::metrics::Counter>,
+    shed: Arc<crate::metrics::Counter>,
+    depth: Arc<crate::metrics::Gauge>,
+}
+
+/// Per-tenant bounded queues drained by deficit round-robin. Without a
+/// policy every message lands in tenant 0's unbounded lane and the drain
+/// order is exactly arrival order — the pre-QoS FIFO, bit for bit.
+struct Scheduler<'a> {
+    state: &'a NodeState,
+    policy: Option<&'a QosPolicy>,
+    lanes: BTreeMap<u32, Lane>,
+    /// Active tenants in visit order; the front lane holds the current
+    /// deficit.
+    rr: VecDeque<u32>,
+    queued: usize,
+}
+
+impl<'a> Scheduler<'a> {
+    fn new(state: &'a NodeState, policy: Option<&'a QosPolicy>) -> Self {
+        Scheduler { state, policy, lanes: BTreeMap::new(), rr: VecDeque::new(), queued: 0 }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.queued == 0
+    }
+
+    /// Queue one arriving message on its tenant's lane; a full lane sheds
+    /// it immediately (SHUTDOWN is never shed).
+    fn enqueue(&mut self, msg: Message) {
+        let tenant = msg.tenant;
+        let lane = self.lanes.entry(tenant).or_insert_with(|| {
+            let m = &self.state.metrics;
+            Lane {
+                queue: VecDeque::new(),
+                weight: self.policy.map_or(1, |p| p.weight(tenant)),
+                deficit: 0,
+                served: m.counter(&format!("qos.tenant.{tenant}.served")),
+                shed: m.counter(&format!("qos.tenant.{tenant}.shed")),
+                depth: m.gauge(&format!("qos.tenant.{tenant}.queue_depth")),
+            }
+        });
+        let depth = self.policy.map_or(0, |p| p.queue_depth);
+        if depth > 0 && lane.queue.len() >= depth && msg.tag != tags::SHUTDOWN {
+            // Count before replying: the requester may act on the SHED
+            // reply immediately, and must find the counters consistent.
+            lane.shed.inc();
+            self.state.stats.daemon_shed.inc();
+            msg.reply(vec![status::SHED]);
+            return;
+        }
+        if lane.queue.is_empty() {
+            self.rr.push_back(tenant);
+        }
+        lane.queue.push_back(msg);
+        lane.depth.set(lane.queue.len() as u64);
+        self.queued += 1;
+    }
+
+    /// Pop the next message under DRR: the front tenant receives its
+    /// weight as quantum on arrival at the head and serves one request
+    /// per unit of deficit; spending it (or draining the lane) rotates
+    /// the tenant to the back of the round.
+    fn next(&mut self) -> Option<(u32, Message)> {
+        while let Some(&tenant) = self.rr.front() {
+            let lane = self.lanes.get_mut(&tenant).expect("active lane exists");
+            if lane.queue.is_empty() {
+                lane.deficit = 0;
+                self.rr.pop_front();
+                continue;
+            }
+            if lane.deficit == 0 {
+                lane.deficit = lane.weight.max(1);
+            }
+            let msg = lane.queue.pop_front().expect("lane non-empty");
+            lane.deficit -= 1;
+            lane.depth.set(lane.queue.len() as u64);
+            self.queued -= 1;
+            let drained = lane.queue.is_empty();
+            if lane.deficit == 0 || drained {
+                lane.deficit = 0;
+                self.rr.pop_front();
+                if !drained {
+                    self.rr.push_back(tenant);
+                }
+            }
+            return Some((tenant, msg));
+        }
+        None
+    }
+
+    /// Count a dispatched request against its tenant.
+    fn count_served(&self, tenant: u32) {
+        if let Some(lane) = self.lanes.get(&tenant) {
+            lane.served.inc();
+        }
+    }
+
+    /// Count a shed request against its tenant (and the node total).
+    fn count_shed(&self, tenant: u32) {
+        if let Some(lane) = self.lanes.get(&tenant) {
+            lane.shed.inc();
+        }
+        self.state.stats.daemon_shed.inc();
+    }
+}
+
+/// How many dispatches between refreshes of the cached service-time
+/// estimate (the `daemon.serve.latency_us` median).
+const EST_REFRESH: u64 = 64;
+
+/// [`serve_traced`] under an optional [`QosPolicy`]: arriving requests
+/// queue per tenant (bounded; overflow is shed), the queues drain by
+/// deficit round-robin instead of strict FIFO, and any request whose
+/// deadline has expired — or whose remaining budget cannot cover the
+/// estimated service time (the serve-latency median) — is answered with
+/// [`status::SHED`] instead of being served. With `policy` `None` the
+/// behaviour is exactly the historical FIFO loop.
+pub fn serve_qos(
+    state: Arc<NodeState>,
     mut service: Channel,
     trace: Option<Arc<TraceRecorder>>,
+    policy: Option<Arc<QosPolicy>>,
 ) -> u64 {
     // Resolve instrument handles once; the loop records through Arcs.
     let serve_latency = state.metrics.histogram("daemon.serve.latency_us");
     let get_bytes = state.metrics.counter("daemon.get.bytes");
     let timed = state.metrics.is_enabled() || trace.is_some();
+    let mut sched = Scheduler::new(&state, policy.as_deref());
     let mut served = 0u64;
-    loop {
-        let msg = match service.recv() {
-            Ok(m) => m,
-            Err(_) => break, // all peers disconnected
-        };
+    // Cached estimate of one request's service time, used by the shed
+    // decision; refreshed from the latency histogram every EST_REFRESH
+    // dispatches (0 until the histogram has data).
+    let mut est_serve_us = 0u64;
+    'daemon: loop {
+        // Admission: block only when nothing is queued, then drain every
+        // message already waiting so the scheduler sees all tenants
+        // before picking.
+        if sched.is_empty() {
+            match service.recv() {
+                Ok(m) => sched.enqueue(m),
+                Err(_) => break, // all peers disconnected
+            }
+        }
+        while let Some(m) = service.try_recv() {
+            sched.enqueue(m);
+        }
+        let Some((tenant, msg)) = sched.next() else { continue };
+        // Deadline shed: the requester stamped an absolute deadline on
+        // the shared monotonic clock. If it already passed — or the
+        // remaining budget can't cover the estimated service time — the
+        // requester would discard the reply anyway; answer SHED instead
+        // of burning the decode.
+        if msg.deadline_us != 0 && msg.tag != tags::SHUTDOWN {
+            let now = now_us();
+            if now >= msg.deadline_us || msg.deadline_us - now < est_serve_us {
+                sched.count_shed(tenant); // count first: see `enqueue`
+                msg.reply(vec![status::SHED]);
+                continue;
+            }
+        }
         served += 1;
+        sched.count_served(tenant);
         let start = if timed { now_us() } else { 0 };
         let shutdown = msg.tag == tags::SHUTDOWN;
         let delivered = match msg.tag {
@@ -292,6 +463,9 @@ pub fn serve_traced(
         };
         if timed && !shutdown {
             serve_latency.record(now_us().saturating_sub(start));
+            if served.is_multiple_of(EST_REFRESH) {
+                est_serve_us = serve_latency.quantile(0.5);
+            }
             // The requester minted the id; stamping it here lets a span
             // tree reassemble the server leg of the request.
             if let Some(t) = &trace {
@@ -311,7 +485,7 @@ pub fn serve_traced(
             }
         }
         if shutdown {
-            break;
+            break 'daemon;
         }
     }
     served

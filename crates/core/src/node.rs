@@ -75,6 +75,19 @@ pub struct NodeStats {
     /// unreachable (the write stays readable from this node)
     /// (`client.meta_forward.failures`).
     pub meta_forward_failures: Arc<Counter>,
+    /// Operations rejected by the tenant's token bucket after the
+    /// admission backoff retries (`client.throttled.ops`).
+    pub throttled_ops: Arc<Counter>,
+    /// SHED replies received from daemons — the server dropped the
+    /// request rather than serve it past its deadline
+    /// (`client.shed.replies`).
+    pub shed_replies: Arc<Counter>,
+    /// Remote fetches that exhausted the per-op retry budget before any
+    /// replica answered (`client.retry.exhausted`).
+    pub retry_exhausted: Arc<Counter>,
+    /// Requests this node's daemon shed — expired deadline, uncoverable
+    /// service estimate, or a full tenant queue (`daemon.shed.requests`).
+    pub daemon_shed: Arc<Counter>,
     /// Plain bytes produced by decode on this node, across every codec
     /// (`client.decompress.bytes`).
     pub decompress_bytes: Arc<Counter>,
@@ -100,6 +113,10 @@ impl NodeStats {
             read_through_reads: registry.counter("client.read_through.reads"),
             reply_failures: registry.counter("daemon.reply.failures"),
             meta_forward_failures: registry.counter("client.meta_forward.failures"),
+            throttled_ops: registry.counter("client.throttled.ops"),
+            shed_replies: registry.counter("client.shed.replies"),
+            retry_exhausted: registry.counter("client.retry.exhausted"),
+            daemon_shed: registry.counter("daemon.shed.requests"),
             decompress_bytes: registry.counter("client.decompress.bytes"),
             decompress_mb_per_s: registry.gauge("client.decompress.mb_per_s"),
         }

@@ -1,0 +1,214 @@
+//! Multi-tenant quality of service: admission control, weighted-fair
+//! serving and deadline-aware load-shedding (see DESIGN.md §7).
+//!
+//! The paper's serving model assumes cooperative readers; under heavy
+//! multi-user traffic one tenant's GetMany storm can starve everyone.
+//! This module holds the policy types shared by the client (token-bucket
+//! admission, deadline stamping) and the daemon (per-tenant bounded
+//! queues drained by deficit round-robin, shedding of requests whose
+//! deadline cannot be met):
+//!
+//! * [`TenantQuota`] — one tenant's admission rate/burst, scheduling
+//!   weight and optional per-op deadline.
+//! * [`QosPolicy`] — the cluster-wide quota map plus queueing/shedding
+//!   knobs; attach via [`crate::cluster::ClusterConfig::qos`].
+//! * [`TokenBucket`] — the admission primitive. The clock is injected
+//!   (`try_admit(now_us)`), so proptests can drive arbitrary schedules
+//!   and seeded runs stay deterministic.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+/// Identifies a tenant (a training job / user sharing the store).
+/// Tenant 0 is the default for untagged traffic.
+pub type TenantId = u32;
+
+/// One tenant's service quota.
+#[derive(Debug, Clone)]
+pub struct TenantQuota {
+    /// Sustained admission rate in operations per second. Refills the
+    /// bucket continuously; 0.0 means no refill (the burst is all the
+    /// tenant ever gets — useful for deterministic tests).
+    pub rate_per_s: f64,
+    /// Bucket depth: the largest burst admitted at once. `0` disables
+    /// admission control for this tenant (weight and deadline still
+    /// apply).
+    pub burst: u32,
+    /// Deficit-round-robin weight: requests served per scheduling round
+    /// relative to other tenants (min 1).
+    pub weight: u32,
+    /// Per-operation deadline stamped on the rpc envelope. `None` derives
+    /// the deadline from the failover `rpc_timeout` (when
+    /// [`QosPolicy::deadline_from_timeout`] is set); `Some(0)` makes
+    /// every request arrive already expired — the daemon sheds it
+    /// deterministically.
+    pub op_deadline: Option<Duration>,
+}
+
+impl Default for TenantQuota {
+    fn default() -> Self {
+        TenantQuota { rate_per_s: 0.0, burst: 0, weight: 1, op_deadline: None }
+    }
+}
+
+/// Cluster-wide QoS policy: per-tenant quotas plus the daemon's queueing
+/// and shedding knobs. Attach via [`crate::cluster::ClusterConfig::qos`];
+/// without a policy the daemon serves strict FIFO and clients stamp no
+/// deadlines — the pre-QoS behaviour, bit for bit.
+#[derive(Debug, Clone, Default)]
+pub struct QosPolicy {
+    /// Quotas by tenant. Tenants without an entry are unlimited
+    /// (no admission control, weight 1, deadline from `rpc_timeout`).
+    pub quotas: BTreeMap<TenantId, TenantQuota>,
+    /// Bound on each tenant's daemon queue; overflowing requests are shed
+    /// immediately. 0 = unbounded.
+    pub queue_depth: usize,
+    /// When a tenant has no explicit `op_deadline`, derive one from the
+    /// client's failover `rpc_timeout` (requests that would time out
+    /// anyway get shed instead of burning daemon CPU).
+    pub deadline_from_timeout: bool,
+    /// Admission retries under seeded backoff before an op surfaces as
+    /// [`crate::FsError::Throttled`].
+    pub throttle_retries: u32,
+    /// Backoff before the first admission retry; doubles per retry.
+    pub backoff_base: Duration,
+    /// Cap on any single admission backoff sleep.
+    pub backoff_max: Duration,
+    /// Seed for the deterministic admission-backoff jitter.
+    pub seed: u64,
+}
+
+impl QosPolicy {
+    /// A policy with sane serving defaults and no quotas: bounded queues,
+    /// deadlines derived from `rpc_timeout`, two admission retries.
+    pub fn new() -> Self {
+        QosPolicy {
+            quotas: BTreeMap::new(),
+            queue_depth: 1024,
+            deadline_from_timeout: true,
+            throttle_retries: 2,
+            backoff_base: Duration::from_micros(200),
+            backoff_max: Duration::from_millis(5),
+            seed: 0,
+        }
+    }
+
+    /// Add or replace `tenant`'s quota (builder style).
+    pub fn with_quota(mut self, tenant: TenantId, quota: TenantQuota) -> Self {
+        self.quotas.insert(tenant, quota);
+        self
+    }
+
+    /// The quota registered for `tenant`, if any.
+    pub fn quota(&self, tenant: TenantId) -> Option<&TenantQuota> {
+        self.quotas.get(&tenant)
+    }
+
+    /// `tenant`'s DRR weight (1 for unknown tenants and zero weights).
+    pub fn weight(&self, tenant: TenantId) -> u64 {
+        self.quota(tenant).map_or(1, |q| u64::from(q.weight.max(1)))
+    }
+}
+
+/// Bucket interior: current tokens and the refill watermark.
+#[derive(Debug)]
+struct BucketState {
+    tokens: f64,
+    last_us: u64,
+}
+
+/// A token bucket with an injected clock: `burst` tokens deep, refilled
+/// at `rate_per_s` tokens per second of *caller-supplied* time. Starting
+/// full, it admits at most `rate·t + burst` operations over any window of
+/// length `t` — the invariant the proptest in `tests/prop_qos.rs` drives.
+#[derive(Debug)]
+pub struct TokenBucket {
+    rate_per_us: f64,
+    burst: f64,
+    inner: Mutex<BucketState>,
+}
+
+impl TokenBucket {
+    /// A full bucket admitting bursts of `burst` and refilling at
+    /// `rate_per_s` ops/second. `burst == 0` admits nothing — callers
+    /// treat it as "admission disabled" before constructing a bucket.
+    pub fn new(rate_per_s: f64, burst: u32) -> Self {
+        TokenBucket {
+            rate_per_us: (rate_per_s / 1e6).max(0.0),
+            burst: f64::from(burst),
+            inner: Mutex::new(BucketState { tokens: f64::from(burst), last_us: 0 }),
+        }
+    }
+
+    /// Try to admit one operation at time `now_us` (microseconds on any
+    /// monotone clock). Refills first, then spends one token if
+    /// available. Time moving backwards refills nothing (the clock is
+    /// monotone in production; proptests may repeat instants).
+    pub fn try_admit(&self, now_us: u64) -> bool {
+        let mut s = self.inner.lock();
+        if now_us > s.last_us {
+            let dt = (now_us - s.last_us) as f64;
+            s.tokens = (s.tokens + dt * self.rate_per_us).min(self.burst);
+            s.last_us = now_us;
+        }
+        if s.tokens >= 1.0 {
+            s.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_admits_burst_then_refuses_without_refill() {
+        // rate 0: the initial burst is all there is.
+        let b = TokenBucket::new(0.0, 3);
+        let t = 1000u64;
+        assert!(b.try_admit(t));
+        assert!(b.try_admit(t));
+        assert!(b.try_admit(t));
+        assert!(!b.try_admit(t));
+        assert!(!b.try_admit(t + 10_000_000), "rate 0 never refills");
+    }
+
+    #[test]
+    fn bucket_refills_at_rate() {
+        // 2 ops/s, burst 1: drain it, then one token every 500 ms.
+        let b = TokenBucket::new(2.0, 1);
+        assert!(b.try_admit(0));
+        assert!(!b.try_admit(100_000), "100 ms: only 0.2 tokens back");
+        assert!(b.try_admit(600_000), "600 ms: refilled past 1 token");
+        assert!(!b.try_admit(600_001), "just spent it");
+    }
+
+    #[test]
+    fn bucket_caps_refill_at_burst() {
+        let b = TokenBucket::new(1000.0, 2);
+        // A long idle period must not bank more than `burst` tokens.
+        assert!(b.try_admit(60_000_000));
+        assert!(b.try_admit(60_000_000));
+        assert!(!b.try_admit(60_000_000));
+    }
+
+    #[test]
+    fn zero_burst_admits_nothing() {
+        let b = TokenBucket::new(1000.0, 0);
+        assert!(!b.try_admit(1_000_000));
+    }
+
+    #[test]
+    fn policy_weight_defaults_to_one() {
+        let p = QosPolicy::new().with_quota(3, TenantQuota { weight: 8, ..TenantQuota::default() });
+        assert_eq!(p.weight(3), 8);
+        assert_eq!(p.weight(7), 1, "unknown tenants weigh 1");
+        let zero = p.clone().with_quota(4, TenantQuota { weight: 0, ..TenantQuota::default() });
+        assert_eq!(zero.weight(4), 1, "zero weight clamps to 1");
+    }
+}

@@ -43,6 +43,30 @@ pub type Tag = u64;
 /// Tags at or above this value are reserved for collective operations.
 pub const COLLECTIVE_TAG_BASE: Tag = 1 << 60;
 
+/// Request-scoped metadata riding the rpc envelope alongside the payload:
+/// the trace request id, the requesting tenant, and an absolute deadline.
+/// All three default to 0 ("untraced, tenant 0, no deadline") on plain
+/// sends and the legacy rpc variants.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct RpcMeta {
+    /// Request id for request-scoped tracing (0 = untraced).
+    pub request_id: u64,
+    /// Requesting tenant (0 = the default tenant). The serving side may
+    /// queue and schedule per tenant.
+    pub tenant: u32,
+    /// Absolute deadline on the requester's monotonic microsecond clock
+    /// (0 = none). Carried opaquely; a server sharing the clock can shed
+    /// requests whose deadline has already passed.
+    pub deadline_us: u64,
+}
+
+impl RpcMeta {
+    /// Meta carrying only a request id (the `*_with_id` behaviour).
+    pub fn with_id(request_id: u64) -> Self {
+        RpcMeta { request_id, ..RpcMeta::default() }
+    }
+}
+
 /// A point-to-point message.
 pub struct Message {
     /// Sending rank.
@@ -53,6 +77,13 @@ pub struct Message {
     /// traced request). Set by the `*_with_id` rpc variants; the serving
     /// side stamps it onto the spans it records.
     pub request_id: u64,
+    /// Requesting tenant (0 = default). Stamped by
+    /// [`Channel::rpc_with_meta`]; servers may schedule per tenant.
+    pub tenant: u32,
+    /// Absolute deadline in microseconds on the requester's monotonic
+    /// clock (0 = none); servers sharing the clock may shed expired
+    /// requests.
+    pub deadline_us: u64,
     /// Payload bytes.
     pub payload: Vec<u8>,
     /// Reply conduit set by [`Channel::rpc`]; a daemon answers with
@@ -172,8 +203,16 @@ impl Channel {
             // the send "succeeds" and nothing arrives.
             return Ok(());
         }
-        tx.send(Message { src: self.rank, tag, request_id: 0, payload, reply: None })
-            .map_err(|_| CommError::Disconnected)
+        tx.send(Message {
+            src: self.rank,
+            tag,
+            request_id: 0,
+            tenant: 0,
+            deadline_us: 0,
+            payload,
+            reply: None,
+        })
+        .map_err(|_| CommError::Disconnected)
     }
 
     /// Blocking receive of the next message in arrival order (pending
@@ -255,6 +294,19 @@ impl Channel {
         timeout: Option<Duration>,
         request_id: u64,
     ) -> Result<Vec<u8>, CommError> {
+        self.rpc_with_meta(dest, tag, payload, timeout, RpcMeta::with_id(request_id))
+    }
+
+    /// Fully-general rpc carrying the whole [`RpcMeta`] envelope (request
+    /// id, tenant, absolute deadline) alongside the payload.
+    pub fn rpc_with_meta(
+        &self,
+        dest: usize,
+        tag: Tag,
+        payload: Vec<u8>,
+        timeout: Option<Duration>,
+        meta: RpcMeta,
+    ) -> Result<Vec<u8>, CommError> {
         rpc_inner(
             &self.senders,
             &self.stats,
@@ -265,7 +317,7 @@ impl Channel {
             tag,
             payload,
             timeout,
-            request_id,
+            meta,
         )
     }
 
@@ -451,7 +503,7 @@ fn rpc_inner(
     tag: Tag,
     mut payload: Vec<u8>,
     timeout: Option<Duration>,
-    request_id: u64,
+    meta: RpcMeta,
 ) -> Result<Vec<u8>, CommError> {
     let tx = senders.get(dest).ok_or(CommError::InvalidRank(dest))?;
     let (rtx, rrx) = unbounded();
@@ -459,8 +511,16 @@ fn rpc_inner(
     stats.msgs_sent.fetch_add(1, Ordering::Relaxed);
     let deadline = timeout.map(|t| Instant::now() + t);
     if apply_send_faults(injector, channel, rank, dest, tag, &mut payload) {
-        tx.send(Message { src: rank, tag, request_id, payload, reply: Some(rtx) })
-            .map_err(|_| CommError::Disconnected)?;
+        tx.send(Message {
+            src: rank,
+            tag,
+            request_id: meta.request_id,
+            tenant: meta.tenant,
+            deadline_us: meta.deadline_us,
+            payload,
+            reply: Some(rtx),
+        })
+        .map_err(|_| CommError::Disconnected)?;
     } else {
         // A faulted request never reaches the daemon. Drop the reply
         // conduit NOW so the recv below observes a disconnect — the
@@ -529,8 +589,16 @@ impl RemoteSender {
         ) {
             return Ok(());
         }
-        tx.send(Message { src: self.rank, tag, request_id: 0, payload, reply: None })
-            .map_err(|_| CommError::Disconnected)
+        tx.send(Message {
+            src: self.rank,
+            tag,
+            request_id: 0,
+            tenant: 0,
+            deadline_us: 0,
+            payload,
+            reply: None,
+        })
+        .map_err(|_| CommError::Disconnected)
     }
 
     /// Request/reply against the daemon loop that owns `dest`'s receiving
@@ -563,6 +631,19 @@ impl RemoteSender {
         timeout: Option<Duration>,
         request_id: u64,
     ) -> Result<Vec<u8>, CommError> {
+        self.rpc_with_meta(dest, tag, payload, timeout, RpcMeta::with_id(request_id))
+    }
+
+    /// Fully-general rpc carrying the whole [`RpcMeta`] envelope (request
+    /// id, tenant, absolute deadline) alongside the payload.
+    pub fn rpc_with_meta(
+        &self,
+        dest: usize,
+        tag: Tag,
+        payload: Vec<u8>,
+        timeout: Option<Duration>,
+        meta: RpcMeta,
+    ) -> Result<Vec<u8>, CommError> {
         rpc_inner(
             &self.senders,
             &self.stats,
@@ -573,7 +654,7 @@ impl RemoteSender {
             tag,
             payload,
             timeout,
-            request_id,
+            meta,
         )
     }
 }
@@ -899,6 +980,32 @@ mod tests {
             }
         });
         assert_eq!(results[0], (0xBEEF, 0));
+    }
+
+    #[test]
+    fn rpc_meta_rides_the_envelope() {
+        // Tenant and deadline travel opaquely with the request; plain
+        // sends and the id-only variant leave them at their defaults.
+        let results = launch(2, 1, |mut ctx| {
+            if ctx.rank == 0 {
+                let mut service = ctx.take_channel(0);
+                let m = service.recv().unwrap();
+                let tagged = (m.request_id, m.tenant, m.deadline_us);
+                m.reply(Vec::new());
+                let legacy = service.recv().unwrap();
+                let plain = (legacy.request_id, legacy.tenant, legacy.deadline_us);
+                legacy.reply(Vec::new());
+                (tagged, plain)
+            } else {
+                let ch = ctx.take_channel(0);
+                let meta = RpcMeta { request_id: 0xBEEF, tenant: 7, deadline_us: 1_234_567 };
+                ch.rpc_with_meta(0, 1, vec![1], None, meta).unwrap();
+                ch.rpc_with_id(0, 2, vec![2], None, 0xF00D).unwrap();
+                ((0, 0, 0), (0, 0, 0))
+            }
+        });
+        assert_eq!(results[0].0, (0xBEEF, 7, 1_234_567));
+        assert_eq!(results[0].1, (0xF00D, 0, 0));
     }
 
     #[test]

@@ -29,11 +29,16 @@ pub struct PrefetchConfig {
     /// single-GET path — the baseline the `batch_fetch` experiment
     /// measures against.
     pub rpc_batch: usize,
+    /// QoS tenant this pipeline's reads are accounted to. When it differs
+    /// from the client's own tenant, the epoch runs on a forked sibling
+    /// client ([`FsClient::fork_tenant`]) so several training jobs in one
+    /// process each get their own admission bucket and fair-share lane.
+    pub tenant: u32,
 }
 
 impl Default for PrefetchConfig {
     fn default() -> Self {
-        PrefetchConfig { io_threads: 4, queue_batches: 2, batch_size: 32, rpc_batch: 0 }
+        PrefetchConfig { io_threads: 4, queue_batches: 2, batch_size: 32, rpc_batch: 0, tenant: 0 }
     }
 }
 
@@ -66,6 +71,16 @@ where
     if paths.is_empty() {
         return Ok(0);
     }
+    // Account the epoch to the configured tenant: fork a sibling client
+    // when it differs from the caller's (fork carries the QoS policy, so
+    // without one this is the identity tenant 0 either way).
+    let forked;
+    let fs = if cfg.tenant != fs.tenant() {
+        forked = fs.fork_tenant(cfg.tenant);
+        &forked
+    } else {
+        fs
+    };
     let batch = cfg.batch_size.max(1);
     let rpc_batch = if cfg.rpc_batch == 0 { batch } else { cfg.rpc_batch };
     let capacity = (cfg.queue_batches.max(1) * batch).max(1);
@@ -157,8 +172,13 @@ mod tests {
             packed.partitions,
             |fs| {
                 let paths: Vec<String> = files.iter().map(|(p, _)| p.clone()).collect();
-                let cfg =
-                    PrefetchConfig { io_threads: 3, queue_batches: 2, batch_size: 4, rpc_batch: 0 };
+                let cfg = PrefetchConfig {
+                    io_threads: 3,
+                    queue_batches: 2,
+                    batch_size: 4,
+                    rpc_batch: 0,
+                    tenant: 0,
+                };
                 let mut batches = 0usize;
                 let mut seen = std::collections::HashSet::new();
                 let total = prefetched_epoch(fs, &paths, &cfg, |batch| {
@@ -184,8 +204,13 @@ mod tests {
         let packed = prepare(files.clone(), &PrepConfig::default());
         FanStore::run(ClusterConfig::default(), packed.partitions, |fs| {
             let paths: Vec<String> = files.iter().map(|(p, _)| p.clone()).collect();
-            let cfg =
-                PrefetchConfig { io_threads: 2, queue_batches: 1, batch_size: 4, rpc_batch: 0 };
+            let cfg = PrefetchConfig {
+                io_threads: 2,
+                queue_batches: 1,
+                batch_size: 4,
+                rpc_batch: 0,
+                tenant: 0,
+            };
             let mut collected: Vec<(usize, Vec<u8>)> = Vec::new();
             prefetched_epoch(fs, &paths, &cfg, |batch| {
                 for f in batch {
@@ -219,6 +244,7 @@ mod tests {
                         queue_batches: 2,
                         batch_size: 5,
                         rpc_batch,
+                        tenant: 0,
                     };
                     let mut collected: Vec<(usize, Vec<u8>)> = Vec::new();
                     prefetched_epoch(fs, &paths, &cfg, |batch| {
@@ -253,8 +279,13 @@ mod tests {
             packed.partitions,
             |fs| {
                 let paths: Vec<String> = files.iter().map(|(p, _)| p.clone()).collect();
-                let cfg =
-                    PrefetchConfig { io_threads: 3, queue_batches: 2, batch_size: 6, rpc_batch: 0 };
+                let cfg = PrefetchConfig {
+                    io_threads: 3,
+                    queue_batches: 2,
+                    batch_size: 6,
+                    rpc_batch: 0,
+                    tenant: 0,
+                };
                 prefetched_epoch(fs, &paths, &cfg, |_| {}).unwrap();
                 // Seed the pool up to the pipeline's peak in-flight demand
                 // (queue + workers + consumer batch < one buffer per file):
@@ -311,8 +342,13 @@ mod tests {
         let packed = prepare(files.clone(), &PrepConfig::default());
         FanStore::run(ClusterConfig::default(), packed.partitions, |fs| {
             let paths: Vec<String> = files.iter().map(|(p, _)| p.clone()).collect();
-            let cfg =
-                PrefetchConfig { io_threads: 2, queue_batches: 1, batch_size: 3, rpc_batch: 0 };
+            let cfg = PrefetchConfig {
+                io_threads: 2,
+                queue_batches: 1,
+                batch_size: 3,
+                rpc_batch: 0,
+                tenant: 0,
+            };
             let mut sizes = Vec::new();
             prefetched_epoch(fs, &paths, &cfg, |batch| sizes.push(batch.len())).unwrap();
             assert_eq!(sizes, vec![3, 3, 1]);

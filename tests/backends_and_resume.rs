@@ -36,8 +36,13 @@ fn disk_backend_supports_epochs_and_prefetch() {
         packed.partitions,
         |fs| {
             let paths: Vec<String> = files.iter().map(|(p, _)| p.clone()).collect();
-            let cfg =
-                PrefetchConfig { io_threads: 2, queue_batches: 2, batch_size: 4, rpc_batch: 0 };
+            let cfg = PrefetchConfig {
+                io_threads: 2,
+                queue_batches: 2,
+                batch_size: 4,
+                rpc_batch: 0,
+                tenant: 0,
+            };
             prefetched_epoch(fs, &paths, &cfg, |_| {}).unwrap()
         },
     );
