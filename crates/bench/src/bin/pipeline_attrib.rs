@@ -1,0 +1,33 @@
+//! Run the pipeline attribution benchmark and write the perf
+//! trajectory file.
+//!
+//! ```sh
+//! pipeline_attrib [--quick] [--out BENCH_pipeline.json]
+//! ```
+//!
+//! `--quick` is the CI smoke shape (2 nodes, 1 epoch); without it the
+//! full trajectory measurement runs. The markdown report goes to
+//! stdout; the JSON summary goes to `--out` (default
+//! `BENCH_pipeline.json` in the current directory).
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_pipeline.json".to_string());
+
+    let (report, summary) = fanstore_bench::experiments::pipeline_attrib::run(quick);
+    print!("{report}");
+    if let Err(e) = std::fs::write(&out_path, summary.to_json()) {
+        eprintln!("pipeline_attrib: write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("wrote {out_path}");
+    ExitCode::SUCCESS
+}

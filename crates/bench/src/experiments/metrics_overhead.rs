@@ -36,6 +36,7 @@ fn run_once(metrics: bool) -> (f64, Option<fanstore::metrics::Snapshot>) {
         checkpoint_every: EPOCHS,
         checkpoint_bytes: 1024,
         seed: 11,
+        prefetch: None,
     };
     let t0 = Instant::now();
     let reports = FanStore::run(

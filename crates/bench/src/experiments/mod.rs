@@ -12,6 +12,7 @@ pub mod fig9;
 pub mod global_view;
 pub mod lossy_fw;
 pub mod metrics_overhead;
+pub mod pipeline_attrib;
 pub mod table3;
 pub mod table4;
 pub mod table5;

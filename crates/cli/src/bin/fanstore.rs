@@ -2,25 +2,34 @@
 //! show what the metrics/trace subsystem sees.
 //!
 //! ```sh
-//! fanstore metrics [--nodes 4] [--files 24] [--json true]
+//! fanstore metrics [--nodes 4] [--files 24] [--json true] [--tenant N]
 //! fanstore trace dump [--nodes 4] [--files 24]
 //! fanstore ckpt <ls | verify | gc> [--nodes 4] [--generations 5] [--keep-last 2]
 //! fanstore qos [--nodes 4] [--files 24]
+//! fanstore attrib [--nodes 4] [--files 24]
+//! fanstore slo [--nodes 4] [--files 24]
 //! ```
 //!
 //! `metrics` merges every rank's registry into one cluster-wide view and
 //! prints counters, gauges and latency histograms (p50/p90/p99/max), or
-//! the JSON snapshot with `--json true`. `trace dump` prints each rank's
+//! the JSON snapshot with `--json true`; `--tenant N` restricts it to
+//! one tenant's QoS/SLO series. `trace dump` prints each rank's
 //! I/O event ring followed by the span timelines, grouped per request so
 //! a remote GET reads client -> fabric -> daemon even though the stages
-//! were recorded on different ranks.
+//! were recorded on different ranks. `attrib` joins the span trees and
+//! prints the per-stage bottleneck table (where each request's wall
+//! time went); `slo` prints the per-tenant burn-rate table.
 
 use std::process::ExitCode;
 
-use fanstore_cli::{run_ckpt_demo, run_metrics_demo, run_qos_demo, run_trace_dump, Args};
+use fanstore_cli::{
+    run_attrib_demo, run_ckpt_demo, run_metrics_demo, run_qos_demo, run_slo_demo, run_trace_dump,
+    Args,
+};
 
 const USAGE: &str = "usage: fanstore <metrics | trace dump | ckpt ls | ckpt verify | ckpt gc | \
-                     qos> [--nodes N] [--files N] [--json true] [--generations N] [--keep-last K]";
+                     qos | attrib | slo> [--nodes N] [--files N] [--json true] [--tenant N] \
+                     [--generations N] [--keep-last K]";
 
 fn main() -> ExitCode {
     let args = match Args::parse(std::env::args().skip(1)) {
@@ -47,10 +56,20 @@ fn main() -> ExitCode {
     let out = match args.positional() {
         [cmd] if cmd == "metrics" => {
             let json = args.get("json").map(|v| v != "false").unwrap_or(false);
-            run_metrics_demo(nodes, files, json)
+            let tenant = match args.get("tenant").map(str::parse) {
+                None => None,
+                Some(Ok(t)) => Some(t),
+                Some(Err(_)) => {
+                    eprintln!("fanstore: --tenant: not a number");
+                    return ExitCode::FAILURE;
+                }
+            };
+            run_metrics_demo(nodes, files, json, tenant)
         }
         [cmd, sub] if cmd == "trace" && sub == "dump" => run_trace_dump(nodes, files),
         [cmd] if cmd == "qos" => run_qos_demo(nodes, files),
+        [cmd] if cmd == "attrib" => run_attrib_demo(nodes, files),
+        [cmd] if cmd == "slo" => run_slo_demo(nodes, files),
         [cmd, sub] if cmd == "ckpt" => {
             let generations = match args.get_usize("generations", 5) {
                 Ok(n) => n,

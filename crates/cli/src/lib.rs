@@ -22,13 +22,16 @@ use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
+use fanstore::attrib::{aggregate, attribute, bottleneck_table, SEGMENTS};
 use fanstore::ckpt::{CheckpointStore, CkptConfig};
 use fanstore::cluster::{ClusterConfig, FanStore};
 use fanstore::pack::parse_partition;
 use fanstore::prep::{prepare, PrepConfig};
-use fanstore::qos::{QosPolicy, TenantQuota};
+use fanstore::qos::{QosPolicy, SloObjective, TenantQuota};
+use fanstore::trace::SpanEvent;
 use fanstore_compress::registry::{create, parse_name};
 use fanstore_datagen::{DatasetKind, DatasetSpec};
+use mpi_sim::FaultPlan;
 
 /// Parsed `--key value` style arguments.
 #[derive(Debug, Default)]
@@ -230,6 +233,178 @@ fn run_demo_cluster(
     Ok(per_rank)
 }
 
+/// One rank's observability output from the attributed demo cluster:
+/// its metrics registry and the spans its trace ring recorded.
+type RankObservations = (Arc<fanstore::metrics::MetricsRegistry>, Vec<SpanEvent>);
+
+/// Run the attribution/SLO demo workload: like [`run_demo_cluster`] but
+/// under a QoS policy (two tenants, each with an SLO) and a modelled
+/// 200 µs link delay, so the span trees carry admission, queue, network,
+/// serve and decode stages worth attributing. Tenant 2 does the cold
+/// batched pass against a tight 300 µs objective (it burns error
+/// budget); tenant 1 does the warm single-read pass against a loose
+/// 20 ms objective (it stays healthy). Returns each rank's registry and
+/// recorded spans.
+fn run_attributed_cluster(nodes: usize, files_n: usize) -> Result<Vec<RankObservations>, String> {
+    if nodes == 0 || files_n == 0 {
+        return Err("need at least one node and one file".into());
+    }
+    let packed =
+        prepare(demo_dataset(files_n), &PrepConfig { partitions: nodes, ..Default::default() });
+    let policy = QosPolicy::new()
+        .with_quota(1, TenantQuota { weight: 4, ..TenantQuota::default() })
+        .with_quota(2, TenantQuota { rate_per_s: 0.0, burst: 100_000, ..TenantQuota::default() })
+        .with_slo(1, SloObjective { latency_us: 20_000, target: 0.999 })
+        .with_slo(2, SloObjective { latency_us: 300, target: 0.99 });
+    let cfg = ClusterConfig {
+        nodes,
+        trace_ring: 8192,
+        qos: Some(policy),
+        fault_plan: Some(
+            FaultPlan::new(0x0B5E).delay_prob(1.0, std::time::Duration::from_micros(200)),
+        ),
+        ..Default::default()
+    };
+    let out = FanStore::run(cfg, packed.partitions, |fs| {
+        let work = || -> Result<(), fanstore::FsError> {
+            let cold = fs.fork_tenant(2);
+            let warm = fs.fork_tenant(1);
+            let files = cold.enumerate("train")?;
+            // Cold batched pass: every chunk crosses the (delayed)
+            // fabric to its owner rank.
+            for chunk in files.chunks(8) {
+                for r in cold.read_many(chunk) {
+                    r?;
+                }
+            }
+            // Warm single-read pass: mostly served from the cache.
+            for path in &files {
+                warm.read_whole(path)?;
+            }
+            Ok(())
+        };
+        let status = work().map_err(|e| e.to_string());
+        // Ring handle, not contents: this rank's daemon may still be
+        // serving peers when the closure ends; spans are read after
+        // `run` returns, once every daemon has joined.
+        (status, Arc::clone(&fs.state().metrics), fs.trace().cloned())
+    });
+    let mut per_rank = Vec::with_capacity(out.len());
+    for (status, registry, trace) in out {
+        status.map_err(|e| format!("attrib workload failed: {e}"))?;
+        per_rank.push((registry, trace.map(|t| t.spans()).unwrap_or_default()));
+    }
+    Ok(per_rank)
+}
+
+/// `fanstore attrib`: run the demo workload under QoS and a modelled
+/// link delay, join every rank's spans per request id, and print the
+/// per-stage bottleneck table — each request's wall time decomposed
+/// into admission / queue / network / serve / decode / cache segments
+/// plus the explicit residual — followed by the slowest requests and
+/// their dominant segment.
+pub fn run_attrib_demo(nodes: usize, files_n: usize) -> Result<String, String> {
+    let per_rank = run_attributed_cluster(nodes, files_n)?;
+    let mut spans = Vec::new();
+    for (_, s) in &per_rank {
+        spans.extend(s.iter().cloned());
+    }
+    let attrs = attribute(&spans);
+    if attrs.is_empty() {
+        return Err("no spans recorded".into());
+    }
+    let agg = aggregate(&attrs);
+    let (bottleneck, _) = agg.bottleneck();
+    let mut out = format!(
+        "attribution demo ({nodes} nodes, {files_n} files): {} requests, \
+         {:.1}% of wall attributed, bottleneck: {bottleneck}\n\n",
+        agg.requests,
+        agg.coverage() * 100.0,
+    );
+    out.push_str(&bottleneck_table(&attrs));
+    let mut by_wall: Vec<&fanstore::attrib::RequestAttribution> = attrs.iter().collect();
+    by_wall.sort_by_key(|a| std::cmp::Reverse(a.wall_us));
+    out.push_str("\nslowest requests:\n");
+    for a in by_wall.iter().take(5) {
+        let (idx, top) =
+            a.segments.iter().enumerate().max_by_key(|(_, v)| **v).expect("SEGMENTS is non-empty");
+        out.push_str(&format!(
+            "  {:#018x}  wall {:>6} us  dominant {} ({} us)  spans {}  ranks {}\n",
+            a.request, a.wall_us, SEGMENTS[idx], top, a.spans, a.ranks,
+        ));
+    }
+    Ok(out)
+}
+
+/// `fanstore slo`: run the same workload and print the per-tenant SLO
+/// table — objective, good/bad classification, bad fraction and burn
+/// rate — recomputed cluster-wide from the merged
+/// `qos.tenant.<id>.slo.*` series (a burn rate of 1.0 means the tenant
+/// is spending its error budget exactly as fast as the objective
+/// allows; above 1.0 it will exhaust the budget early).
+pub fn run_slo_demo(nodes: usize, files_n: usize) -> Result<String, String> {
+    let per_rank = run_attributed_cluster(nodes, files_n)?;
+    let merged = fanstore::metrics::MetricsRegistry::new();
+    for (registry, _) in &per_rank {
+        merged.merge(registry);
+    }
+    let snap = merged.snapshot();
+    // Counters sum meaningfully across ranks; objective gauges do NOT
+    // (merge adds gauges, so a 3-rank merge triples `target_milli`).
+    // Every rank configures the same policy, so read the objectives
+    // from a single rank's snapshot.
+    let rank0 = per_rank[0].0.snapshot();
+    let mut tenants: Vec<u64> = snap
+        .counters
+        .keys()
+        .filter_map(|k| k.strip_prefix("qos.tenant.")?.strip_suffix(".slo.good")?.parse().ok())
+        .collect();
+    tenants.sort_unstable();
+    tenants.dedup();
+    // Only tenants with a configured objective classify reads; the rest
+    // have empty zero-valued series minted at registration.
+    tenants.retain(|t| rank0.gauges.contains_key(&format!("qos.tenant.{t}.slo.target_milli")));
+    if tenants.is_empty() {
+        return Err("no tenant recorded SLO classifications".into());
+    }
+    let mut out = format!("per-tenant SLO burn ({nodes} nodes, {files_n} files)\n\n");
+    out.push_str(&format!(
+        "{:>6}  {:>20}  {:>7}  {:>7}  {:>7}  {:>8}\n",
+        "tenant", "objective", "good", "bad", "bad%", "burn"
+    ));
+    for t in tenants {
+        let c = |suffix: &str| {
+            snap.counters.get(&format!("qos.tenant.{t}.slo.{suffix}")).copied().unwrap_or(0)
+        };
+        let g = |suffix: &str| {
+            rank0.gauges.get(&format!("qos.tenant.{t}.slo.{suffix}")).copied().unwrap_or(0)
+        };
+        let (good, bad) = (c("good"), c("bad"));
+        let total = (good + bad).max(1);
+        let bad_frac = bad as f64 / total as f64;
+        let target = g("target_milli") as f64 / 1000.0;
+        let burn = bad_frac / (1.0 - target).max(1e-9);
+        out.push_str(&format!(
+            "{t:>6}  {:>20}  {good:>7}  {bad:>7}  {:>6.1}%  {burn:>8.2}\n",
+            format!("<= {} us @ {:.1}%", g("latency_us"), target * 100.0),
+            bad_frac * 100.0,
+        ));
+    }
+    Ok(out)
+}
+
+/// Keep only the series belonging to `tenant` (names containing
+/// `tenant.<id>.`) — the `fanstore metrics --tenant N` filter.
+fn filter_tenant(snap: fanstore::metrics::Snapshot, tenant: u64) -> fanstore::metrics::Snapshot {
+    let tag = format!("tenant.{tenant}.");
+    fanstore::metrics::Snapshot {
+        counters: snap.counters.into_iter().filter(|(k, _)| k.contains(&tag)).collect(),
+        gauges: snap.gauges.into_iter().filter(|(k, _)| k.contains(&tag)).collect(),
+        histograms: snap.histograms.into_iter().filter(|(k, _)| k.contains(&tag)).collect(),
+        exemplars: snap.exemplars.into_iter().filter(|(k, _)| k.contains(&tag)).collect(),
+    }
+}
+
 /// Render a metrics snapshot as aligned text tables: counters, gauges,
 /// then histograms with p50/p90/p99/max columns.
 pub fn render_snapshot(snap: &fanstore::metrics::Snapshot) -> String {
@@ -274,22 +449,50 @@ pub fn render_snapshot(snap: &fanstore::metrics::Snapshot) -> String {
 
 /// `fanstore metrics`: run the demo workload, merge every rank's registry
 /// into one cluster-wide view, and render it as a table (or JSON with
-/// `--json`).
-pub fn run_metrics_demo(nodes: usize, files_n: usize, json: bool) -> Result<String, String> {
-    let per_rank = run_demo_cluster(nodes, files_n)?;
+/// `--json`). With `--tenant N` the demo runs under QoS and the output
+/// is filtered to that tenant's `qos.tenant.<N>.*` series.
+pub fn run_metrics_demo(
+    nodes: usize,
+    files_n: usize,
+    json: bool,
+    tenant: Option<u64>,
+) -> Result<String, String> {
     let merged = fanstore::metrics::MetricsRegistry::new();
-    for (registry, _) in &per_rank {
-        merged.merge(registry);
+    let ranks = match tenant {
+        // The plain demo attaches no QoS; the tenant filter needs the
+        // tenant-labelled series, so it rides the attributed workload.
+        Some(_) => {
+            let per_rank = run_attributed_cluster(nodes, files_n)?;
+            for (registry, _) in &per_rank {
+                merged.merge(registry);
+            }
+            per_rank.len()
+        }
+        None => {
+            let per_rank = run_demo_cluster(nodes, files_n)?;
+            for (registry, _) in &per_rank {
+                merged.merge(registry);
+            }
+            per_rank.len()
+        }
+    };
+    let mut snap = merged.snapshot();
+    if let Some(t) = tenant {
+        snap = filter_tenant(snap, t);
+        if snap.counters.is_empty() && snap.gauges.is_empty() && snap.histograms.is_empty() {
+            return Err(format!("tenant {t} recorded no series (demo tenants are 1 and 2)"));
+        }
     }
     if json {
-        return Ok(merged.to_json());
+        return Ok(snap.to_json());
     }
-    let mut out = format!(
-        "cluster-wide metrics ({} nodes, {} files, demo workload)\n\n",
-        per_rank.len(),
-        files_n
-    );
-    out.push_str(&render_snapshot(&merged.snapshot()));
+    let mut out = match tenant {
+        Some(t) => {
+            format!("tenant {t} metrics ({ranks} nodes, {files_n} files, demo workload)\n\n")
+        }
+        None => format!("cluster-wide metrics ({ranks} nodes, {files_n} files, demo workload)\n\n"),
+    };
+    out.push_str(&render_snapshot(&snap));
     Ok(out)
 }
 
@@ -618,7 +821,7 @@ mod tests {
 
     #[test]
     fn metrics_demo_renders_histograms() {
-        let out = run_metrics_demo(2, 6, false).unwrap();
+        let out = run_metrics_demo(2, 6, false, None).unwrap();
         assert!(out.contains("client.get.latency_us"), "{out}");
         assert!(out.contains("client.files.written"), "{out}");
         assert!(out.contains("p99"), "{out}");
@@ -626,10 +829,41 @@ mod tests {
 
     #[test]
     fn metrics_demo_json_parses() {
-        let out = run_metrics_demo(2, 6, true).unwrap();
+        let out = run_metrics_demo(2, 6, true, None).unwrap();
         let v = fanstore::metrics::json::parse(&out).expect("valid JSON");
         assert!(v.get("counters").is_some(), "{out}");
         assert!(v.get("histograms").is_some(), "{out}");
+    }
+
+    #[test]
+    fn metrics_tenant_filter_keeps_only_that_tenant() {
+        let out = run_metrics_demo(2, 6, false, Some(2)).unwrap();
+        assert!(out.contains("qos.tenant.2.slo.good"), "{out}");
+        assert!(!out.contains("qos.tenant.1."), "other tenants filtered out: {out}");
+        assert!(!out.contains("client.get.latency_us"), "unlabelled series filtered out: {out}");
+        assert!(run_metrics_demo(2, 6, false, Some(99)).is_err(), "unknown tenant is an error");
+    }
+
+    #[test]
+    fn attrib_demo_prints_bottleneck_table() {
+        let out = run_attrib_demo(2, 8).unwrap();
+        for name in SEGMENTS {
+            assert!(out.contains(&format!("| {name} |")), "{out}");
+        }
+        assert!(out.contains("| residual |"), "{out}");
+        assert!(out.contains("slowest requests:"), "{out}");
+        assert!(out.contains("% of wall attributed"), "{out}");
+    }
+
+    #[test]
+    fn slo_demo_shows_burning_and_healthy_tenants() {
+        let out = run_slo_demo(2, 8).unwrap();
+        assert!(out.contains("tenant"), "{out}");
+        assert!(out.contains("burn"), "{out}");
+        // Tenant 2's 300 us objective against a 200 us-per-hop link must
+        // burn; tenant 1's 20 ms objective on warm reads must not.
+        let t2 = out.lines().find(|l| l.trim_start().starts_with("2 ")).expect("tenant 2 row");
+        assert!(t2.contains("<= 300 us"), "{t2}");
     }
 
     #[test]
@@ -643,7 +877,7 @@ mod tests {
 
     #[test]
     fn demo_rejects_empty_cluster() {
-        assert!(run_metrics_demo(0, 4, false).is_err());
+        assert!(run_metrics_demo(0, 4, false, None).is_err());
         assert!(run_trace_dump(2, 0).is_err());
     }
 

@@ -26,7 +26,7 @@ use crate::meta::encode_single;
 use crate::metrics::{now_us, Counter, Gauge, Histogram};
 use crate::node::NodeState;
 use crate::placement::replicas_of;
-use crate::qos::{QosPolicy, TenantId, TokenBucket};
+use crate::qos::{QosPolicy, SloTracker, TenantId, TokenBucket};
 use crate::stat::FileStat;
 use crate::trace::{Op, SpanEvent, TraceRecorder};
 use crate::FsError;
@@ -251,6 +251,32 @@ struct QosState {
     admitted: Arc<Counter>,
     throttled: Arc<Counter>,
     latency: Arc<Histogram>,
+    /// Latency objective tracker; `None` when the policy sets no
+    /// objective for this tenant.
+    slo: Option<SloTracker>,
+    slo_good: Arc<Counter>,
+    slo_bad: Arc<Counter>,
+    /// Sliding-window error-budget burn rate ×1000 (gauges are integral;
+    /// 1000 = burning exactly at the sustainable rate).
+    slo_burn: Arc<Gauge>,
+}
+
+impl QosState {
+    /// Record one completed read's latency against the tenant histogram
+    /// (tail values keep their request id as exemplars) and, when an
+    /// objective is configured, classify it good/bad and refresh the
+    /// burn-rate gauge.
+    fn observe_latency(&self, elapsed_us: u64, request: u64) {
+        self.latency.record_with_exemplar(elapsed_us, request);
+        if let Some(slo) = &self.slo {
+            if slo.observe(elapsed_us) {
+                self.slo_good.inc();
+            } else {
+                self.slo_bad.inc();
+            }
+            self.slo_burn.set((slo.burn_rate() * 1000.0).round() as u64);
+        }
+    }
 }
 
 /// A POSIX-style handle onto the FanStore namespace for one process (one
@@ -329,11 +355,23 @@ impl FsClient {
             m.gauge(&format!("qos.tenant.{tenant}.quota.weight")).set(u64::from(q.weight.max(1)));
             m.gauge(&format!("qos.tenant.{tenant}.quota.rate_per_s")).set(q.rate_per_s as u64);
         }
+        let slo = policy
+            .objective(tenant)
+            .map(|o| SloTracker::new(o, policy.slo_slot, policy.slo_windows));
+        if let Some(o) = policy.objective(tenant) {
+            m.gauge(&format!("qos.tenant.{tenant}.slo.latency_us")).set(o.latency_us);
+            m.gauge(&format!("qos.tenant.{tenant}.slo.target_milli"))
+                .set((o.target * 1000.0).round() as u64);
+        }
         self.qos = Some(QosState {
             bucket,
             admitted: m.counter(&format!("qos.tenant.{tenant}.admitted")),
             throttled: m.counter(&format!("qos.tenant.{tenant}.throttled")),
             latency: m.histogram(&format!("qos.tenant.{tenant}.latency_us")),
+            slo,
+            slo_good: m.counter(&format!("qos.tenant.{tenant}.slo.good")),
+            slo_bad: m.counter(&format!("qos.tenant.{tenant}.slo.bad")),
+            slo_burn: m.gauge(&format!("qos.tenant.{tenant}.slo.burn_milli")),
             policy,
             tenant,
         });
@@ -500,18 +538,28 @@ impl FsClient {
     /// its latency lands in `client.get.latency_us`, and a `client.get`
     /// span (plus per-stage children) is recorded.
     fn fetch(&self, path: &str) -> Result<Arc<Vec<u8>>, FsError> {
-        self.admit(path)?;
-        let deadline = self.op_deadline_us();
         if !self.timed {
+            self.admit(path)?;
+            let deadline = self.op_deadline_us();
             return self.fetch_inner(path, 0, deadline);
         }
+        // The request id is minted before admission so backoff waits are
+        // attributable: with QoS attached the admit leg becomes a
+        // `client.admit` child span of this request.
         let request = self.state.next_request_id();
         let start = now_us();
+        let admitted = self.admit(path);
+        if self.qos.is_some() {
+            self.span(request, "client.admit", start);
+        }
+        // A throttled op never ran: no get latency, no root span.
+        admitted?;
+        let deadline = self.op_deadline_us();
         let out = self.fetch_inner(path, request, deadline);
         let elapsed = now_us().saturating_sub(start);
-        self.metrics.get_latency.record(elapsed);
+        self.metrics.get_latency.record_with_exemplar(elapsed, request);
         if let Some(q) = &self.qos {
-            q.latency.record(elapsed);
+            q.observe_latency(elapsed, request);
         }
         self.span(request, "client.get", start);
         out
@@ -592,7 +640,9 @@ impl FsClient {
                 }
             });
         if self.timed {
-            self.metrics.rpc_latency.record(now_us().saturating_sub(rpc_start));
+            self.metrics
+                .rpc_latency
+                .record_with_exemplar(now_us().saturating_sub(rpc_start), request);
             self.span(request, "fabric.rpc", rpc_start);
         }
         let reply = reply?;
@@ -714,18 +764,24 @@ impl FsClient {
         if n == 0 {
             return Vec::new();
         }
-        // Admission: one token per batch. A refused batch fails whole —
-        // every entry carries the Throttled error.
-        if let Err(e) = self.admit(&paths[0]) {
+        let timed = self.timed;
+        let request = if timed { self.state.next_request_id() } else { 0 };
+        let start = if timed { now_us() } else { 0 };
+        // Admission: one token per batch, timed under the batch request
+        // id (a `client.admit` child span when QoS is attached). A
+        // refused batch fails whole — every entry carries the Throttled
+        // error, and no get_many latency or root span is recorded.
+        let admitted = self.admit(&paths[0]);
+        if timed && self.qos.is_some() {
+            self.span(request, "client.admit", start);
+        }
+        if let Err(e) = admitted {
             return paths.iter().map(|_| Err(e.clone())).collect();
         }
         // One deadline covers the whole batch: the GET_MANY rpcs and every
         // per-entry fallback fetch are charged against it, so a degraded
         // batch is bounded by one budget instead of one per entry.
         let deadline_us = self.op_deadline_us();
-        let timed = self.timed;
-        let request = if timed { self.state.next_request_id() } else { 0 };
-        let start = if timed { now_us() } else { 0 };
         let mut out: Vec<Option<Result<RawEntry, FsError>>> = Vec::with_capacity(n);
         out.resize_with(n, || None);
         // Local pass: cache / write-store hits resolve immediately; local
@@ -778,7 +834,9 @@ impl FsClient {
                 let reply =
                     self.service.rpc_with_meta(rank, tags::GET_MANY, payload, timeout, meta);
                 if timed {
-                    self.metrics.rpc_latency.record(now_us().saturating_sub(rpc_start));
+                    self.metrics
+                        .rpc_latency
+                        .record_with_exemplar(now_us().saturating_sub(rpc_start), request);
                     self.span(request, "fabric.rpc", rpc_start);
                 }
                 match reply {
@@ -832,9 +890,9 @@ impl FsClient {
         }
         if timed {
             let elapsed = now_us().saturating_sub(start);
-            self.metrics.get_many_latency.record(elapsed);
+            self.metrics.get_many_latency.record_with_exemplar(elapsed, request);
             if let Some(q) = &self.qos {
-                q.latency.record(elapsed);
+                q.observe_latency(elapsed, request);
             }
             self.span(request, "client.get_many", start);
         }

@@ -280,7 +280,9 @@ pub fn serve_traced(
 /// DRR bookkeeping, and per-tenant instrument handles (resolved once per
 /// tenant, recorded through `Arc`s on the hot path).
 struct Lane {
-    queue: VecDeque<Message>,
+    /// `(arrival µs, message)`; the arrival stamp (0 when untimed) turns
+    /// into the `daemon.queue` wait span at dispatch.
+    queue: VecDeque<(u64, Message)>,
     weight: u64,
     deficit: u64,
     served: Arc<crate::metrics::Counter>,
@@ -299,11 +301,13 @@ struct Scheduler<'a> {
     /// deficit.
     rr: VecDeque<u32>,
     queued: usize,
+    /// Whether to stamp arrivals for queue-wait attribution.
+    timed: bool,
 }
 
 impl<'a> Scheduler<'a> {
-    fn new(state: &'a NodeState, policy: Option<&'a QosPolicy>) -> Self {
-        Scheduler { state, policy, lanes: BTreeMap::new(), rr: VecDeque::new(), queued: 0 }
+    fn new(state: &'a NodeState, policy: Option<&'a QosPolicy>, timed: bool) -> Self {
+        Scheduler { state, policy, lanes: BTreeMap::new(), rr: VecDeque::new(), queued: 0, timed }
     }
 
     fn is_empty(&self) -> bool {
@@ -337,7 +341,8 @@ impl<'a> Scheduler<'a> {
         if lane.queue.is_empty() {
             self.rr.push_back(tenant);
         }
-        lane.queue.push_back(msg);
+        let arrival = if self.timed { now_us() } else { 0 };
+        lane.queue.push_back((arrival, msg));
         lane.depth.set(lane.queue.len() as u64);
         self.queued += 1;
     }
@@ -346,7 +351,7 @@ impl<'a> Scheduler<'a> {
     /// weight as quantum on arrival at the head and serves one request
     /// per unit of deficit; spending it (or draining the lane) rotates
     /// the tenant to the back of the round.
-    fn next(&mut self) -> Option<(u32, Message)> {
+    fn next(&mut self) -> Option<(u32, u64, Message)> {
         while let Some(&tenant) = self.rr.front() {
             let lane = self.lanes.get_mut(&tenant).expect("active lane exists");
             if lane.queue.is_empty() {
@@ -357,7 +362,7 @@ impl<'a> Scheduler<'a> {
             if lane.deficit == 0 {
                 lane.deficit = lane.weight.max(1);
             }
-            let msg = lane.queue.pop_front().expect("lane non-empty");
+            let (arrival, msg) = lane.queue.pop_front().expect("lane non-empty");
             lane.deficit -= 1;
             lane.depth.set(lane.queue.len() as u64);
             self.queued -= 1;
@@ -369,7 +374,7 @@ impl<'a> Scheduler<'a> {
                     self.rr.push_back(tenant);
                 }
             }
-            return Some((tenant, msg));
+            return Some((tenant, arrival, msg));
         }
         None
     }
@@ -409,9 +414,10 @@ pub fn serve_qos(
 ) -> u64 {
     // Resolve instrument handles once; the loop records through Arcs.
     let serve_latency = state.metrics.histogram("daemon.serve.latency_us");
+    let queue_wait = state.metrics.histogram("daemon.queue.wait_us");
     let get_bytes = state.metrics.counter("daemon.get.bytes");
     let timed = state.metrics.is_enabled() || trace.is_some();
-    let mut sched = Scheduler::new(&state, policy.as_deref());
+    let mut sched = Scheduler::new(&state, policy.as_deref(), timed);
     let mut served = 0u64;
     // Cached estimate of one request's service time, used by the shed
     // decision; refreshed from the latency histogram every EST_REFRESH
@@ -430,7 +436,22 @@ pub fn serve_qos(
         while let Some(m) = service.try_recv() {
             sched.enqueue(m);
         }
-        let Some((tenant, msg)) = sched.next() else { continue };
+        let Some((tenant, arrival_us, msg)) = sched.next() else { continue };
+        // Queue wait: arrival → dispatch, charged to the request whether
+        // it is served or shed below (the requester waited either way).
+        if timed && arrival_us != 0 && msg.tag != tags::SHUTDOWN {
+            let wait = now_us().saturating_sub(arrival_us);
+            queue_wait.record_with_exemplar(wait, msg.request_id);
+            if let Some(t) = &trace {
+                t.record_span(SpanEvent {
+                    request: msg.request_id,
+                    rank: state.rank as u32,
+                    stage: "daemon.queue".to_string(),
+                    start_us: arrival_us,
+                    dur_us: wait,
+                });
+            }
+        }
         // Deadline shed: the requester stamped an absolute deadline on
         // the shared monotonic clock. If it already passed — or the
         // remaining budget can't cover the estimated service time — the
@@ -462,7 +483,7 @@ pub fn serve_qos(
             _ => msg.reply(vec![status::BAD_REQUEST]),
         };
         if timed && !shutdown {
-            serve_latency.record(now_us().saturating_sub(start));
+            serve_latency.record_with_exemplar(now_us().saturating_sub(start), msg.request_id);
             if served.is_multiple_of(EST_REFRESH) {
                 est_serve_us = serve_latency.quantile(0.5);
             }

@@ -61,6 +61,7 @@
 //! assert_eq!(results, vec![(16, 1), (16, 1)]);
 //! ```
 
+pub mod attrib;
 pub mod backend;
 pub mod bufpool;
 pub mod cache;

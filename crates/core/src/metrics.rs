@@ -103,6 +103,22 @@ const SUB: usize = 1 << SUB_BITS;
 /// Bucket count covering the full `u64` range.
 const BUCKETS: usize = (64 - SUB_BITS as usize + 1) * SUB;
 
+/// Bound on the tail-exemplar reservoir each histogram keeps: the
+/// [`EXEMPLAR_CAP`] largest `(value, request)` pairs ever recorded.
+pub const EXEMPLAR_CAP: usize = 8;
+
+/// One tail exemplar: a recorded value tagged with the request id that
+/// produced it, so a p99 outlier in a latency histogram links directly
+/// to its cross-rank span tree in the trace ring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Exemplar {
+    /// The recorded value (latency in µs for `*_us` histograms).
+    pub value: u64,
+    /// Request id of the operation that recorded it (see
+    /// [`crate::trace::SpanEvent::request`]).
+    pub request: u64,
+}
+
 /// A lock-free log-linear (HDR-style) histogram of `u64` values.
 ///
 /// Values below `2^SUB_BITS` are recorded exactly; larger values keep
@@ -118,6 +134,11 @@ pub struct Histogram {
     sum: AtomicU64,
     min: AtomicU64,
     max: AtomicU64,
+    /// The [`EXEMPLAR_CAP`] largest `(value, request)` pairs recorded via
+    /// [`Histogram::record_with_exemplar`], sorted ascending. A bounded
+    /// deterministic reservoir: the retained set depends only on the
+    /// multiset of recorded pairs, never on thread interleaving.
+    exemplars: Mutex<Vec<Exemplar>>,
 }
 
 impl Histogram {
@@ -130,6 +151,7 @@ impl Histogram {
             sum: AtomicU64::new(0),
             min: AtomicU64::new(u64::MAX),
             max: AtomicU64::new(0),
+            exemplars: Mutex::new(Vec::new()),
         }
     }
 
@@ -175,6 +197,49 @@ impl Histogram {
         self.sum.fetch_add(v, Ordering::Relaxed);
         self.min.fetch_min(v, Ordering::Relaxed);
         self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// [`Histogram::record`] plus tail-exemplar sampling: when the pair
+    /// `(v, request)` ranks among the [`EXEMPLAR_CAP`] largest recorded
+    /// so far it enters the exemplar reservoir, so the histogram's tail
+    /// (p99 and beyond, once enough values landed) carries request ids
+    /// that resolve to span trees. `request == 0` (untraced) records the
+    /// value only.
+    pub fn record_with_exemplar(&self, v: u64, request: u64) {
+        self.record(v);
+        if self.buckets.is_empty() || request == 0 {
+            return;
+        }
+        let candidate = Exemplar { value: v, request };
+        let mut ex = self.exemplars.lock();
+        if ex.len() < EXEMPLAR_CAP {
+            let pos = ex.partition_point(|e| *e < candidate);
+            ex.insert(pos, candidate);
+        } else if ex[0] < candidate {
+            ex.remove(0);
+            let pos = ex.partition_point(|e| *e < candidate);
+            ex.insert(pos, candidate);
+        }
+    }
+
+    /// The retained tail exemplars, largest value first.
+    pub fn exemplars(&self) -> Vec<Exemplar> {
+        let mut ex = self.exemplars.lock().clone();
+        ex.reverse();
+        ex
+    }
+
+    /// Non-empty buckets as `(inclusive upper bound, count)`, low to
+    /// high — the raw series behind the Prometheus `le` exposition.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let n = b.load(Ordering::Relaxed);
+                (n > 0).then(|| (Self::bucket_range(i).1, n))
+            })
+            .collect()
     }
 
     /// Number of recorded values.
@@ -244,6 +309,18 @@ impl Histogram {
             self.sum.fetch_add(other.sum(), Ordering::Relaxed);
             self.min.fetch_min(other.min(), Ordering::Relaxed);
             self.max.fetch_max(other.max(), Ordering::Relaxed);
+        }
+        // Exemplar union, keeping the CAP largest pairs overall — the
+        // same set a single histogram would have retained.
+        let theirs = other.exemplars.lock().clone();
+        if !theirs.is_empty() {
+            let mut mine = self.exemplars.lock();
+            mine.extend(theirs);
+            mine.sort_unstable();
+            if mine.len() > EXEMPLAR_CAP {
+                let drop = mine.len() - EXEMPLAR_CAP;
+                mine.drain(..drop);
+            }
         }
     }
 
@@ -385,15 +462,25 @@ impl MetricsRegistry {
 
     /// Point-in-time snapshot of every instrument.
     pub fn snapshot(&self) -> Snapshot {
+        // One pass over the histogram map under a single lock: the guard
+        // from a struct-literal field initializer lives to the end of the
+        // whole expression, so locking the map once per field would
+        // deadlock against itself.
+        let hists = self.histograms.lock();
+        let histograms = hists.iter().map(|(k, v)| (k.clone(), v.summary())).collect();
+        let exemplars = hists
+            .iter()
+            .filter_map(|(k, v)| {
+                let ex = v.exemplars();
+                (!ex.is_empty()).then(|| (k.clone(), ex))
+            })
+            .collect();
+        drop(hists);
         Snapshot {
             counters: self.counters.lock().iter().map(|(k, v)| (k.clone(), v.get())).collect(),
             gauges: self.gauges.lock().iter().map(|(k, v)| (k.clone(), v.get())).collect(),
-            histograms: self
-                .histograms
-                .lock()
-                .iter()
-                .map(|(k, v)| (k.clone(), v.summary()))
-                .collect(),
+            histograms,
+            exemplars,
         }
     }
 
@@ -402,10 +489,13 @@ impl MetricsRegistry {
         self.snapshot().to_json()
     }
 
-    /// Prometheus text-exposition export: counters and gauges as single
-    /// samples, histograms as summaries with `quantile` labels plus
-    /// `_sum`/`_count`. Dots in names become underscores and every
-    /// family is prefixed `fanstore_`.
+    /// Prometheus text-exposition export: every family gets `# HELP` and
+    /// `# TYPE` lines; counters and gauges are single samples, and
+    /// histograms are real Prometheus histograms — cumulative
+    /// `_bucket{le="…"}` series over the non-empty log-linear buckets
+    /// (each `le` is the bucket's inclusive upper bound), closed by
+    /// `le="+Inf"`, `_sum` and `_count`. Dots in names become
+    /// underscores and every family is prefixed `fanstore_`.
     pub fn to_prometheus(&self) -> String {
         fn sanitize(name: &str) -> String {
             let mut out = String::with_capacity(name.len() + 9);
@@ -415,23 +505,33 @@ impl MetricsRegistry {
             }
             out
         }
-        let snap = self.snapshot();
         let mut out = String::new();
-        for (name, v) in &snap.counters {
+        for (name, c) in self.counters.lock().iter() {
             let n = sanitize(name);
-            out.push_str(&format!("# TYPE {n} counter\n{n} {v}\n"));
+            out.push_str(&format!(
+                "# HELP {n} fanstore counter `{name}`\n# TYPE {n} counter\n{n} {}\n",
+                c.get()
+            ));
         }
-        for (name, v) in &snap.gauges {
+        for (name, g) in self.gauges.lock().iter() {
             let n = sanitize(name);
-            out.push_str(&format!("# TYPE {n} gauge\n{n} {v}\n"));
+            out.push_str(&format!(
+                "# HELP {n} fanstore gauge `{name}`\n# TYPE {n} gauge\n{n} {}\n",
+                g.get()
+            ));
         }
-        for (name, h) in &snap.histograms {
+        for (name, h) in self.histograms.lock().iter() {
             let n = sanitize(name);
-            out.push_str(&format!("# TYPE {n} summary\n"));
-            for (q, v) in [(0.5, h.p50), (0.9, h.p90), (0.99, h.p99)] {
-                out.push_str(&format!("{n}{{quantile=\"{q}\"}} {v}\n"));
+            out.push_str(&format!(
+                "# HELP {n} fanstore histogram `{name}`\n# TYPE {n} histogram\n"
+            ));
+            let mut cumulative = 0u64;
+            for (upper, count) in h.nonzero_buckets() {
+                cumulative += count;
+                out.push_str(&format!("{n}_bucket{{le=\"{upper}\"}} {cumulative}\n"));
             }
-            out.push_str(&format!("{n}_sum {}\n{n}_count {}\n", h.sum, h.count));
+            out.push_str(&format!("{n}_bucket{{le=\"+Inf\"}} {}\n", h.count()));
+            out.push_str(&format!("{n}_sum {}\n{n}_count {}\n", h.sum(), h.count()));
         }
         out
     }
@@ -448,13 +548,20 @@ pub struct Snapshot {
     pub gauges: BTreeMap<String, u64>,
     /// Histogram summaries by name.
     pub histograms: BTreeMap<String, HistogramSummary>,
+    /// Tail exemplars by histogram name (largest value first; only
+    /// histograms with at least one exemplar appear).
+    pub exemplars: BTreeMap<String, Vec<Exemplar>>,
 }
 
 impl Snapshot {
     /// The change since `before`: counters and histogram count/sum are
-    /// subtracted (instruments absent from `before` keep their value);
-    /// gauges and histogram quantiles are point-in-time and keep the
-    /// current (cumulative) value.
+    /// subtracted (instruments absent from `before` keep their value).
+    /// Gauges are point-in-time values, *not* rates — a delta between
+    /// two gauge observations is meaningless (e.g. `cache.resident_bytes`
+    /// shrinking across an epoch is not "negative work") — so the delta
+    /// reports every gauge as last-observed: the value at `self`'s
+    /// capture time, untouched. Histogram quantiles/min/max and
+    /// exemplars likewise stay point-in-time.
     pub fn delta(&self, before: &Snapshot) -> Snapshot {
         let counters = self
             .counters
@@ -474,7 +581,12 @@ impl Snapshot {
                 (k.clone(), d)
             })
             .collect();
-        Snapshot { counters, gauges: self.gauges.clone(), histograms }
+        Snapshot {
+            counters,
+            gauges: self.gauges.clone(),
+            histograms,
+            exemplars: self.exemplars.clone(),
+        }
     }
 
     /// Value of counter `name` (0 when absent).
@@ -485,7 +597,10 @@ impl Snapshot {
     /// Serialise as a JSON object:
     /// `{"counters": {..}, "gauges": {..}, "histograms": {"name":
     /// {"count": .., "sum": .., "min": .., "max": .., "p50": .., "p90":
-    /// .., "p99": ..}, ..}}`.
+    /// .., "p99": ..}, ..}, "exemplars": {"name": [{"value": ..,
+    /// "request": "<hex>"}, ..], ..}}`. Exemplar request ids are hex
+    /// strings in the same format the trace dump uses, so a dashboard
+    /// can join an outlier straight to its span timeline.
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\"counters\":{");
         push_map(&mut out, &self.counters, |out, v| out.push_str(&v.to_string()));
@@ -497,6 +612,17 @@ impl Snapshot {
                 "{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p90\":{},\"p99\":{}}}",
                 h.count, h.sum, h.min, h.max, h.p50, h.p90, h.p99
             ));
+        });
+        out.push_str("},\"exemplars\":{");
+        push_map(&mut out, &self.exemplars, |out, list| {
+            out.push('[');
+            for (i, e) in list.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("{{\"value\":{},\"request\":\"{:x}\"}}", e.value, e.request));
+            }
+            out.push(']');
         });
         out.push_str("}}");
         out
@@ -653,10 +779,142 @@ mod tests {
         reg.counter("client.remote.opens").add(3);
         reg.histogram("client.get.latency_us").record(50);
         let text = reg.to_prometheus();
+        assert!(text.contains("# HELP fanstore_client_remote_opens"));
         assert!(text.contains("# TYPE fanstore_client_remote_opens counter"));
         assert!(text.contains("fanstore_client_remote_opens 3"));
-        assert!(text.contains("fanstore_client_get_latency_us{quantile=\"0.5\"}"));
+        assert!(text.contains("# TYPE fanstore_client_get_latency_us histogram"));
+        assert!(text.contains("fanstore_client_get_latency_us_bucket{le=\"50\"} 1"));
+        assert!(text.contains("fanstore_client_get_latency_us_bucket{le=\"+Inf\"} 1"));
         assert!(text.contains("fanstore_client_get_latency_us_count 1"));
+    }
+
+    /// Minimal exposition-format parser for the round-trip test:
+    /// `(help families, type families, samples)`.
+    type Exposition = (Vec<String>, Vec<(String, String)>, Vec<(String, u64)>);
+
+    fn parse_prometheus(text: &str) -> Exposition {
+        let mut helps = Vec::new();
+        let mut types = Vec::new();
+        let mut samples = Vec::new();
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("# HELP ") {
+                helps.push(rest.split_whitespace().next().unwrap().to_string());
+            } else if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let mut it = rest.split_whitespace();
+                types.push((it.next().unwrap().to_string(), it.next().unwrap().to_string()));
+            } else if !line.is_empty() {
+                let (series, value) = line.rsplit_once(' ').expect("sample line");
+                samples.push((series.to_string(), value.parse().expect("sample value")));
+            }
+        }
+        (helps, types, samples)
+    }
+
+    #[test]
+    fn prometheus_histogram_buckets_round_trip() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("fabric.rpc.latency_us");
+        let values = [3u64, 3, 40, 500, 500, 500, 65_000];
+        for v in values {
+            h.record(v);
+        }
+        reg.counter("ops").add(9);
+        let (helps, types, samples) = parse_prometheus(&reg.to_prometheus());
+        // Every family carries HELP and TYPE.
+        for fam in ["fanstore_ops", "fanstore_fabric_rpc_latency_us"] {
+            assert!(helps.iter().any(|h| h == fam), "missing HELP for {fam}");
+            assert!(types.iter().any(|(n, _)| n == fam), "missing TYPE for {fam}");
+        }
+        assert!(types.contains(&("fanstore_fabric_rpc_latency_us".into(), "histogram".into())));
+        // The bucket series is cumulative and non-decreasing, the +Inf
+        // bucket equals _count, and _sum/_count round-trip exactly.
+        let buckets: Vec<(u64, u64)> = samples
+            .iter()
+            .filter_map(|(s, v)| {
+                let le = s.strip_prefix("fanstore_fabric_rpc_latency_us_bucket{le=\"")?;
+                let le = le.strip_suffix("\"}")?;
+                Some((le.parse().unwrap_or(u64::MAX), *v))
+            })
+            .collect();
+        assert!(buckets.len() >= 4, "one bucket per distinct value class + Inf: {buckets:?}");
+        assert!(buckets.windows(2).all(|w| w[0].0 < w[1].0 && w[0].1 <= w[1].1), "{buckets:?}");
+        assert_eq!(buckets.last().unwrap().1, values.len() as u64, "+Inf holds every record");
+        // Each recorded value is inside the cumulative count at its
+        // bucket's upper bound.
+        for v in values {
+            let (_, high) = Histogram::bounds_of(v);
+            let at = buckets.iter().find(|(le, _)| *le >= high).unwrap().1;
+            assert!(at >= values.iter().filter(|&&x| x <= v).count() as u64 / 2, "le {high}: {at}");
+        }
+        let get = |name: &str| samples.iter().find(|(s, _)| s == name).map(|(_, v)| *v);
+        assert_eq!(get("fanstore_fabric_rpc_latency_us_sum"), Some(values.iter().sum()));
+        assert_eq!(get("fanstore_fabric_rpc_latency_us_count"), Some(values.len() as u64));
+        assert_eq!(get("fanstore_ops"), Some(9));
+    }
+
+    #[test]
+    fn exemplar_reservoir_keeps_largest_deterministically() {
+        let h = Histogram::new(true);
+        for i in 1..=100u64 {
+            h.record_with_exemplar(i, 0x1000 + i);
+        }
+        let ex = h.exemplars();
+        assert_eq!(ex.len(), EXEMPLAR_CAP);
+        // Largest-first, and exactly the top CAP values with their ids.
+        for (i, e) in ex.iter().enumerate() {
+            assert_eq!(e.value, 100 - i as u64);
+            assert_eq!(e.request, 0x1000 + e.value);
+        }
+        // request 0 (untraced) never enters the reservoir.
+        h.record_with_exemplar(10_000, 0);
+        assert_eq!(h.exemplars().len(), EXEMPLAR_CAP);
+        assert_eq!(h.exemplars()[0].value, 100);
+    }
+
+    #[test]
+    fn exemplar_merge_equals_union() {
+        let a = Histogram::new(true);
+        let b = Histogram::new(true);
+        let union = Histogram::new(true);
+        for v in [5u64, 900, 30] {
+            a.record_with_exemplar(v, v * 2);
+            union.record_with_exemplar(v, v * 2);
+        }
+        for v in [1000u64, 7, 450, 31, 32, 33, 34, 35, 36] {
+            b.record_with_exemplar(v, v * 2);
+            union.record_with_exemplar(v, v * 2);
+        }
+        a.merge(&b);
+        assert_eq!(a.exemplars(), union.exemplars());
+        assert_eq!(a.exemplars()[0], Exemplar { value: 1000, request: 2000 });
+    }
+
+    #[test]
+    fn snapshot_delta_reports_gauges_last_observed() {
+        // Gauges are point-in-time: the per-epoch delta must carry the
+        // value at snapshot time, not a misleading difference.
+        let reg = MetricsRegistry::new();
+        reg.gauge("cache.resident_bytes").set(1000);
+        let before = reg.snapshot();
+        reg.gauge("cache.resident_bytes").set(400); // cache shrank
+        let delta = reg.snapshot().delta(&before);
+        assert_eq!(delta.gauges["cache.resident_bytes"], 400, "last-observed, not 1000-400");
+    }
+
+    #[test]
+    fn exemplars_survive_snapshot_and_json() {
+        let reg = MetricsRegistry::new();
+        reg.histogram("client.get.latency_us").record_with_exemplar(777, 0xABC);
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap.exemplars["client.get.latency_us"],
+            vec![Exemplar { value: 777, request: 0xABC }]
+        );
+        let parsed = json::parse(&snap.to_json()).unwrap();
+        let ex = parsed.get("exemplars").and_then(|e| e.get("client.get.latency_us")).unwrap();
+        let first = ex.as_arr().expect("exemplar array").first().expect("one exemplar");
+        assert_eq!(first.get("value").and_then(|v| v.as_u64()), Some(777));
+        assert_eq!(first.get("request").and_then(|v| v.as_str()), Some("abc"));
     }
 
     #[test]

@@ -48,6 +48,14 @@ impl Value {
         }
     }
 
+    /// The array's elements.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
     /// The object's key map.
     pub fn as_obj(&self) -> Option<&BTreeMap<String, Value>> {
         match self {

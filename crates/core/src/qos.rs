@@ -53,6 +53,110 @@ impl Default for TenantQuota {
     }
 }
 
+/// One tenant's service-level objective: "`target` of read operations
+/// complete within `latency_us`". Feeds an [`SloTracker`] whose
+/// good/bad counters and sliding-window burn rate are exported under
+/// `qos.tenant.<id>.slo.*`.
+#[derive(Debug, Clone, Copy)]
+pub struct SloObjective {
+    /// Latency threshold in microseconds: at or under is "good".
+    pub latency_us: u64,
+    /// Target good fraction in `(0, 1)`, e.g. `0.99`.
+    pub target: f64,
+}
+
+impl Default for SloObjective {
+    fn default() -> Self {
+        SloObjective { latency_us: 10_000, target: 0.99 }
+    }
+}
+
+/// Interior of the sliding window: a ring of fixed-size request slots.
+#[derive(Debug)]
+struct SloWindow {
+    /// `(good, bad)` per slot; the ring covers the last
+    /// `slots.len() * slot_size` observations.
+    slots: Vec<(u64, u64)>,
+    /// Slot currently being filled.
+    pos: usize,
+    /// Observations in the current slot so far.
+    filled: u64,
+    /// Observations per slot before rotating.
+    slot_size: u64,
+}
+
+/// Sliding-window SLO accounting for one tenant: every observed latency
+/// is classified good/bad against the objective, counted cumulatively
+/// (for the registry counters) and in a bounded request-count window
+/// (for the burn rate). Request-count slots — rather than wall-clock
+/// slots — keep seeded runs deterministic.
+#[derive(Debug)]
+pub struct SloTracker {
+    objective: SloObjective,
+    window: Mutex<SloWindow>,
+}
+
+impl SloTracker {
+    /// A tracker over `windows` slots of `slot_size` observations each.
+    pub fn new(objective: SloObjective, slot_size: usize, windows: usize) -> Self {
+        SloTracker {
+            objective,
+            window: Mutex::new(SloWindow {
+                slots: vec![(0, 0); windows.max(1)],
+                pos: 0,
+                filled: 0,
+                slot_size: slot_size.max(1) as u64,
+            }),
+        }
+    }
+
+    /// The objective this tracker enforces.
+    pub fn objective(&self) -> SloObjective {
+        self.objective
+    }
+
+    /// Classify one completed operation. Returns `true` when the latency
+    /// met the objective.
+    pub fn observe(&self, latency_us: u64) -> bool {
+        let good = latency_us <= self.objective.latency_us;
+        let mut w = self.window.lock();
+        if w.filled >= w.slot_size {
+            let next = (w.pos + 1) % w.slots.len();
+            w.pos = next;
+            w.slots[next] = (0, 0);
+            w.filled = 0;
+        }
+        let pos = w.pos;
+        if good {
+            w.slots[pos].0 += 1;
+        } else {
+            w.slots[pos].1 += 1;
+        }
+        w.filled += 1;
+        good
+    }
+
+    /// `(good, bad)` totals over the sliding window.
+    pub fn window_counts(&self) -> (u64, u64) {
+        let w = self.window.lock();
+        w.slots.iter().fold((0, 0), |(g, b), s| (g + s.0, b + s.1))
+    }
+
+    /// Error-budget burn rate over the window: the observed bad fraction
+    /// divided by the budget `1 - target`. `1.0` means burning exactly at
+    /// the sustainable rate; above it the objective will be missed if the
+    /// window is representative. `0.0` when the window is empty.
+    pub fn burn_rate(&self) -> f64 {
+        let (good, bad) = self.window_counts();
+        let total = good + bad;
+        if total == 0 {
+            return 0.0;
+        }
+        let budget = (1.0 - self.objective.target).max(1e-9);
+        (bad as f64 / total as f64) / budget
+    }
+}
+
 /// Cluster-wide QoS policy: per-tenant quotas plus the daemon's queueing
 /// and shedding knobs. Attach via [`crate::cluster::ClusterConfig::qos`];
 /// without a policy the daemon serves strict FIFO and clients stamp no
@@ -62,6 +166,14 @@ pub struct QosPolicy {
     /// Quotas by tenant. Tenants without an entry are unlimited
     /// (no admission control, weight 1, deadline from `rpc_timeout`).
     pub quotas: BTreeMap<TenantId, TenantQuota>,
+    /// Latency objectives by tenant. Tenants with an entry get an
+    /// [`SloTracker`] on the client: good/bad counters under
+    /// `qos.tenant.<id>.slo.*` and a sliding-window burn-rate gauge.
+    pub slo: BTreeMap<TenantId, SloObjective>,
+    /// Observations per burn-rate window slot (see [`SloTracker::new`]).
+    pub slo_slot: usize,
+    /// Window slots the burn rate is computed over.
+    pub slo_windows: usize,
     /// Bound on each tenant's daemon queue; overflowing requests are shed
     /// immediately. 0 = unbounded.
     pub queue_depth: usize,
@@ -86,6 +198,9 @@ impl QosPolicy {
     pub fn new() -> Self {
         QosPolicy {
             quotas: BTreeMap::new(),
+            slo: BTreeMap::new(),
+            slo_slot: 64,
+            slo_windows: 8,
             queue_depth: 1024,
             deadline_from_timeout: true,
             throttle_retries: 2,
@@ -99,6 +214,17 @@ impl QosPolicy {
     pub fn with_quota(mut self, tenant: TenantId, quota: TenantQuota) -> Self {
         self.quotas.insert(tenant, quota);
         self
+    }
+
+    /// Add or replace `tenant`'s latency objective (builder style).
+    pub fn with_slo(mut self, tenant: TenantId, objective: SloObjective) -> Self {
+        self.slo.insert(tenant, objective);
+        self
+    }
+
+    /// The objective registered for `tenant`, if any.
+    pub fn objective(&self, tenant: TenantId) -> Option<SloObjective> {
+        self.slo.get(&tenant).copied()
     }
 
     /// The quota registered for `tenant`, if any.
@@ -201,6 +327,53 @@ mod tests {
     fn zero_burst_admits_nothing() {
         let b = TokenBucket::new(1000.0, 0);
         assert!(!b.try_admit(1_000_000));
+    }
+
+    #[test]
+    fn slo_tracker_burn_rate_arithmetic() {
+        // target 0.99 -> budget 1%. 1 bad in 100 burns exactly 1.0.
+        let t = SloTracker::new(SloObjective { latency_us: 100, target: 0.99 }, 1000, 1);
+        for _ in 0..99 {
+            assert!(t.observe(50));
+        }
+        assert!(!t.observe(500));
+        assert_eq!(t.window_counts(), (99, 1));
+        assert!((t.burn_rate() - 1.0).abs() < 1e-9, "{}", t.burn_rate());
+        // 1 more bad: 2 bad of 101 against the 1% budget.
+        t.observe(500);
+        assert!((t.burn_rate() - (2.0 / 101.0) / (1.0 - 0.99)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn slo_window_slides_old_slots_out() {
+        // 2 slots of 4: after 8 all-bad then 4 all-good observations,
+        // the first all-bad slot has rotated out of the window.
+        let t = SloTracker::new(SloObjective { latency_us: 10, target: 0.5 }, 4, 2);
+        for _ in 0..8 {
+            t.observe(100);
+        }
+        assert_eq!(t.window_counts(), (0, 8));
+        for _ in 0..4 {
+            t.observe(1);
+        }
+        assert_eq!(t.window_counts(), (4, 4), "oldest bad slot evicted");
+        assert!((t.burn_rate() - 1.0).abs() < 1e-9, "half bad at 50% target burns 1.0");
+    }
+
+    #[test]
+    fn empty_tracker_burns_nothing() {
+        let t = SloTracker::new(SloObjective::default(), 8, 4);
+        assert_eq!(t.burn_rate(), 0.0);
+        assert_eq!(t.window_counts(), (0, 0));
+    }
+
+    #[test]
+    fn policy_carries_slo_objectives() {
+        let p = QosPolicy::new().with_slo(5, SloObjective { latency_us: 2_000, target: 0.95 });
+        let o = p.objective(5).expect("tenant 5 has an objective");
+        assert_eq!(o.latency_us, 2_000);
+        assert!((o.target - 0.95).abs() < 1e-12);
+        assert!(p.objective(6).is_none(), "unknown tenants have none");
     }
 
     #[test]

@@ -3,6 +3,7 @@
 //! likely per iteration (§IV-C3), `num_iter = num_epoch * data_size /
 //! batch_size` (§II-A), and periodic checkpoint writes (§II-B3).
 
+use crate::prefetch::{prefetched_epoch, PrefetchConfig};
 use fanstore::ckpt::{CheckpointStore, CkptConfig};
 use fanstore::client::FsClient;
 use fanstore::FsError;
@@ -26,6 +27,50 @@ pub struct EpochConfig {
     pub checkpoint_bytes: usize,
     /// RNG seed (per-node shuffles derive from it and the rank).
     pub seed: u64,
+    /// Run each epoch through the prefetch pipeline (feeder → decode
+    /// workers → consumer) instead of the synchronous open/read/close
+    /// loop. The pipeline's `batch_size` is overridden with
+    /// `batch_per_node` so iteration counting is identical either way.
+    /// `None` = synchronous reads, the historical behaviour.
+    pub prefetch: Option<PrefetchConfig>,
+}
+
+impl Default for EpochConfig {
+    fn default() -> Self {
+        EpochConfig {
+            root: "train".to_string(),
+            batch_per_node: 32,
+            epochs: 1,
+            checkpoint_every: 0,
+            checkpoint_bytes: 0,
+            seed: 0,
+            prefetch: None,
+        }
+    }
+}
+
+/// Blocked-time totals for one epoch range, extracted from the
+/// `train.stall.*.wait_us` histogram deltas (µs summed across the run;
+/// see [`prefetched_epoch`] for what each stage means). `ready` is the
+/// headline number: the time the training loop sat idle waiting for
+/// data — the stall the source paper attributes to I/O.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StallBreakdown {
+    /// Consumer blocked on the ready queue (accelerator starved).
+    pub ready_wait_us: u64,
+    /// Feeder blocked on a full work queue.
+    pub feed_wait_us: u64,
+    /// Decode workers idle with nothing fetched.
+    pub work_wait_us: u64,
+    /// Decode workers blocked handing off to a slow consumer.
+    pub emit_wait_us: u64,
+}
+
+impl StallBreakdown {
+    /// Total blocked time across every pipeline stage.
+    pub fn total_us(&self) -> u64 {
+        self.ready_wait_us + self.feed_wait_us + self.work_wait_us + self.emit_wait_us
+    }
 }
 
 /// Outcome of an epoch run on one node.
@@ -52,8 +97,12 @@ pub struct EpochReport {
     pub decode_mb_per_s: f64,
     /// Per-epoch-range metrics delta (counters and latency histograms
     /// scoped to this run), or `None` when the cluster runs with
-    /// metrics disabled.
+    /// metrics disabled. Gauges in the delta are last-observed current
+    /// values, not differences.
     pub metrics: Option<fanstore::metrics::Snapshot>,
+    /// Pipeline stall breakdown for this range (all zeros when the run
+    /// was synchronous); `None` when metrics are disabled.
+    pub stalls: Option<StallBreakdown>,
 }
 
 /// Run `cfg.epochs` epochs of batch reads on this node's view of the
@@ -116,22 +165,33 @@ pub fn run_epoch_range(
     for epoch in start..end {
         let mut order: Vec<&String> = files.iter().collect();
         order.shuffle(&mut rng);
-        for batch in order.chunks(cfg.batch_per_node.max(1)) {
-            // A training framework opens each file, reads it fully
-            // through the POSIX surface, and closes it.
-            for path in batch {
-                let fd = fs.open(path)?;
-                let mut buf = vec![0u8; 64 * 1024];
-                loop {
-                    let n = fs.read(fd, &mut buf)?;
-                    if n == 0 {
-                        break;
+        if let Some(p) = &cfg.prefetch {
+            // Pipelined epoch: same shuffled visit order, but fetched
+            // ahead by the prefetch machinery; each delivered batch is
+            // one iteration, matching the synchronous count.
+            let paths: Vec<String> = order.iter().map(|s| (*s).clone()).collect();
+            let pcfg = PrefetchConfig { batch_size: cfg.batch_per_node.max(1), ..*p };
+            bytes_read += prefetched_epoch(fs, &paths, &pcfg, |_batch| {
+                iterations += 1;
+            })?;
+        } else {
+            for batch in order.chunks(cfg.batch_per_node.max(1)) {
+                // A training framework opens each file, reads it fully
+                // through the POSIX surface, and closes it.
+                for path in batch {
+                    let fd = fs.open(path)?;
+                    let mut buf = vec![0u8; 64 * 1024];
+                    loop {
+                        let n = fs.read(fd, &mut buf)?;
+                        if n == 0 {
+                            break;
+                        }
+                        bytes_read += n as u64;
                     }
-                    bytes_read += n as u64;
+                    fs.close(fd)?;
                 }
-                fs.close(fd)?;
+                iterations += 1;
             }
-            iterations += 1;
         }
         if let Some(store) = &ckpt_store {
             if (epoch + 1).is_multiple_of(cfg.checkpoint_every) {
@@ -163,6 +223,18 @@ pub fn run_epoch_range(
         })
         .unwrap_or((0, 0.0));
 
+    let stalls = metrics_delta.as_ref().map(|d| {
+        let wait = |stage: &str| {
+            d.histograms.get(&format!("train.stall.{stage}.wait_us")).map_or(0, |h| h.sum)
+        };
+        StallBreakdown {
+            ready_wait_us: wait("ready"),
+            feed_wait_us: wait("feed"),
+            work_wait_us: wait("work"),
+            emit_wait_us: wait("emit"),
+        }
+    });
+
     Ok(EpochReport {
         files_seen: files.len(),
         iterations,
@@ -172,6 +244,7 @@ pub fn run_epoch_range(
         decode_bytes,
         decode_mb_per_s,
         metrics: metrics_delta,
+        stalls,
     })
 }
 
@@ -204,6 +277,7 @@ mod tests {
             checkpoint_every: 1,
             checkpoint_bytes: 256,
             seed: 7,
+            prefetch: None,
         };
         let reports = FanStore::run(
             ClusterConfig { nodes: 2, ..Default::default() },
@@ -236,6 +310,7 @@ mod tests {
             checkpoint_every: 0,
             checkpoint_bytes: 0,
             seed: 1,
+            prefetch: None,
         };
         let reports = FanStore::run(ClusterConfig::default(), packed.partitions, |fs| {
             run_epochs(fs, &cfg).unwrap()

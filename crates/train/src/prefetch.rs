@@ -10,9 +10,11 @@
 //! in parallel. Completed files flow through a bounded ready queue whose
 //! depth bounds the prefetch distance (how far I/O may run ahead).
 
-use crossbeam_channel::{bounded, Receiver};
+use crossbeam_channel::{bounded, Receiver, Sender, TryRecvError, TrySendError};
 use fanstore::client::{FsClient, RawEntry};
+use fanstore::metrics::{now_us, Histogram};
 use fanstore::FsError;
+use std::sync::Arc;
 
 /// Prefetch pipeline configuration.
 #[derive(Debug, Clone, Copy)]
@@ -42,6 +44,43 @@ impl Default for PrefetchConfig {
     }
 }
 
+/// Send, recording the blocked time into `stall` when the channel was
+/// full. The try-first shape means an unobstructed send never touches
+/// the clock, so only genuine stalls land in the histogram.
+fn send_stalled<T>(tx: &Sender<T>, value: T, timed: bool, stall: &Histogram) -> Result<(), ()> {
+    if !timed {
+        return tx.send(value).map_err(|_| ());
+    }
+    match tx.try_send(value) {
+        Ok(()) => Ok(()),
+        Err(TrySendError::Disconnected(_)) => Err(()),
+        Err(TrySendError::Full(v)) => {
+            let start = now_us();
+            let out = tx.send(v).map_err(|_| ());
+            stall.record(now_us().saturating_sub(start));
+            out
+        }
+    }
+}
+
+/// Receive, recording the blocked time into `stall` when the channel was
+/// empty (see [`send_stalled`]).
+fn recv_stalled<T>(rx: &Receiver<T>, timed: bool, stall: &Histogram) -> Result<T, ()> {
+    if !timed {
+        return rx.recv().map_err(|_| ());
+    }
+    match rx.try_recv() {
+        Ok(v) => Ok(v),
+        Err(TryRecvError::Disconnected) => Err(()),
+        Err(TryRecvError::Empty) => {
+            let start = now_us();
+            let out = rx.recv().map_err(|_| ());
+            stall.record(now_us().saturating_sub(start));
+            out
+        }
+    }
+}
+
 /// One fetched file.
 pub struct Fetched {
     /// Position in the epoch order.
@@ -59,6 +98,15 @@ pub struct Fetched {
 /// I/O and consumption overlap: while `consume` runs on batch *i*, the
 /// feeder is already coalescing batch *i+1*'s RPCs and the workers are
 /// decompressing its entries (bounded by `cfg.queue_batches`).
+///
+/// With metrics enabled, every stage's *blocked* time is recorded into
+/// the `train.stall.{ready,feed,work,emit}.wait_us` histograms:
+/// `ready` is the consumer starved for data (the stall the paper's
+/// argument is about — the accelerator idles), `feed` is the feeder
+/// blocked on a full work queue, `work` is a decode worker idle with
+/// nothing fetched, and `emit` is a worker blocked handing off to a slow
+/// consumer. Unobstructed handoffs record nothing, so the histograms
+/// measure contention, not traffic.
 pub fn prefetched_epoch<F>(
     fs: &FsClient,
     paths: &[String],
@@ -84,6 +132,12 @@ where
     let batch = cfg.batch_size.max(1);
     let rpc_batch = if cfg.rpc_batch == 0 { batch } else { cfg.rpc_batch };
     let capacity = (cfg.queue_batches.max(1) * batch).max(1);
+    let m = &fs.state().metrics;
+    let timed = m.is_enabled();
+    let stall_ready: Arc<Histogram> = m.histogram("train.stall.ready.wait_us");
+    let stall_feed: Arc<Histogram> = m.histogram("train.stall.feed.wait_us");
+    let stall_work: Arc<Histogram> = m.histogram("train.stall.work.wait_us");
+    let stall_emit: Arc<Histogram> = m.histogram("train.stall.emit.wait_us");
     type RawItem = (usize, String, Result<RawEntry, FsError>);
     let (work_tx, work_rx) = bounded::<RawItem>(capacity);
     let (ready_tx, ready_rx) = bounded::<Result<Fetched, FsError>>(capacity);
@@ -92,12 +146,13 @@ where
         // Feeder: fetch one rpc_batch at a time — grouped by owner rank,
         // one GetMany per rank — and queue the raw (mostly still
         // compressed) entries for the workers.
+        let feed = Arc::clone(&stall_feed);
         scope.spawn(move || {
             for (round, chunk) in paths.chunks(rpc_batch).enumerate() {
                 let raw = fs.fetch_many_raw(chunk);
                 for (j, (path, entry)) in chunk.iter().zip(raw).enumerate() {
                     let index = round * rpc_batch + j;
-                    if work_tx.send((index, path.clone(), entry)).is_err() {
+                    if send_stalled(&work_tx, (index, path.clone(), entry), timed, &feed).is_err() {
                         return;
                     }
                 }
@@ -107,14 +162,15 @@ where
         for _ in 0..cfg.io_threads.max(1) {
             let work_rx: Receiver<RawItem> = work_rx.clone();
             let ready_tx = ready_tx.clone();
+            let (work, emit) = (Arc::clone(&stall_work), Arc::clone(&stall_emit));
             scope.spawn(move || {
-                while let Ok((index, path, entry)) = work_rx.recv() {
+                while let Ok((index, path, entry)) = recv_stalled(&work_rx, timed, &work) {
                     let result = entry.and_then(|e| fs.finish_read(&path, e)).map(|data| Fetched {
                         index,
                         path,
                         data,
                     });
-                    if ready_tx.send(result).is_err() {
+                    if send_stalled(&ready_tx, result, timed, &emit).is_err() {
                         return;
                     }
                 }
@@ -135,7 +191,7 @@ where
                 fs.recycle(f.data);
             }
         };
-        for fetched in ready_rx {
+        while let Ok(fetched) = recv_stalled(&ready_rx, timed, &stall_ready) {
             let f = fetched?;
             total += f.data.len() as u64;
             current.push(f);

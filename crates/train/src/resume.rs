@@ -85,6 +85,7 @@ mod tests {
             checkpoint_every: 1,
             checkpoint_bytes: 128,
             seed: 3,
+            prefetch: None,
         };
         FanStore::run(ClusterConfig::default(), packed.partitions, |fs| {
             // Simulated first allocation: run epochs 0..2 then "fail".
@@ -118,6 +119,7 @@ mod tests {
             checkpoint_every: 1,
             checkpoint_bytes: 96,
             seed: 11,
+            prefetch: None,
         };
         FanStore::run(ClusterConfig::default(), packed.partitions, |fs| {
             run_epoch_range(fs, &cfg, 0, 3).unwrap();
@@ -151,6 +153,7 @@ mod tests {
             checkpoint_every: 2,
             checkpoint_bytes: 64,
             seed: 1,
+            prefetch: None,
         };
         FanStore::run(ClusterConfig::default(), packed.partitions, |fs| {
             assert_eq!(latest_checkpoint_epoch(fs).unwrap(), None);
@@ -172,6 +175,7 @@ mod tests {
             checkpoint_every: 1,
             checkpoint_bytes: 64,
             seed: 9,
+            prefetch: None,
         };
         FanStore::run(ClusterConfig::default(), packed.partitions, |fs| {
             run_epoch_range(fs, &cfg, 0, 1).unwrap();
@@ -196,6 +200,7 @@ mod tests {
             checkpoint_every: 1,
             checkpoint_bytes: 256,
             seed: 2,
+            prefetch: None,
         };
         FanStore::run(ClusterConfig::default(), packed.partitions, |fs| {
             run_epoch_range(fs, &cfg, 0, 3).unwrap();

@@ -33,6 +33,7 @@ fn main() {
         checkpoint_every: 0,
         checkpoint_bytes: 0,
         seed: 42,
+        prefetch: None,
     };
 
     // The fault schedule: rank 0's service links go dark after 3

@@ -30,6 +30,7 @@ fn main() {
         checkpoint_every: 2,
         checkpoint_bytes: 32 * 1024,
         seed: 77,
+        prefetch: None,
     };
 
     let exported =

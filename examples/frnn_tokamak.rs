@@ -64,6 +64,7 @@ fn main() {
         checkpoint_every: 0,
         checkpoint_bytes: 0,
         seed: 11,
+        prefetch: None,
     };
     let reports =
         FanStore::run(ClusterConfig { nodes: 4, ..Default::default() }, packed.partitions, |fs| {

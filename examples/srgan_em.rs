@@ -98,6 +98,7 @@ fn main() {
         checkpoint_every: 1,
         checkpoint_bytes: 64 * 1024,
         seed: 42,
+        prefetch: None,
     };
     let reports =
         FanStore::run(ClusterConfig { nodes: 4, ..Default::default() }, packed.partitions, |fs| {

@@ -96,6 +96,7 @@ fn multi_node_resume_continues_numbering() {
         checkpoint_every: 1,
         checkpoint_bytes: 64,
         seed: 5,
+        prefetch: None,
     };
     let results =
         FanStore::run(ClusterConfig { nodes: 2, ..Default::default() }, packed.partitions, |fs| {

@@ -71,6 +71,7 @@ fn chaotic_run(seed: u64) -> Vec<RankOutcome> {
         checkpoint_every: 0,
         checkpoint_bytes: 0,
         seed,
+        prefetch: None,
     };
     FanStore::run(cfg, packed.partitions, |fs| {
         let report = run_epochs(fs, &epoch_cfg).expect("training survives the faults");

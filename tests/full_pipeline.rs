@@ -53,6 +53,7 @@ fn epochs_across_nodes_with_checkpoints() {
         checkpoint_every: 2,
         checkpoint_bytes: 1024,
         seed: 99,
+        prefetch: None,
     };
     let reports =
         FanStore::run(ClusterConfig { nodes: 2, ..Default::default() }, partitions, |fs| {

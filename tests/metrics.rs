@@ -45,9 +45,14 @@ fn observed_run() -> Vec<(Arc<MetricsRegistry>, Vec<SpanEvent>)> {
                 fs.read_whole(path).expect("read");
             }
         }
-        let spans = fs.trace().expect("trace ring on").spans();
-        (Arc::clone(&fs.state().metrics), spans)
+        // Ring handle, not contents: this rank's daemon may still be
+        // serving peers' requests when the closure ends, so spans are
+        // read only after `run` returns (daemons joined).
+        (Arc::clone(&fs.state().metrics), Arc::clone(fs.trace().expect("trace ring on")))
     })
+    .into_iter()
+    .map(|(m, t)| (m, t.spans()))
+    .collect()
 }
 
 #[test]
@@ -74,10 +79,12 @@ fn four_node_run_emits_histograms_and_complete_get_span() {
     let rpc = snap.histograms.get("fabric.rpc.latency_us").expect("RPC histogram");
     assert!(rpc.count > 0, "remote fetches went over the fabric");
 
-    // The Prometheus surface carries the same series.
+    // The Prometheus surface carries the same series, in full
+    // exposition shape: HELP/TYPE headers and cumulative le-buckets.
     let prom = merged.to_prometheus();
-    assert!(prom.contains("fanstore_client_get_latency_us"), "{prom}");
-    assert!(prom.contains("quantile=\"0.99\""), "{prom}");
+    assert!(prom.contains("# TYPE fanstore_client_get_latency_us histogram"), "{prom}");
+    assert!(prom.contains("fanstore_client_get_latency_us_bucket{le=\"+Inf\"}"), "{prom}");
+    assert!(prom.contains("fanstore_client_get_latency_us_count"), "{prom}");
 
     // At least one GET must trace client -> fabric -> daemon *across
     // ranks*: the daemon.serve stage lands on the serving rank's
@@ -103,6 +110,50 @@ fn four_node_run_emits_histograms_and_complete_get_span() {
         complete.is_some(),
         "no GET with client.get + fabric.rpc + cross-rank daemon.serve among {} spans",
         all_spans.len()
+    );
+}
+
+#[test]
+fn tail_exemplar_resolves_to_complete_span_tree() {
+    // A p99 outlier must be actionable: the GET latency histogram's
+    // tail exemplars carry their request id, and joining every rank's
+    // spans on that id must reassemble the whole cross-rank request —
+    // root GET, the rpc leg, the remote daemon's serve leg, and the
+    // decompress leg — so "what was slow" links straight to "where the
+    // time went".
+    let per_rank = observed_run();
+    let merged = MetricsRegistry::new();
+    for (registry, _) in &per_rank {
+        merged.merge(registry);
+    }
+    let snap = merged.snapshot();
+    let get = snap.histograms.get("client.get.latency_us").expect("GET histogram");
+    let exemplars = snap.exemplars.get("client.get.latency_us").expect("GET exemplars");
+    assert!(!exemplars.is_empty());
+    assert_eq!(
+        exemplars[0].value, get.max,
+        "the top exemplar is the recorded maximum, i.e. the worst GET"
+    );
+    assert!(exemplars[0].value >= get.p50, "exemplars sample the tail, not the body");
+
+    let all_spans: Vec<&SpanEvent> = per_rank.iter().flat_map(|(_, s)| s).collect();
+    let complete = exemplars.iter().find(|ex| {
+        let of =
+            |stage: &str| all_spans.iter().find(|s| s.request == ex.request && s.stage == stage);
+        match (of("client.get"), of("fabric.rpc"), of("daemon.serve"), of("client.decompress")) {
+            (Some(root), Some(rpc), Some(serve), Some(dec)) => {
+                serve.rank != root.rank // genuinely crossed ranks
+                    && rpc.rank == root.rank
+                    && dec.rank == root.rank
+                    && rpc.start_us >= root.start_us
+                    && rpc.start_us + rpc.dur_us <= root.start_us + root.dur_us
+            }
+            _ => false,
+        }
+    });
+    assert!(
+        complete.is_some(),
+        "no exemplar joined to a complete cross-rank tree; exemplars={exemplars:?}"
     );
 }
 
@@ -135,6 +186,7 @@ fn chaos_metrics_snapshot_schema() {
         checkpoint_every: 0,
         checkpoint_bytes: 0,
         seed: 3,
+        prefetch: None,
     };
     let jsons = FanStore::run(cfg, packed.partitions, |fs| {
         run_epochs(fs, &epoch_cfg).expect("training survives the faults");
@@ -235,6 +287,7 @@ fn disabled_metrics_record_nothing() {
         checkpoint_every: 1,
         checkpoint_bytes: 128,
         seed: 5,
+        prefetch: None,
     };
     let out = FanStore::run(cfg, packed.partitions, |fs| {
         assert!(!fs.state().metrics.is_enabled());

@@ -20,6 +20,7 @@ fn trace_captures_training_workload_shape() {
         checkpoint_every: 2,
         checkpoint_bytes: 512,
         seed: 4,
+        prefetch: None,
     };
     let summaries = FanStore::run(
         ClusterConfig { trace_ring: 4096, ..Default::default() },
