@@ -18,6 +18,7 @@ pub mod table4;
 pub mod table5;
 pub mod table6;
 pub mod table7;
+pub mod wal_write;
 
 use std::time::Instant;
 

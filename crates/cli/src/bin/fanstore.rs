@@ -5,6 +5,7 @@
 //! fanstore metrics [--nodes 4] [--files 24] [--json true] [--tenant N]
 //! fanstore trace dump [--nodes 4] [--files 24]
 //! fanstore ckpt <ls | verify | gc> [--nodes 4] [--generations 5] [--keep-last 2]
+//! fanstore wal <ls | verify | compact> [--nodes 4] [--files 24]
 //! fanstore qos [--nodes 4] [--files 24]
 //! fanstore attrib [--nodes 4] [--files 24]
 //! fanstore slo [--nodes 4] [--files 24]
@@ -24,12 +25,12 @@ use std::process::ExitCode;
 
 use fanstore_cli::{
     run_attrib_demo, run_ckpt_demo, run_metrics_demo, run_qos_demo, run_slo_demo, run_trace_dump,
-    Args,
+    run_wal_demo, Args,
 };
 
 const USAGE: &str = "usage: fanstore <metrics | trace dump | ckpt ls | ckpt verify | ckpt gc | \
-                     qos | attrib | slo> [--nodes N] [--files N] [--json true] [--tenant N] \
-                     [--generations N] [--keep-last K]";
+                     wal ls | wal verify | wal compact | qos | attrib | slo> [--nodes N] \
+                     [--files N] [--json true] [--tenant N] [--generations N] [--keep-last K]";
 
 fn main() -> ExitCode {
     let args = match Args::parse(std::env::args().skip(1)) {
@@ -70,6 +71,7 @@ fn main() -> ExitCode {
         [cmd] if cmd == "qos" => run_qos_demo(nodes, files),
         [cmd] if cmd == "attrib" => run_attrib_demo(nodes, files),
         [cmd] if cmd == "slo" => run_slo_demo(nodes, files),
+        [cmd, sub] if cmd == "wal" => run_wal_demo(sub, nodes, files),
         [cmd, sub] if cmd == "ckpt" => {
             let generations = match args.get_usize("generations", 5) {
                 Ok(n) => n,

@@ -729,6 +729,109 @@ pub fn run_ckpt_demo(
     Ok(report)
 }
 
+/// `fanstore wal <ls|verify|compact>`: run a write-heavy workload on a
+/// cluster with the durable write path enabled — three generations of
+/// output files per rank, unlinking each superseded generation, with a
+/// WAL flush per generation so the segment set has versions, tombstones
+/// and live data — then run the requested inspection on every rank's
+/// [`fanstore::wal::WalStore`].
+pub fn run_wal_demo(sub: &str, nodes: usize, files_n: usize) -> Result<String, String> {
+    if !matches!(sub, "ls" | "verify" | "compact") {
+        return Err(format!("unknown wal subcommand: {sub}"));
+    }
+    if nodes == 0 || files_n == 0 {
+        return Err("need at least one node and one file".into());
+    }
+    let packed = prepare(
+        demo_dataset(nodes.max(2)),
+        &PrepConfig { partitions: nodes, ..Default::default() },
+    );
+    let wal_cfg = fanstore::wal::WalConfig {
+        memtable_budget: 64 * 1024,
+        compact_min_segments: 0, // the `compact` subcommand drives it
+        ..Default::default()
+    };
+    let outputs = FanStore::run(
+        ClusterConfig { nodes, wal: Some(wal_cfg), ..Default::default() },
+        packed.partitions,
+        |fs| -> Result<String, fanstore::FsError> {
+            let wal = Arc::clone(fs.state().wal.as_ref().expect("wal configured"));
+            let rank = fs.rank();
+            for g in 1..=3u64 {
+                for i in 0..files_n {
+                    let path = format!("out/gen{g}/r{rank}-f{i}.bin");
+                    let payload = demo_ckpt_payload(rank, g, 2048);
+                    fs.write_whole(&path, &payload)?;
+                }
+                if g > 1 {
+                    for i in 0..files_n {
+                        fs.unlink(&format!("out/gen{}/r{rank}-f{i}.bin", g - 1))?;
+                    }
+                }
+                wal.flush()?; // one immutable segment per generation
+            }
+            let mut out = String::new();
+            match sub {
+                "ls" => {
+                    let s = wal.status();
+                    out.push_str(&format!(
+                        "rank {rank}: publish={} trim_seq={} durable_seq={} memtable={} keys \
+                         ({} B)  segments={}\n",
+                        s.publish,
+                        s.trim_seq,
+                        s.durable_seq,
+                        s.memtable_keys,
+                        s.memtable_bytes,
+                        s.segments.len(),
+                    ));
+                    for seg in &s.segments {
+                        out.push_str(&format!(
+                            "rank {rank}:   {}  entries={}  bytes={}  seq=[{},{}]\n",
+                            seg.name, seg.entries, seg.bytes, seg.first_seq, seg.last_seq,
+                        ));
+                    }
+                }
+                "verify" => {
+                    let v = wal.verify();
+                    if !v.errors.is_empty() {
+                        return Err(fanstore::FsError::Corrupt(format!(
+                            "rank {rank}: {}",
+                            v.errors.join("; ")
+                        )));
+                    }
+                    out.push_str(&format!(
+                        "rank {rank}: OK  publish={}  segments={}  entries={}  \
+                         log_records={}  torn={}\n",
+                        v.publish, v.segments_ok, v.entries, v.log_records, v.log_torn,
+                    ));
+                }
+                "compact" => {
+                    let r = wal.compact()?;
+                    let s = wal.status();
+                    out.push_str(&format!(
+                        "rank {rank}: merged={} dropped(versions={} tombstones={} expired={}) \
+                         in={} B out={} B  -> {} segments\n",
+                        r.merged_segments,
+                        r.dropped_versions,
+                        r.dropped_tombstones,
+                        r.dropped_expired,
+                        r.in_bytes,
+                        r.out_bytes,
+                        s.segments.len(),
+                    ));
+                }
+                _ => unreachable!("subcommand validated above"),
+            }
+            Ok(out)
+        },
+    );
+    let mut report = format!("wal {sub} ({nodes} nodes, {files_n} files/generation)\n");
+    for out in outputs {
+        report.push_str(&out.map_err(|e| format!("wal workload failed: {e}"))?);
+    }
+    Ok(report)
+}
+
 /// Temp-dir helper for the CLI tests.
 pub fn temp_dir(tag: &str) -> PathBuf {
     let unique = format!(
@@ -918,6 +1021,38 @@ mod tests {
         assert!(run_ckpt_demo("frobnicate", 1, 3, 0).is_err());
         assert!(run_ckpt_demo("ls", 0, 3, 0).is_err());
         assert!(run_ckpt_demo("ls", 1, 0, 0).is_err());
+    }
+
+    #[test]
+    fn wal_ls_shows_published_segments() {
+        let out = run_wal_demo("ls", 2, 3).unwrap();
+        assert!(out.contains("publish=3"), "three flushes publish three times: {out}");
+        assert!(out.contains("wal/seg-"), "{out}");
+        assert!(out.contains("memtable=0 keys"), "flush drains the memtable: {out}");
+        assert!(out.contains("rank 1"), "every rank reports: {out}");
+    }
+
+    #[test]
+    fn wal_verify_reports_clean_store() {
+        let out = run_wal_demo("verify", 1, 3).unwrap();
+        assert!(out.contains(": OK"), "{out}");
+        assert!(out.contains("segments=3"), "{out}");
+        assert!(out.contains("torn=false"), "{out}");
+    }
+
+    #[test]
+    fn wal_compact_retires_superseded_state() {
+        let out = run_wal_demo("compact", 1, 4).unwrap();
+        assert!(out.contains("merged=3"), "{out}");
+        assert!(out.contains("tombstones=8"), "gen1+gen2 unlinks retire: {out}");
+        assert!(out.contains("-> 1 segments"), "{out}");
+    }
+
+    #[test]
+    fn wal_rejects_bad_input() {
+        assert!(run_wal_demo("frobnicate", 1, 3).is_err());
+        assert!(run_wal_demo("ls", 0, 3).is_err());
+        assert!(run_wal_demo("ls", 1, 0).is_err());
     }
 
     #[test]

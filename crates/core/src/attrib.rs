@@ -9,14 +9,19 @@
 //! elementary slice of time between span boundaries is charged to the
 //! highest-priority span covering it:
 //!
-//! | priority | stage               | segment     |
-//! |----------|---------------------|-------------|
-//! | 5        | `daemon.serve`      | `serve`     |
-//! | 4        | `daemon.queue`      | `queue`     |
-//! | 3        | `client.decompress` | `decode`    |
-//! | 2        | `client.admit`      | `admission` |
-//! | 1        | `fabric.rpc`        | `network`   |
-//! | 0        | root client ops     | `cache`     |
+//! | priority | stage                | segment     |
+//! |----------|----------------------|-------------|
+//! | 6        | `daemon.write_serve` | `serve`     |
+//! | 5        | `daemon.serve`       | `serve`     |
+//! | 4        | `daemon.queue`       | `queue`     |
+//! | 3        | `client.decompress`  | `decode`    |
+//! | 2        | `client.admit`       | `admission` |
+//! | 1        | `fabric.rpc`         | `network`   |
+//! | 0        | root client ops      | `cache`     |
+//!
+//! Root client ops are `client.get`, `client.get_many` and
+//! `client.put` — the write path's root span, whose serve leg is the
+//! daemon's `daemon.write_serve`.
 //!
 //! `network` is therefore RPC time *not* explained by the daemon's
 //! queue or service; `cache` is time inside the root client span not
@@ -42,12 +47,17 @@ pub const SEGMENTS: [&str; 6] = ["admission", "queue", "network", "serve", "deco
 /// the residual).
 fn classify(stage: &str) -> Option<(usize, u8)> {
     match stage {
+        // daemon.write_serve shadows the generic daemon.serve span the
+        // dispatch loop also records for a PUT: same segment, one notch
+        // higher priority, so write serving charges to `serve` exactly
+        // once.
+        "daemon.write_serve" => Some((3, 6)),
         "daemon.serve" => Some((3, 5)),
         "daemon.queue" => Some((1, 4)),
         "client.decompress" => Some((4, 3)),
         "client.admit" => Some((0, 2)),
         "fabric.rpc" => Some((2, 1)),
-        "client.get" | "client.get_many" => Some((5, 0)),
+        "client.get" | "client.get_many" | "client.put" => Some((5, 0)),
         _ => None,
     }
 }

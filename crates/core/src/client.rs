@@ -1080,35 +1080,46 @@ impl FsClient {
                 Ok(())
             }
             OpenFile::Write { path, buf } => {
-                let entry = self.state.finalize_write(&path, buf)?;
-                let owner = meta_owner(&path, self.state.size);
-                if owner != self.state.rank {
-                    let payload = encode_single(&path, &entry);
-                    let sent = match &self.failover {
-                        Some(cfg) => self.service.rpc_timeout(
-                            owner,
-                            tags::PUT_META,
-                            payload,
-                            cfg.rpc_timeout,
-                        ),
-                        None => self.service.rpc(owner, tags::PUT_META, payload),
-                    };
-                    if let Err(e) = sent {
-                        if self.failover.is_none() {
-                            return Err(FsError::Comm(e.to_string()));
-                        }
-                        // Degraded mode: the metadata owner is
-                        // unreachable. The file stays readable from this
-                        // node; count the lost forward instead of killing
-                        // the training run.
-                        self.state.stats.rpc_timeouts.inc();
-                        self.state.stats.meta_forward_failures.inc();
-                        self.record(Op::Degraded, &path, 0);
-                    }
+                // The finalisation (durable local landing + metadata
+                // forward) is the write's latency-bearing leg: one
+                // `client.put` span when timed.
+                let request = if self.timed { self.state.next_request_id() } else { 0 };
+                let start = if self.timed { now_us() } else { 0 };
+                let out = self.close_write(&path, buf);
+                if self.timed {
+                    self.span(request, "client.put", start);
                 }
-                Ok(())
+                out
             }
         }
+    }
+
+    /// Finalise one written file: land it in the node's write store (and
+    /// WAL, when attached) and forward its metadata to the owner rank.
+    fn close_write(&self, path: &str, buf: Vec<u8>) -> Result<(), FsError> {
+        let entry = self.state.finalize_write(path, buf)?;
+        let owner = meta_owner(path, self.state.size);
+        if owner != self.state.rank {
+            let payload = encode_single(path, &entry);
+            let sent = match &self.failover {
+                Some(cfg) => {
+                    self.service.rpc_timeout(owner, tags::PUT_META, payload, cfg.rpc_timeout)
+                }
+                None => self.service.rpc(owner, tags::PUT_META, payload),
+            };
+            if let Err(e) = sent {
+                if self.failover.is_none() {
+                    return Err(FsError::Comm(e.to_string()));
+                }
+                // Degraded mode: the metadata owner is unreachable. The
+                // file stays readable from this node; count the lost
+                // forward instead of killing the training run.
+                self.state.stats.rpc_timeouts.inc();
+                self.state.stats.meta_forward_failures.inc();
+                self.record(Op::Degraded, path, 0);
+            }
+        }
+        Ok(())
     }
 
     /// `stat(path)`: answered from the replicated local metadata; for
@@ -1221,14 +1232,27 @@ impl FsClient {
     /// deadline when one is attached.
     pub fn put_remote(&self, rank: usize, path: &str, data: &[u8]) -> Result<(), FsError> {
         let payload = crate::daemon::encode_put(path, self.state.rank as u32, data);
-        let reply = match &self.failover {
-            Some(cfg) => self.service.rpc_timeout(rank, tags::PUT, payload, cfg.rpc_timeout),
-            None => self.service.rpc(rank, tags::PUT, payload),
-        };
-        match reply.map_err(|e| self.rpc_error(&format!("PUT {path} to rank {rank}"), e))? {
-            r if r.first() == Some(&crate::daemon::status::OK) => Ok(()),
-            _ => Err(FsError::Comm(format!("PUT {path} rejected by rank {rank}"))),
+        let timeout = self.failover.as_ref().map(|cfg| cfg.rpc_timeout);
+        // When timed, the push is one traced request: a `client.put`
+        // root span with a `fabric.rpc` child, and the request id rides
+        // the envelope so the serving daemon's `daemon.write_serve` span
+        // joins the same tree (`fanstore attrib` write attribution).
+        let request = if self.timed { self.state.next_request_id() } else { 0 };
+        let start = if self.timed { now_us() } else { 0 };
+        let meta = self.rpc_meta(request, 0); // writes are never shed on deadline
+        let reply = self.service.rpc_with_meta(rank, tags::PUT, payload, timeout, meta);
+        if self.timed {
+            self.span(request, "fabric.rpc", start);
         }
+        let out =
+            match reply.map_err(|e| self.rpc_error(&format!("PUT {path} to rank {rank}"), e))? {
+                r if r.first() == Some(&crate::daemon::status::OK) => Ok(()),
+                _ => Err(FsError::Comm(format!("PUT {path} rejected by rank {rank}"))),
+            };
+        if self.timed {
+            self.span(request, "client.put", start);
+        }
+        out
     }
 
     /// `unlink(path)` for output files held on this node (checkpoint GC).

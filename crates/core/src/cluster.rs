@@ -75,6 +75,16 @@ pub struct ClusterConfig {
     /// throttling. The closure's client runs as tenant 0; fork siblings
     /// with [`FsClient::fork_tenant`].
     pub qos: Option<QosPolicy>,
+    /// Durable write path per node (see [`crate::wal`]). `None`
+    /// (default) keeps writes purely in-memory; `Some` lands every
+    /// write-store mutation in a per-node WAL before it is acknowledged
+    /// and replays it at daemon start.
+    pub wal: Option<crate::wal::WalConfig>,
+    /// Pre-built WAL media, one per rank. Lets a test share media
+    /// across two `FanStore::run` invocations — the in-process model of
+    /// restarting daemons on the same disks. Ranks beyond the vector
+    /// (or `None`) get a fresh [`crate::wal::RamMedia`].
+    pub wal_media: Option<Vec<Arc<crate::wal::RamMedia>>>,
 }
 
 impl Default for ClusterConfig {
@@ -92,6 +102,8 @@ impl Default for ClusterConfig {
             read_through: false,
             metrics: true,
             qos: None,
+            wal: None,
+            wal_media: None,
         }
     }
 }
@@ -177,6 +189,8 @@ impl FanStore {
         let trace_ring = cfg.trace_ring;
         let metrics_on = cfg.metrics;
         let qos = cfg.qos.clone().map(Arc::new);
+        let wal_cfg = cfg.wal.clone();
+        let wal_media = cfg.wal_media.clone();
         let f = &f;
 
         let node_body = move |mut ctx: NodeCtx| {
@@ -189,8 +203,23 @@ impl FanStore {
             } else {
                 MetricsRegistry::disabled()
             });
-            let state =
-                Arc::new(NodeState::with_metrics(ctx.rank, ctx.size, cache_cfg, backend, registry));
+            let mut state =
+                NodeState::with_metrics(ctx.rank, ctx.size, cache_cfg, backend, registry);
+            if let Some(wcfg) = &wal_cfg {
+                // This rank's durable medium: the caller-provided one
+                // (surviving across runs — a restart on the same disk),
+                // else a fresh in-RAM medium for this run only.
+                let media: Arc<dyn crate::wal::WalMedia> = wal_media
+                    .as_ref()
+                    .and_then(|set| set.get(ctx.rank).cloned())
+                    .map(|m| m as Arc<dyn crate::wal::WalMedia>)
+                    .unwrap_or_else(|| crate::wal::RamMedia::new(wcfg.sync_cost));
+                let (wal, _replay) =
+                    crate::wal::WalStore::open(media, wcfg.clone(), &state.metrics)
+                        .expect("wal open");
+                state.attach_wal(Arc::new(wal));
+            }
+            let state = Arc::new(state);
 
             // 1. Load assigned partitions from the shared file system.
             let mut assigned: Vec<Vec<u8>> = Vec::new();

@@ -497,6 +497,17 @@ pub fn serve_qos(
                     start_us: start,
                     dur_us: now_us().saturating_sub(start),
                 });
+                // Writes get their own stage so `fanstore attrib` can
+                // attribute write latency separately from read serving.
+                if msg.tag == tags::PUT {
+                    t.record_span(SpanEvent {
+                        request: msg.request_id,
+                        rank: state.rank as u32,
+                        stage: "daemon.write_serve".to_string(),
+                        start_us: start,
+                        dur_us: now_us().saturating_sub(start),
+                    });
+                }
             }
         }
         if !delivered {
@@ -531,10 +542,13 @@ fn handle_get(state: &NodeState, msg: &Message, get_bytes: &crate::metrics::Coun
 
 fn handle_put(state: &NodeState, msg: &Message) -> bool {
     let reply = match decode_put(&msg.payload) {
-        Some((path, owner, data)) => {
-            state.put_replica(path, owner, data.to_vec());
-            vec![status::OK]
-        }
+        // OK only once the write is durable: put_replica lands it in
+        // the WAL (when one is attached) before returning, so a commit
+        // failure must surface as a rejection, never an ACK.
+        Some((path, owner, data)) => match state.put_replica(path, owner, data.to_vec()) {
+            Ok(()) => vec![status::OK],
+            Err(_) => vec![status::BAD_REQUEST],
+        },
         None => vec![status::BAD_REQUEST],
     };
     msg.reply(reply)

@@ -78,6 +78,7 @@ pub mod prep;
 pub mod qos;
 pub mod stat;
 pub mod trace;
+pub mod wal;
 
 /// Errors surfaced through the POSIX-style interface. Variants mirror the
 /// errno values the intercepted libc functions would set.

@@ -88,6 +88,14 @@ pub struct NodeStats {
     /// Requests this node's daemon shed — expired deadline, uncoverable
     /// service estimate, or a full tenant queue (`daemon.shed.requests`).
     pub daemon_shed: Arc<Counter>,
+    /// Writes landed in this node's write store — finalised outputs and
+    /// replica pushes alike (`daemon.write.count`).
+    pub write_count: Arc<Counter>,
+    /// Uncompressed bytes those writes carried (`daemon.write.bytes`).
+    pub write_bytes: Arc<Counter>,
+    /// Writes that replaced an existing write-store entry — replication
+    /// retries and checkpoint re-pushes (`daemon.write.overwrites`).
+    pub write_overwrites: Arc<Counter>,
     /// Plain bytes produced by decode on this node, across every codec
     /// (`client.decompress.bytes`).
     pub decompress_bytes: Arc<Counter>,
@@ -117,6 +125,9 @@ impl NodeStats {
             shed_replies: registry.counter("client.shed.replies"),
             retry_exhausted: registry.counter("client.retry.exhausted"),
             daemon_shed: registry.counter("daemon.shed.requests"),
+            write_count: registry.counter("daemon.write.count"),
+            write_bytes: registry.counter("daemon.write.bytes"),
+            write_overwrites: registry.counter("daemon.write.overwrites"),
             decompress_bytes: registry.counter("client.decompress.bytes"),
             decompress_mb_per_s: registry.gauge("client.decompress.mb_per_s"),
         }
@@ -145,6 +156,11 @@ pub struct NodeState {
     /// Output files finalised on this node (write-once store), kept
     /// uncompressed.
     pub writes: RwLock<HashMap<String, Arc<Vec<u8>>>>,
+    /// The durable write path, when configured: every write-store
+    /// mutation lands in the WAL before it is acknowledged, and reads
+    /// fall back to the WAL's memtable + segments — which is what makes
+    /// writes survive a daemon restart (see [`crate::wal`]).
+    pub wal: Option<Arc<crate::wal::WalStore>>,
     /// This node's metric instruments (histograms, counters, gauges).
     pub metrics: Arc<MetricsRegistry>,
     /// Activity counters (handles into `metrics`).
@@ -191,11 +207,20 @@ impl NodeState {
             local: backend,
             cache: FileCache::with_recycle(cache_cfg, Arc::clone(&pool)),
             writes: RwLock::new(HashMap::new()),
+            wal: None,
             metrics,
             stats,
             pool,
             next_request: AtomicU64::new(0),
         }
+    }
+
+    /// Attach a durable write path. Call before the state is shared;
+    /// recovered WAL entries become readable immediately (the write
+    /// store map starts empty after a restart, so reads fall through to
+    /// the WAL's memtable and segments).
+    pub fn attach_wal(&mut self, wal: Arc<crate::wal::WalStore>) {
+        self.wal = Some(wal);
     }
 
     /// Mint a cluster-unique request id for one client operation:
@@ -291,6 +316,18 @@ impl NodeState {
             self.stats.local_opens.inc();
             return Ok(Some(self.cache.insert(path, Arc::clone(w))));
         }
+        // Writes recovered by WAL replay after a restart live in the
+        // WAL's memtable/segments but not the write-store map.
+        if let Some(wal) = &self.wal {
+            match wal.get(path)? {
+                crate::wal::Lookup::Hit(v) => {
+                    self.stats.local_opens.inc();
+                    return Ok(Some(self.cache.insert(path, v)));
+                }
+                crate::wal::Lookup::Tombstone => return Ok(None),
+                crate::wal::Lookup::Miss => {}
+            }
+        }
         let obj = match self.local.get(path) {
             Some(o) => o,
             None => return Ok(None),
@@ -329,20 +366,31 @@ impl NodeState {
         // Serve locally written output files raw (codec = store). The
         // recorded metadata entry keeps the true owner rank — a replica
         // serving a pushed copy must not claim ownership.
-        self.writes.read().get(path).map(|w| {
+        if let Some(w) = self.writes.read().get(path) {
             self.stats.served_requests.inc();
-            let stat = self
-                .meta
-                .read()
-                .get(path)
-                .map(|e| e.stat)
-                .unwrap_or_else(|| FileStat::regular(0, w.len() as u64));
-            LocalObject {
-                codec: CodecId::new(fanstore_compress::CodecFamily::Store, 0),
-                stat,
-                data: Arc::clone(w),
+            return Some(self.raw_object(path, Arc::clone(w)));
+        }
+        // Writes recovered by WAL replay (the write-store map is empty
+        // right after a restart) serve the same way.
+        match self.wal.as_ref()?.get(path) {
+            Ok(crate::wal::Lookup::Hit(v)) => {
+                self.stats.served_requests.inc();
+                Some(self.raw_object(path, v))
             }
-        })
+            _ => None,
+        }
+    }
+
+    /// Wrap uncompressed write-store bytes as a servable object,
+    /// preferring the recorded metadata entry for attributes.
+    fn raw_object(&self, path: &str, data: Arc<Vec<u8>>) -> LocalObject {
+        let stat = self
+            .meta
+            .read()
+            .get(path)
+            .map(|e| e.stat)
+            .unwrap_or_else(|| FileStat::regular(0, data.len() as u64));
+        LocalObject { codec: CodecId::new(fanstore_compress::CodecFamily::Store, 0), stat, data }
     }
 
     /// Finalise an output file on this node (the write-cache dump of
@@ -353,10 +401,19 @@ impl NodeState {
         if writes.contains_key(path) || self.local.contains(path) {
             return Err(FsError::AlreadyExists(path.to_string()));
         }
+        let data = Arc::new(data);
+        // Durability first: the write lands (and commits, per the WAL's
+        // group-commit policy) before it becomes visible. An error here
+        // means the write is NOT durable and must not be acknowledged.
+        if let Some(wal) = &self.wal {
+            wal.put(path, (*data).clone())?;
+        }
         let mut stat = FileStat::regular(0, data.len() as u64);
         stat.owner_rank = self.rank as u32;
-        writes.insert(path.to_string(), Arc::new(data));
+        self.stats.write_bytes.add(data.len() as u64);
+        writes.insert(path.to_string(), data);
         self.stats.files_written.inc();
+        self.stats.write_count.inc();
         let entry =
             MetaEntry { stat, codec: CodecId::new(fanstore_compress::CodecFamily::Store, 0) };
         self.meta.write().insert(path, entry);
@@ -368,15 +425,24 @@ impl NodeState {
     /// replication retry simply overwrites the same bytes — and the
     /// metadata keeps the *pusher's* rank as owner, so readers keep
     /// addressing the primary first and only land here via failover.
-    pub fn put_replica(&self, path: &str, owner: u32, data: Vec<u8>) {
+    pub fn put_replica(&self, path: &str, owner: u32, data: Vec<u8>) -> Result<(), FsError> {
+        let data = Arc::new(data);
+        if let Some(wal) = &self.wal {
+            wal.put(path, (*data).clone())?;
+        }
         let mut stat = FileStat::regular(0, data.len() as u64);
         stat.owner_rank = owner;
-        self.writes.write().insert(path.to_string(), Arc::new(data));
+        self.stats.write_count.inc();
+        self.stats.write_bytes.add(data.len() as u64);
+        if self.writes.write().insert(path.to_string(), data).is_some() {
+            self.stats.write_overwrites.inc();
+        }
         self.cache.purge(path);
         self.meta.write().insert(
             path,
             MetaEntry { stat, codec: CodecId::new(fanstore_compress::CodecFamily::Store, 0) },
         );
+        Ok(())
     }
 
     /// Unlink an output file (checkpoint GC): drops the write store copy,
@@ -386,10 +452,20 @@ impl NodeState {
         if self.local.contains(path) {
             return Err(FsError::ReadOnly(path.to_string()));
         }
+        // A durable tombstone, so the unlink also survives a restart.
+        // Only written when the WAL resolves the key — unlinking a path
+        // that was never written must stay a no-op.
+        let mut had_wal = false;
+        if let Some(wal) = &self.wal {
+            if wal.contains(path) {
+                wal.unlink(path)?;
+                had_wal = true;
+            }
+        }
         let had_write = self.writes.write().remove(path).is_some();
         let had_meta = self.meta.write().remove(path);
         self.cache.purge(path);
-        Ok(had_write || had_meta)
+        Ok(had_write || had_meta || had_wal)
     }
 }
 
@@ -497,8 +573,11 @@ mod tests {
     #[test]
     fn put_replica_is_idempotent_and_keeps_owner() {
         let s = NodeState::new(2, 4, CacheConfig::default());
-        s.put_replica("ckpt/gen1/seg0", 0, vec![1u8; 64]);
-        s.put_replica("ckpt/gen1/seg0", 0, vec![2u8; 32]); // retry overwrites
+        s.put_replica("ckpt/gen1/seg0", 0, vec![1u8; 64]).unwrap();
+        s.put_replica("ckpt/gen1/seg0", 0, vec![2u8; 32]).unwrap(); // retry overwrites
+        assert_eq!(s.stats.write_overwrites.get(), 1);
+        assert_eq!(s.stats.write_count.get(), 2);
+        assert_eq!(s.stats.write_bytes.get(), 96);
         let data = s.open_local("ckpt/gen1/seg0").unwrap().unwrap();
         assert_eq!(&data[..], &[2u8; 32]);
         // Owner stays the pusher, not the replica holding the copy.

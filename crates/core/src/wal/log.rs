@@ -1,0 +1,158 @@
+//! WAL record framing and torn-tail-tolerant replay.
+//!
+//! The log is a byte-concatenation of the checkpoint crate's CRC frames
+//! ([`crate::ckpt::frame`]) — the `[flags|codec|raw_len|stored_len|
+//! crc32]` machinery is reused verbatim rather than duplicated, so a
+//! torn log tail is recognised by exactly the code path the chaos tests
+//! already exercise. Each frame's payload is one [`WalRecord`]:
+//!
+//! ```text
+//! [seq u64][expires_us u64][flags u8][plen u16][path][value …]
+//! ```
+//!
+//! WAL payloads are stored uncompressed (codec = store): the log is
+//! short-lived — flush trims it — and compression belongs to the
+//! segment flush, not the latency-critical commit path.
+
+use fanstore_compress::{CodecFamily, CodecId};
+
+use crate::ckpt::frame::{encode_frame, scan_segment};
+use crate::FsError;
+
+/// Record flag bit: the record is a tombstone (an `unlink`); it carries
+/// no value bytes.
+pub const FLAG_TOMBSTONE: u8 = 1;
+
+/// One write-ahead-log record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalRecord {
+    /// Monotonic sequence number (the store-wide version order).
+    pub seq: u64,
+    /// Absolute expiry on the shared monotonic clock (0 = no TTL).
+    pub expires_us: u64,
+    /// Whether this record deletes the key instead of writing it.
+    pub tombstone: bool,
+    /// The object path.
+    pub path: String,
+    /// The value bytes (empty for tombstones).
+    pub value: Vec<u8>,
+}
+
+/// Codec stamped on WAL frames (uncompressed).
+fn store_codec() -> CodecId {
+    CodecId::new(CodecFamily::Store, 0)
+}
+
+/// Append one record to `out` as a CRC frame.
+pub fn encode_record(out: &mut Vec<u8>, rec: &WalRecord) {
+    let mut payload = Vec::with_capacity(8 + 8 + 1 + 2 + rec.path.len() + rec.value.len());
+    payload.extend_from_slice(&rec.seq.to_le_bytes());
+    payload.extend_from_slice(&rec.expires_us.to_le_bytes());
+    payload.push(if rec.tombstone { FLAG_TOMBSTONE } else { 0 });
+    payload.extend_from_slice(&(rec.path.len() as u16).to_le_bytes());
+    payload.extend_from_slice(rec.path.as_bytes());
+    payload.extend_from_slice(&rec.value);
+    encode_frame(out, 0, store_codec(), payload.len() as u32, &payload);
+}
+
+/// Decode one frame payload back into a record.
+fn decode_payload(buf: &[u8]) -> Result<WalRecord, FsError> {
+    let corrupt = |m: &str| FsError::Corrupt(format!("wal record: {m}"));
+    if buf.len() < 8 + 8 + 1 + 2 {
+        return Err(corrupt("truncated"));
+    }
+    let seq = u64::from_le_bytes(buf[..8].try_into().expect("8 bytes"));
+    let expires_us = u64::from_le_bytes(buf[8..16].try_into().expect("8 bytes"));
+    let flags = buf[16];
+    let plen = u16::from_le_bytes(buf[17..19].try_into().expect("2 bytes")) as usize;
+    let path_bytes = buf.get(19..19 + plen).ok_or_else(|| corrupt("path truncated"))?;
+    let path = std::str::from_utf8(path_bytes).map_err(|_| corrupt("path not utf-8"))?.to_string();
+    let value = buf[19 + plen..].to_vec();
+    let tombstone = flags & FLAG_TOMBSTONE != 0;
+    if tombstone && !value.is_empty() {
+        return Err(corrupt("tombstone with value bytes"));
+    }
+    Ok(WalRecord { seq, expires_us, tombstone, path, value })
+}
+
+/// Tolerant replay of a log blob: records up to the first torn or
+/// corrupt frame, plus whether a torn tail was found. A frame that
+/// CRC-verifies but decodes to a malformed record also stops the scan
+/// as torn — replay must never apply a half-understood record.
+pub fn replay(buf: &[u8]) -> (Vec<WalRecord>, bool) {
+    let (frames, mut torn) = scan_segment(buf);
+    let mut records = Vec::with_capacity(frames.len());
+    for f in frames {
+        match decode_payload(&f.payload) {
+            Ok(r) => records.push(r),
+            Err(_) => {
+                torn = true;
+                break;
+            }
+        }
+    }
+    (records, torn)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(seq: u64, path: &str, value: &[u8]) -> WalRecord {
+        WalRecord { seq, expires_us: 0, tombstone: false, path: path.into(), value: value.to_vec() }
+    }
+
+    #[test]
+    fn roundtrip_puts_and_tombstones() {
+        let mut log = Vec::new();
+        encode_record(&mut log, &rec(1, "a/b", b"hello"));
+        let tomb = WalRecord {
+            seq: 2,
+            expires_us: 99,
+            tombstone: true,
+            path: "a/b".into(),
+            value: Vec::new(),
+        };
+        encode_record(&mut log, &tomb);
+        let (records, torn) = replay(&log);
+        assert!(!torn);
+        assert_eq!(records, vec![rec(1, "a/b", b"hello"), tomb]);
+    }
+
+    #[test]
+    fn torn_tail_keeps_intact_prefix() {
+        let mut log = Vec::new();
+        encode_record(&mut log, &rec(1, "x", b"one"));
+        encode_record(&mut log, &rec(2, "y", b"two"));
+        let second_frame = log.len() / 2; // identical records → identical frames
+        for cut in 1..second_frame {
+            let (records, torn) = replay(&log[..log.len() - cut]);
+            assert!(torn, "cut {cut}");
+            assert_eq!(records.len(), 1, "cut {cut}: first record survives");
+            assert_eq!(records[0].path, "x");
+        }
+        // A cut exactly on the frame boundary is indistinguishable from
+        // a clean shorter log — and must replay as one.
+        let (records, torn) = replay(&log[..log.len() - second_frame]);
+        assert!(!torn);
+        assert_eq!(records.len(), 1);
+    }
+
+    #[test]
+    fn corrupt_byte_stops_replay() {
+        let mut log = Vec::new();
+        encode_record(&mut log, &rec(7, "k", b"value bytes"));
+        let last = log.len() - 3;
+        log[last] ^= 0x40;
+        let (records, torn) = replay(&log);
+        assert!(torn);
+        assert!(records.is_empty());
+    }
+
+    #[test]
+    fn empty_log_is_whole() {
+        let (records, torn) = replay(&[]);
+        assert!(records.is_empty());
+        assert!(!torn);
+    }
+}

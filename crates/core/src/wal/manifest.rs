@@ -1,0 +1,196 @@
+//! The WAL segment-set manifest: the atomic publish point of a flush
+//! or compaction.
+//!
+//! Same discipline as checkpoint generations ([`crate::ckpt::manifest`]):
+//! segments are written first, the manifest last, and the manifest is a
+//! single whole-object write with a trailing CRC32 — a crash anywhere
+//! before it leaves the previous segment set in force, never a torn
+//! one. `trim_seq` records the highest WAL sequence the published
+//! segments cover: replay skips log records at or below it, which is
+//! what makes the post-publish log truncation safe to crash out of.
+//!
+//! Layout (little-endian):
+//!
+//! ```text
+//! "FSWL" | version u16 | publish u64 | trim_seq u64 | seg_count u32
+//! | seg_count × ([u16 name_len][name][u64 bytes][u32 crc]
+//!                [u64 first_seq][u64 last_seq][u32 entries])
+//! | crc32 u32 over everything above
+//! ```
+
+use fanstore_compress::crc32::crc32;
+
+use crate::FsError;
+
+/// Manifest magic bytes.
+pub const MAGIC: [u8; 4] = *b"FSWL";
+
+/// Current manifest format version.
+pub const VERSION: u16 = 1;
+
+/// One segment as published by a manifest. Order is newest-first: a
+/// lookup walks the list front to back and stops at the first version.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalSegmentMeta {
+    /// Object name of the segment on the medium.
+    pub name: String,
+    /// Segment blob length in bytes.
+    pub bytes: u64,
+    /// CRC32 of the whole blob (verified before parsing).
+    pub crc: u32,
+    /// Lowest WAL sequence the segment covers.
+    pub first_seq: u64,
+    /// Highest WAL sequence the segment covers.
+    pub last_seq: u64,
+    /// Entry count (versions, tombstones included).
+    pub entries: u32,
+}
+
+/// A published WAL segment set.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct WalManifest {
+    /// Monotonic publish counter (flushes + compactions).
+    pub publish: u64,
+    /// Highest WAL sequence covered by the segments: replay skips log
+    /// records with `seq <= trim_seq`.
+    pub trim_seq: u64,
+    /// Segments, newest first.
+    pub segments: Vec<WalSegmentMeta>,
+}
+
+impl WalManifest {
+    /// Serialise, appending the trailing CRC32.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(32 + self.segments.len() * 48);
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(&self.publish.to_le_bytes());
+        out.extend_from_slice(&self.trim_seq.to_le_bytes());
+        out.extend_from_slice(&(self.segments.len() as u32).to_le_bytes());
+        for s in &self.segments {
+            out.extend_from_slice(&(s.name.len() as u16).to_le_bytes());
+            out.extend_from_slice(s.name.as_bytes());
+            out.extend_from_slice(&s.bytes.to_le_bytes());
+            out.extend_from_slice(&s.crc.to_le_bytes());
+            out.extend_from_slice(&s.first_seq.to_le_bytes());
+            out.extend_from_slice(&s.last_seq.to_le_bytes());
+            out.extend_from_slice(&s.entries.to_le_bytes());
+        }
+        let crc = crc32(&out);
+        out.extend_from_slice(&crc.to_le_bytes());
+        out
+    }
+
+    /// Decode and CRC-verify a manifest.
+    pub fn decode(buf: &[u8]) -> Result<WalManifest, FsError> {
+        let corrupt = |m: &str| FsError::Corrupt(format!("wal manifest: {m}"));
+        if buf.len() < 4 + 2 + 8 + 8 + 4 + 4 {
+            return Err(corrupt("truncated"));
+        }
+        let (body, tail) = buf.split_at(buf.len() - 4);
+        let expect = u32::from_le_bytes(tail.try_into().expect("4 bytes"));
+        let actual = crc32(body);
+        if expect != actual {
+            return Err(corrupt(&format!(
+                "CRC mismatch: stored {expect:08x}, computed {actual:08x}"
+            )));
+        }
+        if body[..4] != MAGIC {
+            return Err(corrupt("bad magic"));
+        }
+        let version = u16::from_le_bytes(body[4..6].try_into().expect("2 bytes"));
+        if version != VERSION {
+            return Err(corrupt(&format!("unsupported version {version}")));
+        }
+        let publish = u64::from_le_bytes(body[6..14].try_into().expect("8 bytes"));
+        let trim_seq = u64::from_le_bytes(body[14..22].try_into().expect("8 bytes"));
+        let count = u32::from_le_bytes(body[22..26].try_into().expect("4 bytes")) as usize;
+        let mut pos = 26usize;
+        let mut segments = Vec::with_capacity(count.min(4096));
+        for i in 0..count {
+            let nlen = u16::from_le_bytes(
+                body.get(pos..pos + 2)
+                    .ok_or_else(|| corrupt("segment truncated"))?
+                    .try_into()
+                    .expect("2 bytes"),
+            ) as usize;
+            pos += 2;
+            let name = std::str::from_utf8(
+                body.get(pos..pos + nlen).ok_or_else(|| corrupt("segment truncated"))?,
+            )
+            .map_err(|_| corrupt(&format!("segment {i} name not utf-8")))?
+            .to_string();
+            pos += nlen;
+            let rest = body.get(pos..pos + 32).ok_or_else(|| corrupt("segment truncated"))?;
+            segments.push(WalSegmentMeta {
+                name,
+                bytes: u64::from_le_bytes(rest[..8].try_into().expect("8 bytes")),
+                crc: u32::from_le_bytes(rest[8..12].try_into().expect("4 bytes")),
+                first_seq: u64::from_le_bytes(rest[12..20].try_into().expect("8 bytes")),
+                last_seq: u64::from_le_bytes(rest[20..28].try_into().expect("8 bytes")),
+                entries: u32::from_le_bytes(rest[28..32].try_into().expect("4 bytes")),
+            });
+            pos += 32;
+        }
+        if pos != body.len() {
+            return Err(corrupt("trailing bytes"));
+        }
+        Ok(WalManifest { publish, trim_seq, segments })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> WalManifest {
+        WalManifest {
+            publish: 3,
+            trim_seq: 41,
+            segments: vec![
+                WalSegmentMeta {
+                    name: "wal/seg-00000002".into(),
+                    bytes: 9000,
+                    crc: 0xFACE,
+                    first_seq: 20,
+                    last_seq: 41,
+                    entries: 12,
+                },
+                WalSegmentMeta {
+                    name: "wal/seg-00000001".into(),
+                    bytes: 4096,
+                    crc: 0xBEEF,
+                    first_seq: 1,
+                    last_seq: 19,
+                    entries: 7,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let m = sample();
+        assert_eq!(WalManifest::decode(&m.encode()).unwrap(), m);
+        let empty = WalManifest::default();
+        assert_eq!(WalManifest::decode(&empty.encode()).unwrap(), empty);
+    }
+
+    #[test]
+    fn every_flipped_bit_is_detected() {
+        let buf = sample().encode();
+        for i in (0..buf.len()).step_by(5) {
+            let mut bad = buf.clone();
+            bad[i] ^= 0x01;
+            assert!(WalManifest::decode(&bad).is_err(), "flip at byte {i} must be caught");
+        }
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let buf = sample().encode();
+        for cut in 1..buf.len() {
+            assert!(WalManifest::decode(&buf[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+}

@@ -1,0 +1,892 @@
+//! [`WalStore`]: the durable write path — WAL + memtable + compacted
+//! pack segments behind bloom filters.
+//!
+//! ## Write path
+//!
+//! `put`/`unlink` append a CRC-framed record to the write-ahead log and
+//! apply it to the memtable. Records buffer in memory until a *commit*
+//! appends them to the medium in one batch and syncs — group commit.
+//! With `commit_every = 1` every write is durable before it returns
+//! (the daemon's ACK semantics); larger values amortise the modelled
+//! fsync over a batch and relax durability to the last commit.
+//!
+//! ## Flush and compaction
+//!
+//! When the memtable crosses `memtable_budget` bytes it flushes into an
+//! immutable segment — pack-format entries behind a bloom filter
+//! ([`super::segment`]) — and the new segment set is published via an
+//! atomic CRC-tailed manifest ([`super::manifest`]), written last,
+//! exactly the checkpoint generations' publish discipline. Only then is
+//! the log trimmed; a crash between publish and trim merely replays
+//! records the manifest's `trim_seq` already covers, and replay skips
+//! them by sequence. When the set reaches `compact_min_segments`,
+//! compaction merges every segment, dropping superseded versions,
+//! tombstones and expired TTLs, and publishes the merged set the same
+//! way. Compaction is threshold-triggered inline rather than a free
+//! thread: the repo's chaos and crash tests assert byte-identical
+//! seeded outcomes, which a racing background compactor would break.
+//!
+//! ## Read path
+//!
+//! `get` consults the memtable, then each published segment newest
+//! first. Every segment's bloom filter lives in memory, so a negative
+//! lookup touches no segment data at all — `wal.bloom.negative` counts
+//! the skips and `wal.segment.reads` stays at zero, which the crash
+//! tests assert directly.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use fanstore_compress::crc32::crc32;
+use fanstore_compress::{CodecFamily, CodecId};
+use parking_lot::Mutex;
+
+use crate::metrics::{now_us, Counter, Gauge, Histogram, MetricsRegistry};
+use crate::FsError;
+
+use super::log::{encode_record, replay, WalRecord};
+use super::manifest::{WalManifest, WalSegmentMeta};
+use super::media::WalMedia;
+use super::memtable::{MemEntry, MemTable};
+use super::segment;
+use super::segment::SegHeader;
+
+/// Write-path configuration.
+#[derive(Debug, Clone)]
+pub struct WalConfig {
+    /// Object-name prefix on the medium (`<dir>/LOG`, `<dir>/seg-*`,
+    /// `<dir>/MANIFEST`).
+    pub dir: String,
+    /// Codec for segment values (WAL records stay uncompressed).
+    pub codec: CodecId,
+    /// Per-segment bloom filter false-positive target.
+    pub bloom_fp: f64,
+    /// Memtable byte budget; crossing it triggers a flush.
+    pub memtable_budget: usize,
+    /// Records per automatic group commit. 1 = sync every write before
+    /// acknowledging it; N > 1 = batch N appends per sync (relaxed
+    /// durability: a crash may lose the last un-committed < N writes).
+    pub commit_every: usize,
+    /// Compact when the published set reaches this many segments
+    /// (0 = only on explicit [`WalStore::compact`]).
+    pub compact_min_segments: usize,
+    /// Modelled fsync cost for media the cluster runtime constructs on
+    /// this store's behalf (see [`super::media::RamMedia`]); ignored
+    /// when the medium is supplied pre-built.
+    pub sync_cost: Duration,
+}
+
+impl Default for WalConfig {
+    fn default() -> Self {
+        WalConfig {
+            dir: "wal".to_string(),
+            codec: CodecId::new(CodecFamily::Lz4Hc, 6),
+            bloom_fp: 0.01,
+            memtable_budget: 1 << 20,
+            commit_every: 1,
+            compact_min_segments: 4,
+            sync_cost: Duration::from_micros(20),
+        }
+    }
+}
+
+/// Result of a lookup.
+#[derive(Debug, Clone)]
+pub enum Lookup {
+    /// The newest version's value.
+    Hit(Arc<Vec<u8>>),
+    /// The newest version deletes the key (or its TTL expired).
+    Tombstone,
+    /// The store has never seen the key.
+    Miss,
+}
+
+impl Lookup {
+    /// The value, when this is a hit.
+    pub fn value(self) -> Option<Arc<Vec<u8>>> {
+        match self {
+            Lookup::Hit(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// What recovery found on the medium.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WalReplay {
+    /// Segments loaded from the published manifest.
+    pub segments: usize,
+    /// Log records replayed into the memtable.
+    pub records: u64,
+    /// Log records skipped because the manifest's `trim_seq` already
+    /// covers them (stale tail of a crashed trim).
+    pub skipped: u64,
+    /// Whether the log ended in a torn or corrupt frame.
+    pub torn: bool,
+    /// Highest sequence recovered (segments and log combined).
+    pub durable_seq: u64,
+}
+
+/// Verification report for `fanstore wal verify`.
+#[derive(Debug, Clone, Default)]
+pub struct WalVerify {
+    /// Publish counter of the manifest checked.
+    pub publish: u64,
+    /// Segments whose CRC, header and entries all verified.
+    pub segments_ok: usize,
+    /// Total entries across verified segments.
+    pub entries: u64,
+    /// Intact records in the log.
+    pub log_records: u64,
+    /// Whether the log has a torn tail (a crash artifact, not an error).
+    pub log_torn: bool,
+    /// Problems found (empty = healthy).
+    pub errors: Vec<String>,
+}
+
+/// Outcome of one compaction run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CompactionReport {
+    /// Segments merged away.
+    pub merged_segments: usize,
+    /// Raw value bytes read from the inputs.
+    pub in_bytes: u64,
+    /// Raw value bytes written to the output.
+    pub out_bytes: u64,
+    /// Superseded older versions dropped.
+    pub dropped_versions: u64,
+    /// Tombstones retired.
+    pub dropped_tombstones: u64,
+    /// Entries dropped because their TTL expired.
+    pub dropped_expired: u64,
+}
+
+/// Handles into the registry for every WAL instrument, resolved once.
+#[derive(Debug)]
+pub struct WalMetrics {
+    /// Records appended (`wal.append.records`).
+    pub append_records: Arc<Counter>,
+    /// Value bytes appended (`wal.append.bytes`).
+    pub append_bytes: Arc<Counter>,
+    /// Syncs issued by commits (`wal.sync.count`).
+    pub sync_count: Arc<Counter>,
+    /// Records per commit batch (`wal.commit.batch`).
+    pub commit_batch: Arc<Histogram>,
+    /// Memtable flushes (`wal.flush.count`).
+    pub flush_count: Arc<Counter>,
+    /// Entries flushed (`wal.flush.entries`).
+    pub flush_entries: Arc<Counter>,
+    /// Segment bytes written by flushes (`wal.flush.bytes`).
+    pub flush_bytes: Arc<Counter>,
+    /// Compaction runs (`wal.compact.runs`).
+    pub compact_runs: Arc<Counter>,
+    /// Raw bytes read by compaction (`wal.compact.in_bytes`).
+    pub compact_in_bytes: Arc<Counter>,
+    /// Raw bytes written by compaction (`wal.compact.out_bytes`).
+    pub compact_out_bytes: Arc<Counter>,
+    /// Versions + tombstones + expired entries dropped
+    /// (`wal.compact.dropped`).
+    pub compact_dropped: Arc<Counter>,
+    /// Records replayed at open (`wal.replay.records`).
+    pub replay_records: Arc<Counter>,
+    /// Torn log tails found at open (`wal.replay.torn`).
+    pub replay_torn: Arc<Counter>,
+    /// Segments loaded at open (`wal.replay.segments`).
+    pub replay_segments: Arc<Counter>,
+    /// Lookups answered by the memtable (`wal.memtable.hits`).
+    pub memtable_hits: Arc<Counter>,
+    /// Lookups answered by a segment (`wal.segment.hits`).
+    pub segment_hits: Arc<Counter>,
+    /// Segment data reads — bloom-positive probes (`wal.segment.reads`).
+    pub segment_reads: Arc<Counter>,
+    /// Segments skipped by a negative bloom probe (`wal.bloom.negative`).
+    pub bloom_negative: Arc<Counter>,
+    /// Bloom positives the segment then refuted
+    /// (`wal.bloom.false_positive`).
+    pub bloom_false_positive: Arc<Counter>,
+    /// Lookups missing everywhere (`wal.lookup.miss`).
+    pub lookup_miss: Arc<Counter>,
+    /// Current memtable bytes (`wal.memtable.bytes`).
+    pub memtable_bytes: Arc<Gauge>,
+    /// Current published segment count (`wal.segments`).
+    pub segments: Arc<Gauge>,
+    /// Highest durable sequence (`wal.durable.seq`).
+    pub durable_seq: Arc<Gauge>,
+}
+
+impl WalMetrics {
+    /// Resolve every instrument on `registry` under its stable name.
+    pub fn register(registry: &MetricsRegistry) -> Self {
+        WalMetrics {
+            append_records: registry.counter("wal.append.records"),
+            append_bytes: registry.counter("wal.append.bytes"),
+            sync_count: registry.counter("wal.sync.count"),
+            commit_batch: registry.histogram("wal.commit.batch"),
+            flush_count: registry.counter("wal.flush.count"),
+            flush_entries: registry.counter("wal.flush.entries"),
+            flush_bytes: registry.counter("wal.flush.bytes"),
+            compact_runs: registry.counter("wal.compact.runs"),
+            compact_in_bytes: registry.counter("wal.compact.in_bytes"),
+            compact_out_bytes: registry.counter("wal.compact.out_bytes"),
+            compact_dropped: registry.counter("wal.compact.dropped"),
+            replay_records: registry.counter("wal.replay.records"),
+            replay_torn: registry.counter("wal.replay.torn"),
+            replay_segments: registry.counter("wal.replay.segments"),
+            memtable_hits: registry.counter("wal.memtable.hits"),
+            segment_hits: registry.counter("wal.segment.hits"),
+            segment_reads: registry.counter("wal.segment.reads"),
+            bloom_negative: registry.counter("wal.bloom.negative"),
+            bloom_false_positive: registry.counter("wal.bloom.false_positive"),
+            lookup_miss: registry.counter("wal.lookup.miss"),
+            memtable_bytes: registry.gauge("wal.memtable.bytes"),
+            segments: registry.gauge("wal.segments"),
+            durable_seq: registry.gauge("wal.durable.seq"),
+        }
+    }
+}
+
+/// A published segment with its in-memory header (bloom + seq range).
+struct LoadedSegment {
+    meta: WalSegmentMeta,
+    header: SegHeader,
+}
+
+/// Mutable store state behind one lock.
+struct Inner {
+    mem: MemTable,
+    /// Encoded frames not yet appended to the medium.
+    pending: Vec<u8>,
+    pending_records: u64,
+    next_seq: u64,
+    durable_seq: u64,
+    manifest: WalManifest,
+    /// Loaded headers, aligned with `manifest.segments` (newest first).
+    loaded: Vec<LoadedSegment>,
+    next_segment_id: u64,
+}
+
+/// A snapshot of the store's shape (the `fanstore wal ls` view).
+#[derive(Debug, Clone)]
+pub struct WalStatus {
+    /// Publish counter of the current manifest.
+    pub publish: u64,
+    /// Highest log sequence the segments cover.
+    pub trim_seq: u64,
+    /// Highest durable sequence.
+    pub durable_seq: u64,
+    /// Keys (and tombstones) buffered in the memtable.
+    pub memtable_keys: usize,
+    /// Memtable bytes.
+    pub memtable_bytes: usize,
+    /// Published segments, newest first.
+    pub segments: Vec<WalSegmentMeta>,
+}
+
+/// The durable write path for one node.
+pub struct WalStore {
+    media: Arc<dyn WalMedia>,
+    cfg: WalConfig,
+    inner: Mutex<Inner>,
+    metrics: WalMetrics,
+}
+
+impl WalStore {
+    /// Open (or create) a store on `media`, replaying any previous
+    /// state: the published manifest names the segment set, and log
+    /// records past its `trim_seq` rebuild the memtable — tolerant of a
+    /// torn log tail, intolerant of a corrupt manifest or segment (those
+    /// are storage corruption, not crash artifacts).
+    pub fn open(
+        media: Arc<dyn WalMedia>,
+        cfg: WalConfig,
+        registry: &MetricsRegistry,
+    ) -> Result<(Self, WalReplay), FsError> {
+        let metrics = WalMetrics::register(registry);
+        let manifest = match media.read(&format!("{}/MANIFEST", cfg.dir)) {
+            Some(buf) => WalManifest::decode(&buf)?,
+            None => WalManifest::default(),
+        };
+        let mut loaded = Vec::with_capacity(manifest.segments.len());
+        let mut max_segment_id = 0u64;
+        let mut durable_seq = manifest.trim_seq;
+        for meta in &manifest.segments {
+            let blob = media
+                .read(&meta.name)
+                .ok_or_else(|| FsError::Corrupt(format!("wal: missing segment {}", meta.name)))?;
+            if blob.len() as u64 != meta.bytes || crc32(&blob) != meta.crc {
+                return Err(FsError::Corrupt(format!("wal: segment {} fails CRC", meta.name)));
+            }
+            let header = segment::parse_header(&blob)?;
+            durable_seq = durable_seq.max(header.last_seq);
+            if let Some(id) = segment_id(&meta.name) {
+                max_segment_id = max_segment_id.max(id);
+            }
+            loaded.push(LoadedSegment { meta: meta.clone(), header });
+        }
+        let log = media.read(&format!("{}/LOG", cfg.dir)).unwrap_or_default();
+        let (records, torn) = replay(&log);
+        let mut mem = MemTable::new();
+        let mut replayed = 0u64;
+        let mut skipped = 0u64;
+        for rec in &records {
+            if rec.seq <= manifest.trim_seq {
+                skipped += 1; // a crashed trim left covered records behind
+                continue;
+            }
+            mem.apply(rec);
+            replayed += 1;
+            durable_seq = durable_seq.max(rec.seq);
+        }
+        let report =
+            WalReplay { segments: loaded.len(), records: replayed, skipped, torn, durable_seq };
+        metrics.replay_records.add(replayed);
+        metrics.replay_segments.add(loaded.len() as u64);
+        if torn {
+            metrics.replay_torn.inc();
+        }
+        metrics.memtable_bytes.set(mem.bytes() as u64);
+        metrics.segments.set(loaded.len() as u64);
+        metrics.durable_seq.set(durable_seq);
+        let inner = Inner {
+            mem,
+            pending: Vec::new(),
+            pending_records: 0,
+            next_seq: durable_seq + 1,
+            durable_seq,
+            manifest,
+            loaded,
+            next_segment_id: max_segment_id + 1,
+        };
+        Ok((WalStore { media, cfg, inner: Mutex::new(inner), metrics }, report))
+    }
+
+    /// The store's instrument handles.
+    pub fn metrics(&self) -> &WalMetrics {
+        &self.metrics
+    }
+
+    /// The store's configuration.
+    pub fn config(&self) -> &WalConfig {
+        &self.cfg
+    }
+
+    /// Write `value` at `path`. Returns the record's sequence number
+    /// once the write is as durable as the configured commit policy
+    /// makes it (with `commit_every = 1`, fully durable).
+    pub fn put(&self, path: &str, value: Vec<u8>) -> Result<u64, FsError> {
+        self.append(path, Some(value), None)
+    }
+
+    /// [`WalStore::put`] with a TTL: the entry expires `ttl` from now
+    /// (expired entries read as absent and compaction drops them).
+    pub fn put_ttl(&self, path: &str, value: Vec<u8>, ttl: Duration) -> Result<u64, FsError> {
+        self.append(path, Some(value), Some(ttl))
+    }
+
+    /// Delete `path` (a tombstone record; compaction retires it).
+    pub fn unlink(&self, path: &str) -> Result<u64, FsError> {
+        self.append(path, None, None)
+    }
+
+    /// Append one record: WAL frame into the pending batch, memtable
+    /// update, then auto-commit/flush/compact per configuration.
+    fn append(
+        &self,
+        path: &str,
+        value: Option<Vec<u8>>,
+        ttl: Option<Duration>,
+    ) -> Result<u64, FsError> {
+        if path.len() >= crate::pack::PATH_SIZE {
+            return Err(FsError::BadFd(0)); // unreachable via FsClient; guard the pack field
+        }
+        let mut inner = self.inner.lock();
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        let expires_us = ttl.map_or(0, |d| now_us().saturating_add(d.as_micros() as u64).max(1));
+        let bytes = value.as_ref().map_or(0, Vec::len) as u64;
+        let rec = WalRecord {
+            seq,
+            expires_us,
+            tombstone: value.is_none(),
+            path: path.to_string(),
+            value: value.clone().unwrap_or_default(),
+        };
+        let mut pending = std::mem::take(&mut inner.pending);
+        encode_record(&mut pending, &rec);
+        inner.pending = pending;
+        inner.pending_records += 1;
+        inner.mem.insert(path, MemEntry { seq, expires_us, value: value.map(Arc::new) });
+        self.metrics.append_records.inc();
+        self.metrics.append_bytes.add(bytes);
+        self.metrics.memtable_bytes.set(inner.mem.bytes() as u64);
+        if inner.pending_records >= self.cfg.commit_every.max(1) as u64 {
+            self.commit_locked(&mut inner)?;
+        }
+        if inner.mem.bytes() >= self.cfg.memtable_budget {
+            self.flush_locked(&mut inner)?;
+        }
+        Ok(seq)
+    }
+
+    /// Group commit: append every pending record to the log in one
+    /// batch and sync. Returns the highest durable sequence. An error
+    /// means the batch is NOT durable — callers must not acknowledge.
+    pub fn commit(&self) -> Result<u64, FsError> {
+        let mut inner = self.inner.lock();
+        self.commit_locked(&mut inner)?;
+        Ok(inner.durable_seq)
+    }
+
+    fn commit_locked(&self, inner: &mut Inner) -> Result<(), FsError> {
+        if inner.pending_records == 0 {
+            return Ok(());
+        }
+        let batch = inner.pending_records;
+        let buf = std::mem::take(&mut inner.pending);
+        inner.pending_records = 0;
+        self.media.append(&self.log_name(), &buf)?;
+        self.media.sync()?;
+        inner.durable_seq = inner.next_seq - 1;
+        self.metrics.sync_count.inc();
+        self.metrics.commit_batch.record(batch);
+        self.metrics.durable_seq.set(inner.durable_seq);
+        Ok(())
+    }
+
+    /// Flush the memtable into a new immutable segment and publish the
+    /// extended segment set. No-op on an empty memtable. Returns the
+    /// new segment's name.
+    pub fn flush(&self) -> Result<Option<String>, FsError> {
+        let mut inner = self.inner.lock();
+        self.flush_locked(&mut inner)
+    }
+
+    fn flush_locked(&self, inner: &mut Inner) -> Result<Option<String>, FsError> {
+        // Everything in the memtable must be in the durable log before
+        // the flush covers it: the manifest's trim_seq claims it.
+        self.commit_locked(inner)?;
+        if inner.mem.is_empty() {
+            return Ok(None);
+        }
+        let entries: Vec<(String, MemEntry)> =
+            inner.mem.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+        let (blob, _raw) = segment::build(&entries, self.cfg.codec, self.cfg.bloom_fp)?;
+        let header = segment::parse_header(&blob)?;
+        let name = format!("{}/seg-{:08}", self.cfg.dir, inner.next_segment_id);
+        let meta = WalSegmentMeta {
+            name: name.clone(),
+            bytes: blob.len() as u64,
+            crc: crc32(&blob),
+            first_seq: header.first_seq,
+            last_seq: header.last_seq,
+            entries: entries.len() as u32,
+        };
+        // Segment first, sync, then the manifest — the atomic publish
+        // point — then the log trim. A crash between any two steps
+        // leaves a state replay already handles.
+        self.media.write(&name, &blob)?;
+        self.media.sync()?;
+        let mut manifest = inner.manifest.clone();
+        manifest.publish += 1;
+        manifest.trim_seq = manifest.trim_seq.max(inner.durable_seq);
+        manifest.segments.insert(0, meta.clone());
+        self.media.write(&self.manifest_name(), &manifest.encode())?;
+        self.media.sync()?;
+        self.media.write(&self.log_name(), &[])?;
+        // Publish succeeded: adopt the new state.
+        inner.next_segment_id += 1;
+        inner.manifest = manifest;
+        inner.loaded.insert(0, LoadedSegment { meta, header });
+        inner.mem.drain();
+        self.metrics.flush_count.inc();
+        self.metrics.flush_entries.add(entries.len() as u64);
+        self.metrics.flush_bytes.add(blob.len() as u64);
+        self.metrics.memtable_bytes.set(0);
+        self.metrics.segments.set(inner.loaded.len() as u64);
+        if self.cfg.compact_min_segments > 0
+            && inner.manifest.segments.len() >= self.cfg.compact_min_segments
+        {
+            self.compact_locked(&mut *inner, now_us())?;
+        }
+        Ok(Some(name))
+    }
+
+    /// Merge every published segment into one, dropping superseded
+    /// versions, tombstones and expired TTLs, and publish the merged
+    /// set. No-op below two segments.
+    pub fn compact(&self) -> Result<CompactionReport, FsError> {
+        self.compact_at(now_us())
+    }
+
+    /// [`WalStore::compact`] against an explicit clock — tests pin
+    /// `now_us` to make TTL expiry deterministic.
+    pub fn compact_at(&self, now_us: u64) -> Result<CompactionReport, FsError> {
+        let mut inner = self.inner.lock();
+        self.compact_locked(&mut inner, now_us)
+    }
+
+    fn compact_locked(&self, inner: &mut Inner, now_us: u64) -> Result<CompactionReport, FsError> {
+        if inner.manifest.segments.len() < 2 {
+            return Ok(CompactionReport::default());
+        }
+        let mut report = CompactionReport {
+            merged_segments: inner.manifest.segments.len(),
+            ..Default::default()
+        };
+        // Newest-first walk: the first version of a key wins; everything
+        // after it for the same key is superseded.
+        let mut merged: std::collections::BTreeMap<String, MemEntry> =
+            std::collections::BTreeMap::new();
+        for seg in &inner.loaded {
+            let blob = self.media.read(&seg.meta.name).ok_or_else(|| {
+                FsError::Corrupt(format!("wal: segment {} vanished", seg.meta.name))
+            })?;
+            for e in segment::parse_entries(&blob)? {
+                report.in_bytes += e.raw_len as u64;
+                if merged.contains_key(&e.path) {
+                    report.dropped_versions += 1;
+                    continue;
+                }
+                if e.tombstone {
+                    report.dropped_tombstones += 1;
+                    // Remember the key so older versions drop as
+                    // superseded, but emit nothing.
+                    merged.insert(e.path, MemEntry { seq: e.seq, expires_us: 0, value: None });
+                    continue;
+                }
+                if e.expires_us != 0 && e.expires_us <= now_us {
+                    report.dropped_expired += 1;
+                    merged.insert(
+                        e.path,
+                        MemEntry { seq: e.seq, expires_us: e.expires_us, value: None },
+                    );
+                    continue;
+                }
+                let value = Arc::new(e.decode_value()?);
+                merged.insert(
+                    e.path,
+                    MemEntry { seq: e.seq, expires_us: e.expires_us, value: Some(value) },
+                );
+            }
+        }
+        let live: Vec<(String, MemEntry)> =
+            merged.into_iter().filter(|(_, e)| e.value.is_some()).collect();
+        report.out_bytes =
+            live.iter().map(|(_, e)| e.value.as_ref().expect("live").len() as u64).sum();
+        let old: Vec<String> = inner.manifest.segments.iter().map(|s| s.name.clone()).collect();
+        let mut manifest = inner.manifest.clone();
+        manifest.publish += 1;
+        if live.is_empty() {
+            manifest.segments.clear();
+            self.media.write(&self.manifest_name(), &manifest.encode())?;
+            self.media.sync()?;
+            inner.manifest = manifest;
+            inner.loaded.clear();
+        } else {
+            let (blob, _raw) = segment::build(&live, self.cfg.codec, self.cfg.bloom_fp)?;
+            let header = segment::parse_header(&blob)?;
+            let name = format!("{}/seg-{:08}", self.cfg.dir, inner.next_segment_id);
+            let meta = WalSegmentMeta {
+                name: name.clone(),
+                bytes: blob.len() as u64,
+                crc: crc32(&blob),
+                first_seq: header.first_seq,
+                last_seq: header.last_seq,
+                entries: live.len() as u32,
+            };
+            self.media.write(&name, &blob)?;
+            self.media.sync()?;
+            manifest.segments = vec![meta.clone()];
+            self.media.write(&self.manifest_name(), &manifest.encode())?;
+            self.media.sync()?;
+            inner.next_segment_id += 1;
+            inner.manifest = manifest;
+            inner.loaded = vec![LoadedSegment { meta, header }];
+        }
+        // The old blobs are unreferenced once the manifest landed;
+        // deleting them is GC, crash-safe in either order.
+        for name in old {
+            self.media.delete(&name);
+        }
+        self.metrics.compact_runs.inc();
+        self.metrics.compact_in_bytes.add(report.in_bytes);
+        self.metrics.compact_out_bytes.add(report.out_bytes);
+        self.metrics
+            .compact_dropped
+            .add(report.dropped_versions + report.dropped_tombstones + report.dropped_expired);
+        self.metrics.segments.set(inner.loaded.len() as u64);
+        Ok(report)
+    }
+
+    /// Look up the newest version of `path`: memtable, then segments
+    /// newest-first, each guarded by its in-memory bloom filter.
+    pub fn get(&self, path: &str) -> Result<Lookup, FsError> {
+        let now = now_us();
+        let inner = self.inner.lock();
+        if let Some(e) = inner.mem.get(path) {
+            self.metrics.memtable_hits.inc();
+            return Ok(match &e.value {
+                Some(v) if e.expires_us == 0 || e.expires_us > now => Lookup::Hit(Arc::clone(v)),
+                _ => Lookup::Tombstone,
+            });
+        }
+        for seg in &inner.loaded {
+            if !seg.header.bloom.contains(path) {
+                self.metrics.bloom_negative.inc();
+                continue;
+            }
+            self.metrics.segment_reads.inc();
+            let blob = self.media.read(&seg.meta.name).ok_or_else(|| {
+                FsError::Corrupt(format!("wal: segment {} vanished", seg.meta.name))
+            })?;
+            let entries = segment::parse_entries(&blob)?;
+            match entries.binary_search_by(|e| e.path.as_str().cmp(path)) {
+                Ok(i) => {
+                    let e = &entries[i];
+                    self.metrics.segment_hits.inc();
+                    return Ok(if e.tombstone || (e.expires_us != 0 && e.expires_us <= now) {
+                        Lookup::Tombstone
+                    } else {
+                        Lookup::Hit(Arc::new(e.decode_value()?))
+                    });
+                }
+                Err(_) => {
+                    self.metrics.bloom_false_positive.inc();
+                }
+            }
+        }
+        self.metrics.lookup_miss.inc();
+        Ok(Lookup::Miss)
+    }
+
+    /// Whether `path` currently resolves to a value.
+    pub fn contains(&self, path: &str) -> bool {
+        matches!(self.get(path), Ok(Lookup::Hit(_)))
+    }
+
+    /// Highest sequence the medium is guaranteed to hold.
+    pub fn durable_seq(&self) -> u64 {
+        self.inner.lock().durable_seq
+    }
+
+    /// The store's current shape (the `fanstore wal ls` view).
+    pub fn status(&self) -> WalStatus {
+        let inner = self.inner.lock();
+        WalStatus {
+            publish: inner.manifest.publish,
+            trim_seq: inner.manifest.trim_seq,
+            durable_seq: inner.durable_seq,
+            memtable_keys: inner.mem.len(),
+            memtable_bytes: inner.mem.bytes(),
+            segments: inner.manifest.segments.clone(),
+        }
+    }
+
+    /// Verify everything on the medium: manifest CRC, every segment's
+    /// CRC + header + entries, and the log scan. Collects problems
+    /// instead of failing fast — the CLI prints them all.
+    pub fn verify(&self) -> WalVerify {
+        let mut v = WalVerify::default();
+        let manifest = match self.media.read(&self.manifest_name()) {
+            Some(buf) => match WalManifest::decode(&buf) {
+                Ok(m) => m,
+                Err(e) => {
+                    v.errors.push(format!("manifest: {e}"));
+                    WalManifest::default()
+                }
+            },
+            None => WalManifest::default(),
+        };
+        v.publish = manifest.publish;
+        for meta in &manifest.segments {
+            match self.media.read(&meta.name) {
+                Some(blob) if blob.len() as u64 == meta.bytes && crc32(&blob) == meta.crc => {
+                    match segment::parse_entries(&blob) {
+                        Ok(entries) if entries.len() as u32 == meta.entries => {
+                            v.segments_ok += 1;
+                            v.entries += entries.len() as u64;
+                        }
+                        Ok(entries) => v.errors.push(format!(
+                            "{}: {} entries, manifest says {}",
+                            meta.name,
+                            entries.len(),
+                            meta.entries
+                        )),
+                        Err(e) => v.errors.push(format!("{}: {e}", meta.name)),
+                    }
+                }
+                Some(_) => v.errors.push(format!("{}: CRC mismatch", meta.name)),
+                None => v.errors.push(format!("{}: missing", meta.name)),
+            }
+        }
+        let log = self.media.read(&self.log_name()).unwrap_or_default();
+        let (records, torn) = replay(&log);
+        v.log_records = records.len() as u64;
+        v.log_torn = torn;
+        v
+    }
+
+    fn log_name(&self) -> String {
+        format!("{}/LOG", self.cfg.dir)
+    }
+
+    fn manifest_name(&self) -> String {
+        format!("{}/MANIFEST", self.cfg.dir)
+    }
+}
+
+/// Parse the numeric id out of a `<dir>/seg-NNNNNNNN` name.
+fn segment_id(name: &str) -> Option<u64> {
+    name.rsplit("seg-").next()?.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wal::media::RamMedia;
+    use std::time::Duration;
+
+    fn open(media: Arc<dyn WalMedia>, cfg: WalConfig) -> (WalStore, WalReplay) {
+        WalStore::open(media, cfg, &MetricsRegistry::new()).expect("open")
+    }
+
+    fn tiny_cfg() -> WalConfig {
+        WalConfig { memtable_budget: 256, compact_min_segments: 0, ..WalConfig::default() }
+    }
+
+    #[test]
+    fn put_get_unlink_roundtrip() {
+        let media = RamMedia::new(Duration::ZERO);
+        let (store, replay) = open(media, WalConfig::default());
+        assert_eq!(replay, WalReplay::default());
+        store.put("a", b"one".to_vec()).unwrap();
+        store.put("a", b"two".to_vec()).unwrap();
+        assert_eq!(&**store.get("a").unwrap().value().unwrap(), b"two");
+        store.unlink("a").unwrap();
+        assert!(matches!(store.get("a").unwrap(), Lookup::Tombstone));
+        assert!(matches!(store.get("never").unwrap(), Lookup::Miss));
+    }
+
+    #[test]
+    fn restart_replays_log_into_memtable() {
+        let media = RamMedia::new(Duration::ZERO);
+        {
+            let (store, _) = open(media.clone(), WalConfig::default());
+            store.put("x", b"durable".to_vec()).unwrap();
+            store.unlink("gone").unwrap();
+        }
+        let (store, replay) = open(media, WalConfig::default());
+        assert_eq!(replay.records, 2);
+        assert!(!replay.torn);
+        assert_eq!(&**store.get("x").unwrap().value().unwrap(), b"durable");
+        assert!(matches!(store.get("gone").unwrap(), Lookup::Tombstone));
+    }
+
+    #[test]
+    fn flush_publishes_segment_and_survives_restart() {
+        let media = RamMedia::new(Duration::ZERO);
+        {
+            let (store, _) = open(media.clone(), tiny_cfg());
+            store.put("big", vec![7u8; 300].clone()).unwrap(); // crosses the budget: auto-flush
+            assert_eq!(store.status().segments.len(), 1);
+            assert_eq!(store.status().memtable_keys, 0, "flush drains the memtable");
+            store.put("after", b"tail".to_vec()).unwrap();
+        }
+        let (store, replay) = open(media, tiny_cfg());
+        assert_eq!(replay.segments, 1);
+        assert_eq!(replay.records, 1, "only the post-flush record replays");
+        assert_eq!(&**store.get("big").unwrap().value().unwrap(), &[7u8; 300]);
+        assert_eq!(&**store.get("after").unwrap().value().unwrap(), b"tail");
+    }
+
+    #[test]
+    fn negative_lookup_never_reads_segments() {
+        let media = RamMedia::new(Duration::ZERO);
+        let cfg = WalConfig { bloom_fp: 0.0001, ..tiny_cfg() };
+        let (store, _) = open(media, cfg);
+        for i in 0..20 {
+            store.put(&format!("k{i}"), vec![1u8; 40]).unwrap();
+        }
+        store.flush().unwrap();
+        let before = store.metrics().segment_reads.get();
+        for i in 0..50 {
+            let _ = store.get(&format!("absent-{i}")).unwrap();
+        }
+        // At a 0.01% FP target over 50 probes, zero segment reads is the
+        // expected (and deterministic, fixed-hash) outcome.
+        assert_eq!(store.metrics().segment_reads.get(), before, "bloom must skip the segment");
+        assert!(store.metrics().bloom_negative.get() >= 50);
+    }
+
+    #[test]
+    fn compaction_merges_and_drops() {
+        let media = RamMedia::new(Duration::ZERO);
+        let (store, _) = open(media, tiny_cfg());
+        store.put("keep", b"v1".to_vec()).unwrap();
+        store.put("dead", b"x".to_vec()).unwrap();
+        store.flush().unwrap();
+        store.put("keep", b"v2".to_vec()).unwrap();
+        store.unlink("dead").unwrap();
+        store.put_ttl("ttl", b"expiring".to_vec(), Duration::from_micros(1)).unwrap();
+        store.flush().unwrap();
+        assert_eq!(store.status().segments.len(), 2);
+        let report = store.compact_at(u64::MAX).unwrap(); // everything with a TTL is expired
+        assert_eq!(report.merged_segments, 2);
+        assert_eq!(report.dropped_versions, 2, "old keep + old dead superseded");
+        assert_eq!(report.dropped_tombstones, 1);
+        assert_eq!(report.dropped_expired, 1);
+        assert_eq!(store.status().segments.len(), 1);
+        assert_eq!(&**store.get("keep").unwrap().value().unwrap(), b"v2");
+        assert!(matches!(store.get("dead").unwrap(), Lookup::Miss), "tombstone retired");
+        let v = store.verify();
+        assert!(v.errors.is_empty(), "{:?}", v.errors);
+        assert_eq!(v.segments_ok, 1);
+    }
+
+    #[test]
+    fn group_commit_batches_syncs() {
+        let media = RamMedia::new(Duration::ZERO);
+        let grouped = WalConfig { commit_every: 8, ..WalConfig::default() };
+        let (store, _) = open(media.clone(), grouped);
+        let syncs0 = media.syncs();
+        for i in 0..16 {
+            store.put(&format!("g{i}"), vec![0u8; 16]).unwrap();
+        }
+        assert_eq!(media.syncs() - syncs0, 2, "16 writes, commit_every=8");
+        assert_eq!(store.durable_seq(), 16);
+        store.put("tail", b"t".to_vec()).unwrap();
+        assert_eq!(store.durable_seq(), 16, "17th write awaits its group");
+        store.commit().unwrap();
+        assert_eq!(store.durable_seq(), 17);
+    }
+
+    #[test]
+    fn ttl_reads_as_absent_after_expiry() {
+        let media = RamMedia::new(Duration::ZERO);
+        let (store, _) = open(media, WalConfig::default());
+        store.put_ttl("t", b"v".to_vec(), Duration::from_micros(1)).unwrap();
+        std::thread::sleep(Duration::from_millis(2));
+        assert!(matches!(store.get("t").unwrap(), Lookup::Tombstone));
+    }
+
+    #[test]
+    fn auto_compaction_triggers_on_segment_count() {
+        let media = RamMedia::new(Duration::ZERO);
+        let cfg =
+            WalConfig { memtable_budget: 64, compact_min_segments: 3, ..WalConfig::default() };
+        let (store, _) = open(media, cfg);
+        for i in 0..12 {
+            store.put(&format!("k{i}"), vec![i as u8; 80]).unwrap();
+        }
+        let status = store.status();
+        assert!(
+            status.segments.len() < 3,
+            "threshold compaction keeps the set small: {} segments",
+            status.segments.len()
+        );
+        assert!(store.metrics().compact_runs.get() >= 1);
+        for i in 0..12 {
+            assert_eq!(&**store.get(&format!("k{i}")).unwrap().value().unwrap(), &[i as u8; 80]);
+        }
+    }
+}
