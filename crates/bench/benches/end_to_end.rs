@@ -40,6 +40,7 @@ fn e2e_benches(c: &mut Criterion) {
                         partitions: 2,
                         codec: CodecId::new(CodecFamily::Lzsse8, 2),
                         store_if_incompressible: true,
+                        ..Default::default()
                     },
                 );
                 let elapsed = FanStore::run(

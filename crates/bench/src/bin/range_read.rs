@@ -1,0 +1,32 @@
+//! Run the range-read benchmark and write the trajectory file.
+//!
+//! ```sh
+//! range_read [--quick] [--out BENCH_range.json]
+//! ```
+//!
+//! `--quick` is the CI smoke shape; without it the full trajectory
+//! measurement runs. The markdown report goes to stdout; the JSON
+//! summary goes to `--out` (default `BENCH_range.json` in the current
+//! directory).
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_range.json".to_string());
+
+    let (report, summary) = fanstore_bench::experiments::range_read::run(quick);
+    print!("{report}");
+    if let Err(e) = std::fs::write(&out_path, summary.to_json()) {
+        eprintln!("range_read: write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("wrote {out_path}");
+    ExitCode::SUCCESS
+}

@@ -32,6 +32,7 @@ fn measure(kind: DatasetKind, n: usize) -> (f64, f64, f64) {
             partitions: 1,
             codec: CodecId::new(CodecFamily::Lzsse8, 2),
             store_if_incompressible: true,
+            ..PrepConfig::default()
         },
     );
     let paths: Vec<String> = files.iter().map(|(p, _)| p.clone()).collect();

@@ -13,6 +13,7 @@ pub mod global_view;
 pub mod lossy_fw;
 pub mod metrics_overhead;
 pub mod pipeline_attrib;
+pub mod range_read;
 pub mod table3;
 pub mod table4;
 pub mod table5;

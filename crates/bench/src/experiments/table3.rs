@@ -44,6 +44,7 @@ fn measure_fanstore(file_size: usize, n_files: usize) -> f64 {
             partitions: 1,
             codec: CodecId::new(CodecFamily::Store, 0),
             store_if_incompressible: true,
+            ..PrepConfig::default()
         },
     );
     FanStore::run(

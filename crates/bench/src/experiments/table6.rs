@@ -25,6 +25,7 @@ fn measure_local(file_size: usize, n_files: usize) -> (f64, f64) {
             partitions: 1,
             codec: CodecId::new(CodecFamily::Store, 0),
             store_if_incompressible: true,
+            ..PrepConfig::default()
         },
     );
     let fps = FanStore::run(

@@ -7,6 +7,8 @@
 //! fanstore ckpt <ls | verify | gc> [--nodes 4] [--generations 5] [--keep-last 2]
 //! fanstore wal <ls | verify | compact> [--nodes 4] [--files 24]
 //! fanstore qos [--nodes 4] [--files 24]
+//! fanstore range [--size 1048576] [--chunk 65536] [--start 100000] [--end 150000]
+//! fanstore tier [--floats 65536] [--tiers 4] [--min-tier 1]
 //! fanstore attrib [--nodes 4] [--files 24]
 //! fanstore slo [--nodes 4] [--files 24]
 //! ```
@@ -19,18 +21,23 @@
 //! a remote GET reads client -> fabric -> daemon even though the stages
 //! were recorded on different ranks. `attrib` joins the span trees and
 //! prints the per-stage bottleneck table (where each request's wall
-//! time went); `slo` prints the per-tenant burn-rate table.
+//! time went); `slo` prints the per-tenant burn-rate table. `range` and
+//! `tier` walk the progressive/partial read path (DESIGN.md §10): a
+//! byte-window read that moves only covering chunks, and a reduced-
+//! fidelity read of a progressively packed float file.
 
 use std::process::ExitCode;
 
 use fanstore_cli::{
-    run_attrib_demo, run_ckpt_demo, run_metrics_demo, run_qos_demo, run_slo_demo, run_trace_dump,
-    run_wal_demo, Args,
+    run_attrib_demo, run_ckpt_demo, run_metrics_demo, run_qos_demo, run_range_demo, run_slo_demo,
+    run_tier_demo, run_trace_dump, run_wal_demo, Args,
 };
 
 const USAGE: &str = "usage: fanstore <metrics | trace dump | ckpt ls | ckpt verify | ckpt gc | \
-                     wal ls | wal verify | wal compact | qos | attrib | slo> [--nodes N] \
-                     [--files N] [--json true] [--tenant N] [--generations N] [--keep-last K]";
+                     wal ls | wal verify | wal compact | qos | attrib | slo | range | tier> \
+                     [--nodes N] [--files N] [--json true] [--tenant N] [--generations N] \
+                     [--keep-last K] [--size N] [--chunk N] [--start A] [--end B] [--floats N] \
+                     [--tiers T] [--min-tier K]";
 
 fn main() -> ExitCode {
     let args = match Args::parse(std::env::args().skip(1)) {
@@ -71,6 +78,61 @@ fn main() -> ExitCode {
         [cmd] if cmd == "qos" => run_qos_demo(nodes, files),
         [cmd] if cmd == "attrib" => run_attrib_demo(nodes, files),
         [cmd] if cmd == "slo" => run_slo_demo(nodes, files),
+        [cmd] if cmd == "range" => {
+            let size = match args.get_usize("size", 1 << 20) {
+                Ok(n) => n,
+                Err(e) => {
+                    eprintln!("fanstore: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let chunk = match args.get_usize("chunk", 64 * 1024) {
+                Ok(n) => n,
+                Err(e) => {
+                    eprintln!("fanstore: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let start = match args.get_usize("start", 100_000) {
+                Ok(n) => n as u64,
+                Err(e) => {
+                    eprintln!("fanstore: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let end = match args.get_usize("end", start as usize + 50_000) {
+                Ok(n) => n as u64,
+                Err(e) => {
+                    eprintln!("fanstore: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            run_range_demo(size, chunk, start, end)
+        }
+        [cmd] if cmd == "tier" => {
+            let floats = match args.get_usize("floats", 65_536) {
+                Ok(n) => n,
+                Err(e) => {
+                    eprintln!("fanstore: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let tiers = match args.get_usize("tiers", 4) {
+                Ok(n) => n as u8,
+                Err(e) => {
+                    eprintln!("fanstore: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let min_tier = match args.get_usize("min-tier", 1) {
+                Ok(n) => n as u8,
+                Err(e) => {
+                    eprintln!("fanstore: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            run_tier_demo(floats, tiers, min_tier)
+        }
         [cmd, sub] if cmd == "wal" => run_wal_demo(sub, nodes, files),
         [cmd, sub] if cmd == "ckpt" => {
             let generations = match args.get_usize("generations", 5) {

@@ -121,8 +121,15 @@ pub fn run_prep(
         return Err(format!("no files under {}", input_dir.display()));
     }
     let n_files = files.len();
-    let packed =
-        prepare(files, &PrepConfig { partitions, codec: codec_id, store_if_incompressible: true });
+    let packed = prepare(
+        files,
+        &PrepConfig {
+            partitions,
+            codec: codec_id,
+            store_if_incompressible: true,
+            ..Default::default()
+        },
+    );
 
     std::fs::create_dir_all(output_dir)
         .map_err(|e| format!("create {}: {e}", output_dir.display()))?;
@@ -832,6 +839,86 @@ pub fn run_wal_demo(sub: &str, nodes: usize, files_n: usize) -> Result<String, S
     Ok(report)
 }
 
+/// `fanstore range`: pack a synthetic file into a range-chunked FCHK
+/// container, run a 2-node cluster, and read a byte window from the
+/// non-owning rank — printing how many compressed bytes actually moved
+/// compared with the file size (DESIGN.md §10).
+pub fn run_range_demo(size: usize, chunk: usize, start: u64, end: u64) -> Result<String, String> {
+    let end = end.min(size as u64);
+    if start >= end {
+        return Err(format!("empty window [{start}, {end})"));
+    }
+    let body: Vec<u8> = (0..size).map(|i| (i % 251) as u8).collect();
+    let packed = prepare(
+        vec![("demo/big.bin".to_string(), body.clone())],
+        &PrepConfig { partitions: 2, chunk_size: chunk, ..PrepConfig::default() },
+    );
+    let results = FanStore::run(
+        ClusterConfig { nodes: 2, ..ClusterConfig::default() },
+        packed.partitions,
+        move |fs| {
+            if fs.rank() != 1 {
+                return Ok((0, 0, true));
+            }
+            let got = fs.read_range("demo/big.bin", start, end)?;
+            let ok = got == body[start as usize..end as usize];
+            Ok((got.len(), fs.state().stats.remote_bytes.get(), ok))
+        },
+    );
+    let (len, moved, ok) = results
+        .into_iter()
+        .nth(1)
+        .expect("rank 1")
+        .map_err(|e: fanstore::FsError| e.to_string())?;
+    if !ok {
+        return Err("range read returned wrong bytes".into());
+    }
+    Ok(format!(
+        "packed {size} B into chunked container ({chunk} B chunks)\n\
+         read [{start}, {end}) from the non-owning rank: {len} B delivered\n\
+         compressed bytes moved: {moved} B ({:.1}% of the file)\n\
+         content check: exact",
+        100.0 * moved as f64 / size as f64,
+    ))
+}
+
+/// `fanstore tier`: pack a float file progressively and read it back at
+/// a reduced fidelity tier from the non-owning rank, printing the bytes
+/// moved and the resulting approximation error (DESIGN.md §10).
+pub fn run_tier_demo(floats: usize, tiers: u8, min_tier: u8) -> Result<String, String> {
+    if floats == 0 || tiers == 0 {
+        return Err("need at least one float lane and one tier".into());
+    }
+    let body: Vec<u8> = (0..floats).flat_map(|i| ((i as f32) * 0.001).to_le_bytes()).collect();
+    let size = body.len();
+    let packed = prepare(
+        vec![("demo/model.f32".to_string(), body.clone())],
+        &PrepConfig { partitions: 2, progressive_tiers: tiers, ..PrepConfig::default() },
+    );
+    let results = FanStore::run(
+        ClusterConfig { nodes: 2, ..ClusterConfig::default() },
+        packed.partitions,
+        move |fs| {
+            if fs.rank() != 1 {
+                return Ok((0, 0.0f32, 0u64));
+            }
+            let approx = fs.read_whole_tier("demo/model.f32", min_tier)?;
+            let err = fanstore_compress::progressive::max_abs_error(&body, &approx);
+            Ok((approx.len(), err, fs.state().stats.remote_bytes.get()))
+        },
+    );
+    let (len, err, moved) = results
+        .into_iter()
+        .nth(1)
+        .expect("rank 1")
+        .map_err(|e: fanstore::FsError| e.to_string())?;
+    Ok(format!(
+        "packed {size} B of f32 into {tiers} progressive tiers\n\
+         read tiers 0..={min_tier} remotely: {len} B decoded, {moved} B moved\n\
+         max |error| across f32 lanes: {err:e}",
+    ))
+}
+
 /// Temp-dir helper for the CLI tests.
 pub fn temp_dir(tag: &str) -> PathBuf {
     let unique = format!(
@@ -982,6 +1069,30 @@ mod tests {
     fn demo_rejects_empty_cluster() {
         assert!(run_metrics_demo(0, 4, false, None).is_err());
         assert!(run_trace_dump(2, 0).is_err());
+    }
+
+    #[test]
+    fn range_demo_moves_a_fraction_of_the_file() {
+        let out = run_range_demo(256 * 1024, 16 * 1024, 50_000, 70_000).unwrap();
+        assert!(out.contains("content check: exact"), "{out}");
+        let moved: u64 = out
+            .lines()
+            .find(|l| l.starts_with("compressed bytes moved"))
+            .and_then(|l| l.split_whitespace().nth(3))
+            .and_then(|v| v.parse().ok())
+            .expect("moved bytes line");
+        assert!(moved < 256 * 1024 / 4, "a 20 KB window must not move the file: {out}");
+        assert!(run_range_demo(4096, 1024, 10, 10).is_err(), "empty window rejected");
+    }
+
+    #[test]
+    fn tier_demo_reports_bounded_error() {
+        let out = run_tier_demo(4096, 4, 1).unwrap();
+        assert!(out.contains("read tiers 0..=1"), "{out}");
+        assert!(out.contains("max |error|"), "{out}");
+        let exact = run_tier_demo(4096, 4, 3).unwrap();
+        assert!(exact.contains("max |error| across f32 lanes: 0e0"), "all tiers exact: {exact}");
+        assert!(run_tier_demo(0, 4, 1).is_err());
     }
 
     #[test]

@@ -49,6 +49,7 @@ pub mod lzf;
 pub mod lzma_lite;
 pub mod lzsse;
 pub mod matchfinder;
+pub mod progressive;
 pub mod rangecoder;
 pub mod reference;
 pub mod registry;

@@ -1,0 +1,99 @@
+//! Property-based tests for the progressive (fidelity-tiered) codec:
+//! any tier prefix must decode, the f32 approximation error must be
+//! non-increasing as tiers are added, and the full tier set must
+//! round-trip bit-exactly — for arbitrary payloads and tier counts.
+
+use fanstore_compress::progressive::{decode_prefix, encode_tiers, max_abs_error};
+use proptest::prelude::*;
+
+/// Payloads the tiering must survive: arbitrary bytes (including lengths
+/// not divisible by 4), realistic float ramps, and degenerate lanes
+/// (zeros, NaN/Inf bit patterns).
+fn payload_strategy() -> impl Strategy<Value = Vec<u8>> {
+    prop_oneof![
+        proptest::collection::vec(any::<u8>(), 0..2048),
+        // Smooth float ramp — the intended workload.
+        (any::<f32>(), 1usize..512).prop_map(|(scale, n)| {
+            let s = if scale.is_finite() { scale } else { 1.0 };
+            (0..n).flat_map(|i| ((i as f32) * 0.01 * s).to_le_bytes()).collect()
+        }),
+        // Non-finite lanes: the tiering must treat them as opaque bits.
+        proptest::collection::vec(
+            prop_oneof![
+                Just(f32::NAN.to_le_bytes()),
+                Just(f32::INFINITY.to_le_bytes()),
+                Just(f32::NEG_INFINITY.to_le_bytes()),
+                Just(0.0f32.to_le_bytes()),
+                Just((-0.0f32).to_le_bytes()),
+            ],
+            0..256
+        )
+        .prop_map(|lanes| lanes.into_iter().flatten().collect()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every prefix of the tier sequence decodes successfully and to the
+    /// full length; the complete set restores the input exactly.
+    #[test]
+    fn every_prefix_decodes_and_full_set_is_lossless(
+        data in payload_strategy(),
+        tiers in 1u8..=8,
+    ) {
+        let encoded = encode_tiers(&data, tiers);
+        prop_assert_eq!(encoded.len(), tiers as usize);
+        for k in 1..=encoded.len() {
+            let prefix: Vec<&[u8]> = encoded[..k].iter().map(Vec::as_slice).collect();
+            let approx = decode_prefix(&prefix, data.len())
+                .unwrap_or_else(|e| panic!("prefix {k}/{tiers} failed: {e}"));
+            prop_assert_eq!(approx.len(), data.len(), "prefix {} length", k);
+            if k == encoded.len() {
+                prop_assert_eq!(&approx, &data, "full tier set must be exact");
+            }
+        }
+    }
+
+    /// Fidelity is monotone: adding a tier never increases the maximum
+    /// absolute error over the finite f32 lanes.
+    #[test]
+    fn error_is_non_increasing_in_tier_count(
+        data in payload_strategy(),
+        tiers in 2u8..=8,
+    ) {
+        let encoded = encode_tiers(&data, tiers);
+        let mut prev = f32::INFINITY;
+        for k in 1..=encoded.len() {
+            let prefix: Vec<&[u8]> = encoded[..k].iter().map(Vec::as_slice).collect();
+            let approx = decode_prefix(&prefix, data.len()).unwrap();
+            let err = max_abs_error(&data, &approx);
+            prop_assert!(
+                err <= prev,
+                "error grew from {} to {} when tier {} was added",
+                prev, err, k
+            );
+            prev = err;
+        }
+        prop_assert_eq!(prev, 0.0, "all tiers together must be exact");
+    }
+
+    /// Corrupting any single byte of any tier must produce an error or a
+    /// wrong-but-bounded result — never a panic.
+    #[test]
+    fn corrupted_tiers_never_panic(
+        data in proptest::collection::vec(any::<u8>(), 4..512),
+        tiers in 1u8..=4,
+        victim in any::<usize>(),
+        flip in 1u8..=255,
+    ) {
+        let mut encoded = encode_tiers(&data, tiers);
+        let t = victim % encoded.len();
+        if !encoded[t].is_empty() {
+            let b = (victim / 7) % encoded[t].len();
+            encoded[t][b] ^= flip;
+            let refs: Vec<&[u8]> = encoded.iter().map(Vec::as_slice).collect();
+            let _ = decode_prefix(&refs, data.len()); // must not panic
+        }
+    }
+}

@@ -9,19 +9,21 @@
 //! elementary slice of time between span boundaries is charged to the
 //! highest-priority span covering it:
 //!
-//! | priority | stage                | segment     |
-//! |----------|----------------------|-------------|
-//! | 6        | `daemon.write_serve` | `serve`     |
-//! | 5        | `daemon.serve`       | `serve`     |
-//! | 4        | `daemon.queue`       | `queue`     |
-//! | 3        | `client.decompress`  | `decode`    |
-//! | 2        | `client.admit`       | `admission` |
-//! | 1        | `fabric.rpc`         | `network`   |
-//! | 0        | root client ops      | `cache`     |
+//! | priority | stage                                  | segment     |
+//! |----------|----------------------------------------|-------------|
+//! | 6        | `daemon.write_serve`                   | `serve`     |
+//! | 5        | `daemon.serve`                         | `serve`     |
+//! | 4        | `daemon.queue`                         | `queue`     |
+//! | 3        | `client.decompress`, `client.assemble` | `decode`    |
+//! | 2        | `client.admit`                         | `admission` |
+//! | 1        | `fabric.rpc`                           | `network`   |
+//! | 0        | root client ops                        | `cache`     |
 //!
-//! Root client ops are `client.get`, `client.get_many` and
-//! `client.put` — the write path's root span, whose serve leg is the
-//! daemon's `daemon.write_serve`.
+//! Root client ops are `client.get`, `client.get_many`, `client.put`
+//! (the write path's root span, whose serve leg is the daemon's
+//! `daemon.write_serve`) and `client.range` (the byte-range read path,
+//! whose decode leg is `client.assemble` — chunk stitching rather than
+//! decompression).
 //!
 //! `network` is therefore RPC time *not* explained by the daemon's
 //! queue or service; `cache` is time inside the root client span not
@@ -54,10 +56,12 @@ fn classify(stage: &str) -> Option<(usize, u8)> {
         "daemon.write_serve" => Some((3, 6)),
         "daemon.serve" => Some((3, 5)),
         "daemon.queue" => Some((1, 4)),
-        "client.decompress" => Some((4, 3)),
+        // Chunk assembly after a ranged fetch is decode-side work, same
+        // slot and priority as decompression.
+        "client.decompress" | "client.assemble" => Some((4, 3)),
         "client.admit" => Some((0, 2)),
         "fabric.rpc" => Some((2, 1)),
-        "client.get" | "client.get_many" | "client.put" => Some((5, 0)),
+        "client.get" | "client.get_many" | "client.put" | "client.range" => Some((5, 0)),
         _ => None,
     }
 }

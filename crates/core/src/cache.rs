@@ -25,7 +25,7 @@
 //! [`FileCache::stats`] merges the per-shard counters;
 //! [`FileCache::shard_snapshots`] exposes them individually.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -85,9 +85,57 @@ pub struct ShardSnapshot {
     pub entries: u64,
 }
 
+/// What a cache slot holds: the whole decompressed file, or — for
+/// chunked files read by range — only the chunks touched so far.
+enum Payload {
+    Full(Arc<Vec<u8>>),
+    Partial(PartialEntry),
+}
+
+/// Partial residency for a chunked file: the decoded chunks seen so far,
+/// keyed by chunk index. Only the *resident* bytes are charged against
+/// the shard budget — a partial entry of a huge file costs what it
+/// holds, not the file's declared size.
+struct PartialEntry {
+    /// The file's nominal chunk size (all chunks but the last have it).
+    chunk_size: u32,
+    /// Total raw file length (for bounds checks on range hits).
+    total_len: u64,
+    /// Resident decoded chunks by index.
+    chunks: BTreeMap<u32, Arc<Vec<u8>>>,
+    /// Sum of resident chunk byte lengths (the budget charge).
+    resident: usize,
+}
+
 struct Entry {
-    data: Arc<Vec<u8>>,
+    payload: Payload,
     open_count: usize,
+}
+
+impl Entry {
+    /// Bytes this entry charges against its shard budget.
+    fn bytes(&self) -> usize {
+        match &self.payload {
+            Payload::Full(data) => data.len(),
+            Payload::Partial(p) => p.resident,
+        }
+    }
+}
+
+/// A snapshot of one path's residency, for gap computation and tests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Residency {
+    /// The whole file is resident.
+    Full,
+    /// Only some chunks are resident.
+    Partial {
+        /// The file's nominal chunk size.
+        chunk_size: u32,
+        /// Total raw file length.
+        total_len: u64,
+        /// Sorted indices of the resident chunks.
+        chunks: Vec<u32>,
+    },
 }
 
 struct Inner {
@@ -179,17 +227,18 @@ impl FileCache {
     }
 
     /// Look up `path` for an `open()`: on hit, increments the open-count
-    /// and returns the decompressed data.
+    /// and returns the decompressed data. Partial entries are not whole
+    /// files, so a whole-file open treats them as a miss.
     pub fn open(&self, path: &str) -> Option<Arc<Vec<u8>>> {
         let shard = self.shard(path);
         let mut inner = shard.inner.lock();
         match inner.entries.get_mut(path) {
-            Some(e) => {
-                e.open_count += 1;
+            Some(Entry { payload: Payload::Full(data), open_count }) => {
+                *open_count += 1;
                 shard.stats.hits.fetch_add(1, Ordering::Relaxed);
-                Some(Arc::clone(&e.data))
+                Some(Arc::clone(data))
             }
-            None => {
+            _ => {
                 shard.stats.misses.fetch_add(1, Ordering::Relaxed);
                 None
             }
@@ -198,22 +247,169 @@ impl FileCache {
 
     /// Insert freshly decompressed data for `path` with an open-count of
     /// one. If another thread inserted concurrently, the existing entry
-    /// wins (and its count is bumped) so all readers share one buffer.
-    /// Returns the canonical buffer.
+    /// wins (and its count is bumped) so all readers share one buffer. A
+    /// resident *partial* entry is superseded: its chunks are released
+    /// and the full buffer takes its place, leaving the entry identical
+    /// to a cold full read. Returns the canonical buffer.
     pub fn insert(&self, path: &str, data: Arc<Vec<u8>>) -> Arc<Vec<u8>> {
         let shard = self.shard(path);
         let mut inner = shard.inner.lock();
-        if let Some(e) = inner.entries.get_mut(path) {
-            e.open_count += 1;
-            return Arc::clone(&e.data);
+        match inner.entries.get_mut(path) {
+            Some(Entry { payload: Payload::Full(existing), open_count }) => {
+                *open_count += 1;
+                return Arc::clone(existing);
+            }
+            Some(_) => {
+                // Partial entry: release its chunks, keep its queue slot.
+                if let Some(e) = inner.entries.remove(path) {
+                    inner.bytes -= e.bytes();
+                    self.recycle_entry(e);
+                }
+                let size = data.len();
+                self.make_room(shard, &mut inner, size);
+                inner.entries.insert(
+                    path.to_string(),
+                    Entry { payload: Payload::Full(Arc::clone(&data)), open_count: 1 },
+                );
+                inner.bytes += size;
+                return data;
+            }
+            None => {}
         }
         let size = data.len();
         // FIFO eviction within the shard, skipping in-use entries.
         self.make_room(shard, &mut inner, size);
-        inner.entries.insert(path.to_string(), Entry { data: Arc::clone(&data), open_count: 1 });
+        inner.entries.insert(
+            path.to_string(),
+            Entry { payload: Payload::Full(Arc::clone(&data)), open_count: 1 },
+        );
         inner.fifo.push_back(path.to_string());
         inner.bytes += size;
         data
+    }
+
+    /// Install one decoded chunk of a chunked file, creating or extending
+    /// a partial entry. Only the chunk's own bytes are charged against
+    /// the shard budget (partial entries cost what they hold, never the
+    /// file's declared full size). A resident full entry wins — the chunk
+    /// is already covered.
+    pub fn insert_chunk(
+        &self,
+        path: &str,
+        chunk_size: u32,
+        total_len: u64,
+        index: u32,
+        data: Arc<Vec<u8>>,
+    ) {
+        let shard = self.shard(path);
+        let mut inner = shard.inner.lock();
+        match inner.entries.get_mut(path) {
+            Some(Entry { payload: Payload::Full(_), .. }) => {}
+            Some(Entry { payload: Payload::Partial(p), .. }) => {
+                if p.chunks.contains_key(&index) {
+                    return;
+                }
+                let size = data.len();
+                p.chunks.insert(index, data);
+                p.resident += size;
+                self.make_room(shard, &mut inner, 0);
+                inner.bytes += size;
+            }
+            None => {
+                let size = data.len();
+                self.make_room(shard, &mut inner, size);
+                let mut chunks = BTreeMap::new();
+                chunks.insert(index, data);
+                inner.entries.insert(
+                    path.to_string(),
+                    Entry {
+                        payload: Payload::Partial(PartialEntry {
+                            chunk_size,
+                            total_len,
+                            chunks,
+                            resident: size,
+                        }),
+                        open_count: 0,
+                    },
+                );
+                inner.fifo.push_back(path.to_string());
+                inner.bytes += size;
+            }
+        }
+    }
+
+    /// Serve raw bytes `[start, end)` of `path` from resident data: a
+    /// full entry slices directly; a partial entry answers only when all
+    /// covering chunks are resident. Range reads are copy-out — they do
+    /// not take an open-count.
+    pub fn open_range(&self, path: &str, start: u64, end: u64) -> Option<Vec<u8>> {
+        let shard = self.shard(path);
+        let inner = shard.inner.lock();
+        let got = match inner.entries.get(path) {
+            Some(Entry { payload: Payload::Full(data), .. }) => (end <= data.len() as u64
+                && start <= end)
+                .then(|| data[start as usize..end as usize].to_vec()),
+            Some(Entry { payload: Payload::Partial(p), .. }) => {
+                if start > end || end > p.total_len || p.chunk_size == 0 {
+                    None
+                } else if start == end {
+                    Some(Vec::new())
+                } else {
+                    let cs = u64::from(p.chunk_size);
+                    let first = (start / cs) as u32;
+                    let last = ((end - 1) / cs) as u32;
+                    (first..=last).map(|i| p.chunks.get(&i)).collect::<Option<Vec<_>>>().map(
+                        |chunks| {
+                            let mut out = Vec::with_capacity((end - start) as usize);
+                            for (i, c) in chunks.iter().enumerate() {
+                                let base = u64::from(first + i as u32) * cs;
+                                let lo = start.max(base) - base;
+                                let hi = end.min(base + c.len() as u64) - base;
+                                out.extend_from_slice(&c[lo as usize..hi as usize]);
+                            }
+                            out
+                        },
+                    )
+                }
+            }
+            None => None,
+        };
+        match got {
+            Some(v) => {
+                shard.stats.hits.fetch_add(1, Ordering::Relaxed);
+                Some(v)
+            }
+            None => {
+                shard.stats.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// What is resident for `path`, if anything.
+    pub fn residency(&self, path: &str) -> Option<Residency> {
+        let shard = self.shard(path);
+        let inner = shard.inner.lock();
+        inner.entries.get(path).map(|e| match &e.payload {
+            Payload::Full(_) => Residency::Full,
+            Payload::Partial(p) => Residency::Partial {
+                chunk_size: p.chunk_size,
+                total_len: p.total_len,
+                chunks: p.chunks.keys().copied().collect(),
+            },
+        })
+    }
+
+    /// Hand an evicted entry's buffers to the recycle pool.
+    fn recycle_entry(&self, e: Entry) {
+        match e.payload {
+            Payload::Full(data) => self.recycle_evicted(data),
+            Payload::Partial(p) => {
+                for (_, data) in p.chunks {
+                    self.recycle_evicted(data);
+                }
+            }
+        }
     }
 
     fn make_room(&self, shard: &Shard, inner: &mut Inner, incoming: usize) {
@@ -230,9 +426,9 @@ impl FileCache {
             if in_use {
                 inner.fifo.push_back(victim);
             } else if let Some(e) = inner.entries.remove(&victim) {
-                inner.bytes -= e.data.len();
+                inner.bytes -= e.bytes();
                 shard.stats.evictions.fetch_add(1, Ordering::Relaxed);
-                self.recycle_evicted(e.data);
+                self.recycle_entry(e);
             }
         }
     }
@@ -251,10 +447,10 @@ impl FileCache {
         };
         if release {
             if let Some(e) = inner.entries.remove(path) {
-                inner.bytes -= e.data.len();
+                inner.bytes -= e.bytes();
                 inner.fifo.retain(|p| p != path);
                 shard.stats.evictions.fetch_add(1, Ordering::Relaxed);
-                self.recycle_evicted(e.data);
+                self.recycle_entry(e);
             }
         }
     }
@@ -267,10 +463,10 @@ impl FileCache {
         let mut inner = shard.inner.lock();
         match inner.entries.remove(path) {
             Some(e) => {
-                inner.bytes -= e.data.len();
+                inner.bytes -= e.bytes();
                 inner.fifo.retain(|p| p != path);
                 shard.stats.evictions.fetch_add(1, Ordering::Relaxed);
-                self.recycle_evicted(e.data);
+                self.recycle_entry(e);
                 true
             }
             None => false,
@@ -511,6 +707,92 @@ mod tests {
         );
         assert_eq!(merged.hits.load(Ordering::Relaxed), 40);
         assert_eq!(merged.misses.load(Ordering::Relaxed), 40);
+    }
+
+    #[test]
+    fn partial_entries_charge_resident_bytes_not_declared_size() {
+        // Regression: a partial entry of a 1 GiB file with one 64 B chunk
+        // resident must charge 64 B, not 1 GiB.
+        let c = single(1000, false);
+        c.insert_chunk("huge", 64, 1 << 30, 3, data(64, 7));
+        assert_eq!(c.resident_bytes(), 64);
+        assert_eq!(
+            c.residency("huge"),
+            Some(Residency::Partial { chunk_size: 64, total_len: 1 << 30, chunks: vec![3] })
+        );
+    }
+
+    #[test]
+    fn budget_full_cache_still_admits_small_range_reads() {
+        // Regression companion: fill the budget with in-use full entries,
+        // then a small chunk insert must still be admitted (charged at
+        // chunk size) and serve range hits.
+        let c = single(200, false);
+        c.insert("a", data(100, 1)); // in use (count 1)
+        c.insert("b", data(100, 2)); // in use (count 1)
+        assert_eq!(c.resident_bytes(), 200);
+        c.insert_chunk("big", 32, 4096, 0, data(32, 9));
+        let got = c.open_range("big", 4, 20).expect("chunk-resident range admitted");
+        assert_eq!(got, vec![9u8; 16]);
+    }
+
+    #[test]
+    fn range_hits_from_partial_and_full_entries() {
+        let c = single(1 << 20, false);
+        // Partial: chunks 0 and 1 of a 3-chunk file (chunk_size 10).
+        c.insert_chunk("p", 10, 25, 0, Arc::new((0..10u8).collect()));
+        c.insert_chunk("p", 10, 25, 1, Arc::new((10..20u8).collect()));
+        assert_eq!(c.open_range("p", 5, 15).unwrap(), (5..15u8).collect::<Vec<_>>());
+        assert_eq!(c.open_range("p", 0, 0).unwrap(), Vec::<u8>::new());
+        assert!(c.open_range("p", 15, 25).is_none(), "chunk 2 not resident");
+        assert!(c.open_range("p", 0, 26).is_none(), "past EOF");
+        // Full entries serve any in-bounds range.
+        c.insert("f", Arc::new((0..100u8).collect()));
+        assert_eq!(c.open_range("f", 90, 100).unwrap(), (90..100u8).collect::<Vec<_>>());
+        assert!(c.open_range("f", 90, 101).is_none());
+    }
+
+    #[test]
+    fn whole_file_open_misses_partial_entries() {
+        let c = single(1 << 20, false);
+        c.insert_chunk("p", 10, 30, 0, data(10, 1));
+        assert!(c.open("p").is_none(), "partial entry is not a whole file");
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn full_insert_supersedes_partial_entry() {
+        let c = single(1 << 20, false);
+        c.insert_chunk("p", 10, 30, 0, data(10, 1));
+        c.insert_chunk("p", 10, 30, 2, data(10, 2));
+        assert_eq!(c.resident_bytes(), 20);
+        let full = Arc::new(vec![5u8; 30]);
+        c.insert("p", Arc::clone(&full));
+        // The entry is now exactly what a cold full read would leave.
+        assert_eq!(c.residency("p"), Some(Residency::Full));
+        assert_eq!(c.resident_bytes(), 30);
+        let got = c.open("p").unwrap();
+        assert!(Arc::ptr_eq(&got, &full));
+    }
+
+    #[test]
+    fn duplicate_chunk_insert_not_double_charged() {
+        let c = single(1 << 20, false);
+        c.insert_chunk("p", 10, 30, 1, data(10, 1));
+        c.insert_chunk("p", 10, 30, 1, data(10, 2));
+        assert_eq!(c.resident_bytes(), 10);
+        assert_eq!(c.open_range("p", 10, 12).unwrap(), vec![1, 1], "first chunk wins");
+    }
+
+    #[test]
+    fn partial_entries_evict_whole_under_pressure() {
+        let c = single(100, false);
+        c.insert_chunk("p", 40, 80, 0, data(40, 1));
+        c.insert_chunk("p", 40, 80, 1, data(40, 1));
+        assert_eq!(c.resident_bytes(), 80);
+        c.insert("q", data(80, 2)); // pressure: evicts the idle partial entry
+        assert!(c.residency("p").is_none(), "partial entry evicted whole");
+        assert_eq!(c.resident_bytes(), 80);
     }
 
     #[test]

@@ -20,7 +20,8 @@ use parking_lot::Mutex;
 
 use crate::backend::Backend;
 use crate::daemon::{
-    decode_get_many_reply, decode_get_reply, encode_get_many_request, tags, MAX_BATCH,
+    decode_get_many_reply, decode_get_many_reply_v2, decode_get_reply, encode_get_many_request,
+    encode_get_many_request_v2, tags, GetManyItem, GetManySpec, MAX_BATCH,
 };
 use crate::meta::encode_single;
 use crate::metrics::{now_us, Counter, Gauge, Histogram};
@@ -109,6 +110,15 @@ fn seeded_backoff(base: Duration, max: Duration, seed: u64, path: &str, attempt:
 /// [`seeded_backoff`] parameterised by a [`FailoverConfig`].
 fn backoff_delay(cfg: &FailoverConfig, path: &str, attempt: u32) -> Duration {
     seeded_backoff(cfg.backoff_base, cfg.backoff_max, cfg.seed, path, attempt)
+}
+
+/// Bounds-checked slice `[start, end)` of a decoded file.
+fn slice_range(data: &[u8], start: u64, end: u64, path: &str) -> Result<Vec<u8>, FsError> {
+    let (a, b) = (start as usize, end as usize);
+    if a >= b || b > data.len() {
+        return Err(FsError::BadRange(format!("{path}: [{start}, {end}) of {}", data.len())));
+    }
+    Ok(data[a..b].to_vec())
 }
 
 /// Seek origin for [`FsClient::lseek`].
@@ -1212,6 +1222,302 @@ impl FsClient {
         let fd = self.create(path)?;
         self.write(fd, data)?;
         self.close(fd)
+    }
+
+    /// Read bytes `[start, end)` of `path` without materialising the
+    /// whole file. For range-chunked objects only the covering chunks
+    /// move: cache-resident chunks are served in place, locally-owned
+    /// chunks decode from the partition, and remote chunks travel in one
+    /// v2 GET_MANY entry (replica failover and read-through included).
+    /// Fetched chunks land in the cache as partial residency, so
+    /// overlapping ranges hit without refetching. Objects packed whole
+    /// fall back to a full fetch plus slice — correct, just not cheaper.
+    ///
+    /// `[start, end)` must be non-empty and lie inside the file;
+    /// anything else is [`FsError::BadRange`] (EINVAL), never a panic.
+    pub fn read_range(&self, path: &str, start: u64, end: u64) -> Result<Vec<u8>, FsError> {
+        if !self.timed {
+            return self.read_range_inner(path, start, end, 0);
+        }
+        let request = self.state.next_request_id();
+        let t0 = now_us();
+        let out = self.read_range_inner(path, start, end, request);
+        self.span(request, "client.range", t0);
+        out
+    }
+
+    fn read_range_inner(
+        &self,
+        path: &str,
+        start: u64,
+        end: u64,
+        request: u64,
+    ) -> Result<Vec<u8>, FsError> {
+        let stat = self.stat(path)?;
+        if start >= end || end > stat.size {
+            return Err(FsError::BadRange(format!("{path}: [{start}, {end}) of {}", stat.size)));
+        }
+        self.record(Op::Read, path, end - start);
+        // 1. Cache: full entries slice in place, partial entries serve the
+        // range when every covering chunk is resident.
+        if let Some(bytes) = self.state.cache.open_range(path, start, end) {
+            return Ok(bytes);
+        }
+        // 2. Locally-owned chunked object: decode only the covering
+        // chunks from the partition.
+        if let Some(pieces) = self.state.read_local_chunks(path, start, end)? {
+            for c in &pieces.chunks {
+                self.state.cache.insert_chunk(
+                    path,
+                    pieces.chunk_size,
+                    pieces.total_len,
+                    c.index,
+                    c.data.clone(),
+                );
+            }
+            return self.assemble_span(&pieces, start, end, request);
+        }
+        // 3. Remote owner. Non-chunked objects (local or remote) fall
+        // through to a whole-file fetch and slice below.
+        let owner = self.state.owner_of(path).ok_or_else(|| FsError::NotFound(path.to_string()))?;
+        if owner != self.state.rank
+            && owner < self.state.size
+            && self.state.local_packed(path).is_none()
+        {
+            let deadline = self.op_deadline_us();
+            match self.range_remote(path, start, end, owner, request, deadline) {
+                Ok(bytes) => {
+                    self.sync_fabric_gauges();
+                    return Ok(bytes);
+                }
+                // The daemon judged the range invalid — replicas would
+                // say the same, and read-through can't fix EINVAL.
+                Err(e @ FsError::BadRange(_)) => return Err(e),
+                Err(_) => self.sync_fabric_gauges(),
+            }
+            // Every replica failed: degrade to the whole-file path, which
+            // carries its own read-through fallback.
+        }
+        // 4. Whole-file fallback: fetch (cache-populating), slice.
+        let data = self.fetch(path)?;
+        let out = slice_range(&data, start, end, path)?;
+        self.state.cache.close(path);
+        Ok(out)
+    }
+
+    /// Assemble `[start, end)` from decoded range pieces under a
+    /// `client.assemble` span.
+    fn assemble_span(
+        &self,
+        pieces: &crate::node::RangePieces,
+        start: u64,
+        end: u64,
+        request: u64,
+    ) -> Result<Vec<u8>, FsError> {
+        let t = if self.timed { now_us() } else { 0 };
+        let out = pieces.assemble(start, end);
+        if self.timed {
+            self.span(request, "client.assemble", t);
+        }
+        out
+    }
+
+    /// One ranged GET_MANY attempt against `replica`: rpc, outer-CRC
+    /// decode, per-chunk at-rest CRC + decompress. A chunk whose at-rest
+    /// CRC fails poisons only this attempt — the caller walks the replica
+    /// ring, where an undamaged copy may survive.
+    #[allow(clippy::too_many_arguments)]
+    fn try_range(
+        &self,
+        path: &str,
+        start: u64,
+        end: u64,
+        replica: usize,
+        timeout: Option<Duration>,
+        request: u64,
+        deadline_us: u64,
+    ) -> Result<Vec<u8>, FsError> {
+        let specs = [GetManySpec::range(path, start, end)];
+        let payload = encode_get_many_request_v2(&specs);
+        let rpc_start = if self.timed { now_us() } else { 0 };
+        let meta = self.rpc_meta(request, deadline_us);
+        let reply = self
+            .service
+            .rpc_with_meta(replica, tags::GET_MANY, payload, timeout, meta)
+            .map_err(|e| match e {
+                CommError::Timeout | CommError::Disconnected => {
+                    FsError::Timeout(format!("GET_MANY(range) {path} from rank {replica}"))
+                }
+                other => FsError::Comm(other.to_string()),
+            });
+        if self.timed {
+            self.metrics
+                .rpc_latency
+                .record_with_exemplar(now_us().saturating_sub(rpc_start), request);
+            self.span(request, "fabric.rpc", rpc_start);
+        }
+        let reply = reply?;
+        let decoded = decode_get_many_reply_v2(&reply, 1);
+        if let Err(FsError::Shed(_)) = &decoded {
+            self.state.stats.shed_replies.inc();
+        }
+        let item = decoded?.into_iter().next().expect("one entry")?;
+        self.state.stats.remote_opens.inc();
+        match item {
+            GetManyItem::Partial(p) => {
+                let mut chunks = Vec::with_capacity(p.chunks.len());
+                for c in &p.chunks {
+                    self.state.stats.remote_bytes.add(c.stored.len() as u64);
+                    let raw = Arc::new(c.decode(p.inner_codec)?);
+                    self.state.cache.insert_chunk(
+                        path,
+                        p.chunk_size,
+                        p.raw_len,
+                        c.index,
+                        raw.clone(),
+                    );
+                    chunks.push(crate::node::RangeChunk {
+                        index: c.index,
+                        offset: c.offset,
+                        data: raw,
+                    });
+                }
+                let pieces = crate::node::RangePieces {
+                    chunk_size: p.chunk_size,
+                    total_len: p.raw_len,
+                    chunks,
+                };
+                self.assemble_span(&pieces, start, end, request)
+            }
+            GetManyItem::Whole(codec, stat, data) => {
+                // The serving node holds a whole-object copy: decode it
+                // all, cache it all, slice the window.
+                self.state.stats.remote_bytes.add(data.len() as u64);
+                let plain = self.state.decompress_timed(codec, &data, stat.size as usize, path)?;
+                let shared = self.state.cache.insert(path, Arc::new(plain));
+                let out = slice_range(&shared, start, end, path);
+                self.state.cache.close(path);
+                out
+            }
+        }
+    }
+
+    /// Remote ranged fetch with the same replica-failover shape as
+    /// [`FsClient::fetch_remote`]: walk the owner's ring replicas under
+    /// backoff, bounded by the retry budget and the op deadline.
+    fn range_remote(
+        &self,
+        path: &str,
+        start: u64,
+        end: u64,
+        owner: usize,
+        request: u64,
+        deadline_us: u64,
+    ) -> Result<Vec<u8>, FsError> {
+        if deadline_us != 0 && now_us() >= deadline_us {
+            return Err(FsError::Shed(format!("{path}: deadline exhausted before send")));
+        }
+        let Some(cfg) = &self.failover else {
+            return self.try_range(path, start, end, owner, None, request, deadline_us);
+        };
+        let replicas: Vec<usize> = replicas_of(owner, self.state.size, cfg.replica_rounds)
+            .into_iter()
+            .filter(|&r| r != self.state.rank)
+            .collect();
+        let mut attempt = 0u32;
+        let mut last = FsError::Degraded(format!("{path}: no reachable replica"));
+        for &replica in &replicas {
+            for _ in 0..cfg.attempts_per_replica.max(1) {
+                if attempt > 0 {
+                    if cfg.retry_budget > 0 && attempt > cfg.retry_budget {
+                        self.state.stats.retry_exhausted.inc();
+                        return Err(last);
+                    }
+                    std::thread::sleep(backoff_delay(cfg, path, attempt));
+                    self.metrics.rpc_retries.inc();
+                }
+                attempt += 1;
+                let mut timeout = cfg.rpc_timeout;
+                if deadline_us != 0 {
+                    let rem = deadline_us.saturating_sub(now_us());
+                    if rem == 0 {
+                        return Err(FsError::Shed(format!("{path}: deadline exhausted")));
+                    }
+                    timeout = timeout.min(Duration::from_micros(rem));
+                }
+                match self.try_range(path, start, end, replica, Some(timeout), request, deadline_us)
+                {
+                    Ok(bytes) => {
+                        if attempt > 1 {
+                            self.state.stats.degraded_reads.inc();
+                            self.record(Op::Degraded, path, 0);
+                        }
+                        return Ok(bytes);
+                    }
+                    Err(e @ FsError::BadRange(_)) => return Err(e),
+                    Err(e) => {
+                        match &e {
+                            FsError::Timeout(_) => {
+                                self.state.stats.rpc_timeouts.inc();
+                            }
+                            FsError::Corrupt(_) => {
+                                self.state.stats.crc_failures.inc();
+                            }
+                            _ => {}
+                        }
+                        last = e;
+                    }
+                }
+            }
+        }
+        Err(last)
+    }
+
+    /// Read a *fidelity-bounded* approximation of `path`: for progressive
+    /// objects, only tiers `0..=min_tier` are decoded (locally or fetched
+    /// remotely), trading accuracy for bytes moved. Objects not packed
+    /// progressively come back at full fidelity. The result is NEVER
+    /// cached — the cache holds exact bytes only, so a later full-fidelity
+    /// read of the same path cannot observe the approximation.
+    pub fn read_whole_tier(&self, path: &str, min_tier: u8) -> Result<Vec<u8>, FsError> {
+        self.record(Op::Read, path, 0);
+        // Local progressive object: decode the tier prefix in place.
+        if let Some(approx) = self.state.read_local_tiered(path, min_tier)? {
+            return Ok(approx);
+        }
+        if self.state.local_packed(path).is_some() {
+            // Local but not progressive: full fidelity is the only tier.
+            return self.read_whole(path);
+        }
+        let owner = self.state.owner_of(path).ok_or_else(|| FsError::NotFound(path.to_string()))?;
+        if owner == self.state.rank || owner >= self.state.size {
+            return Err(FsError::NotFound(path.to_string()));
+        }
+        let specs = [GetManySpec::tiered(path, min_tier)];
+        let payload = encode_get_many_request_v2(&specs);
+        let timeout = self.failover.as_ref().map(|cfg| cfg.rpc_timeout);
+        let reply = self
+            .service
+            .rpc_with_meta(owner, tags::GET_MANY, payload, timeout, RpcMeta::default())
+            .map_err(|e| self.rpc_error(&format!("GET_MANY(tier) {path}"), e))?;
+        let item = decode_get_many_reply_v2(&reply, 1)?.into_iter().next().expect("one entry")?;
+        self.state.stats.remote_opens.inc();
+        match item {
+            GetManyItem::Partial(p) => {
+                let mut tiers = Vec::with_capacity(p.chunks.len());
+                for c in &p.chunks {
+                    self.state.stats.remote_bytes.add(c.stored.len() as u64);
+                    tiers.push(c.decode(p.inner_codec)?);
+                }
+                let refs: Vec<&[u8]> = tiers.iter().map(Vec::as_slice).collect();
+                fanstore_compress::progressive::decode_prefix(&refs, p.raw_len as usize)
+                    .map_err(|e| FsError::Corrupt(format!("{path}: tier decode: {e}")))
+            }
+            GetManyItem::Whole(codec, stat, data) => {
+                self.state.stats.remote_bytes.add(data.len() as u64);
+                self.state.decompress_timed(codec, &data, stat.size as usize, path)
+            }
+        }
     }
 
     /// Translate an rpc error for `what` into the matching [`FsError`]:

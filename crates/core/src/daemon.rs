@@ -68,6 +68,10 @@ pub mod status {
     /// tenant's queue was full. The client treats this as retryable and
     /// falls over to the next replica / read-through.
     pub const SHED: u8 = 3;
+    /// Entry served as a *partial* frame: only the chunks covering the
+    /// requested byte range (or the fidelity tiers up to `min_tier`) of
+    /// a chunked object, each with its own stored-CRC.
+    pub const PARTIAL: u8 = 4;
 }
 
 /// Byte offset of the body (codec + stat + compressed) in a GET reply:
@@ -149,6 +153,41 @@ pub fn decode_get_reply(
     Ok((codec, stat, buf[GET_BODY + 2 + STAT_SIZE..].to_vec()))
 }
 
+/// Count-field flag marking a version-2 GET_MANY request (per-entry
+/// range and fidelity fields follow each path). v1 decoders reject the
+/// oversized count; v1 requests decode unchanged under v2 daemons.
+const GET_MANY_V2: u32 = 0x8000_0000;
+
+/// One entry of a GET_MANY request: the path, an optional byte range
+/// `[start, end)` and a fidelity bound (`min_tier`;
+/// [`crate::pack::TIER_FULL`] means every tier).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GetManySpec<'a> {
+    /// File path.
+    pub path: &'a str,
+    /// Byte range `[start, end)` to serve, or `None` for the whole file.
+    pub range: Option<(u64, u64)>,
+    /// Highest fidelity tier the requester wants shipped.
+    pub min_tier: u8,
+}
+
+impl<'a> GetManySpec<'a> {
+    /// A whole-file, full-fidelity entry (the v1 semantics).
+    pub fn whole(path: &'a str) -> Self {
+        GetManySpec { path, range: None, min_tier: crate::pack::TIER_FULL }
+    }
+
+    /// A byte-range entry.
+    pub fn range(path: &'a str, start: u64, end: u64) -> Self {
+        GetManySpec { path, range: Some((start, end)), min_tier: crate::pack::TIER_FULL }
+    }
+
+    /// A fidelity-bounded whole-file entry.
+    pub fn tiered(path: &'a str, min_tier: u8) -> Self {
+        GetManySpec { path, range: None, min_tier }
+    }
+}
+
 /// Encode a GET_MANY request: `[u32 count]` then, per path,
 /// `[u16 len][path bytes]`.
 pub fn encode_get_many_request(paths: &[&str]) -> Vec<u8> {
@@ -162,23 +201,72 @@ pub fn encode_get_many_request(paths: &[&str]) -> Vec<u8> {
     out
 }
 
-/// Decode a GET_MANY request into its path list. `None` on any framing
-/// problem (short buffer, non-UTF-8 path, oversized count).
-fn decode_get_many_request(buf: &[u8]) -> Option<Vec<&str>> {
-    let count = u32::from_le_bytes(buf.get(..4)?.try_into().ok()?) as usize;
+/// Encode a v2 GET_MANY request: `[u32 count | GET_MANY_V2]` then, per
+/// entry, `[u16 len][path][u8 flags]` followed by `[u64 start][u64 end]`
+/// when flag bit 0 is set and `[u8 min_tier]` when flag bit 1 is set.
+pub fn encode_get_many_request_v2(specs: &[GetManySpec]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + specs.len() * 24);
+    out.extend_from_slice(&((specs.len() as u32) | GET_MANY_V2).to_le_bytes());
+    for s in specs {
+        out.extend_from_slice(&(s.path.len() as u16).to_le_bytes());
+        out.extend_from_slice(s.path.as_bytes());
+        let mut flags = 0u8;
+        if s.range.is_some() {
+            flags |= 1;
+        }
+        if s.min_tier != crate::pack::TIER_FULL {
+            flags |= 2;
+        }
+        out.push(flags);
+        if let Some((start, end)) = s.range {
+            out.extend_from_slice(&start.to_le_bytes());
+            out.extend_from_slice(&end.to_le_bytes());
+        }
+        if s.min_tier != crate::pack::TIER_FULL {
+            out.push(s.min_tier);
+        }
+    }
+    out
+}
+
+/// Decode a GET_MANY request (v1 or v2) into its entry list. `None` on
+/// any framing problem (short buffer, non-UTF-8 path, oversized count).
+fn decode_get_many_request(buf: &[u8]) -> Option<Vec<GetManySpec<'_>>> {
+    let raw = u32::from_le_bytes(buf.get(..4)?.try_into().ok()?);
+    let v2 = raw & GET_MANY_V2 != 0;
+    let count = (raw & !GET_MANY_V2) as usize;
     if count > MAX_BATCH {
         return None;
     }
-    let mut paths = Vec::with_capacity(count);
+    let mut specs = Vec::with_capacity(count);
     let mut off = 4usize;
     for _ in 0..count {
         let plen = u16::from_le_bytes(buf.get(off..off + 2)?.try_into().ok()?) as usize;
         off += 2;
-        paths.push(std::str::from_utf8(buf.get(off..off + plen)?).ok()?);
+        let path = std::str::from_utf8(buf.get(off..off + plen)?).ok()?;
         off += plen;
+        let mut spec = GetManySpec::whole(path);
+        if v2 {
+            let flags = *buf.get(off)?;
+            off += 1;
+            if flags & !3 != 0 {
+                return None;
+            }
+            if flags & 1 != 0 {
+                let start = u64::from_le_bytes(buf.get(off..off + 8)?.try_into().ok()?);
+                let end = u64::from_le_bytes(buf.get(off + 8..off + 16)?.try_into().ok()?);
+                off += 16;
+                spec.range = Some((start, end));
+            }
+            if flags & 2 != 0 {
+                spec.min_tier = *buf.get(off)?;
+                off += 1;
+            }
+        }
+        specs.push(spec);
     }
     if off == buf.len() {
-        Some(paths)
+        Some(specs)
     } else {
         None // trailing garbage: reject rather than silently ignore
     }
@@ -231,21 +319,250 @@ pub fn decode_get_many_reply(buf: &[u8], expected: usize) -> Result<Vec<GetManyE
     Ok(out)
 }
 
+/// One chunk of a PARTIAL entry: its table row plus the stored bytes.
+#[derive(Debug, Clone)]
+pub struct PartialChunk {
+    /// Chunk index in the file's chunk table.
+    pub index: u32,
+    /// Fidelity tier (0 for range chunks).
+    pub tier: u8,
+    /// First raw byte the chunk covers.
+    pub offset: u64,
+    /// Decoded length of the chunk.
+    pub raw_len: u32,
+    /// At-rest CRC-32 of the stored bytes (from the chunk table — a
+    /// mismatch against `stored` means the *serving node's copy* is
+    /// damaged, so the client fails over to a replica).
+    pub crc32: u32,
+    /// Stored (possibly compressed) chunk bytes.
+    pub stored: Vec<u8>,
+}
+
+impl PartialChunk {
+    /// Verify the chunk's at-rest CRC and decode it to raw bytes. An
+    /// at-rest mismatch means the *serving node's partition copy* is
+    /// damaged (the outer entry CRC already ruled out in-flight damage),
+    /// so the caller should fail over to a replica.
+    pub fn decode(&self, inner: fanstore_compress::CodecId) -> Result<Vec<u8>, FsError> {
+        if crc32(&self.stored) != self.crc32 {
+            return Err(FsError::Corrupt(format!("chunk {}: at-rest CRC mismatch", self.index)));
+        }
+        if self.stored.len() == self.raw_len as usize {
+            return Ok(self.stored.clone());
+        }
+        let codec = fanstore_compress::registry::create(inner)
+            .map_err(|e| FsError::Corrupt(format!("chunk {}: {e}", self.index)))?;
+        fanstore_compress::decompress_to_vec(codec.as_ref(), &self.stored, self.raw_len as usize)
+            .map_err(|e| FsError::Corrupt(format!("chunk {}: {e}", self.index)))
+    }
+}
+
+/// A decoded PARTIAL entry: the chunks covering the requested range (or
+/// fidelity prefix) plus the geometry needed to decode and cache them.
+#[derive(Debug, Clone)]
+pub struct PartialReply {
+    /// Codec the range chunks are compressed with.
+    pub inner_codec: fanstore_compress::CodecId,
+    /// File attributes.
+    pub stat: FileStat,
+    /// Nominal chunk size (0 for progressive containers).
+    pub chunk_size: u32,
+    /// Total raw file length.
+    pub raw_len: u64,
+    /// Served chunks, in table order.
+    pub chunks: Vec<PartialChunk>,
+}
+
+/// One decoded v2 GET_MANY entry: a whole-file frame or a partial frame.
+#[derive(Debug, Clone)]
+pub enum GetManyItem {
+    /// The v1 whole-file entry: codec, stat, compressed payload.
+    Whole(fanstore_compress::CodecId, FileStat, Vec<u8>),
+    /// A partial (chunked) entry.
+    Partial(PartialReply),
+}
+
+/// Append a PARTIAL entry frame for a chunked object:
+/// `[PARTIAL][crc32 u32][inner codec u16][stat 144B][chunk_size u32]
+/// [raw_len u64][count u16]` then, per chunk,
+/// `[idx u32][tier u8][offset u64][raw_len u32][stored_len u32][crc32 u32]
+/// [stored bytes]`. The outer CRC covers everything after the CRC field
+/// (in-flight damage fails the entry); each chunk additionally carries
+/// its at-rest CRC from the chunk table, which the daemon does *not*
+/// verify — a client detecting an at-rest mismatch fails over to a
+/// replica whose copy may be intact.
+fn encode_partial_entry(
+    out: &mut Vec<u8>,
+    obj: &LocalObject,
+    spec: &GetManySpec<'_>,
+    get_bytes: &crate::metrics::Counter,
+) -> Result<(), FsError> {
+    let table = crate::pack::parse_chunk_table(&obj.data)?;
+    let idxs = match table.kind {
+        crate::pack::ChunkKind::Progressive => table.tiers_up_to(spec.min_tier),
+        crate::pack::ChunkKind::Range => match spec.range {
+            Some((start, end)) if start < end && end <= table.raw_len => table.covering(start, end),
+            Some((start, end)) => {
+                return Err(FsError::BadRange(format!("[{start}, {end}) of {}", table.raw_len)))
+            }
+            None => (0..table.chunks.len()).collect(),
+        },
+    };
+    let frame = out.len();
+    out.push(status::PARTIAL);
+    out.extend_from_slice(&[0u8; 4]); // outer CRC placeholder
+    out.extend_from_slice(&table.inner_codec.0.to_le_bytes());
+    obj.stat.encode(out);
+    out.extend_from_slice(&table.chunk_size.to_le_bytes());
+    out.extend_from_slice(&table.raw_len.to_le_bytes());
+    out.extend_from_slice(&(idxs.len() as u16).to_le_bytes());
+    let mut sent = 0u64;
+    for idx in idxs {
+        let c = table.chunks[idx];
+        let at = table.payload_offset(idx);
+        let end = at + c.stored_len as usize;
+        if obj.data.len() < end {
+            return Err(FsError::Corrupt(format!("chunk {idx} payload truncated")));
+        }
+        out.extend_from_slice(&(idx as u32).to_le_bytes());
+        out.push(c.tier);
+        out.extend_from_slice(&c.offset.to_le_bytes());
+        out.extend_from_slice(&c.raw_len.to_le_bytes());
+        out.extend_from_slice(&c.stored_len.to_le_bytes());
+        out.extend_from_slice(&c.crc32.to_le_bytes());
+        out.extend_from_slice(&obj.data[at..end]);
+        sent += u64::from(c.stored_len);
+    }
+    get_bytes.add(sent);
+    let crc = crc32(&out[frame + GET_BODY..]);
+    out[frame + 1..frame + GET_BODY].copy_from_slice(&crc.to_le_bytes());
+    Ok(())
+}
+
+/// Decode a PARTIAL entry frame (inverse of [`encode_partial_entry`]).
+fn decode_partial_entry(buf: &[u8]) -> Result<PartialReply, FsError> {
+    if buf.len() < GET_BODY + 2 + STAT_SIZE + 4 + 8 + 2 {
+        return Err(FsError::Comm("short PARTIAL entry".into()));
+    }
+    let expect = u32::from_le_bytes(buf[1..GET_BODY].try_into().expect("4 bytes"));
+    let actual = crc32(&buf[GET_BODY..]);
+    if expect != actual {
+        return Err(FsError::Corrupt(format!(
+            "PARTIAL entry CRC mismatch: stored {expect:08x}, computed {actual:08x}"
+        )));
+    }
+    let mut off = GET_BODY;
+    let inner_codec =
+        fanstore_compress::CodecId(u16::from_le_bytes(buf[off..off + 2].try_into().expect("2B")));
+    off += 2;
+    let stat = FileStat::decode(&buf[off..off + STAT_SIZE])?;
+    off += STAT_SIZE;
+    let chunk_size = u32::from_le_bytes(buf[off..off + 4].try_into().expect("4 bytes"));
+    off += 4;
+    let raw_len = u64::from_le_bytes(buf[off..off + 8].try_into().expect("8 bytes"));
+    off += 8;
+    let count = u16::from_le_bytes(buf[off..off + 2].try_into().expect("2 bytes")) as usize;
+    off += 2;
+    let mut chunks = Vec::with_capacity(count);
+    for _ in 0..count {
+        let head = buf
+            .get(off..off + 25)
+            .ok_or_else(|| FsError::Comm("truncated PARTIAL chunk header".into()))?;
+        let index = u32::from_le_bytes(head[..4].try_into().expect("4 bytes"));
+        let tier = head[4];
+        let offset = u64::from_le_bytes(head[5..13].try_into().expect("8 bytes"));
+        let craw = u32::from_le_bytes(head[13..17].try_into().expect("4 bytes"));
+        let stored_len = u32::from_le_bytes(head[17..21].try_into().expect("4 bytes")) as usize;
+        let crc = u32::from_le_bytes(head[21..25].try_into().expect("4 bytes"));
+        off += 25;
+        let stored = buf
+            .get(off..off + stored_len)
+            .ok_or_else(|| FsError::Comm("truncated PARTIAL chunk payload".into()))?
+            .to_vec();
+        off += stored_len;
+        chunks.push(PartialChunk { index, tier, offset, raw_len: craw, crc32: crc, stored });
+    }
+    Ok(PartialReply { inner_codec, stat, chunk_size, raw_len, chunks })
+}
+
+/// Decode a v2 GET_MANY reply: same outer framing as
+/// [`decode_get_many_reply`], but each entry may be a whole-file frame
+/// *or* a PARTIAL frame (first byte [`status::PARTIAL`]). A
+/// [`status::BAD_REQUEST`] entry byte maps to [`FsError::BadRange`] — the
+/// daemon judged the requested range malformed for that file, so
+/// retrying a replica would not help.
+pub fn decode_get_many_reply_v2(
+    buf: &[u8],
+    expected: usize,
+) -> Result<Vec<Result<GetManyItem, FsError>>, FsError> {
+    match buf.first() {
+        Some(&s) if s == status::OK => {}
+        Some(&s) if s == status::SHED => return Err(FsError::Shed("remote: batch shed".into())),
+        _ => return Err(FsError::Comm("malformed GET_MANY reply".into())),
+    }
+    let count = u32::from_le_bytes(
+        buf.get(1..5)
+            .ok_or_else(|| FsError::Comm("short GET_MANY reply".into()))?
+            .try_into()
+            .expect("4 bytes"),
+    ) as usize;
+    if count != expected {
+        return Err(FsError::Comm(format!(
+            "GET_MANY entry count mismatch: asked {expected}, got {count}"
+        )));
+    }
+    let mut out = Vec::with_capacity(count);
+    let mut off = 5usize;
+    for _ in 0..count {
+        let len = u32::from_le_bytes(
+            buf.get(off..off + 4)
+                .ok_or_else(|| FsError::Comm("truncated GET_MANY frame".into()))?
+                .try_into()
+                .expect("4 bytes"),
+        ) as usize;
+        off += 4;
+        let entry = buf
+            .get(off..off + len)
+            .ok_or_else(|| FsError::Comm("truncated GET_MANY entry".into()))?;
+        off += len;
+        out.push(match entry.first() {
+            Some(&s) if s == status::PARTIAL => {
+                decode_partial_entry(entry).map(GetManyItem::Partial)
+            }
+            Some(&s) if s == status::BAD_REQUEST => {
+                Err(FsError::BadRange("rejected by serving daemon".into()))
+            }
+            _ => decode_get_reply(entry).map(|(c, s, d)| GetManyItem::Whole(c, s, d)),
+        });
+    }
+    Ok(out)
+}
+
 fn handle_get_many(state: &NodeState, msg: &Message, get_bytes: &crate::metrics::Counter) -> bool {
     let reply = match decode_get_many_request(&msg.payload) {
-        Some(paths) => {
+        Some(specs) => {
             let mut out = vec![status::OK];
-            out.extend_from_slice(&(paths.len() as u32).to_le_bytes());
-            for path in paths {
+            out.extend_from_slice(&(specs.len() as u32).to_le_bytes());
+            for spec in &specs {
                 // Length placeholder, then the entry assembled in place —
                 // one buffer for the whole batch reply, no per-entry Vec.
                 let len_pos = out.len();
                 out.extend_from_slice(&[0u8; 4]);
-                match state.get_compressed(path) {
+                match state.get_compressed(spec.path) {
                     Some(mut obj) => {
                         obj.stat.served_by = state.rank as u32;
-                        get_bytes.add(obj.data.len() as u64);
-                        encode_get_reply_into(&mut out, &obj);
+                        let want_partial =
+                            spec.range.is_some() || spec.min_tier != crate::pack::TIER_FULL;
+                        if want_partial && obj.codec == crate::pack::CHUNKED {
+                            let body = out.len();
+                            if encode_partial_entry(&mut out, &obj, spec, get_bytes).is_err() {
+                                out.truncate(body);
+                                out.push(status::BAD_REQUEST);
+                            }
+                        } else {
+                            get_bytes.add(obj.data.len() as u64);
+                            encode_get_reply_into(&mut out, &obj);
+                        }
                     }
                     None => out.push(status::NOT_FOUND),
                 }
@@ -694,7 +1011,9 @@ mod tests {
     fn get_many_request_roundtrip_and_limits() {
         let paths = vec!["a", "some/deep/path.bin", ""];
         let buf = encode_get_many_request(&paths);
-        assert_eq!(decode_get_many_request(&buf).unwrap(), paths);
+        let specs = decode_get_many_request(&buf).unwrap();
+        assert_eq!(specs.iter().map(|s| s.path).collect::<Vec<_>>(), paths);
+        assert!(specs.iter().all(|s| s.range.is_none() && s.min_tier == crate::pack::TIER_FULL));
         // Trailing garbage rejected.
         let mut noisy = buf.clone();
         noisy.push(0);
@@ -703,6 +1022,126 @@ mod tests {
         let mut huge = Vec::new();
         huge.extend_from_slice(&(MAX_BATCH as u32 + 1).to_le_bytes());
         assert!(decode_get_many_request(&huge).is_none());
+    }
+
+    #[test]
+    fn get_many_v2_request_roundtrip() {
+        let specs = vec![
+            GetManySpec::whole("plain.bin"),
+            GetManySpec::range("big.bin", 4096, 8192),
+            GetManySpec::tiered("model.f32", 2),
+        ];
+        let buf = encode_get_many_request_v2(&specs);
+        let got = decode_get_many_request(&buf).unwrap();
+        assert_eq!(got, specs);
+        // Unknown flag bits are rejected, not silently skipped: find the
+        // flags byte of the first entry and set a reserved bit.
+        let mut bad = buf.clone();
+        let flags_at = 4 + 2 + "plain.bin".len();
+        bad[flags_at] |= 0x80;
+        assert!(decode_get_many_request(&bad).is_none());
+        // Truncated range payload rejected.
+        let short = buf[..buf.len() - 1].to_vec();
+        assert!(decode_get_many_request(&short).is_none());
+    }
+
+    #[test]
+    fn get_many_v2_serves_range_chunks() {
+        let body: Vec<u8> = (0..20_000u32).map(|i| (i % 251) as u8).collect();
+        let packed = prepare(
+            vec![("r/big.bin".to_string(), body.clone())],
+            &PrepConfig { chunk_size: 4096, ..PrepConfig::default() },
+        );
+        let parts = packed.partitions;
+        let results = mpi_sim::launch(2, 1, move |mut ctx| {
+            let service = ctx.take_channel(0);
+            if ctx.rank == 0 {
+                let state = Arc::new(NodeState::new(0, 2, CacheConfig::default()));
+                state.load_partition(&parts[0]).unwrap();
+                serve(state, service)
+            } else {
+                // A 1000-byte window crossing a chunk boundary: only the
+                // two covering chunks come back, not the whole file.
+                let specs = vec![GetManySpec::range("r/big.bin", 3800, 4800)];
+                let req = encode_get_many_request_v2(&specs);
+                let reply = service.rpc(0, tags::GET_MANY, req).unwrap();
+                let items = decode_get_many_reply_v2(&reply, 1).unwrap();
+                let p = match items[0].as_ref().unwrap() {
+                    GetManyItem::Partial(p) => p.clone(),
+                    other => panic!("expected partial entry, got {other:?}"),
+                };
+                assert_eq!(p.stat.served_by, 0);
+                assert_eq!(p.raw_len, body.len() as u64);
+                assert_eq!(p.chunk_size, 4096);
+                assert_eq!(p.chunks.len(), 2, "only the covering chunks travel");
+                let mut window = Vec::new();
+                for c in &p.chunks {
+                    window.extend_from_slice(&c.decode(p.inner_codec).unwrap());
+                }
+                let lo = p.chunks[0].offset as usize;
+                assert_eq!(&window[3800 - lo..4800 - lo], &body[3800..4800]);
+
+                // An out-of-bounds range is BAD_REQUEST for that entry.
+                let bad = vec![GetManySpec::range("r/big.bin", 100, body.len() as u64 + 1)];
+                let reply =
+                    service.rpc(0, tags::GET_MANY, encode_get_many_request_v2(&bad)).unwrap();
+                let items = decode_get_many_reply_v2(&reply, 1).unwrap();
+                assert!(matches!(items[0], Err(FsError::BadRange(_))));
+
+                // A v1 whole-file request on the same chunked object still
+                // round-trips (backward compatibility).
+                let req = encode_get_many_request(&["r/big.bin"]);
+                let reply = service.rpc(0, tags::GET_MANY, req).unwrap();
+                let entries = decode_get_many_reply(&reply, 1).unwrap();
+                let (codec, stat, data) = entries[0].as_ref().unwrap().clone();
+                let plain =
+                    decompress_object(codec, &data, stat.size as usize, "r/big.bin").unwrap();
+                assert_eq!(plain, body);
+                service.rpc(0, tags::SHUTDOWN, Vec::new()).unwrap();
+                4
+            }
+        });
+        assert_eq!(results[0], 4);
+    }
+
+    #[test]
+    fn get_many_v2_serves_progressive_tiers() {
+        let floats: Vec<u8> = (0..2048).flat_map(|i| ((i as f32) * 0.25).to_le_bytes()).collect();
+        let packed = prepare(
+            vec![("p/model.f32".to_string(), floats.clone())],
+            &PrepConfig { progressive_tiers: 4, ..PrepConfig::default() },
+        );
+        let parts = packed.partitions;
+        let results = mpi_sim::launch(2, 1, move |mut ctx| {
+            let service = ctx.take_channel(0);
+            if ctx.rank == 0 {
+                let state = Arc::new(NodeState::new(0, 2, CacheConfig::default()));
+                state.load_partition(&parts[0]).unwrap();
+                serve(state, service)
+            } else {
+                let specs = vec![GetManySpec::tiered("p/model.f32", 1)];
+                let req = encode_get_many_request_v2(&specs);
+                let reply = service.rpc(0, tags::GET_MANY, req).unwrap();
+                let items = decode_get_many_reply_v2(&reply, 1).unwrap();
+                let p = match items[0].as_ref().unwrap() {
+                    GetManyItem::Partial(p) => p.clone(),
+                    other => panic!("expected partial entry, got {other:?}"),
+                };
+                assert_eq!(p.chunks.len(), 2, "tiers 0..=1 travel, 2..=3 stay home");
+                assert_eq!(p.chunks.iter().map(|c| c.tier).collect::<Vec<_>>(), vec![0, 1]);
+                // The served tier prefix decodes to a usable approximation.
+                let tiers: Vec<Vec<u8>> =
+                    p.chunks.iter().map(|c| c.decode(p.inner_codec).unwrap()).collect();
+                let refs: Vec<&[u8]> = tiers.iter().map(Vec::as_slice).collect();
+                let approx =
+                    fanstore_compress::progressive::decode_prefix(&refs, p.raw_len as usize)
+                        .unwrap();
+                assert_eq!(approx.len(), floats.len());
+                service.rpc(0, tags::SHUTDOWN, Vec::new()).unwrap();
+                2
+            }
+        });
+        assert_eq!(results[0], 2);
     }
 
     #[test]

@@ -110,6 +110,9 @@ pub enum FsError {
     /// queue was full. Retryable: the client maps it onto the replica
     /// failover / read-through path.
     Shed(String),
+    /// EINVAL: a byte-range read was malformed or out of bounds for the
+    /// file (start >= end, or end beyond the file size).
+    BadRange(String),
 }
 
 impl std::fmt::Display for FsError {
@@ -125,6 +128,7 @@ impl std::fmt::Display for FsError {
             FsError::Degraded(m) => write!(f, "all replicas failed: {m}"),
             FsError::Throttled(m) => write!(f, "admission throttled: {m}"),
             FsError::Shed(m) => write!(f, "request shed by daemon: {m}"),
+            FsError::BadRange(m) => write!(f, "invalid byte range: {m}"),
         }
     }
 }

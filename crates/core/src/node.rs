@@ -292,7 +292,11 @@ impl NodeState {
         }
         if timed {
             let elapsed = now_us() - start;
-            let name = codec.family().map_or("unknown", |f| f.name());
+            let name = if codec == crate::pack::CHUNKED {
+                "chunked"
+            } else {
+                codec.family().map_or("unknown", |f| f.name())
+            };
             self.metrics.histogram(&format!("codec.{name}.decode_us")).record(elapsed);
             self.metrics.counter(&format!("codec.{name}.decode_bytes")).add(out.len() as u64);
             self.stats.decompress_bytes.add(out.len() as u64);
@@ -342,6 +346,60 @@ impl NodeState {
     /// workers so decompression runs in parallel instead of inline.
     pub fn local_packed(&self, path: &str) -> Option<LocalObject> {
         self.local.get(path)
+    }
+
+    /// Decode only the chunks of a *local* range-chunked object covering
+    /// raw bytes `[start, end)`. Returns `Ok(None)` when the path is not
+    /// local or not range-chunked (the caller falls back to a whole-file
+    /// or remote read). Each piece carries its chunk index and raw offset
+    /// so callers can install partial cache residency.
+    pub fn read_local_chunks(
+        &self,
+        path: &str,
+        start: u64,
+        end: u64,
+    ) -> Result<Option<RangePieces>, FsError> {
+        let obj = match self.local.get(path) {
+            Some(o) if o.codec == crate::pack::CHUNKED => o,
+            _ => return Ok(None),
+        };
+        let table = crate::pack::parse_chunk_table(&obj.data)
+            .map_err(|e| FsError::Corrupt(format!("{path}: {e}")))?;
+        if table.kind != crate::pack::ChunkKind::Range {
+            return Ok(None);
+        }
+        let mut chunks = Vec::new();
+        for idx in table.covering(start, end) {
+            let payload = crate::pack::chunk_payload(&obj.data, &table, idx)
+                .map_err(|e| FsError::Corrupt(format!("{path}: {e}")))?;
+            let raw = crate::pack::decode_chunk(&table, idx, payload)
+                .map_err(|e| FsError::Corrupt(format!("{path}: {e}")))?;
+            chunks.push(RangeChunk {
+                index: idx as u32,
+                offset: table.chunks[idx].offset,
+                data: Arc::new(raw),
+            });
+        }
+        self.stats.local_opens.inc();
+        Ok(Some(RangePieces { chunk_size: table.chunk_size, total_len: table.raw_len, chunks }))
+    }
+
+    /// Decode a *local* progressive object at reduced fidelity (tiers
+    /// `<= min_tier` only). `Ok(None)` when the path is not local; a
+    /// non-progressive local object decodes at full fidelity.
+    pub fn read_local_tiered(&self, path: &str, min_tier: u8) -> Result<Option<Vec<u8>>, FsError> {
+        let obj = match self.local.get(path) {
+            Some(o) => o,
+            None => return Ok(None),
+        };
+        self.stats.local_opens.inc();
+        if obj.codec == crate::pack::CHUNKED {
+            crate::pack::decode_progressive_prefix(&obj.data, min_tier)
+                .map(Some)
+                .map_err(|e| FsError::Corrupt(format!("{path}: {e}")))
+        } else {
+            self.decompress(&obj, path).map(Some)
+        }
     }
 
     /// The rank holding a path's compressed bytes, from metadata.
@@ -469,14 +527,77 @@ impl NodeState {
     }
 }
 
+/// One decoded chunk of a range read, with its position in the file.
+#[derive(Debug, Clone)]
+pub struct RangeChunk {
+    /// Chunk index in the file's chunk table.
+    pub index: u32,
+    /// First raw byte the chunk covers.
+    pub offset: u64,
+    /// Decoded (raw) chunk bytes.
+    pub data: Arc<Vec<u8>>,
+}
+
+/// The decoded chunks covering one byte range, plus the file geometry a
+/// cache needs to track partial residency.
+#[derive(Debug, Clone)]
+pub struct RangePieces {
+    /// Nominal chunk size of the file.
+    pub chunk_size: u32,
+    /// Total raw file length.
+    pub total_len: u64,
+    /// Covering chunks, in offset order.
+    pub chunks: Vec<RangeChunk>,
+}
+
+impl RangePieces {
+    /// Assemble the bytes of `[start, end)` from the covering chunks.
+    /// Errors if the chunks do not cover the range contiguously.
+    pub fn assemble(&self, start: u64, end: u64) -> Result<Vec<u8>, FsError> {
+        let mut out = Vec::with_capacity((end - start) as usize);
+        let mut at = start;
+        for c in &self.chunks {
+            let c_end = c.offset + c.data.len() as u64;
+            if at < c.offset || at >= c_end {
+                continue;
+            }
+            let take_end = c_end.min(end);
+            out.extend_from_slice(
+                &c.data[(at - c.offset) as usize..(take_end - c.offset) as usize],
+            );
+            at = take_end;
+            if at == end {
+                break;
+            }
+        }
+        if at != end {
+            return Err(FsError::Corrupt(format!("range [{start}, {end}) not covered by chunks")));
+        }
+        Ok(out)
+    }
+}
+
 /// Decompress a compressed object payload (shared by the local path and
-/// the remote-fetch path).
+/// the remote-fetch path). Payloads marked [`crate::pack::CHUNKED`] are
+/// FCHK containers and decode through the chunk table, so every existing
+/// read path is transparently chunk-aware.
 pub fn decompress_object(
     codec: CodecId,
     data: &[u8],
     expected_len: usize,
     path: &str,
 ) -> Result<Vec<u8>, FsError> {
+    if codec == crate::pack::CHUNKED {
+        let plain = crate::pack::decode_chunked(data)
+            .map_err(|e| FsError::Corrupt(format!("{path}: {e}")))?;
+        if plain.len() != expected_len {
+            return Err(FsError::Corrupt(format!(
+                "{path}: chunked length mismatch: expected {expected_len}, got {}",
+                plain.len()
+            )));
+        }
+        return Ok(plain);
+    }
     let codec = create(codec).map_err(|e| FsError::Corrupt(format!("{path}: {e}")))?;
     fanstore_compress::decompress_to_vec(codec.as_ref(), data, expected_len)
         .map_err(|e| FsError::Corrupt(format!("{path}: {e}")))
@@ -492,6 +613,12 @@ pub fn decompress_object_into(
     path: &str,
     out: &mut Vec<u8>,
 ) -> Result<(), FsError> {
+    if codec == crate::pack::CHUNKED {
+        let plain = decompress_object(codec, data, expected_len, path)?;
+        out.clear();
+        out.extend_from_slice(&plain);
+        return Ok(());
+    }
     let codec = create(codec).map_err(|e| FsError::Corrupt(format!("{path}: {e}")))?;
     fanstore_compress::decompress_into(codec.as_ref(), data, expected_len, out)
         .map_err(|e| FsError::Corrupt(format!("{path}: {e}")))

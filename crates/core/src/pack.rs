@@ -11,7 +11,8 @@
 //! [`CodecId`]; `size` is the *compressed* byte count; `stat.size` holds
 //! the original file size the decoder needs.
 
-use fanstore_compress::CodecId;
+use fanstore_compress::crc32::crc32;
+use fanstore_compress::{progressive, CodecId};
 
 use crate::stat::{FileStat, STAT_SIZE};
 use crate::FsError;
@@ -131,6 +132,327 @@ pub fn parse_partition(buf: &[u8]) -> Result<Vec<PackEntry>, FsError> {
     Ok(entries)
 }
 
+// ---------------------------------------------------------------------------
+// Chunked / progressive container (the "FCHK" format)
+// ---------------------------------------------------------------------------
+//
+// A pack entry's payload is normally one opaque compressed blob; range
+// reads then have to fetch and decode the whole file. Entries whose
+// `compressor` field is the [`CHUNKED`] sentinel instead carry this
+// container:
+//
+// ```text
+// | "FCHK" | version u8 | kind u8 | inner_codec u16 | chunk_size u32 |
+// | raw_len u64 | count u32 |
+// | offset u64 | raw_len u32 | stored_len u32 | crc32 u32 | tier u8 |  (x count)
+// | table_crc u32 |
+// | payload 0 | payload 1 | ...
+// ```
+//
+// * `kind` 0 (range): chunk `i` covers raw bytes `[offset, offset+raw_len)`;
+//   `stored_len == raw_len` means the chunk is stored raw, otherwise it is
+//   compressed with `inner_codec`. A reader fetches only the chunks
+//   covering a byte range.
+// * `kind` 1 (progressive): chunk `i` is fidelity tier `i` from
+//   [`fanstore_compress::progressive`]; `tier` is the refinement index and
+//   a prefix of chunks decodes to a coarse approximation of the file.
+//
+// Each chunk's `crc32` covers its *stored* bytes, so a single corrupted
+// chunk is detectable without touching its neighbours; `table_crc` covers
+// everything before it so a damaged table never yields bogus offsets.
+
+/// Sentinel `compressor` value marking an FCHK container payload. The
+/// family byte (0x10) is outside the codec-family range, so any
+/// non-container-aware path that tries to decode it through the registry
+/// fails loudly with `UnknownCodec` instead of mis-decoding.
+pub const CHUNKED: CodecId = CodecId(0x1000);
+
+/// `min_tier` value requesting full fidelity (every tier).
+pub const TIER_FULL: u8 = 255;
+
+const CHUNK_MAGIC: [u8; 4] = *b"FCHK";
+const CHUNK_VERSION: u8 = 1;
+/// Serialized size of one chunk-table row.
+pub const CHUNK_ROW: usize = 8 + 4 + 4 + 4 + 1;
+/// Serialized size of the fixed container header (before the rows).
+pub const CHUNK_HEADER: usize = 4 + 1 + 1 + 2 + 4 + 8 + 4;
+
+/// What the chunks of a container mean.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChunkKind {
+    /// Chunks cover disjoint byte ranges of the raw file.
+    Range,
+    /// Chunks are progressive fidelity tiers of the whole file.
+    Progressive,
+}
+
+/// One row of the chunk table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkMeta {
+    /// First raw byte this chunk covers (0 for progressive tiers).
+    pub offset: u64,
+    /// Raw bytes this chunk decodes to (tier payload length for
+    /// progressive chunks, which manage their own framing).
+    pub raw_len: u32,
+    /// Stored bytes in the container; for range chunks,
+    /// `stored_len == raw_len` means the chunk is stored raw.
+    pub stored_len: u32,
+    /// CRC-32 of the stored bytes.
+    pub crc32: u32,
+    /// Fidelity tier (0 = base; always 0 for range chunks).
+    pub tier: u8,
+}
+
+/// Parsed chunk table of an FCHK container.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChunkTable {
+    /// Container flavour.
+    pub kind: ChunkKind,
+    /// Codec range-chunk payloads are compressed with.
+    pub inner_codec: CodecId,
+    /// Nominal chunk size for range containers (0 for progressive).
+    pub chunk_size: u32,
+    /// Total raw file length.
+    pub raw_len: u64,
+    /// Per-chunk rows, in payload order.
+    pub chunks: Vec<ChunkMeta>,
+}
+
+impl ChunkTable {
+    /// Byte offset of chunk `idx`'s stored payload *within the container*
+    /// (header + table + preceding payloads).
+    pub fn payload_offset(&self, idx: usize) -> usize {
+        let table_end = CHUNK_HEADER + self.chunks.len() * CHUNK_ROW + 4;
+        table_end + self.chunks[..idx].iter().map(|c| c.stored_len as usize).sum::<usize>()
+    }
+
+    /// Indices of the range chunks covering raw bytes `[start, end)`.
+    /// Meaningful for [`ChunkKind::Range`] containers; chunks are stored
+    /// in offset order so the result is a contiguous run.
+    pub fn covering(&self, start: u64, end: u64) -> Vec<usize> {
+        self.chunks
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.offset < end && c.offset + u64::from(c.raw_len) > start)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Indices of the progressive tiers with `tier <= min_tier`, i.e. the
+    /// decodable prefix a fidelity-bounded read should fetch.
+    pub fn tiers_up_to(&self, min_tier: u8) -> Vec<usize> {
+        self.chunks.iter().enumerate().filter(|(_, c)| c.tier <= min_tier).map(|(i, _)| i).collect()
+    }
+}
+
+/// True if `data` looks like an FCHK container (magic check only).
+pub fn is_chunked(data: &[u8]) -> bool {
+    data.len() >= 4 && data[..4] == CHUNK_MAGIC
+}
+
+fn encode_container(table: &ChunkTable, payloads: &[Vec<u8>]) -> Vec<u8> {
+    let body: usize = payloads.iter().map(Vec::len).sum();
+    let mut out = Vec::with_capacity(CHUNK_HEADER + table.chunks.len() * CHUNK_ROW + 4 + body);
+    out.extend_from_slice(&CHUNK_MAGIC);
+    out.push(CHUNK_VERSION);
+    out.push(match table.kind {
+        ChunkKind::Range => 0,
+        ChunkKind::Progressive => 1,
+    });
+    out.extend_from_slice(&table.inner_codec.0.to_le_bytes());
+    out.extend_from_slice(&table.chunk_size.to_le_bytes());
+    out.extend_from_slice(&table.raw_len.to_le_bytes());
+    out.extend_from_slice(&(table.chunks.len() as u32).to_le_bytes());
+    for c in &table.chunks {
+        out.extend_from_slice(&c.offset.to_le_bytes());
+        out.extend_from_slice(&c.raw_len.to_le_bytes());
+        out.extend_from_slice(&c.stored_len.to_le_bytes());
+        out.extend_from_slice(&c.crc32.to_le_bytes());
+        out.push(c.tier);
+    }
+    let table_crc = crc32(&out);
+    out.extend_from_slice(&table_crc.to_le_bytes());
+    for p in payloads {
+        out.extend_from_slice(p);
+    }
+    out
+}
+
+/// Build a range-chunked container: split `data` into `chunk_size` slices
+/// and compress each with `inner` (storing a chunk raw when compression
+/// does not shrink it, mirroring the pack-level store fallback).
+pub fn build_chunked(data: &[u8], chunk_size: usize, inner: CodecId) -> Vec<u8> {
+    let chunk_size = chunk_size.max(1);
+    let codec = fanstore_compress::registry::create(inner).expect("valid inner codec id");
+    let mut chunks = Vec::new();
+    let mut payloads = Vec::new();
+    for (i, raw) in data.chunks(chunk_size).enumerate() {
+        let mut packed = Vec::with_capacity(raw.len() / 2 + 64);
+        codec.compress(raw, &mut packed);
+        let stored = if packed.len() < raw.len() { packed } else { raw.to_vec() };
+        chunks.push(ChunkMeta {
+            offset: (i * chunk_size) as u64,
+            raw_len: raw.len() as u32,
+            stored_len: stored.len() as u32,
+            crc32: crc32(&stored),
+            tier: 0,
+        });
+        payloads.push(stored);
+    }
+    let table = ChunkTable {
+        kind: ChunkKind::Range,
+        inner_codec: inner,
+        chunk_size: chunk_size as u32,
+        raw_len: data.len() as u64,
+        chunks,
+    };
+    encode_container(&table, &payloads)
+}
+
+/// Build a progressive container: `tiers` fidelity tiers (clamped to
+/// 1..=32) from [`fanstore_compress::progressive::encode_tiers`].
+pub fn build_progressive(data: &[u8], tiers: u8) -> Vec<u8> {
+    let payloads = progressive::encode_tiers(data, tiers);
+    let chunks = payloads
+        .iter()
+        .enumerate()
+        .map(|(i, p)| ChunkMeta {
+            offset: 0,
+            raw_len: p.len() as u32,
+            stored_len: p.len() as u32,
+            crc32: crc32(p),
+            tier: i as u8,
+        })
+        .collect();
+    let table = ChunkTable {
+        kind: ChunkKind::Progressive,
+        inner_codec: CodecId(0),
+        chunk_size: 0,
+        raw_len: data.len() as u64,
+        chunks,
+    };
+    encode_container(&table, &payloads)
+}
+
+/// Parse an FCHK container's header and chunk table (payloads stay in
+/// place; use [`ChunkTable::payload_offset`] to slice them).
+pub fn parse_chunk_table(data: &[u8]) -> Result<ChunkTable, FsError> {
+    if !is_chunked(data) || data.len() < CHUNK_HEADER + 4 {
+        return Err(FsError::Corrupt("not an FCHK container".into()));
+    }
+    if data[4] != CHUNK_VERSION {
+        return Err(FsError::Corrupt(format!("unknown FCHK version {}", data[4])));
+    }
+    let kind = match data[5] {
+        0 => ChunkKind::Range,
+        1 => ChunkKind::Progressive,
+        k => return Err(FsError::Corrupt(format!("unknown FCHK kind {k}"))),
+    };
+    let inner_codec = CodecId(u16::from_le_bytes(data[6..8].try_into().expect("2 bytes")));
+    let chunk_size = u32::from_le_bytes(data[8..12].try_into().expect("4 bytes"));
+    let raw_len = u64::from_le_bytes(data[12..20].try_into().expect("8 bytes"));
+    let count = u32::from_le_bytes(data[20..24].try_into().expect("4 bytes")) as usize;
+    let table_end = CHUNK_HEADER + count.saturating_mul(CHUNK_ROW);
+    if data.len() < table_end + 4 {
+        return Err(FsError::Corrupt("FCHK table truncated".into()));
+    }
+    let want = u32::from_le_bytes(data[table_end..table_end + 4].try_into().expect("4 bytes"));
+    if crc32(&data[..table_end]) != want {
+        return Err(FsError::Corrupt("FCHK table checksum mismatch".into()));
+    }
+    let mut chunks = Vec::with_capacity(count);
+    let mut pos = CHUNK_HEADER;
+    let mut payload_bytes = 0usize;
+    for _ in 0..count {
+        let offset = u64::from_le_bytes(data[pos..pos + 8].try_into().expect("8 bytes"));
+        let raw = u32::from_le_bytes(data[pos + 8..pos + 12].try_into().expect("4 bytes"));
+        let stored = u32::from_le_bytes(data[pos + 12..pos + 16].try_into().expect("4 bytes"));
+        let crc = u32::from_le_bytes(data[pos + 16..pos + 20].try_into().expect("4 bytes"));
+        let tier = data[pos + 20];
+        chunks.push(ChunkMeta { offset, raw_len: raw, stored_len: stored, crc32: crc, tier });
+        payload_bytes += stored as usize;
+        pos += CHUNK_ROW;
+    }
+    if data.len() < table_end + 4 + payload_bytes {
+        return Err(FsError::Corrupt("FCHK payloads truncated".into()));
+    }
+    Ok(ChunkTable { kind, inner_codec, chunk_size, raw_len, chunks })
+}
+
+/// Slice chunk `idx`'s stored payload out of the container and verify its
+/// CRC.
+pub fn chunk_payload<'a>(
+    data: &'a [u8],
+    table: &ChunkTable,
+    idx: usize,
+) -> Result<&'a [u8], FsError> {
+    let c = table.chunks[idx];
+    let at = table.payload_offset(idx);
+    let end = at + c.stored_len as usize;
+    if data.len() < end {
+        return Err(FsError::Corrupt(format!("chunk {idx} payload truncated")));
+    }
+    let payload = &data[at..end];
+    if crc32(payload) != c.crc32 {
+        return Err(FsError::Corrupt(format!("chunk {idx} checksum mismatch")));
+    }
+    Ok(payload)
+}
+
+/// Decode one *range* chunk's stored payload to its raw bytes.
+pub fn decode_chunk(table: &ChunkTable, idx: usize, payload: &[u8]) -> Result<Vec<u8>, FsError> {
+    let c = table.chunks[idx];
+    if c.stored_len == c.raw_len {
+        return Ok(payload.to_vec());
+    }
+    let codec = fanstore_compress::registry::create(table.inner_codec)
+        .map_err(|e| FsError::Corrupt(format!("chunk {idx}: {e}")))?;
+    fanstore_compress::decompress_to_vec(codec.as_ref(), payload, c.raw_len as usize)
+        .map_err(|e| FsError::Corrupt(format!("chunk {idx}: {e}")))
+}
+
+/// Decode a whole FCHK container back to the raw file bytes.
+pub fn decode_chunked(data: &[u8]) -> Result<Vec<u8>, FsError> {
+    let table = parse_chunk_table(data)?;
+    match table.kind {
+        ChunkKind::Range => {
+            let mut out = vec![0u8; table.raw_len as usize];
+            for idx in 0..table.chunks.len() {
+                let payload = chunk_payload(data, &table, idx)?;
+                let raw = decode_chunk(&table, idx, payload)?;
+                let c = table.chunks[idx];
+                let at = c.offset as usize;
+                let end = at + c.raw_len as usize;
+                if end > out.len() || raw.len() != c.raw_len as usize {
+                    return Err(FsError::Corrupt(format!("chunk {idx} extent out of range")));
+                }
+                out[at..end].copy_from_slice(&raw);
+            }
+            Ok(out)
+        }
+        ChunkKind::Progressive => {
+            let payloads: Result<Vec<&[u8]>, FsError> =
+                (0..table.chunks.len()).map(|i| chunk_payload(data, &table, i)).collect();
+            progressive::decode_prefix(&payloads?, table.raw_len as usize)
+                .map_err(|e| FsError::Corrupt(format!("progressive decode: {e}")))
+        }
+    }
+}
+
+/// Decode a *prefix* of a progressive container's tiers (those with
+/// `tier <= min_tier`) into an approximation of the file.
+pub fn decode_progressive_prefix(data: &[u8], min_tier: u8) -> Result<Vec<u8>, FsError> {
+    let table = parse_chunk_table(data)?;
+    if table.kind != ChunkKind::Progressive {
+        return decode_chunked(data);
+    }
+    let idxs = table.tiers_up_to(min_tier);
+    let payloads: Result<Vec<&[u8]>, FsError> =
+        idxs.iter().map(|&i| chunk_payload(data, &table, i)).collect();
+    progressive::decode_prefix(&payloads?, table.raw_len as usize)
+        .map_err(|e| FsError::Corrupt(format!("progressive decode: {e}")))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -211,5 +533,85 @@ mod tests {
         b.push(&path, codec(), &FileStat::regular(1, 0), &[]);
         let entries = parse_partition(&b.finish()).unwrap();
         assert_eq!(entries[0].path, path);
+    }
+
+    fn sample(n: usize) -> Vec<u8> {
+        (0..n).map(|i| (i % 251) as u8).collect()
+    }
+
+    #[test]
+    fn chunked_sentinel_is_not_a_registry_codec() {
+        assert!(CHUNKED.family().is_none());
+        assert!(fanstore_compress::registry::create(CHUNKED).is_err());
+    }
+
+    #[test]
+    fn chunked_container_roundtrip() {
+        for (len, chunk) in [(0usize, 64usize), (1, 64), (64, 64), (65, 64), (10_000, 777)] {
+            let data = sample(len);
+            let packed = build_chunked(&data, chunk, codec());
+            assert!(is_chunked(&packed));
+            assert_eq!(decode_chunked(&packed).unwrap(), data, "len={len} chunk={chunk}");
+        }
+    }
+
+    #[test]
+    fn covering_chunks_are_minimal() {
+        let data = sample(1000);
+        let packed = build_chunked(&data, 100, codec());
+        let table = parse_chunk_table(&packed).unwrap();
+        assert_eq!(table.chunks.len(), 10);
+        assert_eq!(table.covering(0, 1), vec![0]);
+        assert_eq!(table.covering(250, 251), vec![2]);
+        assert_eq!(table.covering(250, 450), vec![2, 3, 4]);
+        assert_eq!(table.covering(999, 1000), vec![9]);
+        assert!(table.covering(1000, 1001).is_empty());
+    }
+
+    #[test]
+    fn progressive_container_roundtrip_and_prefix() {
+        let vals: Vec<u8> =
+            (0..800u32).flat_map(|i| ((i as f32) * 0.25).sin().to_le_bytes()).collect();
+        let packed = build_progressive(&vals, 4);
+        let table = parse_chunk_table(&packed).unwrap();
+        assert_eq!(table.kind, ChunkKind::Progressive);
+        assert_eq!(table.chunks.len(), 4);
+        assert_eq!(decode_chunked(&packed).unwrap(), vals);
+        let coarse = decode_progressive_prefix(&packed, 0).unwrap();
+        assert_eq!(coarse.len(), vals.len());
+        let err0 = fanstore_compress::progressive::max_abs_error(&vals, &coarse);
+        let err_full = fanstore_compress::progressive::max_abs_error(
+            &vals,
+            &decode_progressive_prefix(&packed, TIER_FULL).unwrap(),
+        );
+        assert!(err_full <= err0);
+        assert_eq!(err_full, 0.0);
+    }
+
+    #[test]
+    fn corrupt_chunk_detected_by_crc() {
+        let data = sample(1000);
+        let mut packed = build_chunked(&data, 100, codec());
+        let table = parse_chunk_table(&packed).unwrap();
+        let at = table.payload_offset(3);
+        packed[at] ^= 0xff;
+        assert!(chunk_payload(&packed, &table, 3).is_err());
+        // Neighbouring chunks are untouched.
+        assert!(chunk_payload(&packed, &table, 2).is_ok());
+        assert!(chunk_payload(&packed, &table, 4).is_ok());
+        assert!(decode_chunked(&packed).is_err());
+    }
+
+    #[test]
+    fn corrupt_table_detected_by_crc() {
+        let data = sample(500);
+        let mut packed = build_chunked(&data, 100, codec());
+        packed[CHUNK_HEADER + 2] ^= 1; // flip a bit inside a table row
+        assert!(parse_chunk_table(&packed).is_err());
+        packed[CHUNK_HEADER + 2] ^= 1;
+        assert!(parse_chunk_table(&packed).is_ok());
+        for cut in [3usize, CHUNK_HEADER, CHUNK_HEADER + 10, packed.len() - 1] {
+            assert!(parse_chunk_table(&packed[..cut]).is_err(), "cut={cut}");
+        }
     }
 }

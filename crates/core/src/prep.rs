@@ -27,6 +27,16 @@ pub struct PrepConfig {
     /// partitions decode correctly). Matches lzbench-style behaviour on
     /// incompressible data such as ImageNet.
     pub store_if_incompressible: bool,
+    /// When non-zero, files larger than this are packed as range-chunked
+    /// FCHK containers (chunks of this size, each independently
+    /// compressed and CRC'd) so readers can fetch arbitrary byte ranges
+    /// without pulling the whole file. 0 = whole-file packing (legacy).
+    pub chunk_size: usize,
+    /// When non-zero, every file is packed as a progressive FCHK
+    /// container with this many fidelity tiers (clamped to 1..=32): a
+    /// prefix of tiers decodes to a coarse approximation, all tiers are
+    /// bit-exact. Takes precedence over `chunk_size`. 0 = off.
+    pub progressive_tiers: u8,
 }
 
 impl Default for PrepConfig {
@@ -35,6 +45,8 @@ impl Default for PrepConfig {
             partitions: 1,
             codec: CodecId::new(CodecFamily::Lz4Hc, 9),
             store_if_incompressible: true,
+            chunk_size: 0,
+            progressive_tiers: 0,
         }
     }
 }
@@ -88,7 +100,13 @@ pub fn prepare(files: Vec<(String, Vec<u8>)>, cfg: &PrepConfig) -> Packed {
         .map(|(i, (path, data))| {
             let mut stat = FileStat::regular(i as u64 + 1, data.len() as u64);
             stat.owner_rank = (i % nparts) as u32;
-            let (used, packed) = pack_one(codec.as_ref(), cfg.store_if_incompressible, &data);
+            let (used, packed) = if cfg.progressive_tiers > 0 {
+                (crate::pack::CHUNKED, crate::pack::build_progressive(&data, cfg.progressive_tiers))
+            } else if cfg.chunk_size > 0 && data.len() > cfg.chunk_size {
+                (crate::pack::CHUNKED, crate::pack::build_chunked(&data, cfg.chunk_size, cfg.codec))
+            } else {
+                pack_one(codec.as_ref(), cfg.store_if_incompressible, &data)
+            };
             (path, stat, used, packed)
         })
         .collect();

@@ -1,0 +1,132 @@
+//! Property tests pinning the byte-range read path (DESIGN.md §10):
+//! for arbitrary file contents, chunk sizes, codecs and ranges,
+//! `read_range(path, a, b)` must be byte-identical to
+//! `read_whole(path)[a..b]` from every rank; malformed ranges must fail
+//! with the typed `FsError::BadRange` (never a panic); and a partial
+//! read followed by a full read must leave the cache entry identical to
+//! a cold full read.
+
+use fanstore::cluster::{ClusterConfig, FanStore};
+use fanstore::prep::{prepare, PrepConfig};
+use fanstore::FsError;
+use fanstore_compress::{CodecFamily, CodecId};
+use proptest::prelude::*;
+
+/// Codecs a chunked container may carry (fast levels only).
+fn codec(pick: u8) -> CodecId {
+    match pick % 4 {
+        0 => CodecId::new(CodecFamily::Store, 0),
+        1 => CodecId::new(CodecFamily::Lz4Fast, 1),
+        2 => CodecId::new(CodecFamily::Lzf, 2),
+        _ => CodecId::new(CodecFamily::Lz4Hc, 6),
+    }
+}
+
+/// File bodies with different compressibility profiles.
+fn body_strategy() -> impl Strategy<Value = Vec<u8>> {
+    prop_oneof![
+        // Arbitrary bytes.
+        proptest::collection::vec(any::<u8>(), 64..8192),
+        // Tiled block (compressible).
+        (proptest::collection::vec(any::<u8>(), 1..48), 8usize..400).prop_map(|(block, reps)| {
+            block.iter().copied().cycle().take(block.len() * reps).collect()
+        }),
+        // Position-dependent ramp.
+        (any::<u8>(), 64usize..8192)
+            .prop_map(|(seed, n)| (0..n).map(|j| seed.wrapping_add((j / 5) as u8)).collect()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// `read_range` equals the slice of the whole file — local on the
+    /// owning rank, remote (v2 GET_MANY) on the other — and a
+    /// partial-then-full sequence leaves the cache holding exactly the
+    /// cold-full-read bytes.
+    #[test]
+    fn range_reads_match_whole_file_slices(
+        data in body_strategy(),
+        chunk_pow in 6u32..12,          // 64 B .. 2 KiB chunks
+        pick in any::<u8>(),
+        a_frac in 0.0f64..1.0,
+        len_frac in 0.0f64..1.0,
+    ) {
+        let chunk = 1usize << chunk_pow;
+        let n = data.len();
+        let a = ((n - 1) as f64 * a_frac) as u64;
+        let b = (a + 1 + ((n as u64 - a - 1) as f64 * len_frac) as u64).min(n as u64);
+        let packed = prepare(
+            vec![("pr/file.bin".to_string(), data.clone())],
+            &PrepConfig { partitions: 1, chunk_size: chunk, codec: codec(pick), ..Default::default() },
+        );
+        let results = FanStore::run(
+            ClusterConfig { nodes: 2, ..Default::default() },
+            packed.partitions,
+            move |fs| {
+                // Ranged read first (cold cache), on both ranks: rank 0
+                // exercises the local chunk path, rank 1 the remote v2
+                // protocol.
+                let ranged = fs.read_range("pr/file.bin", a, b).expect("range read");
+                // Then the full read: the Partial cache entry upgrades to
+                // Full and must equal a cold full read.
+                let whole = fs.read_whole("pr/file.bin").expect("whole read");
+                (ranged, whole)
+            },
+        );
+        for (rank, (ranged, whole)) in results.into_iter().enumerate() {
+            prop_assert_eq!(&whole, &data, "rank {} whole read exact", rank);
+            prop_assert_eq!(
+                &ranged[..],
+                &data[a as usize..b as usize],
+                "rank {} range [{}, {})",
+                rank, a, b
+            );
+        }
+    }
+
+    /// Out-of-bounds and empty ranges are typed errors, never panics,
+    /// and never corrupt later reads.
+    #[test]
+    fn bad_ranges_error_typed(
+        data in body_strategy(),
+        chunk_pow in 6u32..12,
+        over in 1u64..1000,
+    ) {
+        let n = data.len() as u64;
+        let packed = prepare(
+            vec![("pr/file.bin".to_string(), data.clone())],
+            &PrepConfig { partitions: 1, chunk_size: 1usize << chunk_pow, ..Default::default() },
+        );
+        let results = FanStore::run(
+            ClusterConfig { nodes: 2, ..Default::default() },
+            packed.partitions,
+            move |fs| {
+                // end beyond the file.
+                let past_end = fs.read_range("pr/file.bin", 0, n + over);
+                // empty window.
+                let empty = fs.read_range("pr/file.bin", n / 2, n / 2);
+                // inverted window.
+                let inverted = fs.read_range("pr/file.bin", n, 0);
+                // start at or past the end.
+                let at_end = fs.read_range("pr/file.bin", n, n + over);
+                // A good read afterwards still works.
+                let good = fs.read_range("pr/file.bin", 0, 1).expect("good read after errors");
+                (
+                    matches!(past_end, Err(FsError::BadRange(_))),
+                    matches!(empty, Err(FsError::BadRange(_))),
+                    matches!(inverted, Err(FsError::BadRange(_))),
+                    matches!(at_end, Err(FsError::BadRange(_))),
+                    good,
+                )
+            },
+        );
+        for (rank, (past_end, empty, inverted, at_end, good)) in results.into_iter().enumerate() {
+            prop_assert!(past_end, "rank {rank}: end past EOF must be BadRange");
+            prop_assert!(empty, "rank {rank}: empty range must be BadRange");
+            prop_assert!(inverted, "rank {rank}: inverted range must be BadRange");
+            prop_assert!(at_end, "rank {rank}: start at EOF must be BadRange");
+            prop_assert_eq!(&good[..], &data[..1], "rank {} reads fine after errors", rank);
+        }
+    }
+}

@@ -23,6 +23,7 @@
 pub mod apps;
 pub mod convergence;
 pub mod epoch;
+pub mod fidelity;
 pub mod pipeline;
 pub mod prefetch;
 pub mod resume;

@@ -42,6 +42,7 @@ fn main() {
             partitions: 4,
             codec: parse_name("lz4hc-9").unwrap(),
             store_if_incompressible: true,
+            ..Default::default()
         },
     );
     println!(

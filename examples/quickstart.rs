@@ -30,6 +30,7 @@ fn main() {
             partitions: 4,
             codec: CodecId::new(CodecFamily::Lz4Hc, 9),
             store_if_incompressible: true,
+            ..Default::default()
         },
     );
     println!(

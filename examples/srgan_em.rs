@@ -82,6 +82,7 @@ fn main() {
             partitions: 4,
             codec: parse_name(&choice).unwrap(),
             store_if_incompressible: true,
+            ..Default::default()
         },
     );
     println!(

@@ -19,6 +19,7 @@ fn packed_dataset(kind: DatasetKind, n: usize, partitions: usize) -> (Files, Vec
             partitions,
             codec: parse_name("lzsse8-2").unwrap(),
             store_if_incompressible: true,
+            ..Default::default()
         },
     );
     (files, packed.partitions)

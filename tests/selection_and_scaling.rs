@@ -108,6 +108,7 @@ fn storage_capacity_scales_with_selected_ratio() {
             partitions: 2,
             codec: parse_name("lzma-6").unwrap(),
             store_if_incompressible: true,
+            ..Default::default()
         },
     );
     let ratio = packed.ratio();
