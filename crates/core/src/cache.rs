@@ -272,6 +272,13 @@ impl FileCache {
                     Entry { payload: Payload::Full(Arc::clone(&data)), open_count: 1 },
                 );
                 inner.bytes += size;
+                // make_room may have popped the kept queue slot (the entry
+                // was already gone, so the slot was dropped, not requeued);
+                // an entry without a slot could never be evicted. Re-queue
+                // if the slot is gone.
+                if !inner.fifo.iter().any(|p| p == path) {
+                    inner.fifo.push_back(path.to_string());
+                }
                 return data;
             }
             None => {}
@@ -312,8 +319,13 @@ impl FileCache {
                 let size = data.len();
                 p.chunks.insert(index, data);
                 p.resident += size;
-                self.make_room(shard, &mut inner, 0);
+                // Charge the shard *before* trimming: make_room may evict
+                // this very entry (open-count 0), and its `bytes()` now
+                // includes the new chunk — subtracting it must not
+                // underflow, and an evicted entry must not be re-charged
+                // afterwards.
                 inner.bytes += size;
+                self.make_room(shard, &mut inner, 0);
             }
             None => {
                 let size = data.len();
@@ -792,6 +804,46 @@ mod tests {
         assert_eq!(c.resident_bytes(), 80);
         c.insert("q", data(80, 2)); // pressure: evicts the idle partial entry
         assert!(c.residency("p").is_none(), "partial entry evicted whole");
+        assert_eq!(c.resident_bytes(), 80);
+    }
+
+    #[test]
+    fn extending_partial_entry_over_budget_keeps_accounting_consistent() {
+        // Regression: extending a partial entry can trip make_room into
+        // evicting the very entry being extended (open-count 0, bytes
+        // already past budget because in-use/oversized entries are
+        // admitted anyway). The shard charge must include the new chunk
+        // *before* the trim — otherwise the eviction underflows the byte
+        // counter and the entry is re-charged after it is gone.
+        let c = single(50, false);
+        c.insert_chunk("p", 60, 120, 0, data(60, 1)); // oversized, admitted
+        assert_eq!(c.resident_bytes(), 60);
+        c.insert_chunk("p", 60, 120, 1, data(10, 2)); // pressure evicts "p" itself
+        assert!(c.residency("p").is_none(), "over-budget entry evicted whole");
+        assert_eq!(c.resident_bytes(), 0, "no ghost charge for the evicted entry");
+        assert_eq!(c.stats().evictions.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn superseded_entry_requeued_when_its_slot_was_consumed() {
+        // Regression: the partial-supersede branch keeps the old queue
+        // slot, but make_room in that same branch can pop it while the
+        // entry is momentarily absent (slot dropped, nothing evicted).
+        // The re-inserted full entry must get a fresh slot, or it can
+        // never be evicted under pressure.
+        let c = single(100, false);
+        c.insert_chunk("p", 60, 120, 0, data(60, 1));
+        c.insert_chunk("q", 30, 30, 0, data(30, 2));
+        // Superseding "p" needs room: make_room pops p's orphaned slot,
+        // then evicts idle "q".
+        c.insert("p", data(80, 3));
+        c.close("p");
+        assert_eq!(c.residency("p"), Some(Residency::Full));
+        assert!(c.residency("q").is_none(), "idle partial evicted for room");
+        assert_eq!(c.resident_bytes(), 80);
+        // "p" must still hold a queue slot: the next squeeze evicts it.
+        c.insert("r", data(80, 4));
+        assert!(c.residency("p").is_none(), "superseded entry evictable under pressure");
         assert_eq!(c.resident_bytes(), 80);
     }
 

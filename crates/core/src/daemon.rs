@@ -72,6 +72,12 @@ pub mod status {
     /// requested byte range (or the fidelity tiers up to `min_tier`) of
     /// a chunked object, each with its own stored-CRC.
     pub const PARTIAL: u8 = 4;
+    /// This node failed to serve the entry (e.g. its local copy's chunk
+    /// table or payload is corrupt). Unlike [`BAD_REQUEST`] this says
+    /// nothing about the request itself, so the client treats it as
+    /// retryable and walks the replica ring, where an intact copy may
+    /// survive.
+    pub const ERROR: u8 = 5;
 }
 
 /// Byte offset of the body (codec + stat + compressed) in a GET reply:
@@ -384,7 +390,7 @@ pub enum GetManyItem {
 
 /// Append a PARTIAL entry frame for a chunked object:
 /// `[PARTIAL][crc32 u32][inner codec u16][stat 144B][chunk_size u32]
-/// [raw_len u64][count u16]` then, per chunk,
+/// [raw_len u64][count u32]` then, per chunk,
 /// `[idx u32][tier u8][offset u64][raw_len u32][stored_len u32][crc32 u32]
 /// [stored bytes]`. The outer CRC covers everything after the CRC field
 /// (in-flight damage fails the entry); each chunk additionally carries
@@ -415,7 +421,7 @@ fn encode_partial_entry(
     obj.stat.encode(out);
     out.extend_from_slice(&table.chunk_size.to_le_bytes());
     out.extend_from_slice(&table.raw_len.to_le_bytes());
-    out.extend_from_slice(&(idxs.len() as u16).to_le_bytes());
+    out.extend_from_slice(&u32::try_from(idxs.len()).expect("chunk count fits u32").to_le_bytes());
     let mut sent = 0u64;
     for idx in idxs {
         let c = table.chunks[idx];
@@ -441,7 +447,7 @@ fn encode_partial_entry(
 
 /// Decode a PARTIAL entry frame (inverse of [`encode_partial_entry`]).
 fn decode_partial_entry(buf: &[u8]) -> Result<PartialReply, FsError> {
-    if buf.len() < GET_BODY + 2 + STAT_SIZE + 4 + 8 + 2 {
+    if buf.len() < GET_BODY + 2 + STAT_SIZE + 4 + 8 + 4 {
         return Err(FsError::Comm("short PARTIAL entry".into()));
     }
     let expect = u32::from_le_bytes(buf[1..GET_BODY].try_into().expect("4 bytes"));
@@ -461,8 +467,8 @@ fn decode_partial_entry(buf: &[u8]) -> Result<PartialReply, FsError> {
     off += 4;
     let raw_len = u64::from_le_bytes(buf[off..off + 8].try_into().expect("8 bytes"));
     off += 8;
-    let count = u16::from_le_bytes(buf[off..off + 2].try_into().expect("2 bytes")) as usize;
-    off += 2;
+    let count = u32::from_le_bytes(buf[off..off + 4].try_into().expect("4 bytes")) as usize;
+    off += 4;
     let mut chunks = Vec::with_capacity(count);
     for _ in 0..count {
         let head = buf
@@ -482,6 +488,12 @@ fn decode_partial_entry(buf: &[u8]) -> Result<PartialReply, FsError> {
         off += stored_len;
         chunks.push(PartialChunk { index, tier, offset, raw_len: craw, crc32: crc, stored });
     }
+    if off != buf.len() {
+        return Err(FsError::Comm(format!(
+            "PARTIAL entry trailing bytes: consumed {off} of {}",
+            buf.len()
+        )));
+    }
     Ok(PartialReply { inner_codec, stat, chunk_size, raw_len, chunks })
 }
 
@@ -490,7 +502,9 @@ fn decode_partial_entry(buf: &[u8]) -> Result<PartialReply, FsError> {
 /// *or* a PARTIAL frame (first byte [`status::PARTIAL`]). A
 /// [`status::BAD_REQUEST`] entry byte maps to [`FsError::BadRange`] — the
 /// daemon judged the requested range malformed for that file, so
-/// retrying a replica would not help.
+/// retrying a replica would not help. A [`status::ERROR`] entry byte maps
+/// to [`FsError::Corrupt`]: the serving node's own copy was damaged, so
+/// the client fails over to the next replica.
 pub fn decode_get_many_reply_v2(
     buf: &[u8],
     expected: usize,
@@ -532,6 +546,9 @@ pub fn decode_get_many_reply_v2(
             Some(&s) if s == status::BAD_REQUEST => {
                 Err(FsError::BadRange("rejected by serving daemon".into()))
             }
+            Some(&s) if s == status::ERROR => {
+                Err(FsError::Corrupt("serving daemon's local copy damaged".into()))
+            }
             _ => decode_get_reply(entry).map(|(c, s, d)| GetManyItem::Whole(c, s, d)),
         });
     }
@@ -555,9 +572,21 @@ fn handle_get_many(state: &NodeState, msg: &Message, get_bytes: &crate::metrics:
                             spec.range.is_some() || spec.min_tier != crate::pack::TIER_FULL;
                         if want_partial && obj.codec == crate::pack::CHUNKED {
                             let body = out.len();
-                            if encode_partial_entry(&mut out, &obj, spec, get_bytes).is_err() {
-                                out.truncate(body);
-                                out.push(status::BAD_REQUEST);
+                            match encode_partial_entry(&mut out, &obj, spec, get_bytes) {
+                                Ok(()) => {}
+                                // Only a malformed range is the client's
+                                // fault; anything else (corrupt local
+                                // chunk table/payload) must come back
+                                // retryable so the client walks the
+                                // replica ring instead of giving up.
+                                Err(FsError::BadRange(_)) => {
+                                    out.truncate(body);
+                                    out.push(status::BAD_REQUEST);
+                                }
+                                Err(_) => {
+                                    out.truncate(body);
+                                    out.push(status::ERROR);
+                                }
                             }
                         } else {
                             get_bytes.add(obj.data.len() as u64);
@@ -1137,6 +1166,81 @@ mod tests {
                     fanstore_compress::progressive::decode_prefix(&refs, p.raw_len as usize)
                         .unwrap();
                 assert_eq!(approx.len(), floats.len());
+                service.rpc(0, tags::SHUTDOWN, Vec::new()).unwrap();
+                2
+            }
+        });
+        assert_eq!(results[0], 2);
+    }
+
+    #[test]
+    fn partial_entry_rejects_trailing_bytes_and_corrupt_table() {
+        let body: Vec<u8> = (0..10_000u32).map(|i| (i % 239) as u8).collect();
+        let packed = prepare(
+            vec![("t/file.bin".to_string(), body)],
+            &PrepConfig { chunk_size: 2048, ..PrepConfig::default() },
+        );
+        let state = NodeState::new(0, 1, CacheConfig::default());
+        state.load_partition(&packed.partitions[0]).unwrap();
+        let obj = state.get_compressed("t/file.bin").unwrap();
+        let spec = GetManySpec::range("t/file.bin", 0, 5000);
+        let counter = crate::metrics::MetricsRegistry::disabled().counter("test.bytes");
+        let mut entry = Vec::new();
+        encode_partial_entry(&mut entry, &obj, &spec, &counter).unwrap();
+        assert!(decode_partial_entry(&entry).is_ok());
+        // Trailing bytes with a fixed-up outer CRC are rejected by the
+        // consumed-length check, never silently ignored.
+        let mut padded = entry.clone();
+        padded.push(0xAA);
+        let crc = crc32(&padded[GET_BODY..]);
+        padded[1..GET_BODY].copy_from_slice(&crc.to_le_bytes());
+        assert!(matches!(decode_partial_entry(&padded), Err(FsError::Comm(_))));
+        // A damaged chunk table fails encode as Corrupt — the daemon's
+        // copy is bad, not the request — so handle_get_many can answer
+        // the retryable status::ERROR instead of BAD_REQUEST.
+        let mut raw = (*obj.data).clone();
+        raw[crate::pack::CHUNK_HEADER] ^= 0xFF;
+        let bad = LocalObject { codec: obj.codec, stat: obj.stat, data: Arc::new(raw) };
+        let mut out = Vec::new();
+        assert!(matches!(
+            encode_partial_entry(&mut out, &bad, &spec, &counter),
+            Err(FsError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn corrupt_local_chunk_table_replies_retryable_error_not_bad_request() {
+        // Regression: one node's damaged copy must come back as a
+        // retryable error so the client walks the replica ring — a
+        // BAD_REQUEST reply would decode to BadRange and abort both the
+        // failover and the whole-file fallback.
+        let body: Vec<u8> = (0..20_000u32).map(|i| (i % 251) as u8).collect();
+        let packed = prepare(
+            vec![("c/big.bin".to_string(), body)],
+            &PrepConfig { chunk_size: 4096, ..PrepConfig::default() },
+        );
+        let mut part = packed.partitions[0].clone();
+        // Flip a byte inside the FCHK chunk table: the daemon's own copy
+        // is damaged; the request itself is fine.
+        let at = part.windows(4).position(|w| w == b"FCHK").expect("chunked container")
+            + crate::pack::CHUNK_HEADER;
+        part[at] ^= 0xFF;
+        let results = mpi_sim::launch(2, 1, move |mut ctx| {
+            let service = ctx.take_channel(0);
+            if ctx.rank == 0 {
+                let state = Arc::new(NodeState::new(0, 2, CacheConfig::default()));
+                state.load_partition(&part).unwrap();
+                serve(state, service)
+            } else {
+                let specs = vec![GetManySpec::range("c/big.bin", 0, 1000)];
+                let reply =
+                    service.rpc(0, tags::GET_MANY, encode_get_many_request_v2(&specs)).unwrap();
+                let items = decode_get_many_reply_v2(&reply, 1).unwrap();
+                assert!(
+                    matches!(items[0], Err(FsError::Corrupt(_))),
+                    "expected retryable Corrupt, got {:?}",
+                    items[0]
+                );
                 service.rpc(0, tags::SHUTDOWN, Vec::new()).unwrap();
                 2
             }
